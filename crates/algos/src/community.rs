@@ -1,0 +1,195 @@
+//! Label-propagation community detection (queries Q7 and Q8).
+//!
+//! Q7 runs an iterative, synchronous label-propagation pass count over
+//! the graph (the paper uses the APOC label-propagation UDF with 25
+//! passes); Q8 then retrieves the largest community by the number of
+//! vertices of a given type it contains.
+
+use std::collections::HashMap;
+
+use kaskade_graph::{Graph, VertexId};
+
+/// Community assignment: `labels[v.index()]` is the community id of `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Communities {
+    /// Per-vertex community label.
+    pub labels: Vec<u32>,
+    /// Number of synchronous passes actually executed.
+    pub passes: usize,
+}
+
+/// Synchronous label propagation for `passes` iterations (Q7). Each
+/// vertex starts in its own community; at every pass each vertex adopts
+/// the most frequent label among its (in+out) neighbors and itself,
+/// breaking ties toward the smaller label so runs are deterministic
+/// (counting the vertex's own label also prevents the two-cycle
+/// oscillation synchronous label propagation is prone to). Stops early
+/// when no label changes.
+pub fn label_propagation(g: &Graph, passes: usize) -> Communities {
+    let n = g.vertex_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut executed = 0;
+    let mut histogram: HashMap<u32, usize> = HashMap::new();
+    for _ in 0..passes {
+        executed += 1;
+        let mut next = labels.clone();
+        let mut changed = false;
+        for v in g.vertices() {
+            histogram.clear();
+            *histogram.entry(labels[v.index()]).or_default() += 1;
+            for w in g.out_neighbors(v) {
+                *histogram.entry(labels[w.index()]).or_default() += 1;
+            }
+            for w in g.in_neighbors(v) {
+                *histogram.entry(labels[w.index()]).or_default() += 1;
+            }
+            if histogram.is_empty() {
+                continue;
+            }
+            // most frequent label; ties toward the smaller label
+            let best = histogram
+                .iter()
+                .map(|(&l, &c)| (c, std::cmp::Reverse(l)))
+                .max()
+                .map(|(_, std::cmp::Reverse(l))| l)
+                .unwrap();
+            if best != labels[v.index()] {
+                next[v.index()] = best;
+                changed = true;
+            }
+        }
+        labels = next;
+        if !changed {
+            break;
+        }
+    }
+    Communities {
+        labels,
+        passes: executed,
+    }
+}
+
+/// Sizes of all communities, as `(label, member_count)` sorted by
+/// descending size then label.
+pub fn community_sizes(c: &Communities) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &l in &c.labels {
+        *counts.entry(l).or_default() += 1;
+    }
+    let mut v: Vec<(u32, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Q8: the label and member set of the community containing the most
+/// vertices of `count_type` (e.g. "Job" in prov). Returns `None` on an
+/// empty graph or when no vertex has that type.
+pub fn largest_community(
+    g: &Graph,
+    c: &Communities,
+    count_type: &str,
+) -> Option<(u32, Vec<VertexId>)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for v in g.vertices_of_type(count_type) {
+        *counts.entry(c.labels[v.index()]).or_default() += 1;
+    }
+    let (&best, _) = counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))?;
+    let members = g
+        .vertices()
+        .filter(|v| c.labels[v.index()] == best)
+        .collect();
+    Some((best, members))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::GraphBuilder;
+
+    /// Two triangles joined by nothing: {0,1,2} and {3,4,5}.
+    fn two_triangles() -> kaskade_graph::Graph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..6).map(|_| b.add_vertex("V")).collect();
+        for &(i, j) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(vs[i], vs[j], "E");
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn disconnected_components_get_distinct_labels() {
+        let g = two_triangles();
+        let c = label_propagation(&g, 25);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[1], c.labels[2]);
+        assert_eq!(c.labels[3], c.labels[4]);
+        assert_ne!(c.labels[0], c.labels[3]);
+    }
+
+    #[test]
+    fn converges_early_and_reports_passes() {
+        let g = two_triangles();
+        let c = label_propagation(&g, 100);
+        assert!(c.passes < 100, "should converge, took {}", c.passes);
+    }
+
+    #[test]
+    fn community_sizes_sorted() {
+        let g = two_triangles();
+        let c = label_propagation(&g, 25);
+        let sizes = community_sizes(&c);
+        assert_eq!(sizes.len(), 2);
+        assert_eq!(sizes[0].1, 3);
+        assert_eq!(sizes[1].1, 3);
+    }
+
+    #[test]
+    fn largest_community_by_type() {
+        // triangle of jobs + pair of files
+        let mut b = GraphBuilder::new();
+        let j: Vec<_> = (0..3).map(|_| b.add_vertex("Job")).collect();
+        let f: Vec<_> = (0..2).map(|_| b.add_vertex("File")).collect();
+        b.add_edge(j[0], j[1], "E");
+        b.add_edge(j[1], j[2], "E");
+        b.add_edge(j[2], j[0], "E");
+        b.add_edge(f[0], f[1], "E");
+        let g = b.finish();
+        let c = label_propagation(&g, 25);
+        let (_, members) = largest_community(&g, &c, "Job").unwrap();
+        assert_eq!(members.len(), 3);
+        assert!(members.iter().all(|v| g.vertex_type(*v) == "Job"));
+    }
+
+    #[test]
+    fn largest_community_none_for_missing_type() {
+        let g = two_triangles();
+        let c = label_propagation(&g, 5);
+        assert!(largest_community(&g, &c, "Job").is_none());
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("V");
+        b.add_vertex("V");
+        let g = b.finish();
+        let c = label_propagation(&g, 10);
+        assert_eq!(c.labels, vec![0, 1]);
+        assert_eq!(c.passes, 1); // converges immediately
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // a -- b: both adopt the smaller label 0
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex("V");
+        let y = b.add_vertex("V");
+        b.add_edge(x, y, "E");
+        let g = b.finish();
+        let c = label_propagation(&g, 25);
+        assert_eq!(c.labels[0], 0);
+        assert_eq!(c.labels[1], 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Weakly connected components (union-find) and data valuation.
+//!
+//! Data valuation is one of the §I-A motivating applications:
+//! "quantifying the value of a dataset in terms of its 'centrality' to
+//! jobs or users accessing them". We operationalize it as the number of
+//! distinct downstream consumers of a vertex within a hop budget.
+
+use kaskade_graph::{Graph, VertexId};
+
+/// Union-find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            self.parent[x] = self.parent[self.parent[x] as usize];
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns false if already merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+/// Weakly connected components: edge direction is ignored. Returns a
+/// per-vertex component label (the smallest vertex id in the component)
+/// and the number of components.
+pub fn weakly_connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut uf = UnionFind::new(g.vertex_count());
+    for e in g.edges() {
+        uf.union(g.edge_src(e).index(), g.edge_dst(e).index());
+    }
+    // canonical label: smallest member id per component
+    let mut label = vec![u32::MAX; g.vertex_count()];
+    for v in 0..g.vertex_count() {
+        let r = uf.find(v);
+        label[r] = label[r].min(v as u32);
+    }
+    let mut out = vec![0u32; g.vertex_count()];
+    let mut count = 0;
+    for (v, slot) in out.iter_mut().enumerate() {
+        let r = uf.find(v);
+        *slot = label[r];
+        if *slot == v as u32 {
+            count += 1;
+        }
+    }
+    (out, count)
+}
+
+/// Data valuation: for every vertex of type `vtype`, the number of
+/// distinct downstream vertices of type `consumer_type` reachable
+/// within `max_hops` hops. Sorted by descending value, ties by id.
+pub fn data_valuation(
+    g: &Graph,
+    vtype: &str,
+    consumer_type: &str,
+    max_hops: usize,
+) -> Vec<(VertexId, usize)> {
+    let mut out: Vec<(VertexId, usize)> = g
+        .vertices_of_type(vtype)
+        .map(|v| {
+            let consumers = crate::traversal::descendants(g, v, max_hops)
+                .into_iter()
+                .filter(|&w| g.vertex_type(w) == consumer_type)
+                .count();
+            (v, consumers)
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::GraphBuilder;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("V");
+        let c = b.add_vertex("V");
+        let d = b.add_vertex("V");
+        let e = b.add_vertex("V");
+        b.add_edge(c, a, "E"); // direction into a — still same component
+        b.add_edge(d, e, "E");
+        let g = b.finish();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[a.index()], labels[c.index()]);
+        assert_eq!(labels[d.index()], labels[e.index()]);
+        assert_ne!(labels[a.index()], labels[d.index()]);
+    }
+
+    #[test]
+    fn wcc_labels_are_canonical_min_ids() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex("V");
+        let v1 = b.add_vertex("V");
+        let v2 = b.add_vertex("V");
+        b.add_edge(v2, v1, "E");
+        b.add_edge(v1, v0, "E");
+        let g = b.finish();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert_eq!(labels, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn wcc_empty_and_isolated() {
+        let g = GraphBuilder::new().finish();
+        let (labels, count) = weakly_connected_components(&g);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+
+        let mut b = GraphBuilder::new();
+        b.add_vertex("V");
+        b.add_vertex("V");
+        let g = b.finish();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn data_valuation_counts_downstream_consumers() {
+        // f0 read by j1 and j2 (via direct edges); f1 read by j2 only
+        let mut b = GraphBuilder::new();
+        let f0 = b.add_vertex("File");
+        let f1 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        let j2 = b.add_vertex("Job");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.add_edge(f0, j2, "IS_READ_BY");
+        b.add_edge(f1, j2, "IS_READ_BY");
+        let g = b.finish();
+        let vals = data_valuation(&g, "File", "Job", 4);
+        assert_eq!(vals[0], (f0, 2));
+        assert_eq!(vals[1], (f1, 1));
+    }
+
+    #[test]
+    fn data_valuation_transitive() {
+        // f0 -> j1 -> f1 -> j2: f0's value at 3 hops counts j1 and j2
+        let mut b = GraphBuilder::new();
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.add_edge(j1, f1, "WRITES_TO");
+        b.add_edge(f1, j2, "IS_READ_BY");
+        let g = b.finish();
+        let vals = data_valuation(&g, "File", "Job", 3);
+        assert_eq!(vals[0], (f0, 2));
+        // with a 1-hop budget only the direct reader counts
+        let vals1 = data_valuation(&g, "File", "Job", 1);
+        assert_eq!(vals1[0].1, 1);
+    }
+}

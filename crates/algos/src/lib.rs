@@ -1,0 +1,23 @@
+//! # kaskade-algos
+//!
+//! Graph algorithms backing the Kaskade evaluation workload (Table IV):
+//! bounded traversals (Q2/Q3), blast-radius aggregation (Q1), weighted
+//! path lengths (Q4), and label-propagation community detection (Q7/Q8).
+//! In the paper these run as Neo4j queries plus APOC UDFs; here they are
+//! direct algorithms over [`kaskade_graph::Graph`], used both by the
+//! examples and as the execution layer for the rewritten-query
+//! benchmarks.
+
+#![warn(missing_docs)]
+
+mod community;
+mod components;
+mod paths;
+mod traversal;
+
+pub use community::{community_sizes, label_propagation, largest_community, Communities};
+pub use components::{data_valuation, weakly_connected_components, UnionFind};
+pub use paths::{path_lengths, total_path_length, PathLength};
+pub use traversal::{
+    ancestors, blast_radius_sum, descendants, k_hop_neighborhood, Direction,
+};

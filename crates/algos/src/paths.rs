@@ -1,0 +1,121 @@
+//! Weighted path-length computation (query Q4 of Table IV).
+//!
+//! Q4 retrieves all vertices in a source vertex's forward k-hop
+//! neighborhood and, for each, aggregates (max) an edge property
+//! (timestamp) over the edges of the path used to reach it.
+
+use std::collections::VecDeque;
+
+use kaskade_graph::{Graph, VertexId};
+
+/// One Q4 result row: a reached vertex, its hop distance, and the
+/// maximum edge timestamp along the BFS discovery path to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLength {
+    /// Reached vertex.
+    pub vertex: VertexId,
+    /// Hop distance from the source.
+    pub hops: usize,
+    /// Maximum value of the edge property along the discovery path.
+    pub max_edge_ts: i64,
+}
+
+/// Computes Q4 from `src`: BFS to `max_hops`, tracking for each reached
+/// vertex the max of integer edge property `ts_prop` along its discovery
+/// path. Edges without the property contribute `i64::MIN` (i.e. are
+/// ignored by the max).
+pub fn path_lengths(g: &Graph, src: VertexId, max_hops: usize, ts_prop: &str) -> Vec<PathLength> {
+    let mut visited = vec![false; g.vertex_count()];
+    visited[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back((src, 0usize, i64::MIN));
+    let mut out = Vec::new();
+    while let Some((v, d, acc)) = queue.pop_front() {
+        if d == max_hops {
+            continue;
+        }
+        for (e, w) in g.out_edges(v) {
+            if visited[w.index()] {
+                continue;
+            }
+            visited[w.index()] = true;
+            let ts = g
+                .edge_prop(e, ts_prop)
+                .and_then(|p| p.as_int())
+                .unwrap_or(i64::MIN);
+            let new_acc = acc.max(ts);
+            out.push(PathLength {
+                vertex: w,
+                hops: d + 1,
+                max_edge_ts: new_acc,
+            });
+            queue.push_back((w, d + 1, new_acc));
+        }
+    }
+    out
+}
+
+/// Sum of hop distances over a Q4 result — the scalar the benchmark
+/// reports so the work cannot be optimized away.
+pub fn total_path_length(rows: &[PathLength]) -> usize {
+    rows.iter().map(|r| r.hops).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::{GraphBuilder, Value};
+
+    fn chain_with_ts(ts_values: &[i64]) -> (kaskade_graph::Graph, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let mut vs = vec![b.add_vertex("V")];
+        for &ts in ts_values {
+            let v = b.add_vertex("V");
+            let e = b.add_edge(*vs.last().unwrap(), v, "E");
+            b.set_edge_prop(e, "ts", Value::Int(ts));
+            vs.push(v);
+        }
+        (b.finish(), vs)
+    }
+
+    #[test]
+    fn max_ts_accumulates_along_path() {
+        let (g, vs) = chain_with_ts(&[5, 3, 9, 1]);
+        let rows = path_lengths(&g, vs[0], 10, "ts");
+        assert_eq!(rows.len(), 4);
+        let maxes: Vec<i64> = rows.iter().map(|r| r.max_edge_ts).collect();
+        assert_eq!(maxes, vec![5, 5, 9, 9]);
+    }
+
+    #[test]
+    fn hops_are_bfs_distances() {
+        let (g, vs) = chain_with_ts(&[1, 2, 3]);
+        let rows = path_lengths(&g, vs[0], 2, "ts");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].hops, 1);
+        assert_eq!(rows[1].hops, 2);
+        assert_eq!(total_path_length(&rows), 3);
+    }
+
+    #[test]
+    fn missing_ts_is_ignored_by_max() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("V");
+        let c = b.add_vertex("V");
+        let d = b.add_vertex("V");
+        b.add_edge(a, c, "E"); // no ts
+        let e2 = b.add_edge(c, d, "E");
+        b.set_edge_prop(e2, "ts", Value::Int(7));
+        let g = b.finish();
+        let rows = path_lengths(&g, a, 5, "ts");
+        assert_eq!(rows[0].max_edge_ts, i64::MIN);
+        assert_eq!(rows[1].max_edge_ts, 7);
+    }
+
+    #[test]
+    fn source_not_included() {
+        let (g, vs) = chain_with_ts(&[1]);
+        let rows = path_lengths(&g, vs[0], 3, "ts");
+        assert!(rows.iter().all(|r| r.vertex != vs[0]));
+    }
+}

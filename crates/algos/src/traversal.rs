@@ -1,0 +1,187 @@
+//! Bounded traversals: k-hop neighborhoods, ancestors and descendants.
+//!
+//! These are the primitives behind queries Q2 ("ancestors": backward
+//! lineage up to k hops) and Q3 ("descendants": forward lineage up to k
+//! hops) of the paper's workload (Table IV).
+
+use std::collections::VecDeque;
+
+use kaskade_graph::{Graph, VertexId};
+
+/// Traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (descendants / forward lineage).
+    Forward,
+    /// Follow in-edges (ancestors / backward lineage).
+    Backward,
+}
+
+/// Breadth-first search from `src` up to `max_hops`, following edges in
+/// the given direction. Returns `(vertex, hops)` pairs for every reached
+/// vertex (excluding `src` itself), in BFS order.
+pub fn k_hop_neighborhood(
+    g: &Graph,
+    src: VertexId,
+    max_hops: usize,
+    dir: Direction,
+) -> Vec<(VertexId, usize)> {
+    let mut visited = vec![false; g.vertex_count()];
+    visited[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back((src, 0usize));
+    let mut out = Vec::new();
+    while let Some((v, d)) = queue.pop_front() {
+        if d == max_hops {
+            continue;
+        }
+        let next: Box<dyn Iterator<Item = VertexId>> = match dir {
+            Direction::Forward => Box::new(g.out_neighbors(v)),
+            Direction::Backward => Box::new(g.in_neighbors(v)),
+        };
+        for w in next {
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                out.push((w, d + 1));
+                queue.push_back((w, d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Vertices reachable from `src` within `max_hops` forward hops
+/// (Q3, "descendants"). Excludes `src`.
+pub fn descendants(g: &Graph, src: VertexId, max_hops: usize) -> Vec<VertexId> {
+    k_hop_neighborhood(g, src, max_hops, Direction::Forward)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Vertices reaching `src` within `max_hops` backward hops
+/// (Q2, "ancestors"). Excludes `src`.
+pub fn ancestors(g: &Graph, src: VertexId, max_hops: usize) -> Vec<VertexId> {
+    k_hop_neighborhood(g, src, max_hops, Direction::Backward)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Sum of an integer vertex property over the descendants of `src` that
+/// have vertex type `target_type`, within `max_hops` hops — the
+/// "blast radius" aggregate of Q1 for a single source.
+pub fn blast_radius_sum(
+    g: &Graph,
+    src: VertexId,
+    max_hops: usize,
+    target_type: &str,
+    weight_prop: &str,
+) -> i64 {
+    descendants(g, src, max_hops)
+        .into_iter()
+        .filter(|&v| g.vertex_type(v) == target_type)
+        .filter_map(|v| g.vertex_prop(v, weight_prop).and_then(|p| p.as_int()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::{GraphBuilder, Value};
+
+    /// j0 -> f0 -> j1 -> f1 -> j2 (chain), plus j0 -> f2 -> j3
+    fn lineage_chain() -> (kaskade_graph::Graph, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        let f2 = b.add_vertex("File");
+        let j3 = b.add_vertex("Job");
+        for (v, cpu) in [(j0, 1), (j1, 10), (j2, 100), (j3, 1000)] {
+            b.set_vertex_prop(v, "CPU", Value::Int(cpu));
+        }
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.add_edge(j1, f1, "WRITES_TO");
+        b.add_edge(f1, j2, "IS_READ_BY");
+        b.add_edge(j0, f2, "WRITES_TO");
+        b.add_edge(f2, j3, "IS_READ_BY");
+        (b.finish(), vec![j0, f0, j1, f1, j2, f2, j3])
+    }
+
+    #[test]
+    fn descendants_respect_hop_cap() {
+        let (g, vs) = lineage_chain();
+        let j0 = vs[0];
+        assert_eq!(descendants(&g, j0, 1).len(), 2); // f0, f2
+        assert_eq!(descendants(&g, j0, 2).len(), 4); // + j1, j3
+        assert_eq!(descendants(&g, j0, 10).len(), 6); // all but j0
+    }
+
+    #[test]
+    fn ancestors_mirror_descendants() {
+        let (g, vs) = lineage_chain();
+        let j2 = vs[4];
+        let anc = ancestors(&g, j2, 10);
+        assert_eq!(anc.len(), 4); // f1, j1, f0, j0
+        assert_eq!(ancestors(&g, j2, 1), vec![vs[3]]); // f1 only
+    }
+
+    #[test]
+    fn neighborhood_reports_hop_counts() {
+        let (g, vs) = lineage_chain();
+        let hops = k_hop_neighborhood(&g, vs[0], 4, Direction::Forward);
+        for (v, d) in &hops {
+            match g.vertex_type(*v) {
+                "File" => assert!(d % 2 == 1, "files at odd hops"),
+                "Job" => assert!(d % 2 == 0, "jobs at even hops"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn blast_radius_sums_only_target_type() {
+        let (g, vs) = lineage_chain();
+        let j0 = vs[0];
+        // within 2 hops: jobs j1 (10) and j3 (1000)
+        assert_eq!(blast_radius_sum(&g, j0, 2, "Job", "CPU"), 1010);
+        // within 4 hops adds j2 (100)
+        assert_eq!(blast_radius_sum(&g, j0, 4, "Job", "CPU"), 1110);
+        // zero hops: nothing
+        assert_eq!(blast_radius_sum(&g, j0, 0, "Job", "CPU"), 0);
+    }
+
+    #[test]
+    fn bfs_visits_each_vertex_once_with_min_hops() {
+        // diamond: a->b, a->c, b->d, c->d; d must be at hop 2 once
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("V");
+        let v1 = b.add_vertex("V");
+        let v2 = b.add_vertex("V");
+        let d = b.add_vertex("V");
+        b.add_edge(a, v1, "E");
+        b.add_edge(a, v2, "E");
+        b.add_edge(v1, d, "E");
+        b.add_edge(v2, d, "E");
+        let g = b.finish();
+        let hops = k_hop_neighborhood(&g, a, 5, Direction::Forward);
+        assert_eq!(hops.len(), 3);
+        let d_entry = hops.iter().find(|(v, _)| *v == d).unwrap();
+        assert_eq!(d_entry.1, 2);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("V");
+        let c = b.add_vertex("V");
+        b.add_edge(a, c, "E");
+        b.add_edge(c, a, "E");
+        let g = b.finish();
+        assert_eq!(descendants(&g, a, 100), vec![c]);
+    }
+}

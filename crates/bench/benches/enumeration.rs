@@ -1,0 +1,40 @@
+//! Criterion bench for §IV / §VII-A: view-enumeration overhead.
+//!
+//! Measures (a) the end-to-end constraint-based enumeration for the
+//! blast-radius query — the paper reports this adds "a few
+//! milliseconds" to query time — and (b) the procedural Alg. 1 baseline
+//! at growing k, whose search space grows with `M^k` on cyclic schemas
+//! while the constrained enumeration stays flat (the ablation of the
+//! DESIGN.md design-choice list).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kaskade_core::{enumerate_views, procedural};
+use kaskade_datasets::Dataset;
+use kaskade_query::{listings::LISTING_1, parse};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let query = parse(LISTING_1).unwrap();
+    let prov_schema = Dataset::Prov.schema();
+    let dblp_schema = Dataset::Dblp.schema();
+
+    let mut group = c.benchmark_group("enumeration");
+    group.bench_function("constrained_prov_blast_radius", |b| {
+        b.iter(|| black_box(enumerate_views(&query, &prov_schema).unwrap()))
+    });
+    group.bench_function("constrained_dblp_blast_radius", |b| {
+        b.iter(|| black_box(enumerate_views(&query, &dblp_schema).unwrap()))
+    });
+    for k_max in [4, 6, 8, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("procedural_alg1_prov", k_max),
+            &k_max,
+            |b, &k| b.iter(|| black_box(procedural::search_space_size(&prov_schema, k))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

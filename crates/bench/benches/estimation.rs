@@ -1,0 +1,54 @@
+//! Criterion bench for Fig. 5: view-size estimation cost and the
+//! estimator-vs-actual comparison machinery.
+//!
+//! The estimators themselves are O(#types); what costs time is
+//! computing the *actual* connector size and the degree statistics.
+//! This bench times all three so the estimation-vs-materialization
+//! trade-off of §V-A is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kaskade_bench::setup::k_hop_pair_count;
+use kaskade_core::cost::{erdos_renyi_estimate, path_count_estimate};
+use kaskade_datasets::Dataset;
+use kaskade_graph::GraphStats;
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_estimation");
+    for dataset in [Dataset::Prov, Dataset::RoadnetUsa] {
+        let g = dataset.generate(1, 0x5EED).edge_prefix(10_000);
+        let schema = dataset.schema();
+        let stats = GraphStats::compute(&g);
+
+        group.bench_with_input(
+            BenchmarkId::new("stats_compute", dataset.short_name()),
+            &g,
+            |b, g| b.iter(|| black_box(GraphStats::compute(g))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("estimate_eq2_eq3", dataset.short_name()),
+            &stats,
+            |b, stats| {
+                b.iter(|| {
+                    black_box(path_count_estimate(stats, &schema, 2, 50));
+                    black_box(path_count_estimate(stats, &schema, 2, 95));
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("estimate_eq1_erdos_renyi", dataset.short_name()),
+            &g,
+            |b, g| b.iter(|| black_box(erdos_renyi_estimate(g.vertex_count(), g.edge_count(), 2))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("actual_2hop_pairs", dataset.short_name()),
+            &g,
+            |b, g| b.iter(|| black_box(k_hop_pair_count(g, 2))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

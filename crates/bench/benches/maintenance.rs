@@ -1,0 +1,53 @@
+//! Criterion bench for incremental view maintenance vs full
+//! re-materialization (the insert-only maintenance extension; see
+//! `kaskade-core::maintain`). The paper's provenance workload only ever
+//! appends, so this is the regime that matters operationally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kaskade_core::{
+    apply_delta, maintain_connector, materialize_connector, ConnectorDef, GraphDelta, VRef,
+};
+use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+use kaskade_graph::Value;
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(20);
+
+    for jobs in [1_000usize, 4_000] {
+        let base = generate_provenance(&ProvenanceConfig {
+            jobs,
+            ..Default::default()
+        });
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let view = materialize_connector(&base, &def);
+
+        // one appended job reading two recent files and writing one
+        let mut delta = GraphDelta::new();
+        let files: Vec<_> = base.vertices_of_type("File").collect();
+        let j = delta.add_vertex("Job", vec![("CPU".into(), Value::Int(9))]);
+        for f in files.iter().rev().take(2) {
+            delta.add_edge(VRef::Existing(*f), j, "IS_READ_BY", vec![]);
+        }
+        let nf = delta.add_vertex("File", vec![]);
+        delta.add_edge(j, nf, "WRITES_TO", vec![]);
+        let applied = apply_delta(&base, &delta);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", jobs),
+            &applied,
+            |b, applied| b.iter(|| black_box(maintain_connector(&view, applied, &def))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_rematerialize", jobs),
+            &applied,
+            |b, applied| b.iter(|| black_box(materialize_connector(&applied.graph, &def))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

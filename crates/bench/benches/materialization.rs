@@ -1,0 +1,72 @@
+//! Criterion bench for view creation cost (§V-A "view creation cost"
+//! and the Fig. 6 pipeline): summarizer and connector materialization
+//! per dataset, plus the knapsack-driven end-to-end selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kaskade_core::{
+    materialize_connector, materialize_summarizer, select_views, ConnectorDef, SelectionConfig,
+    SummarizerDef,
+};
+use kaskade_datasets::Dataset;
+use kaskade_graph::GraphStats;
+use kaskade_query::{listings::LISTING_1, parse};
+
+fn bench_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialization");
+    group.sample_size(10);
+
+    let prov = Dataset::Prov.generate(1, 0x5EED);
+    group.bench_function("summarizer_prov_keep_job_file", |b| {
+        b.iter(|| {
+            black_box(materialize_summarizer(
+                &prov,
+                &SummarizerDef::VertexInclusion {
+                    keep: vec!["Job".into(), "File".into()],
+                },
+            ))
+        })
+    });
+    let filtered = materialize_summarizer(
+        &prov,
+        &SummarizerDef::VertexInclusion {
+            keep: vec!["Job".into(), "File".into()],
+        },
+    );
+    group.bench_function("connector_prov_job_to_job_2hop", |b| {
+        b.iter(|| black_box(materialize_connector(&filtered, &ConnectorDef::k_hop("Job", "Job", 2))))
+    });
+
+    for dataset in [Dataset::RoadnetUsa, Dataset::SocLivejournal] {
+        let g = dataset.generate(1, 0x5EED);
+        let anchor = dataset.anchor_type();
+        group.bench_with_input(
+            BenchmarkId::new("connector_2hop", dataset.short_name()),
+            &g,
+            |b, g| {
+                b.iter(|| black_box(materialize_connector(g, &ConnectorDef::k_hop(anchor, anchor, 2))))
+            },
+        );
+    }
+
+    // end-to-end §V-B selection (enumeration + scoring + knapsack)
+    let stats = GraphStats::compute(&filtered);
+    let schema = kaskade_graph::Schema::provenance();
+    let workload = vec![parse(LISTING_1).unwrap()];
+    group.bench_function("view_selection_prov_blast_radius", |b| {
+        b.iter(|| {
+            black_box(select_views(
+                &filtered,
+                &stats,
+                &schema,
+                &workload,
+                &SelectionConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_materialization);
+criterion_main!(benches);

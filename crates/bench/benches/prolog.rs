@@ -1,0 +1,52 @@
+//! Criterion bench for the embedded Prolog engine itself: unification-
+//! heavy recursion, findall aggregation, and the paper's constraint
+//! mining rules — the inference substrate everything in §IV runs on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kaskade_prolog::Database;
+
+fn bench_prolog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prolog");
+
+    // naive reverse: quadratic append/member churn, a classic stress
+    let mut db = Database::with_prelude();
+    db.consult(
+        "nrev([], []).
+         nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).",
+    )
+    .unwrap();
+    let list: Vec<String> = (0..30).map(|i| i.to_string()).collect();
+    let q = format!("nrev([{}], R)", list.join(","));
+    group.bench_function("nrev_30", |b| b.iter(|| black_box(db.query(&q).unwrap())));
+
+    // findall over a combinatorial space
+    let mut db2 = Database::with_prelude();
+    db2.consult("val(X) :- between(1, 25, X).").unwrap();
+    group.bench_function("findall_pairs_625", |b| {
+        b.iter(|| {
+            black_box(
+                db2.query("findall(p(X,Y), (val(X), val(Y)), L), length(L, N)")
+                    .unwrap(),
+            )
+        })
+    });
+
+    // the paper's schema mining rule on a 5-type schema
+    let mut db3 = Database::with_prelude();
+    db3.consult(kaskade_core::SCHEMA_MINING_RULES).unwrap();
+    db3.consult(
+        "schemaEdge('Job','File','W'). schemaEdge('File','Job','R').
+         schemaEdge('Job','Task','S'). schemaEdge('Task','Machine','M').
+         schemaEdge('Task','Task','T'). schemaEdge('User','Job','U').",
+    )
+    .unwrap();
+    group.bench_function("schema_k_hop_walk_k10", |b| {
+        b.iter(|| black_box(db3.query("schemaKHopWalk('Job','Job',10)").unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prolog);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for Fig. 7: the Table IV query workload over the
+//! filter graph vs the 2-hop connector view, per dataset.
+//!
+//! This is the headline experiment: on heterogeneous networks every
+//! query should be faster over the connector (Q7/Q8 by the largest
+//! factor, Q2/Q3 by the smallest); on the homogeneous power-law network
+//! (soc-livejournal) the connector is larger than the input and the
+//! rewriting loses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kaskade_bench::setup::Env;
+use kaskade_bench::workload::{run, QueryId};
+use kaskade_datasets::Dataset;
+
+fn bench_queries(c: &mut Criterion) {
+    // A reduced-size environment keeps the full matrix within a sane
+    // bench wall time; relative shapes are unchanged.
+    for dataset in [Dataset::Prov, Dataset::Dblp] {
+        let env = Env::prepare(dataset, 1, 0x5EED);
+        let mut group = c.benchmark_group(format!("fig7_{}", dataset.short_name()));
+        group.sample_size(10);
+        for q in QueryId::ALL {
+            if !q.applies_to(dataset) {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(q.name(), "filter"), &env, |b, env| {
+                b.iter(|| black_box(run(env, q, false)))
+            });
+            group.bench_with_input(BenchmarkId::new(q.name(), "connector"), &env, |b, env| {
+                b.iter(|| black_box(run(env, q, true)))
+            });
+        }
+        group.finish();
+    }
+
+    // Homogeneous datasets: a representative subset (the crossover case).
+    for dataset in [Dataset::RoadnetUsa, Dataset::SocLivejournal] {
+        let env = Env::prepare(dataset, 1, 0x5EED);
+        let mut group = c.benchmark_group(format!("fig7_{}", dataset.short_name()));
+        group.sample_size(10);
+        for q in [QueryId::Q2, QueryId::Q4, QueryId::Q7] {
+            group.bench_with_input(BenchmarkId::new(q.name(), "raw"), &env, |b, env| {
+                b.iter(|| black_box(run(env, q, false)))
+            });
+            group.bench_with_input(BenchmarkId::new(q.name(), "connector"), &env, |b, env| {
+                b.iter(|| black_box(run(env, q, true)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

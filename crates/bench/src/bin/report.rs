@@ -1,0 +1,293 @@
+//! The experiment report generator: prints every table and figure of
+//! the paper's evaluation from the reproduced system.
+//!
+//! ```text
+//! report [experiment] [dataset]
+//!
+//! experiments: table1 table2 table3 table4 fig3 fig5 fig6 fig7 fig8 enum all
+//! datasets:    prov dblp roadnet-usa soc-livejournal (default: all applicable)
+//! ```
+
+use std::env;
+
+use kaskade_bench::experiments::{
+    enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, table3,
+};
+use kaskade_bench::setup::Env;
+use kaskade_bench::workload::QueryId;
+use kaskade_core::{materialize_connector, ConnectorDef};
+use kaskade_datasets::Dataset;
+use kaskade_graph::{GraphBuilder, Value};
+
+const SEED: u64 = 0x5EED;
+const SCALE: usize = 1;
+
+fn parse_dataset(s: &str) -> Option<Dataset> {
+    Dataset::ALL.into_iter().find(|d| d.short_name() == s)
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let dataset = args.get(1).and_then(|s| parse_dataset(s));
+
+    match what {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => print_table3(),
+        "table4" => table4(),
+        "fig3" => fig3(),
+        "fig5" => print_fig5(dataset),
+        "fig6" => print_fig6(dataset),
+        "fig7" => print_fig7(dataset),
+        "fig8" => print_fig8(dataset),
+        "enum" => print_enum(),
+        "all" => {
+            table1();
+            table2();
+            print_table3();
+            table4();
+            fig3();
+            print_fig5(None);
+            print_fig6(None);
+            print_fig7(None);
+            print_fig8(None);
+            print_enum();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|all] [dataset]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1() {
+    header("TABLE I: Connectors in Kaskade");
+    for (name, desc) in [
+        (
+            "Same-vertex-type connector",
+            "Target vertices are all pairs of vertices with a specific vertex type.",
+        ),
+        (
+            "k-hop connector",
+            "Target vertices are all vertex pairs that are connected through k-length paths.",
+        ),
+        (
+            "Same-edge-type connector",
+            "Target vertices are all pairs of vertices connected with a path of edges of a specific edge type.",
+        ),
+        (
+            "Source-to-sink connector",
+            "Target vertices are (source, sink) pairs: no incoming resp. no outgoing edges.",
+        ),
+    ] {
+        println!("  {name:<28} {desc}");
+    }
+    // demonstrate a materialized instance of the workhorse connector
+    let env = Env::prepare(Dataset::Prov, SCALE, SEED);
+    println!(
+        "\n  materialized example: {} over prov — {} vertices, {} edges",
+        env.connector_label,
+        env.connector.vertex_count(),
+        env.connector.edge_count()
+    );
+}
+
+fn table2() {
+    header("TABLE II: Summarizers in Kaskade");
+    for (name, desc) in [
+        ("Vertex-removal summarizer", "Removes vertices (and incident edges) matching a predicate."),
+        ("Edge-removal summarizer", "Removes edges matching a predicate."),
+        ("Vertex-inclusion summarizer", "Keeps vertices matching the predicate and edges between them."),
+        ("Edge-inclusion summarizer", "Keeps only edges matching a predicate."),
+        ("Vertex-aggregator summarizer", "Groups matching vertices into a supervertex with an aggregate."),
+        ("Edge-aggregator summarizer", "Groups matching edges into a superedge with an aggregate."),
+        ("Subgraph-aggregator summarizer", "Groups a matching subgraph into a supervertex."),
+    ] {
+        println!("  {name:<32} {desc}");
+    }
+}
+
+fn print_table3() {
+    header("TABLE III: Networks used for evaluation (generated, seeded)");
+    println!(
+        "  {:<18} {:>14} {:>10} {:>10} {:>7} {:>6}",
+        "short name", "type", "|V|", "|E|", "vtypes", "etypes"
+    );
+    for r in table3(SCALE, SEED) {
+        println!(
+            "  {:<18} {:>14} {:>10} {:>10} {:>7} {:>6}",
+            r.name, r.kind, r.vertices, r.edges, r.vertex_types, r.edge_types
+        );
+    }
+}
+
+fn table4() {
+    header("TABLE IV: Query workload");
+    for q in QueryId::ALL {
+        println!("  {:<4} {}", q.name(), q.description());
+    }
+}
+
+fn fig3() {
+    header("FIG 3: 2-hop connector construction over the toy lineage graph");
+    // the exact graph of Fig. 3(a)
+    let mut b = GraphBuilder::new();
+    let names = ["j1", "f1", "j2", "f2", "j3", "f3", "f4"];
+    let types = ["Job", "File", "Job", "File", "Job", "File", "File"];
+    let vs: Vec<_> = names
+        .iter()
+        .zip(types)
+        .map(|(n, t)| {
+            let v = b.add_vertex(t);
+            b.set_vertex_prop(v, "name", Value::Str(n.to_string()));
+            v
+        })
+        .collect();
+    for (s, d, t) in [
+        (0, 1, "WRITES_TO"),
+        (1, 2, "IS_READ_BY"),
+        (0, 3, "WRITES_TO"),
+        (3, 4, "IS_READ_BY"),
+        (2, 5, "WRITES_TO"),
+        (4, 6, "WRITES_TO"),
+    ] {
+        b.add_edge(vs[s], vs[d], t);
+    }
+    let g = b.finish();
+    println!("  input graph (a): {} vertices, {} edges", g.vertex_count(), g.edge_count());
+    for (src, dst, panel) in [("Job", "Job", "(c) job-to-job"), ("File", "File", "(d) file-to-file")] {
+        let view = materialize_connector(&g, &ConnectorDef::k_hop(src, dst, 2));
+        print!("  2-hop connector {panel}: ");
+        let mut edges: Vec<String> = view
+            .edges()
+            .map(|e| {
+                let n = |v| {
+                    view.vertex_prop(v, "name")
+                        .map(|p| p.to_string())
+                        .unwrap_or_default()
+                };
+                format!("{}->{}", n(view.edge_src(e)), n(view.edge_dst(e)))
+            })
+            .collect();
+        edges.sort();
+        println!("{}", edges.join(", "));
+    }
+}
+
+fn datasets_or(dataset: Option<Dataset>) -> Vec<Dataset> {
+    dataset.map(|d| vec![d]).unwrap_or_else(|| Dataset::ALL.to_vec())
+}
+
+fn print_fig5(dataset: Option<Dataset>) {
+    header("FIG 5: estimated vs actual 2-hop connector sizes (edge prefixes)");
+    let prefixes = [1_000, 3_000, 10_000, 30_000, 100_000];
+    for d in datasets_or(dataset) {
+        println!("\n  {}", d.short_name());
+        println!(
+            "    {:>12} {:>14} {:>14} {:>14} {:>12}",
+            "graph edges", "est(a=50)", "est(a=95)", "Erdos-Renyi", "actual"
+        );
+        let rows = fig5(d, SCALE, SEED, &prefixes);
+        for r in &rows {
+            println!(
+                "    {:>12} {:>14.0} {:>14.0} {:>14.2} {:>12}",
+                r.graph_edges, r.est_alpha50, r.est_alpha95, r.est_erdos_renyi, r.actual
+            );
+        }
+        println!(
+            "    alpha=95 upper-bound hit rate: {:.0}%",
+            100.0 * fig5_upper_bound_hit_rate(&rows)
+        );
+    }
+}
+
+fn print_fig6(dataset: Option<Dataset>) {
+    header("FIG 6: effective size reduction (raw -> filter -> connector)");
+    let targets = dataset
+        .map(|d| vec![d])
+        .unwrap_or_else(|| vec![Dataset::Prov, Dataset::Dblp]);
+    for d in targets {
+        if !d.is_heterogeneous() {
+            continue; // Fig. 6 covers the heterogeneous networks
+        }
+        let env = Env::prepare(d, SCALE, SEED);
+        println!("\n  {}", d.short_name());
+        println!("    {:<11} {:>10} {:>10}", "stage", "vertices", "edges");
+        for r in fig6(&env) {
+            println!("    {:<11} {:>10} {:>10}", r.stage, r.vertices, r.edges);
+        }
+    }
+}
+
+fn print_fig7(dataset: Option<Dataset>) {
+    header("FIG 7: query runtimes, filter graph vs 2-hop connector view");
+    for d in datasets_or(dataset) {
+        let env = Env::prepare(d, SCALE, SEED);
+        let base_label = if d.is_heterogeneous() { "filter" } else { "raw" };
+        println!(
+            "\n  {} (connector: {} edges vs {} {} edges)",
+            d.short_name(),
+            env.connector.edge_count(),
+            base_label,
+            env.filtered.edge_count()
+        );
+        println!(
+            "    {:<4} {:>14} {:>14} {:>9}",
+            "query",
+            format!("{base_label} (s)"),
+            "connector (s)",
+            "speedup"
+        );
+        for r in fig7(&env, 3) {
+            println!(
+                "    {:<4} {:>14.4} {:>14.4} {:>8.1}x",
+                r.query, r.filter_secs, r.connector_secs, r.speedup
+            );
+        }
+    }
+}
+
+fn print_fig8(dataset: Option<Dataset>) {
+    header("FIG 8: out-degree CCDF (log-log) and power-law fit");
+    for d in datasets_or(dataset) {
+        let data = fig8(d, SCALE, SEED);
+        println!("\n  {}", d.short_name());
+        match data.exponent {
+            Some(e) => println!("    best-fit power-law exponent: {e:.2}"),
+            None => println!("    (degenerate distribution, no fit)"),
+        }
+        println!("    {:>8} {:>10}", "degree", "freq>x");
+        // sample up to 12 points evenly for readability
+        let n = data.ccdf.len();
+        let step = n.div_ceil(12).max(1);
+        for (deg, count) in data.ccdf.iter().step_by(step) {
+            println!("    {deg:>8} {count:>10}");
+        }
+    }
+}
+
+fn print_enum() {
+    header("SECTION IV: constraint-based vs procedural view enumeration");
+    for k_max in [4, 6, 8, 10] {
+        let a = enumeration_ablation(Dataset::Prov, k_max);
+        println!(
+            "  k_max={:<3} constrained: {:>3} candidates, {:>8} steps, {:>8.3} ms | procedural Alg.1: {:>8} schema paths, {:>8.3} ms",
+            a.k_max,
+            a.constrained_candidates,
+            a.constrained_steps,
+            a.constrained_secs * 1e3,
+            a.procedural_paths,
+            a.procedural_secs * 1e3,
+        );
+    }
+    println!("\n  (the constrained candidate count stays flat while the procedural");
+    println!("   schema-path space grows with k_max — the §IV pruning argument)");
+}

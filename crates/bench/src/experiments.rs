@@ -1,0 +1,346 @@
+//! Experiment drivers: one function per table/figure of the paper's
+//! evaluation (§VII). Each returns plain data rows; the `report` binary
+//! formats them, and the Criterion benches time the hot paths.
+
+use std::time::Instant;
+
+use kaskade_core::{
+    cost::{erdos_renyi_estimate, path_count_estimate},
+    enumerate_views, procedural,
+};
+use kaskade_datasets::Dataset;
+use kaskade_graph::{degree_ccdf, power_law_exponent, GraphStats};
+use kaskade_query::parse;
+
+use crate::setup::{k_hop_pair_count, Env};
+use crate::workload::{run, QueryId};
+
+/// One point of the Fig. 5 size-estimation experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// Number of edges in the graph prefix.
+    pub graph_edges: usize,
+    /// Eq. (2)/(3) estimate with α = 50.
+    pub est_alpha50: f64,
+    /// Eq. (2)/(3) estimate with α = 95.
+    pub est_alpha95: f64,
+    /// Eq. (1) Erdős–Rényi baseline.
+    pub est_erdos_renyi: f64,
+    /// Actual 2-hop connector edges (distinct vertex pairs).
+    pub actual: usize,
+}
+
+/// Fig. 5: estimated vs. actual 2-hop connector sizes over edge
+/// prefixes of `dataset`.
+pub fn fig5(dataset: Dataset, scale: usize, seed: u64, prefixes: &[usize]) -> Vec<Fig5Row> {
+    let full = dataset.generate(scale, seed);
+    let schema = dataset.schema();
+    let mut rows = Vec::new();
+    for &m in prefixes {
+        if m > full.edge_count() {
+            continue;
+        }
+        let g = full.edge_prefix(m);
+        let stats = GraphStats::compute(&g);
+        rows.push(Fig5Row {
+            graph_edges: g.edge_count(),
+            est_alpha50: path_count_estimate(&stats, &schema, 2, 50),
+            est_alpha95: path_count_estimate(&stats, &schema, 2, 95),
+            est_erdos_renyi: erdos_renyi_estimate(g.vertex_count(), g.edge_count(), 2),
+            actual: k_hop_pair_count(&g, 2),
+        });
+    }
+    rows
+}
+
+/// One bar group of Fig. 6: graph sizes at each view stage.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Stage name: "raw", "filter", or "connector".
+    pub stage: &'static str,
+    /// Vertices at this stage.
+    pub vertices: usize,
+    /// Edges at this stage.
+    pub edges: usize,
+}
+
+/// Fig. 6: effective size reduction raw → summarizer → connector.
+pub fn fig6(env: &Env) -> Vec<Fig6Row> {
+    vec![
+        Fig6Row {
+            stage: "raw",
+            vertices: env.raw.vertex_count(),
+            edges: env.raw.edge_count(),
+        },
+        Fig6Row {
+            stage: "filter",
+            vertices: env.filtered.vertex_count(),
+            edges: env.filtered.edge_count(),
+        },
+        Fig6Row {
+            stage: "connector",
+            vertices: env.connector.vertex_count(),
+            edges: env.connector.edge_count(),
+        },
+    ]
+}
+
+/// One bar pair of Fig. 7: per-query runtimes on both graph variants.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Query name ("q1".."q8").
+    pub query: &'static str,
+    /// Runtime over the filter graph (raw graph for homogeneous
+    /// datasets), in seconds.
+    pub filter_secs: f64,
+    /// Runtime of the rewritten query over the connector view, in
+    /// seconds.
+    pub connector_secs: f64,
+    /// filter/connector speedup (>1 means the view wins).
+    pub speedup: f64,
+}
+
+/// Fig. 7: total query runtimes, filter vs connector, averaged over
+/// `reps` runs.
+pub fn fig7(env: &Env, reps: usize) -> Vec<Fig7Row> {
+    let reps = reps.max(1);
+    let mut rows = Vec::new();
+    for q in QueryId::ALL {
+        if !q.applies_to(env.dataset) {
+            continue;
+        }
+        let time = |on_connector: bool| -> f64 {
+            let start = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(run(env, q, on_connector));
+            }
+            start.elapsed().as_secs_f64() / reps as f64
+        };
+        let filter_secs = time(false);
+        let connector_secs = time(true);
+        rows.push(Fig7Row {
+            query: q.name(),
+            filter_secs,
+            connector_secs,
+            speedup: filter_secs / connector_secs.max(1e-12),
+        });
+    }
+    rows
+}
+
+/// Fig. 8 data: CCDF points and the fitted power-law exponent.
+#[derive(Debug, Clone)]
+pub struct Fig8Data {
+    /// `(degree, count of vertices with degree > x)` points.
+    pub ccdf: Vec<(usize, usize)>,
+    /// Best-fit power-law exponent (log-log linear fit), if defined.
+    pub exponent: Option<f64>,
+}
+
+/// Fig. 8: out-degree CCDF and power-law fit of a dataset's raw graph.
+pub fn fig8(dataset: Dataset, scale: usize, seed: u64) -> Fig8Data {
+    let g = dataset.generate(scale, seed);
+    let ccdf = degree_ccdf(&g);
+    let exponent = power_law_exponent(&ccdf);
+    Fig8Data {
+        ccdf: ccdf.iter().map(|p| (p.degree, p.count)).collect(),
+        exponent,
+    }
+}
+
+/// Result of the §IV enumeration ablation: constraint-based
+/// (declarative, query-constraint-injected) vs procedural Alg. 1
+/// (schema-only).
+#[derive(Debug, Clone)]
+pub struct EnumerationAblation {
+    /// Candidates the constraint-based enumeration produced.
+    pub constrained_candidates: usize,
+    /// Inference steps it took.
+    pub constrained_steps: u64,
+    /// Wall time of constraint-based enumeration (seconds) — the
+    /// "few milliseconds" overhead of §VII-A.
+    pub constrained_secs: f64,
+    /// Schema k-hop paths the unconstrained Alg. 1 enumerates up to
+    /// `k_max` (the baseline search-space size).
+    pub procedural_paths: usize,
+    /// Wall time of the procedural enumeration (seconds).
+    pub procedural_secs: f64,
+    /// Upper hop bound used.
+    pub k_max: usize,
+}
+
+/// Runs the enumeration ablation for the blast-radius query on a
+/// dataset's schema.
+pub fn enumeration_ablation(dataset: Dataset, k_max: usize) -> EnumerationAblation {
+    let schema = dataset.schema();
+    let query = parse(kaskade_query::listings::LISTING_1).expect("listing parses");
+
+    let start = Instant::now();
+    let e = enumerate_views(&query, &schema).expect("enumeration succeeds");
+    let constrained_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let procedural_paths = procedural::search_space_size(&schema, k_max);
+    let procedural_secs = start.elapsed().as_secs_f64();
+
+    EnumerationAblation {
+        constrained_candidates: e.candidates.len(),
+        constrained_steps: e.inference_steps,
+        constrained_secs,
+        procedural_paths,
+        procedural_secs,
+        k_max,
+    }
+}
+
+/// One Table III row: dataset inventory.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Dataset short name.
+    pub name: &'static str,
+    /// "heterogeneous" / "homogeneous".
+    pub kind: &'static str,
+    /// Raw vertex count.
+    pub vertices: usize,
+    /// Raw edge count.
+    pub edges: usize,
+    /// Distinct vertex types.
+    pub vertex_types: usize,
+    /// Distinct edge types.
+    pub edge_types: usize,
+}
+
+/// Table III: generated dataset inventory at the given scale.
+pub fn table3(scale: usize, seed: u64) -> Vec<Table3Row> {
+    Dataset::ALL
+        .iter()
+        .map(|&d| {
+            let g = d.generate(scale, seed);
+            Table3Row {
+                name: d.short_name(),
+                kind: if d.is_heterogeneous() {
+                    "heterogeneous"
+                } else {
+                    "homogeneous"
+                },
+                vertices: g.vertex_count(),
+                edges: g.edge_count(),
+                vertex_types: g.vertex_type_counts().len(),
+                edge_types: g.edge_type_counts().len(),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 5 estimator accuracy summary used by EXPERIMENTS.md: how many
+/// prefixes have `actual <= est_alpha95` (the paper's claim that α=95
+/// upper-bounds most real graphs).
+pub fn fig5_upper_bound_hit_rate(rows: &[Fig5Row]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let hits = rows
+        .iter()
+        .filter(|r| (r.actual as f64) <= r.est_alpha95)
+        .count();
+    hits as f64 / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_rows_monotone_prefixes() {
+        let rows = fig5(Dataset::Prov, 1, 31, &[500, 2_000, 8_000]);
+        assert!(!rows.is_empty());
+        for w in rows.windows(2) {
+            assert!(w[0].graph_edges <= w[1].graph_edges);
+        }
+        for r in &rows {
+            assert!(r.est_alpha50 <= r.est_alpha95);
+            assert!(r.est_alpha95 >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig5_er_underestimates_on_powerlaw() {
+        let rows = fig5(Dataset::SocLivejournal, 1, 32, &[5_000]);
+        let r = rows[0];
+        assert!(
+            r.est_erdos_renyi < r.actual as f64,
+            "er={} actual={}",
+            r.est_erdos_renyi,
+            r.actual
+        );
+    }
+
+    #[test]
+    fn fig6_stages_shrink_on_prov() {
+        let env = Env::prepare(Dataset::Prov, 1, 33);
+        let rows = fig6(&env);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].vertices > rows[1].vertices, "summarizer shrinks");
+        assert!(rows[1].vertices > rows[2].vertices, "connector shrinks");
+    }
+
+    #[test]
+    fn fig7_produces_rows_for_applicable_queries() {
+        let env = Env::prepare(Dataset::Dblp, 1, 34);
+        let rows = fig7(&env, 1);
+        // q1 excluded for dblp → 7 rows
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.filter_secs >= 0.0 && r.connector_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig8_powerlaw_fit_negative_for_social() {
+        let d = fig8(Dataset::SocLivejournal, 1, 35);
+        assert!(d.exponent.unwrap() < 0.0);
+        assert!(!d.ccdf.is_empty());
+    }
+
+    #[test]
+    fn ablation_shows_search_space_reduction() {
+        let a = enumeration_ablation(Dataset::Prov, 10);
+        // constraint-based enumeration yields a handful of candidates;
+        // the procedural schema-path space is much larger
+        assert!(a.constrained_candidates > 0);
+        assert!(a.procedural_paths > a.constrained_candidates);
+        assert!(a.constrained_steps > 0);
+    }
+
+    #[test]
+    fn table3_covers_all_datasets() {
+        let rows = table3(1, 36);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.name == "prov" && r.vertex_types == 5));
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "roadnet-usa" && r.kind == "homogeneous"));
+    }
+
+    #[test]
+    fn upper_bound_hit_rate() {
+        let rows = vec![
+            Fig5Row {
+                graph_edges: 10,
+                est_alpha50: 1.0,
+                est_alpha95: 100.0,
+                est_erdos_renyi: 0.1,
+                actual: 50,
+            },
+            Fig5Row {
+                graph_edges: 10,
+                est_alpha50: 1.0,
+                est_alpha95: 10.0,
+                est_erdos_renyi: 0.1,
+                actual: 50,
+            },
+        ];
+        assert_eq!(fig5_upper_bound_hit_rate(&rows), 0.5);
+        assert_eq!(fig5_upper_bound_hit_rate(&[]), 0.0);
+    }
+}

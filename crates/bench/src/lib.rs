@@ -1,0 +1,16 @@
+//! # kaskade-bench
+//!
+//! The benchmark harness of the Kaskade reproduction: experiment
+//! drivers that regenerate every table and figure of the paper's
+//! evaluation (§VII), shared setup (dataset → summarizer → connector
+//! pipeline), and the Table IV query workload.
+//!
+//! Run `cargo run -p kaskade-bench --release --bin report` for the full
+//! report, or `report fig7 prov` for a single experiment. Criterion
+//! micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setup;
+pub mod workload;

@@ -1,0 +1,132 @@
+//! Shared experiment setup: datasets, summarized graphs, connector
+//! views — the three graph stages of the paper's evaluation (§VII-B):
+//! raw → filter (schema-level summarizer) → connector.
+
+use kaskade_core::{materialize_connector, materialize_summarizer, ConnectorDef, SummarizerDef};
+use kaskade_datasets::Dataset;
+use kaskade_graph::Graph;
+
+/// A prepared evaluation environment for one dataset.
+pub struct Env {
+    /// Which dataset this is.
+    pub dataset: Dataset,
+    /// The raw generated graph (heterogeneous datasets include the
+    /// periphery the summarizer later removes).
+    pub raw: Graph,
+    /// The summarized ("filter") graph queries run on: for prov/dblp a
+    /// schema-level vertex-inclusion summarizer; for homogeneous
+    /// datasets the raw graph itself (§VII-B).
+    pub filtered: Graph,
+    /// The 2-hop anchor-to-anchor connector view over `filtered`
+    /// (job-to-job, author-to-author, or vertex-to-vertex).
+    pub connector: Graph,
+    /// The connector's edge-type label.
+    pub connector_label: String,
+}
+
+impl Env {
+    /// Generates and prepares all three graph stages.
+    pub fn prepare(dataset: Dataset, scale: usize, seed: u64) -> Env {
+        let raw = dataset.generate(scale, seed);
+        let filtered = match dataset {
+            Dataset::Prov => materialize_summarizer(
+                &raw,
+                &SummarizerDef::VertexInclusion {
+                    keep: vec!["Job".into(), "File".into()],
+                },
+            ),
+            Dataset::Dblp => materialize_summarizer(
+                &raw,
+                &SummarizerDef::VertexInclusion {
+                    keep: vec!["Author".into(), "Publication".into()],
+                },
+            ),
+            _ => raw.clone(),
+        };
+        let anchor = dataset.anchor_type();
+        let def = ConnectorDef::k_hop(anchor, anchor, 2);
+        let connector = materialize_connector(&filtered, &def);
+        Env {
+            dataset,
+            raw,
+            filtered,
+            connector,
+            connector_label: def.edge_label(),
+        }
+    }
+}
+
+/// Total number of distinct ordered vertex pairs `(u, v)` connected by a
+/// directed walk of exactly `k` edges — the size of the vertex-to-vertex
+/// k-hop connector, used as the "actual" series of Fig. 5.
+pub fn k_hop_pair_count(g: &Graph, k: usize) -> usize {
+    use std::collections::HashSet;
+    let mut total = 0usize;
+    for u in g.vertices() {
+        let mut frontier: HashSet<_> = HashSet::new();
+        frontier.insert(u);
+        for _ in 0..k {
+            let mut next = HashSet::new();
+            for &v in &frontier {
+                for w in g.out_neighbors(v) {
+                    next.insert(w);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        total += frontier.len();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::GraphBuilder;
+
+    #[test]
+    fn env_prepares_all_stages() {
+        let env = Env::prepare(Dataset::Prov, 1, 11);
+        assert!(env.raw.vertex_count() > env.filtered.vertex_count());
+        assert!(env.connector.edge_count() > 0);
+        assert_eq!(env.connector_label, "JOB_TO_JOB_2_HOP");
+        // connector graph has only Job vertices
+        assert!(env
+            .connector
+            .vertices()
+            .all(|v| env.connector.vertex_type(v) == "Job"));
+    }
+
+    #[test]
+    fn homogeneous_env_filter_is_raw() {
+        let env = Env::prepare(Dataset::RoadnetUsa, 1, 12);
+        assert_eq!(env.raw.edge_count(), env.filtered.edge_count());
+        assert_eq!(env.connector_label, "INTERSECTION_TO_INTERSECTION_2_HOP");
+    }
+
+    #[test]
+    fn k_hop_pair_count_chain() {
+        // a->b->c->d: 2-hop pairs: (a,c), (b,d)
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..4).map(|_| b.add_vertex("V")).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], "E");
+        }
+        let g = b.finish();
+        assert_eq!(k_hop_pair_count(&g, 2), 2);
+        assert_eq!(k_hop_pair_count(&g, 3), 1);
+        assert_eq!(k_hop_pair_count(&g, 1), 3);
+        assert_eq!(k_hop_pair_count(&g, 4), 0);
+    }
+
+    #[test]
+    fn pair_count_matches_connector_materialization() {
+        let env = Env::prepare(Dataset::Prov, 1, 13);
+        // vertex-to-vertex pairs ≥ job-to-job connector edges
+        let pairs = k_hop_pair_count(&env.filtered, 2);
+        assert!(pairs >= env.connector.edge_count());
+    }
+}

@@ -1,0 +1,294 @@
+//! The evaluation query workload Q1–Q8 (Table IV of the paper).
+//!
+//! Each query runs in two variants: over the filtered ("filter") graph
+//! and — rewritten — over the 2-hop connector view, exactly as §VII-C
+//! describes: Q1–Q4 traverse half the hops on the connector, Q7/Q8 run
+//! about half as many label-propagation passes, Q5/Q6 are unchanged.
+
+use kaskade_algos::{
+    ancestors, community_sizes, descendants, label_propagation, largest_community, path_lengths,
+    total_path_length,
+};
+use kaskade_graph::{Graph, VertexId};
+use kaskade_query::{execute, listings, parse, Datum};
+
+use crate::setup::Env;
+
+/// The eight workload queries of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    /// Job blast radius (subgraph retrieval + aggregation).
+    Q1,
+    /// Ancestors: backward lineage up to 4 hops, all anchor vertices.
+    Q2,
+    /// Descendants: forward lineage up to 4 hops, all anchor vertices.
+    Q3,
+    /// Path lengths: max-timestamp aggregation over 4-hop neighborhoods.
+    Q4,
+    /// Edge count.
+    Q5,
+    /// Vertex count.
+    Q6,
+    /// Community detection: 25 passes of label propagation.
+    Q7,
+    /// Largest community by anchor-type population.
+    Q8,
+}
+
+impl QueryId {
+    /// All queries in Table IV order.
+    pub const ALL: [QueryId; 8] = [
+        QueryId::Q1,
+        QueryId::Q2,
+        QueryId::Q3,
+        QueryId::Q4,
+        QueryId::Q5,
+        QueryId::Q6,
+        QueryId::Q7,
+        QueryId::Q8,
+    ];
+
+    /// Short name ("q1"..."q8").
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "q1",
+            QueryId::Q2 => "q2",
+            QueryId::Q3 => "q3",
+            QueryId::Q4 => "q4",
+            QueryId::Q5 => "q5",
+            QueryId::Q6 => "q6",
+            QueryId::Q7 => "q7",
+            QueryId::Q8 => "q8",
+        }
+    }
+
+    /// Table IV descriptions.
+    pub fn description(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Job Blast Radius (Retrieval, Subgraph)",
+            QueryId::Q2 => "Ancestors (Retrieval, Set of vertices)",
+            QueryId::Q3 => "Descendants (Retrieval, Set of vertices)",
+            QueryId::Q4 => "Path lengths (Retrieval, Bag of scalars)",
+            QueryId::Q5 => "Edge Count (Retrieval, Single scalar)",
+            QueryId::Q6 => "Vertex Count (Retrieval, Single scalar)",
+            QueryId::Q7 => "Community Detection (Update, N/A)",
+            QueryId::Q8 => "Largest Community (Retrieval, Subgraph)",
+        }
+    }
+
+    /// Whether this query applies to the given dataset (Q1 needs job
+    /// CPU/pipeline properties, so it is prov-only — Fig. 7 likewise
+    /// only shows q1 for prov).
+    pub fn applies_to(self, dataset: kaskade_datasets::Dataset) -> bool {
+        self != QueryId::Q1 || dataset == kaskade_datasets::Dataset::Prov
+    }
+}
+
+/// The outcome of one query run: a scalar digest of the result (so
+/// benchmarks can validate filter-vs-connector agreement) plus the
+/// result cardinality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOutput {
+    /// Scalar digest (query-specific; documented per query).
+    pub value: f64,
+    /// Number of result rows / reached vertices.
+    pub rows: usize,
+}
+
+/// Maximum number of anchor vertices Q2/Q3/Q4 iterate. The paper runs
+/// them for *all* anchors of billion-edge graphs on a 28-core server; we
+/// cap per-anchor loops at laptop scale. The cap is deterministic (first
+/// ids) and identical for filter and connector runs, so relative
+/// timings are unaffected.
+pub const ANCHOR_CAP: usize = 1_000;
+
+fn anchor_vertices(g: &Graph, anchor: &str) -> Vec<VertexId> {
+    g.vertices_of_type(anchor).take(ANCHOR_CAP).collect()
+}
+
+/// Q7's pass counts: 25 on the filter graph, ~half on the connector.
+pub const Q7_PASSES_FILTER: usize = 25;
+/// Connector-side pass count for Q7 (§VII-C: "around half as many").
+pub const Q7_PASSES_CONNECTOR: usize = 13;
+
+/// Runs query `q` on `env`, either over the filter graph or over the
+/// connector view (with halved hop/pass counts).
+pub fn run(env: &Env, q: QueryId, on_connector: bool) -> QueryOutput {
+    let (g, hops) = if on_connector {
+        (&env.connector, 2)
+    } else {
+        (&env.filtered, 4)
+    };
+    let anchor = env.dataset.anchor_type();
+    match q {
+        QueryId::Q1 => {
+            let src = if on_connector {
+                listings::LISTING_4
+            } else {
+                listings::LISTING_1
+            };
+            let query = parse(src).expect("listing parses");
+            let table = execute(g, &query).expect("listing executes");
+            let sum: f64 = table
+                .rows
+                .iter()
+                .filter_map(|r| r.get(1).and_then(Datum::as_f64))
+                .sum();
+            QueryOutput {
+                value: sum,
+                rows: table.len(),
+            }
+        }
+        QueryId::Q2 => {
+            let mut total = 0usize;
+            for v in anchor_vertices(g, anchor) {
+                total += ancestors(g, v, hops).len();
+            }
+            QueryOutput {
+                value: total as f64,
+                rows: total,
+            }
+        }
+        QueryId::Q3 => {
+            let mut total = 0usize;
+            for v in anchor_vertices(g, anchor) {
+                total += descendants(g, v, hops).len();
+            }
+            QueryOutput {
+                value: total as f64,
+                rows: total,
+            }
+        }
+        QueryId::Q4 => {
+            let mut total_hops = 0usize;
+            let mut rows = 0usize;
+            for v in anchor_vertices(g, anchor) {
+                let pl = path_lengths(g, v, hops, "ts");
+                total_hops += total_path_length(&pl);
+                rows += pl.len();
+            }
+            QueryOutput {
+                value: total_hops as f64,
+                rows,
+            }
+        }
+        QueryId::Q5 => QueryOutput {
+            value: g.edge_count() as f64,
+            rows: 1,
+        },
+        QueryId::Q6 => QueryOutput {
+            value: g.vertex_count() as f64,
+            rows: 1,
+        },
+        QueryId::Q7 => {
+            let passes = if on_connector {
+                Q7_PASSES_CONNECTOR
+            } else {
+                Q7_PASSES_FILTER
+            };
+            let c = label_propagation(g, passes);
+            let n_communities = community_sizes(&c).len();
+            QueryOutput {
+                value: n_communities as f64,
+                rows: n_communities,
+            }
+        }
+        QueryId::Q8 => {
+            let passes = if on_connector {
+                Q7_PASSES_CONNECTOR
+            } else {
+                Q7_PASSES_FILTER
+            };
+            let c = label_propagation(g, passes);
+            match largest_community(g, &c, anchor) {
+                Some((_, members)) => QueryOutput {
+                    value: members.len() as f64,
+                    rows: members.len(),
+                },
+                None => QueryOutput {
+                    value: 0.0,
+                    rows: 0,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_datasets::Dataset;
+
+    fn tiny_env(d: Dataset) -> Env {
+        // scale 1 is already laptop-tiny for the defaults; use directly
+        Env::prepare(d, 1, 21)
+    }
+
+    #[test]
+    fn all_queries_run_on_prov_both_variants() {
+        let env = tiny_env(Dataset::Prov);
+        for q in QueryId::ALL {
+            let a = run(&env, q, false);
+            let b = run(&env, q, true);
+            // smoke: everything terminates and produces finite results
+            assert!(a.value.is_finite(), "{:?} filter", q);
+            assert!(b.value.is_finite(), "{:?} connector", q);
+        }
+    }
+
+    #[test]
+    fn q1_only_on_prov() {
+        assert!(QueryId::Q1.applies_to(Dataset::Prov));
+        assert!(!QueryId::Q1.applies_to(Dataset::Dblp));
+        assert!(QueryId::Q2.applies_to(Dataset::Dblp));
+    }
+
+    #[test]
+    fn q1_filter_and_connector_agree() {
+        // Listing 1 over the filter graph and Listing 4 over the
+        // connector view are equivalent rewritings (§V-C)
+        let env = tiny_env(Dataset::Prov);
+        let a = run(&env, QueryId::Q1, false);
+        let b = run(&env, QueryId::Q1, true);
+        assert_eq!(a.rows, b.rows);
+        assert!((a.value - b.value).abs() < 1e-6, "{} vs {}", a.value, b.value);
+    }
+
+    #[test]
+    fn q3_counts_agree_between_variants() {
+        // 4 raw hops forward from a job = 2 connector hops, but raw
+        // counts include files; compare jobs-only reachability instead:
+        // descendants on connector are a subset count — just check both
+        // run and connector finds at least the job-to-job pairs
+        let env = tiny_env(Dataset::Prov);
+        let filter = run(&env, QueryId::Q3, false);
+        let conn = run(&env, QueryId::Q3, true);
+        assert!(filter.rows >= conn.rows);
+        assert!(conn.rows > 0);
+    }
+
+    #[test]
+    fn q5_q6_unchanged_semantics() {
+        let env = tiny_env(Dataset::Prov);
+        let q5 = run(&env, QueryId::Q5, false);
+        assert_eq!(q5.value, env.filtered.edge_count() as f64);
+        let q6c = run(&env, QueryId::Q6, true);
+        assert_eq!(q6c.value, env.connector.vertex_count() as f64);
+    }
+
+    #[test]
+    fn q8_members_are_anchor_heavy() {
+        let env = tiny_env(Dataset::Dblp);
+        let out = run(&env, QueryId::Q8, false);
+        assert!(out.rows > 0);
+    }
+
+    #[test]
+    fn workload_runs_on_homogeneous_datasets() {
+        let env = tiny_env(Dataset::RoadnetUsa);
+        for q in [QueryId::Q2, QueryId::Q4, QueryId::Q7] {
+            let out = run(&env, q, false);
+            assert!(out.value >= 0.0);
+        }
+    }
+}

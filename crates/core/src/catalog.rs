@@ -1,0 +1,143 @@
+//! The catalog of materialized views.
+
+use kaskade_graph::{Graph, GraphStats};
+
+use crate::views::ViewDef;
+
+/// A materialized view: its definition, the physical graph, and the
+/// statistics the cost model needs when costing rewritten queries.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    /// The view definition.
+    pub def: ViewDef,
+    /// The physical view graph.
+    pub graph: Graph,
+    /// Statistics of the view graph.
+    pub stats: GraphStats,
+}
+
+impl MaterializedView {
+    /// Wraps a freshly materialized graph.
+    pub fn new(def: ViewDef, graph: Graph) -> Self {
+        let stats = GraphStats::compute(&graph);
+        MaterializedView { def, graph, stats }
+    }
+
+    /// Size in edges (the budget unit of §V-B).
+    pub fn size_edges(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// All currently materialized views.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    views: Vec<MaterializedView>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a view, replacing any previous view with the same id.
+    pub fn add(&mut self, view: MaterializedView) {
+        let id = view.def.id();
+        self.views.retain(|v| v.def.id() != id);
+        self.views.push(view);
+    }
+
+    /// Looks up a view by its definition id.
+    pub fn get(&self, id: &str) -> Option<&MaterializedView> {
+        self.views.iter().find(|v| v.def.id() == id)
+    }
+
+    /// Iterates over all materialized views.
+    pub fn iter(&self) -> impl Iterator<Item = &MaterializedView> {
+        self.views.iter()
+    }
+
+    /// Number of materialized views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Total size of all materialized views, in edges.
+    pub fn total_edges(&self) -> usize {
+        self.views.iter().map(MaterializedView::size_edges).sum()
+    }
+
+    /// Removes a view by id, returning whether it existed.
+    pub fn remove(&mut self, id: &str) -> bool {
+        let before = self.views.len();
+        self.views.retain(|v| v.def.id() != id);
+        self.views.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialize::materialize;
+    use crate::views::{ConnectorDef, ViewDef};
+    use kaskade_graph::GraphBuilder;
+
+    fn toy_view() -> MaterializedView {
+        let mut b = GraphBuilder::new();
+        let j1 = b.add_vertex("Job");
+        let f = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        b.add_edge(j1, f, "WRITES_TO");
+        b.add_edge(f, j2, "IS_READ_BY");
+        let g = b.finish();
+        let def = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2));
+        let graph = materialize(&g, &def);
+        MaterializedView::new(def, graph)
+    }
+
+    #[test]
+    fn add_get_remove() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        let v = toy_view();
+        let id = v.def.id();
+        c.add(v);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&id).is_some());
+        assert!(c.get("nope").is_none());
+        assert!(c.remove(&id));
+        assert!(!c.remove(&id));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn add_replaces_same_id() {
+        let mut c = Catalog::new();
+        c.add(toy_view());
+        c.add(toy_view());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn total_edges_sums_views() {
+        let mut c = Catalog::new();
+        let v = toy_view();
+        let e = v.size_edges();
+        assert_eq!(e, 1); // one job-to-job connector edge
+        c.add(v);
+        assert_eq!(c.total_edges(), 1);
+    }
+
+    #[test]
+    fn stats_computed_on_materialization() {
+        let v = toy_view();
+        assert_eq!(v.stats.edge_count, 1);
+        assert_eq!(v.stats.for_type("Job").unwrap().cardinality, 2);
+    }
+}

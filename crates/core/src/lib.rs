@@ -1,0 +1,411 @@
+//! # kaskade-core
+//!
+//! The Kaskade graph query optimization framework (ICDE 2020): graph
+//! views, constraint-based view enumeration, a view cost model,
+//! knapsack view selection, and view-based query rewriting.
+//!
+//! The [`Kaskade`] struct wires the components of the paper's Fig. 2
+//! together: it owns the raw graph, its schema and statistics, and a
+//! catalog of materialized views. The two headline operations are
+//! [`Kaskade::select_and_materialize`] (workload analyzer + view
+//! enumerator + knapsack selector + materializer, §V-B) and
+//! [`Kaskade::execute`] (query rewriter + execution engine, §V-C):
+//!
+//! ```
+//! use kaskade_core::{Kaskade, SelectionConfig};
+//! use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+//! use kaskade_graph::Schema;
+//! use kaskade_query::{listings::LISTING_1, parse};
+//!
+//! let g = generate_provenance(&ProvenanceConfig::tiny(7).core_only());
+//! let mut kaskade = Kaskade::new(g, Schema::provenance());
+//!
+//! let workload = vec![parse(LISTING_1).unwrap()];
+//! let report = kaskade.select_and_materialize(&workload, &SelectionConfig::default());
+//! assert!(!report.materialized.is_empty());
+//!
+//! // the same query now automatically runs over the connector view
+//! let planned = kaskade.plan(&workload[0]).unwrap();
+//! assert!(planned.view_id.is_some());
+//! let table = kaskade.execute(&workload[0]).unwrap();
+//! assert!(!table.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod catalog;
+pub mod cost;
+mod enumerate;
+mod facts;
+pub mod maintain;
+mod materialize;
+mod rewrite;
+mod rules;
+mod selection;
+mod views;
+
+pub use catalog::{Catalog, MaterializedView};
+pub use enumerate::{enumerate_views, procedural, Candidate, Enumeration};
+pub use facts::{
+    assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,
+};
+pub use maintain::{apply_delta, maintain_connector, AppliedDelta, GraphDelta, NewEdge, NewVertex, VRef};
+pub use materialize::{
+    materialize, materialize_connector, materialize_source_sink, materialize_summarizer,
+};
+pub use rewrite::{connector_hop_window, find_chain, rewrite_over_connector, Chain};
+pub use rules::{
+    CONNECTOR_TEMPLATES, FACT_PREDICATES, QUERY_MINING_RULES, SCHEMA_MINING_RULES,
+    SUMMARIZER_TEMPLATES,
+};
+pub use selection::{
+    knapsack, select_views, KnapsackItem, ScoredView, SelectionConfig, SelectionResult,
+};
+pub use views::{AggOp, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef};
+
+use kaskade_graph::{Graph, GraphStats, Schema};
+use kaskade_query::{execute as execute_query, ExecError, Query, Table};
+
+/// A planned query: where it will run and at what estimated cost.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The (possibly rewritten) query.
+    pub query: Query,
+    /// The catalog id of the view it runs on (`None` = raw graph).
+    pub view_id: Option<String>,
+    /// Estimated evaluation cost under the cost model.
+    pub estimated_cost: f64,
+}
+
+/// Report of a [`Kaskade::select_and_materialize`] run.
+#[derive(Debug, Clone)]
+pub struct SelectionReport {
+    /// Scores of every candidate (selected ones flagged).
+    pub scored: Vec<ScoredView>,
+    /// Ids of the views actually materialized.
+    pub materialized: Vec<String>,
+}
+
+/// The Kaskade framework instance (Fig. 2).
+#[derive(Debug, Clone)]
+pub struct Kaskade {
+    graph: Graph,
+    schema: Schema,
+    stats: GraphStats,
+    catalog: Catalog,
+}
+
+impl Kaskade {
+    /// Wraps a graph and its schema; computes the degree statistics the
+    /// cost model maintains (§V-A "graph data properties").
+    pub fn new(graph: Graph, schema: Schema) -> Self {
+        let stats = GraphStats::compute(&graph);
+        Kaskade {
+            graph,
+            schema,
+            stats,
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// The raw graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The graph schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Raw-graph statistics.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// The materialized-view catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Enumerates view candidates for one query (§IV).
+    pub fn enumerate(&self, query: &Query) -> Result<Enumeration, kaskade_prolog::PrologError> {
+        enumerate_views(query, &self.schema)
+    }
+
+    /// Materializes a view directly (bypassing selection) and registers
+    /// it in the catalog. Returns its catalog id.
+    pub fn materialize_view(&mut self, def: ViewDef) -> String {
+        let graph = materialize(&self.graph, &def);
+        let id = def.id();
+        self.catalog.add(MaterializedView::new(def, graph));
+        id
+    }
+
+    /// §V-B: enumerate candidates for the workload, score them, solve
+    /// the knapsack under the budget, and materialize the winners.
+    pub fn select_and_materialize(
+        &mut self,
+        workload: &[Query],
+        cfg: &SelectionConfig,
+    ) -> SelectionReport {
+        let result = select_views(&self.graph, &self.stats, &self.schema, workload, cfg);
+        let mut materialized = Vec::new();
+        for def in result.chosen() {
+            materialized.push(self.materialize_view(def.clone()));
+        }
+        SelectionReport {
+            scored: result.scored,
+            materialized,
+        }
+    }
+
+    /// §V-C: view-based query rewriting. Enumerates candidates for the
+    /// query, keeps those whose views are materialized, and returns the
+    /// plan (original or rewritten) with the lowest estimated cost.
+    pub fn plan(&self, query: &Query) -> Result<PlannedQuery, kaskade_prolog::PrologError> {
+        let base_cost = cost::traversal_cost(self.graph.edge_count() as f64, query);
+        let mut best = PlannedQuery {
+            query: query.clone(),
+            view_id: None,
+            estimated_cost: base_cost,
+        };
+        let enumeration = self.enumerate(query)?;
+        for cand in &enumeration.candidates {
+            let (x, y) = match cand {
+                Candidate::KHopConnector { x, y, .. }
+                | Candidate::SameEdgeTypeConnector { x, y, .. } => (x, y),
+                _ => continue,
+            };
+            let Some(def) = cand.to_view_def() else {
+                continue;
+            };
+            let Some(view) = self.catalog.get(&def.id()) else {
+                continue; // prune candidates that are not materialized
+            };
+            let ViewDef::Connector(cdef) = &view.def else {
+                continue;
+            };
+            let Some(rewritten) = rewrite_over_connector(query, x, y, cdef, &self.schema) else {
+                continue;
+            };
+            let cost = cost::traversal_cost(view.graph.edge_count() as f64, &rewritten);
+            if cost < best.estimated_cost {
+                best = PlannedQuery {
+                    query: rewritten,
+                    view_id: Some(view.def.id()),
+                    estimated_cost: cost,
+                };
+            }
+        }
+        Ok(best)
+    }
+
+    /// Applies an insert-only [`GraphDelta`] to the base graph and
+    /// refreshes every materialized view: connectors incrementally
+    /// (only affected sources are recomputed, see [`maintain`]), other
+    /// views by re-materialization.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) {
+        let applied = maintain::apply_delta(&self.graph, delta);
+        let old_views: Vec<MaterializedView> = self.catalog.iter().cloned().collect();
+        let mut new_catalog = Catalog::new();
+        for view in old_views {
+            let refreshed = match &view.def {
+                ViewDef::Connector(c) => maintain_connector(&view.graph, &applied, c),
+                other => materialize(&applied.graph, other),
+            };
+            new_catalog.add(MaterializedView::new(view.def, refreshed));
+        }
+        self.graph = applied.graph;
+        self.stats = GraphStats::compute(&self.graph);
+        self.catalog = new_catalog;
+    }
+
+    /// Plans and executes a query, automatically routing it to the best
+    /// materialized view (or the raw graph).
+    ///
+    /// Note on result identity: `Datum::Vertex` values are ids in the
+    /// graph the plan executed on (raw graph or view). Views preserve
+    /// all vertex *properties*, so portable results should project
+    /// properties (e.g. `A.name`) rather than raw vertices.
+    pub fn execute(&self, query: &Query) -> Result<Table, KaskadeError> {
+        let planned = self.plan(query).map_err(KaskadeError::Inference)?;
+        let target = match &planned.view_id {
+            Some(id) => &self.catalog.get(id).expect("planned view exists").graph,
+            None => &self.graph,
+        };
+        execute_query(target, &planned.query).map_err(KaskadeError::Execution)
+    }
+}
+
+/// Errors surfaced by the framework facade.
+#[derive(Debug)]
+pub enum KaskadeError {
+    /// View enumeration failed in the inference engine.
+    Inference(kaskade_prolog::PrologError),
+    /// Query execution failed.
+    Execution(ExecError),
+}
+
+impl std::fmt::Display for KaskadeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KaskadeError::Inference(e) => write!(f, "inference error: {e}"),
+            KaskadeError::Execution(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KaskadeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+    use kaskade_query::{listings::LISTING_1, parse};
+
+    fn instance(seed: u64) -> Kaskade {
+        let g = generate_provenance(&ProvenanceConfig::tiny(seed).core_only());
+        Kaskade::new(g, Schema::provenance())
+    }
+
+    #[test]
+    fn plan_falls_back_to_raw_graph_without_views() {
+        let k = instance(1);
+        let q = parse(LISTING_1).unwrap();
+        let p = k.plan(&q).unwrap();
+        assert!(p.view_id.is_none());
+        assert_eq!(p.query, q);
+    }
+
+    #[test]
+    fn plan_uses_materialized_connector() {
+        let mut k = instance(2);
+        let q = parse(LISTING_1).unwrap();
+        let id = k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let p = k.plan(&q).unwrap();
+        assert_eq!(p.view_id.as_deref(), Some(id.as_str()));
+        assert_eq!(p.query.pattern().unwrap().edges.len(), 1);
+    }
+
+    #[test]
+    fn execute_equivalence_raw_vs_view() {
+        // THE core correctness property: the rewritten query over the
+        // materialized connector returns the same table as the raw query.
+        let mut k = instance(3);
+        let q = parse(LISTING_1).unwrap();
+        let raw = k.execute(&q).unwrap();
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let viewed = k.execute(&q).unwrap();
+        // same groups, same aggregates (order may differ)
+        let norm = |t: &Table| {
+            let mut rows: Vec<String> = t.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(norm(&raw), norm(&viewed));
+        assert!(!raw.is_empty());
+    }
+
+    #[test]
+    fn select_and_materialize_end_to_end() {
+        let mut k = instance(4);
+        let workload = vec![parse(LISTING_1).unwrap()];
+        let report = k.select_and_materialize(
+            &workload,
+            &SelectionConfig {
+                budget_edges: 1_000_000,
+                alpha: 95,
+            },
+        );
+        assert!(report
+            .materialized
+            .contains(&"connector:JOB_TO_JOB_2_HOP".to_string()));
+        assert_eq!(k.catalog().len(), report.materialized.len());
+        // execution now routes through a view
+        let p = k.plan(&workload[0]).unwrap();
+        assert!(p.view_id.is_some());
+    }
+
+    #[test]
+    fn catalog_view_smaller_than_raw_graph() {
+        let mut k = instance(5);
+        k.materialize_view(ViewDef::Summarizer(SummarizerDef::VertexInclusion {
+            keep: vec!["Job".into(), "File".into()],
+        }));
+        // core-only graph: summarizer equals raw here, so use connector
+        let id = k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let v = k.catalog().get(&id).unwrap();
+        assert!(v.graph.vertex_count() <= k.graph().vertex_count());
+    }
+
+    #[test]
+    fn homogeneous_connector_rewrites_are_refused_for_soundness() {
+        // on a one-type schema every distance is feasible, so shortest-
+        // distance windows with lo > 1 cannot be expressed over a k>=2
+        // connector (triangle pairs at distance 1 also have 2-walks);
+        // plan() must fall back to the raw graph even with the view
+        // materialized
+        use kaskade_datasets::{generate_social, SocialConfig};
+        let g = generate_social(&SocialConfig::tiny(9));
+        let mut k = Kaskade::new(g, Schema::homogeneous("User", "FOLLOWS"));
+        let q = parse(
+            "SELECT COUNT(*) FROM (MATCH (a:User)-[:FOLLOWS*2..2]->(b:User) RETURN a, b)",
+        )
+        .unwrap();
+        let raw = k.execute(&q).unwrap();
+        k.materialize_view(ViewDef::Connector(ConnectorDef::same_edge_type(
+            "User", "User", 2, "FOLLOWS",
+        )));
+        let p = k.plan(&q).unwrap();
+        assert!(p.view_id.is_none());
+        let after = k.execute(&q).unwrap();
+        assert_eq!(
+            raw.scalar().unwrap().as_int(),
+            after.scalar().unwrap().as_int()
+        );
+    }
+
+    #[test]
+    fn apply_delta_keeps_views_fresh() {
+        let mut k = instance(6);
+        let q = parse(LISTING_1).unwrap();
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let before = k.execute(&q).unwrap();
+
+        // append a fresh pipeline: new job reads an existing file
+        let mut d = GraphDelta::new();
+        let j = d.add_vertex(
+            "Job",
+            vec![
+                ("CPU".into(), kaskade_graph::Value::Int(500)),
+                (
+                    "pipelineName".into(),
+                    kaskade_graph::Value::Str("pipelineX".into()),
+                ),
+            ],
+        );
+        let f = k.graph().vertices_of_type("File").next().unwrap();
+        d.add_edge(VRef::Existing(f), j, "IS_READ_BY", vec![]);
+        k.apply_delta(&d);
+
+        // the view stays consistent with a from-scratch Kaskade
+        let after_view = k.execute(&q).unwrap();
+        let fresh = Kaskade::new(k.graph().clone(), Schema::provenance());
+        let after_raw = fresh.execute(&q).unwrap();
+        let norm = |t: &Table| {
+            let mut rows: Vec<String> = t.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(norm(&after_view), norm(&after_raw));
+        // and the result actually changed (the new job is downstream)
+        assert_ne!(norm(&before), norm(&after_view));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = KaskadeError::Execution(ExecError::UnknownColumn("x".into()));
+        assert!(e.to_string().contains("execution error"));
+    }
+}

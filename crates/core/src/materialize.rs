@@ -1,0 +1,765 @@
+//! View materialization: executing a [`ViewDef`] against a graph to
+//! produce the physical view (a new, smaller graph).
+//!
+//! In the paper the workload analyzer translates selected views to
+//! Cypher and runs them on Neo4j (§V-B); here the materializer executes
+//! the same graph transformations directly. Views are standalone
+//! [`Graph`]s — the base graph is never mutated.
+
+use std::collections::HashMap;
+
+use kaskade_graph::{Graph, GraphBuilder, Value, VertexId};
+
+use crate::views::{AggOp, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef};
+
+/// Materializes any view definition.
+pub fn materialize(g: &Graph, def: &ViewDef) -> Graph {
+    match def {
+        ViewDef::Connector(c) => materialize_connector(g, c),
+        ViewDef::SourceSink(s) => materialize_source_sink(g, s),
+        ViewDef::Summarizer(s) => materialize_summarizer(g, s),
+    }
+}
+
+/// Materializes a k-hop connector (§VI-A, Fig. 3).
+///
+/// The view contains every vertex of the connector's source and
+/// destination types (with their properties), plus one edge `u -> v`
+/// labeled [`ConnectorDef::edge_label`] for each **distinct** pair of
+/// target vertices `u != v` connected by a directed walk of exactly `k`
+/// edges (a connector contracts paths *between* two target vertices, so
+/// u -> ... -> u round-trips are excluded — they would add a self-loop
+/// per vertex and poison view-side algorithms like label propagation).
+/// Each connector edge carries a `ts` property: the maximum `ts` over
+/// the edges of the contracted walks (so timestamp aggregations like Q4
+/// keep working on the view).
+pub fn materialize_connector(g: &Graph, def: &ConnectorDef) -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
+
+    // copy target-type vertices with properties
+    for v in g.vertices() {
+        let t = g.vertex_type(v);
+        if t == def.src_type || t == def.dst_type {
+            let nv = b.add_vertex(t);
+            for (key, val) in g.vertex_props(v).iter() {
+                b.set_vertex_prop(nv, g.resolve(key), val.clone());
+            }
+            remap.insert(v, nv);
+        }
+    }
+
+    let label = def.edge_label();
+    let ts_key = "ts";
+    for u in g.vertices() {
+        if g.vertex_type(u) != def.src_type {
+            continue;
+        }
+        // levels of exactly-d walks, tracking max edge ts per vertex
+        let mut frontier: HashMap<VertexId, i64> = HashMap::new();
+        frontier.insert(u, i64::MIN);
+        for _ in 0..def.k {
+            let mut next: HashMap<VertexId, i64> = HashMap::new();
+            for (&v, &acc) in &frontier {
+                for (e, w) in g.out_edges(v) {
+                    if let Some(required) = &def.etype {
+                        if g.edge_type(e) != required {
+                            continue;
+                        }
+                    }
+                    let ts = g
+                        .edge_prop(e, ts_key)
+                        .and_then(|p| p.as_int())
+                        .unwrap_or(i64::MIN);
+                    let cand = acc.max(ts);
+                    next.entry(w)
+                        .and_modify(|cur| *cur = (*cur).max(cand))
+                        .or_insert(cand);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        let Some(&nu) = remap.get(&u) else { continue };
+        let mut targets: Vec<(VertexId, i64)> = frontier
+            .into_iter()
+            .filter(|(v, _)| *v != u && g.vertex_type(*v) == def.dst_type)
+            .collect();
+        targets.sort_by_key(|(v, _)| *v);
+        for (v, ts) in targets {
+            let Some(&nv) = remap.get(&v) else { continue };
+            let e = b.add_edge(nu, nv, &label);
+            if ts != i64::MIN {
+                b.set_edge_prop(e, ts_key, Value::Int(ts));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Materializes a source-to-sink connector (Table I row 4): the view
+/// contains the graph's source vertices (in-degree 0) and sink vertices
+/// (out-degree 0), optionally type-filtered, with one `SOURCE_TO_SINK`
+/// edge per (source, sink) pair connected by any directed path.
+pub fn materialize_source_sink(g: &Graph, def: &SourceSinkDef) -> Graph {
+    use std::collections::VecDeque;
+    let is_source = |v: VertexId| {
+        g.in_degree(v) == 0
+            && def
+                .src_type
+                .as_deref()
+                .is_none_or(|t| g.vertex_type(v) == t)
+    };
+    let is_sink = |v: VertexId| {
+        g.out_degree(v) == 0
+            && def
+                .dst_type
+                .as_deref()
+                .is_none_or(|t| g.vertex_type(v) == t)
+    };
+
+    let mut b = GraphBuilder::new();
+    let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
+    for v in g.vertices() {
+        if is_source(v) || is_sink(v) {
+            let nv = b.add_vertex(g.vertex_type(v));
+            for (key, val) in g.vertex_props(v).iter() {
+                b.set_vertex_prop(nv, g.resolve(key), val.clone());
+            }
+            remap.insert(v, nv);
+        }
+    }
+    let label = def.edge_label();
+    for u in g.vertices() {
+        if !is_source(u) {
+            continue;
+        }
+        // full forward reachability from the source
+        let mut visited = vec![false; g.vertex_count()];
+        visited[u.index()] = true;
+        let mut queue = VecDeque::from([u]);
+        let mut reached_sinks = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            if v != u && is_sink(v) {
+                reached_sinks.push(v);
+            }
+            for w in g.out_neighbors(v) {
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        reached_sinks.sort();
+        let nu = remap[&u];
+        for v in reached_sinks {
+            b.add_edge(nu, remap[&v], &label);
+        }
+    }
+    b.finish()
+}
+
+/// Materializes a summarizer (§VI-B, Table II).
+pub fn materialize_summarizer(g: &Graph, def: &SummarizerDef) -> Graph {
+    match def {
+        SummarizerDef::VertexInclusion { keep } => filter_graph(
+            g,
+            |g, v| keep.iter().any(|k| k == g.vertex_type(v)),
+            |_, _| true,
+            false,
+        ),
+        SummarizerDef::VertexRemoval { remove } => filter_graph(
+            g,
+            |g, v| !remove.iter().any(|k| k == g.vertex_type(v)),
+            |_, _| true,
+            false,
+        ),
+        SummarizerDef::EdgeRemoval { remove } => filter_graph(
+            g,
+            |_, _| true,
+            |g, e| !remove.iter().any(|k| k == g.edge_type(e)),
+            false,
+        ),
+        SummarizerDef::EdgeInclusion { keep } => filter_graph(
+            g,
+            |_, _| true,
+            |g, e| keep.iter().any(|k| k == g.edge_type(e)),
+            true,
+        ),
+        SummarizerDef::VertexAggregator {
+            vtype,
+            group_prop,
+            agg_prop,
+            agg,
+        } => vertex_aggregator(g, vtype, group_prop, agg_prop, *agg),
+        SummarizerDef::EdgeAggregator => edge_aggregator(g),
+        SummarizerDef::VertexPredicate { keep } => filter_graph(
+            g,
+            |g, v| pred_on_vertex(g, v, keep),
+            |_, _| true,
+            false,
+        ),
+        SummarizerDef::EdgePredicate { keep } => filter_graph(
+            g,
+            |_, _| true,
+            |g, e| pred_on_edge(g, e, keep),
+            true,
+        ),
+    }
+}
+
+fn pred_on_vertex(g: &Graph, v: VertexId, p: &PropPredicate) -> bool {
+    p.eval(|key| g.vertex_prop(v, key).cloned())
+}
+
+fn pred_on_edge(g: &Graph, e: kaskade_graph::EdgeId, p: &PropPredicate) -> bool {
+    p.eval(|key| g.edge_prop(e, key).cloned())
+}
+
+/// Shared filtering core: keeps vertices passing `keep_vertex` and edges
+/// passing `keep_edge` whose endpoints survive. With
+/// `only_incident_vertices`, drops vertices not incident to any kept
+/// edge (edge-inclusion semantics).
+fn filter_graph(
+    g: &Graph,
+    keep_vertex: impl Fn(&Graph, VertexId) -> bool,
+    keep_edge: impl Fn(&Graph, kaskade_graph::EdgeId) -> bool,
+    only_incident_vertices: bool,
+) -> Graph {
+    let mut vertex_kept = vec![false; g.vertex_count()];
+    for v in g.vertices() {
+        vertex_kept[v.index()] = keep_vertex(g, v);
+    }
+    let mut edge_kept = vec![false; g.edge_count()];
+    for e in g.edges() {
+        edge_kept[e.index()] = keep_edge(g, e)
+            && vertex_kept[g.edge_src(e).index()]
+            && vertex_kept[g.edge_dst(e).index()];
+    }
+    if only_incident_vertices {
+        let mut incident = vec![false; g.vertex_count()];
+        for e in g.edges() {
+            if edge_kept[e.index()] {
+                incident[g.edge_src(e).index()] = true;
+                incident[g.edge_dst(e).index()] = true;
+            }
+        }
+        for (v, k) in vertex_kept.iter_mut().enumerate() {
+            *k = *k && incident[v];
+        }
+    }
+
+    let mut b = GraphBuilder::new();
+    let mut remap = vec![VertexId(u32::MAX); g.vertex_count()];
+    for v in g.vertices() {
+        if vertex_kept[v.index()] {
+            let nv = b.add_vertex(g.vertex_type(v));
+            for (key, val) in g.vertex_props(v).iter() {
+                b.set_vertex_prop(nv, g.resolve(key), val.clone());
+            }
+            remap[v.index()] = nv;
+        }
+    }
+    for e in g.edges() {
+        if edge_kept[e.index()] {
+            let ne = b.add_edge(
+                remap[g.edge_src(e).index()],
+                remap[g.edge_dst(e).index()],
+                g.edge_type(e),
+            );
+            for (key, val) in g.edge_props(e).iter() {
+                b.set_edge_prop(ne, g.resolve(key), val.clone());
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Groups vertices of `vtype` sharing `group_prop` into supervertices,
+/// aggregating `agg_prop` with `agg`; all other vertices are copied and
+/// edges re-target the supervertices.
+fn vertex_aggregator(g: &Graph, vtype: &str, group_prop: &str, agg_prop: &str, agg: AggOp) -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut remap = vec![VertexId(u32::MAX); g.vertex_count()];
+    let mut groups: HashMap<String, (VertexId, i64, i64)> = HashMap::new(); // key -> (super, acc, count)
+
+    // pass 1: copy non-grouped vertices, create supervertices
+    let mut grouped: Vec<(VertexId, String, i64)> = Vec::new();
+    for v in g.vertices() {
+        if g.vertex_type(v) == vtype {
+            let key = g
+                .vertex_prop(v, group_prop)
+                .map(|p| p.to_string())
+                .unwrap_or_default();
+            let val = g
+                .vertex_prop(v, agg_prop)
+                .and_then(|p| p.as_int())
+                .unwrap_or(0);
+            grouped.push((v, key, val));
+        } else {
+            let nv = b.add_vertex(g.vertex_type(v));
+            for (key, val) in g.vertex_props(v).iter() {
+                b.set_vertex_prop(nv, g.resolve(key), val.clone());
+            }
+            remap[v.index()] = nv;
+        }
+    }
+    for (v, key, val) in grouped {
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            let sv = b.add_vertex(vtype);
+            b.set_vertex_prop(sv, group_prop, Value::Str(key.clone()));
+            (
+                sv,
+                match agg {
+                    AggOp::Sum | AggOp::Count => 0,
+                    AggOp::Min => i64::MAX,
+                    AggOp::Max => i64::MIN,
+                },
+                0,
+            )
+        });
+        entry.1 = match agg {
+            AggOp::Sum => entry.1 + val,
+            AggOp::Count => entry.1 + 1,
+            AggOp::Min => entry.1.min(val),
+            AggOp::Max => entry.1.max(val),
+        };
+        entry.2 += 1;
+        remap[v.index()] = entry.0;
+    }
+    for (sv, acc, count) in groups.values() {
+        b.set_vertex_prop(*sv, agg_prop, Value::Int(*acc));
+        b.set_vertex_prop(*sv, "members", Value::Int(*count));
+    }
+
+    // pass 2: edges, dropping those collapsed onto the same supervertex
+    for e in g.edges() {
+        let s = remap[g.edge_src(e).index()];
+        let d = remap[g.edge_dst(e).index()];
+        if s == d && g.vertex_type(g.edge_src(e)) == vtype && g.vertex_type(g.edge_dst(e)) == vtype
+        {
+            continue; // intra-group edge collapsed away
+        }
+        let ne = b.add_edge(s, d, g.edge_type(e));
+        for (key, val) in g.edge_props(e).iter() {
+            b.set_edge_prop(ne, g.resolve(key), val.clone());
+        }
+    }
+    b.finish()
+}
+
+/// Merges parallel edges (same source, destination and type) into one
+/// superedge with a `count` property (Table II edge-aggregator).
+fn edge_aggregator(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::new();
+    for v in g.vertices() {
+        let nv = b.add_vertex(g.vertex_type(v));
+        for (key, val) in g.vertex_props(v).iter() {
+            b.set_vertex_prop(nv, g.resolve(key), val.clone());
+        }
+        debug_assert_eq!(nv, v);
+    }
+    let mut seen: HashMap<(u32, u32, String), i64> = HashMap::new();
+    let mut order: Vec<(u32, u32, String)> = Vec::new();
+    for e in g.edges() {
+        let key = (
+            g.edge_src(e).0,
+            g.edge_dst(e).0,
+            g.edge_type(e).to_string(),
+        );
+        match seen.get_mut(&key) {
+            Some(c) => *c += 1,
+            None => {
+                seen.insert(key.clone(), 1);
+                order.push(key);
+            }
+        }
+    }
+    for key in order {
+        let count = seen[&key];
+        let ne = b.add_edge(VertexId(key.0), VertexId(key.1), &key.2);
+        b.set_edge_prop(ne, "count", Value::Int(count));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::GraphBuilder;
+
+    /// Fig. 3(a): j1 -w-> f1 -r-> j2, j1 -w-> f2 -r-> j3,
+    /// j2 -w-> f3, j3 -w-> f4 (extended with extra writes).
+    fn fig3_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        let f2 = b.add_vertex("File");
+        let j3 = b.add_vertex("Job");
+        let f3 = b.add_vertex("File");
+        let f4 = b.add_vertex("File");
+        for (i, (s, d, t)) in [
+            (j1, f1, "WRITES_TO"),
+            (f1, j2, "IS_READ_BY"),
+            (j1, f2, "WRITES_TO"),
+            (f2, j3, "IS_READ_BY"),
+            (j2, f3, "WRITES_TO"),
+            (j3, f4, "WRITES_TO"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let e = b.add_edge(*s, *d, t);
+            b.set_edge_prop(e, "ts", Value::Int(i as i64 + 1));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn job_to_job_2_hop_connector_matches_fig3c() {
+        let g = fig3_graph();
+        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        // Fig. 3(c) left: j1->j2, j1->j3
+        assert_eq!(view.vertices_of_type("Job").count(), 3);
+        assert_eq!(view.edge_count(), 2);
+        let pairs: Vec<(String, String)> = view
+            .edges()
+            .map(|e| {
+                (
+                    view.vertex_type(view.edge_src(e)).to_string(),
+                    view.vertex_type(view.edge_dst(e)).to_string(),
+                )
+            })
+            .collect();
+        assert!(pairs.iter().all(|(s, d)| s == "Job" && d == "Job"));
+        for e in view.edges() {
+            assert_eq!(view.edge_type(e), "JOB_TO_JOB_2_HOP");
+        }
+    }
+
+    #[test]
+    fn file_to_file_2_hop_connector_matches_fig3d() {
+        let g = fig3_graph();
+        let view = materialize_connector(&g, &ConnectorDef::k_hop("File", "File", 2));
+        // Fig. 3(d): f1->f3, f2->f4
+        assert_eq!(view.edge_count(), 2);
+        assert!(view.vertices_of_type("Job").next().is_none());
+    }
+
+    #[test]
+    fn connector_edges_deduplicate_parallel_paths() {
+        // two 2-hop paths j1 -> (f1|f2) -> j2 must yield ONE connector edge
+        let mut b = GraphBuilder::new();
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let f2 = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        b.add_edge(j1, f1, "WRITES_TO");
+        b.add_edge(j1, f2, "WRITES_TO");
+        b.add_edge(f1, j2, "IS_READ_BY");
+        b.add_edge(f2, j2, "IS_READ_BY");
+        let g = b.finish();
+        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        assert_eq!(view.edge_count(), 1);
+    }
+
+    #[test]
+    fn connector_preserves_vertex_props_and_max_ts() {
+        let mut b = GraphBuilder::new();
+        let j1 = b.add_vertex("Job");
+        b.set_vertex_prop(j1, "CPU", Value::Int(5));
+        let f = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        let e1 = b.add_edge(j1, f, "WRITES_TO");
+        b.set_edge_prop(e1, "ts", Value::Int(3));
+        let e2 = b.add_edge(f, j2, "IS_READ_BY");
+        b.set_edge_prop(e2, "ts", Value::Int(9));
+        let g = b.finish();
+        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        let ce = view.edges().next().unwrap();
+        assert_eq!(view.edge_prop(ce, "ts"), Some(&Value::Int(9)));
+        let vj = view
+            .vertices()
+            .find(|v| view.vertex_prop(*v, "CPU").is_some())
+            .unwrap();
+        assert_eq!(view.vertex_prop(vj, "CPU"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn vertex_inclusion_keeps_only_listed_types() {
+        let mut b = GraphBuilder::new();
+        let j = b.add_vertex("Job");
+        let f = b.add_vertex("File");
+        let t = b.add_vertex("Task");
+        b.add_edge(j, f, "WRITES_TO");
+        b.add_edge(j, t, "SPAWNS");
+        let g = b.finish();
+        let view = materialize_summarizer(
+            &g,
+            &SummarizerDef::VertexInclusion {
+                keep: vec!["Job".into(), "File".into()],
+            },
+        );
+        assert_eq!(view.vertex_count(), 2);
+        assert_eq!(view.edge_count(), 1);
+        assert_eq!(view.edge_type(view.edges().next().unwrap()), "WRITES_TO");
+    }
+
+    #[test]
+    fn vertex_removal_is_inclusion_complement() {
+        let mut b = GraphBuilder::new();
+        let j = b.add_vertex("Job");
+        let f = b.add_vertex("File");
+        let t = b.add_vertex("Task");
+        b.add_edge(j, f, "WRITES_TO");
+        b.add_edge(j, t, "SPAWNS");
+        let g = b.finish();
+        let inc = materialize_summarizer(
+            &g,
+            &SummarizerDef::VertexInclusion {
+                keep: vec!["Job".into(), "File".into()],
+            },
+        );
+        let rem = materialize_summarizer(
+            &g,
+            &SummarizerDef::VertexRemoval {
+                remove: vec!["Task".into()],
+            },
+        );
+        assert_eq!(inc.vertex_count(), rem.vertex_count());
+        assert_eq!(inc.edge_count(), rem.edge_count());
+    }
+
+    #[test]
+    fn edge_removal_keeps_all_vertices() {
+        let mut b = GraphBuilder::new();
+        let j = b.add_vertex("Job");
+        let t = b.add_vertex("Task");
+        b.add_edge(j, t, "SPAWNS");
+        let g = b.finish();
+        let view = materialize_summarizer(
+            &g,
+            &SummarizerDef::EdgeRemoval {
+                remove: vec!["SPAWNS".into()],
+            },
+        );
+        assert_eq!(view.vertex_count(), 2);
+        assert_eq!(view.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_inclusion_drops_non_incident_vertices() {
+        let mut b = GraphBuilder::new();
+        let j = b.add_vertex("Job");
+        let f = b.add_vertex("File");
+        let _lonely = b.add_vertex("Machine");
+        b.add_edge(j, f, "WRITES_TO");
+        let g = b.finish();
+        let view = materialize_summarizer(
+            &g,
+            &SummarizerDef::EdgeInclusion {
+                keep: vec!["WRITES_TO".into()],
+            },
+        );
+        assert_eq!(view.vertex_count(), 2);
+        assert_eq!(view.edge_count(), 1);
+    }
+
+    #[test]
+    fn vertex_aggregator_groups_by_property() {
+        let mut b = GraphBuilder::new();
+        let j1 = b.add_vertex("Job");
+        let j2 = b.add_vertex("Job");
+        let j3 = b.add_vertex("Job");
+        for (j, p, cpu) in [(j1, "p0", 1), (j2, "p0", 2), (j3, "p1", 4)] {
+            b.set_vertex_prop(j, "pipelineName", Value::Str(p.into()));
+            b.set_vertex_prop(j, "CPU", Value::Int(cpu));
+        }
+        let f = b.add_vertex("File");
+        b.add_edge(j1, f, "WRITES_TO");
+        b.add_edge(j2, f, "WRITES_TO");
+        let g = b.finish();
+        let view = materialize_summarizer(
+            &g,
+            &SummarizerDef::VertexAggregator {
+                vtype: "Job".into(),
+                group_prop: "pipelineName".into(),
+                agg_prop: "CPU".into(),
+                agg: AggOp::Sum,
+            },
+        );
+        // 2 supervertices + 1 file
+        assert_eq!(view.vertex_count(), 3);
+        let p0 = view
+            .vertices_of_type("Job")
+            .find(|v| view.vertex_prop(*v, "pipelineName") == Some(&Value::Str("p0".into())))
+            .unwrap();
+        assert_eq!(view.vertex_prop(p0, "CPU"), Some(&Value::Int(3)));
+        assert_eq!(view.vertex_prop(p0, "members"), Some(&Value::Int(2)));
+        // both writes re-target the p0 supervertex
+        assert_eq!(view.out_degree(p0), 2);
+    }
+
+    #[test]
+    fn edge_aggregator_merges_parallel_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("V");
+        let c = b.add_vertex("V");
+        b.add_edge(a, c, "E");
+        b.add_edge(a, c, "E");
+        b.add_edge(a, c, "F");
+        let g = b.finish();
+        let view = materialize_summarizer(&g, &SummarizerDef::EdgeAggregator);
+        assert_eq!(view.edge_count(), 2);
+        let counts: Vec<i64> = view
+            .edges()
+            .map(|e| view.edge_prop(e, "count").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(counts.iter().sum::<i64>(), 3);
+    }
+
+    #[test]
+    fn same_edge_type_connector_restricts_hops() {
+        // a -F-> b -F-> c and a -G-> d -F-> c : only the all-F path counts
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_vertex("V");
+        let b2 = bld.add_vertex("V");
+        let c = bld.add_vertex("V");
+        let d = bld.add_vertex("V");
+        bld.add_edge(a, b2, "F");
+        bld.add_edge(b2, c, "F");
+        bld.add_edge(a, d, "G");
+        bld.add_edge(d, c, "F");
+        let g = bld.finish();
+        let any = materialize_connector(&g, &ConnectorDef::k_hop("V", "V", 2));
+        let only_f = materialize_connector(&g, &ConnectorDef::same_edge_type("V", "V", 2, "F"));
+        assert_eq!(any.edge_count(), 1); // a->c (dedup of two paths)
+        assert_eq!(only_f.edge_count(), 1); // a->c via b only — still exists
+        // now remove the F-F path and the typed connector must be empty
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_vertex("V");
+        let d = bld.add_vertex("V");
+        let c = bld.add_vertex("V");
+        bld.add_edge(a, d, "G");
+        bld.add_edge(d, c, "F");
+        let g = bld.finish();
+        let only_f = materialize_connector(&g, &ConnectorDef::same_edge_type("V", "V", 2, "F"));
+        assert_eq!(only_f.edge_count(), 0);
+        let any = materialize_connector(&g, &ConnectorDef::k_hop("V", "V", 2));
+        assert_eq!(any.edge_count(), 1);
+    }
+
+    #[test]
+    fn source_sink_connector_on_lineage() {
+        let g = fig3_graph();
+        // sources: j1 (no in-edges); sinks: f3, f4 (no out-edges)
+        let view = materialize_source_sink(&g, &SourceSinkDef::default());
+        assert_eq!(view.edge_count(), 2); // j1->f3, j1->f4
+        for e in view.edges() {
+            assert_eq!(view.edge_type(e), "SOURCE_TO_SINK");
+            assert_eq!(view.vertex_type(view.edge_src(e)), "Job");
+            assert_eq!(view.vertex_type(view.edge_dst(e)), "File");
+        }
+        // type-filtered: no Job sinks exist
+        let none = materialize_source_sink(
+            &g,
+            &SourceSinkDef {
+                src_type: Some("Job".into()),
+                dst_type: Some("Job".into()),
+            },
+        );
+        assert_eq!(none.edge_count(), 0);
+    }
+
+    #[test]
+    fn vertex_predicate_summarizer() {
+        let mut bld = GraphBuilder::new();
+        let j1 = bld.add_vertex("Job");
+        bld.set_vertex_prop(j1, "CPU", Value::Int(100));
+        let j2 = bld.add_vertex("Job");
+        bld.set_vertex_prop(j2, "CPU", Value::Int(5));
+        let f = bld.add_vertex("File");
+        bld.add_edge(j1, f, "WRITES_TO");
+        bld.add_edge(j2, f, "WRITES_TO");
+        let g = bld.finish();
+        let view = materialize_summarizer(
+            &g,
+            &SummarizerDef::VertexPredicate {
+                keep: PropPredicate::IntAtLeast("CPU".into(), 50),
+            },
+        );
+        // only j1 survives among jobs; f has no CPU prop so it is
+        // dropped too (predicate summarizers filter every vertex)
+        assert_eq!(view.vertex_count(), 1);
+        assert_eq!(view.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_predicate_summarizer() {
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_vertex("V");
+        let c = bld.add_vertex("V");
+        let e1 = bld.add_edge(a, c, "E");
+        bld.set_edge_prop(e1, "ts", Value::Int(10));
+        let e2 = bld.add_edge(a, c, "E");
+        bld.set_edge_prop(e2, "ts", Value::Int(99));
+        let g = bld.finish();
+        let view = materialize_summarizer(
+            &g,
+            &SummarizerDef::EdgePredicate {
+                keep: PropPredicate::IntBelow("ts".into(), 50),
+            },
+        );
+        assert_eq!(view.edge_count(), 1);
+        let e = view.edges().next().unwrap();
+        assert_eq!(view.edge_prop(e, "ts"), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn prop_predicate_forms() {
+        let p = PropPredicate::StrEquals("pipelineName".into(), "p0".into());
+        assert!(p.eval(|k| (k == "pipelineName").then(|| Value::Str("p0".into()))));
+        assert!(!p.eval(|_| None));
+        assert!(PropPredicate::Exists("x".into()).eval(|_| Some(Value::Bool(true))));
+        assert!(!PropPredicate::IntAtLeast("c".into(), 5).eval(|_| Some(Value::Int(4))));
+        assert!(PropPredicate::IntBelow("c".into(), 5).eval(|_| Some(Value::Int(4))));
+    }
+
+    #[test]
+    fn materialize_dispatch() {
+        let g = fig3_graph();
+        let v1 = materialize(&g, &ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        assert_eq!(v1.edge_count(), 2);
+        let v2 = materialize(
+            &g,
+            &ViewDef::Summarizer(SummarizerDef::VertexInclusion {
+                keep: vec!["Job".into()],
+            }),
+        );
+        assert_eq!(v2.vertex_count(), 3);
+        assert_eq!(v2.edge_count(), 0);
+    }
+
+    #[test]
+    fn connector_on_empty_graph() {
+        let g = GraphBuilder::new().finish();
+        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        assert_eq!(view.vertex_count(), 0);
+        assert_eq!(view.edge_count(), 0);
+    }
+
+    #[test]
+    fn four_hop_connector() {
+        let g = fig3_graph();
+        // 4-hop job-to-job: j1 -> f1 -> j2 -> f3 -> ? (f3 is a sink file)
+        // no job at distance 4, so empty
+        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 4));
+        assert_eq!(view.edge_count(), 0);
+        // 1-hop job-to-file = the write edges
+        let v1 = materialize_connector(&g, &ConnectorDef::k_hop("Job", "File", 1));
+        assert_eq!(v1.edge_count(), 4);
+    }
+}

@@ -1,0 +1,380 @@
+//! View-based query rewriting (§V-C).
+//!
+//! Given a query and a connector view, the rewriter locates the pattern
+//! fragment the connector covers — a chain of pattern edges from the
+//! candidate's source variable to its destination variable whose
+//! interior vertices are used nowhere else — and splices in a single
+//! (variable-length) connector-edge pattern with hop bounds scaled by
+//! the connector's `k`. This is exactly the Listing 1 → Listing 4
+//! transformation of the paper.
+
+use kaskade_graph::Schema;
+use kaskade_query::{EdgePattern, GraphPattern, Query};
+
+use crate::views::ConnectorDef;
+
+/// A chain of pattern edges from `x` to `y` with clean interior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Indices (into `pattern.edges`) of the chain's edges, in order.
+    pub edge_indices: Vec<usize>,
+    /// Interior vertex variables (between `x` and `y`).
+    pub interior: Vec<String>,
+    /// Minimum total hops of the chain.
+    pub lo: usize,
+    /// Maximum total hops of the chain.
+    pub hi: usize,
+}
+
+/// Finds the unique pattern-edge chain from `x` to `y` whose interior
+/// vertices (a) are not projected by `RETURN`, (b) have exactly one
+/// incoming and one outgoing pattern edge, and (c) appear in no other
+/// pattern edge. Returns `None` when no such chain exists — in that
+/// case a connector between `x` and `y` cannot replace the fragment
+/// without changing query semantics.
+pub fn find_chain(pattern: &GraphPattern, x: &str, y: &str) -> Option<Chain> {
+    if x == y {
+        return None;
+    }
+    let returned: Vec<&str> = pattern.returns.iter().map(|(v, _)| v.as_str()).collect();
+    let mut edge_indices = Vec::new();
+    let mut interior = Vec::new();
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    let mut cur = x.to_string();
+    loop {
+        // the unique outgoing pattern edge from `cur`
+        let outs: Vec<(usize, &EdgePattern)> = pattern
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.src == cur)
+            .collect();
+        if outs.len() != 1 {
+            return None;
+        }
+        let (idx, edge) = outs[0];
+        if edge_indices.contains(&idx) {
+            return None; // cycle
+        }
+        edge_indices.push(idx);
+        match edge.hops {
+            None => {
+                lo += 1;
+                hi += 1;
+            }
+            Some((l, h)) => {
+                lo += l;
+                hi += h;
+            }
+        }
+        if edge.dst == y {
+            return Some(Chain {
+                edge_indices,
+                interior,
+                lo,
+                hi,
+            });
+        }
+        let node = edge.dst.clone();
+        // interior cleanliness
+        if returned.contains(&node.as_str()) {
+            return None;
+        }
+        let in_deg = pattern.edges.iter().filter(|e| e.dst == node).count();
+        let out_deg = pattern.edges.iter().filter(|e| e.src == node).count();
+        if in_deg != 1 || out_deg != 1 {
+            return None;
+        }
+        interior.push(node.clone());
+        cur = node;
+    }
+}
+
+/// Scales a raw-hop window `[lo, hi]` to connector hops for a k-hop
+/// connector: realizable raw distances are multiples of `k`, so the
+/// connector window is `[ceil(lo/k), floor(hi/k)]`. Returns `None`
+/// when the window is empty (the connector cannot express the chain).
+pub fn connector_hop_window(lo: usize, hi: usize, k: usize) -> Option<(usize, usize)> {
+    if k == 0 {
+        return None;
+    }
+    let clo = lo.div_ceil(k).max(1);
+    let chi = hi / k;
+    if clo > chi {
+        None
+    } else {
+        Some((clo, chi))
+    }
+}
+
+/// Attempts to rewrite `query` so that the chain between `x` and `y`
+/// runs over `connector` instead of the raw graph (Listing 1 →
+/// Listing 4). Returns the rewritten query, which must then be executed
+/// against the connector's materialized view graph.
+///
+/// The rewrite is only emitted when it is **exactly equivalent**: every
+/// schema-feasible raw distance in the chain's hop window must be a
+/// multiple of the connector's `k` and covered by the scaled window.
+/// (E.g. a 4-hop job-to-job connector cannot replace a `[2..10]`-hop
+/// chain on the provenance schema — it would lose the distances 2, 6
+/// and 10.) A chain whose lower bound is 0 hops cannot be rewritten at
+/// all, because no connector edge expresses "zero hops".
+pub fn rewrite_over_connector(
+    query: &Query,
+    x: &str,
+    y: &str,
+    connector: &ConnectorDef,
+    schema: &Schema,
+) -> Option<Query> {
+    let pattern = query.pattern()?;
+    // endpoint types must match the connector
+    if pattern.node(x)?.label.as_deref() != Some(connector.src_type.as_str()) {
+        return None;
+    }
+    if pattern.node(y)?.label.as_deref() != Some(connector.dst_type.as_str()) {
+        return None;
+    }
+    let chain = find_chain(pattern, x, y)?;
+    if chain.lo == 0 {
+        return None;
+    }
+    // Kaskade rewritings rely on a single view (§V-C): the rewritten
+    // query runs entirely on the view graph, so the connector must cover
+    // the whole traversal — every pattern edge must belong to the chain.
+    if chain.edge_indices.len() != pattern.edges.len() {
+        return None;
+    }
+    // A same-edge-type connector only contracts walks of its edge type:
+    // every chain hop must carry exactly that type. (For untyped
+    // connectors we rely on the schema constraining which walks exist
+    // between the endpoint types — exact for the bipartite/homogeneous
+    // schemas considered here; a general regular-language containment
+    // check is future work.)
+    if let Some(required) = &connector.etype {
+        for &idx in &chain.edge_indices {
+            if pattern.edges[idx].etype.as_deref() != Some(required.as_str()) {
+                return None;
+            }
+        }
+    }
+    let (clo, chi) = connector_hop_window(chain.lo, chain.hi, connector.k)?;
+    // Equivalence condition. Both the raw window and the view run with
+    // shortest-distance semantics, and a pair's connector distance is
+    // dist/k exactly when every schema-feasible raw distance is a
+    // multiple of k (then the shortest raw walk itself decomposes into
+    // k-blocks, and no shorter connector path can exist). Under that
+    // premise the scaled window [clo, chi] selects precisely the raw
+    // distances in [lo, hi]. If some feasible distance d <= hi is NOT a
+    // multiple of k the premise breaks — e.g. FOLLOWS*2..2 on a
+    // homogeneous schema, where distance-1 pairs inside triangles also
+    // have 2-walks and would wrongly appear in the view — so we refuse.
+    for d in 1..=chain.hi {
+        if d % connector.k != 0
+            && schema.has_k_hop_walk(&connector.src_type, &connector.dst_type, d)
+        {
+            return None;
+        }
+    }
+
+
+    let mut new_query = query.clone();
+    let p = new_query.pattern_mut()?;
+    // drop chain edges (descending index order keeps indices valid)
+    let mut to_drop = chain.edge_indices.clone();
+    to_drop.sort_unstable();
+    for idx in to_drop.into_iter().rev() {
+        p.edges.remove(idx);
+    }
+    // drop interior nodes
+    p.nodes.retain(|n| !chain.interior.contains(&n.var));
+    // splice the connector edge
+    p.edges.push(EdgePattern::var_length(
+        x,
+        y,
+        Some(&connector.edge_label()),
+        clo,
+        chi,
+    ));
+    Some(new_query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_query::{listings::LISTING_1, parse};
+
+    fn prov() -> Schema {
+        Schema::provenance()
+    }
+
+    #[test]
+    fn chain_of_listing_1() {
+        let q = parse(LISTING_1).unwrap();
+        let p = q.pattern().unwrap();
+        let c = find_chain(p, "q_j1", "q_j2").unwrap();
+        assert_eq!(c.edge_indices.len(), 3);
+        assert_eq!(c.interior, vec!["q_f1".to_string(), "q_f2".to_string()]);
+        assert_eq!((c.lo, c.hi), (2, 10)); // 1 + [0..8] + 1
+    }
+
+    #[test]
+    fn chain_rejects_projected_interior() {
+        let q = parse(
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job)
+             RETURN a, f, b",
+        )
+        .unwrap();
+        assert!(find_chain(q.pattern().unwrap(), "a", "b").is_none());
+    }
+
+    #[test]
+    fn chain_rejects_branching_interior() {
+        let q = parse(
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job)
+                   (f:File)-[:IS_READ_BY]->(c:Job)
+             RETURN a, b, c",
+        )
+        .unwrap();
+        assert!(find_chain(q.pattern().unwrap(), "a", "b").is_none());
+    }
+
+    #[test]
+    fn chain_simple_two_hop() {
+        let q = parse(
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+        )
+        .unwrap();
+        let c = find_chain(q.pattern().unwrap(), "a", "b").unwrap();
+        assert_eq!((c.lo, c.hi), (2, 2));
+    }
+
+    #[test]
+    fn hop_window_scaling() {
+        assert_eq!(connector_hop_window(2, 10, 2), Some((1, 5)));
+        assert_eq!(connector_hop_window(2, 2, 2), Some((1, 1)));
+        assert_eq!(connector_hop_window(2, 10, 4), Some((1, 2)));
+        assert_eq!(connector_hop_window(3, 3, 2), None); // no multiple of 2 in [3,3]
+        assert_eq!(connector_hop_window(2, 3, 2), Some((1, 1)));
+        assert_eq!(connector_hop_window(0, 0, 2), None);
+        assert_eq!(connector_hop_window(1, 1, 1), Some((1, 1)));
+    }
+
+    #[test]
+    fn listing_1_rewrites_to_listing_4_shape() {
+        let q = parse(LISTING_1).unwrap();
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let rw = rewrite_over_connector(&q, "q_j1", "q_j2", &def, &prov()).unwrap();
+        let p = rw.pattern().unwrap();
+        assert_eq!(p.edges.len(), 1);
+        let e = &p.edges[0];
+        assert_eq!(e.src, "q_j1");
+        assert_eq!(e.dst, "q_j2");
+        assert_eq!(e.etype.as_deref(), Some("JOB_TO_JOB_2_HOP"));
+        assert_eq!(e.hops, Some((1, 5)));
+        // interior nodes are gone
+        assert!(p.node("q_f1").is_none());
+        assert!(p.node("q_f2").is_none());
+        // projection untouched
+        assert_eq!(p.returns.len(), 2);
+    }
+
+    #[test]
+    fn rewrite_with_4_hop_connector_is_rejected_as_inexact() {
+        // raw window [2,10] contains feasible distances 2, 6, 10 that a
+        // 4-hop connector cannot express — rewriting would drop results
+        let q = parse(LISTING_1).unwrap();
+        let def = ConnectorDef::k_hop("Job", "Job", 4);
+        assert!(rewrite_over_connector(&q, "q_j1", "q_j2", &def, &prov()).is_none());
+    }
+
+    #[test]
+    fn rewrite_with_4_hop_connector_accepted_when_window_aligns() {
+        // a chain of exactly [4..8] hops: feasible distances 4, 6, 8;
+        // k=4 still loses 6, so rejected; k=2 covers all of them
+        let q = parse(
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[e*3..7]->(g:File)
+                   (g:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+        )
+        .unwrap();
+        let k4 = ConnectorDef::k_hop("Job", "Job", 4);
+        assert!(rewrite_over_connector(&q, "a", "b", &k4, &prov()).is_none());
+        let k2 = ConnectorDef::k_hop("Job", "Job", 2);
+        let rw = rewrite_over_connector(&q, "a", "b", &k2, &prov()).unwrap();
+        assert_eq!(rw.pattern().unwrap().edges[0].hops, Some((3, 4))); // raw 5..9 → even 6, 8
+    }
+
+    #[test]
+    fn rewrite_rejects_zero_lower_bound_chain() {
+        // the chain q_f1 →(*0..8)→ q_f2 alone has lo=0: a connector edge
+        // cannot express the zero-hop (f1 = f2) case
+        let q = parse(LISTING_1).unwrap();
+        let def = ConnectorDef::k_hop("File", "File", 2);
+        assert!(rewrite_over_connector(&q, "q_f1", "q_f2", &def, &prov()).is_none());
+    }
+
+    #[test]
+    fn typed_connector_requires_matching_chain_types() {
+        // a bipartite schema with a single typed edge relation per hop:
+        // every Job→Job distance is even, so [2,2] windows are sound
+        let mut schema = Schema::new();
+        schema.add_edge_rule("Job", "W", "File");
+        schema.add_edge_rule("File", "W", "Job");
+        let q = parse(
+            "MATCH (a:Job)-[:W]->(f:File) (f:File)-[:W]->(b:Job) RETURN a, b",
+        )
+        .unwrap();
+        let right = ConnectorDef::same_edge_type("Job", "Job", 2, "W");
+        assert!(rewrite_over_connector(&q, "a", "b", &right, &schema).is_some());
+        let wrong = ConnectorDef::same_edge_type("Job", "Job", 2, "X");
+        assert!(rewrite_over_connector(&q, "a", "b", &wrong, &schema).is_none());
+    }
+
+    #[test]
+    fn homogeneous_exact_window_is_rejected_as_unsound() {
+        // on a one-type schema, distance-1 pairs are feasible below the
+        // window's lower bound 2, so a [2,2] rewrite would overcount
+        // (triangles) — the rewriter must refuse
+        let schema = Schema::homogeneous("User", "FOLLOWS");
+        let q = parse("MATCH (a:User)-[:FOLLOWS*2..2]->(b:User) RETURN a, b").unwrap();
+        let def = ConnectorDef::same_edge_type("User", "User", 2, "FOLLOWS");
+        assert!(rewrite_over_connector(&q, "a", "b", &def, &schema).is_none());
+    }
+
+    #[test]
+    fn rewrite_rejects_partial_pattern_coverage() {
+        // a 1-hop job-to-file connector would only cover the first edge
+        // of Listing 1's pattern; the rewritten query would then need
+        // IS_READ_BY edges the view graph does not contain
+        let q = parse(LISTING_1).unwrap();
+        let def = ConnectorDef::k_hop("Job", "File", 1);
+        assert!(rewrite_over_connector(&q, "q_j1", "q_f1", &def, &prov()).is_none());
+    }
+
+    #[test]
+    fn rewrite_rejects_type_mismatch() {
+        let q = parse(LISTING_1).unwrap();
+        let def = ConnectorDef::k_hop("File", "File", 2);
+        assert!(rewrite_over_connector(&q, "q_j1", "q_j2", &def, &prov()).is_none());
+    }
+
+    #[test]
+    fn rewrite_rejects_unknown_vars() {
+        let q = parse(LISTING_1).unwrap();
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        assert!(rewrite_over_connector(&q, "zz", "q_j2", &def, &prov()).is_none());
+    }
+
+    #[test]
+    fn rewrite_preserves_outer_select() {
+        let q = parse(LISTING_1).unwrap();
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let rw = rewrite_over_connector(&q, "q_j1", "q_j2", &def, &prov()).unwrap();
+        // outer SELECT must be structurally identical apart from the pattern
+        let kaskade_query::Query::Select(outer) = &rw else {
+            panic!()
+        };
+        assert_eq!(outer.items.len(), 2);
+        assert_eq!(outer.group_by.len(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! The Prolog rule library: constraint mining rules and view templates.
+//!
+//! These are the paper's Listings 2, 3, 5 and 6, kept **verbatim** (same
+//! predicate names, same clause structure) and run on our own inference
+//! engine. Two documented additions:
+//!
+//! * `schemaKHopWalk/3` — the acyclic-trail rule `schemaKHopPath` of
+//!   Lst. 2 only admits paths that never revisit a vertex *type*, which
+//!   caps k at the number of schema types; the §IV-B walkthrough,
+//!   however, expects `K = 2,4,6,8,10` instantiations for the
+//!   provenance schema (2 types). `schemaKHopWalk` is the bounded-walk
+//!   variant that matches that expectation; the `kHopConnector` view
+//!   template consults it (with `K` already bound by the query
+//!   constraints, so evaluation terminates).
+//! * `removableVertexType/1` and `removableEdgeType/1` — the driving
+//!   queries for summarizer enumeration. Lst. 5's
+//!   `summarizerRemoveVertices` checks whether removing a *given* type
+//!   is safe per query vertex; these rules quantify over the schema to
+//!   produce the removable set directly.
+
+/// Constraint mining rules for the graph schema (paper Lst. 2 plus the
+/// bounded-walk variant).
+pub const SCHEMA_MINING_RULES: &str = r#"
+% Determine whether acyclic directed k-length paths
+% between two nodes X and Y are feasible over the input
+% graph schema. schemaEdge are explicit constraints
+% extracted from the schema.  (Paper Lst. 2, verbatim.)
+schemaKHopPath(X,Y,K) :-
+    schemaKHopPath(X,Y,K,[]).
+schemaKHopPath(X,Y,1,_) :-
+    schemaEdge(X,Y,_).
+schemaKHopPath(X,Y,K,Trail) :-
+    schemaEdge(X,Z,_), not(member(Z,Trail)),
+    schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.
+
+% Bounded-walk variant: k-length schema walks that may revisit vertex
+% types. K must be bound (the view templates bind it from the query
+% constraints before consulting this rule).
+schemaKHopWalk(X,Y,1) :- schemaEdge(X,Y,_).
+schemaKHopWalk(X,Y,K) :- K > 1, K1 is K - 1,
+    schemaEdge(X,Z,_), schemaKHopWalk(Z,Y,K1).
+
+% Reachability over the schema graph (acyclic trails).
+schemaPath(X,Y) :- schemaEdge(X,Y,_).
+schemaPath(X,Y) :- schemaKHopPath(X,Y,_).
+
+% Reflexive-transitive schema reachability.
+schemaReach(T, T) :- schemaVertex(T).
+schemaReach(X, Y) :- schemaPath(X, Y).
+"#;
+
+/// Constraint mining rules for the query (paper Lst. 6, verbatim).
+pub const QUERY_MINING_RULES: &str = r#"
+% Query k-hop variable length paths
+queryKHopVariableLengthPath(X, Y, K) :-
+    queryVariableLengthPath(X, Y, LOWER, UPPER),
+    between(LOWER, UPPER, K).
+
+% Query k-hop paths
+queryKHopPath(X, Y, 1) :- queryEdge(X, Y).
+queryKHopPath(X, Y, K) :-
+    queryKHopVariableLengthPath(X, Y, K).
+queryKHopPath(X, Y, K) :- queryEdge(X, Z),
+    queryKHopPath(Z, Y, K1), K is K1 + 1.
+queryKHopPath(X, Y, K) :-
+    queryKHopVariableLengthPath(X, Z, K2),
+    queryKHopPath(Z, Y, K1), K is K1 + K2.
+
+% Query paths
+queryPath(X, Y) :- queryEdge(X, Y).
+queryPath(X, Y) :- queryKHopPath(X, Y, _).
+queryPath(X, Y) :- queryEdge(X, Z), queryPath(Z, Y).
+
+% Query vertex source/sink
+queryVertexSource(X) :- queryVertexInDegree(X, 0).
+queryVertexSink(X) :- queryVertexOutDegree(X, 0).
+
+% Query vertex in/out degrees
+queryIncomingVertices(X, INLIST) :- queryVertex(X),
+    findall(SRC, queryEdge(SRC, X), INLIST).
+queryOutgoingVertices(X, OUTLIST) :- queryVertex(X),
+    findall(DST, queryEdge(X, DST), OUTLIST).
+queryVertexInDegree(X, D) :-
+    queryIncomingVertices(X, INLIST), length(INLIST, D).
+queryVertexOutDegree(X, D) :-
+    queryOutgoingVertices(X, OUTLIST), length(OUTLIST, D).
+"#;
+
+/// Connector view templates (paper Lst. 3; `schemaKHopWalk` is consulted
+/// where the paper writes `schemaKHopPath`, see module docs).
+pub const CONNECTOR_TEMPLATES: &str = r#"
+% k-hop connector between nodes X and Y.
+kHopConnector(X, Y, XTYPE, YTYPE, K) :-
+    % query constraints
+    queryVertexType(X, XTYPE),
+    queryVertexType(Y, YTYPE),
+    queryKHopPath(X, Y, K),
+    K > 0,
+    % schema constraints
+    schemaKHopWalk(XTYPE, YTYPE, K).
+
+% k-hop connector where all vertices are of the same type.
+kHopConnectorSameVertexType(X, Y, VTYPE, K) :-
+    kHopConnector(X, Y, VTYPE, VTYPE, K).
+
+% Variable-length connector where all vertices are of
+% the same type.
+connectorSameVertexType(X, Y, VTYPE) :-
+    % query constraints
+    queryVertexType(X, VTYPE),
+    queryVertexType(Y, VTYPE),
+    queryPath(X, Y),
+    % schema constraints
+    schemaPath(VTYPE, VTYPE).
+
+% Source-to-sink variable-length connector.
+sourceToSinkConnector(X, Y) :-
+    % query constraints
+    queryVertexSource(X),
+    queryVertexSink(Y),
+    queryPath(X, Y).
+
+% Same-edge-type connector (Table I row 3): a typed variable-length
+% path in the query whose single edge type also forms k-length schema
+% walks between the endpoint types.
+sameEdgeTypeConnector(X, Y, XTYPE, YTYPE, ETYPE, K) :-
+    % query constraints
+    queryVertexType(X, XTYPE),
+    queryVertexType(Y, YTYPE),
+    queryPathEdgeType(X, Y, ETYPE),
+    queryKHopVariableLengthPath(X, Y, K),
+    K > 0,
+    % schema constraints: a k-walk using only ETYPE edges
+    schemaKHopWalkVia(XTYPE, YTYPE, ETYPE, K).
+
+schemaKHopWalkVia(X, Y, ETYPE, 1) :- schemaEdge(X, Y, ETYPE).
+schemaKHopWalkVia(X, Y, ETYPE, K) :- K > 1, K1 is K - 1,
+    schemaEdge(X, Z, ETYPE), schemaKHopWalkVia(Z, Y, ETYPE, K1).
+"#;
+
+/// Summarizer view templates (paper Lst. 5, verbatim) plus the driving
+/// enumeration rules.
+pub const SUMMARIZER_TEMPLATES: &str = r#"
+% summarizers: filter vertices and edges by type  (Paper Lst. 5.)
+summarizerRemoveEdges(X, Y, ETYPE_REMOVE, ETYPE_KEPT) :-
+    queryEdge(X, Y), not(queryEdgeType(X, Y, ETYPE_REMOVE)),
+    queryEdgeType(X, Y, ETYPE_KEPT).
+summarizerRemoveVertices(X, VTYPE_REMOVE, VTYPE_KEPT) :-
+    queryVertex(X), not(queryVertexType(X, VTYPE_REMOVE)),
+    queryVertexType(X, VTYPE_KEPT).
+
+% Example aggr function for higher-order functions such
+% as aggregator graph view templates.
+sum(X, Y, R) :- R is X + Y.
+
+% Ego-centric k-hop neighborhood (undirected).
+queryVertexKHopNbors(K, X, LIST) :- queryVertex(X),
+    findall(SRC, queryKHopPath(SRC, X, K), INLIST),
+    findall(DST, queryKHopPath(X, DST, K), OUTLIST),
+    append(INLIST, OUTLIST, TMPLIST), sort(TMPLIST, LIST).
+
+% Example aggregator using k-hop neighborhood, e.g.,
+% aggregate all 1-hop neighbors as sum of their
+% bytes: "kHopNborsAggregator(1, j2, 'bytes', sum, R)."
+kHopNborsAggregator(K, X, P, AGGR, RESULT) :-
+    queryVertexKHopNbors(K, X, NBORS),
+    convlist(property(P), NBORS, OUTLIST),
+    foldl(AGGR, OUTLIST, 0, RESULT).
+
+% Driving queries for summarizer enumeration. A type is removable only
+% when the query cannot possibly traverse it — which for variable-length
+% paths requires schema reachability analysis, not just looking at the
+% named pattern elements: an (untyped) -[*l..u]-> between two File
+% vertices walks through every vertex/edge type on some File-to-File
+% schema walk.
+
+% Edge types the query traverses: explicitly named...
+queryTraversesEdgeType(T) :- queryEdgeType(_, _, T).
+% ...or lying on a possible realization of an untyped variable-length
+% path (source endpoint type reaches the edge's domain, and the edge's
+% range reaches the destination endpoint type)...
+queryTraversesEdgeType(T) :-
+    queryVariableLengthPath(X, Y, _, _),
+    not(queryPathEdgeType(X, Y, _)),
+    queryVertexType(X, XT), queryVertexType(Y, YT),
+    schemaEdge(S, D, T),
+    schemaReach(XT, S), schemaReach(D, YT).
+% ...or anything at all, when a variable-length path has an untyped
+% endpoint (no way to bound what it walks through)...
+queryTraversesEdgeType(T) :-
+    queryVariableLengthPath(X, _, _, _),
+    not(queryPathEdgeType(X, _, _)),
+    not(queryVertexType(X, _)), schemaEdge(_, _, T).
+queryTraversesEdgeType(T) :-
+    queryVariableLengthPath(_, Y, _, _),
+    not(queryPathEdgeType(_, Y, _)),
+    not(queryVertexType(Y, _)), schemaEdge(_, _, T).
+% ...or compatible with an untyped single-hop pattern edge.
+queryTraversesEdgeType(T) :-
+    queryEdge(X, Y), not(queryEdgeType(X, Y, _)),
+    queryVertexType(X, XT), queryVertexType(Y, YT),
+    schemaEdge(XT, YT, T).
+queryTraversesEdgeType(T) :-
+    queryEdge(X, Y), not(queryEdgeType(X, Y, _)),
+    not(queryVertexType(X, _)), schemaEdge(_, _, T).
+queryTraversesEdgeType(T) :-
+    queryEdge(X, Y), not(queryEdgeType(X, Y, _)),
+    not(queryVertexType(Y, _)), schemaEdge(_, _, T).
+
+% Vertex types the query traverses: named on a pattern vertex, or a
+% possible intermediate of any variable-length path.
+queryTraversesVertexType(T) :- queryVertexType(_, T).
+queryTraversesVertexType(T) :-
+    queryVariableLengthPath(X, Y, _, _),
+    queryVertexType(X, XT), queryVertexType(Y, YT),
+    schemaVertex(T), schemaReach(XT, T), schemaReach(T, YT).
+queryTraversesVertexType(T) :-
+    queryVariableLengthPath(X, _, _, _),
+    not(queryVertexType(X, _)), schemaVertex(T).
+queryTraversesVertexType(T) :-
+    queryVariableLengthPath(_, Y, _, _),
+    not(queryVertexType(Y, _)), schemaVertex(T).
+
+removableVertexType(T) :- schemaVertex(T), not(queryTraversesVertexType(T)).
+removableEdgeType(T) :- schemaEdge(_, _, T), not(queryTraversesEdgeType(T)).
+keptVertexType(T) :- schemaVertex(T), queryTraversesVertexType(T).
+keptEdgeType(T) :- schemaEdge(_, _, T), queryTraversesEdgeType(T).
+"#;
+
+/// Fact predicates the constraint miner may emit. All are declared
+/// dynamic so rules consulting an absent kind of fact fail cleanly
+/// instead of raising unknown-predicate errors.
+pub const FACT_PREDICATES: &[(&str, usize)] = &[
+    ("queryVertex", 1),
+    ("queryVertexType", 2),
+    ("queryEdge", 2),
+    ("queryEdgeType", 3),
+    ("queryVariableLengthPath", 4),
+    ("schemaVertex", 1),
+    ("schemaEdge", 3),
+    ("property", 3),
+    ("queryPathEdgeType", 3),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_prolog::Database;
+
+    fn base_db() -> Database {
+        let mut db = Database::with_prelude();
+        db.consult(SCHEMA_MINING_RULES).unwrap();
+        db.consult(QUERY_MINING_RULES).unwrap();
+        db.consult(CONNECTOR_TEMPLATES).unwrap();
+        db.consult(SUMMARIZER_TEMPLATES).unwrap();
+        for (f, a) in FACT_PREDICATES {
+            db.declare_dynamic(f, *a);
+        }
+        db
+    }
+
+    #[test]
+    fn all_rule_sets_parse() {
+        base_db();
+    }
+
+    #[test]
+    fn schema_walk_allows_type_revisits() {
+        let mut db = base_db();
+        db.consult(
+            "schemaEdge('Job','File','WRITES_TO').
+             schemaEdge('File','Job','IS_READ_BY').",
+        )
+        .unwrap();
+        // trail-based rule: only K=2 for Job→Job
+        assert!(db.has_solution("schemaKHopPath('Job','Job',2)").unwrap());
+        assert!(!db.has_solution("schemaKHopPath('Job','Job',4)").unwrap());
+        // bounded walk: any even K
+        assert!(db.has_solution("schemaKHopWalk('Job','Job',4)").unwrap());
+        assert!(db.has_solution("schemaKHopWalk('Job','Job',10)").unwrap());
+        assert!(!db.has_solution("schemaKHopWalk('Job','Job',3)").unwrap());
+    }
+
+    #[test]
+    fn query_k_hop_paths_combine_edges_and_var_lengths() {
+        let mut db = base_db();
+        db.consult(
+            "queryVertex(q_j1). queryVertex(q_f1).
+             queryVertex(q_f2). queryVertex(q_j2).
+             queryEdge(q_j1, q_f1). queryEdge(q_f2, q_j2).
+             queryVariableLengthPath(q_f1, q_f2, 0, 8).",
+        )
+        .unwrap();
+        let sols = db.query("queryKHopPath(q_j1, q_j2, K)").unwrap();
+        let mut ks: Vec<i64> = sols
+            .iter()
+            .map(|s| s[0].1.int_value().unwrap())
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        assert_eq!(ks, vec![2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn source_sink_detection() {
+        let mut db = base_db();
+        db.consult(
+            "queryVertex(a). queryVertex(b). queryVertex(c).
+             queryEdge(a, b). queryEdge(b, c).",
+        )
+        .unwrap();
+        assert!(db.has_solution("queryVertexSource(a)").unwrap());
+        assert!(!db.has_solution("queryVertexSource(b)").unwrap());
+        assert!(db.has_solution("queryVertexSink(c)").unwrap());
+        assert!(!db.has_solution("queryVertexSink(a)").unwrap());
+    }
+
+    #[test]
+    fn removable_types_exclude_query_types() {
+        let mut db = base_db();
+        db.consult(
+            "schemaVertex('Job'). schemaVertex('File'). schemaVertex('Task').
+             schemaEdge('Job','File','WRITES_TO').
+             schemaEdge('Job','Task','SPAWNS').
+             queryVertex(j). queryVertexType(j, 'Job').
+             queryVertex(f). queryVertexType(f, 'File').
+             queryEdge(j, f). queryEdgeType(j, f, 'WRITES_TO').",
+        )
+        .unwrap();
+        let sols = db.query("removableVertexType(T)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1.to_string(), "'Task'");
+        let kept = db.query("keptVertexType(T)").unwrap();
+        assert_eq!(kept.len(), 2);
+        let re = db.query("removableEdgeType(T)").unwrap();
+        assert_eq!(re.len(), 1);
+        assert_eq!(re[0][0].1.to_string(), "'SPAWNS'");
+    }
+
+    #[test]
+    fn k_hop_nbors_aggregator_from_appendix() {
+        let mut db = base_db();
+        db.consult(
+            "queryVertex(j1). queryVertex(f1). queryVertex(f2).
+             queryEdge(j1, f1). queryEdge(j1, f2).
+             property(bytes, f1, 10). property(bytes, f2, 32).",
+        )
+        .unwrap();
+        // sum of 'bytes' over 1-hop neighborhood of j1 = 42
+        let sols = db
+            .query("kHopNborsAggregator(1, j1, bytes, sum, R)")
+            .unwrap();
+        assert_eq!(sols[0][0].1.int_value(), Some(42));
+    }
+}

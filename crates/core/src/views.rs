@@ -1,0 +1,353 @@
+//! Graph view definitions: connectors (Table I) and summarizers
+//! (Table II).
+//!
+//! A [`ViewDef`] is the graph-level description of a view — independent
+//! of any particular query — that the materializer executes and the
+//! catalog stores. View *candidates* produced by enumeration
+//! ([`crate::enumerate`]) reference query variables and are lowered to
+//! `ViewDef`s before selection.
+
+use std::fmt;
+
+/// A connector view: every edge contracts a directed path between two
+/// target vertices (§VI-A).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConnectorDef {
+    /// Source target-vertex type.
+    pub src_type: String,
+    /// Destination target-vertex type.
+    pub dst_type: String,
+    /// Path length being contracted (k-hop connector).
+    pub k: usize,
+    /// Restrict every contracted hop to this edge type (the
+    /// same-edge-type connector of Table I). `None` allows any type.
+    pub etype: Option<String>,
+}
+
+impl ConnectorDef {
+    /// A k-hop connector between two vertex types.
+    pub fn k_hop(src_type: &str, dst_type: &str, k: usize) -> Self {
+        ConnectorDef {
+            src_type: src_type.to_string(),
+            dst_type: dst_type.to_string(),
+            k,
+            etype: None,
+        }
+    }
+
+    /// A same-edge-type k-hop connector (Table I row 3): contracts
+    /// k-length paths whose every edge has type `etype`.
+    pub fn same_edge_type(src_type: &str, dst_type: &str, k: usize, etype: &str) -> Self {
+        ConnectorDef {
+            src_type: src_type.to_string(),
+            dst_type: dst_type.to_string(),
+            k,
+            etype: Some(etype.to_string()),
+        }
+    }
+
+    /// Whether source and destination types coincide (same-vertex-type
+    /// connector, Table I row 1).
+    pub fn is_same_vertex_type(&self) -> bool {
+        self.src_type == self.dst_type
+    }
+
+    /// The edge-type label connector edges carry in the materialized
+    /// view, e.g. `JOB_TO_JOB_2_HOP` for the paper's running example
+    /// (same-edge-type connectors append `_VIA_<ETYPE>`).
+    pub fn edge_label(&self) -> String {
+        let base = format!(
+            "{}_TO_{}_{}_HOP",
+            self.src_type.to_uppercase(),
+            self.dst_type.to_uppercase(),
+            self.k
+        );
+        match &self.etype {
+            Some(t) => format!("{base}_VIA_{}", t.to_uppercase()),
+            None => base,
+        }
+    }
+
+    /// The Cypher-style creation query for this view, as Kaskade's
+    /// workload analyzer would submit it to the graph engine (§V-B).
+    pub fn to_cypher(&self) -> String {
+        format!(
+            "MATCH (x:{})-[*{k}..{k}]->(y:{}) MERGE (x)-[:{}]->(y)",
+            self.src_type,
+            self.dst_type,
+            self.edge_label(),
+            k = self.k
+        )
+    }
+}
+
+impl fmt::Display for ConnectorDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-hop connector {} -> {}",
+            self.k, self.src_type, self.dst_type
+        )
+    }
+}
+
+/// Aggregate functions available to aggregator summarizers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// Sum of an integer property.
+    Sum,
+    /// Count of merged members.
+    Count,
+    /// Minimum of an integer property.
+    Min,
+    /// Maximum of an integer property.
+    Max,
+}
+
+/// A property predicate usable in summarizer filters (the paper's
+/// footnote 5: "summarizer views can also include predicates on
+/// vertex/edge properties"). Restricted to hashable forms so view
+/// definitions stay usable as catalog keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PropPredicate {
+    /// Integer property `key >= bound`.
+    IntAtLeast(String, i64),
+    /// Integer property `key < bound`.
+    IntBelow(String, i64),
+    /// String property equality.
+    StrEquals(String, String),
+    /// The property exists (any value).
+    Exists(String),
+}
+
+impl PropPredicate {
+    /// Evaluates the predicate against a property lookup.
+    pub fn eval(&self, get: impl Fn(&str) -> Option<kaskade_graph::Value>) -> bool {
+        match self {
+            PropPredicate::IntAtLeast(k, b) => {
+                get(k).and_then(|v| v.as_int()).is_some_and(|v| v >= *b)
+            }
+            PropPredicate::IntBelow(k, b) => {
+                get(k).and_then(|v| v.as_int()).is_some_and(|v| v < *b)
+            }
+            PropPredicate::StrEquals(k, s) => {
+                get(k).and_then(|v| v.as_str().map(str::to_string)).as_deref() == Some(s)
+            }
+            PropPredicate::Exists(k) => get(k).is_some(),
+        }
+    }
+}
+
+impl fmt::Display for PropPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropPredicate::IntAtLeast(k, b) => write!(f, "{k} >= {b}"),
+            PropPredicate::IntBelow(k, b) => write!(f, "{k} < {b}"),
+            PropPredicate::StrEquals(k, s) => write!(f, "{k} = '{s}'"),
+            PropPredicate::Exists(k) => write!(f, "exists({k})"),
+        }
+    }
+}
+
+/// A summarizer view: a subgraph of the original graph obtained by
+/// filtering or aggregation (§VI-B, Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SummarizerDef {
+    /// Removes vertices of the listed types (and their incident edges).
+    VertexRemoval {
+        /// Types to drop.
+        remove: Vec<String>,
+    },
+    /// Removes edges of the listed types.
+    EdgeRemoval {
+        /// Edge types to drop.
+        remove: Vec<String>,
+    },
+    /// Keeps only vertices of the listed types, and edges whose both
+    /// endpoints survive.
+    VertexInclusion {
+        /// Types to keep.
+        keep: Vec<String>,
+    },
+    /// Keeps only edges of the listed types (plus their endpoints).
+    EdgeInclusion {
+        /// Edge types to keep.
+        keep: Vec<String>,
+    },
+    /// Groups vertices of `vtype` sharing the value of `group_prop`
+    /// into one supervertex; `agg` combines the `agg_prop` values.
+    VertexAggregator {
+        /// Vertex type being grouped.
+        vtype: String,
+        /// Property whose value defines the group.
+        group_prop: String,
+        /// Aggregated property.
+        agg_prop: String,
+        /// Aggregate function.
+        agg: AggOp,
+    },
+    /// Merges parallel edges (same source, destination and type) into a
+    /// superedge carrying a `count` property.
+    EdgeAggregator,
+    /// Keeps only vertices satisfying a property predicate (and edges
+    /// between survivors) — footnote 5's predicate summarizer.
+    VertexPredicate {
+        /// The predicate survivors must satisfy.
+        keep: PropPredicate,
+    },
+    /// Keeps only edges satisfying a property predicate.
+    EdgePredicate {
+        /// The predicate surviving edges must satisfy.
+        keep: PropPredicate,
+    },
+}
+
+impl fmt::Display for SummarizerDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummarizerDef::VertexRemoval { remove } => {
+                write!(f, "vertex-removal summarizer (drop {})", remove.join(", "))
+            }
+            SummarizerDef::EdgeRemoval { remove } => {
+                write!(f, "edge-removal summarizer (drop {})", remove.join(", "))
+            }
+            SummarizerDef::VertexInclusion { keep } => {
+                write!(f, "vertex-inclusion summarizer (keep {})", keep.join(", "))
+            }
+            SummarizerDef::EdgeInclusion { keep } => {
+                write!(f, "edge-inclusion summarizer (keep {})", keep.join(", "))
+            }
+            SummarizerDef::VertexAggregator {
+                vtype, group_prop, ..
+            } => write!(f, "vertex-aggregator summarizer ({vtype} by {group_prop})"),
+            SummarizerDef::EdgeAggregator => write!(f, "edge-aggregator summarizer"),
+            SummarizerDef::VertexPredicate { keep } => {
+                write!(f, "vertex-predicate summarizer ({keep})")
+            }
+            SummarizerDef::EdgePredicate { keep } => {
+                write!(f, "edge-predicate summarizer ({keep})")
+            }
+        }
+    }
+}
+
+/// A source-to-sink connector (Table I row 4): one edge per (source,
+/// sink) pair connected by any directed path, where sources have no
+/// incoming and sinks no outgoing edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SourceSinkDef {
+    /// Optionally restrict sources to a vertex type.
+    pub src_type: Option<String>,
+    /// Optionally restrict sinks to a vertex type.
+    pub dst_type: Option<String>,
+}
+
+impl SourceSinkDef {
+    /// The edge label used in the materialized view.
+    pub fn edge_label(&self) -> String {
+        "SOURCE_TO_SINK".to_string()
+    }
+}
+
+impl fmt::Display for SourceSinkDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "source-to-sink connector ({} -> {})",
+            self.src_type.as_deref().unwrap_or("*"),
+            self.dst_type.as_deref().unwrap_or("*")
+        )
+    }
+}
+
+/// Any graph view Kaskade can materialize.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ViewDef {
+    /// A path-contraction view.
+    Connector(ConnectorDef),
+    /// A source-to-sink contraction view.
+    SourceSink(SourceSinkDef),
+    /// A filtering/aggregation view.
+    Summarizer(SummarizerDef),
+}
+
+impl ViewDef {
+    /// A stable identifier used as the catalog key.
+    pub fn id(&self) -> String {
+        match self {
+            ViewDef::Connector(c) => format!("connector:{}", c.edge_label()),
+            ViewDef::SourceSink(s) => format!("connector:{s}"),
+            ViewDef::Summarizer(s) => format!("summarizer:{s}"),
+        }
+    }
+}
+
+impl fmt::Display for ViewDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewDef::Connector(c) => c.fmt(f),
+            ViewDef::SourceSink(s) => s.fmt(f),
+            ViewDef::Summarizer(s) => s.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_label_format_matches_paper_style() {
+        let c = ConnectorDef::k_hop("Job", "Job", 2);
+        assert_eq!(c.edge_label(), "JOB_TO_JOB_2_HOP");
+        assert!(c.is_same_vertex_type());
+        let d = ConnectorDef::k_hop("Author", "Venue", 1);
+        assert_eq!(d.edge_label(), "AUTHOR_TO_VENUE_1_HOP");
+        assert!(!d.is_same_vertex_type());
+    }
+
+    #[test]
+    fn cypher_rendering() {
+        let c = ConnectorDef::k_hop("Job", "Job", 2);
+        let q = c.to_cypher();
+        assert!(q.contains("MATCH (x:Job)-[*2..2]->(y:Job)"));
+        assert!(q.contains("JOB_TO_JOB_2_HOP"));
+    }
+
+    #[test]
+    fn same_edge_type_label() {
+        let c = ConnectorDef::same_edge_type("User", "User", 3, "FOLLOWS");
+        assert_eq!(c.edge_label(), "USER_TO_USER_3_HOP_VIA_FOLLOWS");
+        assert_eq!(c.etype.as_deref(), Some("FOLLOWS"));
+    }
+
+    #[test]
+    fn source_sink_display() {
+        let d = SourceSinkDef {
+            src_type: Some("Job".into()),
+            dst_type: None,
+        };
+        assert!(d.to_string().contains("Job -> *"));
+        assert_eq!(SourceSinkDef::default().edge_label(), "SOURCE_TO_SINK");
+    }
+
+    #[test]
+    fn view_ids_are_distinct() {
+        let a = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2));
+        let b = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 4));
+        let s = ViewDef::Summarizer(SummarizerDef::VertexInclusion {
+            keep: vec!["Job".into(), "File".into()],
+        });
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.id(), s.id());
+    }
+
+    #[test]
+    fn display_summarizers() {
+        let s = SummarizerDef::VertexRemoval {
+            remove: vec!["Task".into(), "Machine".into()],
+        };
+        assert!(s.to_string().contains("Task, Machine"));
+        assert!(SummarizerDef::EdgeAggregator.to_string().contains("edge"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Synthetic DBLP-style publication network generator.
+//!
+//! Substitutes the GraphDBLP dump used in §VII-B: a heterogeneous network
+//! of authors, publications and venues. Authors write publications
+//! (`AUTHORED` / reverse `IS_AUTHORED_BY`) and publications appear in
+//! venues (`PUBLISHED_IN`). Publications-per-author follows a power law
+//! (a few prolific authors), and co-authorship arises from publications
+//! having several authors — which is what gives the 2-hop
+//! author-to-author connector its structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kaskade_graph::{Graph, GraphBuilder, Value, VertexId};
+
+use crate::sampling::{PowerLaw, PrefixWeights};
+
+/// Configuration for [`generate_dblp`].
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of author vertices.
+    pub authors: usize,
+    /// Number of publication vertices.
+    pub publications: usize,
+    /// Number of venue vertices.
+    pub venues: usize,
+    /// Maximum authors on one publication (power-law distributed).
+    pub max_authors_per_pub: usize,
+    /// Power-law exponent for authors-per-publication.
+    pub authorship_gamma: f64,
+    /// Research-group size: co-authors are drawn mostly from one group,
+    /// so the same author pairs publish together repeatedly. Repeated
+    /// pairs are what make the 2-hop author-to-author connector an
+    /// order of magnitude smaller than the authorship edges (Fig. 6).
+    pub team_size: usize,
+    /// Probability that a publication's authors come from a single
+    /// research group (vs. a cross-group collaboration).
+    pub team_locality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            authors: 3_000,
+            publications: 15_000,
+            venues: 60,
+            max_authors_per_pub: 6,
+            authorship_gamma: 1.6,
+            team_size: 6,
+            team_locality: 0.95,
+            seed: 0xDB1F,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        DblpConfig {
+            authors: 40,
+            publications: 120,
+            venues: 5,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Scales author and publication counts together.
+    pub fn with_scale(mut self, authors: usize) -> Self {
+        self.publications = authors * 5;
+        self.authors = authors;
+        self
+    }
+}
+
+/// Generates a dblp-style graph. Vertex types: `Author`, `Publication`,
+/// `Venue`. Publications carry a `year`; lineage edges carry `ts`.
+pub fn generate_dblp(cfg: &DblpConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let authors_pl = PowerLaw::new(cfg.authorship_gamma, cfg.max_authors_per_pub.max(1));
+
+    let mut b = GraphBuilder::new();
+    // Preferential attachment over authors: prolific authors keep publishing.
+    let mut author_weights = PrefixWeights::new();
+    let authors: Vec<VertexId> = (0..cfg.authors)
+        .map(|i| {
+            let a = b.add_vertex("Author");
+            b.set_vertex_prop(a, "name", Value::Str(format!("author{i}")));
+            author_weights.push(1);
+            a
+        })
+        .collect();
+    let venues: Vec<VertexId> = (0..cfg.venues.max(1))
+        .map(|i| {
+            let v = b.add_vertex("Venue");
+            b.set_vertex_prop(v, "name", Value::Str(format!("venue{i}")));
+            v
+        })
+        .collect();
+
+    let team_size = cfg.team_size.max(1);
+    let n_teams = cfg.authors.div_ceil(team_size).max(1);
+    let team_of = |ai: usize| ai / team_size;
+    let mut ts = 0i64;
+    for p in 0..cfg.publications {
+        let pb = b.add_vertex("Publication");
+        b.set_vertex_prop(pb, "year", Value::Int(1990 + (p % 35) as i64));
+        let k = authors_pl.sample(&mut rng);
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        // lead author: preferential attachment over everyone
+        let lead = match author_weights.sample(&mut rng) {
+            Some(ai) => ai,
+            None => continue,
+        };
+        chosen.push(lead);
+        let local_team = team_of(lead).min(n_teams - 1);
+        for _ in 1..k {
+            let ai = if rng.random_bool(cfg.team_locality.clamp(0.0, 1.0)) {
+                // co-author from the lead's research group
+                let lo = local_team * team_size;
+                let hi = (lo + team_size).min(cfg.authors);
+                lo + rng.random_range(0..(hi - lo).max(1))
+            } else {
+                match author_weights.sample(&mut rng) {
+                    Some(ai) => ai,
+                    None => continue,
+                }
+            };
+            if !chosen.contains(&ai) {
+                chosen.push(ai);
+            }
+        }
+        for &ai in &chosen {
+            ts += 1;
+            let e1 = b.add_edge(authors[ai], pb, "AUTHORED");
+            b.set_edge_prop(e1, "ts", Value::Int(ts));
+            ts += 1;
+            let e2 = b.add_edge(pb, authors[ai], "IS_AUTHORED_BY");
+            b.set_edge_prop(e2, "ts", Value::Int(ts));
+        }
+        // rich get richer
+        for &ai in &chosen {
+            author_weights.bump_all_from(ai, 1);
+        }
+        let v = venues[rng.random_range(0..venues.len())];
+        b.add_edge(pb, v, "PUBLISHED_IN");
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::Schema;
+
+    #[test]
+    fn schema_conformance() {
+        let g = generate_dblp(&DblpConfig::tiny(1));
+        let s = Schema::dblp();
+        for e in g.edges() {
+            let src = g.vertex_type(g.edge_src(e));
+            let dst = g.vertex_type(g.edge_dst(e));
+            assert!(s.allows_edge(src, g.edge_type(e), dst));
+        }
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = DblpConfig::tiny(2);
+        let g = generate_dblp(&cfg);
+        assert_eq!(g.vertices_of_type("Author").count(), cfg.authors);
+        assert_eq!(g.vertices_of_type("Publication").count(), cfg.publications);
+        assert_eq!(g.vertices_of_type("Venue").count(), cfg.venues);
+    }
+
+    #[test]
+    fn every_publication_has_a_venue_and_an_author() {
+        let g = generate_dblp(&DblpConfig::tiny(3));
+        for p in g.vertices_of_type("Publication") {
+            let mut has_venue = false;
+            let mut has_author = false;
+            for (e, _) in g.out_edges(p) {
+                match g.edge_type(e) {
+                    "PUBLISHED_IN" => has_venue = true,
+                    "IS_AUTHORED_BY" => has_author = true,
+                    _ => {}
+                }
+            }
+            assert!(has_venue, "publication without venue");
+            assert!(has_author, "publication without author");
+        }
+    }
+
+    #[test]
+    fn authored_and_is_authored_by_are_symmetric() {
+        let g = generate_dblp(&DblpConfig::tiny(4));
+        let authored = g
+            .edges()
+            .filter(|&e| g.edge_type(e) == "AUTHORED")
+            .count();
+        let reversed = g
+            .edges()
+            .filter(|&e| g.edge_type(e) == "IS_AUTHORED_BY")
+            .count();
+        assert_eq!(authored, reversed);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_dblp(&DblpConfig::tiny(5));
+        let b = generate_dblp(&DblpConfig::tiny(5));
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn prolific_authors_emerge() {
+        // preferential attachment should give the most-published author
+        // several times the median
+        let g = generate_dblp(&DblpConfig::tiny(6));
+        let mut outs: Vec<usize> = g
+            .vertices_of_type("Author")
+            .map(|a| g.out_degree(a))
+            .collect();
+        outs.sort_unstable();
+        let median = outs[outs.len() / 2];
+        let max = *outs.last().unwrap();
+        assert!(max >= median.max(1) * 3, "max={max} median={median}");
+    }
+}

@@ -1,0 +1,186 @@
+//! # kaskade-datasets
+//!
+//! Seeded synthetic dataset generators substituting the four networks of
+//! the Kaskade evaluation (§VII-B, Table III):
+//!
+//! | Paper dataset     | Generator                                   | Kind          |
+//! |-------------------|---------------------------------------------|---------------|
+//! | `prov`            | [`generate_provenance`]                     | heterogeneous |
+//! | `dblp-net`        | [`generate_dblp`]                           | heterogeneous |
+//! | `soc-livejournal` | [`generate_social`]                         | homogeneous   |
+//! | `roadnet-usa`     | [`generate_roadnet`]                        | homogeneous   |
+//!
+//! Every generator is deterministic under its seed; the [`Dataset`] enum
+//! provides the standard configurations the benchmark harness uses.
+
+#![warn(missing_docs)]
+
+mod dblp;
+mod provenance;
+mod roadnet;
+mod sampling;
+mod social;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use provenance::{generate_provenance, ProvenanceConfig};
+pub use roadnet::{generate_roadnet, RoadnetConfig};
+pub use sampling::{PowerLaw, PrefixWeights};
+pub use social::{generate_social, SocialConfig};
+
+use kaskade_graph::{Graph, Schema};
+
+/// The four evaluation datasets, mirroring Table III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Microsoft-style data-lineage provenance graph (heterogeneous).
+    Prov,
+    /// DBLP-style publication network (heterogeneous).
+    Dblp,
+    /// LiveJournal-style social network (homogeneous, power law).
+    SocLivejournal,
+    /// USA-roadnet-style road network (homogeneous, bounded degree).
+    RoadnetUsa,
+}
+
+impl Dataset {
+    /// All four datasets in the paper's presentation order.
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Prov,
+        Dataset::Dblp,
+        Dataset::RoadnetUsa,
+        Dataset::SocLivejournal,
+    ];
+
+    /// Short name as used in the paper's tables and figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dataset::Prov => "prov",
+            Dataset::Dblp => "dblp",
+            Dataset::SocLivejournal => "soc-livejournal",
+            Dataset::RoadnetUsa => "roadnet-usa",
+        }
+    }
+
+    /// Whether the dataset is heterogeneous (more than one vertex type).
+    pub fn is_heterogeneous(self) -> bool {
+        matches!(self, Dataset::Prov | Dataset::Dblp)
+    }
+
+    /// The graph schema of this dataset.
+    pub fn schema(self) -> Schema {
+        match self {
+            Dataset::Prov => {
+                let mut s = Schema::provenance();
+                s.add_edge_rule("Job", "SPAWNS", "Task");
+                s.add_edge_rule("Task", "RUNS_ON", "Machine");
+                s.add_edge_rule("Task", "TRANSFERS_TO", "Task");
+                s.add_edge_rule("User", "SUBMITTED", "Job");
+                s
+            }
+            Dataset::Dblp => Schema::dblp(),
+            Dataset::SocLivejournal => Schema::homogeneous("User", "FOLLOWS"),
+            Dataset::RoadnetUsa => Schema::homogeneous("Intersection", "ROAD"),
+        }
+    }
+
+    /// The schema of the summarized (core) version used for query
+    /// experiments: prov keeps jobs/files, dblp keeps authors/pubs,
+    /// homogeneous datasets are unchanged (§VII-B).
+    pub fn core_schema(self) -> Schema {
+        match self {
+            Dataset::Prov => Schema::provenance(),
+            Dataset::Dblp => Schema::dblp(),
+            other => other.schema(),
+        }
+    }
+
+    /// Generates the dataset at a given `scale` (≈ relative size knob;
+    /// 1 is the default evaluation size) with the given seed.
+    pub fn generate(self, scale: usize, seed: u64) -> Graph {
+        let scale = scale.max(1);
+        match self {
+            Dataset::Prov => generate_provenance(&ProvenanceConfig {
+                jobs: 2_000 * scale,
+                seed,
+                ..Default::default()
+            }),
+            Dataset::Dblp => generate_dblp(&DblpConfig {
+                authors: 3_000 * scale,
+                publications: 9_000 * scale,
+                seed,
+                ..Default::default()
+            }),
+            Dataset::SocLivejournal => generate_social(&SocialConfig {
+                users: 5_000 * scale,
+                seed,
+                ..Default::default()
+            }),
+            Dataset::RoadnetUsa => generate_roadnet(&RoadnetConfig {
+                width: 80 * scale,
+                height: 60,
+                seed,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// The vertex type that anchors Q1–Q4 on this dataset ("job" for
+    /// prov, "author" for dblp, any vertex for homogeneous networks —
+    /// §VII-C).
+    pub fn anchor_type(self) -> &'static str {
+        match self {
+            Dataset::Prov => "Job",
+            Dataset::Dblp => "Author",
+            Dataset::SocLivejournal => "User",
+            Dataset::RoadnetUsa => "Intersection",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_at_tiny_scale() {
+        for d in Dataset::ALL {
+            let g = d.generate(1, 7);
+            assert!(g.vertex_count() > 0, "{} empty", d.short_name());
+            assert!(g.edge_count() > 0, "{} no edges", d.short_name());
+        }
+    }
+
+    #[test]
+    fn heterogeneity_flags() {
+        assert!(Dataset::Prov.is_heterogeneous());
+        assert!(Dataset::Dblp.is_heterogeneous());
+        assert!(!Dataset::SocLivejournal.is_heterogeneous());
+        assert!(!Dataset::RoadnetUsa.is_heterogeneous());
+    }
+
+    #[test]
+    fn generated_graphs_conform_to_declared_schema() {
+        for d in Dataset::ALL {
+            let g = d.generate(1, 3);
+            let s = d.schema();
+            for e in g.edges().take(5_000) {
+                let src = g.vertex_type(g.edge_src(e));
+                let dst = g.vertex_type(g.edge_dst(e));
+                assert!(
+                    s.allows_edge(src, g.edge_type(e), dst),
+                    "{}: {src}-[:{}]->{dst} not in schema",
+                    d.short_name(),
+                    g.edge_type(e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_types_exist() {
+        for d in Dataset::ALL {
+            let g = d.generate(1, 5);
+            assert!(g.vertices_of_type(d.anchor_type()).next().is_some());
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Synthetic data-lineage (provenance) graph generator.
+//!
+//! Models the Microsoft provenance graph of §I-A / §VII-B: a
+//! heterogeneous network of jobs, files, tasks, machines and users where
+//! jobs write files (`WRITES_TO`), files are read by downstream jobs
+//! (`IS_READ_BY`), jobs spawn tasks, tasks run on machines and transfer
+//! data to each other, and users submit jobs. The job/file core is a
+//! layered DAG (jobs in wave `w` only read files produced by waves `< w`),
+//! which is what makes blast-radius and lineage queries well-defined.
+//!
+//! Degree distributions are power-law: a few "hot" files are read by many
+//! jobs (preferential attachment), a few jobs write many files.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kaskade_graph::{Graph, GraphBuilder, Value, VertexId};
+
+use crate::sampling::{PowerLaw, PrefixWeights};
+
+/// Configuration for [`generate_provenance`].
+#[derive(Debug, Clone)]
+pub struct ProvenanceConfig {
+    /// Number of job vertices.
+    pub jobs: usize,
+    /// Number of scheduling waves; jobs in wave `w` read only files
+    /// written by earlier waves.
+    pub waves: usize,
+    /// Power-law exponent for files-written-per-job.
+    pub write_gamma: f64,
+    /// Maximum files written by one job.
+    pub max_writes: usize,
+    /// Power-law exponent for files-read-per-job.
+    pub read_gamma: f64,
+    /// Maximum files read by one job.
+    pub max_reads: usize,
+    /// Probability that a read targets another file of an
+    /// already-chosen upstream producer instead of a fresh one.
+    /// Real pipelines read many files of few producers, which is what
+    /// makes job-to-job connectors orders of magnitude smaller than the
+    /// raw lineage (many parallel job→file→job paths contract into one
+    /// connector edge).
+    pub read_locality: f64,
+    /// Include the non-core vertex types (tasks, machines, users) that
+    /// the schema-level summarizer later removes. Tasks per job are
+    /// power-law distributed.
+    pub with_periphery: bool,
+    /// Tasks per job (upper bound of a power-law draw).
+    pub max_tasks_per_job: usize,
+    /// Number of machine vertices (shared by all tasks).
+    pub machines: usize,
+    /// Number of user vertices (each job gets one submitter).
+    pub users: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProvenanceConfig {
+    fn default() -> Self {
+        ProvenanceConfig {
+            jobs: 2_000,
+            waves: 12,
+            write_gamma: 2.2,
+            max_writes: 40,
+            read_gamma: 1.25,
+            max_reads: 40,
+            read_locality: 0.92,
+            with_periphery: true,
+            max_tasks_per_job: 20,
+            machines: 50,
+            users: 100,
+            seed: 0xCA5CADE,
+        }
+    }
+}
+
+impl ProvenanceConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        ProvenanceConfig {
+            jobs: 60,
+            waves: 4,
+            max_writes: 6,
+            max_reads: 5,
+            max_tasks_per_job: 4,
+            machines: 5,
+            users: 8,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Scales the job count, keeping other parameters.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Disables the peripheral vertex types (tasks/machines/users),
+    /// producing the already-summarized job/file core.
+    pub fn core_only(mut self) -> Self {
+        self.with_periphery = false;
+        self
+    }
+}
+
+/// Generates a provenance graph. Vertex types: `Job`, `File`, and (with
+/// periphery) `Task`, `Machine`, `User`. Job vertices carry `CPU` (int,
+/// CPU-hours) and `pipelineName` (string); all lineage edges carry a
+/// wave-ordered `ts` timestamp.
+pub fn generate_provenance(cfg: &ProvenanceConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let writes_pl = PowerLaw::new(cfg.write_gamma, cfg.max_writes.max(1));
+    let reads_pl = PowerLaw::new(cfg.read_gamma, cfg.max_reads.max(1));
+    let tasks_pl = PowerLaw::new(2.0, cfg.max_tasks_per_job.max(1));
+
+    let mut b = GraphBuilder::new();
+
+    let machines: Vec<VertexId> = if cfg.with_periphery {
+        (0..cfg.machines)
+            .map(|i| {
+                let m = b.add_vertex("Machine");
+                b.set_vertex_prop(m, "name", Value::Str(format!("m{i}")));
+                m
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let users: Vec<VertexId> = if cfg.with_periphery {
+        (0..cfg.users)
+            .map(|i| {
+                let u = b.add_vertex("User");
+                b.set_vertex_prop(u, "name", Value::Str(format!("u{i}")));
+                u
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Files produced so far, with preferential-attachment weights so that
+    // popular files accumulate readers (power-law file out-degree).
+    // `file_producer[i]` is the index (into `producer_files`) of the job
+    // that wrote `produced_files[i]`; `producer_files` lists each
+    // producer's output files so local reads can target siblings.
+    let mut produced_files: Vec<VertexId> = Vec::new();
+    let mut file_weights = PrefixWeights::new();
+    let mut file_producer: Vec<usize> = Vec::new();
+    let mut producer_files: Vec<Vec<usize>> = Vec::new();
+
+    let waves = cfg.waves.max(1);
+    let jobs_per_wave = cfg.jobs.div_ceil(waves);
+    let mut job_seq = 0usize;
+    let mut ts = 0i64;
+
+    for wave in 0..waves {
+        let mut wave_jobs: Vec<VertexId> = Vec::with_capacity(jobs_per_wave);
+        for _ in 0..jobs_per_wave {
+            if job_seq >= cfg.jobs {
+                break;
+            }
+            let j = b.add_vertex("Job");
+            b.set_vertex_prop(j, "CPU", Value::Int(rng.random_range(1..=1_000)));
+            b.set_vertex_prop(
+                j,
+                "pipelineName",
+                Value::Str(format!("pipeline{}", job_seq % 17)),
+            );
+            job_seq += 1;
+            wave_jobs.push(j);
+        }
+
+        // Reads: jobs after wave 0 read existing files. The first read of
+        // a job picks a (preferentially hot) file anywhere; subsequent
+        // reads mostly stay with the producers already chosen
+        // (read_locality), mirroring real pipelines that consume many
+        // files of few upstream jobs.
+        if wave > 0 {
+            for &j in &wave_jobs {
+                let n_reads = reads_pl.sample(&mut rng);
+                let mut upstream: Vec<usize> = Vec::new(); // producer ids
+                let mut seen_files: Vec<usize> = Vec::new();
+                for r in 0..n_reads {
+                    let local = r > 0 && !upstream.is_empty()
+                        && rng.random_bool(cfg.read_locality.clamp(0.0, 1.0));
+                    let fi = if local {
+                        let p = upstream[rng.random_range(0..upstream.len())];
+                        let files = &producer_files[p];
+                        files[rng.random_range(0..files.len())]
+                    } else {
+                        match file_weights.sample(&mut rng) {
+                            Some(fi) => fi,
+                            None => continue,
+                        }
+                    };
+                    if seen_files.contains(&fi) {
+                        continue;
+                    }
+                    seen_files.push(fi);
+                    let p = file_producer[fi];
+                    if !upstream.contains(&p) {
+                        upstream.push(p);
+                    }
+                    ts += 1;
+                    let e = b.add_edge(produced_files[fi], j, "IS_READ_BY");
+                    b.set_edge_prop(e, "ts", Value::Int(ts));
+                }
+            }
+        }
+
+        // Writes: every job writes fresh files.
+        for &j in &wave_jobs {
+            let producer_id = producer_files.len();
+            producer_files.push(Vec::new());
+            let n_writes = writes_pl.sample(&mut rng);
+            for _ in 0..n_writes {
+                let f = b.add_vertex("File");
+                b.set_vertex_prop(f, "bytes", Value::Int(rng.random_range(1_000..10_000_000)));
+                ts += 1;
+                let e = b.add_edge(j, f, "WRITES_TO");
+                b.set_edge_prop(e, "ts", Value::Int(ts));
+                let fi = produced_files.len();
+                produced_files.push(f);
+                file_producer.push(producer_id);
+                producer_files[producer_id].push(fi);
+                // Base weight 1 plus a heavy-tail boost for a few hot files.
+                let hot = if rng.random_bool(0.05) { 50 } else { 1 };
+                file_weights.push(hot);
+            }
+        }
+
+        // Periphery: tasks, machines, users.
+        if cfg.with_periphery {
+            for &j in &wave_jobs {
+                if !users.is_empty() {
+                    let u = users[rng.random_range(0..users.len())];
+                    b.add_edge(u, j, "SUBMITTED");
+                }
+                let n_tasks = tasks_pl.sample(&mut rng);
+                let mut prev_task: Option<VertexId> = None;
+                for _ in 0..n_tasks {
+                    let t = b.add_vertex("Task");
+                    b.add_edge(j, t, "SPAWNS");
+                    if !machines.is_empty() {
+                        let m = machines[rng.random_range(0..machines.len())];
+                        b.add_edge(t, m, "RUNS_ON");
+                    }
+                    if let Some(p) = prev_task {
+                        b.add_edge(p, t, "TRANSFERS_TO");
+                    }
+                    prev_task = Some(t);
+                }
+            }
+        }
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::Schema;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_provenance(&ProvenanceConfig::tiny(9));
+        let b = generate_provenance(&ProvenanceConfig::tiny(9));
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let c = generate_provenance(&ProvenanceConfig::tiny(10));
+        // different seed should (overwhelmingly) differ
+        assert!(a.edge_count() != c.edge_count() || a.vertex_count() != c.vertex_count());
+    }
+
+    #[test]
+    fn core_respects_provenance_schema() {
+        let g = generate_provenance(&ProvenanceConfig::tiny(1).core_only());
+        let schema = Schema::provenance();
+        for e in g.edges() {
+            let s = g.vertex_type(g.edge_src(e));
+            let d = g.vertex_type(g.edge_dst(e));
+            assert!(schema.allows_edge(s, g.edge_type(e), d));
+        }
+    }
+
+    #[test]
+    fn no_job_job_or_file_file_edges() {
+        let g = generate_provenance(&ProvenanceConfig::tiny(2));
+        for e in g.edges() {
+            let s = g.vertex_type(g.edge_src(e));
+            let d = g.vertex_type(g.edge_dst(e));
+            assert!(
+                !(s == "Job" && d == "Job"),
+                "job-job edge found: {}",
+                g.edge_type(e)
+            );
+            assert!(!(s == "File" && d == "File"));
+        }
+    }
+
+    #[test]
+    fn lineage_is_acyclic_dag() {
+        // Kahn's algorithm over the job/file core must consume all vertices.
+        let g = generate_provenance(&ProvenanceConfig::tiny(3).core_only());
+        let n = g.vertex_count();
+        let mut indeg: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
+        let mut queue: Vec<_> = g.vertices().filter(|v| indeg[v.index()] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for w in g.out_neighbors(v) {
+                indeg[w.index()] -= 1;
+                if indeg[w.index()] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        assert_eq!(seen, n, "lineage graph has a cycle");
+    }
+
+    #[test]
+    fn periphery_types_present_only_when_enabled() {
+        let g = generate_provenance(&ProvenanceConfig::tiny(4));
+        let types: Vec<String> = g.vertex_type_counts().into_iter().map(|(t, _)| t).collect();
+        assert!(types.contains(&"Task".to_string()));
+        assert!(types.contains(&"Machine".to_string()));
+        assert!(types.contains(&"User".to_string()));
+
+        let core = generate_provenance(&ProvenanceConfig::tiny(4).core_only());
+        let core_types: Vec<String> = core
+            .vertex_type_counts()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(core_types, vec!["File".to_string(), "Job".to_string()]);
+    }
+
+    #[test]
+    fn jobs_have_cpu_and_pipeline_props() {
+        let g = generate_provenance(&ProvenanceConfig::tiny(5));
+        for v in g.vertices_of_type("Job") {
+            assert!(g.vertex_prop(v, "CPU").and_then(|v| v.as_int()).is_some());
+            assert!(g.vertex_prop(v, "pipelineName").is_some());
+        }
+    }
+
+    #[test]
+    fn lineage_edges_have_increasing_ts() {
+        let g = generate_provenance(&ProvenanceConfig::tiny(6).core_only());
+        let mut ts_values: Vec<i64> = g
+            .edges()
+            .filter_map(|e| g.edge_prop(e, "ts").and_then(|v| v.as_int()))
+            .collect();
+        assert_eq!(ts_values.len(), g.edge_count());
+        let mut sorted = ts_values.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ts_values.len(), "timestamps must be unique");
+        ts_values.sort_unstable();
+    }
+
+    #[test]
+    fn job_count_matches_config() {
+        let cfg = ProvenanceConfig::tiny(7).with_jobs(37);
+        let g = generate_provenance(&cfg);
+        assert_eq!(g.vertices_of_type("Job").count(), 37);
+    }
+}

@@ -1,0 +1,179 @@
+//! Random sampling helpers shared by the dataset generators.
+//!
+//! All generators draw from a seeded [`rand::rngs::StdRng`], so every
+//! dataset in the evaluation is reproducible bit-for-bit from its seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A discrete power-law sampler over `1..=max_value` with
+/// `P(x) ∝ x^(-gamma)`, using a precomputed inverse-CDF table.
+///
+/// Real-world graphs in the paper's evaluation (prov, dblp,
+/// soc-livejournal) have approximately power-law out-degree
+/// distributions (Fig. 8); this sampler drives their generators.
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    cdf: Vec<f64>,
+}
+
+impl PowerLaw {
+    /// Builds the sampler. `gamma` is the exponent (typically 2–3);
+    /// `max_value` caps the support.
+    ///
+    /// # Panics
+    /// Panics if `max_value` is zero or `gamma` is not finite.
+    pub fn new(gamma: f64, max_value: usize) -> Self {
+        assert!(max_value >= 1, "max_value must be >= 1");
+        assert!(gamma.is_finite(), "gamma must be finite");
+        let mut cdf = Vec::with_capacity(max_value);
+        let mut acc = 0.0;
+        for x in 1..=max_value {
+            acc += (x as f64).powf(-gamma);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        PowerLaw { cdf }
+    }
+
+    /// Draws one value in `1..=max_value`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// Weighted index sampling used for preferential attachment: draws an
+/// index `i` with probability proportional to `weights[i]`, in O(log n)
+/// via a running prefix-sum maintained by the caller.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixWeights {
+    prefix: Vec<u64>,
+}
+
+impl PrefixWeights {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item with the given positive weight.
+    pub fn push(&mut self, weight: u64) {
+        let total = self.prefix.last().copied().unwrap_or(0);
+        self.prefix.push(total + weight);
+    }
+
+    /// Adds `delta` to the weight of item `i`. O(n) in the tail; fine for
+    /// generator-scale updates batched per wave.
+    pub fn bump_all_from(&mut self, i: usize, delta: u64) {
+        for w in &mut self.prefix[i..] {
+            *w += delta;
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prefix.is_empty()
+    }
+
+    /// Samples an index proportionally to weight. Returns `None` if empty
+    /// or all weights are zero.
+    pub fn sample(&self, rng: &mut StdRng) -> Option<usize> {
+        let total = *self.prefix.last()?;
+        if total == 0 {
+            return None;
+        }
+        let t = rng.random_range(0..total);
+        Some(match self.prefix.binary_search(&(t + 1)) {
+            Ok(i) => i,
+            Err(i) => i,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_in_range() {
+        let pl = PowerLaw::new(2.2, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = pl.sample(&mut rng);
+            assert!((1..=50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn power_law_mass_concentrates_at_low_values() {
+        let pl = PowerLaw::new(2.5, 100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| pl.sample(&mut rng) == 1).count();
+        // For gamma=2.5 over 1..=100, P(1) ≈ 1/ζ(2.5) ≈ 0.75
+        let frac = ones as f64 / n as f64;
+        assert!(frac > 0.65 && frac < 0.85, "frac={frac}");
+    }
+
+    #[test]
+    fn power_law_deterministic_under_seed() {
+        let pl = PowerLaw::new(2.0, 30);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<usize> = (0..100).map(|_| pl.sample(&mut a)).collect();
+        let ys: Vec<usize> = (0..100).map(|_| pl.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_value")]
+    fn power_law_rejects_zero_max() {
+        PowerLaw::new(2.0, 0);
+    }
+
+    #[test]
+    fn prefix_weights_proportional() {
+        let mut pw = PrefixWeights::new();
+        pw.push(1);
+        pw.push(9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let hits1 = (0..n).filter(|_| pw.sample(&mut rng) == Some(1)).count();
+        let frac = hits1 as f64 / n as f64;
+        assert!(frac > 0.85 && frac < 0.95, "frac={frac}");
+    }
+
+    #[test]
+    fn prefix_weights_empty_and_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pw = PrefixWeights::new();
+        assert_eq!(pw.sample(&mut rng), None);
+        let mut pw = PrefixWeights::new();
+        pw.push(0);
+        assert_eq!(pw.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn prefix_weights_bump() {
+        let mut pw = PrefixWeights::new();
+        pw.push(1);
+        pw.push(1);
+        pw.bump_all_from(1, 98); // item 1 now weight 99
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 10_000;
+        let hits1 = (0..n).filter(|_| pw.sample(&mut rng) == Some(1)).count();
+        assert!(hits1 as f64 / n as f64 > 0.95);
+    }
+}

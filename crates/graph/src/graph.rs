@@ -1,0 +1,572 @@
+//! The in-memory property graph: mutable builder + immutable CSR form.
+//!
+//! Graphs are constructed through [`GraphBuilder`] (arbitrary insertion
+//! order) and then frozen into a [`Graph`], which stores adjacency in
+//! compressed sparse row (CSR) form — one offsets array plus one packed
+//! neighbor array for each direction. All query-time structures in the
+//! workspace (pattern matching, traversals, view materialization) operate
+//! on the frozen form; views are separate `Graph`s, never in-place edits.
+
+use std::fmt;
+
+use crate::interner::{Interner, Symbol};
+use crate::schema::Schema;
+use crate::value::{PropMap, Value};
+
+/// Dense vertex identifier (index into the vertex arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Dense edge identifier (index into the edge arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A mutable graph under construction.
+///
+/// ```
+/// use kaskade_graph::{GraphBuilder, Value};
+/// let mut b = GraphBuilder::new();
+/// let j = b.add_vertex("Job");
+/// let f = b.add_vertex("File");
+/// b.set_vertex_prop(j, "cpu", Value::Int(12));
+/// b.add_edge(j, f, "WRITES_TO");
+/// let g = b.finish();
+/// assert_eq!(g.vertex_count(), 2);
+/// assert_eq!(g.out_degree(j), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    interner: Interner,
+    vtypes: Vec<Symbol>,
+    vprops: Vec<PropMap>,
+    srcs: Vec<VertexId>,
+    dsts: Vec<VertexId>,
+    etypes: Vec<Symbol>,
+    eprops: Vec<PropMap>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocates for roughly `v` vertices and `e` edges.
+    pub fn with_capacity(v: usize, e: usize) -> Self {
+        let mut b = Self::new();
+        b.vtypes.reserve(v);
+        b.vprops.reserve(v);
+        b.srcs.reserve(e);
+        b.dsts.reserve(e);
+        b.etypes.reserve(e);
+        b.eprops.reserve(e);
+        b
+    }
+
+    /// Adds a vertex of type `vtype` and returns its id.
+    pub fn add_vertex(&mut self, vtype: &str) -> VertexId {
+        let t = self.interner.intern(vtype);
+        let id = VertexId(self.vtypes.len() as u32);
+        self.vtypes.push(t);
+        self.vprops.push(PropMap::new());
+        id
+    }
+
+    /// Sets a property on an existing vertex.
+    pub fn set_vertex_prop(&mut self, v: VertexId, key: &str, value: Value) {
+        let k = self.interner.intern(key);
+        self.vprops[v.index()].insert(k, value);
+    }
+
+    /// Adds a directed edge `src -[:etype]-> dst` and returns its id.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, etype: &str) -> EdgeId {
+        debug_assert!(src.index() < self.vtypes.len(), "src out of range");
+        debug_assert!(dst.index() < self.vtypes.len(), "dst out of range");
+        let t = self.interner.intern(etype);
+        let id = EdgeId(self.srcs.len() as u32);
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        self.etypes.push(t);
+        self.eprops.push(PropMap::new());
+        id
+    }
+
+    /// Sets a property on an existing edge.
+    pub fn set_edge_prop(&mut self, e: EdgeId, key: &str, value: Value) {
+        let k = self.interner.intern(key);
+        self.eprops[e.index()].insert(k, value);
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vtypes.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// Validates every edge against `schema`, returning the first violation.
+    pub fn validate(&self, schema: &Schema) -> Result<(), crate::schema::SchemaError> {
+        for i in 0..self.srcs.len() {
+            let s = self.interner.resolve(self.vtypes[self.srcs[i].index()]);
+            let d = self.interner.resolve(self.vtypes[self.dsts[i].index()]);
+            let e = self.interner.resolve(self.etypes[i]);
+            schema.check_edge(s, e, d)?;
+        }
+        Ok(())
+    }
+
+    /// Freezes the builder into an immutable CSR [`Graph`].
+    pub fn finish(self) -> Graph {
+        let n = self.vtypes.len();
+        let m = self.srcs.len();
+
+        // Counting sort of edges by source (out-CSR) and by dest (in-CSR).
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for i in 0..m {
+            out_offsets[self.srcs[i].index() + 1] += 1;
+            in_offsets[self.dsts[i].index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut out_edges = vec![EdgeId(0); m];
+        let mut in_edges = vec![EdgeId(0); m];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for i in 0..m {
+            let s = self.srcs[i].index();
+            let d = self.dsts[i].index();
+            out_edges[out_cursor[s] as usize] = EdgeId(i as u32);
+            out_cursor[s] += 1;
+            in_edges[in_cursor[d] as usize] = EdgeId(i as u32);
+            in_cursor[d] += 1;
+        }
+
+        Graph {
+            interner: self.interner,
+            vtypes: self.vtypes,
+            vprops: self.vprops,
+            srcs: self.srcs,
+            dsts: self.dsts,
+            etypes: self.etypes,
+            eprops: self.eprops,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+        }
+    }
+}
+
+/// An immutable property graph in CSR form.
+///
+/// All adjacency queries are O(degree); type and property lookups are O(1)
+/// array reads (plus a binary search within the small per-object property
+/// list).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    interner: Interner,
+    vtypes: Vec<Symbol>,
+    vprops: Vec<PropMap>,
+    srcs: Vec<VertexId>,
+    dsts: Vec<VertexId>,
+    etypes: Vec<Symbol>,
+    eprops: Vec<PropMap>,
+    out_offsets: Vec<u32>,
+    out_edges: Vec<EdgeId>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<EdgeId>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vtypes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vtypes.len() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.srcs.len() as u32).map(EdgeId)
+    }
+
+    /// The interned type symbol of `v`.
+    #[inline]
+    pub fn vertex_type_sym(&self, v: VertexId) -> Symbol {
+        self.vtypes[v.index()]
+    }
+
+    /// The type name of `v`.
+    #[inline]
+    pub fn vertex_type(&self, v: VertexId) -> &str {
+        self.interner.resolve(self.vtypes[v.index()])
+    }
+
+    /// The interned type symbol of `e`.
+    #[inline]
+    pub fn edge_type_sym(&self, e: EdgeId) -> Symbol {
+        self.etypes[e.index()]
+    }
+
+    /// The type name of `e`.
+    #[inline]
+    pub fn edge_type(&self, e: EdgeId) -> &str {
+        self.interner.resolve(self.etypes[e.index()])
+    }
+
+    /// Source vertex of `e`.
+    #[inline]
+    pub fn edge_src(&self, e: EdgeId) -> VertexId {
+        self.srcs[e.index()]
+    }
+
+    /// Destination vertex of `e`.
+    #[inline]
+    pub fn edge_dst(&self, e: EdgeId) -> VertexId {
+        self.dsts[e.index()]
+    }
+
+    /// Looks up the symbol for a type/property name if it occurs anywhere
+    /// in this graph.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.interner.get(name)
+    }
+
+    /// Resolves an interned symbol to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+    }
+
+    /// Outgoing edges of `v` as `(edge, dst)` pairs.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        self.out_edges[lo..hi].iter().map(|&e| (e, self.dsts[e.index()]))
+    }
+
+    /// Incoming edges of `v` as `(edge, src)` pairs.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        self.in_edges[lo..hi].iter().map(|&e| (e, self.srcs[e.index()]))
+    }
+
+    /// Out-neighbors of `v` (may repeat under parallel edges).
+    pub fn out_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_edges(v).map(|(_, d)| d)
+    }
+
+    /// In-neighbors of `v` (may repeat under parallel edges).
+    pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.in_edges(v).map(|(_, s)| s)
+    }
+
+    /// A vertex property, by key name.
+    pub fn vertex_prop(&self, v: VertexId, key: &str) -> Option<&Value> {
+        let k = self.interner.get(key)?;
+        self.vprops[v.index()].get(k)
+    }
+
+    /// A vertex property, by interned key.
+    #[inline]
+    pub fn vertex_prop_sym(&self, v: VertexId, key: Symbol) -> Option<&Value> {
+        self.vprops[v.index()].get(key)
+    }
+
+    /// An edge property, by key name.
+    pub fn edge_prop(&self, e: EdgeId, key: &str) -> Option<&Value> {
+        let k = self.interner.get(key)?;
+        self.eprops[e.index()].get(k)
+    }
+
+    /// An edge property, by interned key.
+    #[inline]
+    pub fn edge_prop_sym(&self, e: EdgeId, key: Symbol) -> Option<&Value> {
+        self.eprops[e.index()].get(key)
+    }
+
+    /// All properties of a vertex.
+    pub fn vertex_props(&self, v: VertexId) -> &PropMap {
+        &self.vprops[v.index()]
+    }
+
+    /// All properties of an edge.
+    pub fn edge_props(&self, e: EdgeId) -> &PropMap {
+        &self.eprops[e.index()]
+    }
+
+    /// Iterator over vertices of the given type name. Empty if the type
+    /// does not occur.
+    pub fn vertices_of_type<'a>(&'a self, vtype: &str) -> Box<dyn Iterator<Item = VertexId> + 'a> {
+        match self.interner.get(vtype) {
+            Some(sym) => Box::new(
+                self.vertices()
+                    .filter(move |v| self.vtypes[v.index()] == sym),
+            ),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Count of vertices per type name, sorted by name.
+    pub fn vertex_type_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for v in self.vertices() {
+            *counts.entry(self.vertex_type(v)).or_default() += 1;
+        }
+        counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect()
+    }
+
+    /// Count of edges per type name, sorted by name.
+    pub fn edge_type_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for e in self.edges() {
+            *counts.entry(self.edge_type(e)).or_default() += 1;
+        }
+        counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect()
+    }
+
+    /// Derives the schema implied by this graph's edges (one rule per
+    /// distinct (src type, edge type, dst type) triple).
+    pub fn infer_schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for v in self.vertices() {
+            s.add_vertex_type(self.vertex_type(v));
+        }
+        for e in self.edges() {
+            let src = self.vertex_type(self.edge_src(e));
+            let dst = self.vertex_type(self.edge_dst(e));
+            s.add_edge_rule(src, self.edge_type(e), dst);
+        }
+        s
+    }
+
+    /// Builds a new graph containing only the first `m` edges (insertion
+    /// order) and the vertices incident to them. Used by the Fig. 5
+    /// "first n edges" prefix experiments.
+    pub fn edge_prefix(&self, m: usize) -> Graph {
+        let m = m.min(self.edge_count());
+        let mut keep = vec![false; self.vertex_count()];
+        for i in 0..m {
+            keep[self.srcs[i].index()] = true;
+            keep[self.dsts[i].index()] = true;
+        }
+        let mut b = GraphBuilder::new();
+        let mut remap = vec![VertexId(u32::MAX); self.vertex_count()];
+        for v in self.vertices() {
+            if keep[v.index()] {
+                let nv = b.add_vertex(self.vertex_type(v));
+                for (k, val) in self.vprops[v.index()].iter() {
+                    b.set_vertex_prop(nv, self.interner.resolve(k), val.clone());
+                }
+                remap[v.index()] = nv;
+            }
+        }
+        for i in 0..m {
+            let e = EdgeId(i as u32);
+            let ne = b.add_edge(
+                remap[self.srcs[i].index()],
+                remap[self.dsts[i].index()],
+                self.edge_type(e),
+            );
+            for (k, val) in self.eprops[i].iter() {
+                b.set_edge_prop(ne, self.interner.resolve(k), val.clone());
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lineage_toy() -> Graph {
+        // j1 -w-> f1 -r-> j2 ; j1 -w-> f2 -r-> j3 (Fig. 3(a) shape)
+        let mut b = GraphBuilder::new();
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        let f2 = b.add_vertex("File");
+        let j3 = b.add_vertex("Job");
+        b.add_edge(j1, f1, "WRITES_TO");
+        b.add_edge(f1, j2, "IS_READ_BY");
+        b.add_edge(j1, f2, "WRITES_TO");
+        b.add_edge(f2, j3, "IS_READ_BY");
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_types() {
+        let g = lineage_toy();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.vertex_type(VertexId(0)), "Job");
+        assert_eq!(g.vertex_type(VertexId(1)), "File");
+        assert_eq!(g.edge_type(EdgeId(0)), "WRITES_TO");
+    }
+
+    #[test]
+    fn adjacency_out_and_in() {
+        let g = lineage_toy();
+        let j1 = VertexId(0);
+        assert_eq!(g.out_degree(j1), 2);
+        assert_eq!(g.in_degree(j1), 0);
+        let outs: Vec<u32> = g.out_neighbors(j1).map(|v| v.0).collect();
+        assert_eq!(outs, vec![1, 3]);
+        let f1 = VertexId(1);
+        let ins: Vec<u32> = g.in_neighbors(f1).map(|v| v.0).collect();
+        assert_eq!(ins, vec![0]);
+    }
+
+    #[test]
+    fn properties_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex("Job");
+        b.set_vertex_prop(v, "cpu", Value::Int(42));
+        b.set_vertex_prop(v, "name", Value::Str("etl".into()));
+        let w = b.add_vertex("File");
+        let e = b.add_edge(v, w, "WRITES_TO");
+        b.set_edge_prop(e, "ts", Value::Int(99));
+        let g = b.finish();
+        assert_eq!(g.vertex_prop(v, "cpu"), Some(&Value::Int(42)));
+        assert_eq!(g.vertex_prop(v, "name"), Some(&Value::Str("etl".into())));
+        assert_eq!(g.vertex_prop(v, "missing"), None);
+        assert_eq!(g.edge_prop(e, "ts"), Some(&Value::Int(99)));
+        assert_eq!(g.vertex_prop(w, "cpu"), None);
+    }
+
+    #[test]
+    fn vertices_of_type_filters() {
+        let g = lineage_toy();
+        assert_eq!(g.vertices_of_type("Job").count(), 3);
+        assert_eq!(g.vertices_of_type("File").count(), 2);
+        assert_eq!(g.vertices_of_type("Task").count(), 0);
+    }
+
+    #[test]
+    fn type_counts() {
+        let g = lineage_toy();
+        assert_eq!(
+            g.vertex_type_counts(),
+            vec![("File".to_string(), 2), ("Job".to_string(), 3)]
+        );
+        assert_eq!(
+            g.edge_type_counts(),
+            vec![("IS_READ_BY".to_string(), 2), ("WRITES_TO".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn infer_schema_matches_provenance() {
+        let g = lineage_toy();
+        let s = g.infer_schema();
+        assert!(s.allows_edge("Job", "WRITES_TO", "File"));
+        assert!(s.allows_edge("File", "IS_READ_BY", "Job"));
+        assert!(!s.allows_edge("Job", "IS_READ_BY", "File"));
+    }
+
+    #[test]
+    fn builder_validate_against_schema() {
+        let mut b = GraphBuilder::new();
+        let j = b.add_vertex("Job");
+        let f = b.add_vertex("File");
+        b.add_edge(f, j, "WRITES_TO"); // wrong direction
+        assert!(b.validate(&Schema::provenance()).is_err());
+    }
+
+    #[test]
+    fn edge_prefix_keeps_incident_vertices() {
+        let g = lineage_toy();
+        let p = g.edge_prefix(2);
+        assert_eq!(p.edge_count(), 2);
+        // first two edges touch j1, f1, j2
+        assert_eq!(p.vertex_count(), 3);
+        // prefix larger than graph is the whole graph
+        let q = g.edge_prefix(100);
+        assert_eq!(q.edge_count(), 4);
+        assert_eq!(q.vertex_count(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().finish();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("V");
+        let c = b.add_vertex("V");
+        b.add_edge(a, c, "E");
+        b.add_edge(a, c, "E");
+        let g = b.finish();
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(c), 2);
+    }
+
+    #[test]
+    fn self_loops_supported() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("V");
+        b.add_edge(a, a, "E");
+        let g = b.finish();
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.out_neighbors(a).next(), Some(a));
+    }
+}

@@ -1,0 +1,149 @@
+//! String interning for type names and property keys.
+//!
+//! Graph hot paths (pattern matching, traversal, fact extraction) compare
+//! vertex/edge type names and property keys billions of times. Interning
+//! every such string to a dense [`Symbol`] (a `u32` newtype) makes those
+//! comparisons single integer compares and keeps per-vertex storage compact.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Cheap to copy, hash, and compare.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; the graph structures in this crate all share one interner per
+/// [`crate::Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`Symbol`] table.
+///
+/// Interning the same string twice returns the same symbol. Resolution is
+/// O(1) in both directions.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a previously interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Job");
+        let b = i.intern("Job");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("Job");
+        let b = i.intern("File");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "Job");
+        assert_eq!(i.resolve(b), "File");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("Job").is_none());
+        let s = i.intern("Job");
+        assert_eq!(i.get("Job"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        let syms: Vec<Symbol> = (0..100).map(|n| i.intern(&format!("t{n}"))).collect();
+        for (k, s) in syms.iter().enumerate() {
+            assert_eq!(s.index(), k);
+        }
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let v: Vec<_> = i.iter().map(|(s, t)| (s.0, t.to_string())).collect();
+        assert_eq!(v, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

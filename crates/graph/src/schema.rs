@@ -1,0 +1,321 @@
+//! Graph schemas: typed vertices and edges with domain/range constraints.
+//!
+//! A schema captures the structural constraints the paper mines (§IV.A):
+//! which vertex types exist and, for each edge type, which vertex type it
+//! may start from (domain) and point to (range). In the running provenance
+//! example, `WRITES_TO` only connects `Job → File` and `IS_READ_BY` only
+//! `File → Job`, so no job-job or file-file edge can exist.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One edge-type rule: edges named `name` go from vertices of type `src`
+/// to vertices of type `dst`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeRule {
+    /// Source (domain) vertex type name.
+    pub src: String,
+    /// Destination (range) vertex type name.
+    pub dst: String,
+    /// Edge type name.
+    pub name: String,
+}
+
+/// A property-graph schema: the set of vertex types plus edge rules.
+///
+/// The same edge type name may appear in several rules with different
+/// endpoints (overloading), matching the property-graph model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    vertex_types: BTreeSet<String>,
+    edge_rules: Vec<EdgeRule>,
+}
+
+/// Error raised when an edge or vertex violates the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The vertex type has not been declared.
+    UnknownVertexType(String),
+    /// No rule allows this (src type, edge type, dst type) combination.
+    EdgeNotAllowed {
+        /// Source vertex type of the offending edge.
+        src: String,
+        /// Edge type name.
+        etype: String,
+        /// Destination vertex type of the offending edge.
+        dst: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownVertexType(t) => write!(f, "unknown vertex type `{t}`"),
+            SchemaError::EdgeNotAllowed { src, etype, dst } => {
+                write!(f, "edge `{src}-[:{etype}]->{dst}` not allowed by schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a vertex type. Idempotent.
+    pub fn add_vertex_type(&mut self, name: &str) -> &mut Self {
+        self.vertex_types.insert(name.to_string());
+        self
+    }
+
+    /// Declares an edge rule `src -[:name]-> dst`. Also declares both
+    /// endpoint vertex types if missing. Duplicate rules are ignored.
+    pub fn add_edge_rule(&mut self, src: &str, name: &str, dst: &str) -> &mut Self {
+        self.add_vertex_type(src);
+        self.add_vertex_type(dst);
+        let rule = EdgeRule {
+            src: src.to_string(),
+            dst: dst.to_string(),
+            name: name.to_string(),
+        };
+        if !self.edge_rules.contains(&rule) {
+            self.edge_rules.push(rule);
+        }
+        self
+    }
+
+    /// All declared vertex type names, sorted.
+    pub fn vertex_types(&self) -> impl Iterator<Item = &str> {
+        self.vertex_types.iter().map(String::as_str)
+    }
+
+    /// All edge rules in declaration order.
+    pub fn edge_rules(&self) -> &[EdgeRule] {
+        &self.edge_rules
+    }
+
+    /// Whether `name` is a declared vertex type.
+    pub fn has_vertex_type(&self, name: &str) -> bool {
+        self.vertex_types.contains(name)
+    }
+
+    /// Whether some rule allows `src -[:etype]-> dst`.
+    pub fn allows_edge(&self, src: &str, etype: &str, dst: &str) -> bool {
+        self.edge_rules
+            .iter()
+            .any(|r| r.src == src && r.name == etype && r.dst == dst)
+    }
+
+    /// Validates an edge against the schema.
+    pub fn check_edge(&self, src: &str, etype: &str, dst: &str) -> Result<(), SchemaError> {
+        if !self.has_vertex_type(src) {
+            return Err(SchemaError::UnknownVertexType(src.to_string()));
+        }
+        if !self.has_vertex_type(dst) {
+            return Err(SchemaError::UnknownVertexType(dst.to_string()));
+        }
+        if !self.allows_edge(src, etype, dst) {
+            return Err(SchemaError::EdgeNotAllowed {
+                src: src.to_string(),
+                etype: etype.to_string(),
+                dst: dst.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Vertex types that are the domain (source) of at least one edge rule.
+    /// These are the types `T_G` over which the heterogeneous estimator
+    /// Eq. (3) of the paper sums.
+    pub fn source_types(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.edge_rules.iter().map(|r| r.src.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Edge rules whose source type is `src`.
+    pub fn rules_from<'a>(&'a self, src: &'a str) -> impl Iterator<Item = &'a EdgeRule> + 'a {
+        self.edge_rules.iter().filter(move |r| r.src == src)
+    }
+
+    /// Whether the schema graph (vertex types as nodes, rules as edges)
+    /// contains a directed k-length path from `src` type to `dst` type
+    /// that never revisits a vertex type. This is the semantics of the
+    /// paper's `schemaKHopPath` constraint-mining rule (Lst. 2).
+    pub fn has_k_hop_path(&self, src: &str, dst: &str, k: usize) -> bool {
+        if k == 0 {
+            return false;
+        }
+        let mut trail: Vec<&str> = Vec::new();
+        self.k_hop_rec(src, dst, k, &mut trail)
+    }
+
+    fn k_hop_rec<'a>(&'a self, cur: &'a str, dst: &str, k: usize, trail: &mut Vec<&'a str>) -> bool {
+        if k == 1 {
+            return self.rules_from(cur).any(|r| r.dst == dst);
+        }
+        trail.push(cur);
+        for r in self.rules_from(cur) {
+            if !trail.contains(&r.dst.as_str()) && self.k_hop_rec(&r.dst, dst, k - 1, trail) {
+                trail.pop();
+                return true;
+            }
+        }
+        trail.pop();
+        false
+    }
+
+    /// Whether the schema graph admits a directed **walk** (vertex types
+    /// may repeat) of exactly `k` edges from `src` type to `dst` type.
+    /// Computed by level-set dynamic programming, so it terminates on
+    /// cyclic schemas. This is the semantics of the bounded-walk
+    /// `schemaKHopWalk` mining rule.
+    pub fn has_k_hop_walk(&self, src: &str, dst: &str, k: usize) -> bool {
+        if k == 0 {
+            return src == dst && self.has_vertex_type(src);
+        }
+        let mut frontier: BTreeSet<&str> = BTreeSet::new();
+        frontier.insert(src);
+        for _ in 0..k {
+            let mut next: BTreeSet<&str> = BTreeSet::new();
+            for t in &frontier {
+                for r in self.rules_from(t) {
+                    next.insert(&r.dst);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                return false;
+            }
+        }
+        frontier.contains(dst)
+    }
+
+    /// Convenience constructor for the paper's running provenance schema:
+    /// `Job -[:WRITES_TO]-> File`, `File -[:IS_READ_BY]-> Job`.
+    pub fn provenance() -> Self {
+        let mut s = Schema::new();
+        s.add_edge_rule("Job", "WRITES_TO", "File");
+        s.add_edge_rule("File", "IS_READ_BY", "Job");
+        s
+    }
+
+    /// Convenience constructor for the dblp-style publication schema.
+    pub fn dblp() -> Self {
+        let mut s = Schema::new();
+        s.add_edge_rule("Author", "AUTHORED", "Publication");
+        s.add_edge_rule("Publication", "IS_AUTHORED_BY", "Author");
+        s.add_edge_rule("Publication", "PUBLISHED_IN", "Venue");
+        s
+    }
+
+    /// Convenience constructor for a homogeneous schema with one vertex
+    /// type `name` and one self-loop edge rule `etype`.
+    pub fn homogeneous(name: &str, etype: &str) -> Self {
+        let mut s = Schema::new();
+        s.add_edge_rule(name, etype, name);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_schema_rules() {
+        let s = Schema::provenance();
+        assert!(s.allows_edge("Job", "WRITES_TO", "File"));
+        assert!(s.allows_edge("File", "IS_READ_BY", "Job"));
+        assert!(!s.allows_edge("File", "WRITES_TO", "File"));
+        assert!(!s.allows_edge("Job", "IS_READ_BY", "File"));
+        assert_eq!(s.vertex_types().collect::<Vec<_>>(), vec!["File", "Job"]);
+    }
+
+    #[test]
+    fn check_edge_errors() {
+        let s = Schema::provenance();
+        assert!(s.check_edge("Job", "WRITES_TO", "File").is_ok());
+        assert_eq!(
+            s.check_edge("Task", "WRITES_TO", "File"),
+            Err(SchemaError::UnknownVertexType("Task".into()))
+        );
+        assert!(matches!(
+            s.check_edge("File", "WRITES_TO", "Job"),
+            Err(SchemaError::EdgeNotAllowed { .. })
+        ));
+    }
+
+    #[test]
+    fn k_hop_paths_respect_parity_in_bipartite_schema() {
+        // In the provenance schema only even-length Job→Job paths exist —
+        // exactly the implicit constraint §IV.A2 derives. But note the
+        // acyclic-trail restriction of schemaKHopPath: a Job→Job path of
+        // length 2 visits Job, File, Job and never revisits an
+        // *intermediate* type, so k=2 is feasible while k=3 is not.
+        let s = Schema::provenance();
+        assert!(s.has_k_hop_path("Job", "Job", 2));
+        assert!(!s.has_k_hop_path("Job", "Job", 3));
+        assert!(s.has_k_hop_path("Job", "File", 1));
+        assert!(!s.has_k_hop_path("Job", "File", 2));
+        assert!(s.has_k_hop_path("File", "File", 2));
+    }
+
+    #[test]
+    fn k_hop_zero_is_never_feasible() {
+        let s = Schema::provenance();
+        assert!(!s.has_k_hop_path("Job", "Job", 0));
+    }
+
+    #[test]
+    fn homogeneous_schema_allows_all_k() {
+        let s = Schema::homogeneous("V", "E");
+        // Self-loop in the schema graph: the trail check excludes
+        // revisiting, so only k=1 direct hop is derivable by trail
+        // semantics... but a self-loop edge means k=1 always works and the
+        // recursive case pushes `V` on the trail, blocking reuse.
+        assert!(s.has_k_hop_path("V", "V", 1));
+    }
+
+    #[test]
+    fn k_hop_walks_allow_type_revisits() {
+        let s = Schema::provenance();
+        assert!(s.has_k_hop_walk("Job", "Job", 2));
+        assert!(s.has_k_hop_walk("Job", "Job", 4));
+        assert!(s.has_k_hop_walk("Job", "Job", 10));
+        assert!(!s.has_k_hop_walk("Job", "Job", 3));
+        assert!(s.has_k_hop_walk("Job", "File", 3));
+        assert!(s.has_k_hop_walk("Job", "Job", 0));
+        assert!(!s.has_k_hop_walk("Job", "File", 0));
+    }
+
+    #[test]
+    fn source_types_of_dblp() {
+        let s = Schema::dblp();
+        assert_eq!(s.source_types(), vec!["Author", "Publication"]);
+    }
+
+    #[test]
+    fn duplicate_rules_ignored() {
+        let mut s = Schema::new();
+        s.add_edge_rule("A", "E", "B");
+        s.add_edge_rule("A", "E", "B");
+        assert_eq!(s.edge_rules().len(), 1);
+    }
+
+    #[test]
+    fn display_errors() {
+        let e = SchemaError::EdgeNotAllowed {
+            src: "A".into(),
+            etype: "E".into(),
+            dst: "B".into(),
+        };
+        assert!(e.to_string().contains("not allowed"));
+        assert!(SchemaError::UnknownVertexType("X".into())
+            .to_string()
+            .contains("unknown"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Graph data properties maintained for the cost model (§V.A).
+//!
+//! During loading Kaskade maintains (i) vertex cardinality per vertex type
+//! and (ii) coarse-grained out-degree distribution summary statistics —
+//! the 50th, 90th and 95th percentile out-degree per vertex type. The
+//! view-size estimators in `kaskade-core` consume exactly these numbers.
+
+use std::collections::BTreeMap;
+
+use crate::graph::Graph;
+
+/// Summary of the out-degree distribution of one vertex type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeSummary {
+    /// Number of vertices of this type.
+    pub cardinality: usize,
+    /// 50th percentile (median) out-degree.
+    pub p50: usize,
+    /// 90th percentile out-degree.
+    pub p90: usize,
+    /// 95th percentile out-degree.
+    pub p95: usize,
+    /// Maximum out-degree (the α=100 case).
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+}
+
+impl DegreeSummary {
+    /// Percentile lookup for the α values the estimator supports. α must
+    /// be in (0, 100]; intermediate values snap to the nearest maintained
+    /// percentile (50, 90, 95, 100), matching the coarse-grained summary
+    /// statistics the paper keeps.
+    pub fn degree_at(&self, alpha: u8) -> usize {
+        assert!(alpha > 0 && alpha <= 100, "alpha must be in (0,100]");
+        match alpha {
+            0..=69 => self.p50,
+            70..=92 => self.p90,
+            93..=99 => self.p95,
+            100 => self.max,
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Per-type degree statistics plus whole-graph totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    per_type: BTreeMap<String, DegreeSummary>,
+    /// Total vertex count.
+    pub vertex_count: usize,
+    /// Total edge count.
+    pub edge_count: usize,
+    /// Whole-graph degree summary (all vertices pooled).
+    pub overall: DegreeSummary,
+}
+
+/// Percentile of a **sorted** slice using nearest-rank.
+fn percentile_sorted(sorted: &[usize], p: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarize(mut degrees: Vec<usize>) -> DegreeSummary {
+    degrees.sort_unstable();
+    let n = degrees.len();
+    let total: usize = degrees.iter().sum();
+    DegreeSummary {
+        cardinality: n,
+        p50: percentile_sorted(&degrees, 50.0),
+        p90: percentile_sorted(&degrees, 90.0),
+        p95: percentile_sorted(&degrees, 95.0),
+        max: degrees.last().copied().unwrap_or(0),
+        mean: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+    }
+}
+
+impl GraphStats {
+    /// Computes statistics for `g` in a single pass over the vertices.
+    pub fn compute(g: &Graph) -> Self {
+        let mut by_type: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut all: Vec<usize> = Vec::with_capacity(g.vertex_count());
+        for v in g.vertices() {
+            let d = g.out_degree(v);
+            all.push(d);
+            by_type
+                .entry(g.vertex_type(v).to_string())
+                .or_default()
+                .push(d);
+        }
+        let per_type = by_type
+            .into_iter()
+            .map(|(t, ds)| (t, summarize(ds)))
+            .collect();
+        GraphStats {
+            per_type,
+            vertex_count: g.vertex_count(),
+            edge_count: g.edge_count(),
+            overall: summarize(all),
+        }
+    }
+
+    /// Builds synthetic statistics from explicit parts — used by the
+    /// view selector to cost a query against a view that has not been
+    /// materialized yet (its size is only *estimated*).
+    pub fn from_parts(
+        per_type: Vec<(String, DegreeSummary)>,
+        vertex_count: usize,
+        edge_count: usize,
+        overall: DegreeSummary,
+    ) -> Self {
+        GraphStats {
+            per_type: per_type.into_iter().collect(),
+            vertex_count,
+            edge_count,
+            overall,
+        }
+    }
+
+    /// Degree summary for a vertex type, if present.
+    pub fn for_type(&self, vtype: &str) -> Option<&DegreeSummary> {
+        self.per_type.get(vtype)
+    }
+
+    /// Iterates `(type name, summary)` in type-name order.
+    pub fn types(&self) -> impl Iterator<Item = (&str, &DegreeSummary)> {
+        self.per_type.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct vertex types observed.
+    pub fn type_count(&self) -> usize {
+        self.per_type.len()
+    }
+}
+
+/// One point of a complementary cumulative degree distribution:
+/// `count` vertices have degree strictly greater than `degree`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcdfPoint {
+    /// Degree threshold.
+    pub degree: usize,
+    /// Number of vertices with degree > `degree`.
+    pub count: usize,
+}
+
+/// Complementary cumulative distribution function of out-degrees
+/// (the Fig. 8 plots). Returns points for every distinct degree value.
+pub fn degree_ccdf(g: &Graph) -> Vec<CcdfPoint> {
+    let mut degrees: Vec<usize> = g.vertices().map(|v| g.out_degree(v)).collect();
+    degrees.sort_unstable();
+    let n = degrees.len();
+    let mut points = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let d = degrees[i];
+        // advance past all vertices with this degree
+        let mut j = i;
+        while j < n && degrees[j] == d {
+            j += 1;
+        }
+        points.push(CcdfPoint {
+            degree: d,
+            count: n - j,
+        });
+        i = j;
+    }
+    points
+}
+
+/// Least-squares slope of `log10(count)` against `log10(degree)` over the
+/// CCDF points with positive degree and count — the best-fit power-law
+/// exponent reported in Fig. 8. Returns `None` with fewer than two usable
+/// points.
+pub fn power_law_exponent(ccdf: &[CcdfPoint]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = ccdf
+        .iter()
+        .filter(|p| p.degree > 0 && p.count > 0)
+        .map(|p| ((p.degree as f64).log10(), (p.count as f64).log10()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn star(center_out: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let c = b.add_vertex("V");
+        for _ in 0..center_out {
+            let leaf = b.add_vertex("V");
+            b.add_edge(c, leaf, "E");
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile_sorted(&v, 50.0), 5);
+        assert_eq!(percentile_sorted(&v, 90.0), 9);
+        assert_eq!(percentile_sorted(&v, 95.0), 10);
+        assert_eq!(percentile_sorted(&v, 100.0), 10);
+        assert_eq!(percentile_sorted(&[], 50.0), 0);
+        assert_eq!(percentile_sorted(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let g = star(9);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertex_count, 10);
+        assert_eq!(s.edge_count, 9);
+        let v = s.for_type("V").unwrap();
+        assert_eq!(v.cardinality, 10);
+        assert_eq!(v.max, 9);
+        assert_eq!(v.p50, 0); // 9 of 10 vertices have degree 0
+        assert!((v.mean - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_per_type_separated() {
+        let mut b = GraphBuilder::new();
+        let j = b.add_vertex("Job");
+        for _ in 0..3 {
+            let f = b.add_vertex("File");
+            b.add_edge(j, f, "WRITES_TO");
+        }
+        let g = b.finish();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.for_type("Job").unwrap().max, 3);
+        assert_eq!(s.for_type("File").unwrap().max, 0);
+        assert_eq!(s.type_count(), 2);
+        assert!(s.for_type("Task").is_none());
+    }
+
+    #[test]
+    fn degree_at_snaps_to_percentiles() {
+        let d = DegreeSummary {
+            cardinality: 10,
+            p50: 1,
+            p90: 5,
+            p95: 7,
+            max: 20,
+            mean: 2.0,
+        };
+        assert_eq!(d.degree_at(50), 1);
+        assert_eq!(d.degree_at(60), 1);
+        assert_eq!(d.degree_at(90), 5);
+        assert_eq!(d.degree_at(95), 7);
+        assert_eq!(d.degree_at(100), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn degree_at_rejects_zero() {
+        let d = DegreeSummary {
+            cardinality: 1,
+            p50: 0,
+            p90: 0,
+            p95: 0,
+            max: 0,
+            mean: 0.0,
+        };
+        d.degree_at(0);
+    }
+
+    #[test]
+    fn ccdf_monotone_and_complete() {
+        let g = star(5);
+        let pts = degree_ccdf(&g);
+        // degrees present: 0 (5 leaves) and 5 (1 center)
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].degree, 0);
+        assert_eq!(pts[0].count, 1); // one vertex with degree > 0
+        assert_eq!(pts[1].degree, 5);
+        assert_eq!(pts[1].count, 0);
+        // counts are non-increasing
+        for w in pts.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn power_law_fit_on_synthetic_power_law() {
+        // CCDF points lying exactly on count = 1e6 * degree^-2
+        let pts: Vec<CcdfPoint> = (1..=100)
+            .map(|d| CcdfPoint {
+                degree: d,
+                count: (1_000_000.0 / (d as f64 * d as f64)) as usize,
+            })
+            .collect();
+        let slope = power_law_exponent(&pts).unwrap();
+        assert!((slope + 2.0).abs() < 0.05, "slope={slope}");
+    }
+
+    #[test]
+    fn power_law_fit_degenerate() {
+        assert!(power_law_exponent(&[]).is_none());
+        assert!(power_law_exponent(&[CcdfPoint { degree: 1, count: 5 }]).is_none());
+    }
+}

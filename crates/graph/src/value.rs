@@ -1,0 +1,227 @@
+//! Property values stored on vertices and edges.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::interner::Symbol;
+
+/// A property value in the property-graph data model (§III.A of the paper):
+/// vertices and edges carry key–value pairs where keys are interned strings
+/// and values are one of the scalar types below.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer (e.g. CPU hours, timestamps).
+    Int(i64),
+    /// 64-bit float (e.g. aggregate scores).
+    Float(f64),
+    /// String payload (e.g. pipeline names).
+    Str(String),
+    /// Boolean flag (e.g. `privileged`).
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the integer payload if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns a float view of numeric values (`Int` is widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Total order used by `ORDER BY` and aggregate `MIN`/`MAX`: numerics
+    /// compare numerically (NaN sorts last), then strings, then booleans;
+    /// mixed non-numeric kinds compare by kind tag.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            _ => self.kind_tag().cmp(&other.kind_tag()),
+        }
+    }
+
+    fn kind_tag(&self) -> u8 {
+        match self {
+            Value::Int(_) | Value::Float(_) => 0,
+            Value::Str(_) => 1,
+            Value::Bool(_) => 2,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A small sorted association list mapping property keys to values.
+///
+/// Most vertices carry fewer than a handful of properties, so a sorted
+/// `Vec` beats a hash map in both space and lookup time here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PropMap {
+    entries: Vec<(Symbol, Value)>,
+}
+
+impl PropMap {
+    /// Creates an empty property map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn insert(&mut self, key: Symbol, value: Value) {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key, value)),
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: Symbol) -> Option<&Value> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_numerics_across_kinds() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Int(2)), Ordering::Equal);
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn total_cmp_nan_sorts_consistently() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert_eq!(Value::Float(1.0).total_cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn propmap_insert_get_overwrite() {
+        let mut m = PropMap::new();
+        let k1 = Symbol(3);
+        let k2 = Symbol(1);
+        m.insert(k1, Value::Int(10));
+        m.insert(k2, Value::Str("a".into()));
+        assert_eq!(m.get(k1), Some(&Value::Int(10)));
+        m.insert(k1, Value::Int(20));
+        assert_eq!(m.get(k1), Some(&Value::Int(20)));
+        assert_eq!(m.len(), 2);
+        // keys come back sorted
+        let keys: Vec<u32> = m.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn propmap_missing_key() {
+        let m = PropMap::new();
+        assert!(m.get(Symbol(0)).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn value_from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(0.5), Value::Float(0.5));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

@@ -1,0 +1,39 @@
+//! # kaskade-prolog
+//!
+//! A from-scratch Prolog interpreter — the inference-engine substrate of
+//! the Kaskade reproduction (the paper uses SWI-Prolog; §IV). Kaskade's
+//! constraint mining rules and view templates (paper Listings 2, 3, 5, 6)
+//! run on this engine **verbatim**.
+//!
+//! The supported subset is exactly what those listings need: facts and
+//! rules, unification, arithmetic (`is`, comparisons), lists,
+//! negation-as-failure, cut, `findall/3`, `setof/3`, `between/3`,
+//! higher-order `call/N` (for `foldl`, `convlist`), plus a pure-Prolog
+//! prelude (`member/2`, `append/3`, ...).
+//!
+//! ```
+//! use kaskade_prolog::Database;
+//!
+//! let mut db = Database::with_prelude();
+//! db.consult(
+//!     "schemaEdge('Job', 'File', 'WRITES_TO').
+//!      schemaEdge('File', 'Job', 'IS_READ_BY').
+//!      schemaKHopPath(X,Y,K) :- schemaKHopPath(X,Y,K,[]).
+//!      schemaKHopPath(X,Y,1,_) :- schemaEdge(X,Y,_).
+//!      schemaKHopPath(X,Y,K,Trail) :-
+//!        schemaEdge(X,Z,_), not(member(Z,Trail)),
+//!        schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.",
+//! ).unwrap();
+//! assert!(db.has_solution("schemaKHopPath('Job', 'Job', 2)").unwrap());
+//! assert!(!db.has_solution("schemaKHopPath('Job', 'Job', 3)").unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+mod parser;
+mod solver;
+mod term;
+
+pub use parser::{parse_program, parse_query, Clause, ParseError};
+pub use solver::{Database, PrologError, Solution};
+pub use term::Term;

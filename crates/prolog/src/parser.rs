@@ -1,0 +1,720 @@
+//! Parser for ISO-style Prolog clauses (the SWI-compatible subset the
+//! Kaskade rules use).
+//!
+//! Supported syntax: facts and rules (`head :- body.`), atoms (lowercase
+//! or `'quoted'`), variables (Uppercase / `_`), integers, compound terms,
+//! lists (`[a,b|T]`), the operators `:-`, `,`, `is`, `=`, `\=`, `<`,
+//! `=<`, `>`, `>=`, `=:=`, `=\=`, `+`, `-`, `*`, `/`, `//`, `mod`, the
+//! prefix negation `\+`, cut `!`, and `%` line comments. This covers all
+//! of the paper's Listings 2, 3, 5 and 6 verbatim.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::term::Term;
+
+/// A parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Atom(String),
+    Var(String),
+    Int(i64),
+    /// Symbolic or word operator, e.g. `:-`, `is`, `=<`.
+    Op(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Bar,
+    /// End-of-clause dot.
+    Dot,
+    /// Cut `!`.
+    Bang,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                Tok::RBracket
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'|' => {
+                self.pos += 1;
+                Tok::Bar
+            }
+            b'!' => {
+                self.pos += 1;
+                Tok::Bang
+            }
+            b'\'' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    if self.pos >= self.src.len() {
+                        return self.err("unterminated quoted atom");
+                    }
+                    let ch = self.src[self.pos];
+                    if ch == b'\'' {
+                        // doubled quote is an escaped quote
+                        if self.pos + 1 < self.src.len() && self.src[self.pos + 1] == b'\'' {
+                            s.push('\'');
+                            self.pos += 2;
+                            continue;
+                        }
+                        self.pos += 1;
+                        break;
+                    }
+                    s.push(ch as char);
+                    self.pos += 1;
+                }
+                Tok::Atom(s)
+            }
+            b'0'..=b'9' => {
+                let mut v: i64 = 0;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|x| x.checked_add((self.src[self.pos] - b'0') as i64))
+                        .ok_or(ParseError {
+                            offset: start,
+                            message: "integer literal overflows i64".into(),
+                        })?;
+                    self.pos += 1;
+                }
+                Tok::Int(v)
+            }
+            b'_' | b'A'..=b'Z' => {
+                let s = self.take_ident();
+                Tok::Var(s)
+            }
+            b'a'..=b'z' => {
+                let s = self.take_ident();
+                // word operators
+                if s == "is" || s == "mod" {
+                    Tok::Op(s)
+                } else {
+                    Tok::Atom(s)
+                }
+            }
+            b'.' => {
+                // end of clause if followed by whitespace/eof/%
+                let nxt = self.src.get(self.pos + 1);
+                match nxt {
+                    None => {
+                        self.pos += 1;
+                        Tok::Dot
+                    }
+                    Some(n) if n.is_ascii_whitespace() || *n == b'%' => {
+                        self.pos += 1;
+                        Tok::Dot
+                    }
+                    _ => return self.err("unexpected `.` (not end of clause)"),
+                }
+            }
+            _ => {
+                // symbolic operator: longest match from the table
+                const SYMS: &[&str] = &[
+                    ":-", "=:=", "=\\=", "=<", ">=", "\\=", "\\+", "=", "<", ">", "//", "/", "+",
+                    "-", "*",
+                ];
+                let rest = &self.src[self.pos..];
+                let mut found = None;
+                for s in SYMS {
+                    if rest.starts_with(s.as_bytes()) {
+                        found = Some(*s);
+                        break;
+                    }
+                }
+                match found {
+                    Some(s) => {
+                        self.pos += s.len();
+                        Tok::Op(s.to_string())
+                    }
+                    None => return self.err(format!("unexpected character `{}`", c as char)),
+                }
+            }
+        };
+        Ok(Some((tok, start)))
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+/// A parsed clause: `head :- body.` with variables numbered `0..nvars`.
+/// Facts have an empty body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// Clause head.
+    pub head: Term,
+    /// Conjunction of body goals (empty for facts).
+    pub body: Vec<Term>,
+    /// Number of distinct variables in the clause.
+    pub nvars: usize,
+    /// Names of the variables (index = variable number); `_` variables
+    /// get synthesized names.
+    pub var_names: Vec<String>,
+}
+
+/// Parser over a token stream.
+pub struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    vars: HashMap<String, usize>,
+    var_names: Vec<String>,
+    fresh_counter: usize,
+}
+
+/// Binding power of binary operators (ISO-like priorities, inverted so
+/// higher binds tighter).
+fn infix_power(op: &str) -> Option<(u8, u8)> {
+    // (left bp, right bp); left-assoc yfx => (l, l+1)
+    match op {
+        "=" | "\\=" | "is" | "<" | "=<" | ">" | ">=" | "=:=" | "=\\=" => Some((10, 11)), // xfx 700
+        "+" | "-" => Some((20, 21)),                                                     // yfx 500
+        "*" | "/" | "//" | "mod" => Some((30, 31)),                                      // yfx 400
+        _ => None,
+    }
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let mut lx = Lexer::new(src);
+        let mut toks = Vec::new();
+        while let Some(t) = lx.next()? {
+            toks.push(t);
+        }
+        Ok(Parser {
+            toks,
+            pos: 0,
+            vars: HashMap::new(),
+            var_names: Vec::new(),
+            fresh_counter: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.offset(),
+            message: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn var_index(&mut self, name: &str) -> usize {
+        if name == "_" {
+            let idx = self.var_names.len();
+            self.fresh_counter += 1;
+            self.var_names.push(format!("_A{}", self.fresh_counter));
+            return idx;
+        }
+        if let Some(&i) = self.vars.get(name) {
+            return i;
+        }
+        let idx = self.var_names.len();
+        self.vars.insert(name.to_string(), idx);
+        self.var_names.push(name.to_string());
+        idx
+    }
+
+    /// Parses one term with the Pratt scheme; `min_bp` excludes looser
+    /// operators (used to keep `,` as argument separator).
+    fn parse_term(&mut self, min_bp: u8) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            let op = op.clone();
+            let Some((l_bp, r_bp)) = infix_power(&op) else {
+                break;
+            };
+            if l_bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_term(r_bp)?;
+            lhs = Term::Compound(op, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Term::Int(v)),
+            Some(Tok::Var(name)) => Ok(Term::Var(self.var_index(&name))),
+            Some(Tok::Bang) => Ok(Term::atom("!")),
+            Some(Tok::Op(op)) if op == "-" => {
+                // unary minus on integer literal or expression
+                match self.peek() {
+                    Some(Tok::Int(v)) => {
+                        let v = *v;
+                        self.bump();
+                        Ok(Term::Int(-v))
+                    }
+                    _ => {
+                        let arg = self.parse_term(40)?;
+                        Ok(Term::Compound("-".into(), vec![Term::Int(0), arg]))
+                    }
+                }
+            }
+            Some(Tok::Op(op)) if op == "\\+" => {
+                let arg = self.parse_term(12)?;
+                Ok(Term::Compound("not".into(), vec![arg]))
+            }
+            Some(Tok::Atom(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.parse_term(0)?);
+                        match self.bump() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            other => {
+                                return self
+                                    .err(format!("expected `,` or `)` in args, found {other:?}"))
+                            }
+                        }
+                    }
+                    Ok(Term::Compound(name, args))
+                } else {
+                    Ok(Term::Atom(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let t = self.parse_conjunction_or_term()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(t)
+            }
+            Some(Tok::LBracket) => self.parse_list(),
+            other => self.err(format!("expected a term, found {other:?}")),
+        }
+    }
+
+    /// Inside parens, a `,` builds a conjunction term `','(A, B)`.
+    fn parse_conjunction_or_term(&mut self) -> Result<Term, ParseError> {
+        let first = self.parse_term(0)?;
+        if self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            let rest = self.parse_conjunction_or_term()?;
+            Ok(Term::Compound(",".into(), vec![first, rest]))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Term, ParseError> {
+        if self.peek() == Some(&Tok::RBracket) {
+            self.bump();
+            return Ok(Term::nil());
+        }
+        let mut items = vec![self.parse_term(0)?];
+        loop {
+            match self.bump() {
+                Some(Tok::Comma) => items.push(self.parse_term(0)?),
+                Some(Tok::Bar) => {
+                    let tail = self.parse_term(0)?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    return Ok(items
+                        .into_iter()
+                        .rev()
+                        .fold(tail, |acc, h| Term::cons(h, acc)));
+                }
+                Some(Tok::RBracket) => {
+                    return Ok(Term::list(items));
+                }
+                other => return self.err(format!("expected `,`, `|`, or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    /// Splits a (possibly `','`-nested) goal term into a flat conjunction.
+    fn flatten_conjunction(t: Term, out: &mut Vec<Term>) {
+        match t {
+            Term::Compound(f, args) if f == "," && args.len() == 2 => {
+                let mut it = args.into_iter();
+                Self::flatten_conjunction(it.next().unwrap(), out);
+                Self::flatten_conjunction(it.next().unwrap(), out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    fn parse_clause(&mut self) -> Result<Clause, ParseError> {
+        self.vars.clear();
+        self.var_names.clear();
+        let head = self.parse_term(0)?;
+        match head {
+            Term::Atom(_) | Term::Compound(_, _) => {}
+            _ => return self.err("clause head must be an atom or compound term"),
+        }
+        let mut body = Vec::new();
+        match self.bump() {
+            Some(Tok::Dot) => {}
+            Some(Tok::Op(op)) if op == ":-" => {
+                // body: goals separated by top-level commas
+                loop {
+                    let goal = self.parse_term(0)?;
+                    Self::flatten_conjunction(goal, &mut body);
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::Dot) => break,
+                        other => {
+                            return self.err(format!("expected `,` or `.`, found {other:?}"));
+                        }
+                    }
+                }
+            }
+            other => return self.err(format!("expected `:-` or `.`, found {other:?}")),
+        }
+        Ok(Clause {
+            head,
+            body,
+            nvars: self.var_names.len(),
+            var_names: self.var_names.clone(),
+        })
+    }
+}
+
+/// Parses a full program: zero or more clauses.
+pub fn parse_program(src: &str) -> Result<Vec<Clause>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut clauses = Vec::new();
+    while p.peek().is_some() {
+        clauses.push(p.parse_clause()?);
+    }
+    Ok(clauses)
+}
+
+/// Parses a query: a conjunction of goals terminated by optional `.`.
+/// Returns the goals plus the named variables in first-occurrence order.
+pub fn parse_query(src: &str) -> Result<(Vec<Term>, Vec<String>), ParseError> {
+    let trimmed = src.trim();
+    let with_dot = if trimmed.ends_with('.') {
+        trimmed.to_string()
+    } else {
+        format!("{trimmed}.")
+    };
+    let mut p = Parser::new(&format!("'$query' :- {with_dot}"))?;
+    let clause = p.parse_clause()?;
+    if p.peek().is_some() {
+        return Err(ParseError {
+            offset: p.offset(),
+            message: "trailing tokens after query".into(),
+        });
+    }
+    Ok((clause.body, clause.var_names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse1(src: &str) -> Clause {
+        let cs = parse_program(src).unwrap();
+        assert_eq!(cs.len(), 1, "expected one clause");
+        cs.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parse_fact() {
+        let c = parse1("schemaEdge('Job', 'File', 'WRITES_TO').");
+        assert_eq!(
+            c.head,
+            Term::compound(
+                "schemaEdge",
+                vec![
+                    Term::atom("Job"),
+                    Term::atom("File"),
+                    Term::atom("WRITES_TO")
+                ]
+            )
+        );
+        assert!(c.body.is_empty());
+        assert_eq!(c.nvars, 0);
+    }
+
+    #[test]
+    fn parse_rule_with_arith() {
+        let c = parse1("f(X, K) :- g(X, K1), K is K1 + 1.");
+        assert_eq!(c.body.len(), 2);
+        assert_eq!(c.nvars, 3);
+        // K is K1+1  =>  is(K, +(K1, 1))
+        assert_eq!(
+            c.body[1],
+            Term::compound(
+                "is",
+                vec![
+                    Term::Var(1),
+                    Term::compound("+", vec![Term::Var(2), Term::int(1)])
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn parse_paper_rule_schema_k_hop_path() {
+        // Lst. 2 of the paper, verbatim.
+        let src = "
+            schemaKHopPath(X,Y,K) :- schemaKHopPath(X,Y,K,[]).
+            schemaKHopPath(X,Y,1,_) :- schemaEdge(X,Y,_).
+            schemaKHopPath(X,Y,K,Trail) :-
+              schemaEdge(X,Z,_), not(member(Z,Trail)),
+              schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.
+        ";
+        let cs = parse_program(src).unwrap();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[2].body.len(), 4);
+        assert_eq!(cs[2].body[1].functor(), Some(("not", 1)));
+    }
+
+    #[test]
+    fn parse_list_syntax() {
+        let c = parse1("f([a,b|T], []).");
+        let args = match &c.head {
+            Term::Compound(_, a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(
+            args[0],
+            Term::cons(Term::atom("a"), Term::cons(Term::atom("b"), Term::Var(0)))
+        );
+        assert!(args[1].is_nil());
+    }
+
+    #[test]
+    fn underscore_vars_are_fresh() {
+        let c = parse1("f(_, _, X, X).");
+        assert_eq!(c.nvars, 3); // two fresh + one named
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let cs = parse_program("% header\nf(a). % trailing\n% again\ng(b).").unwrap();
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn negative_literal() {
+        let c = parse1("f(-3).");
+        assert_eq!(c.head, Term::compound("f", vec![Term::int(-3)]));
+    }
+
+    #[test]
+    fn prefix_negation_sugar() {
+        let c = parse1("f(X) :- \\+ g(X).");
+        assert_eq!(
+            c.body[0],
+            Term::compound("not", vec![Term::compound("g", vec![Term::Var(0)])])
+        );
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let c = parse1("t :- X is 1 + 2 * 3 - 4.");
+        // ((1 + (2*3)) - 4)
+        let expected = Term::compound(
+            "is",
+            vec![
+                Term::Var(0),
+                Term::compound(
+                    "-",
+                    vec![
+                        Term::compound(
+                            "+",
+                            vec![
+                                Term::int(1),
+                                Term::compound("*", vec![Term::int(2), Term::int(3)]),
+                            ],
+                        ),
+                        Term::int(4),
+                    ],
+                ),
+            ],
+        );
+        assert_eq!(c.body[0], expected);
+    }
+
+    #[test]
+    fn parenthesized_conjunction_in_not() {
+        let c = parse1("f(X) :- not((g(X), h(X))).");
+        let inner = match &c.body[0] {
+            Term::Compound(f, args) if f == "not" => &args[0],
+            _ => panic!(),
+        };
+        assert_eq!(inner.functor(), Some((",", 2)));
+    }
+
+    #[test]
+    fn quoted_atoms_with_specials() {
+        let c = parse1("f('2_HOP-JOB_TO_JOB', 'it''s').");
+        let args = match &c.head {
+            Term::Compound(_, a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(args[0], Term::atom("2_HOP-JOB_TO_JOB"));
+        assert_eq!(args[1], Term::atom("it's"));
+    }
+
+    #[test]
+    fn parse_query_returns_named_vars() {
+        let (goals, vars) = parse_query("kHopConnector(X, Y, XT, YT, K)").unwrap();
+        assert_eq!(goals.len(), 1);
+        assert_eq!(vars, vec!["X", "Y", "XT", "YT", "K"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_program("f(a)").is_err()); // missing dot
+        assert!(parse_program("f(a,).").is_err());
+        assert!(parse_program("f(]).").is_err());
+        assert!(parse_program(":- .").is_err());
+        assert!(parse_program("'unterminated").is_err());
+    }
+
+    #[test]
+    fn cut_token() {
+        let c = parse1("f(X) :- g(X), !, h(X).");
+        assert_eq!(c.body[1], Term::atom("!"));
+    }
+
+    #[test]
+    fn comparison_operators_parse() {
+        for op in ["<", "=<", ">", ">=", "=:=", "=\\="] {
+            let src = format!("t :- 1 {op} 2.");
+            assert!(parse_program(&src).is_ok(), "op {op}");
+        }
+    }
+
+    #[test]
+    fn nested_lists_and_compounds() {
+        let c = parse1("f([[1,2],[3]], g(h(x), [a|T])).");
+        let args = match &c.head {
+            Term::Compound(_, a) => a,
+            _ => panic!(),
+        };
+        let outer = args[0].as_list().unwrap();
+        assert_eq!(outer.len(), 2);
+        assert_eq!(outer[0].as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn clause_end_dot_vs_operator() {
+        // `.` immediately followed by non-space inside args is an error
+        assert!(parse_program("f(a.b).").is_err());
+        // but end-of-clause before EOF works
+        assert!(parse_program("f(a).").is_ok());
+    }
+
+    #[test]
+    fn findall_with_compound_template() {
+        let c = parse1("f(L) :- findall(p(X,Y), q(X,Y), L).");
+        assert_eq!(c.body[0].functor(), Some(("findall", 3)));
+    }
+}

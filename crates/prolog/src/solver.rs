@@ -1,0 +1,1318 @@
+//! SLD resolution with backtracking — the inference engine proper.
+//!
+//! [`Database`] stores clauses indexed by functor/arity; [`Database::query`]
+//! runs a goal conjunction and returns bindings for the named variables.
+//! The engine supports the SWI-Prolog subset the Kaskade rules need:
+//! unification, arithmetic (`is`, comparisons), negation-as-failure
+//! (`not/1`, `\+`), cut (`!`), `findall/3`, `setof/3`, `between/3`,
+//! `length/2`, `sort/2`, `msort/2`, `call/N`, plus a pure-Prolog prelude
+//! (`member/2`, `append/3`, `foldl/4`, ...).
+//!
+//! Solutions are produced through a callback so enumeration is lazy; a
+//! step budget guards against runaway recursion in user rules.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::parser::{parse_program, parse_query, Clause, ParseError};
+use crate::term::Term;
+
+/// Errors raised during consult or query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrologError {
+    /// Source failed to parse.
+    Parse(ParseError),
+    /// A goal referenced a predicate with no clauses and no dynamic
+    /// declaration (mirrors SWI's unknown-procedure error).
+    UnknownPredicate(String, usize),
+    /// Arithmetic was applied to an unbound variable.
+    NotInstantiated(String),
+    /// An arithmetic expression had a non-numeric operand or unknown
+    /// function.
+    ArithmeticType(String),
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// The inference step budget was exhausted (guards non-terminating
+    /// rule sets).
+    StepLimitExceeded(u64),
+    /// The resolution depth limit was exceeded (guards unbounded
+    /// left-recursion before the Rust stack does).
+    DepthLimitExceeded(usize),
+    /// A goal was not callable (e.g. calling an integer).
+    NotCallable(String),
+}
+
+impl fmt::Display for PrologError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrologError::Parse(e) => write!(f, "{e}"),
+            PrologError::UnknownPredicate(name, ar) => {
+                write!(f, "unknown predicate {name}/{ar}")
+            }
+            PrologError::NotInstantiated(ctx) => {
+                write!(f, "arguments not sufficiently instantiated in {ctx}")
+            }
+            PrologError::ArithmeticType(e) => write!(f, "arithmetic type error: {e}"),
+            PrologError::DivisionByZero => write!(f, "division by zero"),
+            PrologError::StepLimitExceeded(n) => write!(f, "inference step limit exceeded ({n})"),
+            PrologError::DepthLimitExceeded(n) => {
+                write!(f, "resolution depth limit exceeded ({n})")
+            }
+            PrologError::NotCallable(t) => write!(f, "goal not callable: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for PrologError {}
+
+impl From<ParseError> for PrologError {
+    fn from(e: ParseError) -> Self {
+        PrologError::Parse(e)
+    }
+}
+
+/// Pure-Prolog library loaded by [`Database::with_prelude`].
+const PRELUDE: &str = r#"
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+reverse(L, R) :- reverse_acc(L, [], R).
+reverse_acc([], A, A).
+reverse_acc([H|T], A, R) :- reverse_acc(T, [H|A], R).
+last([X], X).
+last([_|T], X) :- last(T, X).
+nth0(0, [X|_], X).
+nth0(N, [_|T], X) :- N > 0, N1 is N - 1, nth0(N1, T, X).
+foldl(_, [], A, A).
+foldl(G, [H|T], A0, A) :- call(G, H, A0, A1), foldl(G, T, A1, A).
+maplist(_, []).
+maplist(G, [H|T]) :- call(G, H), maplist(G, T).
+maplist2(_, [], []).
+maplist2(G, [H|T], [H2|T2]) :- call(G, H, H2), maplist2(G, T, T2).
+convlist(_, [], []).
+convlist(G, [H|T], [X|R]) :- call(G, H, X), convlist(G, T, R).
+convlist(G, [H|T], R) :- not(call(G, H, _)), convlist(G, T, R).
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+"#;
+
+/// First-argument index key: the principal functor of a clause head's
+/// first argument. Two non-variable terms with different keys can never
+/// unify, so goal resolution skips those clauses without attempting
+/// unification (classic first-argument indexing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ArgKey {
+    Atom(String),
+    Int(i64),
+    Compound(String, usize),
+}
+
+fn arg_key(t: &Term) -> Option<ArgKey> {
+    match t {
+        Term::Atom(a) => Some(ArgKey::Atom(a.clone())),
+        Term::Int(i) => Some(ArgKey::Int(*i)),
+        Term::Compound(f, args) => Some(ArgKey::Compound(f.clone(), args.len())),
+        Term::Var(_) => None,
+    }
+}
+
+/// Allocation-free conflict test between a (dereferenced) goal first
+/// argument and a clause's index key. `true` means unification is
+/// impossible.
+fn key_conflicts(t: &Term, k: &ArgKey) -> bool {
+    match (t, k) {
+        (Term::Var(_), _) => false,
+        (Term::Atom(a), ArgKey::Atom(b)) => a != b,
+        (Term::Int(i), ArgKey::Int(j)) => i != j,
+        (Term::Compound(f, args), ArgKey::Compound(g, n)) => f != g || args.len() != *n,
+        _ => true, // different term kinds never unify
+    }
+}
+
+/// A stored clause plus its first-argument index key (None = variable
+/// first argument, matches anything).
+#[derive(Debug, Clone)]
+struct IndexedClause {
+    clause: Clause,
+    key: Option<ArgKey>,
+}
+
+/// A clause database plus dynamic-predicate declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    clauses: HashMap<(String, usize), Vec<IndexedClause>>,
+    dynamic: HashSet<(String, usize)>,
+    /// Inference step budget per query (default 50 million).
+    pub max_steps: u64,
+    /// Resolution depth limit per query (default 10,000); guards unbounded
+    /// left-recursion before the native stack overflows.
+    pub max_depth: usize,
+}
+
+/// One solution: named query variables with their (resolved) bindings, in
+/// first-occurrence order.
+pub type Solution = Vec<(String, Term)>;
+
+impl Database {
+    /// An empty database (no prelude).
+    pub fn new() -> Self {
+        Database {
+            clauses: HashMap::new(),
+            dynamic: HashSet::new(),
+            max_steps: 50_000_000,
+            max_depth: 10_000,
+        }
+    }
+
+    /// A database preloaded with the list/arithmetic prelude
+    /// (`member/2`, `append/3`, `foldl/4`, ...).
+    pub fn with_prelude() -> Self {
+        let mut db = Database::new();
+        db.consult(PRELUDE).expect("prelude must parse");
+        db
+    }
+
+    /// Parses and adds all clauses in `src`. Returns how many were added.
+    pub fn consult(&mut self, src: &str) -> Result<usize, PrologError> {
+        let clauses = parse_program(src)?;
+        let n = clauses.len();
+        for c in clauses {
+            self.assert_clause(c);
+        }
+        Ok(n)
+    }
+
+    /// Adds a parsed clause at the end of its predicate (assertz).
+    pub fn assert_clause(&mut self, clause: Clause) {
+        let pred = match clause.head.functor() {
+            Some((f, a)) => (f.to_string(), a),
+            None => panic!("clause head must have a functor"),
+        };
+        let key = match &clause.head {
+            Term::Compound(_, args) => arg_key(&args[0]),
+            _ => None,
+        };
+        self.clauses
+            .entry(pred)
+            .or_default()
+            .push(IndexedClause { clause, key });
+    }
+
+    /// Adds a ground fact `functor(args...)`.
+    pub fn add_fact(&mut self, functor: &str, args: Vec<Term>) {
+        let head = if args.is_empty() {
+            Term::atom(functor)
+        } else {
+            Term::Compound(functor.to_string(), args)
+        };
+        self.assert_clause(Clause {
+            head,
+            body: vec![],
+            nvars: 0,
+            var_names: vec![],
+        });
+    }
+
+    /// Declares `functor/arity` as dynamic: calling it with zero clauses
+    /// fails instead of erroring (mirrors SWI `:- dynamic f/N.`).
+    pub fn declare_dynamic(&mut self, functor: &str, arity: usize) {
+        self.dynamic.insert((functor.to_string(), arity));
+    }
+
+    /// Number of clauses for `functor/arity`.
+    pub fn clause_count(&self, functor: &str, arity: usize) -> usize {
+        self.clauses
+            .get(&(functor.to_string(), arity))
+            .map_or(0, Vec::len)
+    }
+
+    /// Retracts every clause of `functor/arity`, returning how many were
+    /// removed. The predicate keeps behaving as dynamic afterwards if it
+    /// was declared so.
+    pub fn retract_all(&mut self, functor: &str, arity: usize) -> usize {
+        self.clauses
+            .remove(&(functor.to_string(), arity))
+            .map_or(0, |v| v.len())
+    }
+
+    /// Runs `query_src` and collects every solution.
+    pub fn query(&self, query_src: &str) -> Result<Vec<Solution>, PrologError> {
+        self.query_limit(query_src, usize::MAX)
+    }
+
+    /// Runs `query_src`, collecting at most `limit` solutions.
+    ///
+    /// Resolution runs on a dedicated thread with a large stack so that
+    /// deep (but bounded) recursion in user rules cannot overflow the
+    /// caller's stack; the depth limit still bounds runaway recursion.
+    pub fn query_limit(
+        &self,
+        query_src: &str,
+        limit: usize,
+    ) -> Result<Vec<Solution>, PrologError> {
+        run_with_big_stack(|| self.query_limit_inline(query_src, limit))
+    }
+
+    fn query_limit_inline(
+        &self,
+        query_src: &str,
+        limit: usize,
+    ) -> Result<Vec<Solution>, PrologError> {
+        let (goals, var_names) = parse_query(query_src)?;
+        let mut machine = Machine::new(self);
+        // allocate the query variables
+        let nvars = var_names.len();
+        machine.bindings.resize(nvars, None);
+        let mut solutions = Vec::new();
+        machine.solve_all(&goals, &mut |m| {
+            let sol: Solution = var_names
+                .iter()
+                .enumerate()
+                .filter(|(_, name)| !name.starts_with('_'))
+                .map(|(i, name)| (name.clone(), m.resolve(&Term::Var(i))))
+                .collect();
+            solutions.push(sol);
+            Ok(solutions.len() >= limit)
+        })?;
+        Ok(solutions)
+    }
+
+    /// Whether `query_src` has at least one solution.
+    pub fn has_solution(&self, query_src: &str) -> Result<bool, PrologError> {
+        Ok(!self.query_limit(query_src, 1)?.is_empty())
+    }
+
+    /// Total inference steps consumed by the last call is not retained;
+    /// use [`Database::query_with_stats`] to measure.
+    pub fn query_with_stats(
+        &self,
+        query_src: &str,
+    ) -> Result<(Vec<Solution>, u64), PrologError> {
+        run_with_big_stack(|| self.query_with_stats_inline(query_src))
+    }
+
+    fn query_with_stats_inline(
+        &self,
+        query_src: &str,
+    ) -> Result<(Vec<Solution>, u64), PrologError> {
+        let (goals, var_names) = parse_query(query_src)?;
+        let mut machine = Machine::new(self);
+        machine.bindings.resize(var_names.len(), None);
+        let mut solutions = Vec::new();
+        machine.solve_all(&goals, &mut |m| {
+            let sol: Solution = var_names
+                .iter()
+                .enumerate()
+                .filter(|(_, name)| !name.starts_with('_'))
+                .map(|(i, name)| (name.clone(), m.resolve(&Term::Var(i))))
+                .collect();
+            solutions.push(sol);
+            Ok(false)
+        })?;
+        Ok((solutions, machine.steps))
+    }
+}
+
+/// Runs `f` on a scoped thread with a 256 MiB stack. SLD resolution uses
+/// native-stack recursion (a few Rust frames per resolution level), so a
+/// query at the default depth limit of 10,000 needs far more stack than
+/// the 2 MiB Rust gives spawned (e.g. test) threads.
+fn run_with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    const STACK: usize = 256 * 1024 * 1024;
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(STACK)
+            .name("prolog-solver".into())
+            .spawn_scoped(scope, f)
+            .expect("failed to spawn solver thread")
+            .join()
+            .expect("solver thread panicked")
+    })
+}
+
+/// Continuation result: `Ok(true)` means "stop enumerating".
+type Cont<'k> = &'k mut dyn FnMut(&mut Machine) -> Result<bool, PrologError>;
+
+/// The resolution machine: binding store plus trail.
+struct Machine<'a> {
+    db: &'a Database,
+    bindings: Vec<Option<Term>>,
+    trail: Vec<usize>,
+    steps: u64,
+    depth: usize,
+    call_counter: usize,
+    /// When set, unwinding should skip clause alternatives until the
+    /// invocation with this id.
+    cut_signal: Option<usize>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(db: &'a Database) -> Self {
+        Machine {
+            db,
+            bindings: Vec::new(),
+            trail: Vec::new(),
+            steps: 0,
+            depth: 0,
+            call_counter: 0,
+            cut_signal: None,
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), PrologError> {
+        self.steps += 1;
+        if self.steps > self.db.max_steps {
+            return Err(PrologError::StepLimitExceeded(self.db.max_steps));
+        }
+        Ok(())
+    }
+
+    /// Follows variable bindings one level at a time until reaching a
+    /// non-variable or an unbound variable.
+    fn deref(&self, t: &Term) -> Term {
+        let mut cur = t.clone();
+        while let Term::Var(v) = cur {
+            match &self.bindings[v] {
+                Some(bound) => cur = bound.clone(),
+                None => return Term::Var(v),
+            }
+        }
+        cur
+    }
+
+    /// Fully resolves a term, substituting all bound variables.
+    fn resolve(&self, t: &Term) -> Term {
+        match self.deref(t) {
+            Term::Compound(f, args) => {
+                Term::Compound(f, args.iter().map(|a| self.resolve(a)).collect())
+            }
+            other => other,
+        }
+    }
+
+    fn bind(&mut self, v: usize, t: Term) {
+        debug_assert!(self.bindings[v].is_none());
+        self.bindings[v] = Some(t);
+        self.trail.push(v);
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().unwrap();
+            self.bindings[v] = None;
+        }
+    }
+
+    fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let a = self.deref(a);
+        let b = self.deref(b);
+        match (a, b) {
+            (Term::Var(v), Term::Var(w)) if v == w => true,
+            (Term::Var(v), other) => {
+                self.bind(v, other);
+                true
+            }
+            (other, Term::Var(v)) => {
+                self.bind(v, other);
+                true
+            }
+            (Term::Atom(x), Term::Atom(y)) => x == y,
+            (Term::Int(x), Term::Int(y)) => x == y,
+            (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+                f == g && xs.len() == ys.len() && xs.iter().zip(&ys).all(|(x, y)| self.unify(x, y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Allocates `n` fresh variables, returning the base index.
+    fn fresh_vars(&mut self, n: usize) -> usize {
+        let base = self.bindings.len();
+        self.bindings.resize(base + n, None);
+        base
+    }
+
+    /// Copies a resolved term, renaming any remaining unbound variables to
+    /// fresh ones (the `copy_term` used by findall).
+    fn copy_with_fresh(&mut self, t: &Term, map: &mut HashMap<usize, usize>) -> Term {
+        match self.deref(t) {
+            Term::Var(v) => {
+                let nv = *map.entry(v).or_insert_with(|| {
+                    let base = self.bindings.len();
+                    self.bindings.push(None);
+                    base
+                });
+                Term::Var(nv)
+            }
+            Term::Compound(f, args) => {
+                let copied = args
+                    .iter()
+                    .map(|a| self.copy_with_fresh(a, map))
+                    .collect();
+                Term::Compound(f, copied)
+            }
+            other => other,
+        }
+    }
+
+    /// Solves a conjunction: calls `k` once per solution; stops early if
+    /// `k` returns `Ok(true)`.
+    fn solve_all(&mut self, goals: &[Term], k: Cont) -> Result<bool, PrologError> {
+        match goals.split_first() {
+            None => k(self),
+            Some((goal, rest)) => self.solve_goal(goal, rest, k),
+        }
+    }
+
+    fn solve_goal(&mut self, goal: &Term, rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+        self.tick()?;
+        let goal = self.deref(goal);
+        let (functor, args): (&str, &[Term]) = match &goal {
+            Term::Atom(a) => (a.as_str(), &[]),
+            Term::Compound(f, args) => (f.as_str(), args.as_slice()),
+            other => return Err(PrologError::NotCallable(other.to_string())),
+        };
+        match (functor, args.len()) {
+            ("true", 0) => self.solve_all(rest, k),
+            ("fail", 0) | ("false", 0) => Ok(false),
+            ("!", 0) => {
+                // bare cut outside a clause body: cut to query level —
+                // solve rest once, then stop alternatives via signal 0
+                let stop = self.solve_all(rest, k)?;
+                if !stop {
+                    self.cut_signal = Some(0);
+                }
+                Ok(stop)
+            }
+            ("$cut", 1) => {
+                let id = match self.deref(&args[0]) {
+                    Term::Int(i) => i as usize,
+                    _ => unreachable!("$cut argument is always an integer"),
+                };
+                let stop = self.solve_all(rest, k)?;
+                if !stop {
+                    self.cut_signal = Some(id);
+                }
+                Ok(stop)
+            }
+            (",", 2) => {
+                // conjunction that survived as a term (e.g. inside not)
+                let mut new_goals = vec![args[0].clone(), args[1].clone()];
+                new_goals.extend_from_slice(rest);
+                self.solve_all(&new_goals, k)
+            }
+            ("=", 2) => {
+                let mark = self.trail.len();
+                if self.unify(&args[0], &args[1]) {
+                    let stop = self.solve_all(rest, k)?;
+                    if stop {
+                        return Ok(true);
+                    }
+                }
+                self.undo_to(mark);
+                Ok(false)
+            }
+            ("\\=", 2) => {
+                let mark = self.trail.len();
+                let unifies = self.unify(&args[0], &args[1]);
+                self.undo_to(mark);
+                if unifies {
+                    Ok(false)
+                } else {
+                    self.solve_all(rest, k)
+                }
+            }
+            ("is", 2) => {
+                let v = self.eval_arith(&args[1])?;
+                let mark = self.trail.len();
+                if self.unify(&args[0], &Term::Int(v)) {
+                    let stop = self.solve_all(rest, k)?;
+                    if stop {
+                        return Ok(true);
+                    }
+                }
+                self.undo_to(mark);
+                Ok(false)
+            }
+            ("<", 2) | ("=<", 2) | (">", 2) | (">=", 2) | ("=:=", 2) | ("=\\=", 2) => {
+                let l = self.eval_arith(&args[0])?;
+                let r = self.eval_arith(&args[1])?;
+                let holds = match functor {
+                    "<" => l < r,
+                    "=<" => l <= r,
+                    ">" => l > r,
+                    ">=" => l >= r,
+                    "=:=" => l == r,
+                    "=\\=" => l != r,
+                    _ => unreachable!(),
+                };
+                if holds {
+                    self.solve_all(rest, k)
+                } else {
+                    Ok(false)
+                }
+            }
+            ("not", 1) | ("\\+", 1) => {
+                let mark = self.trail.len();
+                let saved_cut = self.cut_signal.take();
+                let mut found = false;
+                let inner = args[0].clone();
+                self.solve_all(std::slice::from_ref(&inner), &mut |_m| {
+                    found = true;
+                    Ok(true)
+                })?;
+                self.undo_to(mark);
+                self.cut_signal = saved_cut;
+                if found {
+                    Ok(false)
+                } else {
+                    self.solve_all(rest, k)
+                }
+            }
+            ("var", 1) => {
+                if matches!(self.deref(&args[0]), Term::Var(_)) {
+                    self.solve_all(rest, k)
+                } else {
+                    Ok(false)
+                }
+            }
+            ("nonvar", 1) => {
+                if matches!(self.deref(&args[0]), Term::Var(_)) {
+                    Ok(false)
+                } else {
+                    self.solve_all(rest, k)
+                }
+            }
+            ("atom", 1) => {
+                if matches!(self.deref(&args[0]), Term::Atom(_)) {
+                    self.solve_all(rest, k)
+                } else {
+                    Ok(false)
+                }
+            }
+            ("integer", 1) => {
+                if matches!(self.deref(&args[0]), Term::Int(_)) {
+                    self.solve_all(rest, k)
+                } else {
+                    Ok(false)
+                }
+            }
+            ("ground", 1) => {
+                if self.resolve(&args[0]).is_ground() {
+                    self.solve_all(rest, k)
+                } else {
+                    Ok(false)
+                }
+            }
+            ("between", 3) => self.builtin_between(args, rest, k),
+            ("length", 2) => self.builtin_length(args, rest, k),
+            ("findall", 3) => self.builtin_findall(args, rest, k),
+            ("setof", 3) => self.builtin_setof(args, rest, k),
+            ("sort", 2) => self.builtin_sort(args, rest, true, k),
+            ("msort", 2) => self.builtin_sort(args, rest, false, k),
+            ("call", n) if n >= 1 => {
+                let target = self.deref(&args[0]);
+                let extra = &args[1..];
+                let combined = match target {
+                    Term::Atom(a) => {
+                        if extra.is_empty() {
+                            Term::Atom(a)
+                        } else {
+                            Term::Compound(a, extra.to_vec())
+                        }
+                    }
+                    Term::Compound(f, mut base) => {
+                        base.extend_from_slice(extra);
+                        Term::Compound(f, base)
+                    }
+                    other => return Err(PrologError::NotCallable(other.to_string())),
+                };
+                // call/N is opaque to cut: give it its own barrier
+                let saved = self.cut_signal.take();
+                let r = self.solve_goal(&combined, rest, k);
+                if self.cut_signal.is_some() && !matches!(r, Ok(true)) {
+                    self.cut_signal = None;
+                }
+                if self.cut_signal.is_none() {
+                    self.cut_signal = saved;
+                }
+                r
+            }
+            _ => self.solve_user_predicate(&goal, functor, args.len(), rest, k),
+        }
+    }
+
+    fn solve_user_predicate(
+        &mut self,
+        goal: &Term,
+        functor: &str,
+        arity: usize,
+        rest: &[Term],
+        k: Cont,
+    ) -> Result<bool, PrologError> {
+        let key = (functor.to_string(), arity);
+        let Some(clauses) = self.db.clauses.get(&key) else {
+            if self.db.dynamic.contains(&key) {
+                return Ok(false);
+            }
+            return Err(PrologError::UnknownPredicate(functor.to_string(), arity));
+        };
+        self.call_counter += 1;
+        let my_id = self.call_counter;
+        self.depth += 1;
+        if self.depth > self.db.max_depth {
+            self.depth -= 1;
+            return Err(PrologError::DepthLimitExceeded(self.db.max_depth));
+        }
+        let result = self.run_clauses(goal, clauses, my_id, rest, k);
+        self.depth -= 1;
+        result
+    }
+
+    fn run_clauses(
+        &mut self,
+        goal: &Term,
+        clauses: &[IndexedClause],
+        my_id: usize,
+        rest: &[Term],
+        k: Cont,
+    ) -> Result<bool, PrologError> {
+        // first-argument indexing: a bound, non-variable first argument
+        // of the goal prunes clauses with a conflicting index key
+        let goal_first: Option<Term> = match goal {
+            Term::Compound(_, args) => Some(self.deref(&args[0])),
+            _ => None,
+        };
+        for indexed in clauses {
+            if let (Some(gf), Some(ck)) = (&goal_first, &indexed.key) {
+                if key_conflicts(gf, ck) {
+                    continue; // cannot unify — skip without renaming
+                }
+            }
+            let clause = &indexed.clause;
+            let mark = self.trail.len();
+            let base = self.fresh_vars(clause.nvars);
+            let head = clause.head.offset_vars(base);
+            if self.unify(goal, &head) {
+                let mut new_goals: Vec<Term> = Vec::with_capacity(clause.body.len() + rest.len());
+                for g in &clause.body {
+                    let g = g.offset_vars(base);
+                    // wire cut to this invocation
+                    if g == Term::atom("!") {
+                        new_goals
+                            .push(Term::compound("$cut", vec![Term::Int(my_id as i64)]));
+                    } else {
+                        new_goals.push(g);
+                    }
+                }
+                new_goals.extend_from_slice(rest);
+                if self.solve_all(&new_goals, k)? {
+                    return Ok(true);
+                }
+            }
+            self.undo_to(mark);
+            if let Some(sig) = self.cut_signal {
+                if sig == my_id {
+                    self.cut_signal = None;
+                }
+                break;
+            }
+        }
+        Ok(false)
+    }
+
+    fn builtin_between(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+        let lo = self.eval_arith(&args[0])?;
+        let hi = self.eval_arith(&args[1])?;
+        match self.deref(&args[2]) {
+            Term::Int(x) => {
+                if lo <= x && x <= hi {
+                    self.solve_all(rest, k)
+                } else {
+                    Ok(false)
+                }
+            }
+            Term::Var(v) => {
+                for x in lo..=hi {
+                    self.tick()?;
+                    let mark = self.trail.len();
+                    self.bind(v, Term::Int(x));
+                    if self.solve_all(rest, k)? {
+                        return Ok(true);
+                    }
+                    self.undo_to(mark);
+                    if self.cut_signal.is_some() {
+                        break;
+                    }
+                }
+                Ok(false)
+            }
+            other => Err(PrologError::ArithmeticType(format!(
+                "between/3 third argument: {other}"
+            ))),
+        }
+    }
+
+    fn builtin_length(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+        let list = self.resolve(&args[0]);
+        if let Some(items) = list.as_list() {
+            let n = items.len() as i64;
+            let mark = self.trail.len();
+            if self.unify(&args[1], &Term::Int(n)) {
+                let stop = self.solve_all(rest, k)?;
+                if stop {
+                    return Ok(true);
+                }
+            }
+            self.undo_to(mark);
+            return Ok(false);
+        }
+        // list unbound: N must be bound — build a list of fresh vars
+        if let Term::Int(n) = self.deref(&args[1]) {
+            if n < 0 {
+                return Ok(false);
+            }
+            let base = self.fresh_vars(n as usize);
+            let fresh = Term::list((0..n as usize).map(|i| Term::Var(base + i)).collect::<Vec<_>>());
+            let mark = self.trail.len();
+            if self.unify(&args[0], &fresh) {
+                let stop = self.solve_all(rest, k)?;
+                if stop {
+                    return Ok(true);
+                }
+            }
+            self.undo_to(mark);
+            return Ok(false);
+        }
+        Err(PrologError::NotInstantiated("length/2".into()))
+    }
+
+    fn builtin_findall(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+        let template = args[0].clone();
+        let goal = args[1].clone();
+        let mark = self.trail.len();
+        let saved_cut = self.cut_signal.take();
+        let mut collected: Vec<Term> = Vec::new();
+        self.solve_all(std::slice::from_ref(&goal), &mut |m| {
+            let mut map = HashMap::new();
+            let copy = m.copy_with_fresh(&template, &mut map);
+            collected.push(copy);
+            Ok(false)
+        })?;
+        self.undo_to(mark);
+        self.cut_signal = saved_cut;
+        let list = Term::list(collected);
+        let mark = self.trail.len();
+        if self.unify(&args[2], &list) {
+            let stop = self.solve_all(rest, k)?;
+            if stop {
+                return Ok(true);
+            }
+        }
+        self.undo_to(mark);
+        Ok(false)
+    }
+
+    fn builtin_setof(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+        // Simplified setof: findall + sort + dedupe; fails on empty set.
+        let template = args[0].clone();
+        let goal = args[1].clone();
+        let mark = self.trail.len();
+        let saved_cut = self.cut_signal.take();
+        let mut collected: Vec<Term> = Vec::new();
+        self.solve_all(std::slice::from_ref(&goal), &mut |m| {
+            collected.push(m.resolve(&template));
+            Ok(false)
+        })?;
+        self.undo_to(mark);
+        self.cut_signal = saved_cut;
+        if collected.is_empty() {
+            return Ok(false);
+        }
+        collected.sort_by(term_order);
+        collected.dedup();
+        let list = Term::list(collected);
+        let mark = self.trail.len();
+        if self.unify(&args[2], &list) {
+            let stop = self.solve_all(rest, k)?;
+            if stop {
+                return Ok(true);
+            }
+        }
+        self.undo_to(mark);
+        Ok(false)
+    }
+
+    fn builtin_sort(
+        &mut self,
+        args: &[Term],
+        rest: &[Term],
+        dedupe: bool,
+        k: Cont,
+    ) -> Result<bool, PrologError> {
+        let list = self.resolve(&args[0]);
+        let Some(items) = list.as_list() else {
+            return Err(PrologError::NotInstantiated("sort/2".into()));
+        };
+        let mut items: Vec<Term> = items.into_iter().cloned().collect();
+        items.sort_by(term_order);
+        if dedupe {
+            items.dedup();
+        }
+        let sorted = Term::list(items);
+        let mark = self.trail.len();
+        if self.unify(&args[1], &sorted) {
+            let stop = self.solve_all(rest, k)?;
+            if stop {
+                return Ok(true);
+            }
+        }
+        self.undo_to(mark);
+        Ok(false)
+    }
+
+    fn eval_arith(&self, t: &Term) -> Result<i64, PrologError> {
+        match self.deref(t) {
+            Term::Int(i) => Ok(i),
+            Term::Var(_) => Err(PrologError::NotInstantiated("arithmetic".into())),
+            Term::Atom(a) => Err(PrologError::ArithmeticType(format!("atom `{a}`"))),
+            Term::Compound(f, args) => {
+                match (f.as_str(), args.len()) {
+                    ("+", 2) => Ok(self
+                        .eval_arith(&args[0])?
+                        .wrapping_add(self.eval_arith(&args[1])?)),
+                    ("-", 2) => Ok(self
+                        .eval_arith(&args[0])?
+                        .wrapping_sub(self.eval_arith(&args[1])?)),
+                    ("*", 2) => Ok(self
+                        .eval_arith(&args[0])?
+                        .wrapping_mul(self.eval_arith(&args[1])?)),
+                    ("//", 2) | ("/", 2) => {
+                        let d = self.eval_arith(&args[1])?;
+                        if d == 0 {
+                            return Err(PrologError::DivisionByZero);
+                        }
+                        Ok(self.eval_arith(&args[0])?.div_euclid(d))
+                    }
+                    ("mod", 2) => {
+                        let d = self.eval_arith(&args[1])?;
+                        if d == 0 {
+                            return Err(PrologError::DivisionByZero);
+                        }
+                        Ok(self.eval_arith(&args[0])?.rem_euclid(d))
+                    }
+                    ("min", 2) => Ok(self.eval_arith(&args[0])?.min(self.eval_arith(&args[1])?)),
+                    ("max", 2) => Ok(self.eval_arith(&args[0])?.max(self.eval_arith(&args[1])?)),
+                    ("abs", 1) => Ok(self.eval_arith(&args[0])?.abs()),
+                    ("-", 1) => Ok(-self.eval_arith(&args[0])?),
+                    _ => Err(PrologError::ArithmeticType(format!(
+                        "unknown function {}/{}",
+                        f,
+                        args.len()
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+/// Standard order of terms: Var < Int < Atom < Compound, then structural.
+fn term_order(a: &Term, b: &Term) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    use Term::*;
+    fn rank(t: &Term) -> u8 {
+        match t {
+            Var(_) => 0,
+            Int(_) => 1,
+            Atom(_) => 2,
+            Compound(_, _) => 3,
+        }
+    }
+    match (a, b) {
+        (Var(x), Var(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Atom(x), Atom(y)) => x.cmp(y),
+        (Compound(f, xs), Compound(g, ys)) => xs
+            .len()
+            .cmp(&ys.len())
+            .then_with(|| f.cmp(g))
+            .then_with(|| {
+                for (x, y) in xs.iter().zip(ys) {
+                    let o = term_order(x, y);
+                    if o != Equal {
+                        return o;
+                    }
+                }
+                Equal
+            }),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(src: &str) -> Database {
+        let mut d = Database::with_prelude();
+        d.consult(src).unwrap();
+        d
+    }
+
+    fn first_int(db: &Database, q: &str, var: &str) -> i64 {
+        let sols = db.query(q).unwrap();
+        sols[0]
+            .iter()
+            .find(|(n, _)| n == var)
+            .unwrap()
+            .1
+            .int_value()
+            .unwrap()
+    }
+
+    #[test]
+    fn facts_and_unification() {
+        let d = db("edge(a, b). edge(b, c). edge(a, c).");
+        let sols = d.query("edge(a, X)").unwrap();
+        let xs: Vec<String> = sols
+            .iter()
+            .map(|s| s[0].1.atom_name().unwrap().to_string())
+            .collect();
+        assert_eq!(xs, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn conjunction_backtracking() {
+        let d = db("edge(a,b). edge(b,c). path2(X,Z) :- edge(X,Y), edge(Y,Z).");
+        let sols = d.query("path2(a, Z)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Term::atom("c"));
+    }
+
+    #[test]
+    fn recursion_transitive_closure() {
+        let d = db(
+            "edge(a,b). edge(b,c). edge(c,d).
+             reach(X,Y) :- edge(X,Y).
+             reach(X,Y) :- edge(X,Z), reach(Z,Y).",
+        );
+        let sols = d.query("reach(a, Y)").unwrap();
+        let ys: Vec<&str> = sols.iter().map(|s| s[0].1.atom_name().unwrap()).collect();
+        assert_eq!(ys, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn arithmetic_is() {
+        let d = db("double(X, Y) :- Y is X * 2.");
+        assert_eq!(first_int(&d, "double(21, Y)", "Y"), 42);
+        assert_eq!(first_int(&d, "X is 7 + 3 * 2 - 1", "X"), 12);
+        assert_eq!(first_int(&d, "X is 17 // 5", "X"), 3);
+        assert_eq!(first_int(&d, "X is 17 mod 5", "X"), 2);
+        assert_eq!(first_int(&d, "X is min(3, 9)", "X"), 3);
+        assert_eq!(first_int(&d, "X is max(3, 9)", "X"), 9);
+        assert_eq!(first_int(&d, "X is abs(-4)", "X"), 4);
+    }
+
+    #[test]
+    fn arithmetic_errors() {
+        let d = Database::with_prelude();
+        assert!(matches!(
+            d.query("X is 1 // 0"),
+            Err(PrologError::DivisionByZero)
+        ));
+        assert!(matches!(
+            d.query("X is Y + 1"),
+            Err(PrologError::NotInstantiated(_))
+        ));
+        assert!(matches!(
+            d.query("X is foo + 1"),
+            Err(PrologError::ArithmeticType(_))
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        let d = Database::with_prelude();
+        assert!(d.has_solution("1 < 2").unwrap());
+        assert!(!d.has_solution("2 < 1").unwrap());
+        assert!(d.has_solution("2 =< 2").unwrap());
+        assert!(d.has_solution("3 > 2").unwrap());
+        assert!(d.has_solution("3 >= 3").unwrap());
+        assert!(d.has_solution("1 + 1 =:= 2").unwrap());
+        assert!(d.has_solution("1 =\\= 2").unwrap());
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let d = db("edge(a,b). lonely(X) :- node(X), not(edge(X, _)). node(a). node(c).");
+        let sols = d.query("lonely(X)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Term::atom("c"));
+    }
+
+    #[test]
+    fn member_and_append_from_prelude() {
+        let d = Database::with_prelude();
+        let sols = d.query("member(X, [1,2,3])").unwrap();
+        assert_eq!(sols.len(), 3);
+        let sols = d.query("append([1,2], [3], L)").unwrap();
+        assert_eq!(
+            sols[0][0].1,
+            Term::list(vec![Term::int(1), Term::int(2), Term::int(3)])
+        );
+        // append in generative mode
+        let sols = d.query("append(A, B, [1,2])").unwrap();
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn between_generates_and_checks() {
+        let d = Database::with_prelude();
+        let sols = d.query("between(2, 5, X)").unwrap();
+        let xs: Vec<i64> = sols.iter().map(|s| s[0].1.int_value().unwrap()).collect();
+        assert_eq!(xs, vec![2, 3, 4, 5]);
+        assert!(d.has_solution("between(1, 10, 7)").unwrap());
+        assert!(!d.has_solution("between(1, 10, 11)").unwrap());
+        assert!(!d.has_solution("between(5, 1, X)").unwrap());
+    }
+
+    #[test]
+    fn length_both_modes() {
+        let d = Database::with_prelude();
+        assert_eq!(first_int(&d, "length([a,b,c], N)", "N"), 3);
+        let sols = d.query("length(L, 2)").unwrap();
+        assert_eq!(sols.len(), 1);
+        // resulting list has 2 elements (unbound vars)
+        let l = &sols[0][0].1;
+        assert_eq!(l.as_list().map(|v| v.len()), Some(2)); // proper spine of 2 fresh vars
+        let l2 = d.query("length(L, 0)").unwrap();
+        assert!(l2[0][0].1.is_nil());
+    }
+
+    #[test]
+    fn findall_collects_all() {
+        let d = db("p(1). p(2). p(3).");
+        let sols = d.query("findall(X, p(X), L)").unwrap();
+        assert_eq!(
+            sols[0].iter().find(|(n, _)| n == "L").unwrap().1,
+            Term::list(vec![Term::int(1), Term::int(2), Term::int(3)])
+        );
+    }
+
+    #[test]
+    fn findall_empty_gives_nil() {
+        let mut d = Database::with_prelude();
+        d.declare_dynamic("q", 1);
+        let sols = d.query("findall(X, q(X), L)").unwrap();
+        assert!(sols[0].iter().find(|(n, _)| n == "L").unwrap().1.is_nil());
+    }
+
+    #[test]
+    fn findall_does_not_leak_bindings() {
+        let d = db("p(1). p(2).");
+        let sols = d.query("findall(X, p(X), L), X = 99").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(
+            sols[0].iter().find(|(n, _)| n == "X").unwrap().1,
+            Term::int(99)
+        );
+    }
+
+    #[test]
+    fn setof_sorts_and_dedupes() {
+        let d = db("p(3). p(1). p(3). p(2).");
+        let sols = d.query("setof(X, p(X), L)").unwrap();
+        assert_eq!(
+            sols[0].iter().find(|(n, _)| n == "L").unwrap().1,
+            Term::list(vec![Term::int(1), Term::int(2), Term::int(3)])
+        );
+    }
+
+    #[test]
+    fn setof_fails_on_empty() {
+        let mut d = Database::with_prelude();
+        d.declare_dynamic("q", 1);
+        assert!(!d.has_solution("setof(X, q(X), L)").unwrap());
+    }
+
+    #[test]
+    fn sort_and_msort() {
+        let d = Database::with_prelude();
+        let s = d.query("sort([3,1,2,1], L)").unwrap();
+        assert_eq!(
+            s[0][0].1,
+            Term::list(vec![Term::int(1), Term::int(2), Term::int(3)])
+        );
+        let m = d.query("msort([3,1,2,1], L)").unwrap();
+        assert_eq!(
+            m[0][0].1,
+            Term::list(vec![Term::int(1), Term::int(1), Term::int(2), Term::int(3)])
+        );
+    }
+
+    #[test]
+    fn cut_prunes_alternatives() {
+        let d = db("first(X) :- member(X, [1,2,3]), !.");
+        let sols = d.query("first(X)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Term::int(1));
+    }
+
+    #[test]
+    fn cut_only_local_to_predicate() {
+        let d = db(
+            "a(X) :- b(X).
+             a(99).
+             b(X) :- member(X, [1,2]), !.",
+        );
+        // cut inside b prunes b's alternatives, but a/1 still tries a(99)
+        let sols = d.query("a(X)").unwrap();
+        let xs: Vec<i64> = sols.iter().map(|s| s[0].1.int_value().unwrap()).collect();
+        assert_eq!(xs, vec![1, 99]);
+    }
+
+    #[test]
+    fn call_n_builds_goals() {
+        let d = db("add(A, B, C) :- C is A + B.");
+        assert_eq!(first_int(&d, "call(add, 1, 2, X)", "X"), 3);
+        assert_eq!(first_int(&d, "call(add(1), 2, X)", "X"), 3);
+        assert_eq!(first_int(&d, "G = add(1, 2), call(G, X)", "X"), 3);
+    }
+
+    #[test]
+    fn foldl_from_prelude() {
+        let d = db("sum(X, A, B) :- B is A + X.");
+        assert_eq!(first_int(&d, "foldl(sum, [1,2,3,4], 0, S)", "S"), 10);
+    }
+
+    #[test]
+    fn convlist_skips_failures() {
+        let d = db("half(X, Y) :- 0 =:= X mod 2, Y is X // 2.");
+        let sols = d.query("convlist(half, [1,2,3,4], L)").unwrap();
+        assert_eq!(
+            sols[0].iter().find(|(n, _)| n == "L").unwrap().1,
+            Term::list(vec![Term::int(1), Term::int(2)])
+        );
+    }
+
+    #[test]
+    fn unknown_predicate_errors() {
+        let d = Database::with_prelude();
+        assert!(matches!(
+            d.query("nosuchpred(X)"),
+            Err(PrologError::UnknownPredicate(_, 1))
+        ));
+    }
+
+    #[test]
+    fn dynamic_predicate_fails_quietly() {
+        let mut d = Database::with_prelude();
+        d.declare_dynamic("maybe", 2);
+        assert!(!d.has_solution("maybe(a, b)").unwrap());
+    }
+
+    #[test]
+    fn type_check_builtins() {
+        let d = Database::with_prelude();
+        assert!(d.has_solution("atom(foo)").unwrap());
+        assert!(!d.has_solution("atom(1)").unwrap());
+        assert!(d.has_solution("integer(3)").unwrap());
+        assert!(d.has_solution("var(X)").unwrap());
+        assert!(d.has_solution("X = 1, nonvar(X)").unwrap());
+        assert!(d.has_solution("ground(f(a, 1))").unwrap());
+        assert!(!d.has_solution("ground(f(a, X))").unwrap());
+    }
+
+    #[test]
+    fn query_limit_stops_early() {
+        let d = Database::with_prelude();
+        let sols = d.query_limit("between(1, 1000000, X)", 5).unwrap();
+        assert_eq!(sols.len(), 5);
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_recursion() {
+        let mut d = db("loop :- loop.");
+        d.max_steps = 10_000;
+        assert!(matches!(
+            d.query("loop"),
+            Err(PrologError::StepLimitExceeded(_) | PrologError::DepthLimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn schema_k_hop_path_paper_rule() {
+        // End-to-end check of the paper's Lst. 2 on the provenance schema.
+        let d = db(
+            "schemaEdge('Job', 'File', 'WRITES_TO').
+             schemaEdge('File', 'Job', 'IS_READ_BY').
+             schemaKHopPath(X,Y,K) :- schemaKHopPath(X,Y,K,[]).
+             schemaKHopPath(X,Y,1,_) :- schemaEdge(X,Y,_).
+             schemaKHopPath(X,Y,K,Trail) :-
+               schemaEdge(X,Z,_), not(member(Z,Trail)),
+               schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.",
+        );
+        // Job→Job only via even path length 2 (acyclic trail bounds it)
+        assert!(d.has_solution("schemaKHopPath('Job', 'Job', 2)").unwrap());
+        assert!(!d.has_solution("schemaKHopPath('Job', 'Job', 3)").unwrap());
+        assert!(d.has_solution("schemaKHopPath('File', 'File', 2)").unwrap());
+        assert!(d.has_solution("schemaKHopPath('Job', 'File', 1)").unwrap());
+        assert!(!d.has_solution("schemaKHopPath('File', 'File', 4)").unwrap());
+    }
+
+    #[test]
+    fn solutions_resolve_compound_bindings() {
+        let d = db("pair(X, Y, p(X, Y)). p2(P) :- pair(1, 2, P).");
+        let sols = d.query("p2(P)").unwrap();
+        assert_eq!(
+            sols[0][0].1,
+            Term::compound("p", vec![Term::int(1), Term::int(2)])
+        );
+    }
+
+    #[test]
+    fn first_arg_indexing_preserves_semantics() {
+        // many clauses with distinct first-arg atoms: only the matching
+        // one fires, and variable goals still see all of them
+        let mut src = String::new();
+        for i in 0..200 {
+            src.push_str(&format!("big(k{i}, {i}).\n"));
+        }
+        let d = db(&src);
+        let sols = d.query("big(k42, V)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Term::int(42));
+        assert_eq!(d.query("big(K, V)").unwrap().len(), 200);
+        // compound first args index by functor/arity
+        let d2 = db("f(g(1), a). f(g(2), b). f(h(1), c). f(X, d).");
+        assert_eq!(d2.query("f(g(1), R)").unwrap().len(), 2); // g(1) + var clause
+        assert_eq!(d2.query("f(h(9), R)").unwrap().len(), 1); // only the var clause (h(1) fails unification)
+    }
+
+
+    #[test]
+    fn retract_all_removes_predicate() {
+        let mut d = db("p(1). p(2).");
+        assert_eq!(d.clause_count("p", 1), 2);
+        assert_eq!(d.retract_all("p", 1), 2);
+        assert_eq!(d.retract_all("p", 1), 0);
+        d.declare_dynamic("p", 1);
+        assert!(!d.has_solution("p(X)").unwrap());
+    }
+
+    #[test]
+    fn query_with_stats_counts_steps() {
+        let d = db("p(1). p(2).");
+        let (sols, steps) = d.query_with_stats("p(X)").unwrap();
+        assert_eq!(sols.len(), 2);
+        assert!(steps > 0);
+    }
+}

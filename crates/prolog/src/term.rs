@@ -1,0 +1,265 @@
+//! Prolog term representation.
+//!
+//! Terms are the universal data structure of the inference engine: atoms,
+//! integers, variables, and compound terms. Lists are the usual sugar over
+//! `'.'/2` and `[]`. Variables are plain indices into the solver's binding
+//! store; clauses store variables numbered `0..nvars` and are renamed
+//! apart at call time by offsetting.
+
+use std::fmt;
+
+/// A Prolog term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An atom, e.g. `job`, `'File'`, `[]`.
+    Atom(String),
+    /// An integer.
+    Int(i64),
+    /// A variable, identified by its slot in the binding store.
+    Var(usize),
+    /// A compound term `functor(args...)`. Lists use functor `"."` with
+    /// two args (head, tail).
+    Compound(String, Vec<Term>),
+}
+
+impl Term {
+    /// Convenience atom constructor.
+    pub fn atom(name: &str) -> Term {
+        Term::Atom(name.to_string())
+    }
+
+    /// Convenience integer constructor.
+    pub fn int(v: i64) -> Term {
+        Term::Int(v)
+    }
+
+    /// The empty list `[]`.
+    pub fn nil() -> Term {
+        Term::Atom("[]".to_string())
+    }
+
+    /// List cons cell `[head | tail]`.
+    pub fn cons(head: Term, tail: Term) -> Term {
+        Term::Compound(".".to_string(), vec![head, tail])
+    }
+
+    /// Builds a proper list from an iterator of elements.
+    pub fn list<I: IntoIterator<Item = Term>>(items: I) -> Term
+    where
+        I::IntoIter: DoubleEndedIterator,
+    {
+        items
+            .into_iter()
+            .rev()
+            .fold(Term::nil(), |tail, h| Term::cons(h, tail))
+    }
+
+    /// Convenience compound constructor.
+    pub fn compound(functor: &str, args: Vec<Term>) -> Term {
+        Term::Compound(functor.to_string(), args)
+    }
+
+    /// Whether this term is the empty list atom.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Term::Atom(a) if a == "[]")
+    }
+
+    /// Functor name and arity; atoms have arity 0.
+    pub fn functor(&self) -> Option<(&str, usize)> {
+        match self {
+            Term::Atom(a) => Some((a, 0)),
+            Term::Compound(f, args) => Some((f, args.len())),
+            _ => None,
+        }
+    }
+
+    /// If this term is a proper list (ground spine), returns its elements.
+    pub fn as_list(&self) -> Option<Vec<&Term>> {
+        let mut items = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::Atom(a) if a == "[]" => return Some(items),
+                Term::Compound(f, args) if f == "." && args.len() == 2 => {
+                    items.push(&args[0]);
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The atom's name, if this is an atom.
+    pub fn atom_name(&self) -> Option<&str> {
+        match self {
+            Term::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn int_value(&self) -> Option<i64> {
+        match self {
+            Term::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Renames every variable by adding `offset` (clause renaming-apart).
+    pub fn offset_vars(&self, offset: usize) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(v + offset),
+            Term::Compound(f, args) => Term::Compound(
+                f.clone(),
+                args.iter().map(|a| a.offset_vars(offset)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Collects all variable indices occurring in the term.
+    pub fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            Term::Var(v)
+                if !out.contains(v) => {
+                    out.push(*v);
+                }
+            Term::Compound(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Compound(_, args) => args.iter().all(Term::is_ground),
+            _ => true,
+        }
+    }
+}
+
+/// Quotes an atom for display if it is not a plain lowercase identifier.
+fn fmt_atom(a: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let plain = !a.is_empty()
+        && a.chars().next().unwrap().is_ascii_lowercase()
+        && a.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    let symbolic = a == "[]" || a == "!" || a.chars().all(|c| "+-*/\\^<>=~:.?@#&".contains(c));
+    if plain || symbolic {
+        write!(f, "{a}")
+    } else {
+        write!(f, "'{a}'")
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Atom(a) => fmt_atom(a, f),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Var(v) => write!(f, "_G{v}"),
+            Term::Compound(func, args) if func == "." && args.len() == 2 => {
+                // list syntax
+                write!(f, "[")?;
+                write!(f, "{}", args[0])?;
+                let mut tail = &args[1];
+                loop {
+                    match tail {
+                        Term::Atom(a) if a == "[]" => break,
+                        Term::Compound(func2, args2) if func2 == "." && args2.len() == 2 => {
+                            write!(f, ",{}", args2[0])?;
+                            tail = &args2[1];
+                        }
+                        other => {
+                            write!(f, "|{other}")?;
+                            break;
+                        }
+                    }
+                }
+                write!(f, "]")
+            }
+            Term::Compound(func, args) => {
+                fmt_atom(func, f)?;
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_roundtrip() {
+        let l = Term::list(vec![Term::int(1), Term::int(2), Term::int(3)]);
+        let elems = l.as_list().unwrap();
+        assert_eq!(elems.len(), 3);
+        assert_eq!(elems[0], &Term::int(1));
+        assert_eq!(l.to_string(), "[1,2,3]");
+    }
+
+    #[test]
+    fn empty_list() {
+        assert!(Term::nil().is_nil());
+        assert_eq!(Term::nil().as_list().unwrap().len(), 0);
+        assert_eq!(Term::list(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn improper_list_display() {
+        let t = Term::cons(Term::int(1), Term::Var(0));
+        assert_eq!(t.to_string(), "[1|_G0]");
+        assert!(t.as_list().is_none());
+    }
+
+    #[test]
+    fn display_quoting() {
+        assert_eq!(Term::atom("job").to_string(), "job");
+        assert_eq!(Term::atom("Job").to_string(), "'Job'");
+        assert_eq!(Term::atom("WRITES_TO").to_string(), "'WRITES_TO'");
+        assert_eq!(
+            Term::compound("f", vec![Term::atom("a"), Term::int(-2)]).to_string(),
+            "f(a,-2)"
+        );
+    }
+
+    #[test]
+    fn offset_vars_shifts_all() {
+        let t = Term::compound("f", vec![Term::Var(0), Term::cons(Term::Var(1), Term::nil())]);
+        let s = t.offset_vars(10);
+        let mut vars = Vec::new();
+        s.collect_vars(&mut vars);
+        assert_eq!(vars, vec![10, 11]);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::atom("a").is_ground());
+        assert!(Term::list(vec![Term::int(1)]).is_ground());
+        assert!(!Term::compound("f", vec![Term::Var(3)]).is_ground());
+    }
+
+    #[test]
+    fn functor_and_accessors() {
+        assert_eq!(Term::atom("a").functor(), Some(("a", 0)));
+        assert_eq!(
+            Term::compound("f", vec![Term::int(1)]).functor(),
+            Some(("f", 1))
+        );
+        assert_eq!(Term::Var(0).functor(), None);
+        assert_eq!(Term::int(5).int_value(), Some(5));
+        assert_eq!(Term::atom("x").atom_name(), Some("x"));
+    }
+}

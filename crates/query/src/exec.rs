@@ -1,0 +1,727 @@
+//! Relational execution over pattern-match results: projection,
+//! filtering, grouping and aggregation (the SQL fragment of §III-B).
+
+use std::collections::HashMap;
+
+use kaskade_graph::{Graph, Value, VertexId};
+
+use crate::ast::{AggFunc, CmpOp, Expr, Predicate, Query, SelectStmt, Source};
+use crate::plan::{ExecError, PatternPlan};
+
+/// A value flowing through the relational operators: either a graph
+/// vertex (from a pattern binding) or a scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// A vertex binding.
+    Vertex(VertexId),
+    /// A scalar value.
+    Val(Value),
+    /// SQL-style null (e.g. AVG of an empty group).
+    Null,
+}
+
+impl Datum {
+    /// Numeric view (vertices have none).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Val(v) => v.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Val(v) => v.as_int(),
+            _ => None,
+        }
+    }
+
+    /// The vertex id, if this datum is a vertex.
+    pub fn as_vertex(&self) -> Option<VertexId> {
+        match self {
+            Datum::Vertex(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Hashable normalization used as a grouping key (floats by bit
+    /// pattern).
+    fn key(&self) -> DatumKey {
+        match self {
+            Datum::Vertex(v) => DatumKey::Vertex(v.0),
+            Datum::Val(Value::Int(i)) => DatumKey::Int(*i),
+            Datum::Val(Value::Float(f)) => DatumKey::Float(f.to_bits()),
+            Datum::Val(Value::Str(s)) => DatumKey::Str(s.clone()),
+            Datum::Val(Value::Bool(b)) => DatumKey::Bool(*b),
+            Datum::Null => DatumKey::Null,
+        }
+    }
+}
+
+impl std::fmt::Display for Datum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Datum::Vertex(v) => write!(f, "{v}"),
+            Datum::Val(v) => write!(f, "{v}"),
+            Datum::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DatumKey {
+    Vertex(u32),
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// A result table: named columns and rows of data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row-major data.
+    pub rows: Vec<Vec<Datum>>,
+}
+
+impl Table {
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single scalar of a 1×1 table (convenience for COUNT queries).
+    pub fn scalar(&self) -> Option<&Datum> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Total order on datums for ORDER BY: values by [`Value::total_cmp`],
+/// then vertices by id, then NULL last; across kinds: values < vertices
+/// < null.
+fn datum_cmp(a: &Datum, b: &Datum) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    match (a, b) {
+        (Datum::Val(x), Datum::Val(y)) => x.total_cmp(y),
+        (Datum::Vertex(x), Datum::Vertex(y)) => x.cmp(y),
+        (Datum::Null, Datum::Null) => Equal,
+        (Datum::Val(_), _) => Less,
+        (_, Datum::Val(_)) => Greater,
+        (Datum::Vertex(_), _) => Less,
+        (_, Datum::Vertex(_)) => Greater,
+    }
+}
+
+/// Executes a full query against a graph.
+pub fn execute(g: &Graph, q: &Query) -> Result<Table, ExecError> {
+    match q {
+        Query::Match(p) => {
+            let plan = PatternPlan::new(g, p)?;
+            let (columns, vrows) = plan.execute(g);
+            Ok(Table {
+                columns,
+                rows: vrows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(Datum::Vertex).collect())
+                    .collect(),
+            })
+        }
+        Query::Select(s) => execute_select(g, s),
+    }
+}
+
+fn execute_select(g: &Graph, s: &SelectStmt) -> Result<Table, ExecError> {
+    let input = match &s.from {
+        Source::Match(p) => execute(g, &Query::Match(p.clone()))?,
+        Source::Subquery(inner) => execute_select(g, inner)?,
+    };
+
+    // WHERE
+    let rows: Vec<&Vec<Datum>> = match &s.where_clause {
+        None => input.rows.iter().collect(),
+        Some(pred) => {
+            let mut kept = Vec::new();
+            for row in &input.rows {
+                if eval_predicate(g, &input.columns, row, pred)? {
+                    kept.push(row);
+                }
+            }
+            kept
+        }
+    };
+
+    let has_agg = s.items.iter().any(|(e, _)| e.has_agg());
+    let columns: Vec<String> = s.items.iter().map(|(_, a)| a.clone()).collect();
+
+    if !has_agg && s.group_by.is_empty() {
+        // plain projection
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut r = Vec::with_capacity(s.items.len());
+            for (e, _) in &s.items {
+                r.push(eval_scalar(g, &input.columns, row, e)?);
+            }
+            out.push(r);
+        }
+        let mut table = Table { columns, rows: out };
+        apply_order_and_limit(g, s, &mut table)?;
+        return Ok(table);
+    }
+
+    // group rows
+    let mut groups: HashMap<Vec<DatumKey>, Vec<&Vec<Datum>>> = HashMap::new();
+    let mut group_order: Vec<Vec<DatumKey>> = Vec::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(s.group_by.len());
+        for e in &s.group_by {
+            key.push(eval_scalar(g, &input.columns, row, e)?.key());
+        }
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                group_order.push(key);
+                Vec::new()
+            })
+            .push(row);
+    }
+    // with no GROUP BY but aggregates: one implicit group (even if empty)
+    if s.group_by.is_empty() && groups.is_empty() {
+        groups.insert(vec![], vec![]);
+        group_order.push(vec![]);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for key in &group_order {
+        let members = &groups[key];
+        let mut r = Vec::with_capacity(s.items.len());
+        for (e, _) in &s.items {
+            r.push(eval_with_agg(g, &input.columns, members, e)?);
+        }
+        out.push(r);
+    }
+    let mut table = Table { columns, rows: out };
+    apply_order_and_limit(g, s, &mut table)?;
+    Ok(table)
+}
+
+/// Applies ORDER BY (over the *output* columns, by alias or positional
+/// re-evaluation) and LIMIT to a finished table.
+fn apply_order_and_limit(g: &Graph, s: &SelectStmt, table: &mut Table) -> Result<(), ExecError> {
+    if !s.order_by.is_empty() {
+        // resolve each key: if the expression matches an output alias or
+        // a projected expression, sort on that column; otherwise it must
+        // be evaluable against the output row (e.g. Prop on a projected
+        // vertex column)
+        let mut keys: Vec<Vec<Datum>> = Vec::with_capacity(table.rows.len());
+        for row in &table.rows {
+            let mut k = Vec::with_capacity(s.order_by.len());
+            for (e, _) in &s.order_by {
+                // alias match first
+                let d = match e {
+                    Expr::Column(name) if table.column_index(name).is_some() => {
+                        row[table.column_index(name).unwrap()].clone()
+                    }
+                    _ => {
+                        // positional: identical projected expression
+                        match s.items.iter().position(|(pe, _)| pe == e) {
+                            Some(i) => row[i].clone(),
+                            None => eval_scalar(g, &table.columns, row, e)?,
+                        }
+                    }
+                };
+                k.push(d);
+            }
+            keys.push(k);
+        }
+        let mut idx: Vec<usize> = (0..table.rows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for (i, (_, desc)) in s.order_by.iter().enumerate() {
+                let o = datum_cmp(&keys[a][i], &keys[b][i]);
+                let o = if *desc { o.reverse() } else { o };
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            a.cmp(&b) // stable tie-break
+        });
+        let mut reordered = Vec::with_capacity(table.rows.len());
+        for i in idx {
+            reordered.push(table.rows[i].clone());
+        }
+        table.rows = reordered;
+    }
+    if let Some(n) = s.limit {
+        table.rows.truncate(n);
+    }
+    Ok(())
+}
+
+/// Evaluates a scalar (non-aggregate) expression over one row.
+fn eval_scalar(
+    g: &Graph,
+    columns: &[String],
+    row: &[Datum],
+    e: &Expr,
+) -> Result<Datum, ExecError> {
+    match e {
+        Expr::Literal(v) => Ok(Datum::Val(v.clone())),
+        Expr::Column(name) => {
+            let i = columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| ExecError::UnknownColumn(name.clone()))?;
+            Ok(row[i].clone())
+        }
+        Expr::Prop(var, key) => {
+            let i = columns
+                .iter()
+                .position(|c| c == var)
+                .ok_or_else(|| ExecError::UnknownColumn(var.clone()))?;
+            match &row[i] {
+                Datum::Vertex(v) => Ok(g
+                    .vertex_prop(*v, key)
+                    .map(|p| Datum::Val(p.clone()))
+                    .unwrap_or(Datum::Null)),
+                _ => Err(ExecError::NotAVertex(var.clone())),
+            }
+        }
+        Expr::Agg(_, _) => Err(ExecError::MisplacedAggregate),
+    }
+}
+
+/// Evaluates an expression that may be an aggregate, over a group.
+fn eval_with_agg(
+    g: &Graph,
+    columns: &[String],
+    group: &[&Vec<Datum>],
+    e: &Expr,
+) -> Result<Datum, ExecError> {
+    match e {
+        Expr::Agg(func, inner) => {
+            match func {
+                AggFunc::Count => match inner {
+                    None => Ok(Datum::Val(Value::Int(group.len() as i64))),
+                    Some(inner) => {
+                        let mut n = 0i64;
+                        for row in group {
+                            if !matches!(eval_scalar(g, columns, row, inner)?, Datum::Null) {
+                                n += 1;
+                            }
+                        }
+                        Ok(Datum::Val(Value::Int(n)))
+                    }
+                },
+                AggFunc::Sum | AggFunc::Avg => {
+                    let inner = inner.as_ref().ok_or(ExecError::MisplacedAggregate)?;
+                    let mut sum_i: i64 = 0;
+                    let mut sum_f: f64 = 0.0;
+                    let mut all_int = true;
+                    let mut n = 0usize;
+                    for row in group {
+                        match eval_scalar(g, columns, row, inner)? {
+                            Datum::Val(Value::Int(v)) => {
+                                sum_i = sum_i.wrapping_add(v);
+                                sum_f += v as f64;
+                                n += 1;
+                            }
+                            Datum::Val(Value::Float(v)) => {
+                                all_int = false;
+                                sum_f += v;
+                                n += 1;
+                            }
+                            Datum::Null => {}
+                            _ => return Err(ExecError::NotAVertex("aggregate input".into())),
+                        }
+                    }
+                    if n == 0 {
+                        return Ok(if *func == AggFunc::Sum {
+                            Datum::Val(Value::Int(0))
+                        } else {
+                            Datum::Null
+                        });
+                    }
+                    Ok(match func {
+                        AggFunc::Sum if all_int => Datum::Val(Value::Int(sum_i)),
+                        AggFunc::Sum => Datum::Val(Value::Float(sum_f)),
+                        _ => Datum::Val(Value::Float(sum_f / n as f64)),
+                    })
+                }
+                AggFunc::Min | AggFunc::Max => {
+                    let inner = inner.as_ref().ok_or(ExecError::MisplacedAggregate)?;
+                    let mut best: Option<Value> = None;
+                    for row in group {
+                        if let Datum::Val(v) = eval_scalar(g, columns, row, inner)? {
+                            best = Some(match best {
+                                None => v,
+                                Some(b) => {
+                                    let keep_new = match func {
+                                        AggFunc::Min => {
+                                            v.total_cmp(&b) == std::cmp::Ordering::Less
+                                        }
+                                        _ => v.total_cmp(&b) == std::cmp::Ordering::Greater,
+                                    };
+                                    if keep_new {
+                                        v
+                                    } else {
+                                        b
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    Ok(best.map(Datum::Val).unwrap_or(Datum::Null))
+                }
+            }
+        }
+        // non-aggregate in a grouped query: take it from the first row
+        // (callers group by these expressions, so it is constant within
+        // the group; empty implicit groups yield Null)
+        other => match group.first() {
+            Some(row) => eval_scalar(g, columns, row, other),
+            None => Ok(Datum::Null),
+        },
+    }
+}
+
+fn eval_predicate(
+    g: &Graph,
+    columns: &[String],
+    row: &[Datum],
+    pred: &Predicate,
+) -> Result<bool, ExecError> {
+    for (l, op, r) in &pred.conjuncts {
+        let lv = eval_scalar(g, columns, row, l)?;
+        let rv = eval_scalar(g, columns, row, r)?;
+        let (Datum::Val(lv), Datum::Val(rv)) = (&lv, &rv) else {
+            // null or vertex comparisons are false (SQL-ish semantics)
+            return Ok(false);
+        };
+        let ord = lv.total_cmp(rv);
+        let pass = match op {
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        };
+        if !pass {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use kaskade_graph::GraphBuilder;
+
+    /// j0 -w-> f0 -r-> j1 -w-> f1 -r-> j2 ; j0 -w-> f2 -r-> j3
+    /// CPU: j0=1, j1=10, j2=100, j3=1000; pipelines p0/p1 alternating.
+    fn lineage() -> Graph {
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        let f2 = b.add_vertex("File");
+        let j3 = b.add_vertex("Job");
+        for (v, cpu, p) in [(j0, 1, "p0"), (j1, 10, "p1"), (j2, 100, "p0"), (j3, 1000, "p1")] {
+            b.set_vertex_prop(v, "CPU", Value::Int(cpu));
+            b.set_vertex_prop(v, "pipelineName", Value::Str(p.into()));
+        }
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.add_edge(j1, f1, "WRITES_TO");
+        b.add_edge(f1, j2, "IS_READ_BY");
+        b.add_edge(j0, f2, "WRITES_TO");
+        b.add_edge(f2, j3, "IS_READ_BY");
+        b.finish()
+    }
+
+    fn exec(g: &Graph, src: &str) -> Table {
+        execute(g, &parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bare_match_returns_vertices() {
+        let g = lineage();
+        let t = exec(&g, "MATCH (j:Job) RETURN j");
+        assert_eq!(t.columns, vec!["j"]);
+        assert_eq!(t.len(), 4);
+        assert!(matches!(t.rows[0][0], Datum::Vertex(_)));
+    }
+
+    #[test]
+    fn count_star_vertex_count() {
+        let g = lineage();
+        let t = exec(&g, "SELECT COUNT(*) FROM (MATCH (v) RETURN v)");
+        assert_eq!(t.scalar().unwrap().as_int(), Some(7));
+    }
+
+    #[test]
+    fn projection_of_props() {
+        let g = lineage();
+        let t = exec(&g, "SELECT J.CPU FROM (MATCH (j:Job) RETURN j AS J)");
+        let mut cpus: Vec<i64> = t.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        cpus.sort_unstable();
+        assert_eq!(cpus, vec![1, 10, 100, 1000]);
+    }
+
+    #[test]
+    fn where_filters() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT J FROM (MATCH (j:Job) RETURN j AS J) WHERE J.CPU > 50",
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn where_on_string() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT J FROM (MATCH (j:Job) RETURN j AS J) WHERE J.pipelineName = 'p0'",
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn group_by_with_sum() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT J.pipelineName, SUM(J.CPU) FROM (MATCH (j:Job) RETURN j AS J)
+             GROUP BY J.pipelineName",
+        );
+        assert_eq!(t.len(), 2);
+        let mut rows: Vec<(String, i64)> = t
+            .rows
+            .iter()
+            .map(|r| {
+                let Datum::Val(Value::Str(s)) = &r[0] else { panic!() };
+                (s.clone(), r[1].as_int().unwrap())
+            })
+            .collect();
+        rows.sort();
+        assert_eq!(rows, vec![("p0".into(), 101), ("p1".into(), 1010)]);
+    }
+
+    #[test]
+    fn avg_returns_float() {
+        let g = lineage();
+        let t = exec(&g, "SELECT AVG(J.CPU) FROM (MATCH (j:Job) RETURN j AS J)");
+        let Datum::Val(Value::Float(avg)) = t.rows[0][0] else { panic!() };
+        assert!((avg - 277.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT MIN(J.CPU), MAX(J.CPU) FROM (MATCH (j:Job) RETURN j AS J)",
+        );
+        assert_eq!(t.rows[0][0].as_int(), Some(1));
+        assert_eq!(t.rows[0][1].as_int(), Some(1000));
+    }
+
+    #[test]
+    fn aggregates_on_empty_input() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT COUNT(*), SUM(J.CPU), AVG(J.CPU) FROM
+             (SELECT J FROM (MATCH (j:Job) RETURN j AS J) WHERE J.CPU > 99999)",
+        );
+        assert_eq!(t.rows[0][0].as_int(), Some(0));
+        assert_eq!(t.rows[0][1].as_int(), Some(0));
+        assert_eq!(t.rows[0][2], Datum::Null);
+    }
+
+    #[test]
+    fn listing_1_blast_radius_end_to_end() {
+        let g = lineage();
+        let t = exec(&g, crate::listings::LISTING_1);
+        // inner query: one row per (A,B) downstream pair with
+        // T_CPU = SUM over that pair's rows = B.CPU (pairs are deduped).
+        // outer: AVG(T_CPU) per pipeline of A.
+        // p0: A=j0 with pairs (j0,j1),(j0,j2),(j0,j3) -> (10+100+1000)/3
+        // p1: A=j1 with pair (j1,j2) -> 100
+        assert_eq!(t.len(), 2);
+        let mut rows: Vec<(String, f64)> = t
+            .rows
+            .iter()
+            .map(|r| {
+                let Datum::Val(Value::Str(s)) = &r[0] else { panic!() };
+                (s.clone(), r[1].as_f64().unwrap())
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        assert!((rows[0].1 - 370.0).abs() < 1e-9, "p0 avg: {:?}", rows[0]);
+        assert_eq!(rows[0].0, "p0");
+        assert_eq!(rows[1], ("p1".to_string(), 100.0));
+    }
+
+    #[test]
+    fn nested_group_by_column_passthrough() {
+        let g = lineage();
+        // inner groups by vertex pairs, outer consumes alias column
+        let t = exec(
+            &g,
+            "SELECT A, SUM(B.CPU) AS T FROM (
+               MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job)
+               RETURN a AS A, b AS B
+             ) GROUP BY A, B",
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.columns, vec!["A", "T"]);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let g = lineage();
+        let q = parse("SELECT Z FROM (MATCH (j:Job) RETURN j AS J)").unwrap();
+        assert!(matches!(
+            execute(&g, &q),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn prop_on_scalar_column_errors() {
+        let g = lineage();
+        let q = parse(
+            "SELECT T.CPU FROM (SELECT COUNT(*) AS T FROM (MATCH (j:Job) RETURN j))",
+        )
+        .unwrap();
+        assert!(matches!(execute(&g, &q), Err(ExecError::NotAVertex(_))));
+    }
+
+    #[test]
+    fn missing_property_is_null_and_skipped_by_aggs() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("Job");
+        b.set_vertex_prop(a, "CPU", Value::Int(5));
+        b.add_vertex("Job"); // no CPU
+        let g = b.finish();
+        let t = exec(
+            &g,
+            "SELECT COUNT(J.CPU), SUM(J.CPU) FROM (MATCH (j:Job) RETURN j AS J)",
+        );
+        assert_eq!(t.rows[0][0].as_int(), Some(1));
+        assert_eq!(t.rows[0][1].as_int(), Some(5));
+    }
+
+    #[test]
+    fn order_by_desc_with_limit() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT J.CPU FROM (MATCH (j:Job) RETURN j AS J) ORDER BY J.CPU DESC LIMIT 2",
+        );
+        let cpus: Vec<i64> = t.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(cpus, vec![1000, 100]);
+    }
+
+    #[test]
+    fn order_by_alias_column() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT J.pipelineName AS P, SUM(J.CPU) AS S FROM (MATCH (j:Job) RETURN j AS J)
+             GROUP BY J.pipelineName ORDER BY S DESC",
+        );
+        let sums: Vec<i64> = t.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(sums, vec![1010, 101]);
+    }
+
+    #[test]
+    fn limit_zero_and_overlong() {
+        let g = lineage();
+        let t = exec(&g, "SELECT J FROM (MATCH (j:Job) RETURN j AS J) LIMIT 0");
+        assert!(t.is_empty());
+        let t = exec(&g, "SELECT J FROM (MATCH (j:Job) RETURN j AS J) LIMIT 99");
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn where_comparing_two_props() {
+        let g = lineage();
+        // jobs whose CPU exceeds 50 AND pipeline p0 — cross-conjunct
+        let t = exec(
+            &g,
+            "SELECT J FROM (MATCH (j:Job) RETURN j AS J)
+             WHERE J.CPU > 50 AND J.pipelineName = 'p0'",
+        );
+        assert_eq!(t.len(), 1); // j2 (CPU=100, p0)
+    }
+
+    #[test]
+    fn where_on_missing_property_is_false() {
+        let g = lineage();
+        let t = exec(
+            &g,
+            "SELECT F FROM (MATCH (f:File) RETURN f AS F) WHERE F.CPU > 0",
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn count_on_vertex_column_counts_non_null() {
+        let g = lineage();
+        let t = exec(&g, "SELECT COUNT(J) FROM (MATCH (j:Job) RETURN j AS J)");
+        assert_eq!(t.scalar().unwrap().as_int(), Some(4));
+    }
+
+    #[test]
+    fn literal_projection() {
+        let g = lineage();
+        let t = exec(&g, "SELECT 42, J FROM (MATCH (j:Job) RETURN j AS J) LIMIT 1");
+        assert_eq!(t.rows[0][0].as_int(), Some(42));
+    }
+
+    #[test]
+    fn datum_display() {
+        assert_eq!(Datum::Val(Value::Int(3)).to_string(), "3");
+        assert_eq!(Datum::Null.to_string(), "NULL");
+        assert_eq!(Datum::Vertex(VertexId(7)).to_string(), "v7");
+    }
+
+    #[test]
+    fn group_order_is_deterministic() {
+        let g = lineage();
+        let a = exec(
+            &g,
+            "SELECT J.pipelineName, COUNT(*) FROM (MATCH (j:Job) RETURN j AS J) GROUP BY J.pipelineName",
+        );
+        let b2 = exec(
+            &g,
+            "SELECT J.pipelineName, COUNT(*) FROM (MATCH (j:Job) RETURN j AS J) GROUP BY J.pipelineName",
+        );
+        assert_eq!(a, b2);
+    }
+}

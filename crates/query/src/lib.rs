@@ -1,0 +1,77 @@
+//! # kaskade-query
+//!
+//! The hybrid SQL + Cypher query language and execution engine of the
+//! Kaskade reproduction (replaces Neo4j's Cypher runtime; §III-B).
+//!
+//! Queries express path traversals with Cypher-style `MATCH` graph
+//! patterns — including variable-length paths — and filtering /
+//! aggregation with SQL-style `SELECT` / `WHERE` / `GROUP BY`:
+//!
+//! ```
+//! use kaskade_graph::{GraphBuilder, Value};
+//! use kaskade_query::{execute, parse};
+//!
+//! let mut b = GraphBuilder::new();
+//! let j1 = b.add_vertex("Job");
+//! let f = b.add_vertex("File");
+//! let j2 = b.add_vertex("Job");
+//! b.set_vertex_prop(j2, "CPU", Value::Int(7));
+//! b.add_edge(j1, f, "WRITES_TO");
+//! b.add_edge(f, j2, "IS_READ_BY");
+//! let g = b.finish();
+//!
+//! let q = parse(
+//!     "SELECT SUM(B.CPU) FROM (
+//!        MATCH (a:Job)-[:WRITES_TO]->(x:File) (x:File)-[:IS_READ_BY]->(b:Job)
+//!        RETURN a AS A, b AS B)",
+//! ).unwrap();
+//! let t = execute(&g, &q).unwrap();
+//! assert_eq!(t.scalar().unwrap().as_int(), Some(7));
+//! ```
+//!
+//! The AST ([`ast`]) is public and mutable so that Kaskade's view-based
+//! rewriter can splice connector edges into patterns (§V-C).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod cost;
+mod exec;
+mod parser;
+mod plan;
+
+pub use ast::{
+    AggFunc, CmpOp, EdgePattern, Expr, GraphPattern, NodePattern, Predicate, Query, SelectStmt,
+    Source,
+};
+pub use cost::CostModel;
+pub use exec::{execute, Datum, Table};
+pub use parser::{parse, QueryParseError};
+pub use plan::{ExecError, PatternPlan};
+
+/// The paper's Listing 1 (job blast radius over the raw graph) and
+/// Listing 4 (the same query rewritten over a 2-hop job-to-job
+/// connector), used by tests, examples and benchmarks.
+pub mod listings {
+    /// Listing 1: job blast radius over the raw provenance graph.
+    pub const LISTING_1: &str = "
+        SELECT A.pipelineName, AVG(T_CPU) FROM (
+          SELECT A, SUM(B.CPU) AS T_CPU FROM (
+            MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+                  (q_f1:File)-[r*0..8]->(q_f2:File)
+                  (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+            RETURN q_j1 as A, q_j2 as B
+          ) GROUP BY A, B
+        ) GROUP BY A.pipelineName";
+
+    /// Listing 4: blast radius rewritten over the job-to-job 2-hop
+    /// connector. Hop bounds `1..5` cover the same raw-path window
+    /// (2..10 raw hops) as Listing 1's `1 + 0..8 + 1`.
+    pub const LISTING_4: &str = "
+        SELECT A.pipelineName, AVG(T_CPU) FROM (
+          SELECT A, SUM(B.CPU) AS T_CPU FROM (
+            MATCH (q_j1:Job)-[:JOB_TO_JOB_2_HOP*1..5]->(q_j2:Job)
+            RETURN q_j1 as A, q_j2 as B
+          ) GROUP BY A, B
+        ) GROUP BY A.pipelineName";
+}

@@ -1,0 +1,731 @@
+//! Parser for the hybrid SQL + Cypher query language.
+//!
+//! Accepts exactly the style of the paper's Listing 1/Listing 4:
+//!
+//! ```text
+//! SELECT A.pipelineName, AVG(T_CPU) FROM (
+//!   SELECT A, SUM(B.CPU) AS T_CPU FROM (
+//!     MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+//!           (q_f1:File)-[r*0..8]->(q_f2:File)
+//!           (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+//!     RETURN q_j1 as A, q_j2 as B
+//!   ) GROUP BY A, B
+//! ) GROUP BY A.pipelineName
+//! ```
+//!
+//! Keywords are case-insensitive; pattern elements may be juxtaposed or
+//! comma-separated; `-[r*0..8]->` is a variable-length path and
+//! `-[:TYPE*1..4]->` a typed one.
+
+use std::fmt;
+
+use kaskade_graph::Value;
+
+use crate::ast::{
+    AggFunc, CmpOp, EdgePattern, Expr, GraphPattern, Predicate, Query, SelectStmt, Source,
+};
+
+/// A query parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    DotDot,
+    Colon,
+    Star,
+    ArrowStart, // -[
+    ArrowEnd,   // ]->
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let err = |i: usize, m: &str| QueryParseError {
+        offset: i,
+        message: m.to_string(),
+    };
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            b'(' => {
+                toks.push((Tok::LParen, start));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::RParen, start));
+                i += 1;
+            }
+            b',' => {
+                toks.push((Tok::Comma, start));
+                i += 1;
+            }
+            b':' => {
+                toks.push((Tok::Colon, start));
+                i += 1;
+            }
+            b'*' => {
+                toks.push((Tok::Star, start));
+                i += 1;
+            }
+            b'.' => {
+                if b.get(i + 1) == Some(&b'.') {
+                    toks.push((Tok::DotDot, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Dot, start));
+                    i += 1;
+                }
+            }
+            b'-' => {
+                if b.get(i + 1) == Some(&b'[') {
+                    toks.push((Tok::ArrowStart, start));
+                    i += 2;
+                } else {
+                    return Err(err(i, "expected `-[` (only right-directed edges supported)"));
+                }
+            }
+            b']' => {
+                if b.get(i + 1) == Some(&b'-') && b.get(i + 2) == Some(&b'>') {
+                    toks.push((Tok::ArrowEnd, start));
+                    i += 3;
+                } else {
+                    return Err(err(i, "expected `]->`"));
+                }
+            }
+            b'=' => {
+                toks.push((Tok::Eq, start));
+                i += 1;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    toks.push((Tok::Ne, start));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Le, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Lt, start));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ge, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, start));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != b'\'' {
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(err(start, "unterminated string literal"));
+                }
+                i += 1;
+                toks.push((Tok::Str(s), start));
+            }
+            b'0'..=b'9' => {
+                let mut j = i;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // float only when a single dot followed by a digit
+                if j < b.len() && b[j] == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    let mut k = j + 1;
+                    while k < b.len() && b[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    let f: f64 = src[i..k]
+                        .parse()
+                        .map_err(|_| err(start, "bad float literal"))?;
+                    toks.push((Tok::Float(f), start));
+                    i = k;
+                } else {
+                    let v: i64 = src[i..j]
+                        .parse()
+                        .map_err(|_| err(start, "bad integer literal"))?;
+                    toks.push((Tok::Int(v), start));
+                    i = j;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push((Tok::Ident(src[i..j].to_string()), start));
+                i = j;
+            }
+            _ => return Err(err(i, &format!("unexpected character `{}`", c as char))),
+        }
+    }
+    Ok(toks)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(_, o)| *o).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, QueryParseError> {
+        Err(QueryParseError {
+            offset: self.offset(),
+            message: msg.into(),
+        })
+    }
+
+    /// Case-insensitive keyword check.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}"))
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), QueryParseError> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, QueryParseError> {
+        if self.at_kw("MATCH") {
+            Ok(Query::Match(self.parse_match()?))
+        } else if self.at_kw("SELECT") {
+            Ok(Query::Select(self.parse_select()?))
+        } else {
+            self.err("query must start with SELECT or MATCH")
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt, QueryParseError> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            let e = self.parse_expr()?;
+            let alias = if self.eat_kw("AS") {
+                self.ident()?
+            } else {
+                default_alias(&e)
+            };
+            items.push((e, alias));
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        self.expect(Tok::LParen, "`(` after FROM")?;
+        let from = if self.at_kw("MATCH") {
+            Source::Match(self.parse_match()?)
+        } else if self.at_kw("SELECT") {
+            Source::Subquery(Box::new(self.parse_select()?))
+        } else {
+            return self.err("FROM source must be MATCH or SELECT");
+        };
+        self.expect(Tok::RParen, "`)` closing FROM source")?;
+        let where_clause = if self.eat_kw("WHERE") {
+            let mut conjuncts = Vec::new();
+            loop {
+                let l = self.parse_expr()?;
+                let op = match self.bump() {
+                    Some(Tok::Eq) => CmpOp::Eq,
+                    Some(Tok::Ne) => CmpOp::Ne,
+                    Some(Tok::Lt) => CmpOp::Lt,
+                    Some(Tok::Le) => CmpOp::Le,
+                    Some(Tok::Gt) => CmpOp::Gt,
+                    Some(Tok::Ge) => CmpOp::Ge,
+                    other => return self.err(format!("expected comparison, found {other:?}")),
+                };
+                let r = self.parse_expr()?;
+                conjuncts.push((l, op, r));
+                if !self.eat_kw("AND") {
+                    break;
+                }
+            }
+            Some(Predicate { conjuncts })
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.parse_expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Some(Tok::Int(v)) if v >= 0 => Some(v as usize),
+                other => return self.err(format!("expected LIMIT count, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, QueryParseError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.bump();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Some(Tok::Float(v)) => {
+                let v = *v;
+                self.bump();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Some(Tok::Str(s)) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Tok::Ident(name)) => {
+                let agg = match name.to_ascii_uppercase().as_str() {
+                    "COUNT" => Some(AggFunc::Count),
+                    "SUM" => Some(AggFunc::Sum),
+                    "AVG" => Some(AggFunc::Avg),
+                    "MIN" => Some(AggFunc::Min),
+                    "MAX" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                if let (Some(agg), Some(&Tok::LParen)) = (agg, self.peek2()) {
+                    self.bump(); // name
+                    self.bump(); // (
+                    let inner = if self.peek() == Some(&Tok::Star) {
+                        self.bump();
+                        None
+                    } else {
+                        Some(Box::new(self.parse_expr()?))
+                    };
+                    self.expect(Tok::RParen, "`)` closing aggregate")?;
+                    return Ok(Expr::Agg(agg, inner));
+                }
+                let name = self.ident()?;
+                if self.peek() == Some(&Tok::Dot) {
+                    self.bump();
+                    let key = self.ident()?;
+                    Ok(Expr::Prop(name, key))
+                } else {
+                    Ok(Expr::Column(name))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    fn parse_match(&mut self) -> Result<GraphPattern, QueryParseError> {
+        self.expect_kw("MATCH")?;
+        let mut pattern = GraphPattern {
+            nodes: vec![],
+            edges: vec![],
+            returns: vec![],
+        };
+        // one or more path elements, comma- or juxtaposition-separated
+        loop {
+            self.parse_path(&mut pattern)?;
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                continue;
+            }
+            if self.peek() == Some(&Tok::LParen) {
+                continue; // juxtaposed next path element
+            }
+            break;
+        }
+        self.expect_kw("RETURN")?;
+        loop {
+            let var = self.ident()?;
+            let alias = if self.eat_kw("AS") { self.ident()? } else { var.clone() };
+            pattern.returns.push((var, alias));
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(pattern)
+    }
+
+    /// `(a:T)-[..]->(b:T2)-[..]->(c)` — a chain of nodes and edges.
+    fn parse_path(&mut self, pattern: &mut GraphPattern) -> Result<(), QueryParseError> {
+        let mut prev = self.parse_node(pattern)?;
+        while self.peek() == Some(&Tok::ArrowStart) {
+            let edge = self.parse_edge()?;
+            let next = self.parse_node(pattern)?;
+            pattern.edges.push(EdgePattern {
+                src: prev,
+                dst: next.clone(),
+                etype: edge.0,
+                hops: edge.1,
+            });
+            prev = next;
+        }
+        Ok(())
+    }
+
+    fn parse_node(&mut self, pattern: &mut GraphPattern) -> Result<String, QueryParseError> {
+        self.expect(Tok::LParen, "`(` starting node pattern")?;
+        // anonymous node `()` gets a fresh variable
+        if self.peek() == Some(&Tok::RParen) {
+            self.bump();
+            let var = format!("_anon{}", pattern.nodes.len());
+            pattern.add_node(&var, None);
+            return Ok(var);
+        }
+        let var = self.ident()?;
+        let label = if self.peek() == Some(&Tok::Colon) {
+            self.bump();
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect(Tok::RParen, "`)` closing node pattern")?;
+        pattern.add_node(&var, label.as_deref());
+        Ok(var)
+    }
+
+    /// Parses `-[ [var] [:TYPE] [*L..U] ]->`, returning (etype, hops).
+    #[allow(clippy::type_complexity)]
+    fn parse_edge(
+        &mut self,
+    ) -> Result<(Option<String>, Option<(usize, usize)>), QueryParseError> {
+        self.expect(Tok::ArrowStart, "`-[`")?;
+        // optional variable name (ignored — paths are not bound to vars)
+        if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() != Some(&Tok::Dot) {
+            self.bump();
+        }
+        let etype = if self.peek() == Some(&Tok::Colon) {
+            self.bump();
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let hops = if self.peek() == Some(&Tok::Star) {
+            self.bump();
+            let lo = match self.bump() {
+                Some(Tok::Int(v)) if v >= 0 => v as usize,
+                other => return self.err(format!("expected hop lower bound, found {other:?}")),
+            };
+            self.expect(Tok::DotDot, "`..` in hop range")?;
+            let hi = match self.bump() {
+                Some(Tok::Int(v)) if v >= 0 => v as usize,
+                other => return self.err(format!("expected hop upper bound, found {other:?}")),
+            };
+            if hi < lo {
+                return self.err("hop upper bound below lower bound");
+            }
+            Some((lo, hi))
+        } else {
+            None
+        };
+        self.expect(Tok::ArrowEnd, "`]->`")?;
+        Ok((etype, hops))
+    }
+}
+
+fn default_alias(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.clone(),
+        Expr::Prop(v, k) => format!("{v}.{k}"),
+        Expr::Literal(v) => v.to_string(),
+        Expr::Agg(f, Some(inner)) => format!("{}({})", f.name(), default_alias(inner)),
+        Expr::Agg(f, None) => format!("{}(*)", f.name()),
+    }
+}
+
+/// Parses a hybrid SQL+Cypher query.
+pub fn parse(src: &str) -> Result<Query, QueryParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let q = p.parse_query()?;
+    if p.peek().is_some() {
+        return p.err("trailing tokens after query");
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1, verbatim.
+    const LISTING_1: &str = "
+        SELECT A.pipelineName, AVG(T_CPU) FROM (
+          SELECT A, SUM(B.CPU) AS T_CPU FROM (
+            MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+                  (q_f1:File)-[r*0..8]->(q_f2:File)
+                  (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+            RETURN q_j1 as A, q_j2 as B
+          ) GROUP BY A, B
+        ) GROUP BY A.pipelineName";
+
+    /// The paper's Listing 4 (rewritten over the 2-hop connector).
+    const LISTING_4: &str = "
+        SELECT A.pipelineName, AVG(T_CPU) FROM (
+          SELECT A, SUM(B.CPU) AS T_CPU FROM (
+            MATCH (q_j1:Job)-[:JOB_TO_JOB_2_HOP*1..4]->(q_j2:Job)
+            RETURN q_j1 as A, q_j2 as B
+          ) GROUP BY A, B
+        ) GROUP BY A.pipelineName";
+
+    #[test]
+    fn parses_listing_1() {
+        let q = parse(LISTING_1).unwrap();
+        let p = q.pattern().unwrap();
+        assert_eq!(p.nodes.len(), 4);
+        assert_eq!(p.edges.len(), 3);
+        assert_eq!(p.edges[0].etype.as_deref(), Some("WRITES_TO"));
+        assert_eq!(p.edges[1].hops, Some((0, 8)));
+        assert_eq!(p.edges[1].etype, None);
+        assert_eq!(p.edges[2].etype.as_deref(), Some("IS_READ_BY"));
+        assert_eq!(
+            p.returns,
+            vec![
+                ("q_j1".to_string(), "A".to_string()),
+                ("q_j2".to_string(), "B".to_string())
+            ]
+        );
+        // outer select: A.pipelineName, AVG(T_CPU)
+        let Query::Select(outer) = &q else { panic!() };
+        assert_eq!(outer.items.len(), 2);
+        assert_eq!(
+            outer.items[0].0,
+            Expr::Prop("A".into(), "pipelineName".into())
+        );
+        assert!(outer.items[1].0.has_agg());
+        assert_eq!(outer.group_by.len(), 1);
+    }
+
+    #[test]
+    fn parses_listing_4_connector_rewrite() {
+        let q = parse(LISTING_4).unwrap();
+        let p = q.pattern().unwrap();
+        assert_eq!(p.edges.len(), 1);
+        assert_eq!(p.edges[0].etype.as_deref(), Some("JOB_TO_JOB_2_HOP"));
+        assert_eq!(p.edges[0].hops, Some((1, 4)));
+    }
+
+    #[test]
+    fn bare_match() {
+        let q = parse("MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a, f").unwrap();
+        let Query::Match(p) = &q else { panic!() };
+        assert_eq!(p.returns.len(), 2);
+        assert_eq!(p.returns[0], ("a".to_string(), "a".to_string()));
+    }
+
+    #[test]
+    fn node_scan_pattern() {
+        let q = parse("MATCH (v:Job) RETURN v").unwrap();
+        let p = q.pattern().unwrap();
+        assert!(p.edges.is_empty());
+        assert_eq!(p.nodes.len(), 1);
+    }
+
+    #[test]
+    fn anonymous_nodes() {
+        let q = parse("MATCH (a)-[:E]->() RETURN a").unwrap();
+        let p = q.pattern().unwrap();
+        assert_eq!(p.nodes.len(), 2);
+        assert!(p.nodes[1].var.starts_with("_anon"));
+    }
+
+    #[test]
+    fn where_clause() {
+        let q = parse(
+            "SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE A.CPU > 100 AND A.CPU <= 500",
+        )
+        .unwrap();
+        let Query::Select(s) = q else { panic!() };
+        let w = s.where_clause.unwrap();
+        assert_eq!(w.conjuncts.len(), 2);
+        assert_eq!(w.conjuncts[0].1, CmpOp::Gt);
+        assert_eq!(w.conjuncts[1].1, CmpOp::Le);
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse("SELECT COUNT(*) FROM (MATCH (a) RETURN a)").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.items[0].0, Expr::Agg(AggFunc::Count, None));
+        assert_eq!(s.items[0].1, "COUNT(*)");
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select A from (match (a:Job) return a as A) group by A").is_ok());
+    }
+
+    #[test]
+    fn string_literals() {
+        let q = parse(
+            "SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE A.pipelineName = 'pipeline3'",
+        )
+        .unwrap();
+        let Query::Select(s) = q else { panic!() };
+        let (_, _, r) = &s.where_clause.unwrap().conjuncts[0];
+        assert_eq!(*r, Expr::Literal(Value::Str("pipeline3".into())));
+    }
+
+    #[test]
+    fn shared_variables_join_paths() {
+        let q = parse(
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File), (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+        )
+        .unwrap();
+        let p = q.pattern().unwrap();
+        assert_eq!(p.nodes.len(), 3); // a, f, b — f deduplicated
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("FOO").is_err());
+        assert!(parse("MATCH (a RETURN a").is_err());
+        assert!(parse("MATCH (a)-[:E]-(b) RETURN a").is_err()); // undirected
+        assert!(parse("MATCH (a)-[*3..1]->(b) RETURN a").is_err()); // bad range
+        assert!(parse("SELECT FROM (MATCH (a) RETURN a)").is_err());
+        assert!(parse("MATCH (a) RETURN a extra").is_err());
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let q = parse(
+            "SELECT J.CPU FROM (MATCH (j:Job) RETURN j AS J)
+             ORDER BY J.CPU DESC, J.pipelineName LIMIT 3",
+        )
+        .unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].1, "first key is DESC");
+        assert!(!s.order_by[1].1, "second key defaults to ASC");
+        assert_eq!(s.limit, Some(3));
+        assert!(parse("SELECT A FROM (MATCH (a) RETURN a AS A) LIMIT x").is_err());
+    }
+
+    #[test]
+    fn typed_variable_length() {
+        let q = parse("MATCH (a:User)-[:FOLLOWS*1..3]->(b:User) RETURN a, b").unwrap();
+        let p = q.pattern().unwrap();
+        assert_eq!(p.edges[0].etype.as_deref(), Some("FOLLOWS"));
+        assert_eq!(p.edges[0].hops, Some((1, 3)));
+    }
+}

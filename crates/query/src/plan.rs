@@ -1,0 +1,541 @@
+//! Graph pattern matching: planning and execution of `MATCH` clauses.
+//!
+//! A [`GraphPattern`] is compiled into a sequence of steps (anchor scan,
+//! edge expansion, variable-length expansion, bound-pair check) by a
+//! greedy planner that starts from the most selective labeled node and
+//! always extends along a bound endpoint — the standard
+//! scan-then-expand strategy of graph engines like Neo4j, which the
+//! paper's cost model assumes (§V-A).
+//!
+//! ## Variable-length semantics
+//!
+//! A `-[*lo..hi]->` pattern matches **distinct** destination vertices
+//! whose BFS shortest-path distance `d` from the source satisfies
+//! `lo <= d <= hi` (following only edges of the given type, if any).
+//! This reachability semantics is what the paper's traversal queries
+//! need ("jobs up to 10 hops away", k-hop ego-neighborhoods) and keeps
+//! view-based rewritings exactly equivalent; it avoids the path-
+//! multiplicity blowup of full path enumeration. For the same reason,
+//! `RETURN` projects with DISTINCT semantics (see
+//! [`PatternPlan::execute`]).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use kaskade_graph::{Graph, Symbol, VertexId};
+
+use crate::ast::GraphPattern;
+
+/// Errors raised while planning or executing a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A RETURN item references a variable not bound by the pattern.
+    UnknownVariable(String),
+    /// An expression referenced a column the input relation lacks.
+    UnknownColumn(String),
+    /// A property access was applied to a non-vertex column.
+    NotAVertex(String),
+    /// An aggregate appeared in an illegal position (e.g. WHERE).
+    MisplacedAggregate,
+    /// The query shape is unsupported (details in message).
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownVariable(v) => write!(f, "unknown pattern variable `{v}`"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ExecError::NotAVertex(v) => write!(f, "column `{v}` is not a vertex"),
+            ExecError::MisplacedAggregate => write!(f, "aggregate not allowed here"),
+            ExecError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// One planned matching step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    /// Enumerate all vertices for node slot (label-filtered).
+    Scan(usize),
+    /// Expand a single-hop edge pattern from a bound slot.
+    Expand {
+        edge: usize,
+        /// true: src bound, expand out-edges; false: dst bound, in-edges.
+        forward: bool,
+    },
+    /// Both endpoints bound: verify connectivity.
+    Check(usize),
+}
+
+/// A compiled pattern: node slots, label symbols, and step order.
+pub struct PatternPlan<'p> {
+    pattern: &'p GraphPattern,
+    /// Variable name per slot.
+    vars: Vec<String>,
+    steps: Vec<Step>,
+}
+
+impl<'p> PatternPlan<'p> {
+    /// Greedily plans `pattern` against `g`'s statistics (label
+    /// cardinalities).
+    pub fn new(g: &Graph, pattern: &'p GraphPattern) -> Result<Self, ExecError> {
+        let vars: Vec<String> = pattern.nodes.iter().map(|n| n.var.clone()).collect();
+        let slot_of = |v: &str| -> Result<usize, ExecError> {
+            vars.iter()
+                .position(|x| x == v)
+                .ok_or_else(|| ExecError::UnknownVariable(v.to_string()))
+        };
+        for (v, _) in &pattern.returns {
+            slot_of(v)?;
+        }
+        for e in &pattern.edges {
+            slot_of(&e.src)?;
+            slot_of(&e.dst)?;
+        }
+
+        // label cardinalities for anchor choice
+        let mut label_count = vec![usize::MAX; pattern.nodes.len()];
+        for (i, n) in pattern.nodes.iter().enumerate() {
+            label_count[i] = match &n.label {
+                Some(l) => g.vertices_of_type(l).count(),
+                None => g.vertex_count(),
+            };
+        }
+
+        let n_edges = pattern.edges.len();
+        let mut bound = vec![false; pattern.nodes.len()];
+        let mut used = vec![false; n_edges];
+        let mut steps = Vec::new();
+        loop {
+            // 1. prefer an edge with at least one bound endpoint
+            let mut picked = None;
+            // prefer single-hop over variable-length expansions
+            for pass in 0..2 {
+                for (ei, e) in pattern.edges.iter().enumerate() {
+                    if used[ei] {
+                        continue;
+                    }
+                    let is_var = e.hops.is_some();
+                    if (pass == 0 && is_var) || (pass == 1 && !is_var) {
+                        continue;
+                    }
+                    let s = slot_of(&e.src)?;
+                    let d = slot_of(&e.dst)?;
+                    if bound[s] || bound[d] {
+                        picked = Some((ei, s, d));
+                        break;
+                    }
+                }
+                if picked.is_some() {
+                    break;
+                }
+            }
+            if let Some((ei, s, d)) = picked {
+                used[ei] = true;
+                if bound[s] && bound[d] {
+                    steps.push(Step::Check(ei));
+                } else if bound[s] {
+                    steps.push(Step::Expand {
+                        edge: ei,
+                        forward: true,
+                    });
+                    bound[d] = true;
+                } else {
+                    steps.push(Step::Expand {
+                        edge: ei,
+                        forward: false,
+                    });
+                    bound[s] = true;
+                }
+                continue;
+            }
+            // 2. otherwise scan the most selective unbound node that has
+            //    edges, or any remaining unbound node
+            let next = (0..pattern.nodes.len())
+                .filter(|&i| !bound[i])
+                .min_by_key(|&i| label_count[i]);
+            match next {
+                Some(i) => {
+                    steps.push(Step::Scan(i));
+                    bound[i] = true;
+                }
+                None => break,
+            }
+        }
+        Ok(PatternPlan {
+            pattern,
+            vars,
+            steps,
+        })
+    }
+
+    fn slot(&self, var: &str) -> usize {
+        self.vars.iter().position(|v| v == var).expect("validated")
+    }
+
+    /// Executes the plan, returning the RETURN projection with
+    /// **DISTINCT** semantics: one row per distinct binding of the
+    /// projected variables. Distinctness is what makes view-based
+    /// rewritings exactly equivalent (a connector edge contracts *all*
+    /// parallel paths between its endpoints into one edge, so the raw
+    /// query must not count path multiplicity either). Returns
+    /// `(aliases, rows of vertices)`.
+    pub fn execute(&self, g: &Graph) -> (Vec<String>, Vec<Vec<VertexId>>) {
+        let label_syms: Vec<Option<Option<Symbol>>> = self
+            .pattern
+            .nodes
+            .iter()
+            .map(|n| n.label.as_ref().map(|l| g.symbol(l)))
+            .collect();
+        // `Some(None)` above means: label required but absent from graph
+        // → zero matches possible for that slot.
+        let etype_syms: Vec<Option<Option<Symbol>>> = self
+            .pattern
+            .edges
+            .iter()
+            .map(|e| e.etype.as_ref().map(|t| g.symbol(t)))
+            .collect();
+
+        let ret_slots: Vec<usize> = self
+            .pattern
+            .returns
+            .iter()
+            .map(|(v, _)| self.slot(v))
+            .collect();
+        let aliases: Vec<String> = self
+            .pattern
+            .returns
+            .iter()
+            .map(|(_, a)| a.clone())
+            .collect();
+
+        let mut binding: Vec<Option<VertexId>> = vec![None; self.pattern.nodes.len()];
+        let mut rows = Vec::new();
+        let ctx = MatchCtx {
+            g,
+            plan: self,
+            label_syms: &label_syms,
+            etype_syms: &etype_syms,
+        };
+        ctx.run(0, &mut binding, &mut |b| {
+            rows.push(
+                ret_slots
+                    .iter()
+                    .map(|&s| b[s].expect("bound"))
+                    .collect::<Vec<_>>(),
+            );
+        });
+        rows.sort();
+        rows.dedup();
+        (aliases, rows)
+    }
+}
+
+struct MatchCtx<'a, 'p> {
+    g: &'a Graph,
+    plan: &'a PatternPlan<'p>,
+    label_syms: &'a [Option<Option<Symbol>>],
+    etype_syms: &'a [Option<Option<Symbol>>],
+}
+
+impl MatchCtx<'_, '_> {
+    fn label_ok(&self, slot: usize, v: VertexId) -> bool {
+        match &self.label_syms[slot] {
+            None => true,
+            Some(None) => false, // label not present in the graph at all
+            Some(Some(sym)) => self.g.vertex_type_sym(v) == *sym,
+        }
+    }
+
+    fn etype_ok(&self, ei: usize, e: kaskade_graph::EdgeId) -> bool {
+        match &self.etype_syms[ei] {
+            None => true,
+            Some(None) => false,
+            Some(Some(sym)) => self.g.edge_type_sym(e) == *sym,
+        }
+    }
+
+    fn run(
+        &self,
+        step_idx: usize,
+        binding: &mut Vec<Option<VertexId>>,
+        emit: &mut dyn FnMut(&[Option<VertexId>]),
+    ) {
+        let Some(step) = self.plan.steps.get(step_idx) else {
+            emit(binding);
+            return;
+        };
+        match step {
+            Step::Scan(slot) => {
+                let slot = *slot;
+                for v in self.g.vertices() {
+                    if self.label_ok(slot, v) {
+                        binding[slot] = Some(v);
+                        self.run(step_idx + 1, binding, emit);
+                        binding[slot] = None;
+                    }
+                }
+            }
+            Step::Expand { edge, forward } => {
+                let e = &self.plan.pattern.edges[*edge];
+                let (from_slot, to_slot) = if *forward {
+                    (self.plan.slot(&e.src), self.plan.slot(&e.dst))
+                } else {
+                    (self.plan.slot(&e.dst), self.plan.slot(&e.src))
+                };
+                let from = binding[from_slot].expect("planner bound this slot");
+                match e.hops {
+                    None => {
+                        // single hop: enumerate matching edges
+                        if *forward {
+                            for (eid, w) in self.g.out_edges(from) {
+                                if self.etype_ok(*edge, eid) && self.label_ok(to_slot, w) {
+                                    binding[to_slot] = Some(w);
+                                    self.run(step_idx + 1, binding, emit);
+                                    binding[to_slot] = None;
+                                }
+                            }
+                        } else {
+                            for (eid, w) in self.g.in_edges(from) {
+                                if self.etype_ok(*edge, eid) && self.label_ok(to_slot, w) {
+                                    binding[to_slot] = Some(w);
+                                    self.run(step_idx + 1, binding, emit);
+                                    binding[to_slot] = None;
+                                }
+                            }
+                        }
+                    }
+                    Some((lo, hi)) => {
+                        let reach = var_reach(self.g, from, lo, hi, self.etype_syms[*edge], *forward);
+                        for w in reach {
+                            if self.label_ok(to_slot, w) {
+                                binding[to_slot] = Some(w);
+                                self.run(step_idx + 1, binding, emit);
+                                binding[to_slot] = None;
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Check(ei) => {
+                let e = &self.plan.pattern.edges[*ei];
+                let s = binding[self.plan.slot(&e.src)].expect("bound");
+                let d = binding[self.plan.slot(&e.dst)].expect("bound");
+                let ok = match e.hops {
+                    None => self
+                        .g
+                        .out_edges(s)
+                        .any(|(eid, w)| w == d && self.etype_ok(*ei, eid)),
+                    Some((lo, hi)) => {
+                        var_reach(self.g, s, lo, hi, self.etype_syms[*ei], true).contains(&d)
+                    }
+                };
+                if ok {
+                    self.run(step_idx + 1, binding, emit);
+                }
+            }
+        }
+    }
+}
+
+/// Distinct vertices whose shortest-path distance (over optionally
+/// type-filtered edges, in the given direction) from `src` lies in
+/// `lo..=hi`. Includes `src` itself when `lo == 0`.
+fn var_reach(
+    g: &Graph,
+    src: VertexId,
+    lo: usize,
+    hi: usize,
+    etype: Option<Option<Symbol>>,
+    forward: bool,
+) -> Vec<VertexId> {
+    if matches!(etype, Some(None)) {
+        // edge type absent from graph
+        return if lo == 0 { vec![src] } else { vec![] };
+    }
+    let etype = etype.flatten();
+    let mut visited = vec![false; g.vertex_count()];
+    visited[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back((src, 0usize));
+    let mut out = Vec::new();
+    if lo == 0 {
+        out.push(src);
+    }
+    while let Some((v, d)) = queue.pop_front() {
+        if d == hi {
+            continue;
+        }
+        let edges: Box<dyn Iterator<Item = (kaskade_graph::EdgeId, VertexId)>> = if forward {
+            Box::new(g.out_edges(v))
+        } else {
+            Box::new(g.in_edges(v))
+        };
+        for (eid, w) in edges {
+            if visited[w.index()] {
+                continue;
+            }
+            if let Some(t) = etype {
+                if g.edge_type_sym(eid) != t {
+                    continue;
+                }
+            }
+            visited[w.index()] = true;
+            if d + 1 >= lo {
+                out.push(w);
+            }
+            queue.push_back((w, d + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use kaskade_graph::GraphBuilder;
+
+    fn lineage() -> Graph {
+        // j0 -w-> f0 -r-> j1 -w-> f1 -r-> j2 ; j0 -w-> f2 -r-> j3
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let _j2 = b.add_vertex("Job");
+        let f2 = b.add_vertex("File");
+        let _j3 = b.add_vertex("Job");
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.add_edge(j1, f1, "WRITES_TO");
+        b.add_edge(f1, VertexId(4), "IS_READ_BY");
+        b.add_edge(j0, f2, "WRITES_TO");
+        b.add_edge(f2, VertexId(6), "IS_READ_BY");
+        b.finish()
+    }
+
+    fn run(g: &Graph, src: &str) -> Vec<Vec<u32>> {
+        let q = parse(src).unwrap();
+        let p = q.pattern().unwrap().clone();
+        let plan = PatternPlan::new(g, &p).unwrap();
+        let (_, rows) = plan.execute(g);
+        let mut out: Vec<Vec<u32>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(|v| v.0).collect())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn single_node_scan() {
+        let g = lineage();
+        let rows = run(&g, "MATCH (j:Job) RETURN j");
+        assert_eq!(rows, vec![vec![0], vec![2], vec![4], vec![6]]);
+    }
+
+    #[test]
+    fn single_hop_typed() {
+        let g = lineage();
+        let rows = run(&g, "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f");
+        assert_eq!(rows, vec![vec![0, 1], vec![0, 5], vec![2, 3]]);
+    }
+
+    #[test]
+    fn two_hop_join() {
+        let g = lineage();
+        let rows = run(
+            &g,
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+        );
+        assert_eq!(rows, vec![vec![0, 2], vec![0, 6], vec![2, 4]]);
+    }
+
+    #[test]
+    fn variable_length_any_type() {
+        let g = lineage();
+        // files within 0..8 of f0 (vertex 1): itself and f1 (vertex 3)
+        let rows = run(&g, "MATCH (x:File)-[r*0..8]->(y:File) RETURN x, y");
+        assert!(rows.contains(&vec![1, 1])); // 0 hops
+        assert!(rows.contains(&vec![1, 3])); // f0 -> j1 -> f1
+        assert!(!rows.contains(&vec![3, 1])); // no backward reach
+    }
+
+    #[test]
+    fn variable_length_lower_bound_excludes_source() {
+        let g = lineage();
+        let rows = run(&g, "MATCH (x:File)-[r*1..8]->(y:File) RETURN x, y");
+        assert!(!rows.contains(&vec![1, 1]));
+        assert!(rows.contains(&vec![1, 3]));
+    }
+
+    #[test]
+    fn listing_1_pattern_blast_radius_pairs() {
+        let g = lineage();
+        let rows = run(
+            &g,
+            "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+                   (q_f1:File)-[r*0..8]->(q_f2:File)
+                   (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+             RETURN q_j1 as A, q_j2 as B",
+        );
+        // downstream pairs: (j0,j1)=(0,2), (j0,j2)=(0,4), (j0,j3)=(0,6), (j1,j2)=(2,4)
+        assert_eq!(rows, vec![vec![0, 2], vec![0, 4], vec![0, 6], vec![2, 4]]);
+    }
+
+    #[test]
+    fn check_step_on_cyclic_pattern() {
+        // triangle a->b->c->a: pattern with all three edges
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex("V");
+        let y = b.add_vertex("V");
+        let z = b.add_vertex("V");
+        b.add_edge(x, y, "E");
+        b.add_edge(y, z, "E");
+        b.add_edge(z, x, "E");
+        let g = b.finish();
+        let rows = run(
+            &g,
+            "MATCH (a:V)-[:E]->(b:V) (b:V)-[:E]->(c:V) (c:V)-[:E]->(a:V) RETURN a, b, c",
+        );
+        assert_eq!(rows.len(), 3); // three rotations
+    }
+
+    #[test]
+    fn label_absent_from_graph_matches_nothing() {
+        let g = lineage();
+        assert!(run(&g, "MATCH (t:Task) RETURN t").is_empty());
+        assert!(run(&g, "MATCH (a:Job)-[:NO_SUCH]->(b:File) RETURN a, b").is_empty());
+    }
+
+    #[test]
+    fn unknown_return_variable_is_error() {
+        let g = lineage();
+        let q = parse("MATCH (a:Job) RETURN a").unwrap();
+        let mut p = q.pattern().unwrap().clone();
+        p.returns[0].0 = "zz".into();
+        assert!(matches!(
+            PatternPlan::new(&g, &p),
+            Err(ExecError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_pattern_is_cartesian() {
+        let g = lineage();
+        let rows = run(&g, "MATCH (a:Job) (b:File) RETURN a, b");
+        assert_eq!(rows.len(), 4 * 3);
+    }
+
+    #[test]
+    fn var_reach_respects_type_filter() {
+        let g = lineage();
+        // WRITES_TO-only walk from j0 can only reach files at hop 1
+        let rows = run(&g, "MATCH (a:Job)-[:WRITES_TO*1..8]->(x:File) RETURN a, x");
+        assert_eq!(rows, vec![vec![0, 1], vec![0, 5], vec![2, 3]]);
+    }
+}

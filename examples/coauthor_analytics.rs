@@ -1,0 +1,94 @@
+//! Publication-network analytics over a co-author connector view: the
+//! dblp scenario of §VII — find collaboration neighborhoods and
+//! communities an order of magnitude faster by contracting
+//! author→publication→author paths into one co-author edge.
+//!
+//! ```sh
+//! cargo run --release --example coauthor_analytics
+//! ```
+
+use std::time::Instant;
+
+use kaskade::algos::{community_sizes, k_hop_neighborhood, label_propagation, Direction};
+use kaskade::core::{materialize_connector, materialize_summarizer, ConnectorDef, SummarizerDef};
+use kaskade::datasets::{generate_dblp, DblpConfig};
+
+fn main() {
+    let raw = generate_dblp(&DblpConfig::default());
+    println!(
+        "dblp graph: {} vertices, {} edges",
+        raw.vertex_count(),
+        raw.edge_count()
+    );
+
+    // Keep authors and publications (venues are irrelevant here), then
+    // contract author→publication→author into CO_AUTHOR-style edges.
+    let filtered = materialize_summarizer(
+        &raw,
+        &SummarizerDef::VertexInclusion {
+            keep: vec!["Author".into(), "Publication".into()],
+        },
+    );
+    let connector = materialize_connector(&filtered, &ConnectorDef::k_hop("Author", "Author", 2));
+    println!(
+        "co-author connector: {} vertices, {} edges (filter graph: {} edges)",
+        connector.vertex_count(),
+        connector.edge_count(),
+        filtered.edge_count()
+    );
+
+    // 1. Collaboration neighborhood ("authors within 2 collaboration
+    //    steps"), over both representations.
+    let author = filtered
+        .vertices_of_type("Author")
+        .max_by_key(|&a| filtered.out_degree(a))
+        .expect("at least one author");
+    let start = Instant::now();
+    let raw_nbors = k_hop_neighborhood(&filtered, author, 4, Direction::Forward)
+        .into_iter()
+        .filter(|(v, _)| filtered.vertex_type(*v) == "Author")
+        .count();
+    let raw_time = start.elapsed();
+
+    let conn_author = connector
+        .vertices_of_type("Author")
+        .max_by_key(|&a| connector.out_degree(a))
+        .expect("author in view");
+    let start = Instant::now();
+    let conn_nbors = k_hop_neighborhood(&connector, conn_author, 2, Direction::Forward).len();
+    let conn_time = start.elapsed();
+    println!(
+        "\n2-step collaboration neighborhood of the most prolific author:"
+    );
+    println!("  filter graph:    {raw_nbors:>6} authors in {raw_time:?}");
+    println!("  connector view:  {conn_nbors:>6} authors in {conn_time:?}");
+
+    // 2. Community detection (Q7/Q8): label propagation over the
+    //    co-author view finds research groups in a fraction of the time.
+    let start = Instant::now();
+    let filter_comm = label_propagation(&filtered, 25);
+    let filter_time = start.elapsed();
+    let start = Instant::now();
+    let view_comm = label_propagation(&connector, 13);
+    let view_time = start.elapsed();
+    let filter_sizes = community_sizes(&filter_comm);
+    let view_sizes = community_sizes(&view_comm);
+    println!("\ncommunity detection (label propagation):");
+    println!(
+        "  filter graph:   {} communities in {:?} ({} passes)",
+        filter_sizes.len(),
+        filter_time,
+        filter_comm.passes
+    );
+    println!(
+        "  connector view: {} communities in {:?} ({} passes, {:.1}x faster)",
+        view_sizes.len(),
+        view_time,
+        view_comm.passes,
+        filter_time.as_secs_f64() / view_time.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "  largest research groups (view): {:?}",
+        view_sizes.iter().take(5).map(|(_, s)| *s).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,132 @@
+//! `kaskade` — a small CLI over the framework: load a generated dataset,
+//! optionally let the workload analyzer materialize views, and run ad-hoc
+//! hybrid SQL+Cypher queries with plan information.
+//!
+//! ```text
+//! kaskade <dataset> [--views] [--scale N] [--seed N] <query | @listing1>
+//!
+//!   dataset:  prov | dblp | roadnet-usa | soc-livejournal
+//!   --views   run view selection for the query before executing
+//!   @listing1 / @listing4 expand to the paper's queries
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! cargo run --release --bin kaskade -- prov --views @listing1
+//! cargo run --release --bin kaskade -- dblp \
+//!   "SELECT COUNT(*) FROM (MATCH (a:Author)-[:AUTHORED]->(p:Publication) RETURN a, p)"
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use kaskade::core::{Kaskade, SelectionConfig};
+use kaskade::datasets::Dataset;
+use kaskade::query::{listings, parse};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kaskade <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] [--seed N] <query|@listing1|@listing4>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(ds_name) = args.next() else {
+        return usage();
+    };
+    let Some(dataset) = Dataset::ALL.into_iter().find(|d| d.short_name() == ds_name) else {
+        eprintln!("unknown dataset `{ds_name}`");
+        return usage();
+    };
+
+    let mut with_views = false;
+    let mut scale = 1usize;
+    let mut seed = 0x5EEDu64;
+    let mut query_src: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--views" => with_views = true,
+            "--scale" => {
+                scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+            }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed);
+            }
+            "@listing1" => query_src = Some(listings::LISTING_1.to_string()),
+            "@listing4" => query_src = Some(listings::LISTING_4.to_string()),
+            other => query_src = Some(other.to_string()),
+        }
+    }
+    let Some(query_src) = query_src else {
+        return usage();
+    };
+
+    let start = Instant::now();
+    let graph = dataset.generate(scale, seed);
+    eprintln!(
+        "loaded {} (scale {scale}, seed {seed:#x}): {} vertices, {} edges in {:.2?}",
+        dataset.short_name(),
+        graph.vertex_count(),
+        graph.edge_count(),
+        start.elapsed()
+    );
+
+    let query = match parse(&query_src) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("query error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut kaskade = Kaskade::new(graph, dataset.schema());
+    if with_views {
+        let start = Instant::now();
+        let report = kaskade
+            .select_and_materialize(std::slice::from_ref(&query), &SelectionConfig::default());
+        eprintln!(
+            "view selection: {} candidate(s) scored, materialized {:?} in {:.2?}",
+            report.scored.len(),
+            report.materialized,
+            start.elapsed()
+        );
+    }
+
+    let plan = match kaskade.plan(&query) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("planning error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "plan: {} (estimated cost {:.0})",
+        plan.view_id.as_deref().unwrap_or("raw graph"),
+        plan.estimated_cost
+    );
+
+    let start = Instant::now();
+    let table = match kaskade.execute(&query) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("execution error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    // print up to 25 rows
+    println!("{}", table.columns.join("\t"));
+    for row in table.rows.iter().take(25) {
+        let cells: Vec<String> = row.iter().map(|d| d.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    if table.len() > 25 {
+        println!("... ({} rows total)", table.len());
+    }
+    eprintln!("{} row(s) in {:.2?}", table.len(), elapsed);
+    ExitCode::SUCCESS
+}

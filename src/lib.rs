@@ -1,0 +1,11 @@
+//! # kaskade — umbrella crate
+//!
+//! Re-exports the full public API of the Kaskade reproduction. See the
+//! README for an overview and `examples/` for runnable walkthroughs.
+
+pub use kaskade_algos as algos;
+pub use kaskade_core as core;
+pub use kaskade_datasets as datasets;
+pub use kaskade_graph as graph;
+pub use kaskade_prolog as prolog;
+pub use kaskade_query as query;

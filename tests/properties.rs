@@ -1,0 +1,271 @@
+//! Property-based tests on the system's core invariants, spanning
+//! crates: rewrite equivalence on random lineage DAGs, knapsack
+//! optimality against brute force, estimator upper bounds, CSR
+//! structural invariants, and Prolog round-trips.
+
+use proptest::prelude::*;
+
+use kaskade::core::{
+    cost::connector_size_estimate, knapsack, materialize_connector, rewrite_over_connector,
+    ConnectorDef, KnapsackItem,
+};
+use kaskade::graph::{Graph, GraphBuilder, GraphStats, Schema, Value};
+use kaskade::prolog::{parse_program, Term};
+use kaskade::query::{execute, parse, Table};
+
+/// Strategy: a random layered job/file lineage DAG described as
+/// (writes per job, reads wiring), with CPU properties.
+fn lineage_graph(max_jobs: usize) -> impl Strategy<Value = Graph> {
+    let jobs = 2..max_jobs;
+    (jobs, any::<u64>()).prop_map(|(n_jobs, seed)| {
+        // deterministic pseudo-random wiring from the seed, no rand dep
+        let mut state = seed | 1;
+        let mut next = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        let mut b = GraphBuilder::new();
+        let mut jobs = Vec::new();
+        let mut files: Vec<kaskade::graph::VertexId> = Vec::new();
+        for i in 0..n_jobs {
+            let j = b.add_vertex("Job");
+            b.set_vertex_prop(j, "CPU", Value::Int((i as i64 % 7) + 1));
+            // unique stable identity: vertex ids are graph-local, so
+            // cross-graph (raw vs view) comparisons go through props
+            b.set_vertex_prop(j, "name", Value::Str(format!("job{i}")));
+            b.set_vertex_prop(j, "pipelineName", Value::Str(format!("p{}", i % 3)));
+            // read up to 2 files produced earlier
+            for _ in 0..next(3) {
+                if !files.is_empty() {
+                    let f = files[next(files.len())];
+                    b.add_edge(f, j, "IS_READ_BY");
+                }
+            }
+            // write up to 2 fresh files
+            for _ in 0..(1 + next(2)) {
+                let f = b.add_vertex("File");
+                b.add_edge(j, f, "WRITES_TO");
+                files.push(f);
+            }
+            jobs.push(j);
+        }
+        b.finish()
+    })
+}
+
+fn normalized(t: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = t.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// THE paper-critical invariant: for any lineage DAG and any valid
+    /// even-hop window, the blast-radius-style query over the raw graph
+    /// equals its rewriting over the materialized 2-hop connector.
+    #[test]
+    fn rewrite_equivalence_on_random_lineage(g in lineage_graph(40), upper in 0usize..8) {
+        let query_src = format!(
+            "SELECT A.name, COUNT(*), SUM(B.CPU) FROM (
+               MATCH (j1:Job)-[:WRITES_TO]->(f1:File)
+                     (f1:File)-[r*0..{upper}]->(f2:File)
+                     (f2:File)-[:IS_READ_BY]->(j2:Job)
+               RETURN j1 AS A, j2 AS B
+             ) GROUP BY A.name"
+        );
+        let query = parse(&query_src).unwrap();
+        let raw = execute(&g, &query).unwrap();
+
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let rewritten = rewrite_over_connector(
+            &query, "j1", "j2", &def, &Schema::provenance(),
+        ).expect("window [2, upper+2] is always coverable by k=2");
+        let view = materialize_connector(&g, &def);
+        let viewed = execute(&view, &rewritten).unwrap();
+        prop_assert_eq!(normalized(&raw), normalized(&viewed));
+    }
+
+    /// Branch-and-bound knapsack matches exhaustive search on small
+    /// instances.
+    #[test]
+    fn knapsack_is_optimal(
+        weights in proptest::collection::vec(0u64..30, 1..10),
+        values in proptest::collection::vec(0u32..100, 1..10),
+        capacity in 0u64..60,
+    ) {
+        let n = weights.len().min(values.len());
+        let items: Vec<KnapsackItem> = (0..n)
+            .map(|i| KnapsackItem { weight: weights[i], value: values[i] as f64 })
+            .collect();
+        let chosen = knapsack(&items, capacity);
+        // feasibility
+        let w: u64 = chosen.iter().map(|&i| items[i].weight).sum();
+        prop_assert!(w <= capacity);
+        let got: f64 = chosen.iter().map(|&i| items[i].value).sum();
+        // brute force
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut bw, mut bv) = (0u64, 0.0f64);
+            for (i, item) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    bw += item.weight;
+                    bv += item.value;
+                }
+            }
+            if bw <= capacity && bv > best {
+                best = bv;
+            }
+        }
+        prop_assert!((got - best).abs() < 1e-9, "got {} expected {}", got, best);
+    }
+
+    /// Eq. (2)/(3) with α=100 upper-bounds the deduplicated connector
+    /// size on arbitrary lineage graphs (§V-A's upper-bound claim).
+    #[test]
+    fn alpha_100_estimate_upper_bounds_actual(g in lineage_graph(30)) {
+        let stats = GraphStats::compute(&g);
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let est = connector_size_estimate(&stats, &def, 100);
+        let actual = materialize_connector(&g, &def).edge_count() as f64;
+        prop_assert!(est >= actual, "est={} actual={}", est, actual);
+    }
+
+    /// CSR invariants hold for any insertion order: every edge appears
+    /// exactly once in out-adjacency and once in in-adjacency.
+    #[test]
+    fn csr_adjacency_is_a_bijection(
+        n in 1usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..80),
+    ) {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex("V");
+        }
+        let mut expected = 0;
+        for (s, d) in &edges {
+            if *s < n && *d < n {
+                b.add_edge(
+                    kaskade::graph::VertexId(*s as u32),
+                    kaskade::graph::VertexId(*d as u32),
+                    "E",
+                );
+                expected += 1;
+            }
+        }
+        let g = b.finish();
+        prop_assert_eq!(g.edge_count(), expected);
+        let out_total: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_total: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_total, expected);
+        prop_assert_eq!(in_total, expected);
+        // adjacency agrees with edge endpoints
+        for v in g.vertices() {
+            for (e, w) in g.out_edges(v) {
+                prop_assert_eq!(g.edge_src(e), v);
+                prop_assert_eq!(g.edge_dst(e), w);
+            }
+        }
+    }
+
+    /// Prolog terms survive a display → parse round-trip (ground terms).
+    #[test]
+    fn prolog_ground_term_roundtrip(
+        atoms in proptest::collection::vec("[a-z][a-z0-9_]{0,6}", 1..5),
+        ints in proptest::collection::vec(-1000i64..1000, 1..5),
+    ) {
+        let args: Vec<Term> = atoms.iter().map(|a| Term::atom(a))
+            .chain(ints.iter().map(|&i| Term::int(i)))
+            .collect();
+        let t = Term::compound("f", vec![Term::list(args.clone()), Term::compound("g", args)]);
+        let src = format!("fact({t}).");
+        let clauses = parse_program(&src).unwrap();
+        prop_assert_eq!(clauses.len(), 1);
+        let parsed = match &clauses[0].head {
+            Term::Compound(_, a) => a[0].clone(),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// `edge_prefix(m)` always yields exactly `min(m, |E|)` edges and
+    /// only vertices incident to them.
+    #[test]
+    fn edge_prefix_invariants(g in lineage_graph(30), m in 0usize..100) {
+        let p = g.edge_prefix(m);
+        prop_assert_eq!(p.edge_count(), m.min(g.edge_count()));
+        // every vertex in the prefix is incident to some edge, unless
+        // the prefix is the whole graph (then isolated vertices may
+        // appear only if the original had none incident anyway)
+        if p.edge_count() < g.edge_count() {
+            for v in p.vertices() {
+                prop_assert!(
+                    p.out_degree(v) + p.in_degree(v) > 0,
+                    "non-incident vertex in strict prefix"
+                );
+            }
+        }
+    }
+
+    /// Schema::has_k_hop_walk agrees with explicit walk enumeration on
+    /// small random schemas.
+    #[test]
+    fn schema_walk_dp_matches_enumeration(
+        rules in proptest::collection::vec((0usize..4, 0usize..4), 1..8),
+        k in 1usize..5,
+    ) {
+        let mut schema = Schema::new();
+        let names = ["A", "B", "C", "D"];
+        for t in names {
+            schema.add_vertex_type(t);
+        }
+        for (s, d) in &rules {
+            schema.add_edge_rule(names[*s], "E", names[*d]);
+        }
+        // explicit k-walk enumeration via adjacency powers (bool matrix)
+        let mut reach = vec![[false; 4]; 4]; // walks of length exactly 1
+        for (s, d) in &rules {
+            reach[*s][*d] = true;
+        }
+        let step = reach.clone();
+        for _ in 1..k {
+            let mut next = vec![[false; 4]; 4];
+            for a in 0..4 {
+                for b in 0..4 {
+                    if reach[a][b] {
+                        for c in 0..4 {
+                            if step[b][c] {
+                                next[a][c] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            reach = next;
+        }
+        for a in 0..4 {
+            for b in 0..4 {
+                prop_assert_eq!(
+                    schema.has_k_hop_walk(names[a], names[b], k),
+                    reach[a][b],
+                    "{}->{} k={}", names[a], names[b], k
+                );
+            }
+        }
+    }
+
+    /// Variable-length reachability is monotone in the hop bound.
+    #[test]
+    fn var_length_monotone_in_upper_bound(g in lineage_graph(30), hi in 1usize..6) {
+        let q_small = parse(&format!(
+            "MATCH (a:Job)-[e*1..{hi}]->(b) RETURN a, b"
+        )).unwrap();
+        let q_big = parse(&format!(
+            "MATCH (a:Job)-[e*1..{}]->(b) RETURN a, b", hi + 1
+        )).unwrap();
+        let small = execute(&g, &q_small).unwrap().len();
+        let big = execute(&g, &q_big).unwrap().len();
+        prop_assert!(big >= small);
+    }
+}
