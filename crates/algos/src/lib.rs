@@ -18,6 +18,4 @@ mod traversal;
 pub use community::{community_sizes, label_propagation, largest_community, Communities};
 pub use components::{data_valuation, weakly_connected_components, UnionFind};
 pub use paths::{path_lengths, total_path_length, PathLength};
-pub use traversal::{
-    ancestors, blast_radius_sum, descendants, k_hop_neighborhood, Direction,
-};
+pub use traversal::{ancestors, blast_radius_sum, descendants, k_hop_neighborhood, Direction};

@@ -35,7 +35,12 @@ fn bench_materialization(c: &mut Criterion) {
         },
     );
     group.bench_function("connector_prov_job_to_job_2hop", |b| {
-        b.iter(|| black_box(materialize_connector(&filtered, &ConnectorDef::k_hop("Job", "Job", 2))))
+        b.iter(|| {
+            black_box(materialize_connector(
+                &filtered,
+                &ConnectorDef::k_hop("Job", "Job", 2),
+            ))
+        })
     });
 
     for dataset in [Dataset::RoadnetUsa, Dataset::SocLivejournal] {
@@ -45,7 +50,12 @@ fn bench_materialization(c: &mut Criterion) {
             BenchmarkId::new("connector_2hop", dataset.short_name()),
             &g,
             |b, g| {
-                b.iter(|| black_box(materialize_connector(g, &ConnectorDef::k_hop(anchor, anchor, 2))))
+                b.iter(|| {
+                    black_box(materialize_connector(
+                        g,
+                        &ConnectorDef::k_hop(anchor, anchor, 2),
+                    ))
+                })
             },
         );
     }

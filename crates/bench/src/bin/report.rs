@@ -103,13 +103,34 @@ fn table1() {
 fn table2() {
     header("TABLE II: Summarizers in Kaskade");
     for (name, desc) in [
-        ("Vertex-removal summarizer", "Removes vertices (and incident edges) matching a predicate."),
-        ("Edge-removal summarizer", "Removes edges matching a predicate."),
-        ("Vertex-inclusion summarizer", "Keeps vertices matching the predicate and edges between them."),
-        ("Edge-inclusion summarizer", "Keeps only edges matching a predicate."),
-        ("Vertex-aggregator summarizer", "Groups matching vertices into a supervertex with an aggregate."),
-        ("Edge-aggregator summarizer", "Groups matching edges into a superedge with an aggregate."),
-        ("Subgraph-aggregator summarizer", "Groups a matching subgraph into a supervertex."),
+        (
+            "Vertex-removal summarizer",
+            "Removes vertices (and incident edges) matching a predicate.",
+        ),
+        (
+            "Edge-removal summarizer",
+            "Removes edges matching a predicate.",
+        ),
+        (
+            "Vertex-inclusion summarizer",
+            "Keeps vertices matching the predicate and edges between them.",
+        ),
+        (
+            "Edge-inclusion summarizer",
+            "Keeps only edges matching a predicate.",
+        ),
+        (
+            "Vertex-aggregator summarizer",
+            "Groups matching vertices into a supervertex with an aggregate.",
+        ),
+        (
+            "Edge-aggregator summarizer",
+            "Groups matching edges into a superedge with an aggregate.",
+        ),
+        (
+            "Subgraph-aggregator summarizer",
+            "Groups a matching subgraph into a supervertex.",
+        ),
     ] {
         println!("  {name:<32} {desc}");
     }
@@ -162,8 +183,15 @@ fn fig3() {
         b.add_edge(vs[s], vs[d], t);
     }
     let g = b.finish();
-    println!("  input graph (a): {} vertices, {} edges", g.vertex_count(), g.edge_count());
-    for (src, dst, panel) in [("Job", "Job", "(c) job-to-job"), ("File", "File", "(d) file-to-file")] {
+    println!(
+        "  input graph (a): {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
+    for (src, dst, panel) in [
+        ("Job", "Job", "(c) job-to-job"),
+        ("File", "File", "(d) file-to-file"),
+    ] {
         let view = materialize_connector(&g, &ConnectorDef::k_hop(src, dst, 2));
         print!("  2-hop connector {panel}: ");
         let mut edges: Vec<String> = view
@@ -183,7 +211,9 @@ fn fig3() {
 }
 
 fn datasets_or(dataset: Option<Dataset>) -> Vec<Dataset> {
-    dataset.map(|d| vec![d]).unwrap_or_else(|| Dataset::ALL.to_vec())
+    dataset
+        .map(|d| vec![d])
+        .unwrap_or_else(|| Dataset::ALL.to_vec())
 }
 
 fn print_fig5(dataset: Option<Dataset>) {
@@ -231,7 +261,11 @@ fn print_fig7(dataset: Option<Dataset>) {
     header("FIG 7: query runtimes, filter graph vs 2-hop connector view");
     for d in datasets_or(dataset) {
         let env = Env::prepare(d, SCALE, SEED);
-        let base_label = if d.is_heterogeneous() { "filter" } else { "raw" };
+        let base_label = if d.is_heterogeneous() {
+            "filter"
+        } else {
+            "raw"
+        };
         println!(
             "\n  {} (connector: {} edges vs {} {} edges)",
             d.short_name(),

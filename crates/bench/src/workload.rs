@@ -251,7 +251,12 @@ mod tests {
         let a = run(&env, QueryId::Q1, false);
         let b = run(&env, QueryId::Q1, true);
         assert_eq!(a.rows, b.rows);
-        assert!((a.value - b.value).abs() < 1e-6, "{} vs {}", a.value, b.value);
+        assert!(
+            (a.value - b.value).abs() < 1e-6,
+            "{} vs {}",
+            a.value,
+            b.value
+        );
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Offline drop-in shim for the subset of the `criterion` API used by
+//! this workspace (see `crates/compat/README.md`).
+//!
+//! Each benchmark is timed with a short warm-up followed by a batch of
+//! wall-clock samples; the median per-iteration time is printed as one
+//! line. There is no statistical analysis, HTML report, or baseline
+//! comparison — the goal is that `cargo bench` produces meaningful
+//! numbers offline with zero dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark, optionally parameterized
+/// (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, printing the median per-iteration wall-clock
+    /// time over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count that makes a
+        // single sample take a measurable amount of time.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("time is never NaN"));
+        let median = per_iter[per_iter.len() / 2];
+        self.report(median);
+    }
+
+    fn report(&mut self, median_secs: f64) {
+        let formatted = if median_secs >= 1.0 {
+            format!("{median_secs:.3} s")
+        } else if median_secs >= 1e-3 {
+            format!("{:.3} ms", median_secs * 1e3)
+        } else if median_secs >= 1e-6 {
+            format!("{:.3} µs", median_secs * 1e6)
+        } else {
+            format!("{:.1} ns", median_secs * 1e9)
+        };
+        println!("median {formatted} ({} samples)", self.samples);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group. Benchmarks
+    /// whose full name does not contain the command-line filter (the
+    /// first free argument, as with `cargo bench -- <filter>`) are
+    /// skipped.
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full_name = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        print!("{full_name}: ");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+        };
+        routine(&mut bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        self.criterion.groups_finished += 1;
+    }
+}
+
+/// Top-level benchmark driver, passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    groups_finished: usize,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Picks up the benchmark-name filter from the command line: the
+    /// first argument that is not a flag, matching `cargo bench -- <filter>`.
+    pub fn configured_from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            groups_finished: 0,
+            filter,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function running each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::configured_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function for a benchmark binary.
+///
+/// When the harness is invoked by `cargo test` (bench targets are built
+/// with `--test`), the benchmarks are skipped so test runs stay fast;
+/// `cargo bench` runs them fully.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -78,12 +78,7 @@ pub fn path_count_estimate(stats: &GraphStats, schema: &Schema, k: usize, alpha:
 /// counts the graph already maintains (the paper defers these to
 /// standard relational selectivity estimation, which is exact for
 /// type-level predicates).
-pub fn estimate_view_size(
-    g: &Graph,
-    stats: &GraphStats,
-    def: &ViewDef,
-    alpha: u8,
-) -> f64 {
+pub fn estimate_view_size(g: &Graph, stats: &GraphStats, def: &ViewDef, alpha: u8) -> f64 {
     match def {
         ViewDef::Connector(c) => connector_size_estimate(stats, c, alpha),
         // sources × sinks upper-bounds source-to-sink pair count

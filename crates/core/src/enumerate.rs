@@ -90,7 +90,10 @@ impl Candidate {
     pub fn to_view_def(&self) -> Option<ViewDef> {
         match self {
             Candidate::KHopConnector {
-                src_type, dst_type, k, ..
+                src_type,
+                dst_type,
+                k,
+                ..
             } => Some(ViewDef::Connector(ConnectorDef::k_hop(
                 src_type, dst_type, *k,
             ))),
@@ -112,14 +115,16 @@ impl Candidate {
                 Some(ViewDef::Connector(ConnectorDef::k_hop(vtype, vtype, 2)))
             }
             Candidate::SourceToSinkConnector { .. } => None,
-            Candidate::VertexRemovalSummarizer { keep, .. } => Some(ViewDef::Summarizer(
-                SummarizerDef::VertexInclusion { keep: keep.clone() },
-            )),
-            Candidate::EdgeRemovalSummarizer { remove } => Some(ViewDef::Summarizer(
-                SummarizerDef::EdgeRemoval {
+            Candidate::VertexRemovalSummarizer { keep, .. } => {
+                Some(ViewDef::Summarizer(SummarizerDef::VertexInclusion {
+                    keep: keep.clone(),
+                }))
+            }
+            Candidate::EdgeRemovalSummarizer { remove } => {
+                Some(ViewDef::Summarizer(SummarizerDef::EdgeRemoval {
                     remove: remove.clone(),
-                },
-            )),
+                }))
+            }
         }
     }
 }
@@ -205,8 +210,7 @@ pub fn enumerate_views(query: &Query, schema: &Schema) -> Result<Enumeration, Pr
     let (sols, s) = db.query_with_stats("connectorSameVertexType(X, Y, VT)")?;
     steps += s;
     for sol in &sols {
-        if let (Some(x), Some(y), Some(vtype)) = (atom(sol, "X"), atom(sol, "Y"), atom(sol, "VT"))
-        {
+        if let (Some(x), Some(y), Some(vtype)) = (atom(sol, "X"), atom(sol, "Y"), atom(sol, "VT")) {
             if x != y {
                 candidates.insert(Candidate::SameVertexTypeConnector { x, y, vtype });
             }
@@ -250,7 +254,10 @@ pub fn enumerate_views(query: &Query, schema: &Schema) -> Result<Enumeration, Pr
 fn dedup_atoms(sols: &[Solution]) -> Vec<String> {
     let set: BTreeSet<String> = sols
         .iter()
-        .filter_map(|s| s.first().and_then(|(_, t)| t.atom_name().map(str::to_string)))
+        .filter_map(|s| {
+            s.first()
+                .and_then(|(_, t)| t.atom_name().map(str::to_string))
+        })
         .collect();
     set.into_iter().collect()
 }
@@ -400,7 +407,10 @@ mod tests {
         let e = listing1_enum();
         for c in &e.candidates {
             if let Candidate::KHopConnector {
-                src_type, dst_type, k, ..
+                src_type,
+                dst_type,
+                k,
+                ..
             } = c
             {
                 if src_type == dst_type {
@@ -447,7 +457,10 @@ mod tests {
 
     #[test]
     fn no_summarizer_when_query_uses_everything() {
-        let q = parse("MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b").unwrap();
+        let q = parse(
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+        )
+        .unwrap();
         let e = enumerate_views(&q, &Schema::provenance()).unwrap();
         assert!(!e
             .candidates
@@ -479,9 +492,7 @@ mod tests {
             .candidates
             .iter()
             .filter_map(|c| match c {
-                Candidate::SameEdgeTypeConnector { etype, k, .. } if etype == "FOLLOWS" => {
-                    Some(*k)
-                }
+                Candidate::SameEdgeTypeConnector { etype, k, .. } if etype == "FOLLOWS" => Some(*k),
                 _ => None,
             })
             .collect();

@@ -49,7 +49,9 @@ pub use enumerate::{enumerate_views, procedural, Candidate, Enumeration};
 pub use facts::{
     assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,
 };
-pub use maintain::{apply_delta, maintain_connector, AppliedDelta, GraphDelta, NewEdge, NewVertex, VRef};
+pub use maintain::{
+    apply_delta, maintain_connector, AppliedDelta, GraphDelta, NewEdge, NewVertex, VRef,
+};
 pub use materialize::{
     materialize, materialize_connector, materialize_source_sink, materialize_summarizer,
 };
@@ -349,10 +351,9 @@ mod tests {
         use kaskade_datasets::{generate_social, SocialConfig};
         let g = generate_social(&SocialConfig::tiny(9));
         let mut k = Kaskade::new(g, Schema::homogeneous("User", "FOLLOWS"));
-        let q = parse(
-            "SELECT COUNT(*) FROM (MATCH (a:User)-[:FOLLOWS*2..2]->(b:User) RETURN a, b)",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT COUNT(*) FROM (MATCH (a:User)-[:FOLLOWS*2..2]->(b:User) RETURN a, b)")
+                .unwrap();
         let raw = k.execute(&q).unwrap();
         k.materialize_view(ViewDef::Connector(ConnectorDef::same_edge_type(
             "User", "User", 2, "FOLLOWS",

@@ -206,11 +206,7 @@ fn affected_sources(
 /// recomputed against the new base. The result is identical to
 /// re-materializing from scratch (asserted by tests), but touches only
 /// the neighborhood of the change.
-pub fn maintain_connector(
-    old_view: &Graph,
-    applied: &AppliedDelta,
-    def: &ConnectorDef,
-) -> Graph {
+pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &ConnectorDef) -> Graph {
     let base_new = &applied.graph;
     let affected = affected_sources(base_new, def, applied);
 

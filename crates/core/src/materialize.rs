@@ -195,18 +195,12 @@ pub fn materialize_summarizer(g: &Graph, def: &SummarizerDef) -> Graph {
             agg,
         } => vertex_aggregator(g, vtype, group_prop, agg_prop, *agg),
         SummarizerDef::EdgeAggregator => edge_aggregator(g),
-        SummarizerDef::VertexPredicate { keep } => filter_graph(
-            g,
-            |g, v| pred_on_vertex(g, v, keep),
-            |_, _| true,
-            false,
-        ),
-        SummarizerDef::EdgePredicate { keep } => filter_graph(
-            g,
-            |_, _| true,
-            |g, e| pred_on_edge(g, e, keep),
-            true,
-        ),
+        SummarizerDef::VertexPredicate { keep } => {
+            filter_graph(g, |g, v| pred_on_vertex(g, v, keep), |_, _| true, false)
+        }
+        SummarizerDef::EdgePredicate { keep } => {
+            filter_graph(g, |_, _| true, |g, e| pred_on_edge(g, e, keep), true)
+        }
     }
 }
 
@@ -280,7 +274,13 @@ fn filter_graph(
 /// Groups vertices of `vtype` sharing `group_prop` into supervertices,
 /// aggregating `agg_prop` with `agg`; all other vertices are copied and
 /// edges re-target the supervertices.
-fn vertex_aggregator(g: &Graph, vtype: &str, group_prop: &str, agg_prop: &str, agg: AggOp) -> Graph {
+fn vertex_aggregator(
+    g: &Graph,
+    vtype: &str,
+    group_prop: &str,
+    agg_prop: &str,
+    agg: AggOp,
+) -> Graph {
     let mut b = GraphBuilder::new();
     let mut remap = vec![VertexId(u32::MAX); g.vertex_count()];
     let mut groups: HashMap<String, (VertexId, i64, i64)> = HashMap::new(); // key -> (super, acc, count)
@@ -364,11 +364,7 @@ fn edge_aggregator(g: &Graph) -> Graph {
     let mut seen: HashMap<(u32, u32, String), i64> = HashMap::new();
     let mut order: Vec<(u32, u32, String)> = Vec::new();
     for e in g.edges() {
-        let key = (
-            g.edge_src(e).0,
-            g.edge_dst(e).0,
-            g.edge_type(e).to_string(),
-        );
+        let key = (g.edge_src(e).0, g.edge_dst(e).0, g.edge_type(e).to_string());
         match seen.get_mut(&key) {
             Some(c) => *c += 1,
             None => {
@@ -638,6 +634,7 @@ mod tests {
         let only_f = materialize_connector(&g, &ConnectorDef::same_edge_type("V", "V", 2, "F"));
         assert_eq!(any.edge_count(), 1); // a->c (dedup of two paths)
         assert_eq!(only_f.edge_count(), 1); // a->c via b only — still exists
+
         // now remove the F-F path and the typed connector must be empty
         let mut bld = GraphBuilder::new();
         let a = bld.add_vertex("V");
@@ -731,7 +728,10 @@ mod tests {
     #[test]
     fn materialize_dispatch() {
         let g = fig3_graph();
-        let v1 = materialize(&g, &ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let v1 = materialize(
+            &g,
+            &ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)),
+        );
         assert_eq!(v1.edge_count(), 2);
         let v2 = materialize(
             &g,

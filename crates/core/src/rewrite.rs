@@ -177,7 +177,6 @@ pub fn rewrite_over_connector(
         }
     }
 
-
     let mut new_query = query.clone();
     let p = new_query.pattern_mut()?;
     // drop chain edges (descending index order keeps indices valid)
@@ -320,10 +319,7 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_edge_rule("Job", "W", "File");
         schema.add_edge_rule("File", "W", "Job");
-        let q = parse(
-            "MATCH (a:Job)-[:W]->(f:File) (f:File)-[:W]->(b:Job) RETURN a, b",
-        )
-        .unwrap();
+        let q = parse("MATCH (a:Job)-[:W]->(f:File) (f:File)-[:W]->(b:Job) RETURN a, b").unwrap();
         let right = ConnectorDef::same_edge_type("Job", "Job", 2, "W");
         assert!(rewrite_over_connector(&q, "a", "b", &right, &schema).is_some());
         let wrong = ConnectorDef::same_edge_type("Job", "Job", 2, "X");

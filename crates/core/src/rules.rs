@@ -292,10 +292,7 @@ mod tests {
         )
         .unwrap();
         let sols = db.query("queryKHopPath(q_j1, q_j2, K)").unwrap();
-        let mut ks: Vec<i64> = sols
-            .iter()
-            .map(|s| s[0].1.int_value().unwrap())
-            .collect();
+        let mut ks: Vec<i64> = sols.iter().map(|s| s[0].1.int_value().unwrap()).collect();
         ks.sort_unstable();
         ks.dedup();
         assert_eq!(ks, vec![2, 3, 4, 5, 6, 7, 8, 9, 10]);

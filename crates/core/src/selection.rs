@@ -345,7 +345,13 @@ mod tests {
         let stats = GraphStats::compute(&g);
         let schema = Schema::provenance();
         let q = parse(LISTING_1).unwrap();
-        let one = select_views(&g, &stats, &schema, std::slice::from_ref(&q), &Default::default());
+        let one = select_views(
+            &g,
+            &stats,
+            &schema,
+            std::slice::from_ref(&q),
+            &Default::default(),
+        );
         let two = select_views(&g, &stats, &schema, &[q.clone(), q], &Default::default());
         let find = |r: &SelectionResult| {
             r.scored

@@ -131,7 +131,10 @@ impl PropPredicate {
                 get(k).and_then(|v| v.as_int()).is_some_and(|v| v < *b)
             }
             PropPredicate::StrEquals(k, s) => {
-                get(k).and_then(|v| v.as_str().map(str::to_string)).as_deref() == Some(s)
+                get(k)
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .as_deref()
+                    == Some(s)
             }
             PropPredicate::Exists(k) => get(k).is_some(),
         }

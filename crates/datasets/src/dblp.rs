@@ -197,10 +197,7 @@ mod tests {
     #[test]
     fn authored_and_is_authored_by_are_symmetric() {
         let g = generate_dblp(&DblpConfig::tiny(4));
-        let authored = g
-            .edges()
-            .filter(|&e| g.edge_type(e) == "AUTHORED")
-            .count();
+        let authored = g.edges().filter(|&e| g.edge_type(e) == "AUTHORED").count();
         let reversed = g
             .edges()
             .filter(|&e| g.edge_type(e) == "IS_AUTHORED_BY")

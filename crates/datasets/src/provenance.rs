@@ -182,7 +182,8 @@ pub fn generate_provenance(cfg: &ProvenanceConfig) -> Graph {
                 let mut upstream: Vec<usize> = Vec::new(); // producer ids
                 let mut seen_files: Vec<usize> = Vec::new();
                 for r in 0..n_reads {
-                    let local = r > 0 && !upstream.is_empty()
+                    let local = r > 0
+                        && !upstream.is_empty()
                         && rng.random_bool(cfg.read_locality.clamp(0.0, 1.0));
                     let fi = if local {
                         let p = upstream[rng.random_range(0..upstream.len())];

@@ -142,7 +142,7 @@ mod tests {
     }
 
     #[test]
-    fn ccdf_fits_negative_slope(){
+    fn ccdf_fits_negative_slope() {
         let cfg = SocialConfig {
             users: 3_000,
             ..SocialConfig::tiny(4)

@@ -292,7 +292,9 @@ impl Graph {
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
         let lo = self.out_offsets[v.index()] as usize;
         let hi = self.out_offsets[v.index() + 1] as usize;
-        self.out_edges[lo..hi].iter().map(|&e| (e, self.dsts[e.index()]))
+        self.out_edges[lo..hi]
+            .iter()
+            .map(|&e| (e, self.dsts[e.index()]))
     }
 
     /// Incoming edges of `v` as `(edge, src)` pairs.
@@ -300,7 +302,9 @@ impl Graph {
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
         let lo = self.in_offsets[v.index()] as usize;
         let hi = self.in_offsets[v.index() + 1] as usize;
-        self.in_edges[lo..hi].iter().map(|&e| (e, self.srcs[e.index()]))
+        self.in_edges[lo..hi]
+            .iter()
+            .map(|&e| (e, self.srcs[e.index()]))
     }
 
     /// Out-neighbors of `v` (may repeat under parallel edges).
@@ -365,7 +369,10 @@ impl Graph {
         for v in self.vertices() {
             *counts.entry(self.vertex_type(v)).or_default() += 1;
         }
-        counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect()
+        counts
+            .into_iter()
+            .map(|(k, c)| (k.to_string(), c))
+            .collect()
     }
 
     /// Count of edges per type name, sorted by name.
@@ -374,7 +381,10 @@ impl Graph {
         for e in self.edges() {
             *counts.entry(self.edge_type(e)).or_default() += 1;
         }
-        counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect()
+        counts
+            .into_iter()
+            .map(|(k, c)| (k.to_string(), c))
+            .collect()
     }
 
     /// Derives the schema implied by this graph's edges (one rule per

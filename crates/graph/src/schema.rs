@@ -153,7 +153,13 @@ impl Schema {
         self.k_hop_rec(src, dst, k, &mut trail)
     }
 
-    fn k_hop_rec<'a>(&'a self, cur: &'a str, dst: &str, k: usize, trail: &mut Vec<&'a str>) -> bool {
+    fn k_hop_rec<'a>(
+        &'a self,
+        cur: &'a str,
+        dst: &str,
+        k: usize,
+        trail: &mut Vec<&'a str>,
+    ) -> bool {
         if k == 1 {
             return self.rules_from(cur).any(|r| r.dst == dst);
         }

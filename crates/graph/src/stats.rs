@@ -313,6 +313,10 @@ mod tests {
     #[test]
     fn power_law_fit_degenerate() {
         assert!(power_law_exponent(&[]).is_none());
-        assert!(power_law_exponent(&[CcdfPoint { degree: 1, count: 5 }]).is_none());
+        assert!(power_law_exponent(&[CcdfPoint {
+            degree: 1,
+            count: 5
+        }])
+        .is_none());
     }
 }

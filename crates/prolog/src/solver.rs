@@ -253,11 +253,7 @@ impl Database {
     /// Resolution runs on a dedicated thread with a large stack so that
     /// deep (but bounded) recursion in user rules cannot overflow the
     /// caller's stack; the depth limit still bounds runaway recursion.
-    pub fn query_limit(
-        &self,
-        query_src: &str,
-        limit: usize,
-    ) -> Result<Vec<Solution>, PrologError> {
+    pub fn query_limit(&self, query_src: &str, limit: usize) -> Result<Vec<Solution>, PrologError> {
         run_with_big_stack(|| self.query_limit_inline(query_src, limit))
     }
 
@@ -292,10 +288,7 @@ impl Database {
 
     /// Total inference steps consumed by the last call is not retained;
     /// use [`Database::query_with_stats`] to measure.
-    pub fn query_with_stats(
-        &self,
-        query_src: &str,
-    ) -> Result<(Vec<Solution>, u64), PrologError> {
+    pub fn query_with_stats(&self, query_src: &str) -> Result<(Vec<Solution>, u64), PrologError> {
         run_with_big_stack(|| self.query_with_stats_inline(query_src))
     }
 
@@ -453,10 +446,7 @@ impl<'a> Machine<'a> {
                 Term::Var(nv)
             }
             Term::Compound(f, args) => {
-                let copied = args
-                    .iter()
-                    .map(|a| self.copy_with_fresh(a, map))
-                    .collect();
+                let copied = args.iter().map(|a| self.copy_with_fresh(a, map)).collect();
                 Term::Compound(f, copied)
             }
             other => other,
@@ -707,8 +697,7 @@ impl<'a> Machine<'a> {
                     let g = g.offset_vars(base);
                     // wire cut to this invocation
                     if g == Term::atom("!") {
-                        new_goals
-                            .push(Term::compound("$cut", vec![Term::Int(my_id as i64)]));
+                        new_goals.push(Term::compound("$cut", vec![Term::Int(my_id as i64)]));
                     } else {
                         new_goals.push(g);
                     }
@@ -729,7 +718,12 @@ impl<'a> Machine<'a> {
         Ok(false)
     }
 
-    fn builtin_between(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+    fn builtin_between(
+        &mut self,
+        args: &[Term],
+        rest: &[Term],
+        k: Cont,
+    ) -> Result<bool, PrologError> {
         let lo = self.eval_arith(&args[0])?;
         let hi = self.eval_arith(&args[1])?;
         match self.deref(&args[2]) {
@@ -761,7 +755,12 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn builtin_length(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+    fn builtin_length(
+        &mut self,
+        args: &[Term],
+        rest: &[Term],
+        k: Cont,
+    ) -> Result<bool, PrologError> {
         let list = self.resolve(&args[0]);
         if let Some(items) = list.as_list() {
             let n = items.len() as i64;
@@ -781,7 +780,11 @@ impl<'a> Machine<'a> {
                 return Ok(false);
             }
             let base = self.fresh_vars(n as usize);
-            let fresh = Term::list((0..n as usize).map(|i| Term::Var(base + i)).collect::<Vec<_>>());
+            let fresh = Term::list(
+                (0..n as usize)
+                    .map(|i| Term::Var(base + i))
+                    .collect::<Vec<_>>(),
+            );
             let mark = self.trail.len();
             if self.unify(&args[0], &fresh) {
                 let stop = self.solve_all(rest, k)?;
@@ -795,7 +798,12 @@ impl<'a> Machine<'a> {
         Err(PrologError::NotInstantiated("length/2".into()))
     }
 
-    fn builtin_findall(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+    fn builtin_findall(
+        &mut self,
+        args: &[Term],
+        rest: &[Term],
+        k: Cont,
+    ) -> Result<bool, PrologError> {
         let template = args[0].clone();
         let goal = args[1].clone();
         let mark = self.trail.len();
@@ -821,7 +829,12 @@ impl<'a> Machine<'a> {
         Ok(false)
     }
 
-    fn builtin_setof(&mut self, args: &[Term], rest: &[Term], k: Cont) -> Result<bool, PrologError> {
+    fn builtin_setof(
+        &mut self,
+        args: &[Term],
+        rest: &[Term],
+        k: Cont,
+    ) -> Result<bool, PrologError> {
         // Simplified setof: findall + sort + dedupe; fails on empty set.
         let template = args[0].clone();
         let goal = args[1].clone();
@@ -884,42 +897,40 @@ impl<'a> Machine<'a> {
             Term::Int(i) => Ok(i),
             Term::Var(_) => Err(PrologError::NotInstantiated("arithmetic".into())),
             Term::Atom(a) => Err(PrologError::ArithmeticType(format!("atom `{a}`"))),
-            Term::Compound(f, args) => {
-                match (f.as_str(), args.len()) {
-                    ("+", 2) => Ok(self
-                        .eval_arith(&args[0])?
-                        .wrapping_add(self.eval_arith(&args[1])?)),
-                    ("-", 2) => Ok(self
-                        .eval_arith(&args[0])?
-                        .wrapping_sub(self.eval_arith(&args[1])?)),
-                    ("*", 2) => Ok(self
-                        .eval_arith(&args[0])?
-                        .wrapping_mul(self.eval_arith(&args[1])?)),
-                    ("//", 2) | ("/", 2) => {
-                        let d = self.eval_arith(&args[1])?;
-                        if d == 0 {
-                            return Err(PrologError::DivisionByZero);
-                        }
-                        Ok(self.eval_arith(&args[0])?.div_euclid(d))
+            Term::Compound(f, args) => match (f.as_str(), args.len()) {
+                ("+", 2) => Ok(self
+                    .eval_arith(&args[0])?
+                    .wrapping_add(self.eval_arith(&args[1])?)),
+                ("-", 2) => Ok(self
+                    .eval_arith(&args[0])?
+                    .wrapping_sub(self.eval_arith(&args[1])?)),
+                ("*", 2) => Ok(self
+                    .eval_arith(&args[0])?
+                    .wrapping_mul(self.eval_arith(&args[1])?)),
+                ("//", 2) | ("/", 2) => {
+                    let d = self.eval_arith(&args[1])?;
+                    if d == 0 {
+                        return Err(PrologError::DivisionByZero);
                     }
-                    ("mod", 2) => {
-                        let d = self.eval_arith(&args[1])?;
-                        if d == 0 {
-                            return Err(PrologError::DivisionByZero);
-                        }
-                        Ok(self.eval_arith(&args[0])?.rem_euclid(d))
-                    }
-                    ("min", 2) => Ok(self.eval_arith(&args[0])?.min(self.eval_arith(&args[1])?)),
-                    ("max", 2) => Ok(self.eval_arith(&args[0])?.max(self.eval_arith(&args[1])?)),
-                    ("abs", 1) => Ok(self.eval_arith(&args[0])?.abs()),
-                    ("-", 1) => Ok(-self.eval_arith(&args[0])?),
-                    _ => Err(PrologError::ArithmeticType(format!(
-                        "unknown function {}/{}",
-                        f,
-                        args.len()
-                    ))),
+                    Ok(self.eval_arith(&args[0])?.div_euclid(d))
                 }
-            }
+                ("mod", 2) => {
+                    let d = self.eval_arith(&args[1])?;
+                    if d == 0 {
+                        return Err(PrologError::DivisionByZero);
+                    }
+                    Ok(self.eval_arith(&args[0])?.rem_euclid(d))
+                }
+                ("min", 2) => Ok(self.eval_arith(&args[0])?.min(self.eval_arith(&args[1])?)),
+                ("max", 2) => Ok(self.eval_arith(&args[0])?.max(self.eval_arith(&args[1])?)),
+                ("abs", 1) => Ok(self.eval_arith(&args[0])?.abs()),
+                ("-", 1) => Ok(-self.eval_arith(&args[0])?),
+                _ => Err(PrologError::ArithmeticType(format!(
+                    "unknown function {}/{}",
+                    f,
+                    args.len()
+                ))),
+            },
         }
     }
 }
@@ -999,11 +1010,9 @@ mod tests {
 
     #[test]
     fn recursion_transitive_closure() {
-        let d = db(
-            "edge(a,b). edge(b,c). edge(c,d).
+        let d = db("edge(a,b). edge(b,c). edge(c,d).
              reach(X,Y) :- edge(X,Y).
-             reach(X,Y) :- edge(X,Z), reach(Z,Y).",
-        );
+             reach(X,Y) :- edge(X,Z), reach(Z,Y).");
         let sols = d.query("reach(a, Y)").unwrap();
         let ys: Vec<&str> = sols.iter().map(|s| s[0].1.atom_name().unwrap()).collect();
         assert_eq!(ys, vec!["b", "c", "d"]);
@@ -1168,11 +1177,9 @@ mod tests {
 
     #[test]
     fn cut_only_local_to_predicate() {
-        let d = db(
-            "a(X) :- b(X).
+        let d = db("a(X) :- b(X).
              a(99).
-             b(X) :- member(X, [1,2]), !.",
-        );
+             b(X) :- member(X, [1,2]), !.");
         // cut inside b prunes b's alternatives, but a/1 still tries a(99)
         let sols = d.query("a(X)").unwrap();
         let xs: Vec<i64> = sols.iter().map(|s| s[0].1.int_value().unwrap()).collect();
@@ -1251,15 +1258,13 @@ mod tests {
     #[test]
     fn schema_k_hop_path_paper_rule() {
         // End-to-end check of the paper's Lst. 2 on the provenance schema.
-        let d = db(
-            "schemaEdge('Job', 'File', 'WRITES_TO').
+        let d = db("schemaEdge('Job', 'File', 'WRITES_TO').
              schemaEdge('File', 'Job', 'IS_READ_BY').
              schemaKHopPath(X,Y,K) :- schemaKHopPath(X,Y,K,[]).
              schemaKHopPath(X,Y,1,_) :- schemaEdge(X,Y,_).
              schemaKHopPath(X,Y,K,Trail) :-
                schemaEdge(X,Z,_), not(member(Z,Trail)),
-               schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.",
-        );
+               schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.");
         // Job→Job only via even path length 2 (acyclic trail bounds it)
         assert!(d.has_solution("schemaKHopPath('Job', 'Job', 2)").unwrap());
         assert!(!d.has_solution("schemaKHopPath('Job', 'Job', 3)").unwrap());
@@ -1296,7 +1301,6 @@ mod tests {
         assert_eq!(d2.query("f(g(1), R)").unwrap().len(), 2); // g(1) + var clause
         assert_eq!(d2.query("f(h(9), R)").unwrap().len(), 1); // only the var clause (h(1) fails unification)
     }
-
 
     #[test]
     fn retract_all_removes_predicate() {

@@ -120,10 +120,9 @@ impl Term {
     /// Collects all variable indices occurring in the term.
     pub fn collect_vars(&self, out: &mut Vec<usize>) {
         match self {
-            Term::Var(v)
-                if !out.contains(v) => {
-                    out.push(*v);
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(*v);
+            }
             Term::Compound(_, args) => {
                 for a in args {
                     a.collect_vars(out);
@@ -237,7 +236,10 @@ mod tests {
 
     #[test]
     fn offset_vars_shifts_all() {
-        let t = Term::compound("f", vec![Term::Var(0), Term::cons(Term::Var(1), Term::nil())]);
+        let t = Term::compound(
+            "f",
+            vec![Term::Var(0), Term::cons(Term::Var(1), Term::nil())],
+        );
         let s = t.offset_vars(10);
         let mut vars = Vec::new();
         s.collect_vars(&mut vars);

@@ -183,8 +183,16 @@ mod tests {
     fn cost_monotone_in_alpha() {
         let q = parse("MATCH (a:Job)-[e*1..4]->(b) RETURN a, b").unwrap();
         let s = stats();
-        let lo = CostModel { alpha: 50, ..Default::default() }.query_cost(&s, &q);
-        let hi = CostModel { alpha: 100, ..Default::default() }.query_cost(&s, &q);
+        let lo = CostModel {
+            alpha: 50,
+            ..Default::default()
+        }
+        .query_cost(&s, &q);
+        let hi = CostModel {
+            alpha: 100,
+            ..Default::default()
+        }
+        .query_cost(&s, &q);
         assert!(hi >= lo);
     }
 }

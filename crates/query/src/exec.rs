@@ -275,12 +275,7 @@ fn apply_order_and_limit(g: &Graph, s: &SelectStmt, table: &mut Table) -> Result
 }
 
 /// Evaluates a scalar (non-aggregate) expression over one row.
-fn eval_scalar(
-    g: &Graph,
-    columns: &[String],
-    row: &[Datum],
-    e: &Expr,
-) -> Result<Datum, ExecError> {
+fn eval_scalar(g: &Graph, columns: &[String], row: &[Datum], e: &Expr) -> Result<Datum, ExecError> {
     match e {
         Expr::Literal(v) => Ok(Datum::Val(v.clone())),
         Expr::Column(name) => {
@@ -315,82 +310,78 @@ fn eval_with_agg(
     e: &Expr,
 ) -> Result<Datum, ExecError> {
     match e {
-        Expr::Agg(func, inner) => {
-            match func {
-                AggFunc::Count => match inner {
-                    None => Ok(Datum::Val(Value::Int(group.len() as i64))),
-                    Some(inner) => {
-                        let mut n = 0i64;
-                        for row in group {
-                            if !matches!(eval_scalar(g, columns, row, inner)?, Datum::Null) {
-                                n += 1;
-                            }
-                        }
-                        Ok(Datum::Val(Value::Int(n)))
-                    }
-                },
-                AggFunc::Sum | AggFunc::Avg => {
-                    let inner = inner.as_ref().ok_or(ExecError::MisplacedAggregate)?;
-                    let mut sum_i: i64 = 0;
-                    let mut sum_f: f64 = 0.0;
-                    let mut all_int = true;
-                    let mut n = 0usize;
+        Expr::Agg(func, inner) => match func {
+            AggFunc::Count => match inner {
+                None => Ok(Datum::Val(Value::Int(group.len() as i64))),
+                Some(inner) => {
+                    let mut n = 0i64;
                     for row in group {
-                        match eval_scalar(g, columns, row, inner)? {
-                            Datum::Val(Value::Int(v)) => {
-                                sum_i = sum_i.wrapping_add(v);
-                                sum_f += v as f64;
-                                n += 1;
-                            }
-                            Datum::Val(Value::Float(v)) => {
-                                all_int = false;
-                                sum_f += v;
-                                n += 1;
-                            }
-                            Datum::Null => {}
-                            _ => return Err(ExecError::NotAVertex("aggregate input".into())),
+                        if !matches!(eval_scalar(g, columns, row, inner)?, Datum::Null) {
+                            n += 1;
                         }
                     }
-                    if n == 0 {
-                        return Ok(if *func == AggFunc::Sum {
-                            Datum::Val(Value::Int(0))
-                        } else {
-                            Datum::Null
+                    Ok(Datum::Val(Value::Int(n)))
+                }
+            },
+            AggFunc::Sum | AggFunc::Avg => {
+                let inner = inner.as_ref().ok_or(ExecError::MisplacedAggregate)?;
+                let mut sum_i: i64 = 0;
+                let mut sum_f: f64 = 0.0;
+                let mut all_int = true;
+                let mut n = 0usize;
+                for row in group {
+                    match eval_scalar(g, columns, row, inner)? {
+                        Datum::Val(Value::Int(v)) => {
+                            sum_i = sum_i.wrapping_add(v);
+                            sum_f += v as f64;
+                            n += 1;
+                        }
+                        Datum::Val(Value::Float(v)) => {
+                            all_int = false;
+                            sum_f += v;
+                            n += 1;
+                        }
+                        Datum::Null => {}
+                        _ => return Err(ExecError::NotAVertex("aggregate input".into())),
+                    }
+                }
+                if n == 0 {
+                    return Ok(if *func == AggFunc::Sum {
+                        Datum::Val(Value::Int(0))
+                    } else {
+                        Datum::Null
+                    });
+                }
+                Ok(match func {
+                    AggFunc::Sum if all_int => Datum::Val(Value::Int(sum_i)),
+                    AggFunc::Sum => Datum::Val(Value::Float(sum_f)),
+                    _ => Datum::Val(Value::Float(sum_f / n as f64)),
+                })
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let inner = inner.as_ref().ok_or(ExecError::MisplacedAggregate)?;
+                let mut best: Option<Value> = None;
+                for row in group {
+                    if let Datum::Val(v) = eval_scalar(g, columns, row, inner)? {
+                        best = Some(match best {
+                            None => v,
+                            Some(b) => {
+                                let keep_new = match func {
+                                    AggFunc::Min => v.total_cmp(&b) == std::cmp::Ordering::Less,
+                                    _ => v.total_cmp(&b) == std::cmp::Ordering::Greater,
+                                };
+                                if keep_new {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
                         });
                     }
-                    Ok(match func {
-                        AggFunc::Sum if all_int => Datum::Val(Value::Int(sum_i)),
-                        AggFunc::Sum => Datum::Val(Value::Float(sum_f)),
-                        _ => Datum::Val(Value::Float(sum_f / n as f64)),
-                    })
                 }
-                AggFunc::Min | AggFunc::Max => {
-                    let inner = inner.as_ref().ok_or(ExecError::MisplacedAggregate)?;
-                    let mut best: Option<Value> = None;
-                    for row in group {
-                        if let Datum::Val(v) = eval_scalar(g, columns, row, inner)? {
-                            best = Some(match best {
-                                None => v,
-                                Some(b) => {
-                                    let keep_new = match func {
-                                        AggFunc::Min => {
-                                            v.total_cmp(&b) == std::cmp::Ordering::Less
-                                        }
-                                        _ => v.total_cmp(&b) == std::cmp::Ordering::Greater,
-                                    };
-                                    if keep_new {
-                                        v
-                                    } else {
-                                        b
-                                    }
-                                }
-                            });
-                        }
-                    }
-                    Ok(best.map(Datum::Val).unwrap_or(Datum::Null))
-                }
+                Ok(best.map(Datum::Val).unwrap_or(Datum::Null))
             }
-        }
+        },
         // non-aggregate in a grouped query: take it from the first row
         // (callers group by these expressions, so it is constant within
         // the group; empty implicit groups yield Null)
@@ -447,7 +438,12 @@ mod tests {
         let j2 = b.add_vertex("Job");
         let f2 = b.add_vertex("File");
         let j3 = b.add_vertex("Job");
-        for (v, cpu, p) in [(j0, 1, "p0"), (j1, 10, "p1"), (j2, 100, "p0"), (j3, 1000, "p1")] {
+        for (v, cpu, p) in [
+            (j0, 1, "p0"),
+            (j1, 10, "p1"),
+            (j2, 100, "p0"),
+            (j3, 1000, "p1"),
+        ] {
             b.set_vertex_prop(v, "CPU", Value::Int(cpu));
             b.set_vertex_prop(v, "pipelineName", Value::Str(p.into()));
         }
@@ -522,7 +518,9 @@ mod tests {
             .rows
             .iter()
             .map(|r| {
-                let Datum::Val(Value::Str(s)) = &r[0] else { panic!() };
+                let Datum::Val(Value::Str(s)) = &r[0] else {
+                    panic!()
+                };
                 (s.clone(), r[1].as_int().unwrap())
             })
             .collect();
@@ -534,7 +532,9 @@ mod tests {
     fn avg_returns_float() {
         let g = lineage();
         let t = exec(&g, "SELECT AVG(J.CPU) FROM (MATCH (j:Job) RETURN j AS J)");
-        let Datum::Val(Value::Float(avg)) = t.rows[0][0] else { panic!() };
+        let Datum::Val(Value::Float(avg)) = t.rows[0][0] else {
+            panic!()
+        };
         assert!((avg - 277.75).abs() < 1e-9);
     }
 
@@ -576,7 +576,9 @@ mod tests {
             .rows
             .iter()
             .map(|r| {
-                let Datum::Val(Value::Str(s)) = &r[0] else { panic!() };
+                let Datum::Val(Value::Str(s)) = &r[0] else {
+                    panic!()
+                };
                 (s.clone(), r[1].as_f64().unwrap())
             })
             .collect();
@@ -605,19 +607,14 @@ mod tests {
     fn unknown_column_errors() {
         let g = lineage();
         let q = parse("SELECT Z FROM (MATCH (j:Job) RETURN j AS J)").unwrap();
-        assert!(matches!(
-            execute(&g, &q),
-            Err(ExecError::UnknownColumn(_))
-        ));
+        assert!(matches!(execute(&g, &q), Err(ExecError::UnknownColumn(_))));
     }
 
     #[test]
     fn prop_on_scalar_column_errors() {
         let g = lineage();
-        let q = parse(
-            "SELECT T.CPU FROM (SELECT COUNT(*) AS T FROM (MATCH (j:Job) RETURN j))",
-        )
-        .unwrap();
+        let q = parse("SELECT T.CPU FROM (SELECT COUNT(*) AS T FROM (MATCH (j:Job) RETURN j))")
+            .unwrap();
         assert!(matches!(execute(&g, &q), Err(ExecError::NotAVertex(_))));
     }
 
@@ -700,7 +697,10 @@ mod tests {
     #[test]
     fn literal_projection() {
         let g = lineage();
-        let t = exec(&g, "SELECT 42, J FROM (MATCH (j:Job) RETURN j AS J) LIMIT 1");
+        let t = exec(
+            &g,
+            "SELECT 42, J FROM (MATCH (j:Job) RETURN j AS J) LIMIT 1",
+        );
         assert_eq!(t.rows[0][0].as_int(), Some(42));
     }
 

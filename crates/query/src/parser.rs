@@ -36,7 +36,11 @@ pub struct QueryParseError {
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -115,7 +119,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
                     toks.push((Tok::ArrowStart, start));
                     i += 2;
                 } else {
-                    return Err(err(i, "expected `-[` (only right-directed edges supported)"));
+                    return Err(err(
+                        i,
+                        "expected `-[` (only right-directed edges supported)",
+                    ));
                 }
             }
             b']' => {
@@ -217,7 +224,10 @@ impl P {
     }
 
     fn offset(&self) -> usize {
-        self.toks.get(self.pos).map(|(_, o)| *o).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(usize::MAX)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -455,7 +465,11 @@ impl P {
         self.expect_kw("RETURN")?;
         loop {
             let var = self.ident()?;
-            let alias = if self.eat_kw("AS") { self.ident()? } else { var.clone() };
+            let alias = if self.eat_kw("AS") {
+                self.ident()?
+            } else {
+                var.clone()
+            };
             pattern.returns.push((var, alias));
             if self.peek() == Some(&Tok::Comma) {
                 self.bump();
@@ -506,9 +520,7 @@ impl P {
 
     /// Parses `-[ [var] [:TYPE] [*L..U] ]->`, returning (etype, hops).
     #[allow(clippy::type_complexity)]
-    fn parse_edge(
-        &mut self,
-    ) -> Result<(Option<String>, Option<(usize, usize)>), QueryParseError> {
+    fn parse_edge(&mut self) -> Result<(Option<String>, Option<(usize, usize)>), QueryParseError> {
         self.expect(Tok::ArrowStart, "`-[`")?;
         // optional variable name (ignored — paths are not bound to vars)
         if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() != Some(&Tok::Dot) {
@@ -651,10 +663,9 @@ mod tests {
 
     #[test]
     fn where_clause() {
-        let q = parse(
-            "SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE A.CPU > 100 AND A.CPU <= 500",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE A.CPU > 100 AND A.CPU <= 500")
+                .unwrap();
         let Query::Select(s) = q else { panic!() };
         let w = s.where_clause.unwrap();
         assert_eq!(w.conjuncts.len(), 2);
@@ -677,10 +688,9 @@ mod tests {
 
     #[test]
     fn string_literals() {
-        let q = parse(
-            "SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE A.pipelineName = 'pipeline3'",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE A.pipelineName = 'pipeline3'")
+                .unwrap();
         let Query::Select(s) = q else { panic!() };
         let (_, _, r) = &s.where_clause.unwrap().conjuncts[0];
         assert_eq!(*r, Expr::Literal(Value::Str("pipeline3".into())));

@@ -309,7 +309,8 @@ impl MatchCtx<'_, '_> {
                         }
                     }
                     Some((lo, hi)) => {
-                        let reach = var_reach(self.g, from, lo, hi, self.etype_syms[*edge], *forward);
+                        let reach =
+                            var_reach(self.g, from, lo, hi, self.etype_syms[*edge], *forward);
                         for w in reach {
                             if self.label_ok(to_slot, w) {
                                 binding[to_slot] = Some(w);

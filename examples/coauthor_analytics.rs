@@ -57,9 +57,7 @@ fn main() {
     let start = Instant::now();
     let conn_nbors = k_hop_neighborhood(&connector, conn_author, 2, Direction::Forward).len();
     let conn_time = start.elapsed();
-    println!(
-        "\n2-step collaboration neighborhood of the most prolific author:"
-    );
+    println!("\n2-step collaboration neighborhood of the most prolific author:");
     println!("  filter graph:    {raw_nbors:>6} authors in {raw_time:?}");
     println!("  connector view:  {conn_nbors:>6} authors in {conn_time:?}");
 
@@ -89,6 +87,10 @@ fn main() {
     );
     println!(
         "  largest research groups (view): {:?}",
-        view_sizes.iter().take(5).map(|(_, s)| *s).collect::<Vec<_>>()
+        view_sizes
+            .iter()
+            .take(5)
+            .map(|(_, s)| *s)
+            .collect::<Vec<_>>()
     );
 }

@@ -26,7 +26,8 @@ fn main() {
         b.add_edge(jobs[src], f, "WRITES_TO");
         b.add_edge(f, jobs[dst], "IS_READ_BY");
     }
-    b.validate(&Schema::provenance()).expect("schema-conformant");
+    b.validate(&Schema::provenance())
+        .expect("schema-conformant");
     let graph = b.finish();
     println!(
         "input graph: {} vertices, {} edges",
@@ -46,10 +47,8 @@ fn main() {
 
     // 3. Let the workload analyzer pick and materialize views for this
     //    workload (it will choose the job-to-job 2-hop connector).
-    let report = kaskade.select_and_materialize(
-        std::slice::from_ref(&query),
-        &SelectionConfig::default(),
-    );
+    let report =
+        kaskade.select_and_materialize(std::slice::from_ref(&query), &SelectionConfig::default());
     println!("\nmaterialized views:");
     for id in &report.materialized {
         let view = kaskade.catalog().get(id).unwrap();
@@ -68,5 +67,8 @@ fn main() {
     );
     let view_result = kaskade.execute(&query).expect("query runs on view");
     assert_eq!(raw_result.len(), view_result.len());
-    println!("view-based result matches the raw result ({} rows)", view_result.len());
+    println!(
+        "view-based result matches the raw result ({} rows)",
+        view_result.len()
+    );
 }

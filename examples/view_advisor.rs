@@ -49,7 +49,10 @@ fn main() {
         std::slice::from_ref(&query),
         &SelectionConfig::default(),
     );
-    println!("\nscored candidates on prov (budget {} edges):", SelectionConfig::default().budget_edges);
+    println!(
+        "\nscored candidates on prov (budget {} edges):",
+        SelectionConfig::default().budget_edges
+    );
     for s in &result.scored {
         println!(
             "  {:<40} est {:>10.0} edges  improvement {:>7.1}  value {:>9.5}  -> {}",
@@ -70,10 +73,9 @@ fn main() {
     let soc = Dataset::SocLivejournal.generate(1, 42);
     let soc_stats = GraphStats::compute(&soc);
     let soc_schema = Dataset::SocLivejournal.schema();
-    let soc_query = parse(
-        "SELECT COUNT(*) FROM (MATCH (a:User)-[:FOLLOWS*1..4]->(b:User) RETURN a, b)",
-    )
-    .expect("parses");
+    let soc_query =
+        parse("SELECT COUNT(*) FROM (MATCH (a:User)-[:FOLLOWS*1..4]->(b:User) RETURN a, b)")
+            .expect("parses");
     let budget = (2 * soc.edge_count()) as u64;
     let soc_result = select_views(
         &soc,

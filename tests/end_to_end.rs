@@ -25,10 +25,8 @@ fn full_pipeline_on_prov() {
     assert!(e.candidates.len() >= 5);
 
     // selection materializes the summarizer and/or connector
-    let report = kaskade.select_and_materialize(
-        std::slice::from_ref(&query),
-        &SelectionConfig::default(),
-    );
+    let report =
+        kaskade.select_and_materialize(std::slice::from_ref(&query), &SelectionConfig::default());
     assert!(
         report
             .materialized
@@ -166,13 +164,8 @@ fn query_engine_and_algos_agree_on_reachability() {
     }
     let mut from_algos = 0usize;
     for v in g.vertices() {
-        from_algos += kaskade::algos::k_hop_neighborhood(
-            &g,
-            v,
-            3,
-            kaskade::algos::Direction::Forward,
-        )
-        .len();
+        from_algos +=
+            kaskade::algos::k_hop_neighborhood(&g, v, 3, kaskade::algos::Direction::Forward).len();
     }
     assert_eq!(from_query, from_algos);
     assert!(!anchors.is_empty());
@@ -203,12 +196,7 @@ fn prolog_walk_agrees_with_rust_dp_on_all_schemas() {
                         .has_solution(&format!("schemaKHopWalk('{src}', '{dst}', {k})"))
                         .unwrap();
                     let rust = schema.has_k_hop_walk(src, dst, k);
-                    assert_eq!(
-                        prolog,
-                        rust,
-                        "{}: {src}->{dst} k={k}",
-                        d.short_name()
-                    );
+                    assert_eq!(prolog, rust, "{}: {src}->{dst} k={k}", d.short_name());
                 }
             }
         }

@@ -7,7 +7,7 @@
 //! rewriting. Each is asserted literally here.
 
 use kaskade::core::{
-    base_database, assert_schema_facts, assert_query_facts, enumerate_views, find_chain,
+    assert_query_facts, assert_schema_facts, base_database, enumerate_views, find_chain,
     materialize_connector, rewrite_over_connector, Candidate, ConnectorDef,
 };
 use kaskade::graph::{GraphBuilder, Schema};
@@ -46,10 +46,10 @@ fn section_iv_a1_fact_set_is_exact() {
         assert!(db.has_solution(fact).unwrap(), "missing fact: {fact}");
     }
     let expected_false = [
-        "queryEdge(q_f1, q_f2)",                    // var-length, not an edge
-        "queryEdge(q_f1, q_j1)",                    // wrong direction
-        "schemaEdge('File', 'File', T)",            // no file-file edges
-        "schemaEdge('Job', 'Job', T)",              // no job-job edges
+        "queryEdge(q_f1, q_f2)",         // var-length, not an edge
+        "queryEdge(q_f1, q_j1)",         // wrong direction
+        "schemaEdge('File', 'File', T)", // no file-file edges
+        "schemaEdge('Job', 'Job', T)",   // no job-job edges
         "queryVariableLengthPath(q_j1, q_j2, L, U)",
     ];
     for fact in expected_false {

@@ -21,7 +21,9 @@ fn lineage_graph(max_jobs: usize) -> impl Strategy<Value = Graph> {
         // deterministic pseudo-random wiring from the seed, no rand dep
         let mut state = seed | 1;
         let mut next = move |m: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m.max(1)
         };
         let mut b = GraphBuilder::new();
