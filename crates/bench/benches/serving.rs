@@ -1,0 +1,41 @@
+//! Criterion bench for the serving runtime's hot read path: plan-key
+//! normalization, a warmed plan-cache execute, and snapshot cloning —
+//! the per-query costs every reader thread pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kaskade_core::{ConnectorDef, Kaskade, ViewDef};
+use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+use kaskade_graph::Schema;
+use kaskade_query::{listings::LISTING_1, parse};
+use kaskade_service::{plan_key, Engine};
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+
+    let query = parse(LISTING_1).unwrap();
+    group.bench_function("plan_key", |b| {
+        b.iter(|| black_box(plan_key(black_box(&query))))
+    });
+
+    let g = generate_provenance(&ProvenanceConfig::tiny(41).core_only());
+    let mut kaskade = Kaskade::new(g, Schema::provenance());
+    kaskade.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+
+    group.bench_function("snapshot_clone", |b| {
+        b.iter(|| black_box(kaskade.snapshot()))
+    });
+
+    let engine = Engine::from_kaskade(&kaskade);
+    engine.execute(&query).unwrap(); // warm the plan cache
+    group.bench_function("execute_cached_plan", |b| {
+        b.iter(|| black_box(engine.execute(black_box(&query)).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

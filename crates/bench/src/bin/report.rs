@@ -4,14 +4,17 @@
 //! ```text
 //! report [experiment] [dataset]
 //!
-//! experiments: table1 table2 table3 table4 fig3 fig5 fig6 fig7 fig8 enum all
+//! experiments: table1 table2 table3 table4 fig3 fig5 fig6 fig7 fig8 enum
+//!              serve all
 //! datasets:    prov dblp roadnet-usa soc-livejournal (default: all applicable)
 //! ```
 
 use std::env;
+use std::time::Duration;
 
 use kaskade_bench::experiments::{
-    enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, table3,
+    enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_throughput,
+    table3,
 };
 use kaskade_bench::setup::Env;
 use kaskade_bench::workload::QueryId;
@@ -42,6 +45,7 @@ fn main() {
         "fig7" => print_fig7(dataset),
         "fig8" => print_fig8(dataset),
         "enum" => print_enum(),
+        "serve" => print_serve(dataset),
         "all" => {
             table1();
             table2();
@@ -53,10 +57,11 @@ fn main() {
             print_fig7(None);
             print_fig8(None);
             print_enum();
+            print_serve(None);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|all] [dataset]");
+            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|serve|all] [dataset]");
             std::process::exit(2);
         }
     }
@@ -305,6 +310,41 @@ fn print_fig8(dataset: Option<Dataset>) {
         for (deg, count) in data.ccdf.iter().step_by(step) {
             println!("    {deg:>8} {count:>10}");
         }
+    }
+}
+
+fn print_serve(dataset: Option<Dataset>) {
+    header("SERVING: concurrent readers vs an active delta writer (kaskade-service)");
+    let d = dataset.unwrap_or(Dataset::Prov);
+    println!(
+        "  {} — blast-radius workload, closed-loop readers, one scripted delta every 2ms",
+        d.short_name()
+    );
+    println!(
+        "    {:>7} {:>9} {:>10} {:>11} {:>11} {:>7} {:>7} {:>9} {:>12}",
+        "readers", "reads", "reads/s", "p50", "p99", "writes", "epochs", "hit rate", "max lag"
+    );
+    for r in serve_throughput(
+        d,
+        SCALE,
+        SEED,
+        &[1, 2, 4, 8],
+        Duration::from_millis(400),
+        Duration::ZERO,
+        Duration::from_millis(2),
+    ) {
+        println!(
+            "    {:>7} {:>9} {:>10.0} {:>11} {:>11} {:>7} {:>7} {:>8.0}% {:>12}",
+            r.readers,
+            r.reads,
+            r.reads_per_sec,
+            format!("{:.1?}", r.p50),
+            format!("{:.1?}", r.p99),
+            r.writes,
+            r.epochs,
+            100.0 * r.cache_hit_rate,
+            format!("{:.1?}", r.max_refresh_lag),
+        );
     }
 }
 

@@ -2,15 +2,16 @@
 //! evaluation (§VII). Each returns plain data rows; the `report` binary
 //! formats them, and the Criterion benches time the hot paths.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kaskade_core::{
     cost::{erdos_renyi_estimate, path_count_estimate},
-    enumerate_views, procedural,
+    enumerate_views, procedural, Kaskade, SelectionConfig,
 };
 use kaskade_datasets::Dataset;
 use kaskade_graph::{degree_ccdf, power_law_exponent, GraphStats};
 use kaskade_query::parse;
+use kaskade_service::{drive, DriveConfig, Engine};
 
 use crate::setup::{k_hop_pair_count, Env};
 use crate::workload::{run, QueryId};
@@ -193,6 +194,85 @@ pub fn enumeration_ablation(dataset: Dataset, k_max: usize) -> EnumerationAblati
     }
 }
 
+/// One row of the concurrent-serving throughput experiment: N reader
+/// threads against an active delta writer on the `kaskade-service`
+/// engine.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Successful reads over the run.
+    pub reads: u64,
+    /// Successful reads per second of wall-clock time.
+    pub reads_per_sec: f64,
+    /// Median query latency.
+    pub p50: Duration,
+    /// 99th-percentile query latency.
+    pub p99: Duration,
+    /// Deltas the writer submitted (and the engine applied).
+    pub writes: u64,
+    /// Snapshot epochs published (write batches).
+    pub epochs: u64,
+    /// Plan-cache hit rate over the run.
+    pub cache_hit_rate: f64,
+    /// Worst enqueue→visibility refresh lag observed.
+    pub max_refresh_lag: Duration,
+}
+
+/// Concurrent-serving throughput: for each reader count, drive the
+/// serving engine for `duration` with a closed-loop reader pool and a
+/// writer submitting one scripted delta every `write_pause`
+/// (`read_pause` > 0 paces each reader to a fixed request rate
+/// instead). Views are selected for the workload first, so reads
+/// exercise the view-routing plan path. Every run starts from the same
+/// pre-materialized state.
+pub fn serve_throughput(
+    dataset: Dataset,
+    scale: usize,
+    seed: u64,
+    reader_counts: &[usize],
+    duration: Duration,
+    read_pause: Duration,
+    write_pause: Duration,
+) -> Vec<ServeRow> {
+    let graph = dataset.generate(scale, seed);
+    let mut kaskade = Kaskade::new(graph, dataset.schema());
+    let workload =
+        vec![parse(kaskade_query::listings::LISTING_1).expect("serving workload parses")];
+    kaskade.select_and_materialize(&workload, &SelectionConfig::default());
+    let base = kaskade.snapshot();
+
+    reader_counts
+        .iter()
+        .map(|&readers| {
+            let engine = Engine::new(base.clone());
+            let outcome = drive(
+                &engine,
+                &workload,
+                &DriveConfig {
+                    readers,
+                    duration,
+                    read_pause,
+                    write_pause,
+                    max_writes: 0,
+                    verify_consistency: false,
+                },
+            );
+            ServeRow {
+                readers,
+                reads: outcome.reads,
+                reads_per_sec: outcome.reads_per_sec(),
+                p50: outcome.report.p50,
+                p99: outcome.report.p99,
+                writes: outcome.writes,
+                epochs: outcome.report.epoch,
+                cache_hit_rate: outcome.report.plan_cache_hit_rate(),
+                max_refresh_lag: outcome.report.max_refresh_lag,
+            }
+        })
+        .collect()
+}
+
 /// One Table III row: dataset inventory.
 #[derive(Debug, Clone)]
 pub struct Table3Row {
@@ -310,6 +390,30 @@ mod tests {
         assert!(a.constrained_candidates > 0);
         assert!(a.procedural_paths > a.constrained_candidates);
         assert!(a.constrained_steps > 0);
+    }
+
+    #[test]
+    fn serve_throughput_reads_under_active_writer() {
+        // unoptimized builds take ~0.5s per blast-radius query; the run
+        // must span several rounds per reader for cache hits to show
+        let rows = serve_throughput(
+            Dataset::Prov,
+            1,
+            37,
+            &[4],
+            Duration::from_millis(1_500),
+            Duration::ZERO,
+            Duration::from_millis(2),
+        );
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.readers, 4);
+        assert!(r.reads > 0, "readers progressed: {r:?}");
+        assert!(r.writes > 0, "writer progressed: {r:?}");
+        assert!(r.epochs > 0, "snapshots published: {r:?}");
+        assert!(r.cache_hit_rate > 0.0, "plan cache warmed: {r:?}");
+        assert!(r.reads_per_sec > 0.0);
+        assert!(r.p99 >= r.p50);
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod materialize;
 mod rewrite;
 mod rules;
 mod selection;
+mod snapshot;
 mod views;
 
 pub use catalog::{Catalog, MaterializedView};
@@ -50,7 +51,7 @@ pub use facts::{
     assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,
 };
 pub use maintain::{
-    apply_delta, maintain_connector, AppliedDelta, GraphDelta, NewEdge, NewVertex, VRef,
+    apply_delta, maintain_connector, AppliedDelta, DeltaError, GraphDelta, NewEdge, NewVertex, VRef,
 };
 pub use materialize::{
     materialize, materialize_connector, materialize_source_sink, materialize_summarizer,
@@ -63,10 +64,11 @@ pub use rules::{
 pub use selection::{
     knapsack, select_views, KnapsackItem, ScoredView, SelectionConfig, SelectionResult,
 };
+pub use snapshot::Snapshot;
 pub use views::{AggOp, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef};
 
 use kaskade_graph::{Graph, GraphStats, Schema};
-use kaskade_query::{execute as execute_query, ExecError, Query, Table};
+use kaskade_query::{ExecError, Query, Table};
 
 /// A planned query: where it will run and at what estimated cost.
 #[derive(Debug, Clone)]
@@ -89,58 +91,70 @@ pub struct SelectionReport {
 }
 
 /// The Kaskade framework instance (Fig. 2).
+///
+/// `Kaskade` owns a read-only [`Snapshot`] (graph, schema, statistics,
+/// and view catalog, with all the read ops) and layers the `&mut`
+/// operations on top: [`Kaskade::materialize_view`],
+/// [`Kaskade::select_and_materialize`], and [`Kaskade::apply_delta`].
+/// Callers that only read can take a cheap [`Kaskade::snapshot`] and
+/// drop the borrow — the basis of the `kaskade-service` serving runtime.
 #[derive(Debug, Clone)]
 pub struct Kaskade {
-    graph: Graph,
-    schema: Schema,
-    stats: GraphStats,
-    catalog: Catalog,
+    snap: Snapshot,
 }
 
 impl Kaskade {
     /// Wraps a graph and its schema; computes the degree statistics the
     /// cost model maintains (§V-A "graph data properties").
     pub fn new(graph: Graph, schema: Schema) -> Self {
-        let stats = GraphStats::compute(&graph);
         Kaskade {
-            graph,
-            schema,
-            stats,
-            catalog: Catalog::new(),
+            snap: Snapshot::new(graph, schema),
         }
+    }
+
+    /// Wraps an existing snapshot (e.g. one produced by
+    /// [`Snapshot::with_delta`]) back into a mutable instance.
+    pub fn from_snapshot(snap: Snapshot) -> Self {
+        Kaskade { snap }
+    }
+
+    /// A cheap, immutable copy of the current state. O(#views): the
+    /// underlying graphs are shared, not duplicated.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snap.clone()
     }
 
     /// The raw graph.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.snap.graph()
     }
 
     /// The graph schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.snap.schema()
     }
 
     /// Raw-graph statistics.
     pub fn stats(&self) -> &GraphStats {
-        &self.stats
+        self.snap.stats()
     }
 
     /// The materialized-view catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.snap.catalog()
     }
 
     /// Enumerates view candidates for one query (§IV).
     pub fn enumerate(&self, query: &Query) -> Result<Enumeration, kaskade_prolog::PrologError> {
-        enumerate_views(query, &self.schema)
+        self.snap.enumerate(query)
     }
 
     /// Materializes a view directly (bypassing selection) and registers
     /// it in the catalog. Returns its catalog id.
     pub fn materialize_view(&mut self, def: ViewDef) -> String {
-        let graph = materialize(&self.graph, &def);
+        let graph = materialize(&self.snap.graph, &def);
         let id = def.id();
-        self.catalog.add(MaterializedView::new(def, graph));
+        self.snap.catalog.add(MaterializedView::new(def, graph));
         id
     }
 
@@ -151,7 +165,13 @@ impl Kaskade {
         workload: &[Query],
         cfg: &SelectionConfig,
     ) -> SelectionReport {
-        let result = select_views(&self.graph, &self.stats, &self.schema, workload, cfg);
+        let result = select_views(
+            &self.snap.graph,
+            &self.snap.stats,
+            &self.snap.schema,
+            workload,
+            cfg,
+        );
         let mut materialized = Vec::new();
         for def in result.chosen() {
             materialized.push(self.materialize_view(def.clone()));
@@ -162,45 +182,9 @@ impl Kaskade {
         }
     }
 
-    /// §V-C: view-based query rewriting. Enumerates candidates for the
-    /// query, keeps those whose views are materialized, and returns the
-    /// plan (original or rewritten) with the lowest estimated cost.
+    /// §V-C view-based query rewriting; see [`Snapshot::plan`].
     pub fn plan(&self, query: &Query) -> Result<PlannedQuery, kaskade_prolog::PrologError> {
-        let base_cost = cost::traversal_cost(self.graph.edge_count() as f64, query);
-        let mut best = PlannedQuery {
-            query: query.clone(),
-            view_id: None,
-            estimated_cost: base_cost,
-        };
-        let enumeration = self.enumerate(query)?;
-        for cand in &enumeration.candidates {
-            let (x, y) = match cand {
-                Candidate::KHopConnector { x, y, .. }
-                | Candidate::SameEdgeTypeConnector { x, y, .. } => (x, y),
-                _ => continue,
-            };
-            let Some(def) = cand.to_view_def() else {
-                continue;
-            };
-            let Some(view) = self.catalog.get(&def.id()) else {
-                continue; // prune candidates that are not materialized
-            };
-            let ViewDef::Connector(cdef) = &view.def else {
-                continue;
-            };
-            let Some(rewritten) = rewrite_over_connector(query, x, y, cdef, &self.schema) else {
-                continue;
-            };
-            let cost = cost::traversal_cost(view.graph.edge_count() as f64, &rewritten);
-            if cost < best.estimated_cost {
-                best = PlannedQuery {
-                    query: rewritten,
-                    view_id: Some(view.def.id()),
-                    estimated_cost: cost,
-                };
-            }
-        }
-        Ok(best)
+        self.snap.plan(query)
     }
 
     /// Applies an insert-only [`GraphDelta`] to the base graph and
@@ -208,35 +192,13 @@ impl Kaskade {
     /// (only affected sources are recomputed, see [`maintain`]), other
     /// views by re-materialization.
     pub fn apply_delta(&mut self, delta: &GraphDelta) {
-        let applied = maintain::apply_delta(&self.graph, delta);
-        let old_views: Vec<MaterializedView> = self.catalog.iter().cloned().collect();
-        let mut new_catalog = Catalog::new();
-        for view in old_views {
-            let refreshed = match &view.def {
-                ViewDef::Connector(c) => maintain_connector(&view.graph, &applied, c),
-                other => materialize(&applied.graph, other),
-            };
-            new_catalog.add(MaterializedView::new(view.def, refreshed));
-        }
-        self.graph = applied.graph;
-        self.stats = GraphStats::compute(&self.graph);
-        self.catalog = new_catalog;
+        self.snap = self.snap.with_delta(delta);
     }
 
     /// Plans and executes a query, automatically routing it to the best
-    /// materialized view (or the raw graph).
-    ///
-    /// Note on result identity: `Datum::Vertex` values are ids in the
-    /// graph the plan executed on (raw graph or view). Views preserve
-    /// all vertex *properties*, so portable results should project
-    /// properties (e.g. `A.name`) rather than raw vertices.
+    /// materialized view (or the raw graph); see [`Snapshot::execute`].
     pub fn execute(&self, query: &Query) -> Result<Table, KaskadeError> {
-        let planned = self.plan(query).map_err(KaskadeError::Inference)?;
-        let target = match &planned.view_id {
-            Some(id) => &self.catalog.get(id).expect("planned view exists").graph,
-            None => &self.graph,
-        };
-        execute_query(target, &planned.query).map_err(KaskadeError::Execution)
+        self.snap.execute(query)
     }
 }
 
@@ -247,6 +209,9 @@ pub enum KaskadeError {
     Inference(kaskade_prolog::PrologError),
     /// Query execution failed.
     Execution(ExecError),
+    /// A plan referenced a view id that is not in the catalog (e.g. a
+    /// cached plan executed against a snapshot that dropped the view).
+    UnknownView(String),
 }
 
 impl std::fmt::Display for KaskadeError {
@@ -254,6 +219,7 @@ impl std::fmt::Display for KaskadeError {
         match self {
             KaskadeError::Inference(e) => write!(f, "inference error: {e}"),
             KaskadeError::Execution(e) => write!(f, "execution error: {e}"),
+            KaskadeError::UnknownView(id) => write!(f, "unknown view in plan: {id}"),
         }
     }
 }

@@ -91,7 +91,109 @@ impl GraphDelta {
     pub fn is_empty(&self) -> bool {
         self.vertices.is_empty() && self.edges.is_empty()
     }
+
+    /// Checks that every edge reference resolves: [`VRef::New`] indices
+    /// must point into this delta's vertex list, and [`VRef::Existing`]
+    /// ids must be below `vertex_count` (the base graph's size at apply
+    /// time). [`apply_delta`] panics on dangling references; callers
+    /// that accept deltas from untrusted sources (the serving runtime)
+    /// validate first and reject instead.
+    pub fn validate(&self, vertex_count: usize) -> Result<(), DeltaError> {
+        for (i, e) in self.edges.iter().enumerate() {
+            for r in [e.src, e.dst] {
+                match r {
+                    VRef::Existing(v) if v.index() >= vertex_count => {
+                        return Err(DeltaError::DanglingExisting {
+                            edge: i,
+                            vertex: v,
+                            vertex_count,
+                        });
+                    }
+                    VRef::New(n) if n >= self.vertices.len() => {
+                        return Err(DeltaError::DanglingNew {
+                            edge: i,
+                            index: n,
+                            new_vertices: self.vertices.len(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `other` onto this delta, re-indexing `other`'s
+    /// [`VRef::New`] references past this delta's vertices. Applying the
+    /// merged delta once is equivalent to applying the two deltas in
+    /// sequence — the primitive behind write batching in the serving
+    /// runtime (one view refresh per batch instead of per delta).
+    pub fn merge(&mut self, other: &GraphDelta) {
+        let base = self.vertices.len();
+        let shift = |r: VRef| match r {
+            VRef::New(i) => VRef::New(i + base),
+            existing => existing,
+        };
+        self.vertices.extend(other.vertices.iter().cloned());
+        for e in &other.edges {
+            self.edges.push(NewEdge {
+                src: shift(e.src),
+                dst: shift(e.dst),
+                etype: e.etype.clone(),
+                props: e.props.clone(),
+            });
+        }
+    }
 }
+
+/// A structurally invalid [`GraphDelta`], reported by
+/// [`GraphDelta::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An edge referenced a base-graph vertex id past the graph's end.
+    DanglingExisting {
+        /// Index of the offending edge in [`GraphDelta::edges`].
+        edge: usize,
+        /// The out-of-range vertex reference.
+        vertex: VertexId,
+        /// The base graph's vertex count the delta was checked against.
+        vertex_count: usize,
+    },
+    /// An edge referenced a new-vertex index past the delta's own list.
+    DanglingNew {
+        /// Index of the offending edge in [`GraphDelta::edges`].
+        edge: usize,
+        /// The out-of-range [`VRef::New`] index.
+        index: usize,
+        /// Number of vertices the delta actually declares.
+        new_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::DanglingExisting {
+                edge,
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "delta edge {edge} references base vertex {vertex} but the graph has only {vertex_count} vertices"
+            ),
+            DeltaError::DanglingNew {
+                edge,
+                index,
+                new_vertices,
+            } => write!(
+                f,
+                "delta edge {edge} references new vertex {index} but the delta declares only {new_vertices}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 /// The result of applying a delta: the new base graph plus the resolved
 /// ids of the inserted vertices and edge endpoints.
@@ -348,6 +450,59 @@ mod tests {
             applied.graph.vertex_prop(VertexId(3), "bytes"),
             Some(&Value::Int(7))
         );
+    }
+
+    #[test]
+    fn merge_equals_sequential_application() {
+        let g = lineage_base();
+        // delta 1: new file written by the existing downstream job
+        let mut d1 = GraphDelta::new();
+        let f1 = d1.add_vertex("File", vec![]);
+        d1.add_edge(
+            VRef::Existing(VertexId(2)),
+            f1,
+            "WRITES_TO",
+            vec![("ts".into(), Value::Int(3))],
+        );
+        // delta 2: references both an existing vertex and its *own* new
+        // vertices, exercising the VRef::New re-indexing
+        let mut d2 = GraphDelta::new();
+        let j2 = d2.add_vertex("Job", vec![("CPU".into(), Value::Int(9))]);
+        d2.add_edge(VRef::Existing(VertexId(1)), j2, "IS_READ_BY", vec![]);
+        let f2 = d2.add_vertex("File", vec![]);
+        d2.add_edge(j2, f2, "WRITES_TO", vec![("ts".into(), Value::Int(4))]);
+
+        let sequential = apply_delta(&apply_delta(&g, &d1).graph, &d2).graph;
+        let mut merged = d1.clone();
+        merged.merge(&d2);
+        let batched = apply_delta(&g, &merged).graph;
+        assert_eq!(edge_fingerprint(&sequential), edge_fingerprint(&batched));
+        assert_eq!(sequential.vertex_count(), batched.vertex_count());
+        assert_eq!(
+            batched.vertex_prop(VertexId(4), "CPU"),
+            Some(&Value::Int(9))
+        );
+    }
+
+    #[test]
+    fn validate_catches_dangling_references() {
+        let g = lineage_base(); // 3 vertices
+        let mut ok = GraphDelta::new();
+        let v = ok.add_vertex("File", vec![]);
+        ok.add_edge(VRef::Existing(VertexId(2)), v, "WRITES_TO", vec![]);
+        assert_eq!(ok.validate(g.vertex_count()), Ok(()));
+
+        let mut dangling_existing = GraphDelta::new();
+        let v = dangling_existing.add_vertex("File", vec![]);
+        dangling_existing.add_edge(VRef::Existing(VertexId(99)), v, "WRITES_TO", vec![]);
+        let err = dangling_existing.validate(g.vertex_count()).unwrap_err();
+        assert!(matches!(err, DeltaError::DanglingExisting { .. }));
+        assert!(err.to_string().contains("only 3 vertices"));
+
+        let mut dangling_new = GraphDelta::new();
+        dangling_new.add_edge(VRef::New(0), VRef::New(1), "WRITES_TO", vec![]);
+        let err = dangling_new.validate(g.vertex_count()).unwrap_err();
+        assert!(matches!(err, DeltaError::DanglingNew { .. }));
     }
 
     #[test]

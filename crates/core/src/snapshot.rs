@@ -1,0 +1,227 @@
+//! The immutable read state of a Kaskade instance.
+//!
+//! [`Snapshot`] bundles everything query answering needs — the base
+//! [`Graph`], its [`Schema`] and [`GraphStats`], and the materialized
+//! view [`Catalog`] — behind a read-only API: [`Snapshot::plan`],
+//! [`Snapshot::execute`], and [`Snapshot::execute_planned`]. Because
+//! `Graph` shares its frozen payload on clone, `Snapshot::clone` is
+//! O(#views): cheap enough that a serving runtime can publish a fresh
+//! snapshot per write batch and hand `Arc<Snapshot>` clones to any
+//! number of concurrent readers (see the `kaskade-service` crate).
+//!
+//! Mutation lives on [`crate::Kaskade`] (`&mut` ops) and on the
+//! *functional* [`Snapshot::with_delta`], which returns the successor
+//! state without touching the original — the primitive behind snapshot
+//! isolation.
+
+use kaskade_graph::{Graph, GraphStats, Schema};
+use kaskade_query::{execute as execute_query, Query, Table};
+
+use crate::catalog::{Catalog, MaterializedView};
+use crate::maintain::{self, GraphDelta};
+use crate::materialize::materialize;
+use crate::rewrite::rewrite_over_connector;
+use crate::views::ViewDef;
+use crate::{cost, enumerate_views, Candidate, Enumeration, KaskadeError, PlannedQuery};
+
+/// An immutable, cheaply cloneable view of a Kaskade instance: base
+/// graph, schema, statistics, and the materialized-view catalog, plus
+/// every read-only operation of the framework (§V-C planning and
+/// execution). Cloning is O(#views) — the underlying graph storage is
+/// shared — and [`Snapshot::with_delta`] derives the successor state
+/// without touching the original, which is what makes snapshot
+/// isolation in `kaskade-service` cheap.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) graph: Graph,
+    pub(crate) schema: Schema,
+    pub(crate) stats: GraphStats,
+    pub(crate) catalog: Catalog,
+}
+
+impl Snapshot {
+    /// Wraps a graph and its schema with an empty catalog; computes the
+    /// degree statistics the cost model maintains (§V-A).
+    pub fn new(graph: Graph, schema: Schema) -> Self {
+        let stats = GraphStats::compute(&graph);
+        Snapshot {
+            graph,
+            schema,
+            stats,
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// The raw graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The graph schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Raw-graph statistics.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// The materialized-view catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Enumerates view candidates for one query (§IV).
+    pub fn enumerate(&self, query: &Query) -> Result<Enumeration, kaskade_prolog::PrologError> {
+        enumerate_views(query, &self.schema)
+    }
+
+    /// §V-C: view-based query rewriting. Enumerates candidates for the
+    /// query, keeps those whose views are materialized, and returns the
+    /// plan (original or rewritten) with the lowest estimated cost.
+    pub fn plan(&self, query: &Query) -> Result<PlannedQuery, kaskade_prolog::PrologError> {
+        let base_cost = cost::traversal_cost(self.graph.edge_count() as f64, query);
+        let mut best = PlannedQuery {
+            query: query.clone(),
+            view_id: None,
+            estimated_cost: base_cost,
+        };
+        let enumeration = self.enumerate(query)?;
+        for cand in &enumeration.candidates {
+            let (x, y) = match cand {
+                Candidate::KHopConnector { x, y, .. }
+                | Candidate::SameEdgeTypeConnector { x, y, .. } => (x, y),
+                _ => continue,
+            };
+            let Some(def) = cand.to_view_def() else {
+                continue;
+            };
+            let Some(view) = self.catalog.get(&def.id()) else {
+                continue; // prune candidates that are not materialized
+            };
+            let ViewDef::Connector(cdef) = &view.def else {
+                continue;
+            };
+            let Some(rewritten) = rewrite_over_connector(query, x, y, cdef, &self.schema) else {
+                continue;
+            };
+            let cost = cost::traversal_cost(view.graph.edge_count() as f64, &rewritten);
+            if cost < best.estimated_cost {
+                best = PlannedQuery {
+                    query: rewritten,
+                    view_id: Some(view.def.id()),
+                    estimated_cost: cost,
+                };
+            }
+        }
+        Ok(best)
+    }
+
+    /// Executes an already-planned query against this snapshot's graph
+    /// or view. Lets callers that cache [`PlannedQuery`]s (the
+    /// `kaskade-service` plan cache) skip re-planning; the plan must
+    /// have been produced against a snapshot with the same catalog.
+    pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<Table, KaskadeError> {
+        let target = match &planned.view_id {
+            Some(id) => {
+                let view = self
+                    .catalog
+                    .get(id)
+                    .ok_or_else(|| KaskadeError::UnknownView(id.clone()))?;
+                &view.graph
+            }
+            None => &self.graph,
+        };
+        execute_query(target, &planned.query).map_err(KaskadeError::Execution)
+    }
+
+    /// Plans and executes a query, automatically routing it to the best
+    /// materialized view (or the raw graph).
+    ///
+    /// Note on result identity: `Datum::Vertex` values are ids in the
+    /// graph the plan executed on (raw graph or view). Views preserve
+    /// all vertex *properties*, so portable results should project
+    /// properties (e.g. `A.name`) rather than raw vertices.
+    pub fn execute(&self, query: &Query) -> Result<Table, KaskadeError> {
+        let planned = self.plan(query).map_err(KaskadeError::Inference)?;
+        self.execute_planned(&planned)
+    }
+
+    /// Applies an insert-only [`GraphDelta`] and returns the successor
+    /// snapshot, leaving `self` untouched: the base graph grows, every
+    /// materialized view is refreshed (connectors incrementally — only
+    /// affected sources are recomputed, see [`maintain`] — other views
+    /// by re-materialization), and statistics are recomputed. Readers
+    /// holding the old snapshot keep a fully consistent state.
+    pub fn with_delta(&self, delta: &GraphDelta) -> Snapshot {
+        let applied = maintain::apply_delta(&self.graph, delta);
+        let mut catalog = Catalog::new();
+        for view in self.catalog.iter() {
+            let refreshed = match &view.def {
+                ViewDef::Connector(c) => maintain::maintain_connector(&view.graph, &applied, c),
+                other => materialize(&applied.graph, other),
+            };
+            catalog.add(MaterializedView::new(view.def.clone(), refreshed));
+        }
+        let stats = GraphStats::compute(&applied.graph);
+        Snapshot {
+            graph: applied.graph,
+            schema: self.schema.clone(),
+            stats,
+            catalog,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConnectorDef, Kaskade};
+    use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+    use kaskade_query::{listings::LISTING_1, parse};
+
+    fn snapshot(seed: u64) -> Snapshot {
+        let g = generate_provenance(&ProvenanceConfig::tiny(seed).core_only());
+        Snapshot::new(g, Schema::provenance())
+    }
+
+    #[test]
+    fn clone_is_shallow_and_consistent() {
+        let mut k = Kaskade::new(snapshot(11).graph.clone(), Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let s = k.snapshot();
+        let t = s.clone();
+        // clones answer identically
+        let q = parse(LISTING_1).unwrap();
+        let a = s.execute(&q).unwrap();
+        let b = t.execute(&q).unwrap();
+        assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
+    }
+
+    #[test]
+    fn with_delta_leaves_original_untouched() {
+        let s = snapshot(12);
+        let (v0, e0) = (s.graph.vertex_count(), s.graph.edge_count());
+        let mut d = GraphDelta::new();
+        d.add_vertex("Job", vec![]);
+        let next = s.with_delta(&d);
+        assert_eq!(s.graph.vertex_count(), v0);
+        assert_eq!(s.graph.edge_count(), e0);
+        assert_eq!(next.graph.vertex_count(), v0 + 1);
+        assert_eq!(next.stats.vertex_count, v0 + 1);
+    }
+
+    #[test]
+    fn execute_planned_rejects_foreign_view() {
+        let s = snapshot(13);
+        let planned = PlannedQuery {
+            query: parse(LISTING_1).unwrap(),
+            view_id: Some("connector:NOT_MATERIALIZED".into()),
+            estimated_cost: 1.0,
+        };
+        let err = s.execute_planned(&planned).unwrap_err();
+        assert!(matches!(err, KaskadeError::UnknownView(_)));
+        assert!(err.to_string().contains("NOT_MATERIALIZED"));
+    }
+}

@@ -170,17 +170,19 @@ impl GraphBuilder {
         }
 
         Graph {
-            interner: self.interner,
-            vtypes: self.vtypes,
-            vprops: self.vprops,
-            srcs: self.srcs,
-            dsts: self.dsts,
-            etypes: self.etypes,
-            eprops: self.eprops,
-            out_offsets,
-            out_edges,
-            in_offsets,
-            in_edges,
+            inner: std::sync::Arc::new(GraphInner {
+                interner: self.interner,
+                vtypes: self.vtypes,
+                vprops: self.vprops,
+                srcs: self.srcs,
+                dsts: self.dsts,
+                etypes: self.etypes,
+                eprops: self.eprops,
+                out_offsets,
+                out_edges,
+                in_offsets,
+                in_edges,
+            }),
         }
     }
 }
@@ -190,8 +192,20 @@ impl GraphBuilder {
 /// All adjacency queries are O(degree); type and property lookups are O(1)
 /// array reads (plus a binary search within the small per-object property
 /// list).
+///
+/// The frozen payload lives behind an [`std::sync::Arc`], so `Graph::clone` is O(1)
+/// and clones share storage: snapshots, materialized views, and serving
+/// runtimes can hand out copies freely without duplicating the CSR
+/// arrays. A `Graph` is never mutated after [`GraphBuilder::finish`];
+/// "updates" build a new graph (see `kaskade-core`'s delta maintenance).
 #[derive(Debug, Clone)]
 pub struct Graph {
+    inner: std::sync::Arc<GraphInner>,
+}
+
+/// The frozen CSR payload shared by all clones of a [`Graph`].
+#[derive(Debug)]
+struct GraphInner {
     interner: Interner,
     vtypes: Vec<Symbol>,
     vprops: Vec<PropMap>,
@@ -209,102 +223,102 @@ impl Graph {
     /// Number of vertices.
     #[inline]
     pub fn vertex_count(&self) -> usize {
-        self.vtypes.len()
+        self.inner.vtypes.len()
     }
 
     /// Number of edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.srcs.len()
+        self.inner.srcs.len()
     }
 
     /// Iterator over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
-        (0..self.vtypes.len() as u32).map(VertexId)
+        (0..self.inner.vtypes.len() as u32).map(VertexId)
     }
 
     /// Iterator over all edge ids.
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
-        (0..self.srcs.len() as u32).map(EdgeId)
+        (0..self.inner.srcs.len() as u32).map(EdgeId)
     }
 
     /// The interned type symbol of `v`.
     #[inline]
     pub fn vertex_type_sym(&self, v: VertexId) -> Symbol {
-        self.vtypes[v.index()]
+        self.inner.vtypes[v.index()]
     }
 
     /// The type name of `v`.
     #[inline]
     pub fn vertex_type(&self, v: VertexId) -> &str {
-        self.interner.resolve(self.vtypes[v.index()])
+        self.inner.interner.resolve(self.inner.vtypes[v.index()])
     }
 
     /// The interned type symbol of `e`.
     #[inline]
     pub fn edge_type_sym(&self, e: EdgeId) -> Symbol {
-        self.etypes[e.index()]
+        self.inner.etypes[e.index()]
     }
 
     /// The type name of `e`.
     #[inline]
     pub fn edge_type(&self, e: EdgeId) -> &str {
-        self.interner.resolve(self.etypes[e.index()])
+        self.inner.interner.resolve(self.inner.etypes[e.index()])
     }
 
     /// Source vertex of `e`.
     #[inline]
     pub fn edge_src(&self, e: EdgeId) -> VertexId {
-        self.srcs[e.index()]
+        self.inner.srcs[e.index()]
     }
 
     /// Destination vertex of `e`.
     #[inline]
     pub fn edge_dst(&self, e: EdgeId) -> VertexId {
-        self.dsts[e.index()]
+        self.inner.dsts[e.index()]
     }
 
     /// Looks up the symbol for a type/property name if it occurs anywhere
     /// in this graph.
     pub fn symbol(&self, name: &str) -> Option<Symbol> {
-        self.interner.get(name)
+        self.inner.interner.get(name)
     }
 
     /// Resolves an interned symbol to its string.
     pub fn resolve(&self, sym: Symbol) -> &str {
-        self.interner.resolve(sym)
+        self.inner.interner.resolve(sym)
     }
 
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {
-        (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize
+        (self.inner.out_offsets[v.index() + 1] - self.inner.out_offsets[v.index()]) as usize
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: VertexId) -> usize {
-        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+        (self.inner.in_offsets[v.index() + 1] - self.inner.in_offsets[v.index()]) as usize
     }
 
     /// Outgoing edges of `v` as `(edge, dst)` pairs.
     #[inline]
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
-        let lo = self.out_offsets[v.index()] as usize;
-        let hi = self.out_offsets[v.index() + 1] as usize;
-        self.out_edges[lo..hi]
+        let lo = self.inner.out_offsets[v.index()] as usize;
+        let hi = self.inner.out_offsets[v.index() + 1] as usize;
+        self.inner.out_edges[lo..hi]
             .iter()
-            .map(|&e| (e, self.dsts[e.index()]))
+            .map(|&e| (e, self.inner.dsts[e.index()]))
     }
 
     /// Incoming edges of `v` as `(edge, src)` pairs.
     #[inline]
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
-        let lo = self.in_offsets[v.index()] as usize;
-        let hi = self.in_offsets[v.index() + 1] as usize;
-        self.in_edges[lo..hi]
+        let lo = self.inner.in_offsets[v.index()] as usize;
+        let hi = self.inner.in_offsets[v.index() + 1] as usize;
+        self.inner.in_edges[lo..hi]
             .iter()
-            .map(|&e| (e, self.srcs[e.index()]))
+            .map(|&e| (e, self.inner.srcs[e.index()]))
     }
 
     /// Out-neighbors of `v` (may repeat under parallel edges).
@@ -319,45 +333,45 @@ impl Graph {
 
     /// A vertex property, by key name.
     pub fn vertex_prop(&self, v: VertexId, key: &str) -> Option<&Value> {
-        let k = self.interner.get(key)?;
-        self.vprops[v.index()].get(k)
+        let k = self.inner.interner.get(key)?;
+        self.inner.vprops[v.index()].get(k)
     }
 
     /// A vertex property, by interned key.
     #[inline]
     pub fn vertex_prop_sym(&self, v: VertexId, key: Symbol) -> Option<&Value> {
-        self.vprops[v.index()].get(key)
+        self.inner.vprops[v.index()].get(key)
     }
 
     /// An edge property, by key name.
     pub fn edge_prop(&self, e: EdgeId, key: &str) -> Option<&Value> {
-        let k = self.interner.get(key)?;
-        self.eprops[e.index()].get(k)
+        let k = self.inner.interner.get(key)?;
+        self.inner.eprops[e.index()].get(k)
     }
 
     /// An edge property, by interned key.
     #[inline]
     pub fn edge_prop_sym(&self, e: EdgeId, key: Symbol) -> Option<&Value> {
-        self.eprops[e.index()].get(key)
+        self.inner.eprops[e.index()].get(key)
     }
 
     /// All properties of a vertex.
     pub fn vertex_props(&self, v: VertexId) -> &PropMap {
-        &self.vprops[v.index()]
+        &self.inner.vprops[v.index()]
     }
 
     /// All properties of an edge.
     pub fn edge_props(&self, e: EdgeId) -> &PropMap {
-        &self.eprops[e.index()]
+        &self.inner.eprops[e.index()]
     }
 
     /// Iterator over vertices of the given type name. Empty if the type
     /// does not occur.
     pub fn vertices_of_type<'a>(&'a self, vtype: &str) -> Box<dyn Iterator<Item = VertexId> + 'a> {
-        match self.interner.get(vtype) {
+        match self.inner.interner.get(vtype) {
             Some(sym) => Box::new(
                 self.vertices()
-                    .filter(move |v| self.vtypes[v.index()] == sym),
+                    .filter(move |v| self.inner.vtypes[v.index()] == sym),
             ),
             None => Box::new(std::iter::empty()),
         }
@@ -409,16 +423,16 @@ impl Graph {
         let m = m.min(self.edge_count());
         let mut keep = vec![false; self.vertex_count()];
         for i in 0..m {
-            keep[self.srcs[i].index()] = true;
-            keep[self.dsts[i].index()] = true;
+            keep[self.inner.srcs[i].index()] = true;
+            keep[self.inner.dsts[i].index()] = true;
         }
         let mut b = GraphBuilder::new();
         let mut remap = vec![VertexId(u32::MAX); self.vertex_count()];
         for v in self.vertices() {
             if keep[v.index()] {
                 let nv = b.add_vertex(self.vertex_type(v));
-                for (k, val) in self.vprops[v.index()].iter() {
-                    b.set_vertex_prop(nv, self.interner.resolve(k), val.clone());
+                for (k, val) in self.inner.vprops[v.index()].iter() {
+                    b.set_vertex_prop(nv, self.inner.interner.resolve(k), val.clone());
                 }
                 remap[v.index()] = nv;
             }
@@ -426,12 +440,12 @@ impl Graph {
         for i in 0..m {
             let e = EdgeId(i as u32);
             let ne = b.add_edge(
-                remap[self.srcs[i].index()],
-                remap[self.dsts[i].index()],
+                remap[self.inner.srcs[i].index()],
+                remap[self.inner.dsts[i].index()],
                 self.edge_type(e),
             );
-            for (k, val) in self.eprops[i].iter() {
-                b.set_edge_prop(ne, self.interner.resolve(k), val.clone());
+            for (k, val) in self.inner.eprops[i].iter() {
+                b.set_edge_prop(ne, self.inner.interner.resolve(k), val.clone());
             }
         }
         b.finish()
@@ -555,6 +569,15 @@ mod tests {
         assert_eq!(g.vertex_count(), 0);
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        // O(1) clone: both handles point at the same frozen payload.
+        let g = lineage_toy();
+        let h = g.clone();
+        assert!(std::sync::Arc::ptr_eq(&g.inner, &h.inner));
+        assert_eq!(h.vertex_count(), g.vertex_count());
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub enum PrologError {
     DepthLimitExceeded(usize),
     /// A goal was not callable (e.g. calling an integer).
     NotCallable(String),
+    /// A clause head had no functor (e.g. a bare variable or integer),
+    /// so it cannot be stored under a predicate.
+    MalformedClause(String),
 }
 
 impl fmt::Display for PrologError {
@@ -60,6 +63,9 @@ impl fmt::Display for PrologError {
                 write!(f, "resolution depth limit exceeded ({n})")
             }
             PrologError::NotCallable(t) => write!(f, "goal not callable: {t}"),
+            PrologError::MalformedClause(h) => {
+                write!(f, "clause head must have a functor, got: {h}")
+            }
         }
     }
 }
@@ -185,17 +191,25 @@ impl Database {
         let clauses = parse_program(src)?;
         let n = clauses.len();
         for c in clauses {
-            self.assert_clause(c);
+            self.assert_clause(c)?;
         }
         Ok(n)
     }
 
     /// Adds a parsed clause at the end of its predicate (assertz).
-    pub fn assert_clause(&mut self, clause: Clause) {
+    /// Fails with [`PrologError::MalformedClause`] if the head is not an
+    /// atom or compound term (e.g. a bare variable or integer).
+    pub fn assert_clause(&mut self, clause: Clause) -> Result<(), PrologError> {
         let pred = match clause.head.functor() {
             Some((f, a)) => (f.to_string(), a),
-            None => panic!("clause head must have a functor"),
+            None => return Err(PrologError::MalformedClause(clause.head.to_string())),
         };
+        self.insert_clause(pred, clause);
+        Ok(())
+    }
+
+    /// Stores a clause whose predicate has already been resolved.
+    fn insert_clause(&mut self, pred: (String, usize), clause: Clause) {
         let key = match &clause.head {
             Term::Compound(_, args) => arg_key(&args[0]),
             _ => None,
@@ -208,17 +222,21 @@ impl Database {
 
     /// Adds a ground fact `functor(args...)`.
     pub fn add_fact(&mut self, functor: &str, args: Vec<Term>) {
+        let pred = (functor.to_string(), args.len());
         let head = if args.is_empty() {
             Term::atom(functor)
         } else {
             Term::Compound(functor.to_string(), args)
         };
-        self.assert_clause(Clause {
-            head,
-            body: vec![],
-            nvars: 0,
-            var_names: vec![],
-        });
+        self.insert_clause(
+            pred,
+            Clause {
+                head,
+                body: vec![],
+                nvars: 0,
+                var_names: vec![],
+            },
+        );
     }
 
     /// Declares `functor/arity` as dynamic: calling it with zero clauses
@@ -1318,5 +1336,25 @@ mod tests {
         let (sols, steps) = d.query_with_stats("p(X)").unwrap();
         assert_eq!(sols.len(), 2);
         assert!(steps > 0);
+    }
+
+    #[test]
+    fn malformed_clause_head_is_an_error_not_a_panic() {
+        let mut d = Database::new();
+        for head in [Term::Var(0), Term::int(42)] {
+            let err = d
+                .assert_clause(Clause {
+                    head,
+                    body: vec![],
+                    nvars: 1,
+                    var_names: vec![],
+                })
+                .unwrap_err();
+            assert!(matches!(err, PrologError::MalformedClause(_)));
+            assert!(err.to_string().contains("clause head must have a functor"));
+        }
+        // the database stays usable after the rejection
+        d.add_fact("p", vec![Term::int(1)]);
+        assert!(d.has_solution("p(1)").unwrap());
     }
 }

@@ -1,0 +1,452 @@
+//! The serving engine: concurrent readers over epoch-published
+//! snapshots, a single background writer applying delta batches.
+//!
+//! ```text
+//!            submit(delta)                 publish(epoch+1)
+//!  clients ───────────────► queue ─► writer worker ─► SnapshotCell
+//!                                   (merge batch,         │ load
+//!                                    with_delta,          ▼
+//!                                    refresh views)   Arc<EpochSnapshot>
+//!  readers ◄──────────────────────────────────────────────┘
+//!           execute(): plan-cache lookup → execute_planned
+//! ```
+//!
+//! Readers never block writers and writers never block readers: queries
+//! run against an immutable `Arc<EpochSnapshot>`, and the writer builds
+//! the successor state off to the side before atomically publishing it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, Snapshot};
+use kaskade_query::{Query, Table};
+
+use crate::metrics::{Metrics, MetricsReport};
+use crate::plan_cache::{plan_key, PlanCache};
+use crate::snapshot::{EpochSnapshot, Reader, SnapshotCell};
+
+/// Tuning knobs of the [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum number of queued deltas merged into one apply+publish
+    /// cycle. Larger batches amortize view refresh and stats
+    /// recomputation; smaller batches reduce refresh lag.
+    pub max_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { max_batch: 64 }
+    }
+}
+
+enum Msg {
+    Delta(Box<GraphDelta>, Instant),
+    Flush(mpsc::Sender<u64>),
+}
+
+/// Why [`Engine::submit`] refused a delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The delta is structurally broken (a [`kaskade_core::VRef::New`]
+    /// index past its own vertex list); it could never apply.
+    Invalid(DeltaError),
+    /// The writer worker is gone (the engine is shutting down).
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(e) => write!(f, "invalid delta: {e}"),
+            SubmitError::Closed => write!(f, "engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// State shared between the engine handle, its readers, and the writer
+/// worker.
+#[derive(Debug)]
+struct Shared {
+    cell: Arc<SnapshotCell>,
+    cache: PlanCache,
+    metrics: Metrics,
+    queued: AtomicU64,
+}
+
+/// The concurrent serving runtime.
+///
+/// Cheap to share (`Engine` is `Sync`; wrap it in an `Arc` or use
+/// scoped threads). Reads go through [`Engine::execute`] or a
+/// per-thread [`Engine::reader`]; writes through [`Engine::submit`].
+/// Dropping the engine shuts the writer worker down after it drains
+/// the queue.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    tx: mpsc::Sender<Msg>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Serves the given state (epoch 0) with default tuning.
+    pub fn new(state: Snapshot) -> Self {
+        Self::with_config(state, EngineConfig::default())
+    }
+
+    /// Serves the current state of a [`Kaskade`] instance (the instance
+    /// itself is left untouched; the engine evolves its own copy).
+    pub fn from_kaskade(kaskade: &Kaskade) -> Self {
+        Self::new(kaskade.snapshot())
+    }
+
+    /// Serves the given state (epoch 0) with explicit tuning.
+    pub fn with_config(state: Snapshot, config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cell: Arc::new(SnapshotCell::new(state)),
+            cache: PlanCache::new(),
+            metrics: Metrics::new(),
+            queued: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel();
+        let worker_shared = Arc::clone(&shared);
+        let max_batch = config.max_batch.max(1);
+        let worker = std::thread::Builder::new()
+            .name("kaskade-writer".into())
+            .spawn(move || writer_loop(worker_shared, rx, max_batch))
+            .expect("spawn writer worker");
+        Engine {
+            shared,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// A per-thread read handle with an epoch-validated snapshot cache
+    /// (the lock-free hot path; see [`Reader`]).
+    pub fn reader(&self) -> Reader {
+        Reader::new(Arc::clone(&self.shared.cell))
+    }
+
+    /// Queues an insert-only delta for the writer worker. Returns
+    /// immediately; the delta becomes visible to readers when its batch
+    /// is published (see [`Engine::flush`] to wait for that).
+    ///
+    /// Self-referential validity ([`kaskade_core::VRef::New`] indices)
+    /// is checked here; references to base-graph vertices are checked
+    /// by the worker at apply time, where the graph size is known
+    /// exactly — a delta rejected there is dropped and counted in
+    /// [`MetricsReport::deltas_rejected`] rather than crashing the
+    /// engine.
+    pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
+        // usize::MAX vertex bound: only the New-index checks can fail
+        delta.validate(usize::MAX).map_err(SubmitError::Invalid)?;
+        self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(Msg::Delta(Box::new(delta), Instant::now()))
+            .map_err(|_| {
+                self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+                SubmitError::Closed
+            })
+    }
+
+    /// Waits until every previously submitted delta is applied and
+    /// published; returns the epoch that made them visible. If the
+    /// engine is already shut down, returns the last published epoch.
+    pub fn flush(&self) -> u64 {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.tx.send(Msg::Flush(ack_tx)).is_err() {
+            return self.shared.cell.epoch();
+        }
+        ack_rx.recv().unwrap_or_else(|_| self.shared.cell.epoch())
+    }
+
+    /// Deltas submitted but not yet published.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queued.load(Ordering::Relaxed)
+    }
+
+    /// Plans (through the per-epoch plan cache) and executes `query`
+    /// against the current snapshot.
+    pub fn execute(&self, query: &Query) -> Result<Table, KaskadeError> {
+        let snap = self.shared.cell.load();
+        execute_at(&self.shared, &snap, query)
+    }
+
+    /// Like [`Engine::execute`], but against the reader's cached
+    /// snapshot — the zero-lock steady-state read path.
+    pub fn execute_with(&self, reader: &mut Reader, query: &Query) -> Result<Table, KaskadeError> {
+        let snap = Arc::clone(reader.snapshot());
+        execute_at(&self.shared, &snap, query)
+    }
+
+    /// A point-in-time metrics report (counters, latency quantiles,
+    /// refresh lag, plan-cache hit rate, current epoch).
+    pub fn metrics(&self) -> MetricsReport {
+        let mut r = self.shared.metrics.report();
+        r.epoch = self.shared.cell.epoch();
+        r.plan_cache_hits = self.shared.cache.hits();
+        r.plan_cache_misses = self.shared.cache.misses();
+        r
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // closing the channel is the shutdown signal; the worker drains
+        // whatever is still queued, publishes, and exits
+        let (tx, _) = mpsc::channel();
+        drop(std::mem::replace(&mut self.tx, tx));
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Plans `query` via the shared per-epoch cache and executes it against
+/// `snap`. The whole call touches no lock except the cache probe.
+fn execute_at(shared: &Shared, snap: &EpochSnapshot, query: &Query) -> Result<Table, KaskadeError> {
+    let start = Instant::now();
+    let key = plan_key(query);
+    let planned = match shared.cache.get(snap.epoch, &key) {
+        Some(plan) => plan,
+        None => {
+            let plan = Arc::new(snap.state.plan(query).map_err(KaskadeError::Inference)?);
+            shared.cache.insert(snap.epoch, key, Arc::clone(&plan));
+            plan
+        }
+    };
+    match snap.state.execute_planned(&planned) {
+        Ok(table) => {
+            shared.metrics.record_query(start.elapsed());
+            Ok(table)
+        }
+        Err(e) => {
+            shared.metrics.record_query_error();
+            Err(e)
+        }
+    }
+}
+
+/// The single-writer worker: blocks on the queue, merges up to
+/// `max_batch` queued deltas into one [`GraphDelta`], applies it with
+/// incremental view maintenance, and publishes the successor snapshot.
+fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
+    // the worker's working state always equals the published snapshot
+    let mut state = shared.cell.load().state.clone();
+    let mut open = true;
+    while open {
+        let first = match rx.recv() {
+            Ok(msg) => Some(msg),
+            Err(_) => {
+                open = false;
+                None
+            }
+        };
+        let mut batch = GraphDelta::new();
+        let mut batched = 0usize;
+        let mut rejected = 0usize;
+        let mut oldest: Option<Instant> = None;
+        let mut acks: Vec<mpsc::Sender<u64>> = Vec::new();
+        let mut pending = first;
+        loop {
+            match pending.take() {
+                Some(Msg::Delta(delta, enqueued)) => {
+                    // exact validity check at the only point where the
+                    // apply-time graph size is known: base graph plus
+                    // the vertices earlier deltas of this batch add
+                    // (sequential-apply equivalence of merge). A bad
+                    // delta is dropped and counted, never applied — it
+                    // must not kill the worker and with it the engine.
+                    let bound = state.graph().vertex_count() + batch.vertices.len();
+                    if delta.validate(bound).is_err() {
+                        rejected += 1;
+                    } else {
+                        batch.merge(&delta);
+                        batched += 1;
+                        oldest.get_or_insert(enqueued);
+                        if batched >= max_batch {
+                            break;
+                        }
+                    }
+                }
+                Some(Msg::Flush(ack)) => acks.push(ack),
+                None => {}
+            }
+            match rx.try_recv() {
+                Ok(msg) => pending = Some(msg),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        if rejected > 0 {
+            shared.metrics.record_rejected(rejected);
+        }
+        if batched > 0 {
+            let apply_start = Instant::now();
+            state = state.with_delta(&batch);
+            let epoch = shared.cell.publish(state.clone());
+            shared.cache.promote(epoch);
+            let lag = oldest.map(|t| t.elapsed()).unwrap_or_default();
+            shared
+                .metrics
+                .record_refresh(batched, apply_start.elapsed(), lag);
+        }
+        if batched + rejected > 0 {
+            shared
+                .queued
+                .fetch_sub((batched + rejected) as u64, Ordering::Relaxed);
+        }
+        for ack in acks {
+            let _ = ack.send(shared.cell.epoch());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_core::{ConnectorDef, VRef, ViewDef};
+    use kaskade_graph::{Graph, GraphBuilder, Schema, Value, VertexId};
+    use kaskade_query::parse;
+
+    fn lineage() -> Graph {
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.finish()
+    }
+
+    fn count_query() -> Query {
+        parse(
+            "SELECT COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) \
+             (f:File)-[:IS_READ_BY]->(b:Job) RETURN a AS A, b AS B)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn submit_flush_advances_epoch_and_result() {
+        let mut k = Kaskade::new(lineage(), Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let engine = Engine::from_kaskade(&k);
+        let q = count_query();
+        let before = engine.execute(&q).unwrap();
+        assert_eq!(before.scalar().unwrap().as_int(), Some(1));
+        assert_eq!(engine.epoch(), 0);
+
+        let mut d = GraphDelta::new();
+        let f = d.add_vertex("File", vec![]);
+        let j = d.add_vertex("Job", vec![]);
+        d.add_edge(
+            VRef::Existing(VertexId(2)),
+            f,
+            "WRITES_TO",
+            vec![("ts".into(), Value::Int(7))],
+        );
+        d.add_edge(f, j, "IS_READ_BY", vec![("ts".into(), Value::Int(8))]);
+        engine.submit(d).unwrap();
+        let epoch = engine.flush();
+        assert!(epoch >= 1);
+        assert_eq!(engine.queue_depth(), 0);
+        let after = engine.execute(&q).unwrap();
+        assert_eq!(after.scalar().unwrap().as_int(), Some(2));
+        // the refreshed connector view also reflects the new pair
+        let snap = engine.snapshot();
+        let view = snap.state.catalog().get("connector:JOB_TO_JOB_2_HOP");
+        assert_eq!(view.unwrap().graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache() {
+        let engine = Engine::new(Snapshot::new(lineage(), Schema::provenance()));
+        let q = count_query();
+        for _ in 0..5 {
+            engine.execute(&q).unwrap();
+        }
+        let report = engine.metrics();
+        assert_eq!(report.queries, 5);
+        assert_eq!(report.plan_cache_misses, 1);
+        assert_eq!(report.plan_cache_hits, 4);
+        assert!(report.plan_cache_hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn reader_handle_serves_without_flush() {
+        let engine = Engine::new(Snapshot::new(lineage(), Schema::provenance()));
+        let mut reader = engine.reader();
+        let q = count_query();
+        let t = engine.execute_with(&mut reader, &q).unwrap();
+        assert_eq!(t.scalar().unwrap().as_int(), Some(1));
+        // submit + flush, then the same reader observes the new epoch
+        let mut d = GraphDelta::new();
+        d.add_vertex("Job", vec![]);
+        engine.submit(d).unwrap();
+        engine.flush();
+        assert_eq!(reader.snapshot().epoch, engine.epoch());
+    }
+
+    #[test]
+    fn malformed_deltas_are_rejected_not_fatal() {
+        let engine = Engine::new(Snapshot::new(lineage(), Schema::provenance()));
+        // self-referentially broken: refused synchronously
+        let mut dangling_new = GraphDelta::new();
+        dangling_new.add_edge(VRef::New(0), VRef::New(1), "WRITES_TO", vec![]);
+        assert!(matches!(
+            engine.submit(dangling_new),
+            Err(SubmitError::Invalid(_))
+        ));
+        // dangling base reference: only detectable at apply time, so it
+        // is dropped by the worker and counted — never a panic
+        let mut dangling_existing = GraphDelta::new();
+        let v = dangling_existing.add_vertex("File", vec![]);
+        dangling_existing.add_edge(VRef::Existing(VertexId(999)), v, "WRITES_TO", vec![]);
+        engine.submit(dangling_existing).unwrap();
+        engine.flush();
+        assert_eq!(engine.metrics().deltas_rejected, 1);
+        assert_eq!(engine.queue_depth(), 0);
+        // the engine still serves reads and accepts valid writes
+        let mut ok = GraphDelta::new();
+        ok.add_vertex("Job", vec![]);
+        engine.submit(ok).unwrap();
+        engine.flush();
+        assert_eq!(engine.snapshot().state.graph().vertex_count(), 4);
+        assert!(engine.execute(&count_query()).is_ok());
+    }
+
+    #[test]
+    fn drop_drains_pending_writes() {
+        let state = Snapshot::new(lineage(), Schema::provenance());
+        let engine = Engine::new(state);
+        for _ in 0..10 {
+            let mut d = GraphDelta::new();
+            d.add_vertex("File", vec![]);
+            engine.submit(d).unwrap();
+        }
+        let cell = Arc::clone(&engine.shared.cell);
+        drop(engine);
+        // all 10 vertices landed (possibly across several batches)
+        let snap = cell.load();
+        assert_eq!(snap.state.graph().vertex_count(), 13);
+    }
+}

@@ -1,0 +1,71 @@
+//! # kaskade-service
+//!
+//! The concurrent serving runtime of the Kaskade reproduction: the
+//! layer that lets many reader threads execute queries over
+//! materialized graph views *while* insert-only deltas stream in —
+//! the "heavy traffic" counterpart to `kaskade-core`'s batch pipeline.
+//!
+//! Three ideas, three modules:
+//!
+//! - **Snapshot isolation** ([`snapshot`]): the engine publishes
+//!   immutable `Arc<EpochSnapshot>` states (base graph + view catalog +
+//!   statistics, all structurally shared). A query runs entirely
+//!   against one snapshot; per-thread [`Reader`] handles revalidate
+//!   their cached snapshot with a single atomic epoch load, so
+//!   steady-state snapshot access takes no lock — the plan-cache probe
+//!   is the one short critical section left on the read path.
+//! - **Delta ingestion** ([`engine`]): writes are queued
+//!   [`GraphDelta`]s. A single background worker merges them into
+//!   batches ([`GraphDelta::merge`]), applies them with incremental
+//!   connector maintenance (`kaskade-core::maintain`), and atomically
+//!   publishes the successor snapshot. Readers never block writers and
+//!   vice versa.
+//! - **Plan caching** ([`plan_cache`]): `plan()` results are memoized
+//!   per `(epoch, alpha-normalized query)`, with hit/miss counters
+//!   surfaced through [`metrics`].
+//!
+//! ```
+//! use kaskade_core::{GraphDelta, Kaskade};
+//! use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+//! use kaskade_graph::Schema;
+//! use kaskade_query::{listings::LISTING_1, parse};
+//! use kaskade_service::Engine;
+//!
+//! let g = generate_provenance(&ProvenanceConfig::tiny(7).core_only());
+//! let engine = Engine::from_kaskade(&Kaskade::new(g, Schema::provenance()));
+//!
+//! // any number of readers, zero read-path locking
+//! let query = parse(LISTING_1).unwrap();
+//! let before = engine.execute(&query).unwrap();
+//!
+//! // writes land asynchronously; flush() waits for visibility
+//! let mut delta = GraphDelta::new();
+//! delta.add_vertex("Job", vec![]);
+//! engine.submit(delta).unwrap();
+//! engine.flush();
+//! assert_eq!(engine.epoch(), 1);
+//! assert_eq!(engine.metrics().deltas_applied, 1);
+//! # drop(before);
+//! ```
+//!
+//! The `kaskade serve` CLI mode and the `kaskade-bench` concurrent
+//! throughput experiment both drive this engine through
+//! [`drive()`](drive::drive).
+//!
+//! [`GraphDelta`]: kaskade_core::GraphDelta
+//! [`GraphDelta::merge`]: kaskade_core::GraphDelta::merge
+
+#![warn(missing_docs)]
+
+pub mod drive;
+pub mod engine;
+pub mod metrics;
+pub mod plan_cache;
+pub mod snapshot;
+pub mod stream;
+
+pub use drive::{drive, snapshot_is_consistent, DriveConfig, DriveOutcome};
+pub use engine::{Engine, EngineConfig, SubmitError};
+pub use metrics::{LatencyHistogram, Metrics, MetricsReport};
+pub use plan_cache::{plan_key, PlanCache};
+pub use snapshot::{EpochSnapshot, Reader, SnapshotCell};

@@ -1,0 +1,259 @@
+//! Serving metrics: query throughput, latency quantiles, write-path
+//! refresh lag, and plan-cache effectiveness.
+//!
+//! All counters are lock-free atomics updated on the hot paths; the
+//! latency distribution is a fixed array of power-of-two nanosecond
+//! buckets (a log-scale histogram), so recording a sample is one atomic
+//! increment and quantiles are a 64-entry scan at report time. Reports
+//! are point-in-time copies ([`MetricsReport`]) — grab one whenever, the
+//! serving threads never block on it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds; 64 buckets cover any `u64` duration).
+const BUCKETS: usize = 64;
+
+/// A log-scale latency histogram with atomic buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, d: Duration) {
+        let nanos = (d.as_nanos() as u64).max(1);
+        let idx = (63 - nanos.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the q-th sample (within 2x of the true value).
+    /// Returns `Duration::ZERO` with no samples.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                let upper = 1u128 << (i + 1);
+                return Duration::from_nanos(upper.min(u64::MAX as u128) as u64);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+}
+
+/// Live serving counters shared by all engine threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    queries: AtomicU64,
+    query_errors: AtomicU64,
+    latency: LatencyHistogram,
+    deltas_applied: AtomicU64,
+    deltas_rejected: AtomicU64,
+    batches_published: AtomicU64,
+    last_refresh_nanos: AtomicU64,
+    max_lag_nanos: AtomicU64,
+    last_lag_nanos: AtomicU64,
+}
+
+impl Metrics {
+    /// An all-zero metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served query and its latency.
+    pub fn record_query(&self, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Records a failed query.
+    pub fn record_query_error(&self) {
+        self.query_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records deltas the writer dropped as invalid (dangling vertex
+    /// references that could never apply).
+    pub fn record_rejected(&self, deltas: usize) {
+        self.deltas_rejected
+            .fetch_add(deltas as u64, Ordering::Relaxed);
+    }
+
+    /// Records one applied write batch: how many deltas it merged, how
+    /// long apply+publish took, and the refresh lag (enqueue of the
+    /// oldest delta in the batch → visibility to readers).
+    pub fn record_refresh(&self, deltas: usize, apply: Duration, lag: Duration) {
+        self.deltas_applied
+            .fetch_add(deltas as u64, Ordering::Relaxed);
+        self.batches_published.fetch_add(1, Ordering::Relaxed);
+        self.last_refresh_nanos
+            .store(apply.as_nanos() as u64, Ordering::Relaxed);
+        let lag = lag.as_nanos() as u64;
+        self.last_lag_nanos.store(lag, Ordering::Relaxed);
+        self.max_lag_nanos.fetch_max(lag, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter, with derived quantiles.
+    /// `plan_cache_*` and `epoch` are stitched in by the engine, which
+    /// owns those components.
+    pub(crate) fn report(&self) -> MetricsReport {
+        MetricsReport {
+            queries: self.queries.load(Ordering::Relaxed),
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+            p50: self.latency.quantile(0.50),
+            p99: self.latency.quantile(0.99),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
+            batches_published: self.batches_published.load(Ordering::Relaxed),
+            last_refresh: Duration::from_nanos(self.last_refresh_nanos.load(Ordering::Relaxed)),
+            last_refresh_lag: Duration::from_nanos(self.last_lag_nanos.load(Ordering::Relaxed)),
+            max_refresh_lag: Duration::from_nanos(self.max_lag_nanos.load(Ordering::Relaxed)),
+            epoch: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the engine's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Queries served successfully.
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub query_errors: u64,
+    /// Median query latency (log-bucket upper bound).
+    pub p50: Duration,
+    /// 99th-percentile query latency (log-bucket upper bound).
+    pub p99: Duration,
+    /// Individual deltas applied by the write path.
+    pub deltas_applied: u64,
+    /// Deltas dropped as invalid (dangling vertex references).
+    pub deltas_rejected: u64,
+    /// Write batches published (snapshot epochs minted).
+    pub batches_published: u64,
+    /// Apply+publish duration of the most recent batch.
+    pub last_refresh: Duration,
+    /// Enqueue→visibility lag of the most recent batch.
+    pub last_refresh_lag: Duration,
+    /// Worst enqueue→visibility lag observed.
+    pub max_refresh_lag: Duration,
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+}
+
+impl MetricsReport {
+    /// `hits / (hits + misses)`, or 0.0 before any lookup.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "queries served     {} ({} errors)",
+            self.queries, self.query_errors
+        )?;
+        writeln!(
+            f,
+            "query latency      p50 {:?}  p99 {:?}",
+            self.p50, self.p99
+        )?;
+        writeln!(
+            f,
+            "plan cache         {} hits / {} misses ({:.0}% hit rate)",
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            100.0 * self.plan_cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "write path         {} deltas in {} batches (epoch {}, {} rejected)",
+            self.deltas_applied, self.batches_published, self.epoch, self.deltas_rejected
+        )?;
+        write!(
+            f,
+            "refresh            last {:?} (lag {:?}, max lag {:?})",
+            self.last_refresh, self.last_refresh_lag, self.max_refresh_lag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for micros in [1u64, 10, 100, 100, 100, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 6);
+        let p50 = h.quantile(0.5);
+        // the median sample is 100µs; the log-bucket upper bound is
+        // within 2x above it
+        assert!(p50 >= Duration::from_micros(100) && p50 <= Duration::from_micros(200));
+        assert!(h.quantile(1.0) >= Duration::from_micros(1000));
+        assert_eq!(LatencyHistogram::default().quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn refresh_metrics_track_max_lag() {
+        let m = Metrics::new();
+        m.record_refresh(3, Duration::from_millis(2), Duration::from_millis(5));
+        m.record_refresh(1, Duration::from_millis(1), Duration::from_millis(3));
+        let r = m.report();
+        assert_eq!(r.deltas_applied, 4);
+        assert_eq!(r.batches_published, 2);
+        assert_eq!(r.max_refresh_lag, Duration::from_millis(5));
+        assert_eq!(r.last_refresh_lag, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn report_displays_every_section() {
+        let m = Metrics::new();
+        m.record_query(Duration::from_micros(50));
+        let s = m.report().to_string();
+        for needle in ["queries served", "plan cache", "write path", "refresh"] {
+            assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+        }
+    }
+}

@@ -1,101 +1,165 @@
-//! `kaskade` — a small CLI over the framework: load a generated dataset,
-//! optionally let the workload analyzer materialize views, and run ad-hoc
-//! hybrid SQL+Cypher queries with plan information.
+//! `kaskade` — the CLI over the framework and its serving runtime.
 //!
 //! ```text
-//! kaskade <dataset> [--views] [--scale N] [--seed N] <query | @listing1>
+//! kaskade query <dataset> [options] <query | @listing1 | @listing4>
+//! kaskade serve <dataset> [options] [query ...]
 //!
-//!   dataset:  prov | dblp | roadnet-usa | soc-livejournal
-//!   --views   run view selection for the query before executing
-//!   @listing1 / @listing4 expand to the paper's queries
+//!   dataset:        prov | dblp | roadnet-usa | soc-livejournal
+//!
+//! shared options:
+//!   --views         run view selection for the workload before starting
+//!   --scale N       dataset scale factor            (default 1)
+//!   --seed N        dataset generator seed          (default 0x5EED)
+//!   --threads N     reader threads                  (default 1 / 4)
+//!
+//! serve options:
+//!   --duration-ms N run the serving loop this long  (default 2000)
+//!   --write-every-ms N  delta cadence; 0 = no writer (default 2)
+//!   --smoke         short self-checking run for CI (implies --views)
 //! ```
 //!
-//! Example:
+//! `query` plans and executes one query — with `--threads N > 1` it
+//! executes through the serving engine on N concurrent readers and
+//! reports per-thread agreement. `serve` stands up the full runtime:
+//! N reader threads loop the workload while a writer streams scripted
+//! schema-valid deltas; on exit it prints the engine metrics (reads/s,
+//! latency quantiles, plan-cache hit rate, refresh lag).
+//!
+//! Examples:
 //!
 //! ```sh
-//! cargo run --release --bin kaskade -- prov --views @listing1
-//! cargo run --release --bin kaskade -- dblp \
-//!   "SELECT COUNT(*) FROM (MATCH (a:Author)-[:AUTHORED]->(p:Publication) RETURN a, p)"
+//! cargo run --release --bin kaskade -- query prov --views @listing1
+//! cargo run --release --bin kaskade -- serve prov --threads 8 --duration-ms 3000
+//! cargo run --release --bin kaskade -- serve prov --smoke
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kaskade::core::{Kaskade, SelectionConfig};
 use kaskade::datasets::Dataset;
-use kaskade::query::{listings, parse};
+use kaskade::query::{listings, parse, Query, Table};
+use kaskade::service::{drive, DriveConfig, Engine};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: kaskade <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] [--seed N] <query|@listing1|@listing4>"
+        "usage: kaskade query <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] \
+         [--seed N] [--threads N] <query|@listing1|@listing4>\n       \
+         kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] [--seed N] \
+         [--threads N] [--duration-ms N] [--write-every-ms N] [--smoke] [query ...]"
     );
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(ds_name) = args.next() else {
-        return usage();
-    };
-    let Some(dataset) = Dataset::ALL.into_iter().find(|d| d.short_name() == ds_name) else {
-        eprintln!("unknown dataset `{ds_name}`");
-        return usage();
-    };
+/// Options shared by both subcommands, parsed from the tail of argv.
+struct CommonArgs {
+    with_views: bool,
+    scale: usize,
+    seed: u64,
+    threads: Option<usize>,
+    duration_ms: u64,
+    write_every_ms: u64,
+    smoke: bool,
+    queries: Vec<String>,
+}
 
-    let mut with_views = false;
-    let mut scale = 1usize;
-    let mut seed = 0x5EEDu64;
-    let mut query_src: Option<String> = None;
+fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
+    let mut c = CommonArgs {
+        with_views: false,
+        scale: 1,
+        seed: 0x5EED,
+        threads: None,
+        duration_ms: 2_000,
+        write_every_ms: 2,
+        smoke: false,
+        queries: Vec::new(),
+    };
+    let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--views" => with_views = true,
-            "--scale" => {
-                scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
-            }
-            "--seed" => {
-                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed);
-            }
-            "@listing1" => query_src = Some(listings::LISTING_1.to_string()),
-            "@listing4" => query_src = Some(listings::LISTING_4.to_string()),
-            other => query_src = Some(other.to_string()),
+            "--views" => c.with_views = true,
+            "--smoke" => c.smoke = true,
+            "--scale" => c.scale = args.next()?.parse().ok()?,
+            "--seed" => c.seed = args.next()?.parse().ok()?,
+            "--threads" => c.threads = Some(args.next()?.parse().ok()?),
+            "--duration-ms" => c.duration_ms = args.next()?.parse().ok()?,
+            "--write-every-ms" => c.write_every_ms = args.next()?.parse().ok()?,
+            "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
+            "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
+            other if other.starts_with("--") => return None,
+            other => c.queries.push(other.to_string()),
         }
     }
-    let Some(query_src) = query_src else {
-        return usage();
-    };
+    Some(c)
+}
 
+fn load(dataset: Dataset, c: &CommonArgs) -> Kaskade {
     let start = Instant::now();
-    let graph = dataset.generate(scale, seed);
+    let graph = dataset.generate(c.scale, c.seed);
     eprintln!(
-        "loaded {} (scale {scale}, seed {seed:#x}): {} vertices, {} edges in {:.2?}",
+        "loaded {} (scale {}, seed {:#x}): {} vertices, {} edges in {:.2?}",
         dataset.short_name(),
+        c.scale,
+        c.seed,
         graph.vertex_count(),
         graph.edge_count(),
         start.elapsed()
     );
+    Kaskade::new(graph, dataset.schema())
+}
 
-    let query = match parse(&query_src) {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("query error: {e}");
-            return ExitCode::FAILURE;
+fn parse_workload(sources: &[String]) -> Result<Vec<Query>, ExitCode> {
+    let mut queries = Vec::new();
+    for src in sources {
+        match parse(src) {
+            Ok(q) => queries.push(q),
+            Err(e) => {
+                eprintln!("query error: {e}");
+                return Err(ExitCode::FAILURE);
+            }
         }
-    };
+    }
+    Ok(queries)
+}
 
-    let mut kaskade = Kaskade::new(graph, dataset.schema());
-    if with_views {
-        let start = Instant::now();
-        let report = kaskade
-            .select_and_materialize(std::slice::from_ref(&query), &SelectionConfig::default());
-        eprintln!(
-            "view selection: {} candidate(s) scored, materialized {:?} in {:.2?}",
-            report.scored.len(),
-            report.materialized,
-            start.elapsed()
-        );
+fn select_views(kaskade: &mut Kaskade, workload: &[Query]) {
+    let start = Instant::now();
+    let report = kaskade.select_and_materialize(workload, &SelectionConfig::default());
+    eprintln!(
+        "view selection: {} candidate(s) scored, materialized {:?} in {:.2?}",
+        report.scored.len(),
+        report.materialized,
+        start.elapsed()
+    );
+}
+
+fn print_table(table: &Table) {
+    println!("{}", table.columns.join("\t"));
+    for row in table.rows.iter().take(25) {
+        let cells: Vec<String> = row.iter().map(|d| d.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    if table.len() > 25 {
+        println!("... ({} rows total)", table.len());
+    }
+}
+
+fn cmd_query(dataset: Dataset, c: CommonArgs) -> ExitCode {
+    if c.queries.len() != 1 {
+        eprintln!("`kaskade query` takes exactly one query");
+        return usage();
+    }
+    let workload = match parse_workload(&c.queries) {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let query = &workload[0];
+    let mut kaskade = load(dataset, &c);
+    if c.with_views {
+        select_views(&mut kaskade, &workload);
     }
 
-    let plan = match kaskade.plan(&query) {
+    let plan = match kaskade.plan(query) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("planning error: {e}");
@@ -108,25 +172,160 @@ fn main() -> ExitCode {
         plan.estimated_cost
     );
 
+    let threads = c.threads.unwrap_or(1).max(1);
+    if threads == 1 {
+        let start = Instant::now();
+        let table = match kaskade.execute(query) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("execution error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed = start.elapsed();
+        print_table(&table);
+        eprintln!("{} row(s) in {:.2?}", table.len(), elapsed);
+        return ExitCode::SUCCESS;
+    }
+
+    // concurrent execution through the serving engine: every thread
+    // must see the same snapshot and produce the same table
+    let engine = Engine::from_kaskade(&kaskade);
     let start = Instant::now();
-    let table = match kaskade.execute(&query) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("execution error: {e}");
+    let results: Vec<Result<Table, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut reader = engine.reader();
+                    engine
+                        .execute_with(&mut reader, query)
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut tables = Vec::new();
+    for r in results {
+        match r {
+            Ok(t) => tables.push(t),
+            Err(e) => {
+                eprintln!("execution error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let first = format!("{:?}", tables[0].rows);
+    let agree = tables.iter().all(|t| format!("{:?}", t.rows) == first);
+    print_table(&tables[0]);
+    eprintln!(
+        "{} row(s) on each of {threads} concurrent readers ({}) in {:.2?}",
+        tables[0].len(),
+        if agree { "all agree" } else { "DISAGREE" },
+        elapsed
+    );
+    if agree {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
+    if c.smoke {
+        // a short, self-checking preset for CI
+        c.with_views = true;
+        c.duration_ms = c.duration_ms.min(500);
+        c.write_every_ms = c.write_every_ms.max(1);
+    }
+    if c.queries.is_empty() {
+        c.queries.push(listings::LISTING_1.to_string());
+    }
+    let workload = match parse_workload(&c.queries) {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let mut kaskade = load(dataset, &c);
+    if c.with_views {
+        select_views(&mut kaskade, &workload);
+    }
+
+    let threads = c.threads.unwrap_or(4).max(1);
+    let engine = Engine::from_kaskade(&kaskade);
+    let cfg = DriveConfig {
+        readers: threads,
+        duration: Duration::from_millis(c.duration_ms),
+        read_pause: Duration::ZERO,
+        write_pause: Duration::from_millis(c.write_every_ms),
+        max_writes: 0,
+        verify_consistency: c.smoke,
+    };
+    eprintln!(
+        "serving {} with {threads} reader thread(s), {} quer{}, writer every {}ms, for {}ms",
+        dataset.short_name(),
+        workload.len(),
+        if workload.len() == 1 { "y" } else { "ies" },
+        c.write_every_ms,
+        c.duration_ms
+    );
+    let outcome = drive(&engine, &workload, &cfg);
+    println!(
+        "reads              {} ok / {} errors ({:.0} reads/s)",
+        outcome.reads,
+        outcome.read_errors,
+        outcome.reads_per_sec()
+    );
+    println!("writes submitted   {}", outcome.writes);
+    println!("{}", outcome.report);
+
+    if c.smoke {
+        let healthy = outcome.reads > 0
+            && outcome.read_errors == 0
+            && outcome.consistency_violations == 0
+            && outcome.report.epoch > 0
+            && outcome.report.plan_cache_hit_rate() > 0.0;
+        if !healthy {
+            eprintln!(
+                "smoke check FAILED: reads={} errors={} violations={} epoch={} hit_rate={:.2}",
+                outcome.reads,
+                outcome.read_errors,
+                outcome.consistency_violations,
+                outcome.report.epoch,
+                outcome.report.plan_cache_hit_rate()
+            );
             return ExitCode::FAILURE;
         }
-    };
-    let elapsed = start.elapsed();
-
-    // print up to 25 rows
-    println!("{}", table.columns.join("\t"));
-    for row in table.rows.iter().take(25) {
-        let cells: Vec<String> = row.iter().map(|d| d.to_string()).collect();
-        println!("{}", cells.join("\t"));
+        eprintln!("smoke check passed");
     }
-    if table.len() > 25 {
-        println!("... ({} rows total)", table.len());
-    }
-    eprintln!("{} row(s) in {:.2?}", table.len(), elapsed);
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return usage();
+    };
+    let Some(ds_name) = args.next() else {
+        return usage();
+    };
+    let Some(dataset) = Dataset::ALL.into_iter().find(|d| d.short_name() == ds_name) else {
+        eprintln!("unknown dataset `{ds_name}`");
+        return usage();
+    };
+    let Some(common) = parse_common(args) else {
+        return usage();
+    };
+    match command.as_str() {
+        "query" => cmd_query(dataset, common),
+        "serve" => cmd_serve(dataset, common),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
 }

@@ -9,3 +9,4 @@ pub use kaskade_datasets as datasets;
 pub use kaskade_graph as graph;
 pub use kaskade_prolog as prolog;
 pub use kaskade_query as query;
+pub use kaskade_service as service;

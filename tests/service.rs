@@ -1,0 +1,235 @@
+//! Integration suite for the `kaskade-service` serving runtime:
+//! snapshot isolation under concurrent readers and an active delta
+//! writer (zero torn reads), plan-cache behavior on repeated
+//! workloads, and property tests for plan-key alpha-normalization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use kaskade::core::{ConnectorDef, GraphDelta, Kaskade, ViewDef};
+use kaskade::datasets::{generate_provenance, ProvenanceConfig};
+use kaskade::graph::Schema;
+use kaskade::query::{execute as execute_raw, listings::LISTING_1, parse, Table};
+use kaskade::service::{
+    drive, plan_key, snapshot_is_consistent, DriveConfig, Engine, EngineConfig,
+};
+
+fn tiny_instance(seed: u64) -> Kaskade {
+    let g = generate_provenance(&ProvenanceConfig::tiny(seed).core_only());
+    let mut k = Kaskade::new(g, Schema::provenance());
+    k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+    k
+}
+
+fn norm(t: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = t.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// THE acceptance property: ≥4 reader threads execute queries through
+/// the engine while a writer applies deltas, and every snapshot a
+/// reader observes is internally consistent — the plan-routed result
+/// over the view equals raw execution over the same snapshot's base
+/// graph (a torn read, e.g. a refreshed view paired with a stale base
+/// graph, would break the equality), and every catalog entry matches a
+/// fresh materialization of its definition.
+#[test]
+fn concurrent_readers_never_observe_torn_snapshots() {
+    let engine = Engine::from_kaskade(&tiny_instance(51));
+    let query = parse(LISTING_1).unwrap();
+    let iterations_per_reader = 12;
+    let readers = 4;
+    let checks = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let (engine, query, checks) = (&engine, &query, &checks);
+            scope.spawn(move || {
+                let mut reader = engine.reader();
+                let mut last_epoch = 0u64;
+                for _ in 0..iterations_per_reader {
+                    let snap = reader.snapshot().clone();
+                    assert!(snap.epoch >= last_epoch, "epochs regress");
+                    last_epoch = snap.epoch;
+
+                    // the whole query runs against one immutable state:
+                    // view-routed and raw answers must coincide
+                    let planned = snap.state.plan(query).unwrap();
+                    assert!(planned.view_id.is_some(), "rewrites route to the view");
+                    let via_view = snap.state.execute_planned(&planned).unwrap();
+                    let raw = execute_raw(snap.state.graph(), query).unwrap();
+                    assert_eq!(norm(&via_view), norm(&raw), "torn read at {}", snap.epoch);
+
+                    // catalog entries match their materialized views
+                    assert!(snapshot_is_consistent(&snap.state), "at {}", snap.epoch);
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // the writer streams deltas the whole time: a new job reading
+        // an existing file (extends blast radii, so results change
+        // across epochs — consistency within one snapshot still holds)
+        let engine = &engine;
+        scope.spawn(move || {
+            for step in 0..60u64 {
+                let snap = engine.snapshot();
+                let file = snap.state.graph().vertices_of_type("File").next().unwrap();
+                let mut d = GraphDelta::new();
+                let j = d.add_vertex("Job", vec![]);
+                d.add_edge(
+                    kaskade::core::VRef::Existing(file),
+                    j,
+                    "IS_READ_BY",
+                    vec![("ts".into(), kaskade::graph::Value::Int(step as i64))],
+                );
+                engine.submit(d).unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+    });
+
+    assert_eq!(
+        checks.load(Ordering::Relaxed),
+        readers * iterations_per_reader
+    );
+    let epoch = engine.flush();
+    assert!(epoch > 0, "the writer actually published");
+}
+
+/// The acceptance criterion's cache half: a repeated workload reports a
+/// plan-cache hit rate > 0 while ≥4 readers run against an active
+/// writer; and reads that hit the cache return the same answer as
+/// reads that planned from scratch.
+#[test]
+fn repeated_workload_reports_cache_hits_under_writes() {
+    let engine = Engine::from_kaskade(&tiny_instance(52));
+    let queries = vec![parse(LISTING_1).unwrap()];
+    let outcome = drive(
+        &engine,
+        &queries,
+        &DriveConfig {
+            readers: 4,
+            duration: Duration::from_millis(400),
+            read_pause: Duration::ZERO,
+            write_pause: Duration::from_millis(2),
+            max_writes: 0,
+            verify_consistency: true,
+        },
+    );
+    assert!(outcome.reads >= 8, "enough reads to repeat: {outcome:?}");
+    assert_eq!(outcome.read_errors, 0);
+    assert_eq!(outcome.consistency_violations, 0, "zero torn reads");
+    assert!(outcome.writes > 0, "the writer was active");
+    assert!(
+        outcome.report.plan_cache_hit_rate() > 0.0,
+        "repeated workload must hit the cache: {:?}",
+        outcome.report
+    );
+    assert!(outcome.report.epoch > 0);
+    assert_eq!(outcome.report.queries, outcome.reads);
+}
+
+/// Batching applies many queued deltas in one publish; the final state
+/// must equal sequential application.
+#[test]
+fn batched_ingestion_converges_to_sequential_state() {
+    let k = tiny_instance(53);
+    let query = parse(LISTING_1).unwrap();
+
+    // sequential oracle
+    let mut sequential = k.clone();
+    let deltas: Vec<GraphDelta> = (0..10)
+        .map(|i| {
+            let file = sequential
+                .graph()
+                .vertices_of_type("File")
+                .nth(i % 3)
+                .unwrap();
+            let mut d = GraphDelta::new();
+            let j = d.add_vertex("Job", vec![]);
+            d.add_edge(kaskade::core::VRef::Existing(file), j, "IS_READ_BY", vec![]);
+            d
+        })
+        .collect();
+    for d in &deltas {
+        sequential.apply_delta(d);
+    }
+
+    // engine path: all ten queued before the worker can drain
+    let engine = Engine::with_config(k.snapshot(), EngineConfig { max_batch: 16 });
+    for d in &deltas {
+        engine.submit(d.clone()).unwrap();
+    }
+    engine.flush();
+    let snap = engine.snapshot();
+    assert_eq!(
+        snap.state.graph().vertex_count(),
+        sequential.graph().vertex_count()
+    );
+    assert_eq!(
+        snap.state.graph().edge_count(),
+        sequential.graph().edge_count()
+    );
+    let via_engine = snap.state.execute(&query).unwrap();
+    let via_sequential = sequential.execute(&query).unwrap();
+    assert_eq!(norm(&via_engine), norm(&via_sequential));
+    // fewer publishes than deltas proves batching actually batched
+    assert!(
+        engine.metrics().batches_published <= 10,
+        "{:?}",
+        engine.metrics()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Alpha-equivalent queries — identical structure and output
+    /// aliases, arbitrarily renamed pattern variables — get identical
+    /// plan-cache keys, for any suffixes and any hop window.
+    #[test]
+    fn plan_key_is_alpha_invariant(
+        s1 in "[a-z]{0,6}",
+        s2 in "[a-z]{0,6}",
+        lo in 0usize..3,
+        span in 0usize..4,
+    ) {
+        let hi = lo + span + 1;
+        let build = |a: &str, b: &str, c: &str| {
+            parse(&format!(
+                "SELECT COUNT(*) FROM (MATCH ({a}:Job)-[:WRITES_TO]->({b}:File) \
+                 ({b}:File)-[r*{lo}..{hi}]->({c}:File) RETURN {a} AS A, {c} AS C)"
+            ))
+            .expect("template parses")
+        };
+        // distinct leading letters keep the three variables distinct
+        // regardless of the generated suffixes
+        let q1 = build(&format!("a{s1}"), &format!("b{s1}"), &format!("c{s1}"));
+        let q2 = build(&format!("x{s2}"), &format!("y{s2}"), &format!("z{s2}"));
+        prop_assert_eq!(plan_key(&q1), plan_key(&q2));
+    }
+
+    /// Structural changes (hop window) and alias changes do key
+    /// separately even under renaming.
+    #[test]
+    fn plan_key_separates_structure(
+        s in "[a-z]{0,6}",
+        lo in 0usize..3,
+        span in 0usize..4,
+    ) {
+        let hi = lo + span + 1;
+        let build = |alias: &str, lo: usize, hi: usize| {
+            parse(&format!(
+                "SELECT COUNT(*) FROM (MATCH (a{s}:Job)-[r*{lo}..{hi}]->(b{s}:Job) \
+                 RETURN a{s} AS {alias})"
+            ))
+            .expect("template parses")
+        };
+        let base = build("A", lo, hi);
+        prop_assert_ne!(plan_key(&base), plan_key(&build("A", lo, hi + 1)));
+        prop_assert_ne!(plan_key(&base), plan_key(&build("B", lo, hi)));
+    }
+}
