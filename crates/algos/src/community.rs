@@ -9,7 +9,11 @@ use std::collections::HashMap;
 
 use kaskade_graph::{Graph, VertexId};
 
-/// Community assignment: `labels[v.index()]` is the community id of `v`.
+/// Sentinel label for tombstoned vertex slots (never a community id).
+const DEAD: u32 = u32::MAX;
+
+/// Community assignment: `labels[v.index()]` is the community id of `v`
+/// (`u32::MAX` marks a tombstoned slot with no community).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Communities {
     /// Per-vertex community label.
@@ -26,8 +30,13 @@ pub struct Communities {
 /// oscillation synchronous label propagation is prone to). Stops early
 /// when no label changes.
 pub fn label_propagation(g: &Graph, passes: usize) -> Communities {
-    let n = g.vertex_count();
-    let mut labels: Vec<u32> = (0..n as u32).collect();
+    // labels are indexed by vertex *slot*; tombstoned slots keep the
+    // DEAD sentinel and never participate (live vertices only ever see
+    // live neighbors, so a dead label cannot propagate)
+    let mut labels: Vec<u32> = vec![DEAD; g.vertex_slots()];
+    for v in g.vertices() {
+        labels[v.index()] = v.0;
+    }
     let mut executed = 0;
     let mut histogram: HashMap<u32, usize> = HashMap::new();
     for _ in 0..passes {
@@ -74,7 +83,9 @@ pub fn label_propagation(g: &Graph, passes: usize) -> Communities {
 pub fn community_sizes(c: &Communities) -> Vec<(u32, usize)> {
     let mut counts: HashMap<u32, usize> = HashMap::new();
     for &l in &c.labels {
-        *counts.entry(l).or_default() += 1;
+        if l != DEAD {
+            *counts.entry(l).or_default() += 1;
+        }
     }
     let mut v: Vec<(u32, usize)> = counts.into_iter().collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -116,6 +127,20 @@ mod tests {
             b.add_edge(vs[i], vs[j], "E");
         }
         b.finish()
+    }
+
+    #[test]
+    fn tombstoned_vertices_form_no_communities() {
+        // retract one vertex of the first triangle: label propagation
+        // must neither panic on the dead slot nor count it
+        let g = two_triangles().remove_vertices([kaskade_graph::VertexId(0)]);
+        let c = label_propagation(&g, 25);
+        assert_eq!(c.labels.len(), 6); // slot-indexed
+        assert_eq!(c.labels[0], u32::MAX, "dead slot carries the sentinel");
+        let sizes = community_sizes(&c);
+        assert_eq!(sizes.iter().map(|&(_, n)| n).sum::<usize>(), 5);
+        let (_, members) = largest_community(&g, &c, "V").unwrap();
+        assert!(!members.contains(&kaskade_graph::VertexId(0)));
     }
 
     #[test]

@@ -57,22 +57,23 @@ impl UnionFind {
 /// per-vertex component label (the smallest vertex id in the component)
 /// and the number of components.
 pub fn weakly_connected_components(g: &Graph) -> (Vec<u32>, usize) {
-    let mut uf = UnionFind::new(g.vertex_count());
+    let mut uf = UnionFind::new(g.vertex_slots());
     for e in g.edges() {
         uf.union(g.edge_src(e).index(), g.edge_dst(e).index());
     }
-    // canonical label: smallest member id per component
-    let mut label = vec![u32::MAX; g.vertex_count()];
-    for v in 0..g.vertex_count() {
-        let r = uf.find(v);
-        label[r] = label[r].min(v as u32);
+    // canonical label: smallest live member id per component; dead
+    // slots keep u32::MAX so they never found a component
+    let mut label = vec![u32::MAX; g.vertex_slots()];
+    for v in g.vertices() {
+        let r = uf.find(v.index());
+        label[r] = label[r].min(v.0);
     }
-    let mut out = vec![0u32; g.vertex_count()];
+    let mut out = vec![u32::MAX; g.vertex_slots()];
     let mut count = 0;
-    for (v, slot) in out.iter_mut().enumerate() {
-        let r = uf.find(v);
-        *slot = label[r];
-        if *slot == v as u32 {
+    for v in g.vertices() {
+        let r = uf.find(v.index());
+        out[v.index()] = label[r];
+        if label[r] == v.0 {
             count += 1;
         }
     }

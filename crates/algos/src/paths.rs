@@ -25,7 +25,7 @@ pub struct PathLength {
 /// path. Edges without the property contribute `i64::MIN` (i.e. are
 /// ignored by the max).
 pub fn path_lengths(g: &Graph, src: VertexId, max_hops: usize, ts_prop: &str) -> Vec<PathLength> {
-    let mut visited = vec![false; g.vertex_count()];
+    let mut visited = vec![false; g.vertex_slots()];
     visited[src.index()] = true;
     let mut queue = VecDeque::new();
     queue.push_back((src, 0usize, i64::MIN));

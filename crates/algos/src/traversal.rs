@@ -26,7 +26,7 @@ pub fn k_hop_neighborhood(
     max_hops: usize,
     dir: Direction,
 ) -> Vec<(VertexId, usize)> {
-    let mut visited = vec![false; g.vertex_count()];
+    let mut visited = vec![false; g.vertex_slots()];
     visited[src.index()] = true;
     let mut queue = VecDeque::new();
     queue.push_back((src, 0usize));

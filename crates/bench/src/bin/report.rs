@@ -13,8 +13,8 @@ use std::env;
 use std::time::Duration;
 
 use kaskade_bench::experiments::{
-    enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_throughput,
-    table3,
+    enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_churn,
+    serve_throughput, table3,
 };
 use kaskade_bench::setup::Env;
 use kaskade_bench::workload::QueryId;
@@ -346,6 +346,47 @@ fn print_serve(dataset: Option<Dataset>) {
             format!("{:.1?}", r.max_refresh_lag),
         );
     }
+
+    println!(
+        "\n  churn serving: retractable deltas per workload shape (4 readers, writer every 2ms)"
+    );
+    println!(
+        "    {:>8} {:>9} {:>7} {:>12} {:>7} {:>12} {:>12} {:>11} {:>11} {:>6}",
+        "workload",
+        "reads",
+        "writes",
+        "retractions",
+        "epochs",
+        "refresh",
+        "max lag",
+        "stats full",
+        "stats incr",
+        "ok"
+    );
+    for r in serve_churn(
+        d,
+        SCALE,
+        SEED,
+        4,
+        Duration::from_millis(400),
+        Duration::from_millis(2),
+    ) {
+        println!(
+            "    {:>8} {:>9} {:>7} {:>12} {:>7} {:>12} {:>12} {:>11} {:>11} {:>6}",
+            r.workload,
+            r.reads,
+            r.writes,
+            r.retractions,
+            r.epochs,
+            format!("{:.1?}", r.last_refresh),
+            format!("{:.1?}", r.max_refresh_lag),
+            format!("{:.1?}", r.stats_full_recompute),
+            format!("{:.1?}", r.stats_incremental_update),
+            if r.final_consistent { "yes" } else { "NO" },
+        );
+    }
+    println!("\n  (`stats full` is the per-publish statistics rescan the write path used to");
+    println!("   pay; `stats incr` is the incremental histogram update it pays now)");
 }
 
 fn print_enum() {

@@ -11,7 +11,7 @@ use kaskade_core::{
 use kaskade_datasets::Dataset;
 use kaskade_graph::{degree_ccdf, power_law_exponent, GraphStats};
 use kaskade_query::parse;
-use kaskade_service::{drive, DriveConfig, Engine};
+use kaskade_service::{drive, DriveConfig, Engine, Workload};
 
 use crate::setup::{k_hop_pair_count, Env};
 use crate::workload::{run, QueryId};
@@ -256,6 +256,7 @@ pub fn serve_throughput(
                     write_pause,
                     max_writes: 0,
                     verify_consistency: false,
+                    workload: Workload::Append,
                 },
             );
             ServeRow {
@@ -268,6 +269,108 @@ pub fn serve_throughput(
                 epochs: outcome.report.epoch,
                 cache_hit_rate: outcome.report.plan_cache_hit_rate(),
                 max_refresh_lag: outcome.report.max_refresh_lag,
+            }
+        })
+        .collect()
+}
+
+/// One row of the churn-serving experiment: a workload shape driven
+/// against the engine, with the refresh-lag and stats-maintenance
+/// numbers that make the incremental-statistics win visible.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Workload shape driven ("append", "churn", "hotkey", "burst").
+    pub workload: &'static str,
+    /// Successful reads over the run.
+    pub reads: u64,
+    /// Deltas the writer submitted.
+    pub writes: u64,
+    /// Retraction operations in applied batches.
+    pub retractions: u64,
+    /// Snapshot epochs published.
+    pub epochs: u64,
+    /// Apply+publish duration of the last batch.
+    pub last_refresh: Duration,
+    /// Worst enqueue→visibility refresh lag observed.
+    pub max_refresh_lag: Duration,
+    /// Whether the final snapshot passed the full consistency oracle
+    /// (views and stats vs from-scratch rebuild).
+    pub final_consistent: bool,
+    /// Wall time of one full `GraphStats::compute` over the final base
+    /// graph — the per-publish cost the old write path paid.
+    pub stats_full_recompute: Duration,
+    /// Wall time of one incremental `GraphStats::with_changes` update —
+    /// the per-publish cost the write path pays now.
+    pub stats_incremental_update: Duration,
+}
+
+/// Churn serving: drives the engine with each [`Workload`] shape
+/// (inserts, deletes, skew, bursts) for `duration`, verifying at the
+/// end that every materialized view and the incrementally maintained
+/// statistics match a from-scratch rebuild. Also times one full
+/// statistics recompute against one incremental update on the final
+/// graph, quantifying the refresh-lag win of incremental stats.
+pub fn serve_churn(
+    dataset: Dataset,
+    scale: usize,
+    seed: u64,
+    readers: usize,
+    duration: Duration,
+    write_pause: Duration,
+) -> Vec<ChurnRow> {
+    use kaskade_graph::{DegreeChange, GraphStats};
+    let graph = dataset.generate(scale, seed);
+    let mut kaskade = Kaskade::new(graph, dataset.schema());
+    let workload =
+        vec![parse(kaskade_query::listings::LISTING_1).expect("serving workload parses")];
+    kaskade.select_and_materialize(&workload, &SelectionConfig::default());
+    let base = kaskade.snapshot();
+
+    Workload::ALL
+        .iter()
+        .map(|&shape| {
+            let engine = Engine::new(base.clone());
+            let outcome = drive(
+                &engine,
+                &workload,
+                &DriveConfig {
+                    readers,
+                    duration,
+                    read_pause: Duration::ZERO,
+                    write_pause,
+                    max_writes: 0,
+                    verify_consistency: false,
+                    workload: shape,
+                },
+            );
+            let snap = engine.snapshot();
+            let g = snap.state.graph();
+            let start = Instant::now();
+            let full = GraphStats::compute(g);
+            let stats_full_recompute = start.elapsed();
+            // one representative incremental update: the first live
+            // vertex gaining an out-edge (derived from its real degree
+            // so the histogram update is always valid)
+            let v0 = g.vertices().next().expect("non-empty");
+            let change = [DegreeChange {
+                vtype: g.vertex_type(v0).to_string(),
+                before: Some(g.out_degree(v0)),
+                after: Some(g.out_degree(v0) + 1),
+            }];
+            let start = Instant::now();
+            std::hint::black_box(full.with_changes(&change, g.vertex_count(), g.edge_count() + 1));
+            let stats_incremental_update = start.elapsed();
+            ChurnRow {
+                workload: shape.name(),
+                reads: outcome.reads,
+                writes: outcome.writes,
+                retractions: outcome.report.retractions_applied,
+                epochs: outcome.report.epoch,
+                last_refresh: outcome.report.last_refresh,
+                max_refresh_lag: outcome.report.max_refresh_lag,
+                final_consistent: outcome.final_consistent,
+                stats_full_recompute,
+                stats_incremental_update,
             }
         })
         .collect()
@@ -414,6 +517,30 @@ mod tests {
         assert!(r.cache_hit_rate > 0.0, "plan cache warmed: {r:?}");
         assert!(r.reads_per_sec > 0.0);
         assert!(r.p99 >= r.p50);
+    }
+
+    #[test]
+    fn serve_churn_verifies_all_workload_shapes() {
+        let rows = serve_churn(
+            Dataset::Prov,
+            1,
+            38,
+            2,
+            Duration::from_millis(300),
+            Duration::from_millis(1),
+        );
+        assert_eq!(rows.len(), Workload::ALL.len());
+        for r in &rows {
+            assert!(
+                r.final_consistent,
+                "{}: final snapshot inconsistent",
+                r.workload
+            );
+            assert!(r.writes > 0, "{}: writer progressed", r.workload);
+            assert!(r.epochs > 0, "{}: snapshots published", r.workload);
+        }
+        let churn = rows.iter().find(|r| r.workload == "churn").unwrap();
+        assert!(churn.retractions > 0, "churn actually retracted: {churn:?}");
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub use facts::{
     assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,
 };
 pub use maintain::{
-    apply_delta, maintain_connector, AppliedDelta, DeltaError, GraphDelta, NewEdge, NewVertex, VRef,
+    apply_delta, maintain_connector, stat_changes, AppliedDelta, DelEdge, DeltaError, GraphDelta,
+    NewEdge, NewVertex, VRef,
 };
 pub use materialize::{
     materialize, materialize_connector, materialize_source_sink, materialize_summarizer,
@@ -187,10 +188,11 @@ impl Kaskade {
         self.snap.plan(query)
     }
 
-    /// Applies an insert-only [`GraphDelta`] to the base graph and
-    /// refreshes every materialized view: connectors incrementally
-    /// (only affected sources are recomputed, see [`maintain`]), other
-    /// views by re-materialization.
+    /// Applies a [`GraphDelta`] — insertions and retractions — to the
+    /// base graph and refreshes every materialized view: connectors
+    /// incrementally (only affected sources are recomputed, with
+    /// per-edge provenance counts, see [`maintain`]), other views by
+    /// re-materialization. Statistics update incrementally.
     pub fn apply_delta(&mut self, delta: &GraphDelta) {
         self.snap = self.snap.with_delta(delta);
     }

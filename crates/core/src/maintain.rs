@@ -1,23 +1,37 @@
-//! Incremental view maintenance for insert-only workloads.
+//! Incremental view maintenance for insert **and delete** workloads.
 //!
 //! The paper traces graph views back to Zhuge & Garcia-Molina's work on
-//! graph-structured views *and their incremental maintenance* (§VIII);
-//! provenance graphs in particular only ever grow (new jobs, files and
-//! reads are appended — history is immutable). This module implements
-//! that natural extension: a [`GraphDelta`] of new vertices and edges is
-//! applied to the base graph, and materialized connector views are
-//! refreshed by recomputing **only the affected sources** — vertices
-//! within `k-1` hops upstream of any new edge — instead of
+//! graph-structured views *and their incremental maintenance* (§VIII).
+//! A [`GraphDelta`] batches vertex/edge insertions *and retractions*;
+//! applying it to the base graph preserves every existing id
+//! (retraction tombstones a slot, it never renumbers — see
+//! `kaskade-graph`'s editor), and materialized connector views are
+//! refreshed by recomputing **only the affected sources**: vertices
+//! within `k-1` hops upstream of any inserted edge (over the new base)
+//! or of any retracted edge (over the old base), instead of
 //! re-materializing from scratch.
 //!
-//! Deletion support would require per-edge provenance counts on
-//! connector edges and is left out, mirroring the insert-only growth of
-//! the paper's motivating workload.
+//! Deletion correctness rests on per-edge **provenance counts**: every
+//! connector edge carries a `support` property counting the exact-`k`
+//! walks that witness it. A base-edge retraction re-derives the support
+//! of the affected sources' edges, so a view edge survives as long as
+//! at least one witness walk remains and disappears exactly when the
+//! last witness dies — `ts` aggregates simultaneously fall back to the
+//! best surviving walk (a plain decrement could not do that).
+//!
+//! Retractions are **identity-targeted**: a [`DelEdge`] names
+//! `(src, dst, etype)` and removes the newest live matching edge
+//! (LIFO). Naming edges by identity rather than by edge id is what
+//! makes retraction well-defined for clients that only ever see
+//! published snapshots — and it gives [`GraphDelta::merge`] a sound
+//! cancellation rule: a retraction that matches an insert still pending
+//! in the merged batch cancels the pair outright.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
-use kaskade_graph::{Graph, GraphBuilder, Value, VertexId};
+use kaskade_graph::{DegreeChange, Graph, GraphBuilder, Value, VertexId};
 
+use crate::materialize::emit_connector_edges;
 use crate::views::ConnectorDef;
 
 /// A reference to a vertex in a delta: either an existing base-graph
@@ -25,7 +39,8 @@ use crate::views::ConnectorDef;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VRef {
     /// An existing base-graph vertex (ids are stable under
-    /// [`apply_delta`]).
+    /// [`apply_delta`] — even across retractions, which tombstone slots
+    /// instead of renumbering).
     Existing(VertexId),
     /// The i-th vertex of [`GraphDelta::vertices`].
     New(usize),
@@ -53,13 +68,36 @@ pub struct NewEdge {
     pub props: Vec<(String, Value)>,
 }
 
-/// A batch of insertions.
+/// An edge retraction, targeted by identity: removes the **newest**
+/// live edge `src -[:etype]-> dst` of the base graph (a no-op if no
+/// such edge remains, e.g. because a concurrent earlier batch already
+/// retracted it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelEdge {
+    /// Source vertex of the edge to retract.
+    pub src: VRef,
+    /// Destination vertex of the edge to retract.
+    pub dst: VRef,
+    /// Edge type name of the edge to retract.
+    pub etype: String,
+    /// How many pending inserts of this delta preceded the retraction —
+    /// the cancellation window [`GraphDelta::merge`] uses to replay
+    /// operations in their original order.
+    pub(crate) pending_seen: usize,
+}
+
+/// A batch of insertions and retractions.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GraphDelta {
     /// Vertices to add.
     pub vertices: Vec<NewVertex>,
     /// Edges to add (may reference both existing and new vertices).
     pub edges: Vec<NewEdge>,
+    /// Edge retractions (identity-targeted; see [`DelEdge`]).
+    pub del_edges: Vec<DelEdge>,
+    /// Vertices to retract, with every incident edge (a no-op for
+    /// vertices already dead).
+    pub del_vertices: Vec<VertexId>,
 }
 
 impl GraphDelta {
@@ -87,26 +125,66 @@ impl GraphDelta {
         });
     }
 
-    /// Whether the delta contains nothing.
-    pub fn is_empty(&self) -> bool {
-        self.vertices.is_empty() && self.edges.is_empty()
+    /// Queues an edge retraction. If an insert of the very same
+    /// `(src, dst, etype)` is still pending in this delta, the newest
+    /// such insert is cancelled instead (insert-then-delete pairs net
+    /// to nothing); otherwise the retraction targets the newest live
+    /// matching edge of the base graph at apply time.
+    pub fn del_edge(&mut self, src: VRef, dst: VRef, etype: &str) {
+        if let Some(i) = self
+            .edges
+            .iter()
+            .rposition(|e| e.src == src && e.dst == dst && e.etype == etype)
+        {
+            self.edges.remove(i);
+            // recorded retractions count pending inserts before them;
+            // removing insert i shifts the later ones down
+            for d in &mut self.del_edges {
+                if d.pending_seen > i {
+                    d.pending_seen -= 1;
+                }
+            }
+            return;
+        }
+        self.del_edges.push(DelEdge {
+            src,
+            dst,
+            etype: etype.to_string(),
+            pending_seen: self.edges.len(),
+        });
     }
 
-    /// Checks that every edge reference resolves: [`VRef::New`] indices
-    /// must point into this delta's vertex list, and [`VRef::Existing`]
-    /// ids must be below `vertex_count` (the base graph's size at apply
-    /// time). [`apply_delta`] panics on dangling references; callers
-    /// that accept deltas from untrusted sources (the serving runtime)
-    /// validate first and reject instead.
-    pub fn validate(&self, vertex_count: usize) -> Result<(), DeltaError> {
+    /// Queues a vertex retraction (cascades to every incident edge at
+    /// apply time, including edges this same batch inserts).
+    pub fn del_vertex(&mut self, v: VertexId) {
+        self.del_vertices.push(v);
+    }
+
+    /// Whether the delta contains nothing.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+            && self.edges.is_empty()
+            && self.del_edges.is_empty()
+            && self.del_vertices.is_empty()
+    }
+
+    /// Checks that every reference resolves: [`VRef::New`] indices must
+    /// point into this delta's vertex list, and [`VRef::Existing`] ids
+    /// (and retracted vertex ids) must be below `vertex_slots` — the
+    /// base graph's **slot** count at apply time. [`apply_delta`]
+    /// panics on dangling references; callers that accept deltas from
+    /// untrusted sources (the serving runtime) validate first and
+    /// reject instead. See [`GraphDelta::validate_against`] for the
+    /// variant that also rejects references to tombstoned vertices.
+    pub fn validate(&self, vertex_slots: usize) -> Result<(), DeltaError> {
         for (i, e) in self.edges.iter().enumerate() {
             for r in [e.src, e.dst] {
                 match r {
-                    VRef::Existing(v) if v.index() >= vertex_count => {
+                    VRef::Existing(v) if v.index() >= vertex_slots => {
                         return Err(DeltaError::DanglingExisting {
                             edge: i,
                             vertex: v,
-                            vertex_count,
+                            vertex_count: vertex_slots,
                         });
                     }
                     VRef::New(n) if n >= self.vertices.len() => {
@@ -120,14 +198,73 @@ impl GraphDelta {
                 }
             }
         }
+        for (i, d) in self.del_edges.iter().enumerate() {
+            for r in [d.src, d.dst] {
+                match r {
+                    VRef::Existing(v) if v.index() >= vertex_slots => {
+                        return Err(DeltaError::DanglingRetraction {
+                            index: i,
+                            vertex: v,
+                            vertex_count: vertex_slots,
+                        });
+                    }
+                    // a New reference in a surviving retraction matched
+                    // no pending insert: it can never resolve (the base
+                    // graph cannot contain a vertex this delta adds)
+                    VRef::New(_) => {
+                        return Err(DeltaError::UnmatchedNewRetraction { index: i });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (i, &v) in self.del_vertices.iter().enumerate() {
+            if v.index() >= vertex_slots {
+                return Err(DeltaError::DanglingRetraction {
+                    index: i,
+                    vertex: v,
+                    vertex_count: vertex_slots,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`GraphDelta::validate`], but checked against an actual
+    /// graph: edge-insert endpoints must additionally be **live**
+    /// (tombstoned targets are rejected — inserting onto a deleted
+    /// vertex can never apply). `pending_extra` extends the valid id
+    /// range past the graph's slots, for deltas that will apply after
+    /// earlier deltas of the same batch appended vertices. Retraction
+    /// targets are only bounds-checked: retracting something already
+    /// dead is a legitimate no-op under concurrent churn.
+    pub fn validate_against(&self, g: &Graph, pending_extra: usize) -> Result<(), DeltaError> {
+        let slots = g.vertex_slots();
+        self.validate(slots + pending_extra)?;
+        for (i, e) in self.edges.iter().enumerate() {
+            for r in [e.src, e.dst] {
+                if let VRef::Existing(v) = r {
+                    if v.index() < slots && !g.is_vertex_live(v) {
+                        return Err(DeltaError::DeadExisting { edge: i, vertex: v });
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
     /// Appends `other` onto this delta, re-indexing `other`'s
-    /// [`VRef::New`] references past this delta's vertices. Applying the
-    /// merged delta once is equivalent to applying the two deltas in
-    /// sequence — the primitive behind write batching in the serving
+    /// [`VRef::New`] references past this delta's vertices. Applying
+    /// the merged delta once is equivalent to applying the two deltas
+    /// in sequence — the primitive behind write batching in the serving
     /// runtime (one view refresh per batch instead of per delta).
+    ///
+    /// `other`'s edge operations are replayed in their original
+    /// interleaved order, so a retraction can cancel pending inserts
+    /// that preceded it (anywhere in `self`, or earlier in `other`) but
+    /// never an insert recorded after it — that is what keeps
+    /// delete-then-reinsert sequences intact while insert-then-delete
+    /// pairs cancel.
     pub fn merge(&mut self, other: &GraphDelta) {
         let base = self.vertices.len();
         let shift = |r: VRef| match r {
@@ -135,19 +272,27 @@ impl GraphDelta {
             existing => existing,
         };
         self.vertices.extend(other.vertices.iter().cloned());
-        for e in &other.edges {
-            self.edges.push(NewEdge {
-                src: shift(e.src),
-                dst: shift(e.dst),
-                etype: e.etype.clone(),
-                props: e.props.clone(),
-            });
+        let mut dels = other.del_edges.iter().peekable();
+        for j in 0..=other.edges.len() {
+            while dels.peek().is_some_and(|d| d.pending_seen <= j) {
+                let d = dels.next().unwrap();
+                self.del_edge(shift(d.src), shift(d.dst), &d.etype);
+            }
+            if let Some(e) = other.edges.get(j) {
+                self.edges.push(NewEdge {
+                    src: shift(e.src),
+                    dst: shift(e.dst),
+                    etype: e.etype.clone(),
+                    props: e.props.clone(),
+                });
+            }
         }
+        self.del_vertices.extend(other.del_vertices.iter().copied());
     }
 }
 
 /// A structurally invalid [`GraphDelta`], reported by
-/// [`GraphDelta::validate`].
+/// [`GraphDelta::validate`] / [`GraphDelta::validate_against`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeltaError {
     /// An edge referenced a base-graph vertex id past the graph's end.
@@ -156,7 +301,8 @@ pub enum DeltaError {
         edge: usize,
         /// The out-of-range vertex reference.
         vertex: VertexId,
-        /// The base graph's vertex count the delta was checked against.
+        /// The base graph's vertex slot count the delta was checked
+        /// against.
         vertex_count: usize,
     },
     /// An edge referenced a new-vertex index past the delta's own list.
@@ -167,6 +313,30 @@ pub enum DeltaError {
         index: usize,
         /// Number of vertices the delta actually declares.
         new_vertices: usize,
+    },
+    /// An edge referenced a base-graph vertex that has been retracted.
+    DeadExisting {
+        /// Index of the offending edge in [`GraphDelta::edges`].
+        edge: usize,
+        /// The tombstoned vertex reference.
+        vertex: VertexId,
+    },
+    /// A retraction referenced a vertex id past the graph's end.
+    DanglingRetraction {
+        /// Index in [`GraphDelta::del_edges`] or
+        /// [`GraphDelta::del_vertices`].
+        index: usize,
+        /// The out-of-range vertex reference.
+        vertex: VertexId,
+        /// The base graph's vertex slot count the delta was checked
+        /// against.
+        vertex_count: usize,
+    },
+    /// An edge retraction referenced one of the delta's own new
+    /// vertices but matched no pending insert — it can never resolve.
+    UnmatchedNewRetraction {
+        /// Index of the offending entry in [`GraphDelta::del_edges`].
+        index: usize,
     },
 }
 
@@ -189,6 +359,22 @@ impl std::fmt::Display for DeltaError {
                 f,
                 "delta edge {edge} references new vertex {index} but the delta declares only {new_vertices}"
             ),
+            DeltaError::DeadExisting { edge, vertex } => write!(
+                f,
+                "delta edge {edge} references base vertex {vertex}, which has been retracted"
+            ),
+            DeltaError::DanglingRetraction {
+                index,
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "delta retraction {index} references base vertex {vertex} but the graph has only {vertex_count} vertex slots"
+            ),
+            DeltaError::UnmatchedNewRetraction { index } => write!(
+                f,
+                "delta retraction {index} references a new vertex of the same delta but matches no pending insert"
+            ),
         }
     }
 }
@@ -196,47 +382,51 @@ impl std::fmt::Display for DeltaError {
 impl std::error::Error for DeltaError {}
 
 /// The result of applying a delta: the new base graph plus the resolved
-/// ids of the inserted vertices and edge endpoints.
+/// ids of everything the delta touched — what incremental view and
+/// statistics maintenance consume.
 #[derive(Debug, Clone)]
 pub struct AppliedDelta {
-    /// The new base graph. Existing vertex and edge ids are unchanged;
-    /// new vertices/edges are appended.
+    /// The new base graph. Existing vertex and edge ids are unchanged
+    /// (retraction tombstones, it never renumbers); new vertices/edges
+    /// are appended.
     pub graph: Graph,
+    /// The base graph the delta was applied to (an O(1) handle — the
+    /// payload is shared). Deletion-side maintenance walks *this* graph
+    /// to find sources whose walks died.
+    pub base_old: Graph,
     /// Ids of the newly inserted vertices, in delta order.
     pub new_vertices: Vec<VertexId>,
     /// Resolved `(src, dst)` endpoints of the newly inserted edges.
     pub new_edges: Vec<(VertexId, VertexId)>,
+    /// Resolved `(src, dst)` endpoints of every retracted edge,
+    /// including edges cascaded from vertex retractions.
+    pub deleted_edges: Vec<(VertexId, VertexId)>,
+    /// Ids of the retracted vertices (those that were actually live).
+    pub deleted_vertices: Vec<VertexId>,
 }
 
-/// Applies an insert-only delta to a graph. Existing ids are preserved
-/// (new elements are appended), so [`VRef::Existing`] references remain
-/// valid across repeated applications.
+/// Applies a delta to a graph. Existing ids are preserved — new
+/// elements are appended, retracted elements are tombstoned in place —
+/// so [`VRef::Existing`] references remain valid across repeated
+/// applications.
+///
+/// Edge retractions remove the newest live matching base edge (LIFO; a
+/// retraction with no live match is a no-op). Vertex retractions
+/// cascade to every incident edge, including edges inserted by the same
+/// delta.
 ///
 /// # Panics
-/// Panics if a [`VRef::New`] index is out of range of the delta.
+/// Panics if a [`VRef::New`] index is out of range of the delta, or if
+/// an inserted edge references an out-of-range or tombstoned vertex.
+/// Untrusted deltas should be checked with
+/// [`GraphDelta::validate_against`] first.
 pub fn apply_delta(g: &Graph, delta: &GraphDelta) -> AppliedDelta {
-    let mut b = GraphBuilder::with_capacity(
-        g.vertex_count() + delta.vertices.len(),
-        g.edge_count() + delta.edges.len(),
-    );
-    for v in g.vertices() {
-        let nv = b.add_vertex(g.vertex_type(v));
-        debug_assert_eq!(nv, v);
-        for (k, val) in g.vertex_props(v).iter() {
-            b.set_vertex_prop(nv, g.resolve(k), val.clone());
-        }
-    }
-    for e in g.edges() {
-        let ne = b.add_edge(g.edge_src(e), g.edge_dst(e), g.edge_type(e));
-        for (k, val) in g.edge_props(e).iter() {
-            b.set_edge_prop(ne, g.resolve(k), val.clone());
-        }
-    }
+    let mut ed = g.edit();
     let mut new_vertices = Vec::with_capacity(delta.vertices.len());
     for nv in &delta.vertices {
-        let id = b.add_vertex(&nv.vtype);
+        let id = ed.add_vertex(&nv.vtype);
         for (k, val) in &nv.props {
-            b.set_vertex_prop(id, k, val.clone());
+            ed.set_vertex_prop(id, k, val.clone());
         }
         new_vertices.push(id);
     }
@@ -249,53 +439,122 @@ pub fn apply_delta(g: &Graph, delta: &GraphDelta) -> AppliedDelta {
     let mut new_edges = Vec::with_capacity(delta.edges.len());
     for ne in &delta.edges {
         let (s, d) = (resolve(ne.src), resolve(ne.dst));
-        let id = b.add_edge(s, d, &ne.etype);
+        let id = ed.add_edge(s, d, &ne.etype);
         for (k, val) in &ne.props {
-            b.set_edge_prop(id, k, val.clone());
+            ed.set_edge_prop(id, k, val.clone());
         }
         new_edges.push((s, d));
     }
+    // Retractions resolve against the *base* graph only: any retraction
+    // that should have hit an in-batch insert was already cancelled by
+    // del_edge/merge, so remaining ones never target edges added above.
+    let mut deleted_edges = Vec::new();
+    for de in &delta.del_edges {
+        let (s, d) = (resolve(de.src), resolve(de.dst));
+        if s.index() >= g.vertex_slots() {
+            continue; // staged source: nothing in the base to retract
+        }
+        let newest = g
+            .out_edges(s)
+            .filter(|&(e, w)| w == d && g.edge_type(e) == de.etype && ed.is_edge_live(e))
+            .map(|(e, _)| e)
+            .max();
+        if let Some(e) = newest {
+            ed.remove_edge(e);
+            deleted_edges.push((s, d));
+        }
+    }
+    let mut deleted_vertices = Vec::new();
+    for &v in &delta.del_vertices {
+        if !ed.is_vertex_live(v) {
+            continue; // already dead (possibly retracted twice in-batch)
+        }
+        let removed = ed.remove_vertex(v);
+        deleted_edges.extend(removed.iter().map(|&(_, s, d)| (s, d)));
+        deleted_vertices.push(v);
+    }
     AppliedDelta {
-        graph: b.finish(),
+        graph: ed.finish(),
+        base_old: g.clone(),
         new_vertices,
         new_edges,
+        deleted_edges,
+        deleted_vertices,
     }
+}
+
+/// Per-vertex out-degree changes implied by an applied delta — the
+/// input `GraphStats::with_changes` needs to update statistics without
+/// rescanning the graph. Only vertices whose out-degree, existence, or
+/// liveness changed are listed (sources of inserted/retracted edges,
+/// inserted vertices, retracted vertices).
+pub fn stat_changes(applied: &AppliedDelta) -> Vec<DegreeChange> {
+    let old = &applied.base_old;
+    let new = &applied.graph;
+    let mut touched: BTreeSet<VertexId> = BTreeSet::new();
+    touched.extend(applied.new_edges.iter().map(|&(s, _)| s));
+    touched.extend(applied.deleted_edges.iter().map(|&(s, _)| s));
+    touched.extend(applied.new_vertices.iter().copied());
+    touched.extend(applied.deleted_vertices.iter().copied());
+    touched
+        .into_iter()
+        .map(|v| {
+            let before = (v.index() < old.vertex_slots() && old.is_vertex_live(v))
+                .then(|| old.out_degree(v));
+            let after = new.is_vertex_live(v).then(|| new.out_degree(v));
+            DegreeChange {
+                vtype: new.vertex_type(v).to_string(),
+                before,
+                after,
+            }
+        })
+        .collect()
 }
 
 /// Sources whose exact-`k` frontier can change after the delta: any
 /// vertex of the connector's source type within `k-1` **backward** hops
-/// of a new edge's source endpoint (over the new base graph), plus any
-/// newly inserted source-type vertex.
-fn affected_sources(
-    base_new: &Graph,
-    def: &ConnectorDef,
-    applied: &AppliedDelta,
-) -> HashSet<VertexId> {
+/// of an inserted edge's source endpoint (over the new base graph) or
+/// of a retracted edge's source endpoint (over the *old* base graph —
+/// the walks that died only exist there), plus any newly inserted
+/// source-type vertex. Vertices retracted by the delta are excluded:
+/// they no longer appear in the view at all.
+fn affected_sources(def: &ConnectorDef, applied: &AppliedDelta) -> HashSet<VertexId> {
+    let base_new = &applied.graph;
+    let base_old = &applied.base_old;
     let mut affected = HashSet::new();
-    for &(s, _) in &applied.new_edges {
+    let mut backward = |g: &Graph, s: VertexId| {
         // backward BFS up to k-1 hops, including s itself
         let mut visited = HashSet::new();
         visited.insert(s);
         let mut queue = VecDeque::from([(s, 0usize)]);
         while let Some((v, d)) = queue.pop_front() {
-            if base_new.vertex_type(v) == def.src_type {
+            if g.vertex_type(v) == def.src_type {
                 affected.insert(v);
             }
             if d + 1 > def.k.saturating_sub(1) {
                 continue;
             }
-            for w in base_new.in_neighbors(v) {
+            for w in g.in_neighbors(v) {
                 if visited.insert(w) {
                     queue.push_back((w, d + 1));
                 }
             }
         }
+    };
+    for &(s, _) in &applied.new_edges {
+        backward(base_new, s);
+    }
+    for &(s, _) in &applied.deleted_edges {
+        if s.index() < base_old.vertex_slots() {
+            backward(base_old, s);
+        }
     }
     for &v in &applied.new_vertices {
-        if base_new.vertex_type(v) == def.src_type {
+        if base_new.is_vertex_live(v) && base_new.vertex_type(v) == def.src_type {
             affected.insert(v);
         }
     }
+    affected.retain(|&v| base_new.is_vertex_live(v));
     affected
 }
 
@@ -304,17 +563,21 @@ fn affected_sources(
 /// `old_view` must be the result of
 /// [`crate::materialize_connector`]`(base_old, def)` and `applied` the
 /// result of applying the delta to `base_old`. Unaffected sources'
-/// connector edges are copied from the old view; affected sources are
-/// recomputed against the new base. The result is identical to
-/// re-materializing from scratch (asserted by tests), but touches only
-/// the neighborhood of the change.
+/// connector edges — including their `ts` and provenance `support`
+/// properties — are copied from the old view; affected sources are
+/// recomputed against the new base, which re-derives each surviving
+/// edge's support and drops edges whose last witnessing walk died. The
+/// result is identical to re-materializing from scratch (asserted by
+/// tests), but touches only the neighborhood of the change.
 pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &ConnectorDef) -> Graph {
     let base_new = &applied.graph;
-    let affected = affected_sources(base_new, def, applied);
+    let base_old = &applied.base_old;
+    let affected = affected_sources(def, applied);
 
     // Connector views list base vertices of the target types in base-id
-    // order; ids are stable under apply_delta, so old view vertex i is
-    // the i-th type-filtered vertex of the new base as well.
+    // order; ids are stable under apply_delta, so the mapping between
+    // old-view ids and base ids is the old base's type-filtered live
+    // vertex sequence.
     let mut b = GraphBuilder::new();
     let mut view_id_of: HashMap<VertexId, VertexId> = HashMap::new();
     for v in base_new.vertices() {
@@ -329,25 +592,29 @@ pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &Connec
     }
 
     let label = def.edge_label();
-    // Copy edges of unaffected sources from the old view. Old view
-    // vertex ids coincide with new view vertex ids for the prefix.
-    let mut base_of_old_view: Vec<VertexId> = Vec::with_capacity(old_view.vertex_count());
-    {
-        let mut it = base_new.vertices().filter(|&v| {
-            let t = base_new.vertex_type(v);
+    let base_of_old_view: Vec<VertexId> = base_old
+        .vertices()
+        .filter(|&v| {
+            let t = base_old.vertex_type(v);
             t == def.src_type || t == def.dst_type
-        });
-        for _ in 0..old_view.vertex_count() {
-            base_of_old_view.push(it.next().expect("old view is a prefix"));
-        }
-    }
+        })
+        .collect();
+    debug_assert_eq!(base_of_old_view.len(), old_view.vertex_count());
+
+    // Copy edges of unaffected sources from the old view. A source or
+    // destination retracted by this delta always leaves its sources
+    // affected (its incident edges were retracted too), so the map
+    // lookups only filter dead endpoints defensively.
     for e in old_view.edges() {
         let src_base = base_of_old_view[old_view.edge_src(e).index()];
         if affected.contains(&src_base) {
             continue; // recomputed below
         }
         let dst_base = base_of_old_view[old_view.edge_dst(e).index()];
-        let ne = b.add_edge(view_id_of[&src_base], view_id_of[&dst_base], &label);
+        let (Some(&ns), Some(&nd)) = (view_id_of.get(&src_base), view_id_of.get(&dst_base)) else {
+            continue;
+        };
+        let ne = b.add_edge(ns, nd, &label);
         for (k, val) in old_view.edge_props(e).iter() {
             b.set_edge_prop(ne, old_view.resolve(k), val.clone());
         }
@@ -357,44 +624,10 @@ pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &Connec
     let mut affected: Vec<VertexId> = affected.into_iter().collect();
     affected.sort();
     for u in affected {
-        let mut frontier: HashMap<VertexId, i64> = HashMap::new();
-        frontier.insert(u, i64::MIN);
-        for _ in 0..def.k {
-            let mut next: HashMap<VertexId, i64> = HashMap::new();
-            for (&v, &acc) in &frontier {
-                for (e, w) in base_new.out_edges(v) {
-                    if let Some(required) = &def.etype {
-                        if base_new.edge_type(e) != required {
-                            continue;
-                        }
-                    }
-                    let ts = base_new
-                        .edge_prop(e, "ts")
-                        .and_then(|p| p.as_int())
-                        .unwrap_or(i64::MIN);
-                    let cand = acc.max(ts);
-                    next.entry(w)
-                        .and_modify(|cur| *cur = (*cur).max(cand))
-                        .or_insert(cand);
-                }
-            }
-            frontier = next;
-            if frontier.is_empty() {
-                break;
-            }
-        }
-        let mut targets: Vec<(VertexId, i64)> = frontier
-            .into_iter()
-            .filter(|(v, _)| *v != u && base_new.vertex_type(*v) == def.dst_type)
-            .collect();
-        targets.sort_by_key(|(v, _)| *v);
-        let nu = view_id_of[&u];
-        for (v, ts) in targets {
-            let e = b.add_edge(nu, view_id_of[&v], &label);
-            if ts != i64::MIN {
-                b.set_edge_prop(e, "ts", Value::Int(ts));
-            }
-        }
+        let Some(&nu) = view_id_of.get(&u) else {
+            continue;
+        };
+        emit_connector_edges(&mut b, base_new, def, &label, u, nu, &view_id_of);
     }
     b.finish()
 }
@@ -403,10 +636,15 @@ pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &Connec
 mod tests {
     use super::*;
     use crate::materialize::materialize_connector;
+    use kaskade_graph::EdgeId;
+
+    /// One canonical edge: endpoints, type, `ts`, provenance `support`.
+    type EdgePrint = (u32, u32, String, Option<i64>, Option<i64>);
 
     /// Canonical edge multiset for graph comparison (view graphs may
     /// order edges differently between incremental and full builds).
-    fn edge_fingerprint(g: &Graph) -> Vec<(u32, u32, String, Option<i64>)> {
+    /// Includes `ts` and the provenance `support` count.
+    fn edge_fingerprint(g: &Graph) -> Vec<EdgePrint> {
         let mut v: Vec<_> = g
             .edges()
             .map(|e| {
@@ -415,6 +653,7 @@ mod tests {
                     g.edge_dst(e).0,
                     g.edge_type(e).to_string(),
                     g.edge_prop(e, "ts").and_then(|p| p.as_int()),
+                    g.edge_prop(e, "support").and_then(|p| p.as_int()),
                 )
             })
             .collect();
@@ -485,6 +724,142 @@ mod tests {
     }
 
     #[test]
+    fn retraction_removes_newest_matching_edge() {
+        // two parallel j0 -w-> f0 edges; one retraction kills the newer
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(j0, f0, "WRITES_TO");
+        let g = b.finish();
+
+        let mut d = GraphDelta::new();
+        d.del_edge(VRef::Existing(j0), VRef::Existing(f0), "WRITES_TO");
+        let applied = apply_delta(&g, &d);
+        assert_eq!(applied.graph.edge_count(), 1);
+        assert!(applied.graph.is_edge_live(EdgeId(0)));
+        assert!(!applied.graph.is_edge_live(EdgeId(1)));
+        assert_eq!(applied.deleted_edges, vec![(j0, f0)]);
+
+        // retracting again kills the older one; a third is a no-op
+        let mut d2 = GraphDelta::new();
+        d2.del_edge(VRef::Existing(j0), VRef::Existing(f0), "WRITES_TO");
+        d2.del_edge(VRef::Existing(j0), VRef::Existing(f0), "WRITES_TO");
+        let applied2 = apply_delta(&applied.graph, &d2);
+        assert_eq!(applied2.graph.edge_count(), 0);
+        assert_eq!(applied2.deleted_edges.len(), 1);
+    }
+
+    #[test]
+    fn insert_then_delete_cancels_within_a_delta() {
+        let g = lineage_base();
+        let mut d = GraphDelta::new();
+        let f = d.add_vertex("File", vec![]);
+        d.add_edge(VRef::Existing(VertexId(2)), f, "WRITES_TO", vec![]);
+        d.del_edge(VRef::Existing(VertexId(2)), f, "WRITES_TO");
+        assert!(d.edges.is_empty(), "pending insert cancelled");
+        assert!(d.del_edges.is_empty(), "retraction consumed");
+        let applied = apply_delta(&g, &d);
+        assert_eq!(applied.graph.edge_count(), g.edge_count());
+        assert!(applied.deleted_edges.is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels_across_merge() {
+        let g = lineage_base();
+        // delta A inserts a fresh edge; delta B retracts the same
+        // identity. Sequential application nets to the base graph, and
+        // so must the merged batch (via cancellation, since B's target
+        // has no id yet at merge time).
+        let mut a = GraphDelta::new();
+        a.add_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+            vec![("ts".into(), Value::Int(9))],
+        );
+        let mut b = GraphDelta::new();
+        b.del_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+        );
+
+        let sequential = apply_delta(&apply_delta(&g, &a).graph, &b).graph;
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let batched = apply_delta(&g, &merged).graph;
+        assert_eq!(edge_fingerprint(&sequential), edge_fingerprint(&batched));
+        // the ORIGINAL base edge survives in both (LIFO removed A's)
+        assert!(batched.is_edge_live(EdgeId(0)));
+        assert_eq!(batched.edge_count(), 2);
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips() {
+        let g = lineage_base();
+        // one delta retracts the base edge and re-inserts the same
+        // identity with a new ts: the retraction must hit the OLD edge,
+        // not the re-insert
+        let mut d = GraphDelta::new();
+        d.del_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+        );
+        d.add_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+            vec![("ts".into(), Value::Int(77))],
+        );
+        let applied = apply_delta(&g, &d);
+        assert_eq!(applied.graph.edge_count(), 2);
+        assert!(!applied.graph.is_edge_live(EdgeId(0)), "old edge retracted");
+        let reinserted = EdgeId(applied.graph.edge_slots() as u32 - 1);
+        assert_eq!(
+            applied.graph.edge_prop(reinserted, "ts"),
+            Some(&Value::Int(77))
+        );
+
+        // split across two merged deltas the result is the same
+        let mut a = GraphDelta::new();
+        a.del_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+        );
+        let mut b2 = GraphDelta::new();
+        b2.add_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+            vec![("ts".into(), Value::Int(77))],
+        );
+        let sequential = apply_delta(&apply_delta(&g, &a).graph, &b2).graph;
+        let mut merged = a.clone();
+        merged.merge(&b2);
+        let batched = apply_delta(&g, &merged).graph;
+        assert_eq!(edge_fingerprint(&sequential), edge_fingerprint(&batched));
+        assert_eq!(edge_fingerprint(&batched), edge_fingerprint(&applied.graph));
+    }
+
+    #[test]
+    fn vertex_retraction_cascades() {
+        let g = lineage_base();
+        let mut d = GraphDelta::new();
+        d.del_vertex(VertexId(1)); // f0: both base edges touch it
+        let applied = apply_delta(&g, &d);
+        assert_eq!(applied.graph.vertex_count(), 2);
+        assert_eq!(applied.graph.edge_count(), 0);
+        assert_eq!(applied.deleted_vertices, vec![VertexId(1)]);
+        assert_eq!(applied.deleted_edges.len(), 2);
+        // retracting the same vertex again is a no-op
+        let applied2 = apply_delta(&applied.graph, &d);
+        assert!(applied2.deleted_vertices.is_empty());
+    }
+
+    #[test]
     fn validate_catches_dangling_references() {
         let g = lineage_base(); // 3 vertices
         let mut ok = GraphDelta::new();
@@ -503,6 +878,33 @@ mod tests {
         dangling_new.add_edge(VRef::New(0), VRef::New(1), "WRITES_TO", vec![]);
         let err = dangling_new.validate(g.vertex_count()).unwrap_err();
         assert!(matches!(err, DeltaError::DanglingNew { .. }));
+
+        let mut dangling_del = GraphDelta::new();
+        dangling_del.del_vertex(VertexId(99));
+        let err = dangling_del.validate(g.vertex_count()).unwrap_err();
+        assert!(matches!(err, DeltaError::DanglingRetraction { .. }));
+
+        // a New-ref retraction that matched no pending insert
+        let mut unmatched = GraphDelta::new();
+        let v = unmatched.add_vertex("File", vec![]);
+        unmatched.del_edge(VRef::Existing(VertexId(0)), v, "WRITES_TO");
+        let err = unmatched.validate(g.vertex_count()).unwrap_err();
+        assert!(matches!(err, DeltaError::UnmatchedNewRetraction { .. }));
+    }
+
+    #[test]
+    fn validate_against_rejects_dead_targets() {
+        let g = lineage_base().remove_vertices([VertexId(1)]);
+        let mut onto_dead = GraphDelta::new();
+        let v = onto_dead.add_vertex("Job", vec![]);
+        onto_dead.add_edge(VRef::Existing(VertexId(1)), v, "IS_READ_BY", vec![]);
+        let err = onto_dead.validate_against(&g, 0).unwrap_err();
+        assert!(matches!(err, DeltaError::DeadExisting { .. }));
+        assert!(err.to_string().contains("retracted"));
+        // retracting around a dead vertex is tolerated (no-op at apply)
+        let mut del_dead = GraphDelta::new();
+        del_dead.del_vertex(VertexId(1));
+        assert_eq!(del_dead.validate_against(&g, 0), Ok(()));
     }
 
     #[test]
@@ -564,15 +966,121 @@ mod tests {
     }
 
     #[test]
-    fn incremental_on_randomized_growth() {
+    fn multi_witness_edge_survives_single_retraction() {
+        // two disjoint 2-walks j0 -> f -> j1: the connector edge has
+        // support 2 and must survive losing one witness
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let f1 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(j0, f1, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.add_edge(f1, j1, "IS_READ_BY");
+        let g = b.finish();
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let view = materialize_connector(&g, &def);
+        assert_eq!(view.edge_count(), 1);
+        let e = view.edges().next().unwrap();
+        assert_eq!(view.edge_prop(e, "support"), Some(&Value::Int(2)));
+
+        // retract one witness: the edge survives with support 1
+        let mut d = GraphDelta::new();
+        d.del_edge(VRef::Existing(f0), VRef::Existing(j1), "IS_READ_BY");
+        let applied = apply_delta(&g, &d);
+        let view1 = maintain_connector(&view, &applied, &def);
+        assert_eq!(
+            edge_fingerprint(&view1),
+            edge_fingerprint(&materialize_connector(&applied.graph, &def))
+        );
+        assert_eq!(view1.edge_count(), 1);
+        let e = view1.edges().next().unwrap();
+        assert_eq!(view1.edge_prop(e, "support"), Some(&Value::Int(1)));
+
+        // retract the last witness: the edge dies
+        let mut d2 = GraphDelta::new();
+        d2.del_edge(VRef::Existing(f1), VRef::Existing(j1), "IS_READ_BY");
+        let applied2 = apply_delta(&applied.graph, &d2);
+        let view2 = maintain_connector(&view1, &applied2, &def);
+        assert_eq!(
+            edge_fingerprint(&view2),
+            edge_fingerprint(&materialize_connector(&applied2.graph, &def))
+        );
+        assert_eq!(view2.edge_count(), 0);
+    }
+
+    #[test]
+    fn retraction_recomputes_ts_from_surviving_walks() {
+        // two walks with different max ts; retracting the younger one
+        // must fall the connector ts back to the older walk's
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let f1 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        let e = b.add_edge(j0, f0, "WRITES_TO");
+        b.set_edge_prop(e, "ts", Value::Int(1));
+        let e = b.add_edge(f0, j1, "IS_READ_BY");
+        b.set_edge_prop(e, "ts", Value::Int(2));
+        let e = b.add_edge(j0, f1, "WRITES_TO");
+        b.set_edge_prop(e, "ts", Value::Int(3));
+        let e = b.add_edge(f1, j1, "IS_READ_BY");
+        b.set_edge_prop(e, "ts", Value::Int(9));
+        let g = b.finish();
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let view = materialize_connector(&g, &def);
+        let e = view.edges().next().unwrap();
+        assert_eq!(view.edge_prop(e, "ts"), Some(&Value::Int(9)));
+
+        let mut d = GraphDelta::new();
+        d.del_edge(VRef::Existing(f1), VRef::Existing(j1), "IS_READ_BY");
+        let applied = apply_delta(&g, &d);
+        let view1 = maintain_connector(&view, &applied, &def);
+        let e = view1.edges().next().unwrap();
+        assert_eq!(view1.edge_prop(e, "ts"), Some(&Value::Int(2)));
+        assert_eq!(
+            edge_fingerprint(&view1),
+            edge_fingerprint(&materialize_connector(&applied.graph, &def))
+        );
+    }
+
+    #[test]
+    fn incremental_handles_vertex_retraction() {
+        let g = lineage_base();
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let view = materialize_connector(&g, &def);
+        assert_eq!(view.edge_count(), 1);
+
+        let mut d = GraphDelta::new();
+        d.del_vertex(VertexId(1)); // f0: severs the only walk
+        let applied = apply_delta(&g, &d);
+        let incremental = maintain_connector(&view, &applied, &def);
+        let full = materialize_connector(&applied.graph, &def);
+        assert_eq!(edge_fingerprint(&incremental), edge_fingerprint(&full));
+        assert_eq!(incremental.edge_count(), 0);
+        assert_eq!(incremental.vertex_count(), 2); // both jobs remain
+
+        // retracting a view-typed vertex drops it from the view too
+        let mut d2 = GraphDelta::new();
+        d2.del_vertex(VertexId(2)); // j1
+        let applied2 = apply_delta(&applied.graph, &d2);
+        let incremental2 = maintain_connector(&incremental, &applied2, &def);
+        let full2 = materialize_connector(&applied2.graph, &def);
+        assert_eq!(edge_fingerprint(&incremental2), edge_fingerprint(&full2));
+        assert_eq!(incremental2.vertex_count(), 1);
+    }
+
+    #[test]
+    fn incremental_on_randomized_churn() {
         use kaskade_datasets::{generate_provenance, ProvenanceConfig};
         let g = generate_provenance(&ProvenanceConfig::tiny(71).core_only());
         let def = ConnectorDef::k_hop("Job", "Job", 2);
         let mut view = materialize_connector(&g, &def);
         let mut base = g;
 
-        // grow the graph in three waves, maintaining incrementally
-        for wave in 0..3u64 {
+        // grow AND shrink the graph in waves, maintaining incrementally
+        for wave in 0..6u64 {
             let mut d = GraphDelta::new();
             let files: Vec<VertexId> = base.vertices_of_type("File").collect();
             let j = d.add_vertex("Job", vec![("CPU".into(), Value::Int(5))]);
@@ -592,6 +1100,22 @@ mod tests {
                 "WRITES_TO",
                 vec![("ts".into(), Value::Int(1005 + wave as i64 * 10))],
             );
+            // every other wave also retracts an old read edge and, on
+            // wave 4, a whole file vertex
+            if wave % 2 == 1 {
+                if let Some(e) = base.edges().find(|&e| base.edge_type(e) == "IS_READ_BY") {
+                    d.del_edge(
+                        VRef::Existing(base.edge_src(e)),
+                        VRef::Existing(base.edge_dst(e)),
+                        "IS_READ_BY",
+                    );
+                }
+            }
+            if wave == 4 {
+                if let Some(f) = files.first() {
+                    d.del_vertex(*f);
+                }
+            }
             let applied = apply_delta(&base, &d);
             view = maintain_connector(&view, &applied, &def);
             let full = materialize_connector(&applied.graph, &def);
@@ -626,5 +1150,32 @@ mod tests {
         let full = materialize_connector(&applied.graph, &def);
         assert_eq!(edge_fingerprint(&incremental), edge_fingerprint(&full));
         assert_eq!(incremental.edge_count(), 1); // a -F-> c -F-> e only
+    }
+
+    #[test]
+    fn stat_changes_track_inserts_and_retractions() {
+        let g = lineage_base();
+        let stats = kaskade_graph::GraphStats::compute(&g);
+        let mut d = GraphDelta::new();
+        let f = d.add_vertex("File", vec![]);
+        d.add_edge(VRef::Existing(VertexId(2)), f, "WRITES_TO", vec![]);
+        d.del_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+        );
+        let applied = apply_delta(&g, &d);
+        let changes = stat_changes(&applied);
+        let incremental = stats
+            .with_changes(
+                &changes,
+                applied.graph.vertex_count(),
+                applied.graph.edge_count(),
+            )
+            .unwrap();
+        assert_eq!(
+            incremental,
+            kaskade_graph::GraphStats::compute(&applied.graph)
+        );
     }
 }

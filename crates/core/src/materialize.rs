@@ -21,6 +21,83 @@ pub fn materialize(g: &Graph, def: &ViewDef) -> Graph {
     }
 }
 
+/// One connector target of a source vertex: the destination, the max
+/// `ts` over the contracted walks, and the walk (witness) count.
+pub(crate) type ConnectorTarget = (VertexId, i64, i64);
+
+/// Exact-`k` walk targets of `u` under `def`: for every vertex `v != u`
+/// of the destination type reachable by a directed walk of exactly
+/// `def.k` (type-filtered) edges, returns `(v, max ts, support)` where
+/// `support` counts the distinct walks — the per-edge **provenance
+/// count** incremental maintenance decrements on retraction (a
+/// connector edge dies only when its last witnessing walk dies).
+/// Counts saturate at `i64::MAX`. Targets come back in id order.
+///
+/// Shared by [`materialize_connector`] (full builds) and
+/// [`crate::maintain::maintain_connector`] (incremental refresh), so
+/// the two always agree edge-for-edge and property-for-property.
+pub(crate) fn connector_targets(
+    g: &Graph,
+    def: &ConnectorDef,
+    u: VertexId,
+) -> Vec<ConnectorTarget> {
+    // levels of exactly-d walks: per vertex the max edge ts and the
+    // number of distinct walks reaching it
+    let mut frontier: HashMap<VertexId, (i64, i64)> = HashMap::new();
+    frontier.insert(u, (i64::MIN, 1));
+    for _ in 0..def.k {
+        let mut next: HashMap<VertexId, (i64, i64)> = HashMap::new();
+        for (&v, &(acc, walks)) in &frontier {
+            for (e, w) in g.out_edges(v) {
+                if let Some(required) = &def.etype {
+                    if g.edge_type(e) != required {
+                        continue;
+                    }
+                }
+                let ts = g
+                    .edge_prop(e, "ts")
+                    .and_then(|p| p.as_int())
+                    .unwrap_or(i64::MIN);
+                let cand = acc.max(ts);
+                let entry = next.entry(w).or_insert((i64::MIN, 0));
+                entry.0 = entry.0.max(cand);
+                entry.1 = entry.1.saturating_add(walks);
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    let mut targets: Vec<ConnectorTarget> = frontier
+        .into_iter()
+        .filter(|(v, _)| *v != u && g.vertex_type(*v) == def.dst_type)
+        .map(|(v, (ts, walks))| (v, ts, walks))
+        .collect();
+    targets.sort_by_key(|&(v, _, _)| v);
+    targets
+}
+
+/// Adds the connector edges of source `u` to a view under construction.
+pub(crate) fn emit_connector_edges(
+    b: &mut GraphBuilder,
+    g: &Graph,
+    def: &ConnectorDef,
+    label: &str,
+    u: VertexId,
+    nu: VertexId,
+    remap: &HashMap<VertexId, VertexId>,
+) {
+    for (v, ts, support) in connector_targets(g, def, u) {
+        let Some(&nv) = remap.get(&v) else { continue };
+        let e = b.add_edge(nu, nv, label);
+        if ts != i64::MIN {
+            b.set_edge_prop(e, "ts", Value::Int(ts));
+        }
+        b.set_edge_prop(e, "support", Value::Int(support));
+    }
+}
+
 /// Materializes a k-hop connector (§VI-A, Fig. 3).
 ///
 /// The view contains every vertex of the connector's source and
@@ -30,9 +107,12 @@ pub fn materialize(g: &Graph, def: &ViewDef) -> Graph {
 /// edges (a connector contracts paths *between* two target vertices, so
 /// u -> ... -> u round-trips are excluded — they would add a self-loop
 /// per vertex and poison view-side algorithms like label propagation).
-/// Each connector edge carries a `ts` property: the maximum `ts` over
+/// Each connector edge carries a `ts` property — the maximum `ts` over
 /// the edges of the contracted walks (so timestamp aggregations like Q4
-/// keep working on the view).
+/// keep working on the view) — and a `support` property counting the
+/// contracted walks, the provenance count that lets incremental
+/// maintenance retract a view edge exactly when its last witnessing
+/// walk disappears (see `kaskade-core::maintain`).
 pub fn materialize_connector(g: &Graph, def: &ConnectorDef) -> Graph {
     let mut b = GraphBuilder::new();
     let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
@@ -50,51 +130,12 @@ pub fn materialize_connector(g: &Graph, def: &ConnectorDef) -> Graph {
     }
 
     let label = def.edge_label();
-    let ts_key = "ts";
     for u in g.vertices() {
         if g.vertex_type(u) != def.src_type {
             continue;
         }
-        // levels of exactly-d walks, tracking max edge ts per vertex
-        let mut frontier: HashMap<VertexId, i64> = HashMap::new();
-        frontier.insert(u, i64::MIN);
-        for _ in 0..def.k {
-            let mut next: HashMap<VertexId, i64> = HashMap::new();
-            for (&v, &acc) in &frontier {
-                for (e, w) in g.out_edges(v) {
-                    if let Some(required) = &def.etype {
-                        if g.edge_type(e) != required {
-                            continue;
-                        }
-                    }
-                    let ts = g
-                        .edge_prop(e, ts_key)
-                        .and_then(|p| p.as_int())
-                        .unwrap_or(i64::MIN);
-                    let cand = acc.max(ts);
-                    next.entry(w)
-                        .and_modify(|cur| *cur = (*cur).max(cand))
-                        .or_insert(cand);
-                }
-            }
-            frontier = next;
-            if frontier.is_empty() {
-                break;
-            }
-        }
         let Some(&nu) = remap.get(&u) else { continue };
-        let mut targets: Vec<(VertexId, i64)> = frontier
-            .into_iter()
-            .filter(|(v, _)| *v != u && g.vertex_type(*v) == def.dst_type)
-            .collect();
-        targets.sort_by_key(|(v, _)| *v);
-        for (v, ts) in targets {
-            let Some(&nv) = remap.get(&v) else { continue };
-            let e = b.add_edge(nu, nv, &label);
-            if ts != i64::MIN {
-                b.set_edge_prop(e, ts_key, Value::Int(ts));
-            }
-        }
+        emit_connector_edges(&mut b, g, def, &label, u, nu, &remap);
     }
     b.finish()
 }
@@ -137,7 +178,7 @@ pub fn materialize_source_sink(g: &Graph, def: &SourceSinkDef) -> Graph {
             continue;
         }
         // full forward reachability from the source
-        let mut visited = vec![false; g.vertex_count()];
+        let mut visited = vec![false; g.vertex_slots()];
         visited[u.index()] = true;
         let mut queue = VecDeque::from([u]);
         let mut reached_sinks = Vec::new();
@@ -222,18 +263,18 @@ fn filter_graph(
     keep_edge: impl Fn(&Graph, kaskade_graph::EdgeId) -> bool,
     only_incident_vertices: bool,
 ) -> Graph {
-    let mut vertex_kept = vec![false; g.vertex_count()];
+    let mut vertex_kept = vec![false; g.vertex_slots()];
     for v in g.vertices() {
         vertex_kept[v.index()] = keep_vertex(g, v);
     }
-    let mut edge_kept = vec![false; g.edge_count()];
+    let mut edge_kept = vec![false; g.edge_slots()];
     for e in g.edges() {
         edge_kept[e.index()] = keep_edge(g, e)
             && vertex_kept[g.edge_src(e).index()]
             && vertex_kept[g.edge_dst(e).index()];
     }
     if only_incident_vertices {
-        let mut incident = vec![false; g.vertex_count()];
+        let mut incident = vec![false; g.vertex_slots()];
         for e in g.edges() {
             if edge_kept[e.index()] {
                 incident[g.edge_src(e).index()] = true;
@@ -246,7 +287,7 @@ fn filter_graph(
     }
 
     let mut b = GraphBuilder::new();
-    let mut remap = vec![VertexId(u32::MAX); g.vertex_count()];
+    let mut remap = vec![VertexId(u32::MAX); g.vertex_slots()];
     for v in g.vertices() {
         if vertex_kept[v.index()] {
             let nv = b.add_vertex(g.vertex_type(v));
@@ -282,7 +323,7 @@ fn vertex_aggregator(
     agg: AggOp,
 ) -> Graph {
     let mut b = GraphBuilder::new();
-    let mut remap = vec![VertexId(u32::MAX); g.vertex_count()];
+    let mut remap = vec![VertexId(u32::MAX); g.vertex_slots()];
     let mut groups: HashMap<String, (VertexId, i64, i64)> = HashMap::new(); // key -> (super, acc, count)
 
     // pass 1: copy non-grouped vertices, create supervertices

@@ -148,12 +148,17 @@ impl Snapshot {
         self.execute_planned(&planned)
     }
 
-    /// Applies an insert-only [`GraphDelta`] and returns the successor
-    /// snapshot, leaving `self` untouched: the base graph grows, every
-    /// materialized view is refreshed (connectors incrementally — only
-    /// affected sources are recomputed, see [`maintain`] — other views
-    /// by re-materialization), and statistics are recomputed. Readers
-    /// holding the old snapshot keep a fully consistent state.
+    /// Applies a [`GraphDelta`] — insertions *and* retractions — and
+    /// returns the successor snapshot, leaving `self` untouched: the
+    /// base graph evolves (retracted elements tombstone in place, ids
+    /// never shift), every materialized view is refreshed (connectors
+    /// incrementally — only affected sources are recomputed, with
+    /// per-edge provenance counts deciding which view edges die, see
+    /// [`maintain`] — other views by re-materialization), and
+    /// statistics are updated **incrementally** from the delta's degree
+    /// changes instead of a full [`GraphStats::compute`] rescan per
+    /// publish. Readers holding the old snapshot keep a fully
+    /// consistent state.
     pub fn with_delta(&self, delta: &GraphDelta) -> Snapshot {
         let applied = maintain::apply_delta(&self.graph, delta);
         let mut catalog = Catalog::new();
@@ -164,7 +169,15 @@ impl Snapshot {
             };
             catalog.add(MaterializedView::new(view.def.clone(), refreshed));
         }
-        let stats = GraphStats::compute(&applied.graph);
+        let changes = maintain::stat_changes(&applied);
+        let stats = self
+            .stats
+            .with_changes(
+                &changes,
+                applied.graph.vertex_count(),
+                applied.graph.edge_count(),
+            )
+            .unwrap_or_else(|| GraphStats::compute(&applied.graph));
         Snapshot {
             graph: applied.graph,
             schema: self.schema.clone(),
@@ -210,6 +223,40 @@ mod tests {
         assert_eq!(s.graph.edge_count(), e0);
         assert_eq!(next.graph.vertex_count(), v0 + 1);
         assert_eq!(next.stats.vertex_count, v0 + 1);
+    }
+
+    #[test]
+    fn with_delta_stats_match_full_compute_under_churn() {
+        let mut s = snapshot(14);
+        for round in 0..4u32 {
+            let mut d = GraphDelta::new();
+            let j = d.add_vertex("Job", vec![]);
+            let f = s.graph.vertices_of_type("File").next().unwrap();
+            d.add_edge(crate::VRef::Existing(f), j, "IS_READ_BY", vec![]);
+            if round % 2 == 1 {
+                // retract an existing write edge and a whole file
+                if let Some(e) = s
+                    .graph
+                    .edges()
+                    .find(|&e| s.graph.edge_type(e) == "WRITES_TO")
+                {
+                    d.del_edge(
+                        crate::VRef::Existing(s.graph.edge_src(e)),
+                        crate::VRef::Existing(s.graph.edge_dst(e)),
+                        "WRITES_TO",
+                    );
+                }
+                let victim = s.graph.vertices_of_type("File").nth(1).unwrap();
+                d.del_vertex(victim);
+            }
+            s = s.with_delta(&d);
+            assert!(s.stats.supports_incremental());
+            assert_eq!(
+                s.stats,
+                GraphStats::compute(&s.graph),
+                "round {round}: incremental stats diverged"
+            );
+        }
     }
 
     #[test]

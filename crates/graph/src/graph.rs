@@ -178,6 +178,10 @@ impl GraphBuilder {
                 dsts: self.dsts,
                 etypes: self.etypes,
                 eprops: self.eprops,
+                vertex_dead: Vec::new(),
+                edge_dead: Vec::new(),
+                live_vertices: n,
+                live_edges: m,
                 out_offsets,
                 out_edges,
                 in_offsets,
@@ -200,46 +204,102 @@ impl GraphBuilder {
 /// "updates" build a new graph (see `kaskade-core`'s delta maintenance).
 #[derive(Debug, Clone)]
 pub struct Graph {
-    inner: std::sync::Arc<GraphInner>,
+    pub(crate) inner: std::sync::Arc<GraphInner>,
 }
 
 /// The frozen CSR payload shared by all clones of a [`Graph`].
-#[derive(Debug)]
-struct GraphInner {
-    interner: Interner,
-    vtypes: Vec<Symbol>,
-    vprops: Vec<PropMap>,
-    srcs: Vec<VertexId>,
-    dsts: Vec<VertexId>,
-    etypes: Vec<Symbol>,
-    eprops: Vec<PropMap>,
-    out_offsets: Vec<u32>,
-    out_edges: Vec<EdgeId>,
-    in_offsets: Vec<u32>,
-    in_edges: Vec<EdgeId>,
+///
+/// Deletion support works by **tombstoning**: removed vertices and
+/// edges keep their id slot (so `VertexId`/`EdgeId` handed out earlier
+/// stay valid forever — snapshots, queued deltas, and incremental view
+/// maintenance all rely on id stability) but are flagged dead, skipped
+/// by every iterator, and excluded from the adjacency arrays. An empty
+/// `vertex_dead`/`edge_dead` vector means "nothing dead" (the common,
+/// freshly built case).
+#[derive(Debug, Clone)]
+pub(crate) struct GraphInner {
+    pub(crate) interner: Interner,
+    pub(crate) vtypes: Vec<Symbol>,
+    pub(crate) vprops: Vec<PropMap>,
+    pub(crate) srcs: Vec<VertexId>,
+    pub(crate) dsts: Vec<VertexId>,
+    pub(crate) etypes: Vec<Symbol>,
+    pub(crate) eprops: Vec<PropMap>,
+    pub(crate) vertex_dead: Vec<bool>,
+    pub(crate) edge_dead: Vec<bool>,
+    pub(crate) live_vertices: usize,
+    pub(crate) live_edges: usize,
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_edges: Vec<EdgeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_edges: Vec<EdgeId>,
+}
+
+impl GraphInner {
+    #[inline]
+    pub(crate) fn vertex_is_live(&self, i: usize) -> bool {
+        self.vertex_dead.is_empty() || !self.vertex_dead[i]
+    }
+
+    #[inline]
+    pub(crate) fn edge_is_live(&self, i: usize) -> bool {
+        self.edge_dead.is_empty() || !self.edge_dead[i]
+    }
 }
 
 impl Graph {
-    /// Number of vertices.
+    /// Number of **live** vertices (tombstoned vertices excluded).
     #[inline]
     pub fn vertex_count(&self) -> usize {
+        self.inner.live_vertices
+    }
+
+    /// Number of **live** edges (tombstoned edges excluded).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.inner.live_edges
+    }
+
+    /// Number of vertex id slots, live or dead. Every `VertexId` ever
+    /// issued for this graph is `< vertex_slots()`; use this (not
+    /// [`Graph::vertex_count`]) to size id-indexed arrays.
+    #[inline]
+    pub fn vertex_slots(&self) -> usize {
         self.inner.vtypes.len()
     }
 
-    /// Number of edges.
+    /// Number of edge id slots, live or dead (the edge analogue of
+    /// [`Graph::vertex_slots`]).
     #[inline]
-    pub fn edge_count(&self) -> usize {
+    pub fn edge_slots(&self) -> usize {
         self.inner.srcs.len()
     }
 
-    /// Iterator over all vertex ids.
-    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
-        (0..self.inner.vtypes.len() as u32).map(VertexId)
+    /// Whether `v` is live (not tombstoned). Ids at or past
+    /// [`Graph::vertex_slots`] are reported dead.
+    #[inline]
+    pub fn is_vertex_live(&self, v: VertexId) -> bool {
+        v.index() < self.inner.vtypes.len() && self.inner.vertex_is_live(v.index())
     }
 
-    /// Iterator over all edge ids.
-    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
-        (0..self.inner.srcs.len() as u32).map(EdgeId)
+    /// Whether `e` is live (not tombstoned).
+    #[inline]
+    pub fn is_edge_live(&self, e: EdgeId) -> bool {
+        e.index() < self.inner.srcs.len() && self.inner.edge_is_live(e.index())
+    }
+
+    /// Iterator over all live vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.inner.vtypes.len() as u32)
+            .map(VertexId)
+            .filter(|v| self.inner.vertex_is_live(v.index()))
+    }
+
+    /// Iterator over all live edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.inner.srcs.len() as u32)
+            .map(EdgeId)
+            .filter(|e| self.inner.edge_is_live(e.index()))
     }
 
     /// The interned type symbol of `v`.
@@ -421,13 +481,14 @@ impl Graph {
     /// "first n edges" prefix experiments.
     pub fn edge_prefix(&self, m: usize) -> Graph {
         let m = m.min(self.edge_count());
-        let mut keep = vec![false; self.vertex_count()];
-        for i in 0..m {
-            keep[self.inner.srcs[i].index()] = true;
-            keep[self.inner.dsts[i].index()] = true;
+        let prefix: Vec<EdgeId> = self.edges().take(m).collect();
+        let mut keep = vec![false; self.vertex_slots()];
+        for &e in &prefix {
+            keep[self.inner.srcs[e.index()].index()] = true;
+            keep[self.inner.dsts[e.index()].index()] = true;
         }
         let mut b = GraphBuilder::new();
-        let mut remap = vec![VertexId(u32::MAX); self.vertex_count()];
+        let mut remap = vec![VertexId(u32::MAX); self.vertex_slots()];
         for v in self.vertices() {
             if keep[v.index()] {
                 let nv = b.add_vertex(self.vertex_type(v));
@@ -437,14 +498,13 @@ impl Graph {
                 remap[v.index()] = nv;
             }
         }
-        for i in 0..m {
-            let e = EdgeId(i as u32);
+        for &e in &prefix {
             let ne = b.add_edge(
-                remap[self.inner.srcs[i].index()],
-                remap[self.inner.dsts[i].index()],
+                remap[self.inner.srcs[e.index()].index()],
+                remap[self.inner.dsts[e.index()].index()],
                 self.edge_type(e),
             );
-            for (k, val) in self.inner.eprops[i].iter() {
+            for (k, val) in self.inner.eprops[e.index()].iter() {
                 b.set_edge_prop(ne, self.inner.interner.resolve(k), val.clone());
             }
         }

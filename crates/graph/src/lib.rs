@@ -33,14 +33,18 @@
 
 #![warn(missing_docs)]
 
+mod edit;
 mod graph;
 mod interner;
 mod schema;
 mod stats;
 mod value;
 
+pub use edit::GraphEditor;
 pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, Symbol};
 pub use schema::{EdgeRule, Schema, SchemaError};
-pub use stats::{degree_ccdf, power_law_exponent, CcdfPoint, DegreeSummary, GraphStats};
+pub use stats::{
+    degree_ccdf, power_law_exponent, CcdfPoint, DegreeChange, DegreeSummary, GraphStats,
+};
 pub use value::{PropMap, Value};

@@ -44,6 +44,14 @@ impl DegreeSummary {
 }
 
 /// Per-type degree statistics plus whole-graph totals.
+///
+/// Stats built by [`GraphStats::compute`] additionally retain compact
+/// per-type degree **histograms** (distinct degree → count), which is
+/// what makes [`GraphStats::with_changes`] possible: a write batch that
+/// touches `t` vertices updates the stats in O(t · log) instead of a
+/// full O(V) rescan per publish. Synthetic stats from
+/// [`GraphStats::from_parts`] carry no histograms and cannot be updated
+/// incrementally.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     per_type: BTreeMap<String, DegreeSummary>,
@@ -53,59 +61,184 @@ pub struct GraphStats {
     pub edge_count: usize,
     /// Whole-graph degree summary (all vertices pooled).
     pub overall: DegreeSummary,
+    hist: Option<StatsHist>,
 }
 
-/// Percentile of a **sorted** slice using nearest-rank.
-fn percentile_sorted(sorted: &[usize], p: f64) -> usize {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+/// A multiset of out-degrees as `degree → count`, plus running totals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct DegreeHist {
+    counts: BTreeMap<usize, usize>,
+    n: usize,
+    degree_sum: usize,
 }
 
-fn summarize(mut degrees: Vec<usize>) -> DegreeSummary {
-    degrees.sort_unstable();
-    let n = degrees.len();
-    let total: usize = degrees.iter().sum();
-    DegreeSummary {
-        cardinality: n,
-        p50: percentile_sorted(&degrees, 50.0),
-        p90: percentile_sorted(&degrees, 90.0),
-        p95: percentile_sorted(&degrees, 95.0),
-        max: degrees.last().copied().unwrap_or(0),
-        mean: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+impl DegreeHist {
+    fn add(&mut self, d: usize) {
+        *self.counts.entry(d).or_insert(0) += 1;
+        self.n += 1;
+        self.degree_sum += d;
     }
+
+    /// Removes one occurrence of `d`. Panics if absent — that means the
+    /// caller's degree bookkeeping diverged from the graph.
+    fn remove(&mut self, d: usize) {
+        let c = self
+            .counts
+            .get_mut(&d)
+            .unwrap_or_else(|| panic!("degree {d} not present in histogram"));
+        *c -= 1;
+        if *c == 0 {
+            self.counts.remove(&d);
+        }
+        self.n -= 1;
+        self.degree_sum -= d;
+    }
+
+    /// Nearest-rank percentile over the multiset (0 when empty).
+    fn percentile(&self, p: f64) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        let rank = (((p / 100.0) * self.n as f64).ceil() as usize).clamp(1, self.n);
+        let mut seen = 0usize;
+        for (&d, &c) in &self.counts {
+            seen += c;
+            if seen >= rank {
+                return d;
+            }
+        }
+        *self.counts.keys().next_back().unwrap_or(&0)
+    }
+
+    fn summarize(&self) -> DegreeSummary {
+        DegreeSummary {
+            cardinality: self.n,
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p95: self.percentile(95.0),
+            max: self.counts.keys().next_back().copied().unwrap_or(0),
+            mean: if self.n == 0 {
+                0.0
+            } else {
+                self.degree_sum as f64 / self.n as f64
+            },
+        }
+    }
+}
+
+/// The retained histograms behind incrementally maintainable stats.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct StatsHist {
+    per_type: BTreeMap<String, DegreeHist>,
+    overall: DegreeHist,
+}
+
+/// One vertex's contribution to a stats update: its type, its
+/// out-degree before the change (`None` = the vertex did not exist),
+/// and after (`None` = the vertex was deleted). See
+/// [`GraphStats::with_changes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeChange {
+    /// The vertex's type name.
+    pub vtype: String,
+    /// Out-degree before the delta (`None` for an inserted vertex).
+    pub before: Option<usize>,
+    /// Out-degree after the delta (`None` for a deleted vertex).
+    pub after: Option<usize>,
 }
 
 impl GraphStats {
     /// Computes statistics for `g` in a single pass over the vertices.
+    /// The result retains degree histograms, so it can be maintained
+    /// incrementally with [`GraphStats::with_changes`].
     pub fn compute(g: &Graph) -> Self {
-        let mut by_type: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-        let mut all: Vec<usize> = Vec::with_capacity(g.vertex_count());
+        let mut hist = StatsHist::default();
         for v in g.vertices() {
             let d = g.out_degree(v);
-            all.push(d);
-            by_type
+            hist.overall.add(d);
+            hist.per_type
                 .entry(g.vertex_type(v).to_string())
                 .or_default()
-                .push(d);
+                .add(d);
         }
-        let per_type = by_type
-            .into_iter()
-            .map(|(t, ds)| (t, summarize(ds)))
+        let per_type = hist
+            .per_type
+            .iter()
+            .map(|(t, h)| (t.clone(), h.summarize()))
             .collect();
         GraphStats {
             per_type,
             vertex_count: g.vertex_count(),
             edge_count: g.edge_count(),
-            overall: summarize(all),
+            overall: hist.overall.summarize(),
+            hist: Some(hist),
         }
+    }
+
+    /// Applies a batch of per-vertex degree changes, returning the
+    /// successor stats without rescanning the graph. Only the touched
+    /// types (and the overall summary) are re-summarized; the result is
+    /// **exactly** what [`GraphStats::compute`] on the mutated graph
+    /// would produce (asserted by tests).
+    ///
+    /// Returns `None` when these stats carry no histograms (they came
+    /// from [`GraphStats::from_parts`]) — fall back to a full compute.
+    pub fn with_changes(
+        &self,
+        changes: &[DegreeChange],
+        vertex_count: usize,
+        edge_count: usize,
+    ) -> Option<GraphStats> {
+        let mut hist = self.hist.clone()?;
+        let mut touched: Vec<&str> = Vec::new();
+        for ch in changes {
+            if ch.before == ch.after {
+                continue;
+            }
+            let h = hist.per_type.entry(ch.vtype.clone()).or_default();
+            if let Some(d) = ch.before {
+                h.remove(d);
+                hist.overall.remove(d);
+            }
+            if let Some(d) = ch.after {
+                h.add(d);
+                hist.overall.add(d);
+            }
+            touched.push(&ch.vtype);
+        }
+        let mut per_type = self.per_type.clone();
+        for t in touched {
+            match hist.per_type.get(t) {
+                Some(h) if h.n > 0 => {
+                    per_type.insert(t.to_string(), h.summarize());
+                }
+                _ => {
+                    // last vertex of the type is gone: compute() on the
+                    // mutated graph would not list the type at all
+                    per_type.remove(t);
+                }
+            }
+        }
+        hist.per_type.retain(|_, h| h.n > 0);
+        Some(GraphStats {
+            per_type,
+            vertex_count,
+            edge_count,
+            overall: hist.overall.summarize(),
+            hist: Some(hist),
+        })
+    }
+
+    /// Whether these stats can be maintained incrementally (they retain
+    /// degree histograms).
+    pub fn supports_incremental(&self) -> bool {
+        self.hist.is_some()
     }
 
     /// Builds synthetic statistics from explicit parts — used by the
     /// view selector to cost a query against a view that has not been
-    /// materialized yet (its size is only *estimated*).
+    /// materialized yet (its size is only *estimated*). Synthetic stats
+    /// carry no histograms (see [`GraphStats::with_changes`]).
     pub fn from_parts(
         per_type: Vec<(String, DegreeSummary)>,
         vertex_count: usize,
@@ -117,6 +250,7 @@ impl GraphStats {
             vertex_count,
             edge_count,
             overall,
+            hist: None,
         }
     }
 
@@ -212,13 +346,112 @@ mod tests {
 
     #[test]
     fn percentile_nearest_rank() {
-        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
-        assert_eq!(percentile_sorted(&v, 50.0), 5);
-        assert_eq!(percentile_sorted(&v, 90.0), 9);
-        assert_eq!(percentile_sorted(&v, 95.0), 10);
-        assert_eq!(percentile_sorted(&v, 100.0), 10);
-        assert_eq!(percentile_sorted(&[], 50.0), 0);
-        assert_eq!(percentile_sorted(&[7], 50.0), 7);
+        let mut h = DegreeHist::default();
+        for d in 1..=10 {
+            h.add(d);
+        }
+        assert_eq!(h.percentile(50.0), 5);
+        assert_eq!(h.percentile(90.0), 9);
+        assert_eq!(h.percentile(95.0), 10);
+        assert_eq!(h.percentile(100.0), 10);
+        assert_eq!(DegreeHist::default().percentile(50.0), 0);
+        let mut one = DegreeHist::default();
+        one.add(7);
+        assert_eq!(one.percentile(50.0), 7);
+    }
+
+    #[test]
+    fn with_changes_matches_compute_after_growth() {
+        let g = star(4);
+        let stats = GraphStats::compute(&g);
+        // append one leaf and one edge from the center: center degree
+        // 4 → 5, new leaf appears with degree 0
+        let mut ed = g.edit();
+        let leaf = ed.add_vertex("V");
+        ed.add_edge(crate::VertexId(0), leaf, "E");
+        let g2 = ed.finish();
+        let changes = [
+            DegreeChange {
+                vtype: "V".into(),
+                before: Some(4),
+                after: Some(5),
+            },
+            DegreeChange {
+                vtype: "V".into(),
+                before: None,
+                after: Some(0),
+            },
+        ];
+        let inc = stats
+            .with_changes(&changes, g2.vertex_count(), g2.edge_count())
+            .unwrap();
+        assert_eq!(inc, GraphStats::compute(&g2));
+    }
+
+    #[test]
+    fn with_changes_matches_compute_after_retraction() {
+        let g = star(3);
+        let stats = GraphStats::compute(&g);
+        // delete one leaf: the cascade kills one center edge too
+        let g2 = g.remove_vertices([crate::VertexId(1)]);
+        let changes = [
+            DegreeChange {
+                vtype: "V".into(),
+                before: Some(0),
+                after: None,
+            },
+            DegreeChange {
+                vtype: "V".into(),
+                before: Some(3),
+                after: Some(2),
+            },
+        ];
+        let inc = stats
+            .with_changes(&changes, g2.vertex_count(), g2.edge_count())
+            .unwrap();
+        assert_eq!(inc, GraphStats::compute(&g2));
+    }
+
+    #[test]
+    fn with_changes_removes_emptied_types() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("Job");
+        b.add_vertex("File");
+        let g = b.finish();
+        let stats = GraphStats::compute(&g);
+        let g2 = g.remove_vertices([crate::VertexId(1)]);
+        let inc = stats
+            .with_changes(
+                &[DegreeChange {
+                    vtype: "File".into(),
+                    before: Some(0),
+                    after: None,
+                }],
+                g2.vertex_count(),
+                g2.edge_count(),
+            )
+            .unwrap();
+        assert!(inc.for_type("File").is_none());
+        assert_eq!(inc, GraphStats::compute(&g2));
+    }
+
+    #[test]
+    fn from_parts_cannot_update_incrementally() {
+        let s = GraphStats::from_parts(
+            vec![],
+            0,
+            0,
+            DegreeSummary {
+                cardinality: 0,
+                p50: 0,
+                p90: 0,
+                p95: 0,
+                max: 0,
+                mean: 0.0,
+            },
+        );
+        assert!(!s.supports_incremental());
+        assert!(s.with_changes(&[], 0, 0).is_none());
     }
 
     #[test]

@@ -358,7 +358,7 @@ fn var_reach(
         return if lo == 0 { vec![src] } else { vec![] };
     }
     let etype = etype.flatten();
-    let mut visited = vec![false; g.vertex_count()];
+    let mut visited = vec![false; g.vertex_slots()];
     visited[src.index()] = true;
     let mut queue = VecDeque::new();
     queue.push_back((src, 0usize));

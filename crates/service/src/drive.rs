@@ -5,9 +5,13 @@
 //! concurrent-throughput experiment drive the [`Engine`] the same way;
 //! this module is that shared way. Reader threads round-robin a query
 //! list through per-thread [`crate::Reader`] handles (the lock-free
-//! path); one writer thread submits [`scripted_delta`] batches on its
-//! own cadence. Readers optionally self-check snapshot consistency on
-//! every query, turning any torn read into a counted failure.
+//! path); one writer thread submits scripted deltas of a configurable
+//! [`Workload`] shape (append / churn / hotkey / burst) on its own
+//! cadence. Readers optionally self-check snapshot consistency on
+//! every query, turning any torn read into a counted failure; every
+//! run additionally verifies the final snapshot — views against
+//! from-scratch re-materialization and incremental statistics against
+//! a full recompute — so stale-view regressions fail `--smoke`.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -15,9 +19,9 @@ use std::time::{Duration, Instant};
 use kaskade_core::materialize;
 use kaskade_query::Query;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, SubmitError};
 use crate::metrics::MetricsReport;
-use crate::stream::scripted_delta;
+use crate::stream::{delta_for, Workload};
 
 /// Workload shape for [`drive`].
 #[derive(Debug, Clone)]
@@ -37,6 +41,8 @@ pub struct DriveConfig {
     /// materialization of its definition against the snapshot's base
     /// graph (expensive; for tests/smoke runs, not throughput numbers).
     pub verify_consistency: bool,
+    /// Shape of the scripted delta stream the writer submits.
+    pub workload: Workload,
 }
 
 impl Default for DriveConfig {
@@ -48,6 +54,7 @@ impl Default for DriveConfig {
             write_pause: Duration::from_millis(2),
             max_writes: 0,
             verify_consistency: false,
+            workload: Workload::Append,
         }
     }
 }
@@ -64,6 +71,17 @@ pub struct DriveOutcome {
     pub consistency_violations: u64,
     /// Deltas submitted by the writer thread.
     pub writes: u64,
+    /// Submissions the bounded queue refused (backpressure); the writer
+    /// retries them after a pause.
+    pub writes_backpressured: u64,
+    /// Whether the final (post-flush) snapshot passed the full
+    /// consistency oracle: every materialized view equals a fresh
+    /// re-materialization over the final base graph, and the
+    /// incrementally maintained statistics equal a from-scratch
+    /// `GraphStats::compute`. Checked on every run — a stale-view or
+    /// stale-stats regression fails `--smoke` even without
+    /// `verify_consistency`.
+    pub final_consistent: bool,
     /// Wall-clock time actually spent.
     pub elapsed: Duration,
     /// The engine's metrics at the end of the run (after a flush).
@@ -80,13 +98,18 @@ impl DriveOutcome {
 /// Checks that a snapshot is internally consistent: every catalog entry
 /// equals a fresh materialization of its definition over the snapshot's
 /// base graph — same vertices (type and properties, in id order) and
-/// the same edge multiset (endpoints, type, and properties; edge
-/// *order* may differ between incremental and full builds). Including
-/// properties matters: incremental maintenance copies them separately
-/// from structure, so a property-dropping bug must fail this oracle
-/// too. O(views × materialization) — a correctness oracle, not a fast
-/// path.
+/// the same edge multiset (endpoints, type, and properties including
+/// `ts` and the provenance `support` count; edge *order* may differ
+/// between incremental and full builds) — and the incrementally
+/// maintained statistics equal a from-scratch `GraphStats::compute`
+/// over the base graph. Including properties matters: incremental
+/// maintenance copies them separately from structure, so a
+/// property-dropping bug must fail this oracle too. O(views ×
+/// materialization) — a correctness oracle, not a fast path.
 pub fn snapshot_is_consistent(state: &kaskade_core::Snapshot) -> bool {
+    if *state.stats() != kaskade_graph::GraphStats::compute(state.graph()) {
+        return false;
+    }
     let props = |g: &kaskade_graph::Graph, m: &kaskade_graph::PropMap| {
         let mut kv: Vec<(String, String)> = m
             .iter()
@@ -122,8 +145,10 @@ pub fn snapshot_is_consistent(state: &kaskade_core::Snapshot) -> bool {
 
 /// Runs the workload against `engine` and gathers the outcome. Reader
 /// threads cycle through `queries` (offset by thread index so threads
-/// diverge); the writer derives deltas from the latest snapshot via
-/// [`scripted_delta`]. Returns after `cfg.duration` plus a final flush.
+/// diverge); the writer derives deltas of the configured [`Workload`]
+/// shape from the latest snapshot via [`delta_for`]. Returns after
+/// `cfg.duration` plus a final flush and a full consistency check of
+/// the final snapshot.
 pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutcome {
     assert!(!queries.is_empty(), "drive needs at least one query");
     let stop = AtomicBool::new(false);
@@ -131,6 +156,7 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
     let read_errors = AtomicU64::new(0);
     let violations = AtomicU64::new(0);
     let writes = AtomicU64::new(0);
+    let backpressured = AtomicU64::new(0);
     let start = Instant::now();
 
     std::thread::scope(|scope| {
@@ -160,7 +186,7 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
             });
         }
         if !cfg.write_pause.is_zero() {
-            let (stop, writes) = (&stop, &writes);
+            let (stop, writes, backpressured) = (&stop, &writes, &backpressured);
             scope.spawn(move || {
                 let mut step = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -168,15 +194,22 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
                         break;
                     }
                     let state = engine.snapshot();
-                    match scripted_delta(&state.state, step) {
-                        Some(delta) => {
-                            if engine.submit(delta).is_err() {
-                                break; // engine shutting down
+                    match delta_for(cfg.workload, &state.state, step) {
+                        Some(delta) => match engine.submit(delta) {
+                            Ok(()) => {
+                                writes.fetch_add(1, Ordering::Relaxed);
                             }
-                        }
+                            Err(SubmitError::Backpressure) => {
+                                // the queue is full: shed this step and
+                                // let the worker drain before retrying
+                                backpressured.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(cfg.write_pause);
+                                continue;
+                            }
+                            Err(_) => break, // engine shutting down
+                        },
                         None => break,
                     }
-                    writes.fetch_add(1, Ordering::Relaxed);
                     step += 1;
                     std::thread::sleep(cfg.write_pause);
                 }
@@ -187,11 +220,14 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
     });
 
     engine.flush();
+    let final_consistent = snapshot_is_consistent(&engine.snapshot().state);
     DriveOutcome {
         reads: reads.load(Ordering::Relaxed),
         read_errors: read_errors.load(Ordering::Relaxed),
         consistency_violations: violations.load(Ordering::Relaxed),
         writes: writes.load(Ordering::Relaxed),
+        writes_backpressured: backpressured.load(Ordering::Relaxed),
+        final_consistent,
         elapsed: start.elapsed(),
         report: engine.metrics(),
     }
@@ -228,5 +264,30 @@ mod tests {
         assert!(outcome.report.epoch > 0, "snapshots were published");
         assert!(outcome.report.plan_cache_hit_rate() > 0.0);
         assert!(outcome.reads_per_sec() > 0.0);
+        assert!(outcome.final_consistent, "final snapshot passes the oracle");
+    }
+
+    #[test]
+    fn drive_churn_workload_stays_consistent() {
+        let g = generate_provenance(&ProvenanceConfig::tiny(32).core_only());
+        let mut k = Kaskade::new(g, Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let engine = Engine::from_kaskade(&k);
+        let queries = vec![parse(LISTING_1).unwrap()];
+        let outcome = drive(
+            &engine,
+            &queries,
+            &DriveConfig {
+                readers: 2,
+                duration: Duration::from_millis(250),
+                write_pause: Duration::from_millis(1),
+                workload: Workload::Churn,
+                verify_consistency: true,
+                ..DriveConfig::default()
+            },
+        );
+        assert_eq!(outcome.consistency_violations, 0, "no torn reads");
+        assert!(outcome.final_consistent, "churn left a consistent state");
+        assert!(outcome.writes > 0);
     }
 }

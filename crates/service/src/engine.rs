@@ -20,7 +20,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, Snapshot};
+use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, Snapshot, VRef};
 use kaskade_query::{Query, Table};
 
 use crate::metrics::{Metrics, MetricsReport};
@@ -34,11 +34,20 @@ pub struct EngineConfig {
     /// cycle. Larger batches amortize view refresh and stats
     /// recomputation; smaller batches reduce refresh lag.
     pub max_batch: usize,
+    /// Capacity of the delta queue. When the writer worker falls this
+    /// far behind, [`Engine::submit`] fails fast with
+    /// [`SubmitError::Backpressure`] instead of buffering without
+    /// bound; rejected submissions are counted in
+    /// [`MetricsReport::deltas_backpressured`].
+    pub queue_capacity: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { max_batch: 64 }
+        EngineConfig {
+            max_batch: 64,
+            queue_capacity: 1024,
+        }
     }
 }
 
@@ -51,8 +60,12 @@ enum Msg {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The delta is structurally broken (a [`kaskade_core::VRef::New`]
-    /// index past its own vertex list); it could never apply.
+    /// index past its own vertex list, or a retraction referencing an
+    /// uninserted new vertex); it could never apply.
     Invalid(DeltaError),
+    /// The delta queue is full (the writer worker is behind). The
+    /// client should retry later or shed load; nothing was enqueued.
+    Backpressure,
     /// The writer worker is gone (the engine is shutting down).
     Closed,
 }
@@ -61,6 +74,7 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::Invalid(e) => write!(f, "invalid delta: {e}"),
+            SubmitError::Backpressure => write!(f, "delta queue is full (backpressure)"),
             SubmitError::Closed => write!(f, "engine is shut down"),
         }
     }
@@ -88,7 +102,7 @@ struct Shared {
 #[derive(Debug)]
 pub struct Engine {
     shared: Arc<Shared>,
-    tx: mpsc::Sender<Msg>,
+    tx: mpsc::SyncSender<Msg>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -112,7 +126,7 @@ impl Engine {
             metrics: Metrics::new(),
             queued: AtomicU64::new(0),
         });
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
         let max_batch = config.max_batch.max(1);
         let worker = std::thread::Builder::new()
@@ -142,31 +156,48 @@ impl Engine {
         Reader::new(Arc::clone(&self.shared.cell))
     }
 
-    /// Queues an insert-only delta for the writer worker. Returns
-    /// immediately; the delta becomes visible to readers when its batch
-    /// is published (see [`Engine::flush`] to wait for that).
+    /// Queues a delta (insertions and/or retractions) for the writer
+    /// worker. Returns immediately; the delta becomes visible to
+    /// readers when its batch is published (see [`Engine::flush`] to
+    /// wait for that).
     ///
     /// Self-referential validity ([`kaskade_core::VRef::New`] indices)
-    /// is checked here; references to base-graph vertices are checked
-    /// by the worker at apply time, where the graph size is known
-    /// exactly — a delta rejected there is dropped and counted in
+    /// is checked here; references to base-graph vertices — including
+    /// liveness under concurrent retraction — are checked by the worker
+    /// at apply time, where the graph state is known exactly. A delta
+    /// rejected there is dropped and counted in
     /// [`MetricsReport::deltas_rejected`] rather than crashing the
-    /// engine.
+    /// engine. When the bounded queue (see
+    /// [`EngineConfig::queue_capacity`]) is full, nothing is enqueued
+    /// and [`SubmitError::Backpressure`] is returned.
     pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
         // usize::MAX vertex bound: only the New-index checks can fail
         delta.validate(usize::MAX).map_err(SubmitError::Invalid)?;
+        // increment BEFORE sending so the counter stays conservative:
+        // the worker may consume and decrement the instant send lands
         self.shared.queued.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .send(Msg::Delta(Box::new(delta), Instant::now()))
-            .map_err(|_| {
+        match self
+            .tx
+            .try_send(Msg::Delta(Box::new(delta), Instant::now()))
+        {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Full(_)) => {
                 self.shared.queued.fetch_sub(1, Ordering::Relaxed);
-                SubmitError::Closed
-            })
+                self.shared.metrics.record_backpressure();
+                Err(SubmitError::Backpressure)
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::Closed)
+            }
+        }
     }
 
     /// Waits until every previously submitted delta is applied and
-    /// published; returns the epoch that made them visible. If the
-    /// engine is already shut down, returns the last published epoch.
+    /// published; returns the epoch that made them visible. Unlike
+    /// [`Engine::submit`], a full queue makes `flush` *wait* for room
+    /// rather than fail. If the engine is already shut down, returns
+    /// the last published epoch.
     pub fn flush(&self) -> u64 {
         let (ack_tx, ack_rx) = mpsc::channel();
         if self.tx.send(Msg::Flush(ack_tx)).is_err() {
@@ -209,7 +240,7 @@ impl Drop for Engine {
     fn drop(&mut self) {
         // closing the channel is the shutdown signal; the worker drains
         // whatever is still queued, publishes, and exits
-        let (tx, _) = mpsc::channel();
+        let (tx, _) = mpsc::sync_channel(1);
         drop(std::mem::replace(&mut self.tx, tx));
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
@@ -267,13 +298,26 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
             match pending.take() {
                 Some(Msg::Delta(delta, enqueued)) => {
                     // exact validity check at the only point where the
-                    // apply-time graph size is known: base graph plus
-                    // the vertices earlier deltas of this batch add
-                    // (sequential-apply equivalence of merge). A bad
-                    // delta is dropped and counted, never applied — it
-                    // must not kill the worker and with it the engine.
-                    let bound = state.graph().vertex_count() + batch.vertices.len();
-                    if delta.validate(bound).is_err() {
+                    // apply-time graph state is known: base graph
+                    // (slots and liveness) plus the vertices earlier
+                    // deltas of this batch add (sequential-apply
+                    // equivalence of merge). A bad delta — dangling or
+                    // tombstoned references — is dropped and counted,
+                    // never applied; it must not kill the worker and
+                    // with it the engine.
+                    let pending = batch.vertices.len();
+                    // sequential equivalence also demands rejecting an
+                    // insert onto a vertex an earlier delta of this
+                    // batch retracts: applied one at a time, that
+                    // insert would see the vertex already dead
+                    let onto_batch_retracted = delta.edges.iter().any(|e| {
+                        [e.src, e.dst].iter().any(
+                            |r| matches!(r, VRef::Existing(v) if batch.del_vertices.contains(v)),
+                        )
+                    });
+                    if onto_batch_retracted
+                        || delta.validate_against(state.graph(), pending).is_err()
+                    {
                         rejected += 1;
                     } else {
                         batch.merge(&delta);
@@ -300,6 +344,7 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
             shared.metrics.record_rejected(rejected);
         }
         if batched > 0 {
+            let retractions = batch.del_edges.len() + batch.del_vertices.len();
             let apply_start = Instant::now();
             state = state.with_delta(&batch);
             let epoch = shared.cell.publish(state.clone());
@@ -308,6 +353,9 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
             shared
                 .metrics
                 .record_refresh(batched, apply_start.elapsed(), lag);
+            if retractions > 0 {
+                shared.metrics.record_retractions(retractions);
+            }
         }
         if batched + rejected > 0 {
             shared
@@ -432,6 +480,107 @@ mod tests {
         engine.flush();
         assert_eq!(engine.snapshot().state.graph().vertex_count(), 4);
         assert!(engine.execute(&count_query()).is_ok());
+    }
+
+    #[test]
+    fn retractions_flow_through_the_engine() {
+        let mut k = Kaskade::new(lineage(), Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let engine = Engine::from_kaskade(&k);
+        let q = count_query();
+        assert_eq!(
+            engine.execute(&q).unwrap().scalar().unwrap().as_int(),
+            Some(1)
+        );
+
+        // retract the read edge: the blast-radius pair disappears and
+        // the connector view is maintained to match
+        let mut d = GraphDelta::new();
+        d.del_edge(
+            VRef::Existing(VertexId(1)),
+            VRef::Existing(VertexId(2)),
+            "IS_READ_BY",
+        );
+        engine.submit(d).unwrap();
+        engine.flush();
+        assert_eq!(
+            engine.execute(&q).unwrap().scalar().unwrap().as_int(),
+            Some(0)
+        );
+        let snap = engine.snapshot();
+        let view = snap.state.catalog().get("connector:JOB_TO_JOB_2_HOP");
+        assert_eq!(view.unwrap().graph.edge_count(), 0);
+        assert_eq!(snap.state.graph().edge_count(), 1);
+        assert_eq!(engine.metrics().retractions_applied, 1);
+        assert!(crate::drive::snapshot_is_consistent(&snap.state));
+    }
+
+    #[test]
+    fn insert_onto_vertex_retracted_earlier_in_batch_is_rejected() {
+        // sequential semantics: after delta 1 retracts f0, delta 2's
+        // insert onto f0 could never apply — the batched path must
+        // reject it the same way instead of cascading it away
+        let engine = Engine::with_config(
+            Snapshot::new(lineage(), Schema::provenance()),
+            EngineConfig {
+                max_batch: 16,
+                ..EngineConfig::default()
+            },
+        );
+        let mut d1 = GraphDelta::new();
+        d1.del_vertex(VertexId(1)); // f0
+        let mut d2 = GraphDelta::new();
+        let j = d2.add_vertex("Job", vec![]);
+        d2.add_edge(VRef::Existing(VertexId(1)), j, "IS_READ_BY", vec![]);
+        engine.submit(d1).unwrap();
+        engine.submit(d2).unwrap();
+        engine.flush();
+        let report = engine.metrics();
+        assert_eq!(report.deltas_rejected, 1, "{report:?}");
+        // only d1 landed: f0 and its two edges are gone, no new job
+        let snap = engine.snapshot();
+        assert_eq!(snap.state.graph().vertex_count(), 2);
+        assert_eq!(snap.state.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn full_queue_reports_backpressure() {
+        let g = {
+            // a graph big enough that each publish takes measurable work
+            use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+            generate_provenance(&ProvenanceConfig::tiny(41).core_only())
+        };
+        let engine = Engine::with_config(
+            Snapshot::new(g, Schema::provenance()),
+            EngineConfig {
+                max_batch: 1,
+                queue_capacity: 2,
+            },
+        );
+        // submit far faster than single-delta batches can drain: the
+        // bounded queue must refuse at least one submission
+        let mut saw_backpressure = false;
+        for _ in 0..50_000 {
+            let mut d = GraphDelta::new();
+            d.add_vertex("File", vec![]);
+            match engine.submit(d) {
+                Ok(()) => {}
+                Err(SubmitError::Backpressure) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert!(saw_backpressure, "bounded queue never pushed back");
+        assert!(engine.metrics().deltas_backpressured >= 1);
+        // the engine keeps serving: flush drains and accepts new work
+        engine.flush();
+        let mut d = GraphDelta::new();
+        d.add_vertex("Job", vec![]);
+        engine.submit(d).unwrap();
+        engine.flush();
+        assert_eq!(engine.queue_depth(), 0);
     }
 
     #[test]

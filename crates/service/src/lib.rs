@@ -2,8 +2,9 @@
 //!
 //! The concurrent serving runtime of the Kaskade reproduction: the
 //! layer that lets many reader threads execute queries over
-//! materialized graph views *while* insert-only deltas stream in —
-//! the "heavy traffic" counterpart to `kaskade-core`'s batch pipeline.
+//! materialized graph views *while* deltas — insertions **and
+//! retractions** — stream in; the "heavy traffic" counterpart to
+//! `kaskade-core`'s batch pipeline.
 //!
 //! Three ideas, three modules:
 //!
@@ -15,11 +16,15 @@
 //!   steady-state snapshot access takes no lock — the plan-cache probe
 //!   is the one short critical section left on the read path.
 //! - **Delta ingestion** ([`engine`]): writes are queued
-//!   [`GraphDelta`]s. A single background worker merges them into
-//!   batches ([`GraphDelta::merge`]), applies them with incremental
-//!   connector maintenance (`kaskade-core::maintain`), and atomically
-//!   publishes the successor snapshot. Readers never block writers and
-//!   vice versa.
+//!   [`GraphDelta`]s carrying both inserts and identity-targeted
+//!   retractions. A single background worker merges them into batches
+//!   ([`GraphDelta::merge`], which cancels insert-then-delete pairs),
+//!   applies them with incremental, provenance-counted connector
+//!   maintenance (`kaskade-core::maintain`) and incremental statistics
+//!   updates, and atomically publishes the successor snapshot. Readers
+//!   never block writers and vice versa. The queue is bounded: when the
+//!   worker falls behind, [`Engine::submit`] fails fast with a typed
+//!   `Backpressure` error instead of buffering without bound.
 //! - **Plan caching** ([`plan_cache`]): `plan()` results are memoized
 //!   per `(epoch, alpha-normalized query)`, with hit/miss counters
 //!   surfaced through [`metrics`].
@@ -69,3 +74,4 @@ pub use engine::{Engine, EngineConfig, SubmitError};
 pub use metrics::{LatencyHistogram, Metrics, MetricsReport};
 pub use plan_cache::{plan_key, PlanCache};
 pub use snapshot::{EpochSnapshot, Reader, SnapshotCell};
+pub use stream::{burst_delta, churn_delta, delta_for, hot_key_delta, scripted_delta, Workload};

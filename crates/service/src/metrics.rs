@@ -75,6 +75,8 @@ pub struct Metrics {
     latency: LatencyHistogram,
     deltas_applied: AtomicU64,
     deltas_rejected: AtomicU64,
+    deltas_backpressured: AtomicU64,
+    retractions_applied: AtomicU64,
     batches_published: AtomicU64,
     last_refresh_nanos: AtomicU64,
     max_lag_nanos: AtomicU64,
@@ -98,11 +100,24 @@ impl Metrics {
         self.query_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records deltas the writer dropped as invalid (dangling vertex
-    /// references that could never apply).
+    /// Records deltas the writer dropped as invalid (dangling or
+    /// tombstoned vertex references that could never apply).
     pub fn record_rejected(&self, deltas: usize) {
         self.deltas_rejected
             .fetch_add(deltas as u64, Ordering::Relaxed);
+    }
+
+    /// Records one submission refused because the bounded delta queue
+    /// was full (the `Backpressure` error path).
+    pub fn record_backpressure(&self) {
+        self.deltas_backpressured.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records retraction operations (edge or vertex) that reached an
+    /// applied batch.
+    pub fn record_retractions(&self, retractions: usize) {
+        self.retractions_applied
+            .fetch_add(retractions as u64, Ordering::Relaxed);
     }
 
     /// Records one applied write batch: how many deltas it merged, how
@@ -130,6 +145,8 @@ impl Metrics {
             p99: self.latency.quantile(0.99),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
+            deltas_backpressured: self.deltas_backpressured.load(Ordering::Relaxed),
+            retractions_applied: self.retractions_applied.load(Ordering::Relaxed),
             batches_published: self.batches_published.load(Ordering::Relaxed),
             last_refresh: Duration::from_nanos(self.last_refresh_nanos.load(Ordering::Relaxed)),
             last_refresh_lag: Duration::from_nanos(self.last_lag_nanos.load(Ordering::Relaxed)),
@@ -154,8 +171,12 @@ pub struct MetricsReport {
     pub p99: Duration,
     /// Individual deltas applied by the write path.
     pub deltas_applied: u64,
-    /// Deltas dropped as invalid (dangling vertex references).
+    /// Deltas dropped as invalid (dangling or tombstoned references).
     pub deltas_rejected: u64,
+    /// Submissions refused because the bounded delta queue was full.
+    pub deltas_backpressured: u64,
+    /// Retraction operations (edge or vertex) in applied batches.
+    pub retractions_applied: u64,
     /// Write batches published (snapshot epochs minted).
     pub batches_published: u64,
     /// Apply+publish duration of the most recent batch.
@@ -205,9 +226,14 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "write path         {} deltas in {} batches (epoch {}, {} rejected)",
-            self.deltas_applied, self.batches_published, self.epoch, self.deltas_rejected
+            "write path         {} deltas in {} batches (epoch {}, {} rejected, {} backpressured)",
+            self.deltas_applied,
+            self.batches_published,
+            self.epoch,
+            self.deltas_rejected,
+            self.deltas_backpressured
         )?;
+        writeln!(f, "retractions        {} applied", self.retractions_applied)?;
         write!(
             f,
             "refresh            last {:?} (lag {:?}, max lag {:?})",

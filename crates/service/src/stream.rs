@@ -1,13 +1,22 @@
 //! Scripted, schema-respecting delta streams for driving the write
 //! path.
 //!
-//! Serving experiments and the `kaskade serve` CLI need a reproducible
-//! source of insert-only writes against any dataset. [`scripted_delta`]
-//! derives one from the schema itself: step `s` picks an edge rule
-//! (deterministically, by a hash of `s`), appends a fresh vertex of the
-//! rule's range type, and connects it from an existing vertex of the
-//! rule's domain type — so every generated delta is valid for every
-//! dataset, heterogeneous or homogeneous, with no per-dataset script.
+//! Serving experiments and the `kaskade serve` CLI need reproducible
+//! write traffic against any dataset. Every pattern here derives its
+//! deltas from the schema itself — edge rules pick valid types, so the
+//! streams work on any dataset, heterogeneous or homogeneous, with no
+//! per-dataset script. Four [`Workload`] shapes are available:
+//!
+//! - **Append** ([`scripted_delta`]): one new vertex plus one edge per
+//!   step — the paper's insert-only growth regime.
+//! - **Churn** ([`churn_delta`]): appends interleaved with edge
+//!   retractions and occasional vertex retractions, exercising the
+//!   provenance-counted deletion path end to end.
+//! - **HotKey** ([`hot_key_delta`]): appends skewed onto one hot source
+//!   vertex (~90% of steps), stressing a single neighborhood's
+//!   incremental refresh.
+//! - **Burst** ([`burst_delta`]): pipeline-shaped multi-edge chains in
+//!   a single delta, the "many writes at once" regime.
 
 use kaskade_core::{GraphDelta, Snapshot, VRef};
 use kaskade_graph::Value;
@@ -20,29 +29,82 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The scripted delta for step `step` against `state`: one new vertex
-/// plus one edge reaching it from an existing vertex, chosen per the
-/// schema's edge rules. Returns `None` if the schema has no edge rules
-/// or the graph has no vertex of the chosen rule's source type yet
-/// (possible only on degenerate/empty graphs).
-///
-/// Determinism: the same `(state schema, graph vertex set, step)` yields
-/// the same delta, so runs are reproducible. Generated edges carry a
-/// `ts` property of `step`, exercising the connector views' timestamp
-/// maintenance.
+/// The shape of a scripted delta stream; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Workload {
+    /// Insert-only: one vertex + one edge per step.
+    #[default]
+    Append,
+    /// Inserts interleaved with edge and vertex retractions.
+    Churn,
+    /// Inserts skewed onto one hot source vertex.
+    HotKey,
+    /// Pipeline-shaped multi-edge chains per delta.
+    Burst,
+}
+
+impl Workload {
+    /// Every workload, for iteration in experiments.
+    pub const ALL: [Workload; 4] = [
+        Workload::Append,
+        Workload::Churn,
+        Workload::HotKey,
+        Workload::Burst,
+    ];
+
+    /// CLI name of the workload.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Append => "append",
+            Workload::Churn => "churn",
+            Workload::HotKey => "hotkey",
+            Workload::Burst => "burst",
+        }
+    }
+
+    /// Parses a CLI name (`append`, `churn`, `hotkey`, `burst`).
+    pub fn parse(s: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == s)
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The scripted delta of `workload` for step `step` against `state`.
+/// Returns `None` if the schema has no edge rules or the graph lacks
+/// the vertices the pattern needs (possible only on degenerate/empty
+/// graphs). Deterministic: the same `(state, workload, step)` yields
+/// the same delta.
+pub fn delta_for(workload: Workload, state: &Snapshot, step: u64) -> Option<GraphDelta> {
+    match workload {
+        Workload::Append => scripted_delta(state, step),
+        Workload::Churn => churn_delta(state, step),
+        Workload::HotKey => hot_key_delta(state, step),
+        Workload::Burst => burst_delta(state, step),
+    }
+}
+
+/// Sample of existing source vertices of `vtype` (first 1024 of the
+/// type, so the scan stays O(1)-ish on huge graphs).
+fn sources_of(state: &Snapshot, vtype: &str) -> Vec<kaskade_graph::VertexId> {
+    state.graph().vertices_of_type(vtype).take(1024).collect()
+}
+
+/// The append-only scripted delta for step `step` against `state`: one
+/// new vertex plus one edge reaching it from an existing vertex, chosen
+/// per the schema's edge rules. Generated edges carry a `ts` property
+/// of `step`, exercising the connector views' timestamp maintenance.
 pub fn scripted_delta(state: &Snapshot, step: u64) -> Option<GraphDelta> {
     let rules = state.schema().edge_rules();
     if rules.is_empty() {
         return None;
     }
     let rule = &rules[(mix(step) % rules.len() as u64) as usize];
-    // pick an existing source vertex; sample among the first 1024 of
-    // the type so the scan stays O(1)-ish on huge graphs
-    let sources: Vec<_> = state
-        .graph()
-        .vertices_of_type(&rule.src)
-        .take(1024)
-        .collect();
+    let sources = sources_of(state, &rule.src);
     if sources.is_empty() {
         return None;
     }
@@ -61,16 +123,123 @@ pub fn scripted_delta(state: &Snapshot, step: u64) -> Option<GraphDelta> {
     Some(delta)
 }
 
+/// Churn: most steps append like [`scripted_delta`], but every 4th step
+/// retracts an existing edge (by identity) and every 16th retracts a
+/// whole vertex, incident edges and all. Retractions are suppressed
+/// while the graph is small so the stream never drains its own base.
+pub fn churn_delta(state: &Snapshot, step: u64) -> Option<GraphDelta> {
+    let g = state.graph();
+    if step % 4 == 3 && g.edge_count() > 64 {
+        let edges: Vec<_> = g.edges().take(1024).collect();
+        let e = edges[(mix(step ^ 0xDE1E) % edges.len() as u64) as usize];
+        let mut delta = GraphDelta::new();
+        if step % 16 == 15 && g.vertex_count() > 64 {
+            // vertex retraction: the edge's destination, cascading
+            delta.del_vertex(g.edge_dst(e));
+        } else {
+            delta.del_edge(
+                VRef::Existing(g.edge_src(e)),
+                VRef::Existing(g.edge_dst(e)),
+                g.edge_type(e),
+            );
+        }
+        return Some(delta);
+    }
+    scripted_delta(state, step)
+}
+
+/// Skewed appends: ~90% of steps attach the new vertex to one **hot**
+/// source (the first vertex of the chosen rule's source type), the rest
+/// spread uniformly — a zipf-ish pattern that concentrates incremental
+/// maintenance on one neighborhood.
+pub fn hot_key_delta(state: &Snapshot, step: u64) -> Option<GraphDelta> {
+    let rules = state.schema().edge_rules();
+    if rules.is_empty() {
+        return None;
+    }
+    // a fixed rule keeps the hot vertex hot across steps
+    let rule = &rules[0];
+    let sources = sources_of(state, &rule.src);
+    if sources.is_empty() {
+        return None;
+    }
+    let src = if mix(step ^ 0x407) % 10 < 9 {
+        sources[0]
+    } else {
+        sources[(mix(step ^ 0xC01D) % sources.len() as u64) as usize]
+    };
+    let mut delta = GraphDelta::new();
+    let dst = delta.add_vertex(
+        &rule.dst,
+        vec![("ingest_step".into(), Value::Int(step as i64))],
+    );
+    delta.add_edge(
+        VRef::Existing(src),
+        dst,
+        &rule.name,
+        vec![("ts".into(), Value::Int(step as i64))],
+    );
+    Some(delta)
+}
+
+/// Pipeline-shaped burst: one delta carrying a chain of up to four
+/// schema-valid hops (`existing → new → new → …`), each edge continuing
+/// from the previous hop's destination type. On a provenance schema
+/// this produces job→file→job→… pipelines landing in one batch.
+pub fn burst_delta(state: &Snapshot, step: u64) -> Option<GraphDelta> {
+    let rules = state.schema().edge_rules();
+    if rules.is_empty() {
+        return None;
+    }
+    let first = &rules[(mix(step) % rules.len() as u64) as usize];
+    let sources = sources_of(state, &first.src);
+    if sources.is_empty() {
+        return None;
+    }
+    let src = sources[(mix(step ^ 0xB0B) % sources.len() as u64) as usize];
+    let mut delta = GraphDelta::new();
+    let mut cur = VRef::Existing(src);
+    let mut cur_type = first.src.clone();
+    for hop in 0..4u64 {
+        let continuing: Vec<_> = rules.iter().filter(|r| r.src == cur_type).collect();
+        if continuing.is_empty() {
+            break;
+        }
+        let rule = continuing[(mix(step ^ (hop << 8)) % continuing.len() as u64) as usize];
+        let next = delta.add_vertex(
+            &rule.dst,
+            vec![("ingest_step".into(), Value::Int(step as i64))],
+        );
+        delta.add_edge(
+            cur,
+            next,
+            &rule.name,
+            vec![("ts".into(), Value::Int((step * 4 + hop) as i64))],
+        );
+        cur = next;
+        cur_type = rule.dst.clone();
+    }
+    if delta.is_empty() {
+        None
+    } else {
+        Some(delta)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use kaskade_datasets::{generate_provenance, ProvenanceConfig};
     use kaskade_graph::{GraphBuilder, Schema};
 
+    fn prov_state(seed: u64) -> Snapshot {
+        let g = generate_provenance(&ProvenanceConfig::tiny(seed).core_only());
+        Snapshot::new(g, Schema::provenance())
+    }
+
     #[test]
     fn deltas_respect_the_schema() {
-        let g = generate_provenance(&ProvenanceConfig::tiny(21).core_only());
-        let state = Snapshot::new(g, Schema::provenance());
+        let state = prov_state(21);
         let mut state_now = state.clone();
         for step in 0..20 {
             let d = scripted_delta(&state_now, step).expect("prov schema has rules");
@@ -95,17 +264,89 @@ mod tests {
 
     #[test]
     fn deterministic_per_step() {
-        let g = generate_provenance(&ProvenanceConfig::tiny(22).core_only());
-        let state = Snapshot::new(g, Schema::provenance());
-        assert_eq!(scripted_delta(&state, 7), scripted_delta(&state, 7));
-        assert_ne!(scripted_delta(&state, 7), scripted_delta(&state, 8));
+        let state = prov_state(22);
+        for w in Workload::ALL {
+            assert_eq!(delta_for(w, &state, 7), delta_for(w, &state, 7), "{w}");
+            assert_ne!(delta_for(w, &state, 7), delta_for(w, &state, 8), "{w}");
+        }
+    }
+
+    #[test]
+    fn churn_interleaves_inserts_and_retractions() {
+        let mut state = prov_state(23);
+        let (mut inserts, mut edge_dels, mut vertex_dels) = (0u32, 0u32, 0u32);
+        for step in 0..64 {
+            let d = churn_delta(&state, step).expect("churn delta");
+            if !d.edges.is_empty() {
+                inserts += 1;
+            }
+            edge_dels += d.del_edges.len() as u32;
+            vertex_dels += d.del_vertices.len() as u32;
+            state = state.with_delta(&d);
+        }
+        assert!(inserts > 0, "churn still appends");
+        assert!(edge_dels > 0, "churn retracts edges");
+        assert!(vertex_dels > 0, "churn retracts vertices");
+        // the graph survived the churn with both kinds of elements
+        assert!(state.graph().vertex_count() > 0);
+        assert!(state.graph().edge_count() > 0);
+    }
+
+    #[test]
+    fn hot_key_is_skewed() {
+        let state = prov_state(24);
+        let mut hot_hits = 0u32;
+        let rule = &state.schema().edge_rules()[0];
+        let hot = state.graph().vertices_of_type(&rule.src).next().unwrap();
+        for step in 0..100 {
+            let d = hot_key_delta(&state, step).expect("hotkey delta");
+            if d.edges[0].src == VRef::Existing(hot) {
+                hot_hits += 1;
+            }
+        }
+        assert!(
+            hot_hits >= 70,
+            "expected skew toward the hot key: {hot_hits}"
+        );
+        assert!(hot_hits < 100, "cold keys still occur: {hot_hits}");
+    }
+
+    #[test]
+    fn burst_builds_schema_valid_chains() {
+        let mut state = prov_state(25);
+        for step in 0..12 {
+            let d = burst_delta(&state, step).expect("burst delta");
+            assert!(d.edges.len() >= 2, "bursts carry multiple edges");
+            assert_eq!(d.edges.len(), d.vertices.len());
+            state = state.with_delta(&d);
+        }
+        let inferred = state.graph().infer_schema();
+        for rule in inferred.edge_rules() {
+            assert!(
+                state.schema().allows_edge(&rule.src, &rule.name, &rule.dst),
+                "burst delta violated schema: {rule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+        }
+        assert_eq!(Workload::parse("nope"), None);
+        assert_eq!(Workload::default(), Workload::Append);
     }
 
     #[test]
     fn empty_graph_yields_none() {
         let state = Snapshot::new(GraphBuilder::new().finish(), Schema::provenance());
-        assert!(scripted_delta(&state, 0).is_none());
+        for w in Workload::ALL {
+            assert!(delta_for(w, &state, 0).is_none(), "{w}");
+        }
         let no_rules = Snapshot::new(GraphBuilder::new().finish(), Schema::new());
-        assert!(scripted_delta(&no_rules, 0).is_none());
+        for w in Workload::ALL {
+            assert!(delta_for(w, &no_rules, 0).is_none(), "{w}");
+        }
     }
 }

@@ -15,6 +15,7 @@
 //! serve options:
 //!   --duration-ms N run the serving loop this long  (default 2000)
 //!   --write-every-ms N  delta cadence; 0 = no writer (default 2)
+//!   --workload W    append | churn | hotkey | burst (default append)
 //!   --smoke         short self-checking run for CI (implies --views)
 //! ```
 //!
@@ -39,14 +40,14 @@ use std::time::{Duration, Instant};
 use kaskade::core::{Kaskade, SelectionConfig};
 use kaskade::datasets::Dataset;
 use kaskade::query::{listings, parse, Query, Table};
-use kaskade::service::{drive, DriveConfig, Engine};
+use kaskade::service::{drive, DriveConfig, Engine, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: kaskade query <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] \
          [--seed N] [--threads N] <query|@listing1|@listing4>\n       \
          kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] [--seed N] \
-         [--threads N] [--duration-ms N] [--write-every-ms N] [--smoke] [query ...]"
+         [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] [--smoke] [query ...]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +60,7 @@ struct CommonArgs {
     threads: Option<usize>,
     duration_ms: u64,
     write_every_ms: u64,
+    workload: Workload,
     smoke: bool,
     queries: Vec<String>,
 }
@@ -71,6 +73,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         threads: None,
         duration_ms: 2_000,
         write_every_ms: 2,
+        workload: Workload::Append,
         smoke: false,
         queries: Vec::new(),
     };
@@ -84,6 +87,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             "--threads" => c.threads = Some(args.next()?.parse().ok()?),
             "--duration-ms" => c.duration_ms = args.next()?.parse().ok()?,
             "--write-every-ms" => c.write_every_ms = args.next()?.parse().ok()?,
+            "--workload" => c.workload = Workload::parse(&args.next()?)?,
             "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
             "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
             other if other.starts_with("--") => return None,
@@ -264,12 +268,14 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         write_pause: Duration::from_millis(c.write_every_ms),
         max_writes: 0,
         verify_consistency: c.smoke,
+        workload: c.workload,
     };
     eprintln!(
-        "serving {} with {threads} reader thread(s), {} quer{}, writer every {}ms, for {}ms",
+        "serving {} with {threads} reader thread(s), {} quer{}, `{}` writer every {}ms, for {}ms",
         dataset.short_name(),
         workload.len(),
         if workload.len() == 1 { "y" } else { "ies" },
+        c.workload,
         c.write_every_ms,
         c.duration_ms
     );
@@ -280,9 +286,16 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         outcome.read_errors,
         outcome.reads_per_sec()
     );
-    println!("writes submitted   {}", outcome.writes);
+    println!(
+        "writes submitted   {} ({} backpressured)",
+        outcome.writes, outcome.writes_backpressured
+    );
     println!("{}", outcome.report);
 
+    if !outcome.final_consistent {
+        eprintln!("CONSISTENCY FAILED: final snapshot diverges from a from-scratch rebuild");
+        return ExitCode::FAILURE;
+    }
     if c.smoke {
         let healthy = outcome.reads > 0
             && outcome.read_errors == 0
@@ -300,7 +313,7 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        eprintln!("smoke check passed");
+        eprintln!("smoke check passed (final views and stats verified against scratch rebuild)");
     }
     ExitCode::SUCCESS
 }

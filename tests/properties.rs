@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use kaskade::core::{
     cost::connector_size_estimate, knapsack, materialize_connector, rewrite_over_connector,
-    ConnectorDef, KnapsackItem,
+    ConnectorDef, GraphDelta, Kaskade, KnapsackItem, VRef, ViewDef,
 };
 use kaskade::graph::{Graph, GraphBuilder, GraphStats, Schema, Value};
 use kaskade::prolog::{parse_program, Term};
@@ -254,6 +254,87 @@ proptest! {
                     "{}->{} k={}", names[a], names[b], k
                 );
             }
+        }
+    }
+
+    /// Incremental statistics equal a from-scratch
+    /// `GraphStats::compute` after ANY sequence of inserts, edge
+    /// retractions, and vertex retractions — and the incrementally
+    /// maintained connector view equals a from-scratch
+    /// re-materialization at every step along the way.
+    #[test]
+    fn incremental_stats_and_views_survive_any_churn_sequence(
+        g in lineage_graph(14),
+        ops in proptest::collection::vec((0u8..4, any::<u64>()), 1..10),
+    ) {
+        let mut k = Kaskade::new(g, Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        for (op, seed) in ops {
+            let snap = k.snapshot();
+            let graph = snap.graph();
+            let pick = |n: usize| (seed as usize) % n.max(1);
+            let mut d = GraphDelta::new();
+            match op {
+                // append: a new job reading an existing file
+                0 => {
+                    let files: Vec<_> = graph.vertices_of_type("File").collect();
+                    let j = d.add_vertex("Job", vec![("CPU".into(), Value::Int(3))]);
+                    if let Some(&f) = files.get(pick(files.len())) {
+                        d.add_edge(VRef::Existing(f), j, "IS_READ_BY",
+                                   vec![("ts".into(), Value::Int(seed as i64 & 0xFF))]);
+                    }
+                }
+                // retract an arbitrary live edge by identity
+                1 => {
+                    let edges: Vec<_> = graph.edges().collect();
+                    if let Some(&e) = edges.get(pick(edges.len())) {
+                        d.del_edge(
+                            VRef::Existing(graph.edge_src(e)),
+                            VRef::Existing(graph.edge_dst(e)),
+                            graph.edge_type(e),
+                        );
+                    }
+                }
+                // retract an arbitrary live vertex (cascades)
+                2 => {
+                    let vertices: Vec<_> = graph.vertices().collect();
+                    if let Some(&v) = vertices.get(pick(vertices.len())) {
+                        d.del_vertex(v);
+                    }
+                }
+                // delete-then-reinsert the same edge identity
+                _ => {
+                    let edges: Vec<_> = graph.edges().collect();
+                    if let Some(&e) = edges.get(pick(edges.len())) {
+                        let (s, t) = (graph.edge_src(e), graph.edge_dst(e));
+                        let ty = graph.edge_type(e).to_string();
+                        d.del_edge(VRef::Existing(s), VRef::Existing(t), &ty);
+                        d.add_edge(VRef::Existing(s), VRef::Existing(t), &ty,
+                                   vec![("ts".into(), Value::Int(seed as i64 & 0xFF))]);
+                    }
+                }
+            }
+            if d.is_empty() {
+                continue;
+            }
+            k.apply_delta(&d);
+            // incremental stats are EXACTLY the full recompute
+            prop_assert_eq!(k.stats(), &GraphStats::compute(k.graph()));
+            // the maintained connector view equals a scratch rebuild
+            let maintained = &k.catalog().get(&ViewDef::Connector(def.clone()).id()).unwrap().graph;
+            let fresh = materialize_connector(k.graph(), &def);
+            let fp = |g: &Graph| {
+                let mut v: Vec<_> = g.edges().map(|e| (
+                    g.edge_src(e).0, g.edge_dst(e).0,
+                    g.edge_prop(e, "ts").and_then(|p| p.as_int()),
+                    g.edge_prop(e, "support").and_then(|p| p.as_int()),
+                )).collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(fp(maintained), fp(&fresh));
+            prop_assert_eq!(maintained.vertex_count(), fresh.vertex_count());
         }
     }
 

@@ -13,7 +13,8 @@ use kaskade::datasets::{generate_provenance, ProvenanceConfig};
 use kaskade::graph::Schema;
 use kaskade::query::{execute as execute_raw, listings::LISTING_1, parse, Table};
 use kaskade::service::{
-    drive, plan_key, snapshot_is_consistent, DriveConfig, Engine, EngineConfig,
+    churn_delta, drive, plan_key, snapshot_is_consistent, DriveConfig, Engine, EngineConfig,
+    Workload,
 };
 
 fn tiny_instance(seed: u64) -> Kaskade {
@@ -117,6 +118,7 @@ fn repeated_workload_reports_cache_hits_under_writes() {
             write_pause: Duration::from_millis(2),
             max_writes: 0,
             verify_consistency: true,
+            workload: Workload::Append,
         },
     );
     assert!(outcome.reads >= 8, "enough reads to repeat: {outcome:?}");
@@ -130,6 +132,95 @@ fn repeated_workload_reports_cache_hits_under_writes() {
     );
     assert!(outcome.report.epoch > 0);
     assert_eq!(outcome.report.queries, outcome.reads);
+}
+
+/// THE retraction acceptance property: ≥4 readers run against a churn
+/// writer (interleaved inserts, edge retractions, and vertex
+/// retractions), and every snapshot a reader observes is internally
+/// consistent — each materialized view equals a from-scratch
+/// re-materialization over that snapshot's base graph (stale connector
+/// edges from a retracted base edge would fail this), and the
+/// incrementally maintained statistics equal an exact
+/// `GraphStats::compute` over the same graph.
+#[test]
+fn churn_writer_keeps_views_and_stats_consistent() {
+    let engine = Engine::from_kaskade(&tiny_instance(54));
+    let readers = 4;
+    let iterations_per_reader = 10;
+    let checks = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let (engine, checks) = (&engine, &checks);
+            scope.spawn(move || {
+                let mut reader = engine.reader();
+                for _ in 0..iterations_per_reader {
+                    let snap = reader.snapshot().clone();
+                    // views vs scratch rebuild AND stats vs full compute
+                    assert!(
+                        snapshot_is_consistent(&snap.state),
+                        "inconsistent snapshot at epoch {}",
+                        snap.epoch
+                    );
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // churn writer: scripted interleave of appends, edge
+        // retractions, and cascading vertex retractions
+        let engine = &engine;
+        scope.spawn(move || {
+            for step in 0..80u64 {
+                let snap = engine.snapshot();
+                if let Some(delta) = churn_delta(&snap.state, step) {
+                    if engine.submit(delta).is_err() {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+    });
+
+    assert_eq!(
+        checks.load(Ordering::Relaxed),
+        readers * iterations_per_reader
+    );
+    let epoch = engine.flush();
+    assert!(epoch > 0, "the churn writer actually published");
+    let report = engine.metrics();
+    assert!(
+        report.retractions_applied > 0,
+        "churn retracted: {report:?}"
+    );
+    // and the final state passes the oracle one more time
+    assert!(snapshot_is_consistent(&engine.snapshot().state));
+}
+
+/// The same churn acceptance, driven through the shared `drive` harness
+/// with per-read verification on — zero violations end to end.
+#[test]
+fn drive_churn_smoke_has_zero_violations() {
+    let engine = Engine::from_kaskade(&tiny_instance(55));
+    let queries = vec![parse(LISTING_1).unwrap()];
+    let outcome = drive(
+        &engine,
+        &queries,
+        &DriveConfig {
+            readers: 4,
+            duration: Duration::from_millis(400),
+            read_pause: Duration::ZERO,
+            write_pause: Duration::from_millis(1),
+            max_writes: 0,
+            verify_consistency: true,
+            workload: Workload::Churn,
+        },
+    );
+    assert!(outcome.reads > 0);
+    assert_eq!(outcome.read_errors, 0);
+    assert_eq!(outcome.consistency_violations, 0, "zero torn reads");
+    assert!(outcome.final_consistent, "final snapshot passes the oracle");
+    assert!(outcome.writes > 0, "the churn writer was active");
 }
 
 /// Batching applies many queued deltas in one publish; the final state
@@ -159,7 +250,13 @@ fn batched_ingestion_converges_to_sequential_state() {
     }
 
     // engine path: all ten queued before the worker can drain
-    let engine = Engine::with_config(k.snapshot(), EngineConfig { max_batch: 16 });
+    let engine = Engine::with_config(
+        k.snapshot(),
+        EngineConfig {
+            max_batch: 16,
+            ..EngineConfig::default()
+        },
+    );
     for d in &deltas {
         engine.submit(d.clone()).unwrap();
     }
