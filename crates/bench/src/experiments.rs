@@ -6,12 +6,13 @@ use std::time::{Duration, Instant};
 
 use kaskade_core::{
     cost::{erdos_renyi_estimate, path_count_estimate},
-    enumerate_views, procedural, Kaskade, SelectionConfig,
+    enumerate_views, procedural, ConnectorDef, GraphDelta, Kaskade, SelectionConfig, Snapshot,
+    ViewDef,
 };
 use kaskade_datasets::Dataset;
 use kaskade_graph::{degree_ccdf, power_law_exponent, GraphStats};
 use kaskade_query::parse;
-use kaskade_service::{drive, DriveConfig, Engine, Workload};
+use kaskade_service::{drive, DriveConfig, Engine, ShardedEngine, Workload};
 
 use crate::setup::{k_hop_pair_count, Env};
 use crate::workload::{run, QueryId};
@@ -376,6 +377,133 @@ pub fn serve_churn(
         .collect()
 }
 
+/// One row of the sharded-ingest experiment: the same churn delta
+/// sequence driven through a single engine and a sharded engine,
+/// comparing where the write path spends its time.
+#[derive(Debug, Clone)]
+pub struct ShardedServeRow {
+    /// Shard count of the sharded engine for this row.
+    pub shards: usize,
+    /// Deltas ingested by each engine.
+    pub writes: u64,
+    /// Total apply+publish time of the single engine (graph apply,
+    /// incremental stats, and view maintenance — the whole serial
+    /// write path).
+    pub single_apply: Duration,
+    /// Total apply+publish time of the sharded coordinator (global
+    /// apply, parallel view refresh, stats merge).
+    pub coordinator_apply: Duration,
+    /// Each shard engine's own ingest total (sub-delta apply and
+    /// per-shard incremental statistics). Shards run concurrently, so
+    /// the effective per-batch ingest cost is the max, not the sum.
+    pub shard_apply: Vec<Duration>,
+    /// Whether the blast-radius query returned byte-identical tables
+    /// from both engines after the final flush.
+    pub results_equal: bool,
+    /// Whether the final sharded snapshot passed
+    /// [`kaskade_service::ShardedSnapshot::is_coherent`].
+    pub coherent: bool,
+}
+
+impl ShardedServeRow {
+    /// The slowest shard's ingest total — the parallel write path's
+    /// critical path.
+    pub fn max_shard_apply(&self) -> Duration {
+        self.shard_apply.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Sum of every shard's ingest total (total work, ignoring
+    /// parallelism).
+    pub fn sum_shard_apply(&self) -> Duration {
+        self.shard_apply.iter().sum()
+    }
+}
+
+/// Sharded ingest: pre-scripts `steps` churn deltas (derived
+/// sequentially, so they stay schema- and liveness-valid under any
+/// batching), feeds the identical sequence to a single [`Engine`] and
+/// to a [`ShardedEngine`] per shard count, and reports per-shard
+/// ingest timings against the single-engine write path, plus the
+/// differential checks (byte-identical query results, coherent final
+/// snapshot).
+pub fn serve_sharded(
+    dataset: Dataset,
+    scale: usize,
+    seed: u64,
+    shard_counts: &[usize],
+    steps: u64,
+) -> Vec<ShardedServeRow> {
+    let graph = dataset.generate(scale, seed);
+    let mut kaskade = Kaskade::new(graph, dataset.schema());
+    // the connector is the view whose maintenance dominates the write
+    // path — exactly what the sharded engine parallelizes
+    if dataset.is_heterogeneous() {
+        kaskade.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+    }
+    let base = kaskade.snapshot();
+    let query = parse(kaskade_query::listings::LISTING_1).expect("serving workload parses");
+
+    // script the delta sequence once, against a view-free scratch state
+    // (cheap), so every engine ingests the very same writes
+    let mut deltas: Vec<GraphDelta> = Vec::with_capacity(steps as usize);
+    let mut scratch = Snapshot::new(base.graph().clone(), base.schema().clone());
+    for step in 0..steps {
+        let Some(delta) = kaskade_service::churn_delta(&scratch, step) else {
+            break;
+        };
+        scratch = scratch.with_delta(&delta);
+        deltas.push(delta);
+    }
+
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let single = Engine::new(base.clone());
+            let sharded = ShardedEngine::new(base.clone(), shards);
+            for d in &deltas {
+                // a full queue only means the worker is behind: drain
+                // and resubmit so both engines ingest every delta
+                use kaskade_service::SubmitError;
+                loop {
+                    match single.submit(d.clone()) {
+                        Ok(()) => break,
+                        Err(SubmitError::Backpressure) => {
+                            single.flush();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                loop {
+                    match sharded.submit(d.clone()) {
+                        Ok(()) => break,
+                        Err(SubmitError::Backpressure) => {
+                            sharded.flush();
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            single.flush();
+            sharded.flush();
+            let results_equal = match (single.execute(&query), sharded.execute(&query)) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => false,
+            };
+            let snap = sharded.snapshot();
+            let report = sharded.metrics();
+            ShardedServeRow {
+                shards,
+                writes: deltas.len() as u64,
+                single_apply: single.metrics().apply_total,
+                coordinator_apply: report.global.apply_total,
+                shard_apply: report.per_shard.iter().map(|s| s.apply_total).collect(),
+                results_equal,
+                coherent: snap.is_coherent(),
+            }
+        })
+        .collect()
+}
+
 /// One Table III row: dataset inventory.
 #[derive(Debug, Clone)]
 pub struct Table3Row {
@@ -541,6 +669,24 @@ mod tests {
         }
         let churn = rows.iter().find(|r| r.workload == "churn").unwrap();
         assert!(churn.retractions > 0, "churn actually retracted: {churn:?}");
+    }
+
+    #[test]
+    fn serve_sharded_is_equivalent_and_coherent() {
+        let rows = serve_sharded(Dataset::Prov, 1, 39, &[1, 4], 40);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.shard_apply.len(), r.shards);
+            assert!(r.writes > 0, "{r:?}");
+            assert!(
+                r.results_equal,
+                "{}-shard results diverged from the single engine",
+                r.shards
+            );
+            assert!(r.coherent, "{}-shard final snapshot torn", r.shards);
+            assert!(r.single_apply > Duration::ZERO);
+            assert!(r.max_shard_apply() <= r.sum_shard_apply());
+        }
     }
 
     #[test]

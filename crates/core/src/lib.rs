@@ -51,8 +51,8 @@ pub use facts::{
     assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,
 };
 pub use maintain::{
-    apply_delta, maintain_connector, stat_changes, AppliedDelta, DelEdge, DeltaError, GraphDelta,
-    NewEdge, NewVertex, VRef,
+    apply_delta, maintain_connector, maintain_connector_partitioned, stat_changes, AppliedDelta,
+    DelEdge, DeltaError, GraphDelta, NewEdge, NewVertex, VRef,
 };
 pub use materialize::{
     materialize, materialize_connector, materialize_source_sink, materialize_summarizer,

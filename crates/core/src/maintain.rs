@@ -31,7 +31,6 @@ use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use kaskade_graph::{DegreeChange, Graph, GraphBuilder, Value, VertexId};
 
-use crate::materialize::emit_connector_edges;
 use crate::views::ConnectorDef;
 
 /// A reference to a vertex in a delta: either an existing base-graph
@@ -53,6 +52,13 @@ pub struct NewVertex {
     pub vtype: String,
     /// Initial properties.
     pub props: Vec<(String, Value)>,
+    /// Whether the vertex is inserted as a **ghost** — a shard-local
+    /// replica of a vertex owned by another shard. Sub-deltas produced
+    /// by [`GraphDelta::split`] broadcast every vertex insertion to
+    /// every shard (keeping id slots aligned), ghost everywhere except
+    /// on the owner. Always `false` for deltas built through
+    /// [`GraphDelta::add_vertex`].
+    pub ghost: bool,
 }
 
 /// An edge to insert.
@@ -111,6 +117,7 @@ impl GraphDelta {
         self.vertices.push(NewVertex {
             vtype: vtype.to_string(),
             props,
+            ghost: false,
         });
         VRef::New(self.vertices.len() - 1)
     }
@@ -265,6 +272,16 @@ impl GraphDelta {
     /// never an insert recorded after it — that is what keeps
     /// delete-then-reinsert sequences intact while insert-then-delete
     /// pairs cancel.
+    ///
+    /// **Caveat**: equivalence assumes every merged delta could apply
+    /// in sequence. If `self` retracts a vertex that an edge of `other`
+    /// references, sequential application would *reject* `other` (edge
+    /// onto a dead vertex), while the merged delta would insert the
+    /// edge and then cascade it away. Batching callers must therefore
+    /// refuse such a delta before merging — the serving write path
+    /// does, in `collect_batch` (`kaskade-service`), the single
+    /// accept/reject point shared by the engine writer and the sharded
+    /// router.
     pub fn merge(&mut self, other: &GraphDelta) {
         let base = self.vertices.len();
         let shift = |r: VRef| match r {
@@ -288,6 +305,77 @@ impl GraphDelta {
             }
         }
         self.del_vertices.extend(other.del_vertices.iter().copied());
+    }
+
+    /// Splits this delta into one sub-delta per shard, for the sharded
+    /// serving runtime's router:
+    ///
+    /// - **Vertex insertions are broadcast**: every sub-delta carries
+    ///   the full vertex list in order (so [`VRef::New`] indices — and,
+    ///   after apply, id slots — stay aligned across shards), marked
+    ///   ghost everywhere except on the shard `owner_new` names.
+    /// - **Edge insertions and edge retractions route to the shard
+    ///   owning the edge's source vertex** (`owner_existing` for base
+    ///   vertices, `owner_new` for vertices this delta adds), the
+    ///   shard that stores the edge. Original operation order is
+    ///   replayed per shard, preserving delete-then-reinsert semantics.
+    /// - **Vertex retractions are broadcast**: each shard cascades the
+    ///   removal to its locally stored incident edges; the union of
+    ///   those cascades is exactly the global cascade.
+    ///
+    /// Applying sub-delta `i` to shard `i` of a graph partitioned with
+    /// the same ownership is equivalent to applying `self` to the whole
+    /// graph and re-partitioning (asserted by tests).
+    pub fn split(
+        &self,
+        shards: usize,
+        owner_existing: &dyn Fn(VertexId) -> usize,
+        owner_new: &dyn Fn(usize) -> usize,
+    ) -> Vec<GraphDelta> {
+        let shards = shards.max(1);
+        let clamp = |s: usize| s.min(shards - 1);
+        let mut subs = vec![GraphDelta::new(); shards];
+        for (i, nv) in self.vertices.iter().enumerate() {
+            let owner = clamp(owner_new(i));
+            for (s, sub) in subs.iter_mut().enumerate() {
+                sub.vertices.push(NewVertex {
+                    ghost: nv.ghost || s != owner,
+                    ..nv.clone()
+                });
+            }
+        }
+        let owner_of = |r: VRef| {
+            clamp(match r {
+                VRef::Existing(v) => owner_existing(v),
+                VRef::New(i) => owner_new(i),
+            })
+        };
+        // replay edge operations in their original interleaved order so
+        // each shard records retractions with the right pending window
+        let mut dels = self.del_edges.iter().peekable();
+        for j in 0..=self.edges.len() {
+            while dels.peek().is_some_and(|d| d.pending_seen <= j) {
+                let d = dels.next().unwrap();
+                let sub = &mut subs[owner_of(d.src)];
+                // surviving retractions matched no earlier pending
+                // insert globally, so they cannot match one in the
+                // (sub)sequence either — push directly, keeping the
+                // per-shard pending window
+                sub.del_edges.push(DelEdge {
+                    src: d.src,
+                    dst: d.dst,
+                    etype: d.etype.clone(),
+                    pending_seen: sub.edges.len(),
+                });
+            }
+            if let Some(e) = self.edges.get(j) {
+                subs[owner_of(e.src)].edges.push(e.clone());
+            }
+        }
+        for sub in &mut subs {
+            sub.del_vertices.extend(self.del_vertices.iter().copied());
+        }
+        subs
     }
 }
 
@@ -424,7 +512,11 @@ pub fn apply_delta(g: &Graph, delta: &GraphDelta) -> AppliedDelta {
     let mut ed = g.edit();
     let mut new_vertices = Vec::with_capacity(delta.vertices.len());
     for nv in &delta.vertices {
-        let id = ed.add_vertex(&nv.vtype);
+        let id = if nv.ghost {
+            ed.add_ghost_vertex(&nv.vtype)
+        } else {
+            ed.add_vertex(&nv.vtype)
+        };
         for (k, val) in &nv.props {
             ed.set_vertex_prop(id, k, val.clone());
         }
@@ -498,6 +590,11 @@ pub fn stat_changes(applied: &AppliedDelta) -> Vec<DegreeChange> {
     touched.extend(applied.deleted_vertices.iter().copied());
     touched
         .into_iter()
+        // ghosts never contribute to statistics: their degree is
+        // tracked on the shard that owns them (a ghost has no local
+        // out-edges — edges route to their source's owner), and the
+        // flag is immutable, so checking the new graph suffices
+        .filter(|&v| !applied.graph.is_vertex_ghost(v))
         .map(|v| {
             let before = (v.index() < old.vertex_slots() && old.is_vertex_live(v))
                 .then(|| old.out_degree(v));
@@ -570,9 +667,62 @@ fn affected_sources(def: &ConnectorDef, applied: &AppliedDelta) -> HashSet<Verte
 /// result is identical to re-materializing from scratch (asserted by
 /// tests), but touches only the neighborhood of the change.
 pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &ConnectorDef) -> Graph {
+    maintain_connector_partitioned(old_view, applied, def, &|_| 0, 1)
+}
+
+/// [`maintain_connector`] with the expensive half — re-deriving the
+/// exact-`k` frontier of every affected source — fanned out over
+/// `parts` worker threads, one per ownership partition of `part_of`
+/// (the sharded serving runtime passes its vertex partitioner, so each
+/// shard's worker recomputes exactly the view edges that shard owns).
+/// Assembly stays serial and emits sources in the same sorted order as
+/// the serial path, so the result is **identical** to
+/// [`maintain_connector`] for any partitioning (asserted by tests).
+pub fn maintain_connector_partitioned(
+    old_view: &Graph,
+    applied: &AppliedDelta,
+    def: &ConnectorDef,
+    part_of: &(dyn Fn(VertexId) -> usize + Sync),
+    parts: usize,
+) -> Graph {
     let base_new = &applied.graph;
     let base_old = &applied.base_old;
     let affected = affected_sources(def, applied);
+
+    // frontier recomputation, partitioned: bucket the affected sources
+    // by owner and derive each bucket's connector targets on its own
+    // thread (reads of the shared frozen graphs only). The serial path
+    // (parts <= 1) streams targets straight into the builder below
+    // instead, with no intermediate map.
+    let mut affected_sorted: Vec<VertexId> = affected.iter().copied().collect();
+    affected_sorted.sort();
+    type TargetMap = HashMap<VertexId, Vec<crate::materialize::ConnectorTarget>>;
+    let targets_of: Option<TargetMap> = if parts <= 1 {
+        None
+    } else {
+        let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); parts];
+        for &u in &affected_sorted {
+            buckets[part_of(u).min(parts - 1)].push(u);
+        }
+        Some(std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .iter()
+                .filter(|bucket| !bucket.is_empty())
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        bucket
+                            .iter()
+                            .map(|&u| (u, crate::materialize::connector_targets(base_new, def, u)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("connector maintenance worker panicked"))
+                .collect()
+        }))
+    };
 
     // Connector views list base vertices of the target types in base-id
     // order; ids are stable under apply_delta, so the mapping between
@@ -620,14 +770,27 @@ pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &Connec
         }
     }
 
-    // Recompute affected sources against the new base.
-    let mut affected: Vec<VertexId> = affected.into_iter().collect();
-    affected.sort();
-    for u in affected {
+    // Splice in the recomputed frontiers, in sorted source order —
+    // pre-computed on worker threads when partitioned, derived inline
+    // on the serial path.
+    for u in affected_sorted {
         let Some(&nu) = view_id_of.get(&u) else {
             continue;
         };
-        emit_connector_edges(&mut b, base_new, def, &label, u, nu, &view_id_of);
+        match &targets_of {
+            Some(map) => {
+                crate::materialize::emit_targets(&mut b, &map[&u], &label, nu, &view_id_of)
+            }
+            None => crate::materialize::emit_connector_edges(
+                &mut b,
+                base_new,
+                def,
+                &label,
+                u,
+                nu,
+                &view_id_of,
+            ),
+        }
     }
     b.finish()
 }
@@ -1150,6 +1313,164 @@ mod tests {
         let full = materialize_connector(&applied.graph, &def);
         assert_eq!(edge_fingerprint(&incremental), edge_fingerprint(&full));
         assert_eq!(incremental.edge_count(), 1); // a -F-> c -F-> e only
+    }
+
+    /// Canonical live-element picture of a (possibly sharded) graph:
+    /// per-vertex (id, type, ghost, props) and the live edge multiset.
+    #[allow(clippy::type_complexity)]
+    fn shard_fingerprint(g: &Graph) -> (Vec<(u32, String, bool, String)>, Vec<EdgePrint>) {
+        let vertices = g
+            .vertices()
+            .map(|v| {
+                (
+                    v.0,
+                    g.vertex_type(v).to_string(),
+                    g.is_vertex_ghost(v),
+                    format!("{:?}", g.vertex_props(v)),
+                )
+            })
+            .collect();
+        (vertices, edge_fingerprint(g))
+    }
+
+    #[test]
+    fn split_then_apply_equals_apply_then_shard() {
+        use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+        let g = generate_provenance(&ProvenanceConfig::tiny(77).core_only());
+
+        // a delta exercising every operation kind: new vertices (with
+        // cross-referencing edges), an edge onto an existing vertex, an
+        // identity retraction, and a cascading vertex retraction
+        let mut d = GraphDelta::new();
+        let j = d.add_vertex("Job", vec![("CPU".into(), Value::Int(5))]);
+        let f = d.add_vertex("File", vec![]);
+        let first_file = g.vertices_of_type("File").next().unwrap();
+        d.add_edge(
+            VRef::Existing(first_file),
+            j,
+            "IS_READ_BY",
+            vec![("ts".into(), Value::Int(100))],
+        );
+        d.add_edge(j, f, "WRITES_TO", vec![("ts".into(), Value::Int(101))]);
+        let e = g.edges().next().unwrap();
+        d.del_edge(
+            VRef::Existing(g.edge_src(e)),
+            VRef::Existing(g.edge_dst(e)),
+            g.edge_type(e),
+        );
+        d.del_vertex(g.vertices_of_type("File").nth(1).unwrap());
+
+        let applied = apply_delta(&g, &d);
+        let slots = g.vertex_slots();
+        for shards in [1usize, 2, 3] {
+            let owner = |v: VertexId| (v.0 as usize) % shards;
+            let subs = d.split(shards, &owner, &|i| (slots + i) % shards);
+            assert_eq!(subs.len(), shards);
+            let mut merged_stats = Vec::new();
+            for (s, sub) in subs.iter().enumerate() {
+                let shard_before = g.shard(&|v| owner(v) == s);
+                let shard_after = apply_delta(&shard_before, sub).graph;
+                let expected = applied.graph.shard(&|v| owner(v) == s);
+                assert_eq!(
+                    shard_fingerprint(&shard_after),
+                    shard_fingerprint(&expected),
+                    "shard {s}/{shards}"
+                );
+                merged_stats.push(kaskade_graph::GraphStats::compute(&shard_after));
+            }
+            // per-shard stats merge exactly into the global stats
+            assert_eq!(
+                kaskade_graph::GraphStats::merge(merged_stats.iter()).unwrap(),
+                kaskade_graph::GraphStats::compute(&applied.graph),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_connector_maintenance_matches_serial() {
+        use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+        let g = generate_provenance(&ProvenanceConfig::tiny(78).core_only());
+        let def = ConnectorDef::k_hop("Job", "Job", 2);
+        let view = crate::materialize::materialize_connector(&g, &def);
+
+        let mut d = GraphDelta::new();
+        let j = d.add_vertex("Job", vec![]);
+        let f0 = g.vertices_of_type("File").next().unwrap();
+        d.add_edge(VRef::Existing(f0), j, "IS_READ_BY", vec![]);
+        let e = g.edges().find(|&e| g.edge_type(e) == "IS_READ_BY").unwrap();
+        d.del_edge(
+            VRef::Existing(g.edge_src(e)),
+            VRef::Existing(g.edge_dst(e)),
+            "IS_READ_BY",
+        );
+        let applied = apply_delta(&g, &d);
+
+        let serial = maintain_connector(&view, &applied, &def);
+        for parts in [2usize, 3, 8] {
+            let parallel = maintain_connector_partitioned(
+                &view,
+                &applied,
+                &def,
+                &|v| (v.0 as usize) % parts,
+                parts,
+            );
+            assert_eq!(
+                edge_fingerprint(&parallel),
+                edge_fingerprint(&serial),
+                "{parts} parts"
+            );
+            assert_eq!(parallel.vertex_count(), serial.vertex_count());
+        }
+    }
+
+    #[test]
+    fn split_routes_retraction_order_correctly() {
+        // delete-then-reinsert of the same identity must stay intact
+        // through a split: both ops route to the source's owner with
+        // the retraction ordered before the insert
+        let g = lineage_base();
+        let mut d = GraphDelta::new();
+        d.del_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+        );
+        d.add_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+            vec![("ts".into(), Value::Int(42))],
+        );
+        let subs = d.split(2, &|v| (v.0 as usize) % 2, &|_| 0);
+        // v0 is owned by shard 0: both operations land there, in order
+        assert_eq!(subs[0].del_edges.len(), 1);
+        assert_eq!(subs[0].edges.len(), 1);
+        assert_eq!(subs[0].del_edges[0].pending_seen, 0);
+        assert!(subs[1].del_edges.is_empty() && subs[1].edges.is_empty());
+        // applying the shard-0 sub-delta retracts the old edge and
+        // keeps the re-insert
+        let shard0 = g.shard(&|v| v.0 % 2 == 0);
+        let after = apply_delta(&shard0, &subs[0]).graph;
+        assert_eq!(after.edge_count(), 1);
+        let live = after.edges().next().unwrap();
+        assert_eq!(after.edge_prop(live, "ts"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn ghost_vertices_flow_through_deltas() {
+        let g = lineage_base().shard(&|v| v.0 == 0);
+        let mut d = GraphDelta::new();
+        d.vertices.push(NewVertex {
+            vtype: "File".into(),
+            props: vec![],
+            ghost: true,
+        });
+        let applied = apply_delta(&g, &d);
+        let nv = applied.new_vertices[0];
+        assert!(applied.graph.is_vertex_ghost(nv));
+        // ghost insertions leave statistics untouched
+        assert!(stat_changes(&applied).is_empty());
     }
 
     #[test]

@@ -88,7 +88,21 @@ pub(crate) fn emit_connector_edges(
     nu: VertexId,
     remap: &HashMap<VertexId, VertexId>,
 ) {
-    for (v, ts, support) in connector_targets(g, def, u) {
+    emit_targets(b, &connector_targets(g, def, u), label, nu, remap);
+}
+
+/// Adds pre-computed connector targets of one source to a view under
+/// construction — the serial assembly half of
+/// [`crate::maintain::maintain_connector_partitioned`], whose target
+/// computation runs on worker threads.
+pub(crate) fn emit_targets(
+    b: &mut GraphBuilder,
+    targets: &[ConnectorTarget],
+    label: &str,
+    nu: VertexId,
+    remap: &HashMap<VertexId, VertexId>,
+) {
+    for &(v, ts, support) in targets {
         let Some(&nv) = remap.get(&v) else { continue };
         let e = b.add_edge(nu, nv, label);
         if ts != i64::MIN {

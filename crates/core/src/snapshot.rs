@@ -52,6 +52,23 @@ impl Snapshot {
         }
     }
 
+    /// Assembles a snapshot from pre-built parts, trusting the caller
+    /// that `stats` describe `graph` and every catalog entry is a
+    /// faithful materialization over it. This is the publish primitive
+    /// of the sharded serving runtime (`kaskade-service`), whose
+    /// coordinator maintains the global graph, merges per-shard
+    /// statistics, and refreshes views in parallel before assembling
+    /// the snapshot readers see — `snapshot_is_consistent` still
+    /// verifies the trust at the oracle level.
+    pub fn assemble(graph: Graph, schema: Schema, stats: GraphStats, catalog: Catalog) -> Self {
+        Snapshot {
+            graph,
+            schema,
+            stats,
+            catalog,
+        }
+    }
+
     /// The raw graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -170,11 +187,14 @@ impl Snapshot {
             catalog.add(MaterializedView::new(view.def.clone(), refreshed));
         }
         let changes = maintain::stat_changes(&applied);
+        // owned count: on a shard of a partitioned graph, statistics
+        // track only the vertices this shard owns (equals vertex_count
+        // on unpartitioned graphs)
         let stats = self
             .stats
             .with_changes(
                 &changes,
-                applied.graph.vertex_count(),
+                applied.graph.owned_vertex_count(),
                 applied.graph.edge_count(),
             )
             .unwrap_or_else(|| GraphStats::compute(&applied.graph));

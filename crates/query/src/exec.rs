@@ -5,8 +5,13 @@ use std::collections::HashMap;
 
 use kaskade_graph::{Graph, Value, VertexId};
 
-use crate::ast::{AggFunc, CmpOp, Expr, Predicate, Query, SelectStmt, Source};
+use crate::ast::{AggFunc, CmpOp, Expr, GraphPattern, Predicate, Query, SelectStmt, Source};
 use crate::plan::{ExecError, PatternPlan};
+
+/// The result of executing one `MATCH` pattern: RETURN aliases plus
+/// sorted, deduplicated rows of vertex bindings (see
+/// [`PatternPlan::execute`]).
+pub type PatternRows = (Vec<String>, Vec<Vec<VertexId>>);
 
 /// A value flowing through the relational operators: either a graph
 /// vertex (from a pattern binding) or a scalar.
@@ -132,26 +137,53 @@ fn datum_cmp(a: &Datum, b: &Datum) -> std::cmp::Ordering {
 
 /// Executes a full query against a graph.
 pub fn execute(g: &Graph, q: &Query) -> Result<Table, ExecError> {
+    execute_with_pattern(g, q, &|p| {
+        let plan = PatternPlan::new(g, p)?;
+        Ok(plan.execute(g))
+    })
+}
+
+/// Executes a full query, sourcing every `MATCH` pattern's rows from
+/// `pattern_exec` instead of the built-in matcher. The relational
+/// pipeline (WHERE / GROUP BY / aggregates / ORDER BY / LIMIT) runs
+/// unchanged over the supplied rows.
+///
+/// This is the gather half of sharded execution: the provider fans the
+/// pattern out with [`PatternPlan::execute_anchored`] (one disjoint
+/// anchor range per shard), merges the sorted row sets, and the
+/// relational stage then sees exactly the row set an unsharded
+/// [`execute`] would have produced — making the final table
+/// byte-identical, ordering included.
+pub fn execute_with_pattern(
+    g: &Graph,
+    q: &Query,
+    pattern_exec: &dyn Fn(&GraphPattern) -> Result<PatternRows, ExecError>,
+) -> Result<Table, ExecError> {
     match q {
-        Query::Match(p) => {
-            let plan = PatternPlan::new(g, p)?;
-            let (columns, vrows) = plan.execute(g);
-            Ok(Table {
-                columns,
-                rows: vrows
-                    .into_iter()
-                    .map(|r| r.into_iter().map(Datum::Vertex).collect())
-                    .collect(),
-            })
-        }
-        Query::Select(s) => execute_select(g, s),
+        Query::Match(p) => Ok(match_table(pattern_exec(p)?)),
+        Query::Select(s) => execute_select(g, s, pattern_exec),
     }
 }
 
-fn execute_select(g: &Graph, s: &SelectStmt) -> Result<Table, ExecError> {
+/// Lifts pattern rows into a relational [`Table`] of vertex datums.
+fn match_table((columns, vrows): PatternRows) -> Table {
+    Table {
+        columns,
+        rows: vrows
+            .into_iter()
+            .map(|r| r.into_iter().map(Datum::Vertex).collect())
+            .collect(),
+    }
+}
+
+fn execute_select(
+    g: &Graph,
+    s: &SelectStmt,
+    pattern_exec: &dyn Fn(&GraphPattern) -> Result<PatternRows, ExecError>,
+) -> Result<Table, ExecError> {
     let input = match &s.from {
-        Source::Match(p) => execute(g, &Query::Match(p.clone()))?,
-        Source::Subquery(inner) => execute_select(g, inner)?,
+        Source::Match(p) => match_table(pattern_exec(p)?),
+        Source::Subquery(inner) => execute_select(g, inner, pattern_exec)?,
     };
 
     // WHERE

@@ -45,7 +45,7 @@ pub use ast::{
     Source,
 };
 pub use cost::CostModel;
-pub use exec::{execute, Datum, Table};
+pub use exec::{execute, execute_with_pattern, Datum, PatternRows, Table};
 pub use parser::{parse, QueryParseError};
 pub use plan::{ExecError, PatternPlan};
 

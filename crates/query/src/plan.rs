@@ -184,6 +184,26 @@ impl<'p> PatternPlan<'p> {
     /// query must not count path multiplicity either). Returns
     /// `(aliases, rows of vertices)`.
     pub fn execute(&self, g: &Graph) -> (Vec<String>, Vec<Vec<VertexId>>) {
+        self.execute_anchored(g, &|_| true)
+    }
+
+    /// Like [`PatternPlan::execute`], but the plan's **anchor scan**
+    /// (its first step, which enumerates candidate vertices before
+    /// anything is bound) only considers vertices accepted by `anchor`.
+    ///
+    /// This is the scatter half of sharded query execution: running the
+    /// same plan once per shard with disjoint, jointly exhaustive
+    /// anchor predicates partitions the matching work, and because
+    /// rows come back sorted and deduplicated, the sorted-merge of the
+    /// per-shard row sets is **identical** to one unrestricted
+    /// [`PatternPlan::execute`] — every match is anchored at exactly
+    /// one vertex, and DISTINCT projection absorbs any overlap from
+    /// later, unrestricted steps.
+    pub fn execute_anchored(
+        &self,
+        g: &Graph,
+        anchor: &dyn Fn(VertexId) -> bool,
+    ) -> (Vec<String>, Vec<Vec<VertexId>>) {
         let label_syms: Vec<Option<Option<Symbol>>> = self
             .pattern
             .nodes
@@ -219,6 +239,7 @@ impl<'p> PatternPlan<'p> {
             plan: self,
             label_syms: &label_syms,
             etype_syms: &etype_syms,
+            anchor,
         };
         ctx.run(0, &mut binding, &mut |b| {
             rows.push(
@@ -239,6 +260,9 @@ struct MatchCtx<'a, 'p> {
     plan: &'a PatternPlan<'p>,
     label_syms: &'a [Option<Option<Symbol>>],
     etype_syms: &'a [Option<Option<Symbol>>],
+    /// Filter on the first (anchor) scan's candidates; `|_| true`
+    /// outside sharded execution.
+    anchor: &'a dyn Fn(VertexId) -> bool,
 }
 
 impl MatchCtx<'_, '_> {
@@ -271,7 +295,15 @@ impl MatchCtx<'_, '_> {
         match step {
             Step::Scan(slot) => {
                 let slot = *slot;
+                // the first step is always a scan (nothing is bound
+                // yet); only it is anchor-restricted — later scans of
+                // disconnected components run unrestricted on every
+                // shard and DISTINCT projection absorbs the overlap
+                let anchored = step_idx == 0;
                 for v in self.g.vertices() {
+                    if anchored && !(self.anchor)(v) {
+                        continue;
+                    }
                     if self.label_ok(slot, v) {
                         binding[slot] = Some(v);
                         self.run(step_idx + 1, binding, emit);
@@ -530,6 +562,33 @@ mod tests {
         let g = lineage();
         let rows = run(&g, "MATCH (a:Job) (b:File) RETURN a, b");
         assert_eq!(rows.len(), 4 * 3);
+    }
+
+    #[test]
+    fn anchored_union_equals_unrestricted_execute() {
+        let g = lineage();
+        for src in [
+            "MATCH (j:Job) RETURN j",
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+            "MATCH (x:File)-[r*0..8]->(y:File) RETURN x, y",
+            "MATCH (a:Job) (b:File) RETURN a, b", // disconnected
+        ] {
+            let q = parse(src).unwrap();
+            let p = q.pattern().unwrap().clone();
+            let plan = PatternPlan::new(&g, &p).unwrap();
+            let (cols, full) = plan.execute(&g);
+            for shards in [1u32, 2, 3] {
+                let mut merged = Vec::new();
+                for s in 0..shards {
+                    let (c, rows) = plan.execute_anchored(&g, &|v| v.0 % shards == s);
+                    assert_eq!(c, cols);
+                    merged.extend(rows);
+                }
+                merged.sort();
+                merged.dedup();
+                assert_eq!(merged, full, "{src} over {shards} shards");
+            }
+        }
     }
 
     #[test]

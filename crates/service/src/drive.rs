@@ -16,12 +16,114 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use kaskade_core::materialize;
-use kaskade_query::Query;
+use kaskade_core::{materialize, GraphDelta, KaskadeError, Snapshot};
+use kaskade_query::{Query, Table};
 
 use crate::engine::{Engine, SubmitError};
 use crate::metrics::MetricsReport;
+use crate::shard::ShardedEngine;
 use crate::stream::{delta_for, Workload};
+
+/// The engine surface [`drive`] needs: per-thread readers, snapshot
+/// access, and the write path. Implemented by the single [`Engine`] and
+/// the [`ShardedEngine`], so the CLI's `serve` mode, the bench
+/// experiments, and the acceptance tests exercise both through one
+/// harness.
+pub trait ServingBackend: Sync {
+    /// A per-thread read handle with a cached, epoch-validated
+    /// snapshot.
+    type Reader: Send;
+
+    /// Creates a read handle (see [`Engine::reader`]).
+    fn serving_reader(&self) -> Self::Reader;
+
+    /// Plans (through the backend's plan cache) and executes `query`
+    /// against the reader's cached snapshot.
+    fn serve_query(&self, reader: &mut Self::Reader, query: &Query) -> Result<Table, KaskadeError>;
+
+    /// Runs `f` over the reader's cached read state without cloning
+    /// it (this accessor sits on a hot loop: per-read consistency
+    /// verification).
+    fn with_reader_state<R>(&self, reader: &mut Self::Reader, f: impl FnOnce(&Snapshot) -> R) -> R;
+
+    /// Runs `f` over the currently published read state without
+    /// cloning it (the drive writer scripts a delta from it every
+    /// write step).
+    fn with_current_state<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R;
+
+    /// Queues a delta on the write path (see [`Engine::submit`]).
+    fn submit_delta(&self, delta: GraphDelta) -> Result<(), SubmitError>;
+
+    /// Waits until every submitted delta is visible to readers.
+    fn flush_writes(&self) -> u64;
+
+    /// The backend's aggregate metrics.
+    fn metrics_report(&self) -> MetricsReport;
+}
+
+impl ServingBackend for Engine {
+    type Reader = crate::snapshot::Reader;
+
+    fn serving_reader(&self) -> Self::Reader {
+        self.reader()
+    }
+
+    fn serve_query(&self, reader: &mut Self::Reader, query: &Query) -> Result<Table, KaskadeError> {
+        self.execute_with(reader, query)
+    }
+
+    fn with_reader_state<R>(&self, reader: &mut Self::Reader, f: impl FnOnce(&Snapshot) -> R) -> R {
+        f(&reader.snapshot().state)
+    }
+
+    fn with_current_state<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
+        f(&self.snapshot().state)
+    }
+
+    fn submit_delta(&self, delta: GraphDelta) -> Result<(), SubmitError> {
+        self.submit(delta)
+    }
+
+    fn flush_writes(&self) -> u64 {
+        self.flush()
+    }
+
+    fn metrics_report(&self) -> MetricsReport {
+        self.metrics()
+    }
+}
+
+impl ServingBackend for ShardedEngine {
+    type Reader = crate::shard::ShardedReader;
+
+    fn serving_reader(&self) -> Self::Reader {
+        self.reader()
+    }
+
+    fn serve_query(&self, reader: &mut Self::Reader, query: &Query) -> Result<Table, KaskadeError> {
+        self.execute_with(reader, query)
+    }
+
+    fn with_reader_state<R>(&self, reader: &mut Self::Reader, f: impl FnOnce(&Snapshot) -> R) -> R {
+        f(&reader.snapshot().state)
+    }
+
+    fn with_current_state<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
+        f(&self.snapshot().state)
+    }
+
+    fn submit_delta(&self, delta: GraphDelta) -> Result<(), SubmitError> {
+        self.submit(delta)
+    }
+
+    fn flush_writes(&self) -> u64 {
+        self.flush()
+    }
+
+    fn metrics_report(&self) -> MetricsReport {
+        self.metrics().global
+    }
+}
 
 /// Workload shape for [`drive`].
 #[derive(Debug, Clone)]
@@ -143,13 +245,14 @@ pub fn snapshot_is_consistent(state: &kaskade_core::Snapshot) -> bool {
     })
 }
 
-/// Runs the workload against `engine` and gathers the outcome. Reader
-/// threads cycle through `queries` (offset by thread index so threads
-/// diverge); the writer derives deltas of the configured [`Workload`]
-/// shape from the latest snapshot via [`delta_for`]. Returns after
-/// `cfg.duration` plus a final flush and a full consistency check of
-/// the final snapshot.
-pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutcome {
+/// Runs the workload against `engine` — a single [`Engine`] or a
+/// [`ShardedEngine`] — and gathers the outcome. Reader threads cycle
+/// through `queries` (offset by thread index so threads diverge); the
+/// writer derives deltas of the configured [`Workload`] shape from the
+/// latest snapshot via [`delta_for`]. Returns after `cfg.duration`
+/// plus a final flush and a full consistency check of the final
+/// snapshot.
+pub fn drive<B: ServingBackend>(engine: &B, queries: &[Query], cfg: &DriveConfig) -> DriveOutcome {
     assert!(!queries.is_empty(), "drive needs at least one query");
     let stop = AtomicBool::new(false);
     let reads = AtomicU64::new(0);
@@ -162,13 +265,13 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
     std::thread::scope(|scope| {
         for reader_idx in 0..cfg.readers.max(1) {
             let (stop, reads, read_errors, violations) = (&stop, &reads, &read_errors, &violations);
-            let mut reader = engine.reader();
+            let mut reader = engine.serving_reader();
             scope.spawn(move || {
                 let mut i = reader_idx;
                 while !stop.load(Ordering::Relaxed) {
                     let query = &queries[i % queries.len()];
                     i += 1;
-                    match engine.execute_with(&mut reader, query) {
+                    match engine.serve_query(&mut reader, query) {
                         Ok(_) => {
                             reads.fetch_add(1, Ordering::Relaxed);
                         }
@@ -176,7 +279,9 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
                             read_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    if cfg.verify_consistency && !snapshot_is_consistent(&reader.snapshot().state) {
+                    if cfg.verify_consistency
+                        && !engine.with_reader_state(&mut reader, snapshot_is_consistent)
+                    {
                         violations.fetch_add(1, Ordering::Relaxed);
                     }
                     if !cfg.read_pause.is_zero() {
@@ -193,9 +298,8 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
                     if cfg.max_writes > 0 && step >= cfg.max_writes {
                         break;
                     }
-                    let state = engine.snapshot();
-                    match delta_for(cfg.workload, &state.state, step) {
-                        Some(delta) => match engine.submit(delta) {
+                    match engine.with_current_state(|state| delta_for(cfg.workload, state, step)) {
+                        Some(delta) => match engine.submit_delta(delta) {
                             Ok(()) => {
                                 writes.fetch_add(1, Ordering::Relaxed);
                             }
@@ -219,8 +323,12 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
         stop.store(true, Ordering::Relaxed);
     });
 
-    engine.flush();
-    let final_consistent = snapshot_is_consistent(&engine.snapshot().state);
+    // the measured window ends when the reader threads stop: the final
+    // flush and the O(views × materialization) consistency oracle below
+    // must not deflate reads_per_sec
+    let elapsed = start.elapsed();
+    engine.flush_writes();
+    let final_consistent = engine.with_current_state(snapshot_is_consistent);
     DriveOutcome {
         reads: reads.load(Ordering::Relaxed),
         read_errors: read_errors.load(Ordering::Relaxed),
@@ -228,8 +336,8 @@ pub fn drive(engine: &Engine, queries: &[Query], cfg: &DriveConfig) -> DriveOutc
         writes: writes.load(Ordering::Relaxed),
         writes_backpressured: backpressured.load(Ordering::Relaxed),
         final_consistent,
-        elapsed: start.elapsed(),
-        report: engine.metrics(),
+        elapsed,
+        report: engine.metrics_report(),
     }
 }
 

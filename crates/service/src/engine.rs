@@ -51,9 +51,131 @@ impl Default for EngineConfig {
     }
 }
 
-enum Msg {
+/// A write-path message: a queued delta (with its enqueue time, for
+/// refresh-lag accounting) or a flush acknowledgement request. Shared
+/// by the single engine's writer worker and the sharded router.
+pub(crate) enum Msg {
     Delta(Box<GraphDelta>, Instant),
     Flush(mpsc::Sender<u64>),
+}
+
+/// Enqueues a delta on a bounded write queue with the engine's submit
+/// contract: self-referential validation up front, a conservative
+/// queued counter, and typed `Backpressure`/`Closed` errors with
+/// nothing enqueued on failure. Shared by [`Engine::submit`] and the
+/// sharded engine's submit.
+pub(crate) fn enqueue_delta(
+    tx: &mpsc::SyncSender<Msg>,
+    queued: &AtomicU64,
+    metrics: &Metrics,
+    delta: GraphDelta,
+) -> Result<(), SubmitError> {
+    // usize::MAX vertex bound: only the New-index checks can fail
+    delta.validate(usize::MAX).map_err(SubmitError::Invalid)?;
+    // increment BEFORE sending so the counter stays conservative:
+    // the worker may consume and decrement the instant send lands
+    queued.fetch_add(1, Ordering::Relaxed);
+    match tx.try_send(Msg::Delta(Box::new(delta), Instant::now())) {
+        Ok(()) => Ok(()),
+        Err(mpsc::TrySendError::Full(_)) => {
+            queued.fetch_sub(1, Ordering::Relaxed);
+            metrics.record_backpressure();
+            Err(SubmitError::Backpressure)
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            queued.fetch_sub(1, Ordering::Relaxed);
+            Err(SubmitError::Closed)
+        }
+    }
+}
+
+/// One assembled write batch (see [`collect_batch`]).
+pub(crate) struct Batch {
+    /// The merged batch delta (empty when `batched == 0`).
+    pub delta: GraphDelta,
+    /// Deltas merged into `delta`.
+    pub batched: usize,
+    /// Deltas dropped as invalid at apply time.
+    pub rejected: usize,
+    /// Enqueue time of the oldest delta in the batch.
+    pub oldest: Option<Instant>,
+    /// Flush acknowledgements collected while assembling.
+    pub acks: Vec<mpsc::Sender<u64>>,
+    /// Whether the queue is still open (false = shutdown signalled).
+    pub open: bool,
+}
+
+/// Blocks for the next message, then drains the queue into one merged
+/// batch of up to `max_batch` deltas, validating each against `graph`
+/// (the worker's current state) plus the batch's own pending effects.
+/// This is THE accept/reject decision point of the write path — the
+/// single engine's writer loop and the sharded router both use it, so
+/// a delta is dropped by one iff it is dropped by the other.
+pub(crate) fn collect_batch(
+    rx: &mpsc::Receiver<Msg>,
+    graph: &kaskade_graph::Graph,
+    max_batch: usize,
+) -> Batch {
+    let mut batch = Batch {
+        delta: GraphDelta::new(),
+        batched: 0,
+        rejected: 0,
+        oldest: None,
+        acks: Vec::new(),
+        open: true,
+    };
+    let mut pending = match rx.recv() {
+        Ok(msg) => Some(msg),
+        Err(_) => {
+            batch.open = false;
+            None
+        }
+    };
+    loop {
+        match pending.take() {
+            Some(Msg::Delta(delta, enqueued)) => {
+                // exact validity check at the only point where the
+                // apply-time graph state is known: base graph (slots
+                // and liveness) plus the vertices earlier deltas of
+                // this batch add (sequential-apply equivalence of
+                // merge). A bad delta — dangling or tombstoned
+                // references — is dropped and counted, never applied;
+                // it must not kill the worker and with it the engine.
+                let pending_vertices = batch.delta.vertices.len();
+                // sequential equivalence also demands rejecting an
+                // insert onto a vertex an earlier delta of this batch
+                // retracts: applied one at a time, that insert would
+                // see the vertex already dead
+                let onto_batch_retracted = delta.edges.iter().any(|e| {
+                    [e.src, e.dst].iter().any(
+                        |r| matches!(r, VRef::Existing(v) if batch.delta.del_vertices.contains(v)),
+                    )
+                });
+                if onto_batch_retracted || delta.validate_against(graph, pending_vertices).is_err()
+                {
+                    batch.rejected += 1;
+                } else {
+                    batch.delta.merge(&delta);
+                    batch.batched += 1;
+                    batch.oldest.get_or_insert(enqueued);
+                    if batch.batched >= max_batch {
+                        break;
+                    }
+                }
+            }
+            Some(Msg::Flush(ack)) => batch.acks.push(ack),
+            None => {}
+        }
+        match rx.try_recv() {
+            Ok(msg) => pending = Some(msg),
+            Err(mpsc::TryRecvError::Empty) => break,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                batch.open = false;
+                break;
+            }
+        }
+    }
+    batch
 }
 
 /// Why [`Engine::submit`] refused a delta.
@@ -171,26 +293,7 @@ impl Engine {
     /// [`EngineConfig::queue_capacity`]) is full, nothing is enqueued
     /// and [`SubmitError::Backpressure`] is returned.
     pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
-        // usize::MAX vertex bound: only the New-index checks can fail
-        delta.validate(usize::MAX).map_err(SubmitError::Invalid)?;
-        // increment BEFORE sending so the counter stays conservative:
-        // the worker may consume and decrement the instant send lands
-        self.shared.queued.fetch_add(1, Ordering::Relaxed);
-        match self
-            .tx
-            .try_send(Msg::Delta(Box::new(delta), Instant::now()))
-        {
-            Ok(()) => Ok(()),
-            Err(mpsc::TrySendError::Full(_)) => {
-                self.shared.queued.fetch_sub(1, Ordering::Relaxed);
-                self.shared.metrics.record_backpressure();
-                Err(SubmitError::Backpressure)
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => {
-                self.shared.queued.fetch_sub(1, Ordering::Relaxed);
-                Err(SubmitError::Closed)
-            }
-        }
+        enqueue_delta(&self.tx, &self.shared.queued, &self.shared.metrics, delta)
     }
 
     /// Waits until every previously submitted delta is applied and
@@ -281,88 +384,31 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
     let mut state = shared.cell.load().state.clone();
     let mut open = true;
     while open {
-        let first = match rx.recv() {
-            Ok(msg) => Some(msg),
-            Err(_) => {
-                open = false;
-                None
-            }
-        };
-        let mut batch = GraphDelta::new();
-        let mut batched = 0usize;
-        let mut rejected = 0usize;
-        let mut oldest: Option<Instant> = None;
-        let mut acks: Vec<mpsc::Sender<u64>> = Vec::new();
-        let mut pending = first;
-        loop {
-            match pending.take() {
-                Some(Msg::Delta(delta, enqueued)) => {
-                    // exact validity check at the only point where the
-                    // apply-time graph state is known: base graph
-                    // (slots and liveness) plus the vertices earlier
-                    // deltas of this batch add (sequential-apply
-                    // equivalence of merge). A bad delta — dangling or
-                    // tombstoned references — is dropped and counted,
-                    // never applied; it must not kill the worker and
-                    // with it the engine.
-                    let pending = batch.vertices.len();
-                    // sequential equivalence also demands rejecting an
-                    // insert onto a vertex an earlier delta of this
-                    // batch retracts: applied one at a time, that
-                    // insert would see the vertex already dead
-                    let onto_batch_retracted = delta.edges.iter().any(|e| {
-                        [e.src, e.dst].iter().any(
-                            |r| matches!(r, VRef::Existing(v) if batch.del_vertices.contains(v)),
-                        )
-                    });
-                    if onto_batch_retracted
-                        || delta.validate_against(state.graph(), pending).is_err()
-                    {
-                        rejected += 1;
-                    } else {
-                        batch.merge(&delta);
-                        batched += 1;
-                        oldest.get_or_insert(enqueued);
-                        if batched >= max_batch {
-                            break;
-                        }
-                    }
-                }
-                Some(Msg::Flush(ack)) => acks.push(ack),
-                None => {}
-            }
-            match rx.try_recv() {
-                Ok(msg) => pending = Some(msg),
-                Err(mpsc::TryRecvError::Empty) => break,
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    open = false;
-                    break;
-                }
-            }
+        let batch = collect_batch(&rx, state.graph(), max_batch);
+        open = batch.open;
+        if batch.rejected > 0 {
+            shared.metrics.record_rejected(batch.rejected);
         }
-        if rejected > 0 {
-            shared.metrics.record_rejected(rejected);
-        }
-        if batched > 0 {
-            let retractions = batch.del_edges.len() + batch.del_vertices.len();
+        if batch.batched > 0 {
+            let retractions = batch.delta.del_edges.len() + batch.delta.del_vertices.len();
             let apply_start = Instant::now();
-            state = state.with_delta(&batch);
+            state = state.with_delta(&batch.delta);
             let epoch = shared.cell.publish(state.clone());
             shared.cache.promote(epoch);
-            let lag = oldest.map(|t| t.elapsed()).unwrap_or_default();
+            let lag = batch.oldest.map(|t| t.elapsed()).unwrap_or_default();
             shared
                 .metrics
-                .record_refresh(batched, apply_start.elapsed(), lag);
+                .record_refresh(batch.batched, apply_start.elapsed(), lag);
             if retractions > 0 {
                 shared.metrics.record_retractions(retractions);
             }
         }
-        if batched + rejected > 0 {
+        if batch.batched + batch.rejected > 0 {
             shared
                 .queued
-                .fetch_sub((batched + rejected) as u64, Ordering::Relaxed);
+                .fetch_sub((batch.batched + batch.rejected) as u64, Ordering::Relaxed);
         }
-        for ack in acks {
+        for ack in batch.acks {
             let _ = ack.send(shared.cell.epoch());
         }
     }

@@ -29,6 +29,14 @@
 //!   per `(epoch, alpha-normalized query)`, with hit/miss counters
 //!   surfaced through [`metrics`].
 //!
+//! A fourth module scales the first three out: **sharding**
+//! ([`shard`]) partitions the base graph across per-shard engines
+//! behind a router ([`ShardedEngine`]), parallelizing delta apply and
+//! view refresh on the write path and scattering/gathering pattern
+//! matching on the read path — observationally identical to a single
+//! engine (differential proptests enforce byte-identical query
+//! results, views, and statistics).
+//!
 //! ```
 //! use kaskade_core::{GraphDelta, Kaskade};
 //! use kaskade_datasets::{generate_provenance, ProvenanceConfig};
@@ -66,12 +74,17 @@ pub mod drive;
 pub mod engine;
 pub mod metrics;
 pub mod plan_cache;
+pub mod shard;
 pub mod snapshot;
 pub mod stream;
 
-pub use drive::{drive, snapshot_is_consistent, DriveConfig, DriveOutcome};
+pub use drive::{drive, snapshot_is_consistent, DriveConfig, DriveOutcome, ServingBackend};
 pub use engine::{Engine, EngineConfig, SubmitError};
 pub use metrics::{LatencyHistogram, Metrics, MetricsReport};
 pub use plan_cache::{plan_key, PlanCache};
+pub use shard::{
+    HashPartitioner, Partitioner, ShardedConfig, ShardedEngine, ShardedMetricsReport,
+    ShardedReader, ShardedSnapshot, TypePartitioner,
+};
 pub use snapshot::{EpochSnapshot, Reader, SnapshotCell};
 pub use stream::{burst_delta, churn_delta, delta_for, hot_key_delta, scripted_delta, Workload};

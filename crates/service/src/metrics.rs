@@ -78,6 +78,7 @@ pub struct Metrics {
     deltas_backpressured: AtomicU64,
     retractions_applied: AtomicU64,
     batches_published: AtomicU64,
+    apply_total_nanos: AtomicU64,
     last_refresh_nanos: AtomicU64,
     max_lag_nanos: AtomicU64,
     last_lag_nanos: AtomicU64,
@@ -127,6 +128,8 @@ impl Metrics {
         self.deltas_applied
             .fetch_add(deltas as u64, Ordering::Relaxed);
         self.batches_published.fetch_add(1, Ordering::Relaxed);
+        self.apply_total_nanos
+            .fetch_add(apply.as_nanos() as u64, Ordering::Relaxed);
         self.last_refresh_nanos
             .store(apply.as_nanos() as u64, Ordering::Relaxed);
         let lag = lag.as_nanos() as u64;
@@ -148,6 +151,7 @@ impl Metrics {
             deltas_backpressured: self.deltas_backpressured.load(Ordering::Relaxed),
             retractions_applied: self.retractions_applied.load(Ordering::Relaxed),
             batches_published: self.batches_published.load(Ordering::Relaxed),
+            apply_total: Duration::from_nanos(self.apply_total_nanos.load(Ordering::Relaxed)),
             last_refresh: Duration::from_nanos(self.last_refresh_nanos.load(Ordering::Relaxed)),
             last_refresh_lag: Duration::from_nanos(self.last_lag_nanos.load(Ordering::Relaxed)),
             max_refresh_lag: Duration::from_nanos(self.max_lag_nanos.load(Ordering::Relaxed)),
@@ -179,6 +183,11 @@ pub struct MetricsReport {
     pub retractions_applied: u64,
     /// Write batches published (snapshot epochs minted).
     pub batches_published: u64,
+    /// Cumulative apply+publish time across all batches — the total
+    /// wall-clock the write path spent ingesting. The `serve_sharded`
+    /// experiment compares this figure per shard against the
+    /// single-engine total to show the write path parallelizing.
+    pub apply_total: Duration,
     /// Apply+publish duration of the most recent batch.
     pub last_refresh: Duration,
     /// Enqueue→visibility lag of the most recent batch.
@@ -236,8 +245,8 @@ impl fmt::Display for MetricsReport {
         writeln!(f, "retractions        {} applied", self.retractions_applied)?;
         write!(
             f,
-            "refresh            last {:?} (lag {:?}, max lag {:?})",
-            self.last_refresh, self.last_refresh_lag, self.max_refresh_lag
+            "refresh            last {:?} (total {:?}, lag {:?}, max lag {:?})",
+            self.last_refresh, self.apply_total, self.last_refresh_lag, self.max_refresh_lag
         )
     }
 }
@@ -269,6 +278,7 @@ mod tests {
         let r = m.report();
         assert_eq!(r.deltas_applied, 4);
         assert_eq!(r.batches_published, 2);
+        assert_eq!(r.apply_total, Duration::from_millis(3));
         assert_eq!(r.max_refresh_lag, Duration::from_millis(5));
         assert_eq!(r.last_refresh_lag, Duration::from_millis(3));
     }

@@ -71,7 +71,10 @@ pub fn plan_key(query: &Query) -> String {
 /// Internally a map of per-epoch maps, so probes borrow the caller's
 /// key (no allocation) and publish-time maintenance moves whole epoch
 /// maps instead of rebuilding tuples. Probes take a short mutex; the
-/// critical section is one hash lookup plus an `Arc` clone.
+/// critical section is one hash lookup plus an `Arc` clone. Lock
+/// poisoning is recovered from, not propagated: every critical section
+/// leaves the map structurally valid, so a reader thread that panics
+/// mid-probe must not wedge every other reader and the writer with it.
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: Mutex<HashMap<u64, HashMap<String, Arc<PlannedQuery>>>>,
@@ -90,7 +93,7 @@ impl PlanCache {
         let found = self
             .plans
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&epoch)
             .and_then(|by_key| by_key.get(key))
             .cloned();
@@ -106,7 +109,7 @@ impl PlanCache {
     pub fn insert(&self, epoch: u64, key: String, plan: Arc<PlannedQuery>) {
         self.plans
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .entry(epoch)
             .or_default()
             .insert(key, plan);
@@ -118,7 +121,7 @@ impl PlanCache {
     pub fn prune_below(&self, current: u64) {
         self.plans
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .retain(|e, _| e + 1 >= current);
     }
 
@@ -133,7 +136,7 @@ impl PlanCache {
     /// *every* older epoch, not just `to - 1`, matters: a slow planner
     /// can insert at an epoch superseded while it planned.)
     pub fn promote(&self, to: u64) {
-        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
         let mut target = plans.remove(&to).unwrap_or_default();
         let mut older: Vec<u64> = plans.keys().filter(|&&e| e < to).copied().collect();
         older.sort_unstable_by(|a, b| b.cmp(a)); // newest wins collisions
@@ -176,7 +179,7 @@ impl PlanCache {
     pub fn len(&self) -> usize {
         self.plans
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(HashMap::len)
             .sum()
@@ -237,6 +240,39 @@ mod tests {
         // epoch 3 survives a publish to 4 (grace window), dies at 5
         cache.prune_below(4);
         assert_eq!(cache.len(), 1);
+        cache.prune_below(5);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        // a reader that panics while holding the cache mutex poisons
+        // it; every subsequent probe must recover instead of wedging
+        // the whole engine behind `PoisonError` panics
+        let cache = PlanCache::new();
+        let q = parse("MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a AS J").unwrap();
+        let key = plan_key(&q);
+        cache.insert(
+            0,
+            key.clone(),
+            Arc::new(PlannedQuery {
+                query: q,
+                view_id: None,
+                estimated_cost: 1.0,
+            }),
+        );
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.plans.lock().unwrap();
+                panic!("poison the plan cache");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err(), "the poisoning thread panicked");
+        // the cache still serves probes, inserts, and maintenance
+        assert!(cache.get(0, &key).is_some());
+        cache.promote(1);
+        assert!(cache.get(1, &key).is_some());
         cache.prune_below(5);
         assert!(cache.is_empty());
     }

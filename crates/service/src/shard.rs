@@ -1,0 +1,977 @@
+//! Sharded serving: the base graph partitioned across per-shard
+//! engines, with scatter/gather query execution.
+//!
+//! ```text
+//!                        ┌─ sub-delta ─► shard Engine 0 ─┐ flush
+//!  submit(delta) ─► router (split, ├─ sub-delta ─► shard Engine 1 ─┤
+//!                   validate,      └─ sub-delta ─► shard Engine N ─┘
+//!                   apply global)            │
+//!                        ▼                   ▼ merge stats, refresh
+//!                  global graph          per-shard stats   views (∥)
+//!                        └───────► publish ShardedSnapshot (epoch+1)
+//! ```
+//!
+//! ## Ownership and ghosts
+//!
+//! A [`Partitioner`] assigns every vertex to exactly one shard; each
+//! shard's local graph retains **every vertex slot** (ids stay equal to
+//! global ids, so deltas and result rows never need translation) but
+//! marks non-owned slots as **ghosts**, and stores exactly the edges
+//! whose *source* vertex it owns — a cross-shard edge lives on its
+//! source's shard and points at a ghost of the remote endpoint. Ghosts
+//! are excluded from statistics, so merging per-shard [`GraphStats`]
+//! with [`GraphStats::merge`] reproduces the global statistics
+//! exactly.
+//!
+//! ## Write path
+//!
+//! The router mirrors the single engine's writer loop — same bounded
+//! queue, same backpressure, same batch validation — then
+//! [`GraphDelta::split`]s each batch: vertex insertions broadcast
+//! (ghost except on the owner), edge operations route to the source's
+//! owner, vertex retractions broadcast so each shard cascades its local
+//! incident edges. Shard engines apply their sub-deltas **in
+//! parallel** (with the coordinator's own global apply overlapping),
+//! connector views refresh with per-shard worker threads
+//! ([`maintain_connector_partitioned`]), and the **global epoch
+//! publishes only after every shard applied the batch** — a
+//! [`ShardedReader`] can never observe shard states from two different
+//! publishes.
+//!
+//! ## Read path
+//!
+//! Queries plan once against the global snapshot (merged statistics,
+//! global view catalog, shared plan cache), then **scatter**: the same
+//! pattern plan runs once per shard with the anchor scan restricted to
+//! that shard's owned vertices
+//! ([`PatternPlan::execute_anchored`](kaskade_query::PatternPlan::execute_anchored)),
+//! and **gather** merges the sorted, deduplicated row sets before the
+//! relational stage runs once. Every match is anchored at exactly one
+//! owner, so cross-shard walks are counted exactly once, and because
+//! pattern rows are DISTINCT the merged row set — and therefore the
+//! final table, ordering included — is byte-identical to the unsharded
+//! engine's (enforced by the differential proptests in
+//! `tests/properties.rs`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use kaskade_core::{
+    apply_delta, maintain_connector_partitioned, materialize, Catalog, GraphDelta, Kaskade,
+    KaskadeError, MaterializedView, Snapshot, ViewDef,
+};
+use kaskade_graph::{GraphStats, VertexId};
+use kaskade_query::{PatternPlan, PatternRows, Query, Table};
+
+use crate::engine::{collect_batch, enqueue_delta, Engine, EngineConfig, Msg, SubmitError};
+use crate::metrics::{Metrics, MetricsReport};
+use crate::plan_cache::{plan_key, PlanCache};
+use crate::snapshot::EpochSnapshot;
+
+/// Assigns every vertex to exactly one shard. Ownership must be a pure
+/// function of the vertex's id and type (both immutable for the life of
+/// a slot), so a vertex's owner never changes.
+pub trait Partitioner: Send + Sync + fmt::Debug {
+    /// Number of shards this partitioner distributes over.
+    fn shard_count(&self) -> usize;
+    /// The shard owning vertex `v` of type `vtype`; must be
+    /// `< shard_count()`.
+    fn shard_of(&self, v: VertexId, vtype: &str) -> usize;
+}
+
+/// SplitMix64 — the same mixer the workload scripts use.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash partitioning of vertex identity (the default): spreads vertices
+/// of every type uniformly, so write batches and scatter work balance
+/// even under skewed type distributions.
+#[derive(Debug, Clone, Copy)]
+pub struct HashPartitioner {
+    shards: usize,
+}
+
+impl HashPartitioner {
+    /// A hash partitioner over `shards` shards (min 1).
+    pub fn new(shards: usize) -> Self {
+        HashPartitioner {
+            shards: shards.max(1),
+        }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn shard_of(&self, v: VertexId, _vtype: &str) -> usize {
+        (mix(v.0 as u64) % self.shards as u64) as usize
+    }
+}
+
+/// By-vertex-type partitioning: every vertex of one type lands on one
+/// shard (hash of the type name). Colocates homogeneous scans — e.g.
+/// all `Job` vertices on one shard — at the cost of balance on graphs
+/// with few types.
+#[derive(Debug, Clone, Copy)]
+pub struct TypePartitioner {
+    shards: usize,
+}
+
+impl TypePartitioner {
+    /// A by-type partitioner over `shards` shards (min 1).
+    pub fn new(shards: usize) -> Self {
+        TypePartitioner {
+            shards: shards.max(1),
+        }
+    }
+}
+
+impl Partitioner for TypePartitioner {
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn shard_of(&self, _v: VertexId, vtype: &str) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in vtype.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        (mix(h) % self.shards as u64) as usize
+    }
+}
+
+/// Tuning knobs of the [`ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// The vertex-ownership function (and implicitly the shard count).
+    pub partitioner: Arc<dyn Partitioner>,
+    /// Maximum queued deltas merged into one apply+publish cycle (same
+    /// semantics as [`EngineConfig::max_batch`]).
+    pub max_batch: usize,
+    /// Capacity of the router's delta queue; a full queue makes
+    /// [`ShardedEngine::submit`] fail fast with
+    /// [`SubmitError::Backpressure`], exactly like the single engine.
+    pub queue_capacity: usize,
+    /// Minimum vertex count of a query's target graph before pattern
+    /// matching scatters across shard worker threads. Below it the
+    /// pattern executes inline on the calling thread (identical
+    /// result — an unrestricted anchor scan over the same global
+    /// graph), because per-query thread spawn/join would otherwise
+    /// dominate trivial matches. Set 0 to always scatter.
+    pub scatter_min_vertices: usize,
+}
+
+impl ShardedConfig {
+    /// Default tuning with hash partitioning over `shards` shards.
+    pub fn hash(shards: usize) -> Self {
+        ShardedConfig {
+            partitioner: Arc::new(HashPartitioner::new(shards)),
+            max_batch: 64,
+            queue_capacity: 1024,
+            scatter_min_vertices: 512,
+        }
+    }
+}
+
+/// One globally published epoch of the sharded engine: the merged
+/// global read state plus the per-shard snapshots it was assembled
+/// from, captured atomically at publish time.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    /// Monotonic global publish counter (0 = initial state).
+    pub epoch: u64,
+    /// The global read state: merged base graph, merged statistics,
+    /// and the global view catalog. Byte-for-byte what an unsharded
+    /// engine would serve.
+    pub state: Snapshot,
+    /// Each shard's snapshot as of this global publish. The set is
+    /// captured once per publish and swapped in atomically with the
+    /// global state, so a reader can never mix shard states from two
+    /// different global publishes.
+    pub shard_states: Vec<Arc<EpochSnapshot>>,
+}
+
+impl ShardedSnapshot {
+    /// Whether this snapshot is internally coherent — the *structural*
+    /// torn-publish detector: the shard edge partitions sum to the
+    /// global edge count, shard-owned vertices sum to the global
+    /// vertex count, and the merged per-shard statistics equal the
+    /// global statistics. A shard state from a different global
+    /// publish (ahead of or behind the global graph) breaks these sums
+    /// for any batch that changed that shard.
+    pub fn is_coherent(&self) -> bool {
+        let edge_sum: usize = self
+            .shard_states
+            .iter()
+            .map(|s| s.state.graph().edge_count())
+            .sum();
+        let owned_sum: usize = self
+            .shard_states
+            .iter()
+            .map(|s| s.state.graph().owned_vertex_count())
+            .sum();
+        if edge_sum != self.state.graph().edge_count()
+            || owned_sum != self.state.graph().vertex_count()
+        {
+            return false;
+        }
+        match GraphStats::merge(self.shard_states.iter().map(|s| s.state.stats())) {
+            Some(merged) => merged == *self.state.stats(),
+            None => false,
+        }
+    }
+}
+
+/// The single-publisher cell for [`ShardedSnapshot`]s (the sharded
+/// analogue of [`crate::SnapshotCell`]).
+#[derive(Debug)]
+struct ShardedCell {
+    epoch: AtomicU64,
+    slot: RwLock<Arc<ShardedSnapshot>>,
+}
+
+impl ShardedCell {
+    fn new(snapshot: ShardedSnapshot) -> Self {
+        ShardedCell {
+            epoch: AtomicU64::new(snapshot.epoch),
+            slot: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn load(&self) -> Arc<ShardedSnapshot> {
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn publish(&self, snapshot: ShardedSnapshot) -> u64 {
+        let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
+        let epoch = snapshot.epoch;
+        *slot = Arc::new(snapshot);
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+}
+
+/// A per-thread read handle over the sharded engine with a cached
+/// snapshot, revalidated with one atomic epoch load per query — the
+/// same lock-free hot path as [`crate::Reader`], with snapshot
+/// isolation **across all shards**: the cached [`ShardedSnapshot`] is
+/// one atomic publish, so a reader can never mix shard states from
+/// different global epochs.
+#[derive(Debug, Clone)]
+pub struct ShardedReader {
+    cell: Arc<ShardedCell>,
+    cached: Arc<ShardedSnapshot>,
+}
+
+impl ShardedReader {
+    fn new(cell: Arc<ShardedCell>) -> Self {
+        let cached = cell.load();
+        ShardedReader { cell, cached }
+    }
+
+    /// The current global snapshot (revalidated against the publish
+    /// epoch).
+    pub fn snapshot(&mut self) -> &Arc<ShardedSnapshot> {
+        if self.cell.epoch() != self.cached.epoch {
+            self.cached = self.cell.load();
+        }
+        &self.cached
+    }
+}
+
+/// State shared between the sharded engine handle, its readers, and
+/// the router thread.
+#[derive(Debug)]
+struct ShardedShared {
+    cell: Arc<ShardedCell>,
+    cache: PlanCache,
+    metrics: Metrics,
+    queued: AtomicU64,
+    partitioner: Arc<dyn Partitioner>,
+    scatter_min_vertices: usize,
+    shards: Vec<Engine>,
+}
+
+/// A point-in-time metrics report of the sharded engine: the router's
+/// aggregate counters plus each shard engine's own report.
+#[derive(Debug, Clone)]
+pub struct ShardedMetricsReport {
+    /// Aggregate counters: queries and latency across all readers,
+    /// deltas/batches/backpressure as seen by the router, and the
+    /// router's apply+publish timings (global apply, parallel view
+    /// refresh, and stats merge).
+    pub global: MetricsReport,
+    /// Per-shard engine reports; `apply_total` here is the per-shard
+    /// ingest time the `serve_sharded` experiment compares against the
+    /// single-engine write path.
+    pub per_shard: Vec<MetricsReport>,
+}
+
+impl ShardedMetricsReport {
+    /// One formatted line per shard (ingest counters and apply total)
+    /// — the per-shard half of [`Display`](fmt::Display), exposed so
+    /// the CLI can append it after its own aggregate rendering without
+    /// duplicating the format.
+    pub fn per_shard_lines(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for (i, shard) in self.per_shard.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "shard {i:<2}           {} deltas in {} batches (epoch {}, apply total {:?})",
+                shard.deltas_applied, shard.batches_published, shard.epoch, shard.apply_total
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for ShardedMetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.global)?;
+        f.write_str(&self.per_shard_lines())
+    }
+}
+
+/// The sharded serving runtime: one [`Engine`] per shard, a router
+/// that splits and fans out write batches, and scatter/gather query
+/// execution over atomically published global epochs. See the [module
+/// docs](self) for the architecture.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shared: Arc<ShardedShared>,
+    tx: mpsc::SyncSender<Msg>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl ShardedEngine {
+    /// Serves `state` partitioned by hash over `shards` shards.
+    pub fn new(state: Snapshot, shards: usize) -> Self {
+        Self::with_config(state, ShardedConfig::hash(shards))
+    }
+
+    /// Serves the current state of a [`Kaskade`] instance over
+    /// `shards` hash-partitioned shards.
+    pub fn from_kaskade(kaskade: &Kaskade, shards: usize) -> Self {
+        Self::new(kaskade.snapshot(), shards)
+    }
+
+    /// Serves `state` with explicit partitioning and tuning: partitions
+    /// the base graph into per-shard engines (epoch 0 everywhere) and
+    /// spawns the router worker.
+    pub fn with_config(state: Snapshot, config: ShardedConfig) -> Self {
+        let partitioner = Arc::clone(&config.partitioner);
+        let n = partitioner.shard_count().max(1);
+        let schema = state.schema().clone();
+        let shards: Vec<Engine> = (0..n)
+            .map(|s| {
+                let p = &*partitioner;
+                let g = state.graph();
+                let shard_graph = g.shard(&|v| p.shard_of(v, g.vertex_type(v)) == s);
+                Engine::with_config(
+                    Snapshot::new(shard_graph, schema.clone()),
+                    EngineConfig {
+                        max_batch: config.max_batch.max(1),
+                        // fed only by the router, which flushes every
+                        // batch — a handful of slots is plenty
+                        queue_capacity: 16,
+                    },
+                )
+            })
+            .collect();
+        let shard_states: Vec<Arc<EpochSnapshot>> = shards.iter().map(|e| e.snapshot()).collect();
+        let shared = Arc::new(ShardedShared {
+            cell: Arc::new(ShardedCell::new(ShardedSnapshot {
+                epoch: 0,
+                state,
+                shard_states,
+            })),
+            cache: PlanCache::new(),
+            metrics: Metrics::new(),
+            queued: AtomicU64::new(0),
+            partitioner,
+            scatter_min_vertices: config.scatter_min_vertices,
+            shards,
+        });
+        let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let router_shared = Arc::clone(&shared);
+        let max_batch = config.max_batch.max(1);
+        let router = std::thread::Builder::new()
+            .name("kaskade-router".into())
+            .spawn(move || router_loop(router_shared, rx, max_batch))
+            .expect("spawn router worker");
+        ShardedEngine {
+            shared,
+            tx,
+            router: Some(router),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The currently published global snapshot.
+    pub fn snapshot(&self) -> Arc<ShardedSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// The epoch of the currently published global snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// A per-thread read handle (the lock-free hot path).
+    pub fn reader(&self) -> ShardedReader {
+        ShardedReader::new(Arc::clone(&self.shared.cell))
+    }
+
+    /// Queues a delta for the router. Semantics match
+    /// [`Engine::submit`]: self-referential validity is checked here,
+    /// references to the base graph at apply time by the router, and a
+    /// full queue returns [`SubmitError::Backpressure`] with nothing
+    /// enqueued.
+    pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
+        enqueue_delta(&self.tx, &self.shared.queued, &self.shared.metrics, delta)
+    }
+
+    /// Waits until every previously submitted delta is applied on
+    /// every shard and globally published; returns the publishing
+    /// epoch.
+    pub fn flush(&self) -> u64 {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.tx.send(Msg::Flush(ack_tx)).is_err() {
+            return self.shared.cell.epoch();
+        }
+        ack_rx.recv().unwrap_or_else(|_| self.shared.cell.epoch())
+    }
+
+    /// Deltas submitted but not yet globally published.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queued.load(Ordering::Relaxed)
+    }
+
+    /// Plans (through the shared per-epoch plan cache) and executes
+    /// `query` scatter/gather against the current global snapshot.
+    pub fn execute(&self, query: &Query) -> Result<Table, KaskadeError> {
+        let snap = self.shared.cell.load();
+        execute_at(&self.shared, &snap, query)
+    }
+
+    /// Like [`ShardedEngine::execute`], but against the reader's
+    /// cached snapshot — the zero-lock steady-state read path.
+    pub fn execute_with(
+        &self,
+        reader: &mut ShardedReader,
+        query: &Query,
+    ) -> Result<Table, KaskadeError> {
+        let snap = Arc::clone(reader.snapshot());
+        execute_at(&self.shared, &snap, query)
+    }
+
+    /// Aggregate plus per-shard metrics.
+    pub fn metrics(&self) -> ShardedMetricsReport {
+        let mut global = self.shared.metrics.report();
+        global.epoch = self.shared.cell.epoch();
+        global.plan_cache_hits = self.shared.cache.hits();
+        global.plan_cache_misses = self.shared.cache.misses();
+        ShardedMetricsReport {
+            global,
+            per_shard: self.shared.shards.iter().map(Engine::metrics).collect(),
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // closing the channel signals shutdown; the router drains,
+        // publishes, and exits before the shard engines shut down
+        let (tx, _) = mpsc::sync_channel(1);
+        drop(std::mem::replace(&mut self.tx, tx));
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+    }
+}
+
+/// Plans `query` via the shared cache and executes it scatter/gather
+/// against `snap`: the pattern fans out with per-shard anchor ranges,
+/// the merged DISTINCT rows feed one relational stage.
+fn execute_at(
+    shared: &ShardedShared,
+    snap: &ShardedSnapshot,
+    query: &Query,
+) -> Result<Table, KaskadeError> {
+    let start = Instant::now();
+    let key = plan_key(query);
+    let planned = match shared.cache.get(snap.epoch, &key) {
+        Some(plan) => plan,
+        None => {
+            let plan = Arc::new(snap.state.plan(query).map_err(KaskadeError::Inference)?);
+            shared.cache.insert(snap.epoch, key, Arc::clone(&plan));
+            plan
+        }
+    };
+    let target = match &planned.view_id {
+        Some(id) => match snap.state.catalog().get(id) {
+            Some(view) => &view.graph,
+            None => return Err(KaskadeError::UnknownView(id.clone())),
+        },
+        None => snap.state.graph(),
+    };
+    let n = shared.shards.len();
+    let partitioner = &*shared.partitioner;
+    let result = kaskade_query::execute_with_pattern(target, &planned.query, &|pattern| {
+        let plan = PatternPlan::new(target, pattern)?;
+        // below the scatter threshold, per-query thread spawn/join
+        // would cost more than the matching itself: run the identical
+        // unrestricted plan inline instead
+        if n <= 1 || target.vertex_count() < shared.scatter_min_vertices {
+            return Ok(plan.execute(target));
+        }
+        // scatter: one worker per shard, anchors restricted to the
+        // shard's owned vertices (on a view graph the partitioner is
+        // still a valid disjoint+exhaustive split of the anchor domain,
+        // which is all correctness requires)
+        let mut columns = Vec::new();
+        let mut merged: Vec<Vec<VertexId>> = Vec::new();
+        let per_shard: Vec<PatternRows> = std::thread::scope(|scope| {
+            let plan = &plan;
+            let handles: Vec<_> = (0..n)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let anchor =
+                            |v: VertexId| partitioner.shard_of(v, target.vertex_type(v)) == s;
+                        plan.execute_anchored(target, &anchor)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect()
+        });
+        for (cols, rows) in per_shard {
+            columns = cols;
+            merged.extend(rows);
+        }
+        // gather: per-shard row sets are sorted and disjointly
+        // anchored; one sort+dedup reproduces the unsharded row set
+        merged.sort();
+        merged.dedup();
+        Ok((columns, merged))
+    });
+    match result {
+        Ok(table) => {
+            shared.metrics.record_query(start.elapsed());
+            Ok(table)
+        }
+        Err(e) => {
+            shared.metrics.record_query_error();
+            Err(KaskadeError::Execution(e))
+        }
+    }
+}
+
+/// The router worker: assembles write batches with the *same*
+/// [`collect_batch`] the single engine's writer loop uses (so a delta
+/// is accepted or rejected here iff the unsharded engine would make
+/// the same call), then fans each batch out to the shard engines and
+/// publishes the next global epoch once every shard has applied it.
+fn router_loop(shared: Arc<ShardedShared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
+    let mut state = shared.cell.load().state.clone();
+    let mut open = true;
+    while open {
+        let batch = collect_batch(&rx, state.graph(), max_batch);
+        open = batch.open;
+        if batch.rejected > 0 {
+            shared.metrics.record_rejected(batch.rejected);
+        }
+        if batch.batched > 0 {
+            let retractions = batch.delta.del_edges.len() + batch.delta.del_vertices.len();
+            let apply_start = Instant::now();
+            // a failed fan-out (only possible mid-shutdown) must NOT
+            // publish: a global epoch promises every shard applied it
+            if let Some((next, shard_states)) = advance(&shared, &state, &batch.delta) {
+                state = next;
+                let epoch = shared.cell.epoch() + 1;
+                shared.cell.publish(ShardedSnapshot {
+                    epoch,
+                    state: state.clone(),
+                    shard_states,
+                });
+                shared.cache.promote(epoch);
+                let lag = batch.oldest.map(|t| t.elapsed()).unwrap_or_default();
+                shared
+                    .metrics
+                    .record_refresh(batch.batched, apply_start.elapsed(), lag);
+                if retractions > 0 {
+                    shared.metrics.record_retractions(retractions);
+                }
+            }
+        }
+        if batch.batched + batch.rejected > 0 {
+            shared
+                .queued
+                .fetch_sub((batch.batched + batch.rejected) as u64, Ordering::Relaxed);
+        }
+        for ack in batch.acks {
+            let _ = ack.send(shared.cell.epoch());
+        }
+    }
+}
+
+/// Applies one validated batch across the shards and derives the next
+/// global state plus the per-shard snapshots it was built from:
+/// sub-deltas fan out first (shard applies overlap the coordinator's
+/// own global apply), views refresh with per-shard worker threads,
+/// statistics come from the per-shard merge. Returns `None` — and the
+/// caller must not publish — if a shard refused its sub-delta (only
+/// possible mid-shutdown).
+#[allow(clippy::type_complexity)]
+fn advance(
+    shared: &ShardedShared,
+    state: &Snapshot,
+    batch: &GraphDelta,
+) -> Option<(Snapshot, Vec<Arc<EpochSnapshot>>)> {
+    let partitioner = &*shared.partitioner;
+    let n = shared.shards.len();
+    let g = state.graph();
+    let slots = g.vertex_slots();
+    let owner_existing = |v: VertexId| {
+        let vtype = if v.index() < slots {
+            g.vertex_type(v)
+        } else {
+            // a reference to a vertex this very batch inserts, by its
+            // predicted global id
+            &batch.vertices[v.index() - slots].vtype
+        };
+        partitioner.shard_of(v, vtype)
+    };
+    let owner_new =
+        |i: usize| partitioner.shard_of(VertexId((slots + i) as u32), &batch.vertices[i].vtype);
+
+    // 1. fan the batch out; shard workers start applying immediately
+    for (s, sub) in batch
+        .split(n, &owner_existing, &owner_new)
+        .into_iter()
+        .enumerate()
+    {
+        if sub.is_empty() {
+            continue;
+        }
+        loop {
+            match shared.shards[s].submit(sub.clone()) {
+                Ok(()) => break,
+                // cannot happen in steady state (the router flushes
+                // every batch, so a shard queue holds at most one
+                // delta), but drain defensively rather than drop
+                Err(SubmitError::Backpressure) => {
+                    shared.shards[s].flush();
+                }
+                Err(_) => return None, // shutting down mid-flight
+            }
+        }
+    }
+
+    // 2. the coordinator's own apply overlaps the shard applies
+    let applied = apply_delta(g, batch);
+
+    // 3. barrier: the global epoch must not publish before every shard
+    //    has applied the batch; capture each shard's snapshot once —
+    //    the router is the sole submitter, so these are exactly the
+    //    states the published epoch pairs with
+    let shard_states: Vec<Arc<EpochSnapshot>> = shared
+        .shards
+        .iter()
+        .map(|shard| {
+            shard.flush();
+            shard.snapshot()
+        })
+        .collect();
+
+    // 4. refresh views over the new global base — connector frontiers
+    //    recompute on one worker thread per shard
+    let mut catalog = Catalog::new();
+    for view in state.catalog().iter() {
+        let refreshed = match &view.def {
+            ViewDef::Connector(c) => maintain_connector_partitioned(
+                &view.graph,
+                &applied,
+                c,
+                &|v| partitioner.shard_of(v, applied.graph.vertex_type(v)),
+                n,
+            ),
+            other => materialize(&applied.graph, other),
+        };
+        catalog.add(MaterializedView::new(view.def.clone(), refreshed));
+    }
+
+    // 5. global statistics are the merge of the per-shard statistics
+    let stats = GraphStats::merge(shard_states.iter().map(|s| s.state.stats()))
+        .unwrap_or_else(|| GraphStats::compute(&applied.graph));
+
+    let next = Snapshot::assemble(applied.graph, state.schema().clone(), stats, catalog);
+    Some((next, shard_states))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_core::{ConnectorDef, Kaskade, VRef};
+    use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+    use kaskade_graph::{Graph, GraphBuilder, Schema, Value};
+    use kaskade_query::{listings::LISTING_1, parse};
+
+    fn instance(seed: u64) -> Kaskade {
+        let g = generate_provenance(&ProvenanceConfig::tiny(seed).core_only());
+        let mut k = Kaskade::new(g, Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        k
+    }
+
+    /// A sharded engine that always scatters, so these tests exercise
+    /// the fan-out read path even on tiny graphs.
+    fn scatter_engine(k: &Kaskade, shards: usize) -> ShardedEngine {
+        ShardedEngine::with_config(
+            k.snapshot(),
+            ShardedConfig {
+                scatter_min_vertices: 0,
+                ..ShardedConfig::hash(shards)
+            },
+        )
+    }
+
+    fn sorted_rows(t: &Table) -> Vec<String> {
+        let mut rows: Vec<String> = t.rows.iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn partitioners_cover_all_shards_disjointly() {
+        for p in [
+            &HashPartitioner::new(4) as &dyn Partitioner,
+            &TypePartitioner::new(4),
+        ] {
+            assert_eq!(p.shard_count(), 4);
+            for i in 0..100u32 {
+                let s = p.shard_of(VertexId(i), if i % 2 == 0 { "Job" } else { "File" });
+                assert!(s < 4);
+                // deterministic
+                assert_eq!(
+                    s,
+                    p.shard_of(VertexId(i), if i % 2 == 0 { "Job" } else { "File" })
+                );
+            }
+        }
+        // by-type puts every vertex of one type on one shard
+        let tp = TypePartitioner::new(3);
+        let jobs: Vec<usize> = (0..10).map(|i| tp.shard_of(VertexId(i), "Job")).collect();
+        assert!(jobs.iter().all(|&s| s == jobs[0]));
+    }
+
+    #[test]
+    fn sharded_results_match_unsharded_under_writes() {
+        let k = instance(91);
+        let query = parse(LISTING_1).unwrap();
+        for shards in [1usize, 3] {
+            let single = Engine::from_kaskade(&k);
+            let sharded = scatter_engine(&k, shards);
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(
+                sorted_rows(&sharded.execute(&query).unwrap()),
+                sorted_rows(&single.execute(&query).unwrap()),
+                "epoch 0, {shards} shards"
+            );
+
+            // stream identical deltas into both, compare after flush
+            for step in 0..12u64 {
+                let state = single.snapshot();
+                let delta = crate::stream::churn_delta(&state.state, step).unwrap();
+                single.submit(delta.clone()).unwrap();
+                sharded.submit(delta).unwrap();
+                single.flush();
+                sharded.flush();
+            }
+            // scatter/gather reproduces the unsharded table exactly,
+            // ordering included
+            assert_eq!(
+                single.execute(&query).unwrap(),
+                sharded.execute(&query).unwrap(),
+                "{shards} shards"
+            );
+            let snap = sharded.snapshot();
+            assert!(snap.is_coherent());
+            assert!(crate::drive::snapshot_is_consistent(&snap.state));
+        }
+    }
+
+    #[test]
+    fn global_epoch_publishes_only_complete_batches() {
+        let engine = ShardedEngine::from_kaskade(&instance(92), 4);
+        let mut reader = engine.reader();
+        assert_eq!(reader.snapshot().epoch, 0);
+        let mut d = GraphDelta::new();
+        let j = d.add_vertex("Job", vec![("CPU".into(), Value::Int(1))]);
+        let f = d.add_vertex("File", vec![]);
+        d.add_edge(j, f, "WRITES_TO", vec![("ts".into(), Value::Int(1))]);
+        engine.submit(d).unwrap();
+        let epoch = engine.flush();
+        assert!(epoch >= 1);
+        let snap = reader.snapshot();
+        assert_eq!(snap.epoch, epoch);
+        assert!(snap.is_coherent(), "all shard states from one publish");
+        // the broadcast vertices exist on every shard, ghost except on
+        // their owner
+        let new_job = VertexId((snap.state.graph().vertex_slots() - 2) as u32);
+        let owners: Vec<bool> = snap
+            .shard_states
+            .iter()
+            .map(|s| !s.state.graph().is_vertex_ghost(new_job))
+            .collect();
+        assert_eq!(owners.iter().filter(|&&o| o).count(), 1);
+    }
+
+    #[test]
+    fn retractions_flow_through_the_sharded_engine() {
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        let g = b.finish();
+        let mut k = Kaskade::new(g, Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let engine = scatter_engine(&k, 2);
+        let q = parse(
+            "SELECT COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) \
+             (f:File)-[:IS_READ_BY]->(b:Job) RETURN a AS A, b AS B)",
+        )
+        .unwrap();
+        assert_eq!(
+            engine.execute(&q).unwrap().scalar().unwrap().as_int(),
+            Some(1)
+        );
+        let mut d = GraphDelta::new();
+        d.del_vertex(f0);
+        engine.submit(d).unwrap();
+        engine.flush();
+        assert_eq!(
+            engine.execute(&q).unwrap().scalar().unwrap().as_int(),
+            Some(0)
+        );
+        let snap = engine.snapshot();
+        assert_eq!(snap.state.graph().edge_count(), 0);
+        assert!(snap.is_coherent());
+        // every shard cascaded its local incident edges
+        let shard_edges: usize = snap
+            .shard_states
+            .iter()
+            .map(|s| s.state.graph().edge_count())
+            .sum();
+        assert_eq!(shard_edges, 0);
+        assert_eq!(engine.metrics().global.retractions_applied, 1);
+    }
+
+    #[test]
+    fn invalid_deltas_rejected_by_router_not_shards() {
+        let engine = ShardedEngine::from_kaskade(&instance(93), 3);
+        // dangling base reference: dropped by the router at apply time
+        let mut dangling = GraphDelta::new();
+        let v = dangling.add_vertex("File", vec![]);
+        dangling.add_edge(VRef::Existing(VertexId(99_999)), v, "WRITES_TO", vec![]);
+        engine.submit(dangling).unwrap();
+        engine.flush();
+        let m = engine.metrics();
+        assert_eq!(m.global.deltas_rejected, 1);
+        // no shard ever saw the bad delta
+        assert!(m.per_shard.iter().all(|s| s.deltas_rejected == 0));
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn plan_cache_serves_repeated_sharded_queries() {
+        let engine = scatter_engine(&instance(94), 2);
+        let q = parse(LISTING_1).unwrap();
+        for _ in 0..4 {
+            engine.execute(&q).unwrap();
+        }
+        let m = engine.metrics().global;
+        assert_eq!(m.queries, 4);
+        assert_eq!(m.plan_cache_misses, 1);
+        assert_eq!(m.plan_cache_hits, 3);
+    }
+
+    #[test]
+    fn sharded_metrics_display_lists_shards() {
+        let engine = ShardedEngine::from_kaskade(&instance(95), 2);
+        let mut d = GraphDelta::new();
+        d.add_vertex("Job", vec![]);
+        engine.submit(d).unwrap();
+        engine.flush();
+        let text = engine.metrics().to_string();
+        assert!(text.contains("shard 0"), "{text}");
+        assert!(text.contains("shard 1"), "{text}");
+    }
+
+    #[test]
+    fn type_partitioned_engine_stays_equivalent() {
+        let k = instance(96);
+        let single = Engine::from_kaskade(&k);
+        let sharded = ShardedEngine::with_config(
+            k.snapshot(),
+            ShardedConfig {
+                partitioner: Arc::new(TypePartitioner::new(3)),
+                max_batch: 8,
+                queue_capacity: 64,
+                scatter_min_vertices: 0,
+            },
+        );
+        let query = parse(LISTING_1).unwrap();
+        for step in 0..8u64 {
+            let state = single.snapshot();
+            let delta = crate::stream::scripted_delta(&state.state, step).unwrap();
+            single.submit(delta.clone()).unwrap();
+            sharded.submit(delta).unwrap();
+            single.flush();
+            sharded.flush();
+        }
+        assert_eq!(
+            single.execute(&query).unwrap(),
+            sharded.execute(&query).unwrap()
+        );
+        assert!(sharded.snapshot().is_coherent());
+    }
+
+    #[test]
+    fn shard_bootstrap_partitions_the_initial_graph() {
+        let k = instance(97);
+        let engine = ShardedEngine::from_kaskade(&k, 4);
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch, 0);
+        assert!(snap.is_coherent());
+        let global: &Graph = snap.state.graph();
+        let shard_edges: usize = snap
+            .shard_states
+            .iter()
+            .map(|s| s.state.graph().edge_count())
+            .sum();
+        assert_eq!(shard_edges, global.edge_count());
+    }
+}

@@ -56,14 +56,14 @@ impl SnapshotCell {
     /// The current snapshot. Takes the slot lock briefly to clone the
     /// `Arc`; query execution then proceeds without any locking.
     pub fn load(&self) -> Arc<EpochSnapshot> {
-        self.slot.read().expect("snapshot slot poisoned").clone()
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Atomically publishes `state` as the next epoch and returns it.
     /// The slot is swapped before the epoch counter is bumped, so a
     /// reader that observes the new epoch always loads the new slot.
     pub(crate) fn publish(&self, state: Snapshot) -> u64 {
-        let mut slot = self.slot.write().expect("snapshot slot poisoned");
+        let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
         let epoch = slot.epoch + 1;
         *slot = Arc::new(EpochSnapshot { epoch, state });
         self.epoch.store(epoch, Ordering::Release);
@@ -115,6 +115,24 @@ mod tests {
         let e = cell.publish(empty_state());
         assert_eq!(e, 1);
         assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.load().epoch, 1);
+    }
+
+    #[test]
+    fn poisoned_slot_lock_recovers() {
+        // the slot holds a plain `Arc` swap — always valid — so a
+        // panicked reader must not take the publication point down
+        let cell = SnapshotCell::new(empty_state());
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cell.slot.write().unwrap();
+                panic!("poison the snapshot slot");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err(), "the poisoning thread panicked");
+        assert_eq!(cell.load().epoch, 0);
+        assert_eq!(cell.publish(empty_state()), 1);
         assert_eq!(cell.load().epoch, 1);
     }
 

@@ -16,6 +16,7 @@
 //!   --duration-ms N run the serving loop this long  (default 2000)
 //!   --write-every-ms N  delta cadence; 0 = no writer (default 2)
 //!   --workload W    append | churn | hotkey | burst (default append)
+//!   --shards N      partition the graph over N engines (default 1)
 //!   --smoke         short self-checking run for CI (implies --views)
 //! ```
 //!
@@ -24,7 +25,10 @@
 //! reports per-thread agreement. `serve` stands up the full runtime:
 //! N reader threads loop the workload while a writer streams scripted
 //! schema-valid deltas; on exit it prints the engine metrics (reads/s,
-//! latency quantiles, plan-cache hit rate, refresh lag).
+//! latency quantiles, plan-cache hit rate, refresh lag). With
+//! `--shards N > 1` the base graph partitions across N per-shard
+//! engines behind a scatter/gather router — same results, parallel
+//! write path — and per-shard metrics are printed too.
 //!
 //! Examples:
 //!
@@ -40,14 +44,15 @@ use std::time::{Duration, Instant};
 use kaskade::core::{Kaskade, SelectionConfig};
 use kaskade::datasets::Dataset;
 use kaskade::query::{listings, parse, Query, Table};
-use kaskade::service::{drive, DriveConfig, Engine, Workload};
+use kaskade::service::{drive, DriveConfig, DriveOutcome, Engine, ShardedEngine, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: kaskade query <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] \
          [--seed N] [--threads N] <query|@listing1|@listing4>\n       \
          kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] [--seed N] \
-         [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] [--smoke] [query ...]"
+         [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] [--shards N] \
+         [--smoke] [query ...]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +66,7 @@ struct CommonArgs {
     duration_ms: u64,
     write_every_ms: u64,
     workload: Workload,
+    shards: usize,
     smoke: bool,
     queries: Vec<String>,
 }
@@ -74,6 +80,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         duration_ms: 2_000,
         write_every_ms: 2,
         workload: Workload::Append,
+        shards: 1,
         smoke: false,
         queries: Vec::new(),
     };
@@ -88,6 +95,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             "--duration-ms" => c.duration_ms = args.next()?.parse().ok()?,
             "--write-every-ms" => c.write_every_ms = args.next()?.parse().ok()?,
             "--workload" => c.workload = Workload::parse(&args.next()?)?,
+            "--shards" => c.shards = args.next()?.parse().ok()?,
             "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
             "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
             other if other.starts_with("--") => return None,
@@ -260,7 +268,7 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
     }
 
     let threads = c.threads.unwrap_or(4).max(1);
-    let engine = Engine::from_kaskade(&kaskade);
+    let shards = c.shards.max(1);
     let cfg = DriveConfig {
         readers: threads,
         duration: Duration::from_millis(c.duration_ms),
@@ -271,7 +279,8 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         workload: c.workload,
     };
     eprintln!(
-        "serving {} with {threads} reader thread(s), {} quer{}, `{}` writer every {}ms, for {}ms",
+        "serving {} with {threads} reader thread(s), {} quer{}, `{}` writer every {}ms, \
+         {shards} shard(s), for {}ms",
         dataset.short_name(),
         workload.len(),
         if workload.len() == 1 { "y" } else { "ies" },
@@ -279,7 +288,15 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         c.write_every_ms,
         c.duration_ms
     );
-    let outcome = drive(&engine, &workload, &cfg);
+    let (outcome, shard_lines): (DriveOutcome, Option<String>) = if shards > 1 {
+        let engine = ShardedEngine::from_kaskade(&kaskade, shards);
+        let outcome = drive(&engine, &workload, &cfg);
+        let lines = engine.metrics().per_shard_lines();
+        (outcome, Some(lines))
+    } else {
+        let engine = Engine::from_kaskade(&kaskade);
+        (drive(&engine, &workload, &cfg), None)
+    };
     println!(
         "reads              {} ok / {} errors ({:.0} reads/s)",
         outcome.reads,
@@ -291,6 +308,9 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         outcome.writes, outcome.writes_backpressured
     );
     println!("{}", outcome.report);
+    if let Some(lines) = shard_lines {
+        print!("{lines}");
+    }
 
     if !outcome.final_consistent {
         eprintln!("CONSISTENCY FAILED: final snapshot diverges from a from-scratch rebuild");

@@ -14,7 +14,7 @@ use kaskade::graph::Schema;
 use kaskade::query::{execute as execute_raw, listings::LISTING_1, parse, Table};
 use kaskade::service::{
     churn_delta, drive, plan_key, snapshot_is_consistent, DriveConfig, Engine, EngineConfig,
-    Workload,
+    HashPartitioner, ShardedConfig, ShardedEngine, SubmitError, Workload,
 };
 
 fn tiny_instance(seed: u64) -> Kaskade {
@@ -209,6 +209,186 @@ fn drive_churn_smoke_has_zero_violations() {
         &DriveConfig {
             readers: 4,
             duration: Duration::from_millis(400),
+            read_pause: Duration::ZERO,
+            write_pause: Duration::from_millis(1),
+            max_writes: 0,
+            verify_consistency: true,
+            workload: Workload::Churn,
+        },
+    );
+    assert!(outcome.reads > 0);
+    assert_eq!(outcome.read_errors, 0);
+    assert_eq!(outcome.consistency_violations, 0, "zero torn reads");
+    assert!(outcome.final_consistent, "final snapshot passes the oracle");
+    assert!(outcome.writes > 0, "the churn writer was active");
+}
+
+/// THE sharding acceptance property: ≥4 reader threads against a churn
+/// writer on a 4-shard engine observe **zero torn reads** — every
+/// snapshot a reader holds carries shard states captured at one global
+/// publish (never shard epochs from two different publishes), the
+/// shard partitions sum to the global graph, and the merged per-shard
+/// statistics equal the global statistics.
+#[test]
+fn sharded_readers_never_observe_torn_shard_epochs() {
+    let engine = ShardedEngine::from_kaskade(&tiny_instance(56), 4);
+    let readers = 4;
+    let iterations_per_reader = 12;
+    let checks = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let (engine, checks) = (&engine, &checks);
+            scope.spawn(move || {
+                let mut reader = engine.reader();
+                let mut last_epoch = 0u64;
+                let mut last_shard_epochs = [0u64; 4];
+                for _ in 0..iterations_per_reader {
+                    let snap = std::sync::Arc::clone(reader.snapshot());
+                    assert!(snap.epoch >= last_epoch, "global epochs regress");
+                    last_epoch = snap.epoch;
+                    // shard epochs never regress across the snapshots a
+                    // reader observes: a shard state left over from an
+                    // older global publish would violate this
+                    for (i, state) in snap.shard_states.iter().enumerate() {
+                        assert!(
+                            state.epoch >= last_shard_epochs[i],
+                            "shard {i} regressed at global epoch {}",
+                            snap.epoch
+                        );
+                        last_shard_epochs[i] = state.epoch;
+                    }
+                    // the structural torn-publish detector: shard
+                    // edge/vertex partitions sum to the global graph and
+                    // merged per-shard stats equal the global stats — a
+                    // shard state from a different publish breaks these
+                    assert!(snap.is_coherent(), "torn snapshot at {}", snap.epoch);
+                    // the global read state itself passes the full
+                    // view/stats oracle
+                    assert!(snapshot_is_consistent(&snap.state), "at {}", snap.epoch);
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let engine = &engine;
+        scope.spawn(move || {
+            for step in 0..80u64 {
+                let snap = engine.snapshot();
+                if let Some(delta) = churn_delta(&snap.state, step) {
+                    if engine.submit(delta).is_err() {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+    });
+
+    assert_eq!(
+        checks.load(Ordering::Relaxed),
+        readers * iterations_per_reader
+    );
+    let epoch = engine.flush();
+    assert!(epoch > 0, "the churn writer actually published");
+    assert!(engine.snapshot().is_coherent());
+}
+
+/// Backpressure coverage: a 1-capacity queue actually fills, the typed
+/// `Backpressure` error surfaces through both `Engine::submit` and the
+/// sharded router, nothing is enqueued for a refused submission, and
+/// the `deltas_backpressured` counter matches the refusals observed.
+#[test]
+fn backpressure_surfaces_and_counter_matches() {
+    let g = generate_provenance(&ProvenanceConfig::tiny(57).core_only());
+
+    // single engine: queue capacity 1, single-delta batches
+    let engine = Engine::with_config(
+        kaskade::core::Snapshot::new(g.clone(), Schema::provenance()),
+        EngineConfig {
+            max_batch: 1,
+            queue_capacity: 1,
+        },
+    );
+    let mut refused = 0u64;
+    let mut accepted = 0u64;
+    for _ in 0..200_000 {
+        let mut d = GraphDelta::new();
+        d.add_vertex("File", vec![]);
+        match engine.submit(d) {
+            Ok(()) => accepted += 1,
+            Err(SubmitError::Backpressure) => {
+                refused += 1;
+                if refused >= 3 {
+                    break;
+                }
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(refused >= 1, "1-capacity queue never pushed back");
+    assert_eq!(
+        engine.metrics().deltas_backpressured,
+        refused,
+        "counter must match observed refusals"
+    );
+    // refused submissions were not enqueued: everything accepted (and
+    // nothing else) eventually lands
+    engine.flush();
+    assert_eq!(engine.queue_depth(), 0);
+    assert_eq!(engine.metrics().deltas_applied, accepted);
+
+    // sharded router: same bounded-queue contract
+    let sharded = ShardedEngine::with_config(
+        kaskade::core::Snapshot::new(g, Schema::provenance()),
+        ShardedConfig {
+            partitioner: std::sync::Arc::new(HashPartitioner::new(2)),
+            max_batch: 1,
+            queue_capacity: 1,
+            scatter_min_vertices: 0,
+        },
+    );
+    let mut refused = 0u64;
+    let mut accepted = 0u64;
+    for _ in 0..200_000 {
+        let mut d = GraphDelta::new();
+        d.add_vertex("File", vec![]);
+        match sharded.submit(d) {
+            Ok(()) => accepted += 1,
+            Err(SubmitError::Backpressure) => {
+                refused += 1;
+                if refused >= 3 {
+                    break;
+                }
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(refused >= 1, "sharded router never pushed back");
+    let report = sharded.metrics();
+    assert_eq!(report.global.deltas_backpressured, refused);
+    sharded.flush();
+    assert_eq!(sharded.queue_depth(), 0);
+    assert_eq!(sharded.metrics().global.deltas_applied, accepted);
+    // the engine keeps serving after shedding load
+    let mut d = GraphDelta::new();
+    d.add_vertex("Job", vec![]);
+    sharded.submit(d).unwrap();
+    sharded.flush();
+    assert!(sharded.snapshot().is_coherent());
+}
+
+/// The sharded engine driven through the same `drive` harness the CLI
+/// and benches use: zero violations with per-read verification on.
+#[test]
+fn drive_sharded_churn_has_zero_violations() {
+    let engine = ShardedEngine::from_kaskade(&tiny_instance(58), 3);
+    let queries = vec![parse(LISTING_1).unwrap()];
+    let outcome = drive(
+        &engine,
+        &queries,
+        &DriveConfig {
+            readers: 4,
+            duration: Duration::from_millis(300),
             read_pause: Duration::ZERO,
             write_pause: Duration::from_millis(1),
             max_writes: 0,
