@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use kaskade_bench::experiments::{
     enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_churn,
-    serve_sharded, serve_throughput, table3,
+    serve_compaction, serve_sharded, serve_throughput, table3,
 };
 use kaskade_bench::setup::Env;
 use kaskade_bench::workload::QueryId;
@@ -410,6 +410,29 @@ fn print_serve(dataset: Option<Dataset>) {
     println!("   `shard max` is the parallel ingest critical path — per-shard delta apply");
     println!("   runs concurrently, and connector view refresh inside `coordinator` fans");
     println!("   out one worker per shard)");
+
+    println!("\n  slot compaction: constant-live churn, compaction disabled vs dead-ratio 0.5");
+    println!(
+        "    {:>10} {:>7} {:>7} {:>9} {:>7} {:>12} {:>12} {:>11} {:>6}",
+        "policy", "writes", "live", "capacity", "ratio", "compactions", "reclaimed", "apply", "ok"
+    );
+    for r in serve_compaction(SEED, 1_200) {
+        println!(
+            "    {:>10} {:>7} {:>7} {:>9} {:>6.2}x {:>12} {:>12} {:>11} {:>6}",
+            r.policy,
+            r.writes,
+            r.live,
+            r.slot_capacity,
+            r.capacity_ratio(),
+            r.compactions_run,
+            r.slots_reclaimed,
+            format!("{:.1?}", r.apply_total),
+            if r.final_consistent { "yes" } else { "NO" },
+        );
+    }
+    println!("\n  (`capacity` is vertex+edge id slots held, live or dead: the engine's");
+    println!("   working-set floor. Under churn at constant live size the disabled");
+    println!("   engine grows without bound; the 0.5 policy keeps capacity <= 2x live)");
 }
 
 fn print_enum() {

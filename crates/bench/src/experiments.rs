@@ -12,7 +12,7 @@ use kaskade_core::{
 use kaskade_datasets::Dataset;
 use kaskade_graph::{degree_ccdf, power_law_exponent, GraphStats};
 use kaskade_query::parse;
-use kaskade_service::{drive, DriveConfig, Engine, ShardedEngine, Workload};
+use kaskade_service::{drive, DriveConfig, Engine, EngineConfig, ShardedEngine, Workload};
 
 use crate::setup::{k_hop_pair_count, Env};
 use crate::workload::{run, QueryId};
@@ -458,8 +458,24 @@ pub fn serve_sharded(
     shard_counts
         .iter()
         .map(|&shards| {
-            let single = Engine::new(base.clone());
-            let sharded = ShardedEngine::new(base.clone(), shards);
+            // compaction off for this experiment: the delta sequence
+            // is pre-scripted in one fixed id space, and the point
+            // here is comparing ingest time, not memory (the
+            // `serve_compaction` experiment covers that)
+            let single = Engine::with_config(
+                base.clone(),
+                EngineConfig {
+                    compact_dead_ratio: f64::INFINITY,
+                    ..EngineConfig::default()
+                },
+            );
+            let sharded = ShardedEngine::with_config(
+                base.clone(),
+                kaskade_service::ShardedConfig {
+                    compact_dead_ratio: f64::INFINITY,
+                    ..kaskade_service::ShardedConfig::hash(shards)
+                },
+            );
             for d in &deltas {
                 // a full queue only means the worker is behind: drain
                 // and resubmit so both engines ingest every delta
@@ -499,6 +515,109 @@ pub fn serve_sharded(
                 shard_apply: report.per_shard.iter().map(|s| s.apply_total).collect(),
                 results_equal,
                 coherent: snap.is_coherent(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the slot-compaction experiment: the same constant-live
+/// churn sequence served with compaction disabled vs enabled.
+#[derive(Debug, Clone)]
+pub struct CompactionRow {
+    /// Policy label ("disabled" or the dead ratio).
+    pub policy: &'static str,
+    /// Churn deltas ingested.
+    pub writes: u64,
+    /// Live elements (vertices + edges) in the final snapshot.
+    pub live: usize,
+    /// Total id-slot capacity (vertex + edge slots, live + dead) of
+    /// the final snapshot — what an engine actually holds in memory.
+    pub slot_capacity: usize,
+    /// Compactions the writer ran.
+    pub compactions_run: u64,
+    /// Id slots reclaimed across those compactions.
+    pub slots_reclaimed: u64,
+    /// Total apply+publish time of the write path (compactions
+    /// included).
+    pub apply_total: Duration,
+    /// Whether the final snapshot passed the full views+stats oracle.
+    pub final_consistent: bool,
+}
+
+impl CompactionRow {
+    /// `slot_capacity / live` — 1.0 is perfectly compact; unbounded
+    /// growth under churn shows up as this ratio climbing forever.
+    pub fn capacity_ratio(&self) -> f64 {
+        self.slot_capacity as f64 / self.live.max(1) as f64
+    }
+}
+
+/// Slot compaction under churn: drives `steps` constant-live churn
+/// deltas (insert/delete turnover, [`kaskade_service::churn_delta`])
+/// through two engines — compaction disabled vs the default 0.5
+/// dead-ratio policy — and reports the final live size against the
+/// id-slot capacity each engine actually holds. Runs on a small
+/// provenance base (with the connector view materialized) so hundreds
+/// of steps of turnover cross the compaction threshold several times;
+/// on the disabled engine the same turnover just accumulates
+/// tombstones. Each engine scripts every delta from its **own**
+/// current snapshot and submits it with that snapshot's epoch — after
+/// the first compaction the two id spaces diverge, and that is the
+/// point: clients keep working purely in published-snapshot terms.
+pub fn serve_compaction(seed: u64, steps: u64) -> Vec<CompactionRow> {
+    use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+    use kaskade_service::SubmitError;
+    let g = generate_provenance(&ProvenanceConfig::tiny(seed).core_only());
+    let mut kaskade = Kaskade::new(g, kaskade_graph::Schema::provenance());
+    kaskade.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+    let base = kaskade.snapshot();
+
+    [("disabled", f64::INFINITY), ("ratio 0.5", 0.5)]
+        .into_iter()
+        .map(|(policy, ratio)| {
+            let engine = Engine::with_config(
+                base.clone(),
+                EngineConfig {
+                    compact_dead_ratio: ratio,
+                    ..EngineConfig::default()
+                },
+            );
+            let mut writes = 0u64;
+            for step in 0..steps {
+                let snap = engine.snapshot();
+                let Some(delta) = kaskade_service::churn_delta(&snap.state, step) else {
+                    break;
+                };
+                loop {
+                    match engine.submit_at(delta.clone(), snap.epoch) {
+                        Ok(()) => {
+                            writes += 1;
+                            break;
+                        }
+                        Err(SubmitError::Backpressure) => {
+                            engine.flush();
+                        }
+                        Err(_) => break, // engine gone: delta not counted
+                    }
+                }
+                // small batches keep the turnover visible to the policy
+                if step % 8 == 7 {
+                    engine.flush();
+                }
+            }
+            engine.flush();
+            let snap = engine.snapshot();
+            let graph = snap.state.graph();
+            let report = engine.metrics();
+            CompactionRow {
+                policy,
+                writes,
+                live: graph.vertex_count() + graph.edge_count(),
+                slot_capacity: graph.vertex_slots() + graph.edge_slots(),
+                compactions_run: report.compactions_run,
+                slots_reclaimed: report.slots_reclaimed,
+                apply_total: report.apply_total,
+                final_consistent: kaskade_service::snapshot_is_consistent(&snap.state),
             }
         })
         .collect()
@@ -687,6 +806,34 @@ mod tests {
             assert!(r.single_apply > Duration::ZERO);
             assert!(r.max_shard_apply() <= r.sum_shard_apply());
         }
+    }
+
+    #[test]
+    fn serve_compaction_bounds_slot_capacity() {
+        let rows = serve_compaction(40, 900);
+        assert_eq!(rows.len(), 2);
+        let disabled = &rows[0];
+        let enabled = &rows[1];
+        assert_eq!(disabled.policy, "disabled");
+        assert_eq!(disabled.compactions_run, 0);
+        assert!(disabled.final_consistent, "{disabled:?}");
+        assert!(enabled.final_consistent, "{enabled:?}");
+        assert!(
+            enabled.compactions_run >= 1,
+            "churn past the threshold must compact: {enabled:?}"
+        );
+        assert!(enabled.slots_reclaimed > 0, "{enabled:?}");
+        // the acceptance bound: capacity stays within 2x live under
+        // the 0.5 policy, while the disabled engine's keeps growing
+        assert!(
+            enabled.capacity_ratio() <= 2.0,
+            "capacity ratio {:.2} exceeds the 2x bound: {enabled:?}",
+            enabled.capacity_ratio()
+        );
+        assert!(
+            disabled.slot_capacity > enabled.slot_capacity,
+            "without compaction the same churn must hold more slots: {rows:?}"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
-use kaskade_graph::{DegreeChange, Graph, GraphBuilder, Value, VertexId};
+use kaskade_graph::{DegreeChange, Graph, GraphBuilder, IdRemap, Value, VertexId};
 
 use crate::views::ConnectorDef;
 
@@ -273,16 +273,27 @@ impl GraphDelta {
     /// delete-then-reinsert sequences intact while insert-then-delete
     /// pairs cancel.
     ///
-    /// **Caveat**: equivalence assumes every merged delta could apply
-    /// in sequence. If `self` retracts a vertex that an edge of `other`
-    /// references, sequential application would *reject* `other` (edge
-    /// onto a dead vertex), while the merged delta would insert the
-    /// edge and then cascade it away. Batching callers must therefore
-    /// refuse such a delta before merging — the serving write path
-    /// does, in `collect_batch` (`kaskade-service`), the single
-    /// accept/reject point shared by the engine writer and the sharded
-    /// router.
-    pub fn merge(&mut self, other: &GraphDelta) {
+    /// # Errors
+    /// Sequential equivalence requires that every merged delta could
+    /// apply in sequence. If `self` retracts a vertex that an edge of
+    /// `other` references, sequential application would *reject*
+    /// `other` (edge onto a dead vertex), while the merged delta would
+    /// insert the edge and then cascade it away. `merge` therefore
+    /// refuses such a pair with [`DeltaError::RetractedInBatch`],
+    /// leaving `self` unchanged — the caller drops `other` exactly as
+    /// the sequential path would have.
+    pub fn merge(&mut self, other: &GraphDelta) -> Result<(), DeltaError> {
+        // reject-before-mutate: an edge of `other` onto a vertex this
+        // delta retracts can never apply sequentially
+        for (i, e) in other.edges.iter().enumerate() {
+            for r in [e.src, e.dst] {
+                if let VRef::Existing(v) = r {
+                    if self.del_vertices.contains(&v) {
+                        return Err(DeltaError::RetractedInBatch { edge: i, vertex: v });
+                    }
+                }
+            }
+        }
         let base = self.vertices.len();
         let shift = |r: VRef| match r {
             VRef::New(i) => VRef::New(i + base),
@@ -305,6 +316,54 @@ impl GraphDelta {
             }
         }
         self.del_vertices.extend(other.del_vertices.iter().copied());
+        Ok(())
+    }
+
+    /// Rebases this delta from the id space an [`IdRemap`] was taken
+    /// in to the post-compaction id space, so a delta queued against a
+    /// pre-compaction snapshot still applies correctly afterwards:
+    ///
+    /// - **Edge-insert endpoints** translate through the remap. An
+    ///   endpoint whose slot was dropped referenced a vertex that was
+    ///   already dead — sequentially the delta would be rejected
+    ///   (`DeadExisting`), so the reference is poisoned to an
+    ///   out-of-range id and apply-time validation rejects the whole
+    ///   delta the same way.
+    /// - **Retractions** (edge and vertex) whose target slot was
+    ///   dropped are removed outright: retracting something already
+    ///   dead is a legitimate no-op under concurrent churn, and it
+    ///   must stay a no-op rather than turn into a bounds error.
+    /// - [`VRef::New`] references are untouched (they index this
+    ///   delta's own vertex list).
+    ///
+    /// Ids past the remap's [`old_slots`](IdRemap::old_slots) map by
+    /// append order, so a remap also rebases deltas built against
+    /// states that grew past the compaction point.
+    pub fn remap(&mut self, remap: &IdRemap) {
+        let map_ref = |r: VRef| -> Option<VRef> {
+            match r {
+                VRef::Existing(v) => remap.vertex(v).map(VRef::Existing),
+                new => Some(new),
+            }
+        };
+        for e in &mut self.edges {
+            for r in [&mut e.src, &mut e.dst] {
+                *r = map_ref(*r).unwrap_or(VRef::Existing(VertexId(u32::MAX)));
+            }
+        }
+        self.del_edges.retain_mut(|d| {
+            let (Some(s), Some(t)) = (map_ref(d.src), map_ref(d.dst)) else {
+                return false;
+            };
+            d.src = s;
+            d.dst = t;
+            true
+        });
+        self.del_vertices = self
+            .del_vertices
+            .iter()
+            .filter_map(|&v| remap.vertex(v))
+            .collect();
     }
 
     /// Splits this delta into one sub-delta per shard, for the sharded
@@ -426,6 +485,16 @@ pub enum DeltaError {
         /// Index of the offending entry in [`GraphDelta::del_edges`].
         index: usize,
     },
+    /// [`GraphDelta::merge`] refused the delta: one of its edges
+    /// references a vertex an earlier delta of the same batch
+    /// retracts, so sequential application could never accept it.
+    RetractedInBatch {
+        /// Index of the offending edge in the refused delta's
+        /// [`GraphDelta::edges`].
+        edge: usize,
+        /// The vertex retracted earlier in the batch.
+        vertex: VertexId,
+    },
 }
 
 impl std::fmt::Display for DeltaError {
@@ -462,6 +531,10 @@ impl std::fmt::Display for DeltaError {
             DeltaError::UnmatchedNewRetraction { index } => write!(
                 f,
                 "delta retraction {index} references a new vertex of the same delta but matches no pending insert"
+            ),
+            DeltaError::RetractedInBatch { edge, vertex } => write!(
+                f,
+                "delta edge {edge} references vertex {vertex}, retracted earlier in the same batch"
             ),
         }
     }
@@ -876,7 +949,7 @@ mod tests {
 
         let sequential = apply_delta(&apply_delta(&g, &d1).graph, &d2).graph;
         let mut merged = d1.clone();
-        merged.merge(&d2);
+        merged.merge(&d2).unwrap();
         let batched = apply_delta(&g, &merged).graph;
         assert_eq!(edge_fingerprint(&sequential), edge_fingerprint(&batched));
         assert_eq!(sequential.vertex_count(), batched.vertex_count());
@@ -950,7 +1023,7 @@ mod tests {
 
         let sequential = apply_delta(&apply_delta(&g, &a).graph, &b).graph;
         let mut merged = a.clone();
-        merged.merge(&b);
+        merged.merge(&b).unwrap();
         let batched = apply_delta(&g, &merged).graph;
         assert_eq!(edge_fingerprint(&sequential), edge_fingerprint(&batched));
         // the ORIGINAL base edge survives in both (LIFO removed A's)
@@ -1001,10 +1074,89 @@ mod tests {
         );
         let sequential = apply_delta(&apply_delta(&g, &a).graph, &b2).graph;
         let mut merged = a.clone();
-        merged.merge(&b2);
+        merged.merge(&b2).unwrap();
         let batched = apply_delta(&g, &merged).graph;
         assert_eq!(edge_fingerprint(&sequential), edge_fingerprint(&batched));
         assert_eq!(edge_fingerprint(&batched), edge_fingerprint(&applied.graph));
+    }
+
+    #[test]
+    fn merge_rejects_insert_onto_batch_retracted_vertex() {
+        // the doc-comment scenario: delta A retracts a vertex, delta B
+        // inserts an edge onto it. Sequential application rejects B
+        // (edge onto a dead vertex), so merge must refuse B too — and
+        // leave A untouched.
+        let mut a = GraphDelta::new();
+        a.del_vertex(VertexId(1));
+        let before = a.clone();
+        let mut b = GraphDelta::new();
+        let j = b.add_vertex("Job", vec![]);
+        b.add_edge(VRef::Existing(VertexId(1)), j, "IS_READ_BY", vec![]);
+        let err = a.merge(&b).unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaError::RetractedInBatch {
+                edge: 0,
+                vertex: VertexId(1)
+            }
+        ));
+        assert!(err.to_string().contains("retracted earlier"));
+        assert_eq!(a, before, "failed merge must not mutate the batch");
+        // the equivalent sequential outcome: only A applies
+        let g = lineage_base();
+        let applied = apply_delta(&g, &a);
+        assert_eq!(applied.graph.vertex_count(), 2);
+        assert_eq!(applied.graph.edge_count(), 0);
+        // a retraction (not an insert) onto the same vertex is fine
+        let mut c = GraphDelta::new();
+        c.del_vertex(VertexId(1));
+        a.merge(&c).unwrap();
+    }
+
+    #[test]
+    fn remap_rebases_deltas_through_compaction() {
+        let g = lineage_base(); // j0, f0, j1
+        let mut tomb = GraphDelta::new();
+        tomb.del_vertex(VertexId(1)); // kill f0 (and both edges)
+        let survivor = apply_delta(&g, &tomb).graph;
+        let (compacted, remap) = survivor.compact();
+        // old ids: j0 = 0, j1 = 2 → new ids: 0, 1
+
+        // a queued delta in the OLD id space: an edge between the two
+        // surviving jobs, a no-op retraction on the dead vertex, and a
+        // retraction of a dead-endpoint edge
+        let mut d = GraphDelta::new();
+        d.add_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(2)),
+            "WRITES_TO",
+            vec![("ts".into(), Value::Int(9))],
+        );
+        d.del_vertex(VertexId(1));
+        d.del_edge(
+            VRef::Existing(VertexId(0)),
+            VRef::Existing(VertexId(1)),
+            "WRITES_TO",
+        );
+        d.remap(&remap);
+        // endpoints translated, no-op retractions dropped
+        assert_eq!(d.edges[0].src, VRef::Existing(VertexId(0)));
+        assert_eq!(d.edges[0].dst, VRef::Existing(VertexId(1)));
+        assert!(d.del_vertices.is_empty());
+        assert!(d.del_edges.is_empty());
+        let applied = apply_delta(&compacted, &d);
+        assert_eq!(applied.graph.edge_count(), 1);
+        assert_eq!(applied.new_edges, vec![(VertexId(0), VertexId(1))]);
+
+        // an insert onto the dropped slot is poisoned, not silently
+        // rewired: validation rejects it like the uncompacted path
+        // rejects the DeadExisting original
+        let mut bad = GraphDelta::new();
+        let f = bad.add_vertex("File", vec![]);
+        bad.add_edge(VRef::Existing(VertexId(1)), f, "WRITES_TO", vec![]);
+        assert!(bad.validate_against(&survivor, 0).is_err());
+        bad.remap(&remap);
+        assert!(bad.validate_against(&compacted, 0).is_err());
     }
 
     #[test]

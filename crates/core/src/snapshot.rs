@@ -14,7 +14,7 @@
 //! state without touching the original — the primitive behind snapshot
 //! isolation.
 
-use kaskade_graph::{Graph, GraphStats, Schema};
+use kaskade_graph::{Graph, GraphStats, IdRemap, Schema};
 use kaskade_query::{execute as execute_query, Query, Table};
 
 use crate::catalog::{Catalog, MaterializedView};
@@ -205,6 +205,53 @@ impl Snapshot {
             catalog,
         }
     }
+
+    /// Compacts the base graph — dead vertex/edge slots dropped, live
+    /// ids renumbered densely — returning the successor snapshot and
+    /// the old→new [`IdRemap`]; `self` is untouched.
+    ///
+    /// Everything else carries over verbatim, and soundly so:
+    ///
+    /// - **Statistics** count live elements only, so they are exactly
+    ///   equal before and after (enforced by the compaction proptests).
+    /// - **Materialized views** are their own graphs whose vertices
+    ///   correspond to the base graph *positionally* — the i-th live
+    ///   base vertex of the view's types — never by stored base id.
+    ///   Compaction preserves the live vertices, their order, and
+    ///   their properties, so every catalog entry is still byte-for-
+    ///   byte what materializing it over the compacted base yields,
+    ///   provenance `support` counts included, and subsequent
+    ///   incremental maintenance lines up without translation.
+    ///
+    /// Deltas queued against the pre-compaction snapshot must be
+    /// rebased with [`GraphDelta::remap`] before applying; the serving
+    /// runtime (`kaskade-service`) does this behind its epoch fence.
+    pub fn compact(&self) -> (Snapshot, IdRemap) {
+        let (graph, remap) = self.graph.compact();
+        (
+            Snapshot {
+                graph,
+                schema: self.schema.clone(),
+                stats: self.stats.clone(),
+                catalog: self.catalog.clone(),
+            },
+            remap,
+        )
+    }
+
+    /// [`Snapshot::compact`] with an externally supplied remap — the
+    /// coordinated form for the shards of a partitioned graph, which
+    /// must all apply the remap computed from the global graph so
+    /// shard-local ids stay equal to global ids (see
+    /// [`Graph::compact_with`]).
+    pub fn compact_with(&self, remap: &IdRemap) -> Snapshot {
+        Snapshot {
+            graph: self.graph.compact_with(remap),
+            schema: self.schema.clone(),
+            stats: self.stats.clone(),
+            catalog: self.catalog.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +324,62 @@ mod tests {
                 "round {round}: incremental stats diverged"
             );
         }
+    }
+
+    #[test]
+    fn compact_preserves_stats_views_and_answers() {
+        let mut k = Kaskade::new(snapshot(15).graph.clone(), Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        // churn a few tombstones into the state
+        let mut s = k.snapshot();
+        for round in 0..6u64 {
+            let mut d = GraphDelta::new();
+            if let Some(e) = s.graph.edges().nth(round as usize) {
+                d.del_edge(
+                    crate::VRef::Existing(s.graph.edge_src(e)),
+                    crate::VRef::Existing(s.graph.edge_dst(e)),
+                    s.graph.edge_type(e),
+                );
+            }
+            if round == 3 {
+                let victim = s.graph.vertices_of_type("File").nth(2).unwrap();
+                d.del_vertex(victim);
+            }
+            s = s.with_delta(&d);
+        }
+        assert!(s.graph.vertex_slots() > s.graph.vertex_count());
+        let (c, remap) = s.compact();
+        assert_eq!(
+            remap.reclaimed(),
+            s.graph.vertex_slots() - c.graph.vertex_slots()
+        );
+        assert_eq!(c.graph.vertex_slots(), c.graph.vertex_count());
+        assert_eq!(c.graph.edge_slots(), c.graph.edge_count());
+        // stats exactly preserved and exactly right for the new graph
+        assert_eq!(c.stats, s.stats);
+        assert_eq!(c.stats, GraphStats::compute(&c.graph));
+        // the carried-over view is byte-for-byte a fresh
+        // materialization over the compacted base
+        for view in c.catalog.iter() {
+            let fresh = crate::materialize(&c.graph, &view.def);
+            let fp = |g: &Graph| {
+                let mut v: Vec<_> = g
+                    .edges()
+                    .map(|e| (g.edge_src(e).0, g.edge_dst(e).0, g.edge_type(e).to_string()))
+                    .collect();
+                v.sort();
+                (g.vertex_count(), v)
+            };
+            assert_eq!(fp(&view.graph), fp(&fresh), "view {}", view.def.id());
+        }
+        // aggregate answers are identical before and after
+        let q = parse(LISTING_1).unwrap();
+        let rows = |t: &kaskade_query::Table| {
+            let mut r: Vec<String> = t.rows.iter().map(|r| format!("{r:?}")).collect();
+            r.sort();
+            r
+        };
+        assert_eq!(rows(&s.execute(&q).unwrap()), rows(&c.execute(&q).unwrap()));
     }
 
     #[test]

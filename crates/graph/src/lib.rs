@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+mod compact;
 mod edit;
 mod graph;
 mod interner;
@@ -40,6 +41,7 @@ mod schema;
 mod stats;
 mod value;
 
+pub use compact::IdRemap;
 pub use edit::GraphEditor;
 pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, Symbol};

@@ -46,13 +46,16 @@ pub trait ServingBackend: Sync {
     /// verification).
     fn with_reader_state<R>(&self, reader: &mut Self::Reader, f: impl FnOnce(&Snapshot) -> R) -> R;
 
-    /// Runs `f` over the currently published read state without
-    /// cloning it (the drive writer scripts a delta from it every
-    /// write step).
-    fn with_current_state<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R;
+    /// Runs `f` over the currently published read state — and the
+    /// epoch it was published at — without cloning it (the drive
+    /// writer scripts a delta from it every write step and submits
+    /// with that epoch, so ids survive a concurrent slot compaction).
+    fn with_current_state<R>(&self, f: impl FnOnce(u64, &Snapshot) -> R) -> R;
 
-    /// Queues a delta on the write path (see [`Engine::submit`]).
-    fn submit_delta(&self, delta: GraphDelta) -> Result<(), SubmitError>;
+    /// Queues a delta whose existing-vertex ids were resolved against
+    /// the snapshot published at `based_on` (see
+    /// [`Engine::submit_at`]).
+    fn submit_delta(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError>;
 
     /// Waits until every submitted delta is visible to readers.
     fn flush_writes(&self) -> u64;
@@ -76,12 +79,13 @@ impl ServingBackend for Engine {
         f(&reader.snapshot().state)
     }
 
-    fn with_current_state<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
-        f(&self.snapshot().state)
+    fn with_current_state<R>(&self, f: impl FnOnce(u64, &Snapshot) -> R) -> R {
+        let snap = self.snapshot();
+        f(snap.epoch, &snap.state)
     }
 
-    fn submit_delta(&self, delta: GraphDelta) -> Result<(), SubmitError> {
-        self.submit(delta)
+    fn submit_delta(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+        self.submit_at(delta, based_on)
     }
 
     fn flush_writes(&self) -> u64 {
@@ -108,12 +112,13 @@ impl ServingBackend for ShardedEngine {
         f(&reader.snapshot().state)
     }
 
-    fn with_current_state<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
-        f(&self.snapshot().state)
+    fn with_current_state<R>(&self, f: impl FnOnce(u64, &Snapshot) -> R) -> R {
+        let snap = self.snapshot();
+        f(snap.epoch, &snap.state)
     }
 
-    fn submit_delta(&self, delta: GraphDelta) -> Result<(), SubmitError> {
-        self.submit(delta)
+    fn submit_delta(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+        self.submit_at(delta, based_on)
     }
 
     fn flush_writes(&self) -> u64 {
@@ -298,8 +303,15 @@ pub fn drive<B: ServingBackend>(engine: &B, queries: &[Query], cfg: &DriveConfig
                     if cfg.max_writes > 0 && step >= cfg.max_writes {
                         break;
                     }
-                    match engine.with_current_state(|state| delta_for(cfg.workload, state, step)) {
-                        Some(delta) => match engine.submit_delta(delta) {
+                    // capture the snapshot's epoch with the delta: the
+                    // delta's ids are in THAT epoch's id space, and a
+                    // slot compaction may publish before the submit
+                    // lands
+                    let scripted = engine.with_current_state(|epoch, state| {
+                        delta_for(cfg.workload, state, step).map(|d| (d, epoch))
+                    });
+                    match scripted {
+                        Some((delta, epoch)) => match engine.submit_delta(delta, epoch) {
                             Ok(()) => {
                                 writes.fetch_add(1, Ordering::Relaxed);
                             }
@@ -328,7 +340,7 @@ pub fn drive<B: ServingBackend>(engine: &B, queries: &[Query], cfg: &DriveConfig
     // must not deflate reads_per_sec
     let elapsed = start.elapsed();
     engine.flush_writes();
-    let final_consistent = engine.with_current_state(snapshot_is_consistent);
+    let final_consistent = engine.with_current_state(|_, state| snapshot_is_consistent(state));
     DriveOutcome {
         reads: reads.load(Ordering::Relaxed),
         read_errors: read_errors.load(Ordering::Relaxed),

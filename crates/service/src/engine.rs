@@ -20,7 +20,8 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, Snapshot, VRef};
+use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, Snapshot};
+use kaskade_graph::IdRemap;
 use kaskade_query::{Query, Table};
 
 use crate::metrics::{Metrics, MetricsReport};
@@ -40,6 +41,17 @@ pub struct EngineConfig {
     /// bound; rejected submissions are counted in
     /// [`MetricsReport::deltas_backpressured`].
     pub queue_capacity: usize,
+    /// Dead-slot fraction of total id-slot capacity (vertex + edge
+    /// slots) above which the writer runs **slot compaction** after a
+    /// publish: dead slots are dropped, live ids renumber densely, and
+    /// the compacted state publishes as a fresh epoch — the fence
+    /// behind which queued deltas built against older epochs are
+    /// rebased through the recorded [`IdRemap`]s. Default `0.5`, which
+    /// bounds total slot capacity at ~2× the live element count under
+    /// any churn; `f64::INFINITY` disables compaction (the shards of a
+    /// [`crate::ShardedEngine`] run disabled and compact only on their
+    /// coordinator's command, so shard ids stay globally aligned).
+    pub compact_dead_ratio: f64,
 }
 
 impl Default for EngineConfig {
@@ -47,35 +59,118 @@ impl Default for EngineConfig {
         EngineConfig {
             max_batch: 64,
             queue_capacity: 1024,
+            compact_dead_ratio: 0.5,
         }
     }
 }
 
+/// Compaction never fires below this many dead slots, whatever the
+/// ratio: renumbering a toy graph to reclaim a handful of slots would
+/// churn client-visible ids for no measurable memory win.
+pub(crate) const COMPACT_MIN_DEAD_SLOTS: usize = 8;
+
+/// The compaction policy: total dead slots (vertex + edge) at or above
+/// `dead_ratio` of total slot capacity, with the absolute
+/// [`COMPACT_MIN_DEAD_SLOTS`] floor.
+pub(crate) fn should_compact(g: &kaskade_graph::Graph, dead_ratio: f64) -> bool {
+    let dead = (g.vertex_slots() - g.vertex_count()) + (g.edge_slots() - g.edge_count());
+    let total = g.vertex_slots() + g.edge_slots();
+    dead >= COMPACT_MIN_DEAD_SLOTS && dead as f64 >= dead_ratio * total as f64
+}
+
+/// Total id-slot capacity of a graph (live + dead, vertices + edges) —
+/// what compaction shrinks and the `slots_reclaimed` metric measures.
+pub(crate) fn slot_capacity(g: &kaskade_graph::Graph) -> usize {
+    g.vertex_slots() + g.edge_slots()
+}
+
+/// The remaps of recent compactions, kept by a writer loop so deltas
+/// that were queued (or built) against pre-compaction epochs can be
+/// rebased into the current id space at apply time. Bounded: after
+/// [`MAX_REMAP_HISTORY`] further compactions a stale delta can no
+/// longer be rebased and is rejected instead of silently aliasing
+/// reused ids — in practice a delta would have to sit in the bounded
+/// queue across eight compaction cycles to hit this.
+pub(crate) struct RemapHistory {
+    /// `(publish epoch of the compacted snapshot, remap)`, oldest first.
+    entries: Vec<(u64, Arc<IdRemap>)>,
+    /// Epoch of the newest discarded entry; deltas based on anything
+    /// older can no longer be rebased.
+    dropped: u64,
+}
+
+pub(crate) const MAX_REMAP_HISTORY: usize = 8;
+
+impl RemapHistory {
+    pub(crate) fn new() -> Self {
+        RemapHistory {
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Records the remap of a compaction published at `epoch`.
+    pub(crate) fn record(&mut self, epoch: u64, remap: Arc<IdRemap>) {
+        self.entries.push((epoch, remap));
+        if self.entries.len() > MAX_REMAP_HISTORY {
+            let (e, _) = self.entries.remove(0);
+            self.dropped = e;
+        }
+    }
+
+    /// Rebases `delta` from the id space of the snapshot published at
+    /// `based_on` into the current id space, applying every recorded
+    /// compaction that happened after it, in order. `Err(())` means
+    /// the delta predates the retained history and must be rejected.
+    pub(crate) fn rebase(&self, delta: &mut GraphDelta, based_on: u64) -> Result<(), ()> {
+        if based_on < self.dropped {
+            return Err(());
+        }
+        for (epoch, remap) in &self.entries {
+            if *epoch > based_on {
+                delta.remap(remap);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A write-path message: a queued delta (with its enqueue time, for
-/// refresh-lag accounting) or a flush acknowledgement request. Shared
-/// by the single engine's writer worker and the sharded router.
+/// refresh-lag accounting, and the epoch its ids were resolved
+/// against), a coordinator-ordered compaction, or a flush
+/// acknowledgement request. Shared by the single engine's writer
+/// worker and the sharded router.
 pub(crate) enum Msg {
-    Delta(Box<GraphDelta>, Instant),
+    Delta(Box<GraphDelta>, Instant, u64),
+    /// Apply this vertex remap (computed by a sharded coordinator from
+    /// the global graph) to the local state and publish. Acts as a
+    /// batch boundary: deltas queued before it are in the old id
+    /// space and apply first.
+    Compact(Arc<IdRemap>),
     Flush(mpsc::Sender<u64>),
 }
 
 /// Enqueues a delta on a bounded write queue with the engine's submit
 /// contract: self-referential validation up front, a conservative
 /// queued counter, and typed `Backpressure`/`Closed` errors with
-/// nothing enqueued on failure. Shared by [`Engine::submit`] and the
-/// sharded engine's submit.
+/// nothing enqueued on failure. `based_on` is the epoch of the
+/// snapshot the delta's existing-vertex ids were resolved against —
+/// the writer rebases the delta through any compactions published
+/// since. Shared by [`Engine::submit_at`] and the sharded engine's
+/// submit.
 pub(crate) fn enqueue_delta(
     tx: &mpsc::SyncSender<Msg>,
     queued: &AtomicU64,
     metrics: &Metrics,
     delta: GraphDelta,
+    based_on: u64,
 ) -> Result<(), SubmitError> {
     // usize::MAX vertex bound: only the New-index checks can fail
     delta.validate(usize::MAX).map_err(SubmitError::Invalid)?;
     // increment BEFORE sending so the counter stays conservative:
     // the worker may consume and decrement the instant send lands
     queued.fetch_add(1, Ordering::Relaxed);
-    match tx.try_send(Msg::Delta(Box::new(delta), Instant::now())) {
+    match tx.try_send(Msg::Delta(Box::new(delta), Instant::now(), based_on)) {
         Ok(()) => Ok(()),
         Err(mpsc::TrySendError::Full(_)) => {
             queued.fetch_sub(1, Ordering::Relaxed);
@@ -101,6 +196,11 @@ pub(crate) struct Batch {
     pub oldest: Option<Instant>,
     /// Flush acknowledgements collected while assembling.
     pub acks: Vec<mpsc::Sender<u64>>,
+    /// A coordinator-ordered compaction encountered while draining.
+    /// It bounds the batch: deltas queued before it (this batch) are
+    /// in the pre-compaction id space and must apply first; the
+    /// caller applies the remap after publishing the batch.
+    pub compact: Option<Arc<IdRemap>>,
     /// Whether the queue is still open (false = shutdown signalled).
     pub open: bool,
 }
@@ -115,6 +215,7 @@ pub(crate) fn collect_batch(
     rx: &mpsc::Receiver<Msg>,
     graph: &kaskade_graph::Graph,
     max_batch: usize,
+    remaps: &RemapHistory,
 ) -> Batch {
     let mut batch = Batch {
         delta: GraphDelta::new(),
@@ -122,6 +223,7 @@ pub(crate) fn collect_batch(
         rejected: 0,
         oldest: None,
         acks: Vec::new(),
+        compact: None,
         open: true,
     };
     let mut pending = match rx.recv() {
@@ -133,35 +235,42 @@ pub(crate) fn collect_batch(
     };
     loop {
         match pending.take() {
-            Some(Msg::Delta(delta, enqueued)) => {
-                // exact validity check at the only point where the
-                // apply-time graph state is known: base graph (slots
-                // and liveness) plus the vertices earlier deltas of
-                // this batch add (sequential-apply equivalence of
-                // merge). A bad delta — dangling or tombstoned
-                // references — is dropped and counted, never applied;
-                // it must not kill the worker and with it the engine.
-                let pending_vertices = batch.delta.vertices.len();
-                // sequential equivalence also demands rejecting an
-                // insert onto a vertex an earlier delta of this batch
-                // retracts: applied one at a time, that insert would
-                // see the vertex already dead
-                let onto_batch_retracted = delta.edges.iter().any(|e| {
-                    [e.src, e.dst].iter().any(
-                        |r| matches!(r, VRef::Existing(v) if batch.delta.del_vertices.contains(v)),
-                    )
-                });
-                if onto_batch_retracted || delta.validate_against(graph, pending_vertices).is_err()
-                {
-                    batch.rejected += 1;
-                } else {
-                    batch.delta.merge(&delta);
+            Some(Msg::Delta(mut delta, enqueued, based_on)) => {
+                // three gates, in order, any failure dropping (and
+                // counting) the delta — never killing the worker and
+                // with it the engine:
+                // 1. rebase through any compactions published since
+                //    the delta's ids were resolved; too-stale deltas
+                //    (older than the retained remap history) are
+                //    rejected rather than risking silent id aliasing;
+                // 2. exact validity at the only point where the
+                //    apply-time graph state is known: base graph
+                //    (slots and liveness) plus the vertices earlier
+                //    deltas of this batch add (sequential-apply
+                //    equivalence of merge);
+                // 3. merge itself refuses an insert onto a vertex an
+                //    earlier delta of this batch retracts (applied one
+                //    at a time, that insert would see it already dead).
+                let accepted = remaps.rebase(&mut delta, based_on).is_ok()
+                    && delta
+                        .validate_against(graph, batch.delta.vertices.len())
+                        .is_ok()
+                    && batch.delta.merge(&delta).is_ok();
+                if accepted {
                     batch.batched += 1;
                     batch.oldest.get_or_insert(enqueued);
                     if batch.batched >= max_batch {
                         break;
                     }
+                } else {
+                    batch.rejected += 1;
                 }
+            }
+            Some(Msg::Compact(remap)) => {
+                // batch boundary: everything drained so far predates
+                // the compaction; later messages wait for next loop
+                batch.compact = Some(remap);
+                break;
             }
             Some(Msg::Flush(ack)) => batch.acks.push(ack),
             None => {}
@@ -251,9 +360,10 @@ impl Engine {
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
         let max_batch = config.max_batch.max(1);
+        let compact_dead_ratio = config.compact_dead_ratio;
         let worker = std::thread::Builder::new()
             .name("kaskade-writer".into())
-            .spawn(move || writer_loop(worker_shared, rx, max_batch))
+            .spawn(move || writer_loop(worker_shared, rx, max_batch, compact_dead_ratio))
             .expect("spawn writer worker");
         Engine {
             shared,
@@ -292,8 +402,40 @@ impl Engine {
     /// engine. When the bounded queue (see
     /// [`EngineConfig::queue_capacity`]) is full, nothing is enqueued
     /// and [`SubmitError::Backpressure`] is returned.
+    ///
+    /// The delta's existing-vertex ids are taken to be in the id space
+    /// of the **currently published** snapshot. A caller that resolved
+    /// ids from a snapshot it loaded earlier should use
+    /// [`Engine::submit_at`] with that snapshot's epoch, so a slot
+    /// compaction publishing in between cannot misdirect the ids.
     pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
-        enqueue_delta(&self.tx, &self.shared.queued, &self.shared.metrics, delta)
+        self.submit_at(delta, self.shared.cell.epoch())
+    }
+
+    /// [`Engine::submit`] for a delta whose existing-vertex ids were
+    /// resolved against the snapshot published at `based_on`. If slot
+    /// compactions have renumbered ids since that epoch, the writer
+    /// rebases the delta through the recorded remaps before applying
+    /// it — in-flight writes survive compaction without the client
+    /// ever seeing the renumbering.
+    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+        enqueue_delta(
+            &self.tx,
+            &self.shared.queued,
+            &self.shared.metrics,
+            delta,
+            based_on,
+        )
+    }
+
+    /// Orders the writer to apply an externally computed compaction
+    /// remap (the sharded coordinator's path; see
+    /// [`kaskade_core::Snapshot::compact_with`]). Returns `false` when
+    /// the engine is shutting down. Blocks while the queue is full —
+    /// callers (the router) flush every batch, so the queue is
+    /// near-empty in practice.
+    pub(crate) fn submit_compact(&self, remap: Arc<IdRemap>) -> bool {
+        self.tx.send(Msg::Compact(remap)).is_ok()
     }
 
     /// Waits until every previously submitted delta is applied and
@@ -379,12 +521,23 @@ fn execute_at(shared: &Shared, snap: &EpochSnapshot, query: &Query) -> Result<Ta
 /// The single-writer worker: blocks on the queue, merges up to
 /// `max_batch` queued deltas into one [`GraphDelta`], applies it with
 /// incremental view maintenance, and publishes the successor snapshot.
-fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
+/// After each publish it checks the slot-compaction policy
+/// ([`EngineConfig::compact_dead_ratio`]): when the dead-slot share
+/// crosses the threshold, the state compacts and publishes as its own
+/// epoch — the fence — and the remap is recorded so queued deltas
+/// built against older epochs rebase on arrival.
+fn writer_loop(
+    shared: Arc<Shared>,
+    rx: mpsc::Receiver<Msg>,
+    max_batch: usize,
+    compact_dead_ratio: f64,
+) {
     // the worker's working state always equals the published snapshot
     let mut state = shared.cell.load().state.clone();
+    let mut remaps = RemapHistory::new();
     let mut open = true;
     while open {
-        let batch = collect_batch(&rx, state.graph(), max_batch);
+        let batch = collect_batch(&rx, state.graph(), max_batch, &remaps);
         open = batch.open;
         if batch.rejected > 0 {
             shared.metrics.record_rejected(batch.rejected);
@@ -402,6 +555,28 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
             if retractions > 0 {
                 shared.metrics.record_retractions(retractions);
             }
+        }
+        // one compaction per loop at most: a coordinator-ordered remap
+        // (this engine is a shard of a ShardedEngine — the shared remap
+        // keeps shard-local ids equal to global ids) takes precedence
+        // over the engine's own dead-ratio policy
+        let compaction = match batch.compact {
+            Some(remap) => Some((state.compact_with(&remap), remap)),
+            None if should_compact(state.graph(), compact_dead_ratio) => {
+                let (next, remap) = state.compact();
+                Some((next, Arc::new(remap)))
+            }
+            None => None,
+        };
+        if let Some((next, remap)) = compaction {
+            let before = slot_capacity(state.graph());
+            state = next;
+            let epoch = shared.cell.publish(state.clone());
+            shared.cache.promote(epoch);
+            shared
+                .metrics
+                .record_compaction(before - slot_capacity(state.graph()));
+            remaps.record(epoch, remap);
         }
         if batch.batched + batch.rejected > 0 {
             shared
@@ -601,6 +776,7 @@ mod tests {
             EngineConfig {
                 max_batch: 1,
                 queue_capacity: 2,
+                ..EngineConfig::default()
             },
         );
         // submit far faster than single-delta batches can drain: the
@@ -627,6 +803,122 @@ mod tests {
         engine.submit(d).unwrap();
         engine.flush();
         assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn churn_turnover_triggers_compaction_and_bounds_slots() {
+        // a chain graph churned with delete-then-reinsert turnover at
+        // constant live size: without compaction slot capacity grows
+        // one dead slot per round, forever
+        let mut b = GraphBuilder::new();
+        let vs: Vec<VertexId> = (0..30).map(|_| b.add_vertex("Job")).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], "SPAWNS");
+        }
+        let g = b.finish();
+        let live = g.vertex_count() + g.edge_count();
+        let engine = Engine::new(Snapshot::new(g, Schema::provenance()));
+        for round in 0..200u64 {
+            let snap = engine.snapshot();
+            let g = snap.state.graph();
+            let e = g.edges().next().unwrap();
+            let (s, d) = (g.edge_src(e), g.edge_dst(e));
+            let mut delta = GraphDelta::new();
+            delta.del_edge(VRef::Existing(s), VRef::Existing(d), "SPAWNS");
+            delta.add_edge(
+                VRef::Existing(s),
+                VRef::Existing(d),
+                "SPAWNS",
+                vec![("ts".into(), Value::Int(round as i64))],
+            );
+            engine.submit_at(delta, snap.epoch).unwrap();
+            engine.flush();
+        }
+        let report = engine.metrics();
+        assert!(report.compactions_run >= 1, "{report:?}");
+        assert!(report.slots_reclaimed > 0, "{report:?}");
+        assert_eq!(report.deltas_rejected, 0, "{report:?}");
+        let snap = engine.snapshot();
+        let g = snap.state.graph();
+        // live size never changed; capacity is bounded by the policy
+        assert_eq!(g.vertex_count() + g.edge_count(), live);
+        let capacity = g.vertex_slots() + g.edge_slots();
+        assert!(
+            capacity <= 2 * live,
+            "capacity {capacity} exceeds 2x live {live}"
+        );
+        assert!(crate::drive::snapshot_is_consistent(&snap.state));
+    }
+
+    #[test]
+    fn stale_deltas_rebase_across_the_compaction_fence() {
+        // 10 dead File slots around two live Jobs: the first publish
+        // triggers compaction (dead ratio 10/12), renumbering the
+        // second job from id 11 to id 1
+        let mut b = GraphBuilder::new();
+        b.add_vertex("Job");
+        let files: Vec<VertexId> = (0..10).map(|_| b.add_vertex("File")).collect();
+        let j1 = b.add_vertex("Job");
+        b.set_vertex_prop(j1, "name", Value::Str("sink".into()));
+        let g = b.finish().remove_vertices(files);
+        let engine = Engine::new(Snapshot::new(g, Schema::provenance()));
+        let snap0 = engine.snapshot();
+        assert_eq!(snap0.epoch, 0);
+
+        // force the fence: an empty-ish write publishes, then compacts
+        let mut warm = GraphDelta::new();
+        warm.add_vertex("Job", vec![]);
+        engine.submit_at(warm, snap0.epoch).unwrap();
+        engine.flush();
+        let report = engine.metrics();
+        assert_eq!(report.compactions_run, 1, "{report:?}");
+        assert_eq!(report.slots_reclaimed, 10);
+        let compacted = engine.snapshot();
+        assert_eq!(compacted.state.graph().vertex_slots(), 3);
+
+        // a delta built against the EPOCH-0 snapshot, naming j1 by its
+        // old id 11: the writer must rebase it through the remap, not
+        // reject it or alias it onto a reused slot
+        let mut stale = GraphDelta::new();
+        let f = stale.add_vertex("File", vec![]);
+        stale.add_edge(VRef::Existing(j1), f, "WRITES_TO", vec![]);
+        engine.submit_at(stale, snap0.epoch).unwrap();
+        engine.flush();
+        let snap = engine.snapshot();
+        let g = snap.state.graph();
+        assert_eq!(engine.metrics().deltas_rejected, 0);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(
+            g.vertex_prop(g.edge_src(e), "name"),
+            Some(&Value::Str("sink".into())),
+            "the rebased edge hangs off the vertex the client meant"
+        );
+    }
+
+    #[test]
+    fn remap_history_rejects_deltas_older_than_retained_remaps() {
+        use kaskade_graph::Graph;
+        fn remap_of(g: &Graph) -> Arc<kaskade_graph::IdRemap> {
+            Arc::new(g.compact().1)
+        }
+        let mut b = kaskade_graph::GraphBuilder::new();
+        let v = b.add_vertex("Job");
+        b.add_vertex("Job");
+        let g = b.finish().remove_vertices([v]);
+        let mut history = RemapHistory::new();
+        for epoch in 1..=(MAX_REMAP_HISTORY as u64) {
+            history.record(epoch, remap_of(&g));
+        }
+        // everything still retained: a delta based on epoch 0 rebases
+        let mut d = GraphDelta::new();
+        d.del_vertex(kaskade_graph::VertexId(1));
+        assert!(history.rebase(&mut d.clone(), 0).is_ok());
+        // one more compaction evicts the oldest remap; epoch-0 deltas
+        // can no longer be rebased and must be rejected, never aliased
+        history.record(MAX_REMAP_HISTORY as u64 + 1, remap_of(&g));
+        assert!(history.rebase(&mut d.clone(), 0).is_err());
+        assert!(history.rebase(&mut d, 1).is_ok());
     }
 
     #[test]

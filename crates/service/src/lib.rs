@@ -24,7 +24,14 @@
 //!   updates, and atomically publishes the successor snapshot. Readers
 //!   never block writers and vice versa. The queue is bounded: when the
 //!   worker falls behind, [`Engine::submit`] fails fast with a typed
-//!   `Backpressure` error instead of buffering without bound.
+//!   `Backpressure` error instead of buffering without bound. The
+//!   writer also keeps memory bounded under churn: once dead id slots
+//!   exceed [`EngineConfig::compact_dead_ratio`] of capacity it runs
+//!   **epoch-fenced slot compaction** — dead slots drop, live ids
+//!   renumber, the compacted state publishes as its own epoch, and
+//!   deltas queued against older epochs are rebased through the
+//!   recorded id remaps so in-flight writes never observe the
+//!   renumbering.
 //! - **Plan caching** ([`plan_cache`]): `plan()` results are memoized
 //!   per `(epoch, alpha-normalized query)`, with hit/miss counters
 //!   surfaced through [`metrics`].

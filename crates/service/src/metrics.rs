@@ -48,7 +48,8 @@ impl LatencyHistogram {
 
     /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
     /// bucket containing the q-th sample (within 2x of the true value).
-    /// Returns `Duration::ZERO` with no samples.
+    /// Returns `Duration::ZERO` with no samples — an idle engine
+    /// reports a p99 of zero, never a sentinel garbage value.
     pub fn quantile(&self, q: f64) -> Duration {
         let total = self.count();
         if total == 0 {
@@ -63,7 +64,10 @@ impl LatencyHistogram {
                 return Duration::from_nanos(upper.min(u64::MAX as u128) as u64);
             }
         }
-        Duration::from_nanos(u64::MAX)
+        // reachable only when a racing `record` has bumped `count`
+        // before its bucket store is visible; report zero rather than
+        // a nonsense `u64::MAX` duration
+        Duration::ZERO
     }
 }
 
@@ -77,6 +81,8 @@ pub struct Metrics {
     deltas_rejected: AtomicU64,
     deltas_backpressured: AtomicU64,
     retractions_applied: AtomicU64,
+    compactions_run: AtomicU64,
+    slots_reclaimed: AtomicU64,
     batches_published: AtomicU64,
     apply_total_nanos: AtomicU64,
     last_refresh_nanos: AtomicU64,
@@ -121,6 +127,14 @@ impl Metrics {
             .fetch_add(retractions as u64, Ordering::Relaxed);
     }
 
+    /// Records one slot compaction and the id slots (vertex + edge,
+    /// live + dead capacity before minus after) it reclaimed.
+    pub fn record_compaction(&self, reclaimed: usize) {
+        self.compactions_run.fetch_add(1, Ordering::Relaxed);
+        self.slots_reclaimed
+            .fetch_add(reclaimed as u64, Ordering::Relaxed);
+    }
+
     /// Records one applied write batch: how many deltas it merged, how
     /// long apply+publish took, and the refresh lag (enqueue of the
     /// oldest delta in the batch → visibility to readers).
@@ -150,6 +164,8 @@ impl Metrics {
             deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
             deltas_backpressured: self.deltas_backpressured.load(Ordering::Relaxed),
             retractions_applied: self.retractions_applied.load(Ordering::Relaxed),
+            compactions_run: self.compactions_run.load(Ordering::Relaxed),
+            slots_reclaimed: self.slots_reclaimed.load(Ordering::Relaxed),
             batches_published: self.batches_published.load(Ordering::Relaxed),
             apply_total: Duration::from_nanos(self.apply_total_nanos.load(Ordering::Relaxed)),
             last_refresh: Duration::from_nanos(self.last_refresh_nanos.load(Ordering::Relaxed)),
@@ -181,6 +197,11 @@ pub struct MetricsReport {
     pub deltas_backpressured: u64,
     /// Retraction operations (edge or vertex) in applied batches.
     pub retractions_applied: u64,
+    /// Slot compactions run (each publishes its own epoch).
+    pub compactions_run: u64,
+    /// Total id slots (vertex + edge capacity) reclaimed by
+    /// compactions.
+    pub slots_reclaimed: u64,
     /// Write batches published (snapshot epochs minted).
     pub batches_published: u64,
     /// Cumulative apply+publish time across all batches — the total
@@ -243,6 +264,11 @@ impl fmt::Display for MetricsReport {
             self.deltas_backpressured
         )?;
         writeln!(f, "retractions        {} applied", self.retractions_applied)?;
+        writeln!(
+            f,
+            "compaction         {} runs, {} slots reclaimed",
+            self.compactions_run, self.slots_reclaimed
+        )?;
         write!(
             f,
             "refresh            last {:?} (total {:?}, lag {:?}, max lag {:?})",
@@ -268,6 +294,31 @@ mod tests {
         assert!(p50 >= Duration::from_micros(100) && p50 <= Duration::from_micros(200));
         assert!(h.quantile(1.0) >= Duration::from_micros(1000));
         assert_eq!(LatencyHistogram::default().quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_quantiles() {
+        // regression: an idle run must print a p99 of zero, not the
+        // `u64::MAX`-nanoseconds sentinel (~584 years)
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Duration::ZERO, "q={q}");
+        }
+        let idle = Metrics::new().report();
+        assert_eq!(idle.p50, Duration::ZERO);
+        assert_eq!(idle.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn compaction_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_compaction(120);
+        m.record_compaction(40);
+        let r = m.report();
+        assert_eq!(r.compactions_run, 2);
+        assert_eq!(r.slots_reclaimed, 160);
+        assert!(r.to_string().contains("compaction"));
     }
 
     #[test]

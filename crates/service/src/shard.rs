@@ -66,7 +66,10 @@ use kaskade_core::{
 use kaskade_graph::{GraphStats, VertexId};
 use kaskade_query::{PatternPlan, PatternRows, Query, Table};
 
-use crate::engine::{collect_batch, enqueue_delta, Engine, EngineConfig, Msg, SubmitError};
+use crate::engine::{
+    collect_batch, enqueue_delta, should_compact, slot_capacity, Engine, EngineConfig, Msg,
+    RemapHistory, SubmitError,
+};
 use crate::metrics::{Metrics, MetricsReport};
 use crate::plan_cache::{plan_key, PlanCache};
 use crate::snapshot::EpochSnapshot;
@@ -168,6 +171,14 @@ pub struct ShardedConfig {
     /// graph), because per-query thread spawn/join would otherwise
     /// dominate trivial matches. Set 0 to always scatter.
     pub scatter_min_vertices: usize,
+    /// Dead-slot fraction triggering **coordinated slot compaction**
+    /// (same policy as [`EngineConfig::compact_dead_ratio`], default
+    /// 0.5; `f64::INFINITY` disables). The router evaluates it on the
+    /// global graph, computes one vertex remap, and orders every shard
+    /// to apply that same remap before publishing the compacted global
+    /// epoch — shard-local ids stay equal to global ids throughout,
+    /// and each shard also drops its ghost copies of the dead slots.
+    pub compact_dead_ratio: f64,
 }
 
 impl ShardedConfig {
@@ -178,6 +189,7 @@ impl ShardedConfig {
             max_batch: 64,
             queue_capacity: 1024,
             scatter_min_vertices: 512,
+            compact_dead_ratio: 0.5,
         }
     }
 }
@@ -388,11 +400,32 @@ impl ShardedEngine {
                         // fed only by the router, which flushes every
                         // batch — a handful of slots is plenty
                         queue_capacity: 16,
+                        // shards never compact on their own: the
+                        // router coordinates one global remap so
+                        // shard-local ids stay equal to global ids
+                        compact_dead_ratio: f64::INFINITY,
                     },
                 )
             })
             .collect();
         let shard_states: Vec<Arc<EpochSnapshot>> = shards.iter().map(|e| e.snapshot()).collect();
+        // the router's authoritative ownership table, one entry per
+        // vertex slot. Ownership is assigned by the partitioner when a
+        // slot is created and NEVER recomputed afterwards: slot
+        // compaction renumbers ids, and re-hashing a renumbered id
+        // would silently disagree with where the vertex's edges
+        // physically live (its ghost marks on the shards). The table
+        // is compacted through the very same remaps instead, so it
+        // always matches the shard ghost flags slot for slot.
+        let owners: Vec<u32> = {
+            let g = state.graph();
+            (0..g.vertex_slots())
+                .map(|i| {
+                    let v = VertexId(i as u32);
+                    partitioner.shard_of(v, g.vertex_type(v)) as u32
+                })
+                .collect()
+        };
         let shared = Arc::new(ShardedShared {
             cell: Arc::new(ShardedCell::new(ShardedSnapshot {
                 epoch: 0,
@@ -409,9 +442,10 @@ impl ShardedEngine {
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let router_shared = Arc::clone(&shared);
         let max_batch = config.max_batch.max(1);
+        let compact_dead_ratio = config.compact_dead_ratio;
         let router = std::thread::Builder::new()
             .name("kaskade-router".into())
-            .spawn(move || router_loop(router_shared, rx, max_batch))
+            .spawn(move || router_loop(router_shared, rx, max_batch, compact_dead_ratio, owners))
             .expect("spawn router worker");
         ShardedEngine {
             shared,
@@ -442,11 +476,28 @@ impl ShardedEngine {
 
     /// Queues a delta for the router. Semantics match
     /// [`Engine::submit`]: self-referential validity is checked here,
-    /// references to the base graph at apply time by the router, and a
+    /// references to the base graph at apply time by the router, a
     /// full queue returns [`SubmitError::Backpressure`] with nothing
-    /// enqueued.
+    /// enqueued, and existing-vertex ids are taken to be in the
+    /// currently published epoch's id space (use
+    /// [`ShardedEngine::submit_at`] for ids resolved from an earlier
+    /// snapshot).
     pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
-        enqueue_delta(&self.tx, &self.shared.queued, &self.shared.metrics, delta)
+        self.submit_at(delta, self.shared.cell.epoch())
+    }
+
+    /// [`ShardedEngine::submit`] for a delta whose existing-vertex ids
+    /// were resolved against the global snapshot published at
+    /// `based_on`; the router rebases it through any coordinated slot
+    /// compactions published since (see [`Engine::submit_at`]).
+    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+        enqueue_delta(
+            &self.tx,
+            &self.shared.queued,
+            &self.shared.metrics,
+            delta,
+            based_on,
+        )
     }
 
     /// Waits until every previously submitted delta is applied on
@@ -592,11 +643,23 @@ fn execute_at(
 /// is accepted or rejected here iff the unsharded engine would make
 /// the same call), then fans each batch out to the shard engines and
 /// publishes the next global epoch once every shard has applied it.
-fn router_loop(shared: Arc<ShardedShared>, rx: mpsc::Receiver<Msg>, max_batch: usize) {
+/// After each publish the router evaluates the slot-compaction policy
+/// on the global graph; when it fires, one remap fans out to every
+/// shard (keeping shard-local ids equal to global ids) before the
+/// compacted global epoch publishes — the same epoch fence as the
+/// single engine, coordinated.
+fn router_loop(
+    shared: Arc<ShardedShared>,
+    rx: mpsc::Receiver<Msg>,
+    max_batch: usize,
+    mut compact_dead_ratio: f64,
+    mut owners: Vec<u32>,
+) {
     let mut state = shared.cell.load().state.clone();
+    let mut remaps = RemapHistory::new();
     let mut open = true;
     while open {
-        let batch = collect_batch(&rx, state.graph(), max_batch);
+        let batch = collect_batch(&rx, state.graph(), max_batch, &remaps);
         open = batch.open;
         if batch.rejected > 0 {
             shared.metrics.record_rejected(batch.rejected);
@@ -604,10 +667,29 @@ fn router_loop(shared: Arc<ShardedShared>, rx: mpsc::Receiver<Msg>, max_batch: u
         if batch.batched > 0 {
             let retractions = batch.delta.del_edges.len() + batch.delta.del_vertices.len();
             let apply_start = Instant::now();
+            // owners of the vertices this batch inserts, assigned by
+            // the partitioner at their predicted global ids — pushed
+            // onto the table only if the batch lands
+            let slots = state.graph().vertex_slots();
+            let new_owners: Vec<u32> = batch
+                .delta
+                .vertices
+                .iter()
+                .enumerate()
+                .map(|(i, nv)| {
+                    shared
+                        .partitioner
+                        .shard_of(VertexId((slots + i) as u32), &nv.vtype)
+                        as u32
+                })
+                .collect();
             // a failed fan-out (only possible mid-shutdown) must NOT
             // publish: a global epoch promises every shard applied it
-            if let Some((next, shard_states)) = advance(&shared, &state, &batch.delta) {
+            if let Some((next, shard_states)) =
+                advance(&shared, &state, &batch.delta, &owners, &new_owners)
+            {
                 state = next;
+                owners.extend(new_owners);
                 let epoch = shared.cell.epoch() + 1;
                 shared.cell.publish(ShardedSnapshot {
                     epoch,
@@ -622,6 +704,58 @@ fn router_loop(shared: Arc<ShardedShared>, rx: mpsc::Receiver<Msg>, max_batch: u
                 if retractions > 0 {
                     shared.metrics.record_retractions(retractions);
                 }
+            }
+        }
+        if should_compact(state.graph(), compact_dead_ratio) {
+            let before = slot_capacity(state.graph());
+            let (next, remap) = state.compact();
+            let remap = Arc::new(remap);
+            // every shard applies the identical vertex remap, so
+            // shard-local ids stay equal to global ids and each shard
+            // drops its ghost copies of the dead slots; the global
+            // epoch publishes only after all shards confirmed
+            let fanned_out = shared
+                .shards
+                .iter()
+                .all(|shard| shard.submit_compact(Arc::clone(&remap)));
+            if fanned_out {
+                let shard_states: Vec<Arc<EpochSnapshot>> = shared
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        shard.flush();
+                        shard.snapshot()
+                    })
+                    .collect();
+                state = next;
+                // the ownership table compacts through the same remap
+                owners = owners
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| remap.vertex(VertexId(i as u32)).is_some())
+                    .map(|(_, &o)| o)
+                    .collect();
+                let epoch = shared.cell.epoch() + 1;
+                shared.cell.publish(ShardedSnapshot {
+                    epoch,
+                    state: state.clone(),
+                    shard_states,
+                });
+                shared.cache.promote(epoch);
+                shared
+                    .metrics
+                    .record_compaction(before - slot_capacity(state.graph()));
+                remaps.record(epoch, remap);
+            } else {
+                // a shard refused the remap (its writer is gone —
+                // shutdown or a dead worker). Some shards may already
+                // have compacted, so retrying with a remap computed
+                // from the still-uncompacted router state would panic
+                // their writers on a slot-count mismatch: stop
+                // compacting for the rest of this engine's life. Batch
+                // publishes already stop on their own (`advance`
+                // returns `None` once any shard is unreachable).
+                compact_dead_ratio = f64::INFINITY;
             }
         }
         if batch.batched + batch.rejected > 0 {
@@ -647,23 +781,32 @@ fn advance(
     shared: &ShardedShared,
     state: &Snapshot,
     batch: &GraphDelta,
+    owners: &[u32],
+    new_owners: &[u32],
 ) -> Option<(Snapshot, Vec<Arc<EpochSnapshot>>)> {
     let partitioner = &*shared.partitioner;
     let n = shared.shards.len();
     let g = state.graph();
     let slots = g.vertex_slots();
+    debug_assert_eq!(owners.len(), slots, "ownership table tracks every slot");
+    debug_assert_eq!(new_owners.len(), batch.vertices.len());
+    // ownership comes from the router's tables, never from re-hashing
+    // the id: compaction renumbers ids, and an edge must keep routing
+    // to the shard that actually stores its source (the slot's owner
+    // of record, assigned once at insert time). `new_owners` — the
+    // entries the caller will append to the table when this batch
+    // lands — is the single source of truth for the batch's own
+    // inserts, so routing and the table cannot drift apart.
     let owner_existing = |v: VertexId| {
-        let vtype = if v.index() < slots {
-            g.vertex_type(v)
+        if v.index() < slots {
+            owners[v.index()] as usize
         } else {
             // a reference to a vertex this very batch inserts, by its
             // predicted global id
-            &batch.vertices[v.index() - slots].vtype
-        };
-        partitioner.shard_of(v, vtype)
+            new_owners[v.index() - slots] as usize
+        }
     };
-    let owner_new =
-        |i: usize| partitioner.shard_of(VertexId((slots + i) as u32), &batch.vertices[i].vtype);
+    let owner_new = |i: usize| new_owners[i] as usize;
 
     // 1. fan the batch out; shard workers start applying immediately
     for (s, sub) in batch
@@ -941,6 +1084,7 @@ mod tests {
                 max_batch: 8,
                 queue_capacity: 64,
                 scatter_min_vertices: 0,
+                ..ShardedConfig::hash(3)
             },
         );
         let query = parse(LISTING_1).unwrap();
@@ -957,6 +1101,72 @@ mod tests {
             sharded.execute(&query).unwrap()
         );
         assert!(sharded.snapshot().is_coherent());
+    }
+
+    #[test]
+    fn coordinated_compaction_keeps_shards_aligned_and_coherent() {
+        // a chain graph churned with delete-then-reinsert turnover:
+        // the router must compact the global graph AND every shard
+        // with one shared remap, keeping shard slots equal to global
+        // slots and scatter/gather reads correct throughout
+        let mut b = GraphBuilder::new();
+        let vs: Vec<VertexId> = (0..24).map(|_| b.add_vertex("Job")).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], "SPAWNS");
+        }
+        let g = b.finish();
+        let live = g.vertex_count() + g.edge_count();
+        let engine = ShardedEngine::with_config(
+            Snapshot::new(g, Schema::provenance()),
+            ShardedConfig {
+                scatter_min_vertices: 0,
+                ..ShardedConfig::hash(3)
+            },
+        );
+        let q =
+            parse("SELECT COUNT(*) FROM (MATCH (a:Job)-[:SPAWNS]->(b:Job) RETURN a AS A, b AS B)")
+                .unwrap();
+        let expected = engine.execute(&q).unwrap();
+        for round in 0..160u64 {
+            let snap = engine.snapshot();
+            let g = snap.state.graph();
+            let e = g.edges().next().unwrap();
+            let (s, d) = (g.edge_src(e), g.edge_dst(e));
+            let mut delta = GraphDelta::new();
+            delta.del_edge(VRef::Existing(s), VRef::Existing(d), "SPAWNS");
+            delta.add_edge(
+                VRef::Existing(s),
+                VRef::Existing(d),
+                "SPAWNS",
+                vec![("ts".into(), Value::Int(round as i64))],
+            );
+            engine.submit_at(delta, snap.epoch).unwrap();
+            engine.flush();
+        }
+        let report = engine.metrics();
+        assert!(report.global.compactions_run >= 1, "{report:?}");
+        assert!(report.global.slots_reclaimed > 0);
+        assert_eq!(report.global.deltas_rejected, 0, "{report:?}");
+        // every shard compacted with the router (one compaction each)
+        for (i, shard) in report.per_shard.iter().enumerate() {
+            assert_eq!(
+                shard.compactions_run, report.global.compactions_run,
+                "shard {i} out of step: {report:?}"
+            );
+        }
+        let snap = engine.snapshot();
+        assert!(snap.is_coherent());
+        let g = snap.state.graph();
+        assert_eq!(g.vertex_count() + g.edge_count(), live);
+        let capacity = g.vertex_slots() + g.edge_slots();
+        assert!(capacity <= 2 * live, "capacity {capacity} vs live {live}");
+        // shard slots stayed aligned with the global graph's
+        for state in &snap.shard_states {
+            assert_eq!(state.state.graph().vertex_slots(), g.vertex_slots());
+        }
+        // scatter/gather answers are unchanged by the renumbering
+        assert_eq!(engine.execute(&q).unwrap(), expected);
+        assert!(crate::drive::snapshot_is_consistent(&snap.state));
     }
 
     #[test]

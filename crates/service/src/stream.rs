@@ -9,9 +9,10 @@
 //!
 //! - **Append** ([`scripted_delta`]): one new vertex plus one edge per
 //!   step — the paper's insert-only growth regime.
-//! - **Churn** ([`churn_delta`]): appends interleaved with edge
-//!   retractions and occasional vertex retractions, exercising the
-//!   provenance-counted deletion path end to end.
+//! - **Churn** ([`churn_delta`]): appends interleaved 1:1 with edge
+//!   and cascading vertex retractions — roughly constant live size,
+//!   unbounded id-slot turnover — exercising the provenance-counted
+//!   deletion path and the engine's slot compaction end to end.
 //! - **HotKey** ([`hot_key_delta`]): appends skewed onto one hot source
 //!   vertex (~90% of steps), stressing a single neighborhood's
 //!   incremental refresh.
@@ -123,17 +124,22 @@ pub fn scripted_delta(state: &Snapshot, step: u64) -> Option<GraphDelta> {
     Some(delta)
 }
 
-/// Churn: most steps append like [`scripted_delta`], but every 4th step
-/// retracts an existing edge (by identity) and every 16th retracts a
-/// whole vertex, incident edges and all. Retractions are suppressed
-/// while the graph is small so the stream never drains its own base.
+/// Churn: appends alternate with retractions — every other step
+/// retracts an existing edge (by identity), every 4th a whole vertex,
+/// incident edges and all — so past the warm-up floor the live size
+/// stays roughly constant while id-slot **turnover** grows without
+/// bound. That steady-state regime is exactly what the serving
+/// runtime's slot compaction exists for: a long-lived churn engine
+/// holds its memory at ~live size instead of accumulating a tombstone
+/// per retired slot forever. Retractions are suppressed while the
+/// graph is small so the stream never drains its own base.
 pub fn churn_delta(state: &Snapshot, step: u64) -> Option<GraphDelta> {
     let g = state.graph();
-    if step % 4 == 3 && g.edge_count() > 64 {
+    if step % 2 == 1 && g.edge_count() > 64 {
         let edges: Vec<_> = g.edges().take(1024).collect();
         let e = edges[(mix(step ^ 0xDE1E) % edges.len() as u64) as usize];
         let mut delta = GraphDelta::new();
-        if step % 16 == 15 && g.vertex_count() > 64 {
+        if step % 4 == 3 && g.vertex_count() > 64 {
             // vertex retraction: the edge's destination, cascading
             delta.del_vertex(g.edge_dst(e));
         } else {

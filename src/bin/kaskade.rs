@@ -17,6 +17,10 @@
 //!   --write-every-ms N  delta cadence; 0 = no writer (default 2)
 //!   --workload W    append | churn | hotkey | burst (default append)
 //!   --shards N      partition the graph over N engines (default 1)
+//!   --compact-ratio F   dead-slot fraction triggering slot compaction
+//!                       (default 0.5)
+//!   --expect-compaction fail unless the run compacted and ended with
+//!                       slot capacity bounded (the long-churn CI gate)
 //!   --smoke         short self-checking run for CI (implies --views)
 //! ```
 //!
@@ -44,7 +48,9 @@ use std::time::{Duration, Instant};
 use kaskade::core::{Kaskade, SelectionConfig};
 use kaskade::datasets::Dataset;
 use kaskade::query::{listings, parse, Query, Table};
-use kaskade::service::{drive, DriveConfig, DriveOutcome, Engine, ShardedEngine, Workload};
+use kaskade::service::{
+    drive, DriveConfig, DriveOutcome, Engine, EngineConfig, ShardedConfig, ShardedEngine, Workload,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -52,7 +58,7 @@ fn usage() -> ExitCode {
          [--seed N] [--threads N] <query|@listing1|@listing4>\n       \
          kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] [--seed N] \
          [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] [--shards N] \
-         [--smoke] [query ...]"
+         [--compact-ratio F] [--expect-compaction] [--smoke] [query ...]"
     );
     ExitCode::from(2)
 }
@@ -67,6 +73,8 @@ struct CommonArgs {
     write_every_ms: u64,
     workload: Workload,
     shards: usize,
+    compact_ratio: f64,
+    expect_compaction: bool,
     smoke: bool,
     queries: Vec<String>,
 }
@@ -81,6 +89,8 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         write_every_ms: 2,
         workload: Workload::Append,
         shards: 1,
+        compact_ratio: EngineConfig::default().compact_dead_ratio,
+        expect_compaction: false,
         smoke: false,
         queries: Vec::new(),
     };
@@ -96,6 +106,10 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             "--write-every-ms" => c.write_every_ms = args.next()?.parse().ok()?,
             "--workload" => c.workload = Workload::parse(&args.next()?)?,
             "--shards" => c.shards = args.next()?.parse().ok()?,
+            "--compact-ratio" => {
+                c.compact_ratio = args.next()?.parse().ok().filter(|&r: &f64| r > 0.0)?
+            }
+            "--expect-compaction" => c.expect_compaction = true,
             "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
             "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
             other if other.starts_with("--") => return None,
@@ -267,8 +281,8 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         select_views(&mut kaskade, &workload);
     }
 
-    let threads = c.threads.unwrap_or(4).max(1);
-    let shards = c.shards.max(1);
+    let threads = c.threads.unwrap_or(4);
+    let shards = c.shards;
     let cfg = DriveConfig {
         readers: threads,
         duration: Duration::from_millis(c.duration_ms),
@@ -288,15 +302,43 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         c.write_every_ms,
         c.duration_ms
     );
-    let (outcome, shard_lines): (DriveOutcome, Option<String>) = if shards > 1 {
-        let engine = ShardedEngine::from_kaskade(&kaskade, shards);
-        let outcome = drive(&engine, &workload, &cfg);
-        let lines = engine.metrics().per_shard_lines();
-        (outcome, Some(lines))
-    } else {
-        let engine = Engine::from_kaskade(&kaskade);
-        (drive(&engine, &workload, &cfg), None)
-    };
+    // (capacity, live): final id-slot capacity vs live element count —
+    // the numbers the compaction policy bounds
+    let (outcome, shard_lines, slots): (DriveOutcome, Option<String>, (usize, usize)) =
+        if shards > 1 {
+            let engine = ShardedEngine::with_config(
+                kaskade.snapshot(),
+                ShardedConfig {
+                    compact_dead_ratio: c.compact_ratio,
+                    ..ShardedConfig::hash(shards)
+                },
+            );
+            let outcome = drive(&engine, &workload, &cfg);
+            let lines = engine.metrics().per_shard_lines();
+            let snap = engine.snapshot();
+            let g = snap.state.graph();
+            let slots = (
+                g.vertex_slots() + g.edge_slots(),
+                g.vertex_count() + g.edge_count(),
+            );
+            (outcome, Some(lines), slots)
+        } else {
+            let engine = Engine::with_config(
+                kaskade.snapshot(),
+                EngineConfig {
+                    compact_dead_ratio: c.compact_ratio,
+                    ..EngineConfig::default()
+                },
+            );
+            let outcome = drive(&engine, &workload, &cfg);
+            let snap = engine.snapshot();
+            let g = snap.state.graph();
+            let slots = (
+                g.vertex_slots() + g.edge_slots(),
+                g.vertex_count() + g.edge_count(),
+            );
+            (outcome, None, slots)
+        };
     println!(
         "reads              {} ok / {} errors ({:.0} reads/s)",
         outcome.reads,
@@ -308,6 +350,8 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         outcome.writes, outcome.writes_backpressured
     );
     println!("{}", outcome.report);
+    let (capacity, live) = slots;
+    println!("id slots           {capacity} capacity / {live} live");
     if let Some(lines) = shard_lines {
         print!("{lines}");
     }
@@ -315,6 +359,24 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
     if !outcome.final_consistent {
         eprintln!("CONSISTENCY FAILED: final snapshot diverges from a from-scratch rebuild");
         return ExitCode::FAILURE;
+    }
+    if c.expect_compaction {
+        // the long-churn CI gate: the run must have crossed the
+        // compaction threshold, reclaimed slots, and ended with slot
+        // capacity bounded relative to the live size (small slack for
+        // the batches published since the last compaction check)
+        let bounded = capacity <= 2 * live + 256;
+        if outcome.report.compactions_run == 0 || outcome.report.slots_reclaimed == 0 || !bounded {
+            eprintln!(
+                "compaction check FAILED: compactions={} reclaimed={} capacity={} live={}",
+                outcome.report.compactions_run, outcome.report.slots_reclaimed, capacity, live
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "compaction check passed ({} runs reclaimed {} slots; capacity {capacity} <= 2x live {live} + slack)",
+            outcome.report.compactions_run, outcome.report.slots_reclaimed
+        );
     }
     if c.smoke {
         let healthy = outcome.reads > 0
@@ -353,6 +415,17 @@ fn main() -> ExitCode {
     let Some(common) = parse_common(args) else {
         return usage();
     };
+    // zero readers or zero shards is neither an error the engine can
+    // recover from nor a sensible degenerate mode: refuse cleanly
+    // instead of panicking or silently clamping
+    if common.threads == Some(0) {
+        eprintln!("--threads must be at least 1");
+        return ExitCode::from(2);
+    }
+    if common.shards == 0 {
+        eprintln!("--shards must be at least 1");
+        return ExitCode::from(2);
+    }
     match command.as_str() {
         "query" => cmd_query(dataset, common),
         "serve" => cmd_serve(dataset, common),

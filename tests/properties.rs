@@ -7,12 +7,12 @@ use proptest::prelude::*;
 
 use kaskade::core::{
     cost::connector_size_estimate, knapsack, materialize_connector, rewrite_over_connector,
-    ConnectorDef, GraphDelta, Kaskade, KnapsackItem, VRef, ViewDef,
+    ConnectorDef, GraphDelta, Kaskade, KnapsackItem, Snapshot, VRef, ViewDef,
 };
-use kaskade::graph::{Graph, GraphBuilder, GraphStats, Schema, Value};
+use kaskade::graph::{Graph, GraphBuilder, GraphStats, IdRemap, Schema, Value};
 use kaskade::prolog::{parse_program, Term};
-use kaskade::query::{execute, parse, Table};
-use kaskade::service::{Engine, ShardedEngine};
+use kaskade::query::{execute, parse, Datum, Table};
+use kaskade::service::{Engine, EngineConfig, ShardedConfig, ShardedEngine};
 
 /// Strategy: a random layered job/file lineage DAG described as
 /// (writes per job, reads wiring), with CPU properties.
@@ -58,6 +58,104 @@ fn lineage_graph(max_jobs: usize) -> impl Strategy<Value = Graph> {
 
 fn normalized(t: &Table) -> Vec<String> {
     let mut rows: Vec<String> = t.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// One random churn operation in the id space of `graph`: append (0),
+/// edge retraction (1), cascading vertex retraction (2), or
+/// delete-then-reinsert of one edge identity (3). The shared generator
+/// of the compaction differential harnesses.
+fn churn_op(graph: &Graph, op: u8, seed: u64) -> GraphDelta {
+    let pick = |n: usize| (seed as usize) % n.max(1);
+    let mut d = GraphDelta::new();
+    match op {
+        0 => {
+            let files: Vec<_> = graph.vertices_of_type("File").collect();
+            let j = d.add_vertex("Job", vec![("CPU".into(), Value::Int(3))]);
+            if let Some(&f) = files.get(pick(files.len())) {
+                d.add_edge(
+                    VRef::Existing(f),
+                    j,
+                    "IS_READ_BY",
+                    vec![("ts".into(), Value::Int(seed as i64 & 0xFF))],
+                );
+            }
+        }
+        1 => {
+            let edges: Vec<_> = graph.edges().collect();
+            if let Some(&e) = edges.get(pick(edges.len())) {
+                d.del_edge(
+                    VRef::Existing(graph.edge_src(e)),
+                    VRef::Existing(graph.edge_dst(e)),
+                    graph.edge_type(e),
+                );
+            }
+        }
+        2 => {
+            let vertices: Vec<_> = graph.vertices().collect();
+            if let Some(&v) = vertices.get(pick(vertices.len())) {
+                d.del_vertex(v);
+            }
+        }
+        _ => {
+            let edges: Vec<_> = graph.edges().collect();
+            if let Some(&e) = edges.get(pick(edges.len())) {
+                let (s, t) = (graph.edge_src(e), graph.edge_dst(e));
+                let ty = graph.edge_type(e).to_string();
+                d.del_edge(VRef::Existing(s), VRef::Existing(t), &ty);
+                d.add_edge(
+                    VRef::Existing(s),
+                    VRef::Existing(t),
+                    &ty,
+                    vec![("ts".into(), Value::Int(seed as i64 & 0xFF))],
+                );
+            }
+        }
+    }
+    d
+}
+
+/// Canonical `(vertex count, sorted edges-with-provenance)` picture of
+/// a view graph. View-local ids are positional over the live base
+/// vertices, so compaction must leave them byte-identical.
+type ViewPrint = (usize, Vec<(u32, u32, Option<i64>, Option<i64>)>);
+fn view_fp(g: &Graph) -> ViewPrint {
+    let mut v: Vec<_> = g
+        .edges()
+        .map(|e| {
+            (
+                g.edge_src(e).0,
+                g.edge_dst(e).0,
+                g.edge_prop(e, "ts").and_then(|p| p.as_int()),
+                g.edge_prop(e, "support").and_then(|p| p.as_int()),
+            )
+        })
+        .collect();
+    v.sort();
+    (g.vertex_count(), v)
+}
+
+/// Sorted rows with every `Datum::Vertex` translated through `remap` —
+/// how the uncompacted oracle's answers are compared against the
+/// compacted engine's.
+fn rows_remapped(t: &Table, remap: &IdRemap) -> Vec<String> {
+    let mut rows: Vec<String> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mapped: Vec<Datum> = r
+                .iter()
+                .map(|d| match d {
+                    Datum::Vertex(v) => {
+                        Datum::Vertex(remap.vertex(*v).expect("live result vertex survives"))
+                    }
+                    other => other.clone(),
+                })
+                .collect();
+            format!("{mapped:?}")
+        })
+        .collect();
     rows.sort();
     rows
 }
@@ -471,6 +569,192 @@ proptest! {
             sharded_snap.state.stats(),
             &GraphStats::compute(sharded_snap.state.graph())
         );
+    }
+
+    /// THE compaction acceptance property (unsharded half): for any
+    /// insert/delete sequence, compacting and then replaying deltas
+    /// that were built in the *pre-compaction* id space (rebased with
+    /// `GraphDelta::remap`, exactly like the engine rebases queued
+    /// deltas behind its epoch fence) yields query results, maintained
+    /// views, and statistics identical to never compacting at all —
+    /// aggregates byte-for-byte, vertex bindings modulo the remap.
+    #[test]
+    fn compact_then_replay_matches_uncompacted(
+        g in lineage_graph(14),
+        pre in proptest::collection::vec((0u8..4, any::<u64>()), 1..8),
+        post in proptest::collection::vec((0u8..4, any::<u64>()), 1..8),
+    ) {
+        let mut k = Kaskade::new(g, Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let mut uncompacted: Snapshot = k.snapshot();
+        // phase 1: random churn accumulates tombstones
+        for (op, seed) in pre {
+            let d = churn_op(uncompacted.graph(), op, seed);
+            if !d.is_empty() {
+                uncompacted = uncompacted.with_delta(&d);
+            }
+        }
+
+        let (mut compacted, remap) = uncompacted.compact();
+        prop_assert_eq!(remap.reclaimed(),
+                        uncompacted.graph().vertex_slots() - compacted.graph().vertex_slots());
+        // GraphStats stay exactly equal under compaction
+        prop_assert_eq!(compacted.stats(), uncompacted.stats());
+        prop_assert_eq!(compacted.stats(), &GraphStats::compute(compacted.graph()));
+        // carried-over views are byte-identical (positional ids)
+        for view in uncompacted.catalog().iter() {
+            let other = compacted.catalog().get(&view.def.id()).unwrap();
+            prop_assert_eq!(view_fp(&view.graph), view_fp(&other.graph));
+        }
+
+        // phase 2: replay deltas built against the UNCOMPACTED state —
+        // the "queued before the fence" scenario — rebased via remap
+        let count_q = parse(
+            "SELECT COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) \
+             (f:File)-[:IS_READ_BY]->(b:Job) RETURN a AS A, b AS B)").unwrap();
+        let group_q = parse(
+            "SELECT A.name, COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) \
+             RETURN a AS A, f AS F) GROUP BY A.name").unwrap();
+        let vertex_q = parse("MATCH (x:File)-[r*0..4]->(y:File) RETURN x, y").unwrap();
+        for (op, seed) in post {
+            let d = churn_op(uncompacted.graph(), op, seed);
+            if d.is_empty() {
+                continue;
+            }
+            let mut rebased = d.clone();
+            rebased.remap(&remap);
+            uncompacted = uncompacted.with_delta(&d);
+            compacted = compacted.with_delta(&rebased);
+
+            prop_assert_eq!(compacted.stats(), uncompacted.stats());
+            prop_assert_eq!(compacted.stats(), &GraphStats::compute(compacted.graph()));
+            for view in uncompacted.catalog().iter() {
+                let other = compacted.catalog().get(&view.def.id()).unwrap();
+                prop_assert_eq!(view_fp(&view.graph), view_fp(&other.graph));
+            }
+            // aggregate and projection answers are byte-identical
+            prop_assert_eq!(
+                normalized(&uncompacted.execute(&count_q).unwrap()),
+                normalized(&compacted.execute(&count_q).unwrap())
+            );
+            prop_assert_eq!(
+                normalized(&uncompacted.execute(&group_q).unwrap()),
+                normalized(&compacted.execute(&group_q).unwrap())
+            );
+            // vertex bindings agree modulo the id renumbering
+            prop_assert_eq!(
+                rows_remapped(&execute(uncompacted.graph(), &vertex_q).unwrap(), &remap),
+                normalized(&execute(compacted.graph(), &vertex_q).unwrap())
+            );
+        }
+    }
+
+    /// THE compaction acceptance property (sharded half): under
+    /// delete/reinsert turnover aggressive enough to force several
+    /// compactions, a compacting `ShardedEngine` (shard counts {1, 4},
+    /// coordinated per-shard ghost compaction) stays byte-identical to
+    /// the compacting single `Engine` — query results including vertex
+    /// ids and row order, maintained views, merged statistics — and
+    /// both pass the absolute from-scratch oracle after every flush
+    /// window.
+    #[test]
+    fn compacting_engines_stay_observationally_identical(
+        g in lineage_graph(12),
+        ops in proptest::collection::vec((0u8..4, any::<u64>()), 1..8),
+        shard_sel in 0usize..2,
+    ) {
+        let shards = [1usize, 4][shard_sel];
+        let mut k = Kaskade::new(g, Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        let single = Engine::with_config(
+            k.snapshot(),
+            EngineConfig { compact_dead_ratio: 0.05, ..EngineConfig::default() },
+        );
+        let sharded = ShardedEngine::with_config(
+            k.snapshot(),
+            ShardedConfig {
+                scatter_min_vertices: 0, // always exercise scatter/gather
+                compact_dead_ratio: 0.05,
+                ..ShardedConfig::hash(shards)
+            },
+        );
+
+        // scripted turnover: delete-then-reinsert one edge identity per
+        // round at constant live size — the dead-slot accumulation that
+        // guarantees both engines cross the compaction threshold
+        for round in 0..30u64 {
+            let snap = single.snapshot();
+            let graph = snap.state.graph();
+            let Some(e) = graph.edges().next() else { break };
+            let (s, t) = (graph.edge_src(e), graph.edge_dst(e));
+            let ty = graph.edge_type(e).to_string();
+            let mut d = GraphDelta::new();
+            d.del_edge(VRef::Existing(s), VRef::Existing(t), &ty);
+            d.add_edge(VRef::Existing(s), VRef::Existing(t), &ty,
+                       vec![("ts".into(), Value::Int(round as i64))]);
+            single.submit_at(d.clone(), snap.epoch).unwrap();
+            sharded.submit(d).unwrap();
+            single.flush();
+            sharded.flush();
+        }
+        // plus random churn on top, derived from the live id space
+        for (op, seed) in ops {
+            let snap = single.snapshot();
+            let d = churn_op(snap.state.graph(), op, seed);
+            if d.is_empty() {
+                continue;
+            }
+            single.submit_at(d.clone(), snap.epoch).unwrap();
+            sharded.submit(d).unwrap();
+            single.flush();
+            sharded.flush();
+        }
+
+        // the turnover actually forced the fence, identically
+        let single_report = single.metrics();
+        let sharded_report = sharded.metrics();
+        prop_assert!(single_report.compactions_run >= 1, "{:?}", single_report);
+        prop_assert_eq!(
+            single_report.compactions_run,
+            sharded_report.global.compactions_run,
+            "engines compacted at different points"
+        );
+        prop_assert!(single_report.slots_reclaimed > 0);
+
+        let single_snap = single.snapshot();
+        let sharded_snap = sharded.snapshot();
+        prop_assert!(sharded_snap.is_coherent(), "torn sharded snapshot");
+        prop_assert!(kaskade::service::snapshot_is_consistent(&single_snap.state));
+        prop_assert!(kaskade::service::snapshot_is_consistent(&sharded_snap.state));
+
+        // byte-identical queries (vertex ids and row order included)
+        for q in [
+            "SELECT COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) \
+             (f:File)-[:IS_READ_BY]->(b:Job) RETURN a AS A, b AS B)",
+            "MATCH (x:File)-[r*0..4]->(y:File) RETURN x, y",
+            "SELECT A.name, COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) \
+             RETURN a AS A, f AS F) GROUP BY A.name",
+        ] {
+            let query = parse(q).unwrap();
+            prop_assert_eq!(
+                single.execute(&query).unwrap(),
+                sharded.execute(&query).unwrap(),
+                "query diverged over {} shards after compaction: {}", shards, q
+            );
+        }
+        // views and stats
+        for view in single_snap.state.catalog().iter() {
+            let other = sharded_snap.state.catalog().get(&view.def.id())
+                .expect("view present on the sharded engine");
+            prop_assert_eq!(view_fp(&view.graph), view_fp(&other.graph));
+        }
+        prop_assert_eq!(single_snap.state.stats(), sharded_snap.state.stats());
+        // the leak is actually fixed: capacity bounded relative to live
+        let g = single_snap.state.graph();
+        let live = g.vertex_count() + g.edge_count();
+        let capacity = g.vertex_slots() + g.edge_slots();
+        prop_assert!(capacity <= 2 * live + 64,
+                     "capacity {} not bounded vs live {}", capacity, live);
     }
 
     /// Variable-length reachability is monotone in the hop bound.

@@ -307,6 +307,7 @@ fn backpressure_surfaces_and_counter_matches() {
         EngineConfig {
             max_batch: 1,
             queue_capacity: 1,
+            ..EngineConfig::default()
         },
     );
     let mut refused = 0u64;
@@ -345,6 +346,7 @@ fn backpressure_surfaces_and_counter_matches() {
             max_batch: 1,
             queue_capacity: 1,
             scatter_min_vertices: 0,
+            ..ShardedConfig::hash(2)
         },
     );
     let mut refused = 0u64;
@@ -401,6 +403,85 @@ fn drive_sharded_churn_has_zero_violations() {
     assert_eq!(outcome.consistency_violations, 0, "zero torn reads");
     assert!(outcome.final_consistent, "final snapshot passes the oracle");
     assert!(outcome.writes > 0, "the churn writer was active");
+}
+
+/// CLI argument validation: `--shards 0` and `--threads 0` must exit
+/// cleanly with code 2 and a pointed message — not panic and not
+/// silently clamp to a degenerate single-shard/single-thread run.
+#[test]
+fn cli_rejects_zero_shards_and_zero_threads() {
+    let bin = env!("CARGO_BIN_EXE_kaskade");
+    for (args, needle) in [
+        (vec!["serve", "prov", "--shards", "0"], "--shards"),
+        (vec!["serve", "prov", "--threads", "0"], "--threads"),
+        (
+            vec!["query", "prov", "--threads", "0", "@listing1"],
+            "--threads",
+        ),
+    ] {
+        let out = std::process::Command::new(bin)
+            .args(&args)
+            .output()
+            .expect("spawn kaskade CLI");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle) && stderr.contains("at least 1"),
+            "{args:?} stderr lacks a pointed message:\n{stderr}"
+        );
+    }
+}
+
+/// Churn through the shared `drive` harness with an aggressive
+/// compaction policy: slot capacity stays bounded relative to live
+/// size, the final snapshot passes the full oracle, and per-read
+/// verification sees zero violations across the compaction fences.
+#[test]
+fn drive_churn_compacts_without_violations() {
+    let engine = Engine::with_config(
+        tiny_instance(59).snapshot(),
+        EngineConfig {
+            max_batch: 4,
+            compact_dead_ratio: 0.05,
+            ..EngineConfig::default()
+        },
+    );
+    let queries = vec![parse(LISTING_1).unwrap()];
+    let outcome = drive(
+        &engine,
+        &queries,
+        &DriveConfig {
+            readers: 4,
+            duration: Duration::from_millis(600),
+            read_pause: Duration::ZERO,
+            write_pause: Duration::from_millis(1),
+            max_writes: 0,
+            verify_consistency: true,
+            workload: Workload::Churn,
+        },
+    );
+    assert_eq!(outcome.read_errors, 0);
+    assert_eq!(outcome.consistency_violations, 0, "zero torn reads");
+    assert!(outcome.final_consistent, "final snapshot passes the oracle");
+    let report = &outcome.report;
+    assert!(
+        report.compactions_run >= 1,
+        "aggressive policy must compact under churn: {report:?}"
+    );
+    assert!(report.slots_reclaimed > 0);
+    let snap = engine.snapshot();
+    let g = snap.state.graph();
+    let live = g.vertex_count() + g.edge_count();
+    let capacity = g.vertex_slots() + g.edge_slots();
+    assert!(
+        capacity <= 2 * live + 256,
+        "capacity {capacity} not bounded vs live {live}: {report:?}"
+    );
 }
 
 /// Batching applies many queued deltas in one publish; the final state
