@@ -1,14 +1,12 @@
 //! Criterion bench for incremental view maintenance vs full
-//! re-materialization (the insert-only maintenance extension; see
-//! `kaskade-core::maintain`). The paper's provenance workload only ever
-//! appends, so this is the regime that matters operationally.
+//! re-materialization, driven through the [`ViewMaintainer`] refresh
+//! API. The paper's provenance workload only ever appends, so this is
+//! the regime that matters operationally.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use kaskade_core::{
-    apply_delta, maintain_connector, materialize_connector, ConnectorDef, GraphDelta, VRef,
-};
+use kaskade_core::{apply_delta, ConnectorDef, GraphDelta, VRef, ViewDef};
 use kaskade_datasets::{generate_provenance, ProvenanceConfig};
 use kaskade_graph::Value;
 
@@ -21,8 +19,9 @@ fn bench_maintenance(c: &mut Criterion) {
             jobs,
             ..Default::default()
         });
-        let def = ConnectorDef::k_hop("Job", "Job", 2);
-        let view = materialize_connector(&base, &def);
+        let def = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2));
+        let maintainer = def.maintainer();
+        let view = maintainer.materialize(&base);
 
         // one appended job reading two recent files and writing one
         let mut delta = GraphDelta::new();
@@ -38,12 +37,12 @@ fn bench_maintenance(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("incremental", jobs),
             &applied,
-            |b, applied| b.iter(|| black_box(maintain_connector(&view, applied, &def))),
+            |b, applied| b.iter(|| black_box(maintainer.refresh(&view, applied).graph)),
         );
         group.bench_with_input(
             BenchmarkId::new("full_rematerialize", jobs),
             &applied,
-            |b, applied| b.iter(|| black_box(materialize_connector(&applied.graph, &def))),
+            |b, applied| b.iter(|| black_box(maintainer.materialize(&applied.graph))),
         );
     }
     group.finish();

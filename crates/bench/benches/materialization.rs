@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use kaskade_core::{
-    materialize_connector, materialize_summarizer, select_views, ConnectorDef, SelectionConfig,
-    SummarizerDef,
+    materialize, select_views, ConnectorDef, SelectionConfig, SummarizerDef, ViewDef,
 };
 use kaskade_datasets::Dataset;
 use kaskade_graph::GraphStats;
@@ -20,25 +19,25 @@ fn bench_materialization(c: &mut Criterion) {
     let prov = Dataset::Prov.generate(1, 0x5EED);
     group.bench_function("summarizer_prov_keep_job_file", |b| {
         b.iter(|| {
-            black_box(materialize_summarizer(
+            black_box(materialize(
                 &prov,
-                &SummarizerDef::VertexInclusion {
+                &ViewDef::Summarizer(SummarizerDef::VertexInclusion {
                     keep: vec!["Job".into(), "File".into()],
-                },
+                }),
             ))
         })
     });
-    let filtered = materialize_summarizer(
+    let filtered = materialize(
         &prov,
-        &SummarizerDef::VertexInclusion {
+        &ViewDef::Summarizer(SummarizerDef::VertexInclusion {
             keep: vec!["Job".into(), "File".into()],
-        },
+        }),
     );
     group.bench_function("connector_prov_job_to_job_2hop", |b| {
         b.iter(|| {
-            black_box(materialize_connector(
+            black_box(materialize(
                 &filtered,
-                &ConnectorDef::k_hop("Job", "Job", 2),
+                &ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)),
             ))
         })
     });
@@ -51,9 +50,9 @@ fn bench_materialization(c: &mut Criterion) {
             &g,
             |b, g| {
                 b.iter(|| {
-                    black_box(materialize_connector(
+                    black_box(materialize(
                         g,
-                        &ConnectorDef::k_hop(anchor, anchor, 2),
+                        &ViewDef::Connector(ConnectorDef::k_hop(anchor, anchor, 2)),
                     ))
                 })
             },

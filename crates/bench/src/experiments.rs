@@ -12,7 +12,9 @@ use kaskade_core::{
 use kaskade_datasets::Dataset;
 use kaskade_graph::{degree_ccdf, power_law_exponent, GraphStats};
 use kaskade_query::parse;
-use kaskade_service::{drive, DriveConfig, Engine, EngineConfig, ShardedEngine, Workload};
+use kaskade_service::{
+    drive, DriveConfig, Engine, EngineConfig, ShardedEngine, SubmitOpts, Workload,
+};
 
 use crate::setup::{k_hop_pair_count, Env};
 use crate::workload::{run, QueryId};
@@ -481,7 +483,7 @@ pub fn serve_sharded(
                 // and resubmit so both engines ingest every delta
                 use kaskade_service::SubmitError;
                 loop {
-                    match single.submit(d.clone()) {
+                    match single.submit(d.clone(), SubmitOpts::default()) {
                         Ok(()) => break,
                         Err(SubmitError::Backpressure) => {
                             single.flush();
@@ -490,7 +492,7 @@ pub fn serve_sharded(
                     }
                 }
                 loop {
-                    match sharded.submit(d.clone()) {
+                    match sharded.submit(d.clone(), SubmitOpts::default()) {
                         Ok(()) => break,
                         Err(SubmitError::Backpressure) => {
                             sharded.flush();
@@ -589,7 +591,7 @@ pub fn serve_compaction(seed: u64, steps: u64) -> Vec<CompactionRow> {
                     break;
                 };
                 loop {
-                    match engine.submit_at(delta.clone(), snap.epoch) {
+                    match engine.submit(delta.clone(), SubmitOpts::based_on(snap.epoch)) {
                         Ok(()) => {
                             writes += 1;
                             break;
@@ -618,6 +620,98 @@ pub fn serve_compaction(seed: u64, steps: u64) -> Vec<CompactionRow> {
                 slots_reclaimed: report.slots_reclaimed,
                 apply_total: report.apply_total,
                 final_consistent: kaskade_service::snapshot_is_consistent(&snap.state),
+            }
+        })
+        .collect()
+}
+
+/// One row of the refresh-DAG experiment: the same scripted churn
+/// sequence applied to a multi-view composed catalog with the DAG's
+/// level-parallel fan-out disabled vs enabled.
+#[derive(Debug, Clone)]
+pub struct DagRow {
+    /// Refresh mode ("serial" or "dag-parallel").
+    pub mode: &'static str,
+    /// Views in the catalog.
+    pub views: usize,
+    /// Dependency levels the DAG scheduled them into.
+    pub levels: usize,
+    /// Churn deltas applied.
+    pub writes: u64,
+    /// Total apply+refresh time across all deltas.
+    pub refresh_total: Duration,
+    /// Incremental view refreshes performed.
+    pub refreshed: u64,
+    /// Full re-materialization fallbacks (must be 0: the composed
+    /// view's upstream connector is in the catalog).
+    pub rematerialized: u64,
+}
+
+/// Refresh DAG: drives `steps` churn deltas through the same 4-view
+/// composed catalog (connector, summarizer *over* that connector,
+/// pipeline aggregator, source-sink) twice — once with the DAG forced
+/// serial, once with its level-parallel fan-out — and reports the
+/// total write-path time of each. The two runs publish identical
+/// snapshots; only the scheduling differs, so the delta is the pure
+/// win from refreshing independent views concurrently.
+pub fn serve_dag(seed: u64, steps: u64) -> Vec<DagRow> {
+    use kaskade_core::{
+        AggOp, ComposedDef, PropPredicate, RefreshOptions, SourceSinkDef, SummarizerDef,
+    };
+    use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+    let g = generate_provenance(&ProvenanceConfig {
+        seed,
+        ..ProvenanceConfig::default()
+    });
+    let mut kaskade = Kaskade::new(g, kaskade_graph::Schema::provenance());
+    let connector = ConnectorDef::k_hop("Job", "Job", 2);
+    kaskade.materialize_view(ViewDef::Connector(connector.clone()));
+    kaskade.materialize_view(ViewDef::Composed(ComposedDef {
+        connector,
+        summarizer: SummarizerDef::EdgePredicate {
+            keep: PropPredicate::IntAtLeast("support".into(), 2),
+        },
+    }));
+    kaskade.materialize_view(ViewDef::Summarizer(SummarizerDef::VertexAggregator {
+        vtype: "Job".into(),
+        group_prop: "pipelineName".into(),
+        agg_prop: "CPU".into(),
+        agg: AggOp::Sum,
+    }));
+    kaskade.materialize_view(ViewDef::SourceSink(SourceSinkDef::default()));
+    let base = kaskade.snapshot();
+
+    [("serial", false), ("dag-parallel", true)]
+        .into_iter()
+        .map(|(mode, parallel)| {
+            let opts = RefreshOptions {
+                parallel,
+                ..RefreshOptions::default()
+            };
+            let mut snap = base.clone();
+            let mut total = Duration::ZERO;
+            let (mut writes, mut refreshed, mut remat, mut levels) = (0u64, 0u64, 0u64, 0usize);
+            for step in 0..steps {
+                let Some(delta) = kaskade_service::churn_delta(&snap, step) else {
+                    break;
+                };
+                let start = Instant::now();
+                let (next, report) = snap.with_delta_report(&delta, &opts);
+                total += start.elapsed();
+                snap = next;
+                writes += 1;
+                refreshed += report.refreshed as u64;
+                remat += report.rematerialized as u64;
+                levels = report.levels;
+            }
+            DagRow {
+                mode,
+                views: base.catalog().len(),
+                levels,
+                writes,
+                refresh_total: total,
+                refreshed,
+                rematerialized: remat,
             }
         })
         .collect()

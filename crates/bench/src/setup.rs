@@ -2,7 +2,7 @@
 //! views — the three graph stages of the paper's evaluation (§VII-B):
 //! raw → filter (schema-level summarizer) → connector.
 
-use kaskade_core::{materialize_connector, materialize_summarizer, ConnectorDef, SummarizerDef};
+use kaskade_core::{materialize, ConnectorDef, SummarizerDef, ViewDef};
 use kaskade_datasets::Dataset;
 use kaskade_graph::Graph;
 
@@ -29,23 +29,23 @@ impl Env {
     pub fn prepare(dataset: Dataset, scale: usize, seed: u64) -> Env {
         let raw = dataset.generate(scale, seed);
         let filtered = match dataset {
-            Dataset::Prov => materialize_summarizer(
+            Dataset::Prov => materialize(
                 &raw,
-                &SummarizerDef::VertexInclusion {
+                &ViewDef::Summarizer(SummarizerDef::VertexInclusion {
                     keep: vec!["Job".into(), "File".into()],
-                },
+                }),
             ),
-            Dataset::Dblp => materialize_summarizer(
+            Dataset::Dblp => materialize(
                 &raw,
-                &SummarizerDef::VertexInclusion {
+                &ViewDef::Summarizer(SummarizerDef::VertexInclusion {
                     keep: vec!["Author".into(), "Publication".into()],
-                },
+                }),
             ),
             _ => raw.clone(),
         };
         let anchor = dataset.anchor_type();
         let def = ConnectorDef::k_hop(anchor, anchor, 2);
-        let connector = materialize_connector(&filtered, &def);
+        let connector = materialize(&filtered, &ViewDef::Connector(def.clone()));
         Env {
             dataset,
             raw,

@@ -1,8 +1,34 @@
 //! The catalog of materialized views.
 
+use std::fmt;
+
 use kaskade_graph::{Graph, GraphStats};
 
 use crate::views::ViewDef;
+
+/// A typed handle to a materialized view: the view's stable position in
+/// the [`Catalog`]. Plans, the refresh DAG, and shard routing reference
+/// views through `ViewId` instead of display strings — positions are
+/// stable because the serving write path never changes the view *set*
+/// ([`crate::Snapshot::with_delta`] refreshes every entry in place) and
+/// compaction carries the catalog over verbatim. The human-readable
+/// name is still [`ViewDef::id`]; resolve one to the other with
+/// [`Catalog::lookup`] / [`Catalog::get_by_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u32);
+
+impl ViewId {
+    /// The catalog index this id denotes.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view#{}", self.0)
+    }
+}
 
 /// A materialized view: its definition, the physical graph, and the
 /// statistics the cost model needs when costing rewritten queries.
@@ -41,16 +67,41 @@ impl Catalog {
         Self::default()
     }
 
-    /// Adds a view, replacing any previous view with the same id.
+    /// Adds a view. A view with the same definition id is replaced **in
+    /// place**, keeping its [`ViewId`] (catalog position) stable for
+    /// cached plans and DAG edges.
     pub fn add(&mut self, view: MaterializedView) {
         let id = view.def.id();
-        self.views.retain(|v| v.def.id() != id);
-        self.views.push(view);
+        match self.views.iter().position(|v| v.def.id() == id) {
+            Some(i) => self.views[i] = view,
+            None => self.views.push(view),
+        }
     }
 
     /// Looks up a view by its definition id.
     pub fn get(&self, id: &str) -> Option<&MaterializedView> {
         self.views.iter().find(|v| v.def.id() == id)
+    }
+
+    /// Looks up a view by its typed handle.
+    pub fn get_by_id(&self, id: ViewId) -> Option<&MaterializedView> {
+        self.views.get(id.index())
+    }
+
+    /// Resolves a definition id to its typed handle and view.
+    pub fn lookup(&self, id: &str) -> Option<(ViewId, &MaterializedView)> {
+        self.views
+            .iter()
+            .position(|v| v.def.id() == id)
+            .map(|i| (ViewId(i as u32), &self.views[i]))
+    }
+
+    /// Iterates over all views with their typed handles.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (ViewId, &MaterializedView)> {
+        self.views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ViewId(i as u32), v))
     }
 
     /// Iterates over all materialized views.
@@ -122,6 +173,28 @@ mod tests {
         c.add(toy_view());
         c.add(toy_view());
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn view_ids_are_stable_positions() {
+        let mut c = Catalog::new();
+        let v = toy_view();
+        let name = v.def.id();
+        c.add(v);
+        let other = MaterializedView::new(
+            ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 4)),
+            GraphBuilder::new().finish(),
+        );
+        c.add(other);
+        let (id, _) = c.lookup(&name).unwrap();
+        assert_eq!(id, ViewId(0));
+        assert_eq!(id.to_string(), "view#0");
+        // replacing in place keeps the position
+        c.add(toy_view());
+        assert_eq!(c.lookup(&name).unwrap().0, ViewId(0));
+        assert!(c.get_by_id(ViewId(1)).unwrap().def.id().contains("4_HOP"));
+        assert!(c.get_by_id(ViewId(9)).is_none());
+        assert_eq!(c.iter_with_ids().count(), 2);
     }
 
     #[test]

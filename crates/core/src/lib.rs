@@ -39,23 +39,31 @@ mod enumerate;
 mod facts;
 pub mod maintain;
 mod materialize;
+mod refresh;
 mod rewrite;
 mod rules;
 mod selection;
 mod snapshot;
 mod views;
 
-pub use catalog::{Catalog, MaterializedView};
+pub use catalog::{Catalog, MaterializedView, ViewId};
 pub use enumerate::{enumerate_views, procedural, Candidate, Enumeration};
 pub use facts::{
     assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,
 };
 pub use maintain::{
-    apply_delta, maintain_connector, maintain_connector_partitioned, stat_changes, AppliedDelta,
-    DelEdge, DeltaError, GraphDelta, NewEdge, NewVertex, VRef,
+    apply_delta, stat_changes, AppliedDelta, DelEdge, DeltaError, GraphDelta, NewEdge, NewVertex,
+    VRef,
 };
-pub use materialize::{
-    materialize, materialize_connector, materialize_source_sink, materialize_summarizer,
+#[allow(deprecated)]
+pub use maintain::{maintain_connector, maintain_connector_partitioned};
+pub use materialize::materialize;
+#[allow(deprecated)]
+pub use materialize::{materialize_connector, materialize_source_sink, materialize_summarizer};
+pub use refresh::{
+    ComposedMaintainer, ConnectorMaintainer, Partition, RefreshCtx, RefreshDag, RefreshOptions,
+    RefreshReport, Refreshed, SourceSinkMaintainer, SummarizerMaintainer, Upstream, ViewDelta,
+    ViewMaintainer,
 };
 pub use rewrite::{connector_hop_window, find_chain, rewrite_over_connector, Chain};
 pub use rules::{
@@ -66,7 +74,9 @@ pub use selection::{
     knapsack, select_views, KnapsackItem, ScoredView, SelectionConfig, SelectionResult,
 };
 pub use snapshot::Snapshot;
-pub use views::{AggOp, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef};
+pub use views::{
+    AggOp, ComposedDef, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef,
+};
 
 use kaskade_graph::{Graph, GraphStats, Schema};
 use kaskade_query::{ExecError, Query, Table};
@@ -76,8 +86,10 @@ use kaskade_query::{ExecError, Query, Table};
 pub struct PlannedQuery {
     /// The (possibly rewritten) query.
     pub query: Query,
-    /// The catalog id of the view it runs on (`None` = raw graph).
-    pub view_id: Option<String>,
+    /// The typed handle of the catalog view it runs on (`None` = raw
+    /// graph). Resolve to the view (or its display name) with
+    /// [`Catalog::get_by_id`].
+    pub view_id: Option<ViewId>,
     /// Estimated evaluation cost under the cost model.
     pub estimated_cost: f64,
 }
@@ -189,10 +201,11 @@ impl Kaskade {
     }
 
     /// Applies a [`GraphDelta`] — insertions and retractions — to the
-    /// base graph and refreshes every materialized view: connectors
-    /// incrementally (only affected sources are recomputed, with
-    /// per-edge provenance counts, see [`maintain`]), other views by
-    /// re-materialization. Statistics update incrementally.
+    /// base graph and refreshes every materialized view delta-
+    /// incrementally through the [`RefreshDag`] (each view's
+    /// [`ViewMaintainer`] touches only what the delta affects; see
+    /// [`refresh`](crate::ViewMaintainer)). Statistics update
+    /// incrementally.
     pub fn apply_delta(&mut self, delta: &GraphDelta) {
         self.snap = self.snap.with_delta(delta);
     }
@@ -213,7 +226,7 @@ pub enum KaskadeError {
     Execution(ExecError),
     /// A plan referenced a view id that is not in the catalog (e.g. a
     /// cached plan executed against a snapshot that dropped the view).
-    UnknownView(String),
+    UnknownView(ViewId),
 }
 
 impl std::fmt::Display for KaskadeError {
@@ -254,7 +267,9 @@ mod tests {
         let q = parse(LISTING_1).unwrap();
         let id = k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
         let p = k.plan(&q).unwrap();
-        assert_eq!(p.view_id.as_deref(), Some(id.as_str()));
+        let (vid, view) = k.catalog().lookup(&id).unwrap();
+        assert_eq!(p.view_id, Some(vid));
+        assert_eq!(view.def.id(), id);
         assert_eq!(p.query.pattern().unwrap().edges.len(), 1);
     }
 

@@ -739,8 +739,9 @@ fn affected_sources(def: &ConnectorDef, applied: &AppliedDelta) -> HashSet<Verte
 /// edge's support and drops edges whose last witnessing walk died. The
 /// result is identical to re-materializing from scratch (asserted by
 /// tests), but touches only the neighborhood of the change.
+#[deprecated(note = "use `ViewDef::Connector(..).maintainer().refresh(..)`")]
 pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &ConnectorDef) -> Graph {
-    maintain_connector_partitioned(old_view, applied, def, &|_| 0, 1)
+    connector_refresh(old_view, applied, def, &|_| 0, 1).0
 }
 
 /// [`maintain_connector`] with the expensive half — re-deriving the
@@ -751,6 +752,9 @@ pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &Connec
 /// Assembly stays serial and emits sources in the same sorted order as
 /// the serial path, so the result is **identical** to
 /// [`maintain_connector`] for any partitioning (asserted by tests).
+#[deprecated(
+    note = "use `ViewDef::Connector(..).maintainer().refresh(..)` with a partition context"
+)]
 pub fn maintain_connector_partitioned(
     old_view: &Graph,
     applied: &AppliedDelta,
@@ -758,6 +762,19 @@ pub fn maintain_connector_partitioned(
     part_of: &(dyn Fn(VertexId) -> usize + Sync),
     parts: usize,
 ) -> Graph {
+    connector_refresh(old_view, applied, def, part_of, parts).0
+}
+
+/// The connector refresh engine behind [`maintain_connector`] and the
+/// [`crate::refresh::ViewMaintainer`] impl: returns the refreshed view
+/// graph plus the number of sources whose frontier was recomputed.
+pub(crate) fn connector_refresh(
+    old_view: &Graph,
+    applied: &AppliedDelta,
+    def: &ConnectorDef,
+    part_of: &(dyn Fn(VertexId) -> usize + Sync),
+    parts: usize,
+) -> (Graph, usize) {
     let base_new = &applied.graph;
     let base_old = &applied.base_old;
     let affected = affected_sources(def, applied);
@@ -846,6 +863,7 @@ pub fn maintain_connector_partitioned(
     // Splice in the recomputed frontiers, in sorted source order —
     // pre-computed on worker threads when partitioned, derived inline
     // on the serial path.
+    let recomputed = affected_sorted.len();
     for u in affected_sorted {
         let Some(&nu) = view_id_of.get(&u) else {
             continue;
@@ -865,14 +883,30 @@ pub fn maintain_connector_partitioned(
             ),
         }
     }
-    b.finish()
+    (b.finish(), recomputed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::materialize::materialize_connector;
+    use crate::materialize::connector_view as materialize_connector;
     use kaskade_graph::EdgeId;
+
+    // The tests exercise the refresh engine through thin local wrappers
+    // (the deprecated public shims would trip `-D warnings`).
+    fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &ConnectorDef) -> Graph {
+        connector_refresh(old_view, applied, def, &|_| 0, 1).0
+    }
+
+    fn maintain_connector_partitioned(
+        old_view: &Graph,
+        applied: &AppliedDelta,
+        def: &ConnectorDef,
+        part_of: &(dyn Fn(VertexId) -> usize + Sync),
+        parts: usize,
+    ) -> Graph {
+        connector_refresh(old_view, applied, def, part_of, parts).0
+    }
 
     /// One canonical edge: endpoints, type, `ts`, provenance `support`.
     type EdgePrint = (u32, u32, String, Option<i64>, Option<i64>);
@@ -1544,7 +1578,7 @@ mod tests {
         use kaskade_datasets::{generate_provenance, ProvenanceConfig};
         let g = generate_provenance(&ProvenanceConfig::tiny(78).core_only());
         let def = ConnectorDef::k_hop("Job", "Job", 2);
-        let view = crate::materialize::materialize_connector(&g, &def);
+        let view = materialize_connector(&g, &def);
 
         let mut d = GraphDelta::new();
         let j = d.add_vertex("Job", vec![]);

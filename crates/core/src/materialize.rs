@@ -10,15 +10,25 @@ use std::collections::HashMap;
 
 use kaskade_graph::{Graph, GraphBuilder, Value, VertexId};
 
-use crate::views::{AggOp, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef};
+use crate::views::{
+    AggOp, ComposedDef, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef,
+};
 
 /// Materializes any view definition.
 pub fn materialize(g: &Graph, def: &ViewDef) -> Graph {
     match def {
-        ViewDef::Connector(c) => materialize_connector(g, c),
-        ViewDef::SourceSink(s) => materialize_source_sink(g, s),
-        ViewDef::Summarizer(s) => materialize_summarizer(g, s),
+        ViewDef::Connector(c) => connector_view(g, c),
+        ViewDef::SourceSink(s) => source_sink_view(g, s),
+        ViewDef::Summarizer(s) => summarizer_view(g, s),
+        ViewDef::Composed(c) => composed_view(g, c),
     }
+}
+
+/// Materializes a composed view: the upstream connector first, then the
+/// downstream summarizer over the contracted graph.
+pub(crate) fn composed_view(g: &Graph, def: &ComposedDef) -> Graph {
+    let upstream = connector_view(g, &def.connector);
+    summarizer_view(&upstream, &def.summarizer)
 }
 
 /// One connector target of a source vertex: the destination, the max
@@ -33,7 +43,7 @@ pub(crate) type ConnectorTarget = (VertexId, i64, i64);
 /// connector edge dies only when its last witnessing walk dies).
 /// Counts saturate at `i64::MAX`. Targets come back in id order.
 ///
-/// Shared by [`materialize_connector`] (full builds) and
+/// Shared by [`connector_view`] (full builds) and
 /// [`crate::maintain::maintain_connector`] (incremental refresh), so
 /// the two always agree edge-for-edge and property-for-property.
 pub(crate) fn connector_targets(
@@ -127,7 +137,12 @@ pub(crate) fn emit_targets(
 /// contracted walks, the provenance count that lets incremental
 /// maintenance retract a view edge exactly when its last witnessing
 /// walk disappears (see `kaskade-core::maintain`).
+#[deprecated(note = "use `materialize` or `ViewDef::Connector(..).maintainer().materialize(..)`")]
 pub fn materialize_connector(g: &Graph, def: &ConnectorDef) -> Graph {
+    connector_view(g, def)
+}
+
+pub(crate) fn connector_view(g: &Graph, def: &ConnectorDef) -> Graph {
     let mut b = GraphBuilder::new();
     let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
 
@@ -158,7 +173,12 @@ pub fn materialize_connector(g: &Graph, def: &ConnectorDef) -> Graph {
 /// contains the graph's source vertices (in-degree 0) and sink vertices
 /// (out-degree 0), optionally type-filtered, with one `SOURCE_TO_SINK`
 /// edge per (source, sink) pair connected by any directed path.
+#[deprecated(note = "use `materialize` or `ViewDef::SourceSink(..).maintainer().materialize(..)`")]
 pub fn materialize_source_sink(g: &Graph, def: &SourceSinkDef) -> Graph {
+    source_sink_view(g, def)
+}
+
+pub(crate) fn source_sink_view(g: &Graph, def: &SourceSinkDef) -> Graph {
     use std::collections::VecDeque;
     let is_source = |v: VertexId| {
         g.in_degree(v) == 0
@@ -217,7 +237,12 @@ pub fn materialize_source_sink(g: &Graph, def: &SourceSinkDef) -> Graph {
 }
 
 /// Materializes a summarizer (§VI-B, Table II).
+#[deprecated(note = "use `materialize` or `ViewDef::Summarizer(..).maintainer().materialize(..)`")]
 pub fn materialize_summarizer(g: &Graph, def: &SummarizerDef) -> Graph {
+    summarizer_view(g, def)
+}
+
+pub(crate) fn summarizer_view(g: &Graph, def: &SummarizerDef) -> Graph {
     match def {
         SummarizerDef::VertexInclusion { keep } => filter_graph(
             g,
@@ -472,7 +497,7 @@ mod tests {
     #[test]
     fn job_to_job_2_hop_connector_matches_fig3c() {
         let g = fig3_graph();
-        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        let view = connector_view(&g, &ConnectorDef::k_hop("Job", "Job", 2));
         // Fig. 3(c) left: j1->j2, j1->j3
         assert_eq!(view.vertices_of_type("Job").count(), 3);
         assert_eq!(view.edge_count(), 2);
@@ -494,7 +519,7 @@ mod tests {
     #[test]
     fn file_to_file_2_hop_connector_matches_fig3d() {
         let g = fig3_graph();
-        let view = materialize_connector(&g, &ConnectorDef::k_hop("File", "File", 2));
+        let view = connector_view(&g, &ConnectorDef::k_hop("File", "File", 2));
         // Fig. 3(d): f1->f3, f2->f4
         assert_eq!(view.edge_count(), 2);
         assert!(view.vertices_of_type("Job").next().is_none());
@@ -513,7 +538,7 @@ mod tests {
         b.add_edge(f1, j2, "IS_READ_BY");
         b.add_edge(f2, j2, "IS_READ_BY");
         let g = b.finish();
-        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        let view = connector_view(&g, &ConnectorDef::k_hop("Job", "Job", 2));
         assert_eq!(view.edge_count(), 1);
     }
 
@@ -529,7 +554,7 @@ mod tests {
         let e2 = b.add_edge(f, j2, "IS_READ_BY");
         b.set_edge_prop(e2, "ts", Value::Int(9));
         let g = b.finish();
-        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        let view = connector_view(&g, &ConnectorDef::k_hop("Job", "Job", 2));
         let ce = view.edges().next().unwrap();
         assert_eq!(view.edge_prop(ce, "ts"), Some(&Value::Int(9)));
         let vj = view
@@ -548,7 +573,7 @@ mod tests {
         b.add_edge(j, f, "WRITES_TO");
         b.add_edge(j, t, "SPAWNS");
         let g = b.finish();
-        let view = materialize_summarizer(
+        let view = summarizer_view(
             &g,
             &SummarizerDef::VertexInclusion {
                 keep: vec!["Job".into(), "File".into()],
@@ -568,13 +593,13 @@ mod tests {
         b.add_edge(j, f, "WRITES_TO");
         b.add_edge(j, t, "SPAWNS");
         let g = b.finish();
-        let inc = materialize_summarizer(
+        let inc = summarizer_view(
             &g,
             &SummarizerDef::VertexInclusion {
                 keep: vec!["Job".into(), "File".into()],
             },
         );
-        let rem = materialize_summarizer(
+        let rem = summarizer_view(
             &g,
             &SummarizerDef::VertexRemoval {
                 remove: vec!["Task".into()],
@@ -591,7 +616,7 @@ mod tests {
         let t = b.add_vertex("Task");
         b.add_edge(j, t, "SPAWNS");
         let g = b.finish();
-        let view = materialize_summarizer(
+        let view = summarizer_view(
             &g,
             &SummarizerDef::EdgeRemoval {
                 remove: vec!["SPAWNS".into()],
@@ -609,7 +634,7 @@ mod tests {
         let _lonely = b.add_vertex("Machine");
         b.add_edge(j, f, "WRITES_TO");
         let g = b.finish();
-        let view = materialize_summarizer(
+        let view = summarizer_view(
             &g,
             &SummarizerDef::EdgeInclusion {
                 keep: vec!["WRITES_TO".into()],
@@ -633,7 +658,7 @@ mod tests {
         b.add_edge(j1, f, "WRITES_TO");
         b.add_edge(j2, f, "WRITES_TO");
         let g = b.finish();
-        let view = materialize_summarizer(
+        let view = summarizer_view(
             &g,
             &SummarizerDef::VertexAggregator {
                 vtype: "Job".into(),
@@ -663,7 +688,7 @@ mod tests {
         b.add_edge(a, c, "E");
         b.add_edge(a, c, "F");
         let g = b.finish();
-        let view = materialize_summarizer(&g, &SummarizerDef::EdgeAggregator);
+        let view = summarizer_view(&g, &SummarizerDef::EdgeAggregator);
         assert_eq!(view.edge_count(), 2);
         let counts: Vec<i64> = view
             .edges()
@@ -685,8 +710,8 @@ mod tests {
         bld.add_edge(a, d, "G");
         bld.add_edge(d, c, "F");
         let g = bld.finish();
-        let any = materialize_connector(&g, &ConnectorDef::k_hop("V", "V", 2));
-        let only_f = materialize_connector(&g, &ConnectorDef::same_edge_type("V", "V", 2, "F"));
+        let any = connector_view(&g, &ConnectorDef::k_hop("V", "V", 2));
+        let only_f = connector_view(&g, &ConnectorDef::same_edge_type("V", "V", 2, "F"));
         assert_eq!(any.edge_count(), 1); // a->c (dedup of two paths)
         assert_eq!(only_f.edge_count(), 1); // a->c via b only — still exists
 
@@ -698,9 +723,9 @@ mod tests {
         bld.add_edge(a, d, "G");
         bld.add_edge(d, c, "F");
         let g = bld.finish();
-        let only_f = materialize_connector(&g, &ConnectorDef::same_edge_type("V", "V", 2, "F"));
+        let only_f = connector_view(&g, &ConnectorDef::same_edge_type("V", "V", 2, "F"));
         assert_eq!(only_f.edge_count(), 0);
-        let any = materialize_connector(&g, &ConnectorDef::k_hop("V", "V", 2));
+        let any = connector_view(&g, &ConnectorDef::k_hop("V", "V", 2));
         assert_eq!(any.edge_count(), 1);
     }
 
@@ -708,7 +733,7 @@ mod tests {
     fn source_sink_connector_on_lineage() {
         let g = fig3_graph();
         // sources: j1 (no in-edges); sinks: f3, f4 (no out-edges)
-        let view = materialize_source_sink(&g, &SourceSinkDef::default());
+        let view = source_sink_view(&g, &SourceSinkDef::default());
         assert_eq!(view.edge_count(), 2); // j1->f3, j1->f4
         for e in view.edges() {
             assert_eq!(view.edge_type(e), "SOURCE_TO_SINK");
@@ -716,7 +741,7 @@ mod tests {
             assert_eq!(view.vertex_type(view.edge_dst(e)), "File");
         }
         // type-filtered: no Job sinks exist
-        let none = materialize_source_sink(
+        let none = source_sink_view(
             &g,
             &SourceSinkDef {
                 src_type: Some("Job".into()),
@@ -737,7 +762,7 @@ mod tests {
         bld.add_edge(j1, f, "WRITES_TO");
         bld.add_edge(j2, f, "WRITES_TO");
         let g = bld.finish();
-        let view = materialize_summarizer(
+        let view = summarizer_view(
             &g,
             &SummarizerDef::VertexPredicate {
                 keep: PropPredicate::IntAtLeast("CPU".into(), 50),
@@ -759,7 +784,7 @@ mod tests {
         let e2 = bld.add_edge(a, c, "E");
         bld.set_edge_prop(e2, "ts", Value::Int(99));
         let g = bld.finish();
-        let view = materialize_summarizer(
+        let view = summarizer_view(
             &g,
             &SummarizerDef::EdgePredicate {
                 keep: PropPredicate::IntBelow("ts".into(), 50),
@@ -801,7 +826,7 @@ mod tests {
     #[test]
     fn connector_on_empty_graph() {
         let g = GraphBuilder::new().finish();
-        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+        let view = connector_view(&g, &ConnectorDef::k_hop("Job", "Job", 2));
         assert_eq!(view.vertex_count(), 0);
         assert_eq!(view.edge_count(), 0);
     }
@@ -811,10 +836,10 @@ mod tests {
         let g = fig3_graph();
         // 4-hop job-to-job: j1 -> f1 -> j2 -> f3 -> ? (f3 is a sink file)
         // no job at distance 4, so empty
-        let view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 4));
+        let view = connector_view(&g, &ConnectorDef::k_hop("Job", "Job", 4));
         assert_eq!(view.edge_count(), 0);
         // 1-hop job-to-file = the write edges
-        let v1 = materialize_connector(&g, &ConnectorDef::k_hop("Job", "File", 1));
+        let v1 = connector_view(&g, &ConnectorDef::k_hop("Job", "File", 1));
         assert_eq!(v1.edge_count(), 4);
     }
 }

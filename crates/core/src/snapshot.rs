@@ -17,9 +17,9 @@
 use kaskade_graph::{Graph, GraphStats, IdRemap, Schema};
 use kaskade_query::{execute as execute_query, Query, Table};
 
-use crate::catalog::{Catalog, MaterializedView};
+use crate::catalog::Catalog;
 use crate::maintain::{self, GraphDelta};
-use crate::materialize::materialize;
+use crate::refresh::{RefreshDag, RefreshOptions, RefreshReport};
 use crate::rewrite::rewrite_over_connector;
 use crate::views::ViewDef;
 use crate::{cost, enumerate_views, Candidate, Enumeration, KaskadeError, PlannedQuery};
@@ -114,7 +114,7 @@ impl Snapshot {
             let Some(def) = cand.to_view_def() else {
                 continue;
             };
-            let Some(view) = self.catalog.get(&def.id()) else {
+            let Some((vid, view)) = self.catalog.lookup(&def.id()) else {
                 continue; // prune candidates that are not materialized
             };
             let ViewDef::Connector(cdef) = &view.def else {
@@ -127,7 +127,7 @@ impl Snapshot {
             if cost < best.estimated_cost {
                 best = PlannedQuery {
                     query: rewritten,
-                    view_id: Some(view.def.id()),
+                    view_id: Some(vid),
                     estimated_cost: cost,
                 };
             }
@@ -140,12 +140,12 @@ impl Snapshot {
     /// `kaskade-service` plan cache) skip re-planning; the plan must
     /// have been produced against a snapshot with the same catalog.
     pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<Table, KaskadeError> {
-        let target = match &planned.view_id {
+        let target = match planned.view_id {
             Some(id) => {
                 let view = self
                     .catalog
-                    .get(id)
-                    .ok_or_else(|| KaskadeError::UnknownView(id.clone()))?;
+                    .get_by_id(id)
+                    .ok_or(KaskadeError::UnknownView(id))?;
                 &view.graph
             }
             None => &self.graph,
@@ -168,24 +168,29 @@ impl Snapshot {
     /// Applies a [`GraphDelta`] — insertions *and* retractions — and
     /// returns the successor snapshot, leaving `self` untouched: the
     /// base graph evolves (retracted elements tombstone in place, ids
-    /// never shift), every materialized view is refreshed (connectors
-    /// incrementally — only affected sources are recomputed, with
-    /// per-edge provenance counts deciding which view edges die, see
-    /// [`maintain`] — other views by re-materialization), and
-    /// statistics are updated **incrementally** from the delta's degree
-    /// changes instead of a full [`GraphStats::compute`] rescan per
-    /// publish. Readers holding the old snapshot keep a fully
-    /// consistent state.
+    /// never shift), every materialized view is refreshed **delta-
+    /// incrementally** through the [`RefreshDag`] — each view's
+    /// [`crate::ViewMaintainer`] touches only what the delta affects,
+    /// and composed views consume their upstream's refreshed graph
+    /// instead of the base — and statistics are updated incrementally
+    /// from the delta's degree changes instead of a full
+    /// [`GraphStats::compute`] rescan per publish. Readers holding the
+    /// old snapshot keep a fully consistent state.
     pub fn with_delta(&self, delta: &GraphDelta) -> Snapshot {
+        self.with_delta_report(delta, &RefreshOptions::default()).0
+    }
+
+    /// [`Snapshot::with_delta`] with explicit [`RefreshOptions`]
+    /// (worker-pool parallelism, connector partitioning), also
+    /// returning the [`RefreshReport`] the serving metrics record.
+    pub fn with_delta_report(
+        &self,
+        delta: &GraphDelta,
+        opts: &RefreshOptions<'_>,
+    ) -> (Snapshot, RefreshReport) {
         let applied = maintain::apply_delta(&self.graph, delta);
-        let mut catalog = Catalog::new();
-        for view in self.catalog.iter() {
-            let refreshed = match &view.def {
-                ViewDef::Connector(c) => maintain::maintain_connector(&view.graph, &applied, c),
-                other => materialize(&applied.graph, other),
-            };
-            catalog.add(MaterializedView::new(view.def.clone(), refreshed));
-        }
+        let dag = RefreshDag::build(&self.catalog);
+        let (catalog, report) = dag.refresh(&self.catalog, &applied, opts);
         let changes = maintain::stat_changes(&applied);
         // owned count: on a shard of a partitioned graph, statistics
         // track only the vertices this shard owns (equals vertex_count
@@ -198,12 +203,15 @@ impl Snapshot {
                 applied.graph.edge_count(),
             )
             .unwrap_or_else(|| GraphStats::compute(&applied.graph));
-        Snapshot {
-            graph: applied.graph,
-            schema: self.schema.clone(),
-            stats,
-            catalog,
-        }
+        (
+            Snapshot {
+                graph: applied.graph,
+                schema: self.schema.clone(),
+                stats,
+                catalog,
+            },
+            report,
+        )
     }
 
     /// Compacts the base graph — dead vertex/edge slots dropped, live
@@ -387,11 +395,11 @@ mod tests {
         let s = snapshot(13);
         let planned = PlannedQuery {
             query: parse(LISTING_1).unwrap(),
-            view_id: Some("connector:NOT_MATERIALIZED".into()),
+            view_id: Some(crate::ViewId(7)), // catalog is empty
             estimated_cost: 1.0,
         };
         let err = s.execute_planned(&planned).unwrap_err();
         assert!(matches!(err, KaskadeError::UnknownView(_)));
-        assert!(err.to_string().contains("NOT_MATERIALIZED"));
+        assert!(err.to_string().contains("view#7"));
     }
 }

@@ -263,6 +263,30 @@ impl fmt::Display for SourceSinkDef {
     }
 }
 
+/// A composed view: a summarizer evaluated *over* a materialized
+/// connector view rather than over the base graph — the view-over-view
+/// scenario class. Materializing one contracts paths first and then
+/// filters/aggregates the contracted graph (e.g. "connector edges with
+/// at least two witness walks").
+///
+/// When the upstream connector is itself in the catalog, the refresh
+/// DAG orders the composed view after it and feeds the refreshed
+/// upstream graph (plus its `ViewDelta`) downstream, so the expensive
+/// path contraction is never recomputed from the base graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ComposedDef {
+    /// The upstream connector whose materialization is summarized.
+    pub connector: ConnectorDef,
+    /// The downstream summarizer applied to the connector view.
+    pub summarizer: SummarizerDef,
+}
+
+impl fmt::Display for ComposedDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} over {}", self.summarizer, self.connector)
+    }
+}
+
 /// Any graph view Kaskade can materialize.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ViewDef {
@@ -272,6 +296,8 @@ pub enum ViewDef {
     SourceSink(SourceSinkDef),
     /// A filtering/aggregation view.
     Summarizer(SummarizerDef),
+    /// A summarizer over a connector view (view-over-view composition).
+    Composed(ComposedDef),
 }
 
 impl ViewDef {
@@ -281,6 +307,17 @@ impl ViewDef {
             ViewDef::Connector(c) => format!("connector:{}", c.edge_label()),
             ViewDef::SourceSink(s) => format!("connector:{s}"),
             ViewDef::Summarizer(s) => format!("summarizer:{s}"),
+            ViewDef::Composed(c) => format!("composed:{c}"),
+        }
+    }
+
+    /// For a composed view, the catalog id of the upstream view it
+    /// consumes — the dependency edge of the refresh DAG. `None` for
+    /// views that read the base graph directly.
+    pub fn upstream_id(&self) -> Option<String> {
+        match self {
+            ViewDef::Composed(c) => Some(ViewDef::Connector(c.connector.clone()).id()),
+            _ => None,
         }
     }
 }
@@ -291,6 +328,7 @@ impl fmt::Display for ViewDef {
             ViewDef::Connector(c) => c.fmt(f),
             ViewDef::SourceSink(s) => s.fmt(f),
             ViewDef::Summarizer(s) => s.fmt(f),
+            ViewDef::Composed(c) => c.fmt(f),
         }
     }
 }
@@ -343,6 +381,23 @@ mod tests {
         });
         assert_ne!(a.id(), b.id());
         assert_ne!(a.id(), s.id());
+    }
+
+    #[test]
+    fn composed_id_and_upstream() {
+        let c = ConnectorDef::k_hop("Job", "Job", 2);
+        let d = ViewDef::Composed(ComposedDef {
+            connector: c.clone(),
+            summarizer: SummarizerDef::EdgePredicate {
+                keep: PropPredicate::IntAtLeast("support".into(), 2),
+            },
+        });
+        assert!(d.id().starts_with("composed:"));
+        assert_eq!(
+            d.upstream_id().as_deref(),
+            Some("connector:JOB_TO_JOB_2_HOP")
+        );
+        assert!(ViewDef::Connector(c).upstream_id().is_none());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use kaskade_core::{materialize, GraphDelta, KaskadeError, Snapshot};
 use kaskade_query::{Query, Table};
 
-use crate::engine::{Engine, SubmitError};
+use crate::engine::{Engine, SubmitError, SubmitOpts};
 use crate::metrics::MetricsReport;
 use crate::shard::ShardedEngine;
 use crate::stream::{delta_for, Workload};
@@ -54,7 +54,7 @@ pub trait ServingBackend: Sync {
 
     /// Queues a delta whose existing-vertex ids were resolved against
     /// the snapshot published at `based_on` (see
-    /// [`Engine::submit_at`]).
+    /// [`Engine::submit`] with [`SubmitOpts::based_on`]).
     fn submit_delta(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError>;
 
     /// Waits until every submitted delta is visible to readers.
@@ -85,7 +85,7 @@ impl ServingBackend for Engine {
     }
 
     fn submit_delta(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
-        self.submit_at(delta, based_on)
+        self.submit(delta, SubmitOpts::based_on(based_on))
     }
 
     fn flush_writes(&self) -> u64 {
@@ -118,7 +118,7 @@ impl ServingBackend for ShardedEngine {
     }
 
     fn submit_delta(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
-        self.submit_at(delta, based_on)
+        self.submit(delta, SubmitOpts::based_on(based_on))
     }
 
     fn flush_writes(&self) -> u64 {

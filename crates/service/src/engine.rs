@@ -20,7 +20,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, Snapshot};
+use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, RefreshOptions, Snapshot};
 use kaskade_graph::IdRemap;
 use kaskade_query::{Query, Table};
 
@@ -60,6 +60,33 @@ impl Default for EngineConfig {
             max_batch: 64,
             queue_capacity: 1024,
             compact_dead_ratio: 0.5,
+        }
+    }
+}
+
+/// Per-submit options of [`Engine::submit`] / `ShardedEngine::submit`.
+///
+/// The default (`SubmitOpts::default()`) means "my delta's ids are in
+/// the id space of the currently published snapshot" — the common case
+/// for clients that just loaded a snapshot, resolved ids, and submit
+/// immediately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOpts {
+    /// Epoch of the snapshot the delta's existing-vertex ids were
+    /// resolved against. If slot compactions have renumbered ids since
+    /// that epoch, the writer rebases the delta through the recorded
+    /// remaps before applying it — in-flight writes survive compaction
+    /// without the client ever seeing the renumbering. `None` means
+    /// the currently published epoch.
+    pub based_on: Option<u64>,
+}
+
+impl SubmitOpts {
+    /// Options for a delta whose ids were resolved against the snapshot
+    /// published at `epoch`.
+    pub fn based_on(epoch: u64) -> Self {
+        SubmitOpts {
+            based_on: Some(epoch),
         }
     }
 }
@@ -403,22 +430,13 @@ impl Engine {
     /// [`EngineConfig::queue_capacity`]) is full, nothing is enqueued
     /// and [`SubmitError::Backpressure`] is returned.
     ///
-    /// The delta's existing-vertex ids are taken to be in the id space
-    /// of the **currently published** snapshot. A caller that resolved
-    /// ids from a snapshot it loaded earlier should use
-    /// [`Engine::submit_at`] with that snapshot's epoch, so a slot
+    /// By default the delta's existing-vertex ids are taken to be in
+    /// the id space of the **currently published** snapshot. A caller
+    /// that resolved ids from a snapshot it loaded earlier should pass
+    /// [`SubmitOpts::based_on`] with that snapshot's epoch, so a slot
     /// compaction publishing in between cannot misdirect the ids.
-    pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
-        self.submit_at(delta, self.shared.cell.epoch())
-    }
-
-    /// [`Engine::submit`] for a delta whose existing-vertex ids were
-    /// resolved against the snapshot published at `based_on`. If slot
-    /// compactions have renumbered ids since that epoch, the writer
-    /// rebases the delta through the recorded remaps before applying
-    /// it — in-flight writes survive compaction without the client
-    /// ever seeing the renumbering.
-    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+    pub fn submit(&self, delta: GraphDelta, opts: SubmitOpts) -> Result<(), SubmitError> {
+        let based_on = opts.based_on.unwrap_or_else(|| self.shared.cell.epoch());
         enqueue_delta(
             &self.tx,
             &self.shared.queued,
@@ -426,6 +444,13 @@ impl Engine {
             delta,
             based_on,
         )
+    }
+
+    /// [`Engine::submit`] for a delta whose existing-vertex ids were
+    /// resolved against the snapshot published at `based_on`.
+    #[deprecated(note = "use `submit(delta, SubmitOpts::based_on(epoch))`")]
+    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+        self.submit(delta, SubmitOpts::based_on(based_on))
     }
 
     /// Orders the writer to apply an externally computed compaction
@@ -545,13 +570,17 @@ fn writer_loop(
         if batch.batched > 0 {
             let retractions = batch.delta.del_edges.len() + batch.delta.del_vertices.len();
             let apply_start = Instant::now();
-            state = state.with_delta(&batch.delta);
+            let (next, report) = state.with_delta_report(&batch.delta, &RefreshOptions::default());
+            state = next;
             let epoch = shared.cell.publish(state.clone());
             shared.cache.promote(epoch);
             let lag = batch.oldest.map(|t| t.elapsed()).unwrap_or_default();
             shared
                 .metrics
                 .record_refresh(batch.batched, apply_start.elapsed(), lag);
+            shared
+                .metrics
+                .record_view_refresh(report.refreshed as u64, report.rematerialized as u64);
             if retractions > 0 {
                 shared.metrics.record_retractions(retractions);
             }
@@ -634,7 +663,7 @@ mod tests {
             vec![("ts".into(), Value::Int(7))],
         );
         d.add_edge(f, j, "IS_READ_BY", vec![("ts".into(), Value::Int(8))]);
-        engine.submit(d).unwrap();
+        engine.submit(d, SubmitOpts::default()).unwrap();
         let epoch = engine.flush();
         assert!(epoch >= 1);
         assert_eq!(engine.queue_depth(), 0);
@@ -670,7 +699,7 @@ mod tests {
         // submit + flush, then the same reader observes the new epoch
         let mut d = GraphDelta::new();
         d.add_vertex("Job", vec![]);
-        engine.submit(d).unwrap();
+        engine.submit(d, SubmitOpts::default()).unwrap();
         engine.flush();
         assert_eq!(reader.snapshot().epoch, engine.epoch());
     }
@@ -682,7 +711,7 @@ mod tests {
         let mut dangling_new = GraphDelta::new();
         dangling_new.add_edge(VRef::New(0), VRef::New(1), "WRITES_TO", vec![]);
         assert!(matches!(
-            engine.submit(dangling_new),
+            engine.submit(dangling_new, SubmitOpts::default()),
             Err(SubmitError::Invalid(_))
         ));
         // dangling base reference: only detectable at apply time, so it
@@ -690,14 +719,16 @@ mod tests {
         let mut dangling_existing = GraphDelta::new();
         let v = dangling_existing.add_vertex("File", vec![]);
         dangling_existing.add_edge(VRef::Existing(VertexId(999)), v, "WRITES_TO", vec![]);
-        engine.submit(dangling_existing).unwrap();
+        engine
+            .submit(dangling_existing, SubmitOpts::default())
+            .unwrap();
         engine.flush();
         assert_eq!(engine.metrics().deltas_rejected, 1);
         assert_eq!(engine.queue_depth(), 0);
         // the engine still serves reads and accepts valid writes
         let mut ok = GraphDelta::new();
         ok.add_vertex("Job", vec![]);
-        engine.submit(ok).unwrap();
+        engine.submit(ok, SubmitOpts::default()).unwrap();
         engine.flush();
         assert_eq!(engine.snapshot().state.graph().vertex_count(), 4);
         assert!(engine.execute(&count_query()).is_ok());
@@ -722,7 +753,7 @@ mod tests {
             VRef::Existing(VertexId(2)),
             "IS_READ_BY",
         );
-        engine.submit(d).unwrap();
+        engine.submit(d, SubmitOpts::default()).unwrap();
         engine.flush();
         assert_eq!(
             engine.execute(&q).unwrap().scalar().unwrap().as_int(),
@@ -753,8 +784,8 @@ mod tests {
         let mut d2 = GraphDelta::new();
         let j = d2.add_vertex("Job", vec![]);
         d2.add_edge(VRef::Existing(VertexId(1)), j, "IS_READ_BY", vec![]);
-        engine.submit(d1).unwrap();
-        engine.submit(d2).unwrap();
+        engine.submit(d1, SubmitOpts::default()).unwrap();
+        engine.submit(d2, SubmitOpts::default()).unwrap();
         engine.flush();
         let report = engine.metrics();
         assert_eq!(report.deltas_rejected, 1, "{report:?}");
@@ -785,7 +816,7 @@ mod tests {
         for _ in 0..50_000 {
             let mut d = GraphDelta::new();
             d.add_vertex("File", vec![]);
-            match engine.submit(d) {
+            match engine.submit(d, SubmitOpts::default()) {
                 Ok(()) => {}
                 Err(SubmitError::Backpressure) => {
                     saw_backpressure = true;
@@ -800,7 +831,7 @@ mod tests {
         engine.flush();
         let mut d = GraphDelta::new();
         d.add_vertex("Job", vec![]);
-        engine.submit(d).unwrap();
+        engine.submit(d, SubmitOpts::default()).unwrap();
         engine.flush();
         assert_eq!(engine.queue_depth(), 0);
     }
@@ -831,7 +862,9 @@ mod tests {
                 "SPAWNS",
                 vec![("ts".into(), Value::Int(round as i64))],
             );
-            engine.submit_at(delta, snap.epoch).unwrap();
+            engine
+                .submit(delta, SubmitOpts::based_on(snap.epoch))
+                .unwrap();
             engine.flush();
         }
         let report = engine.metrics();
@@ -868,7 +901,9 @@ mod tests {
         // force the fence: an empty-ish write publishes, then compacts
         let mut warm = GraphDelta::new();
         warm.add_vertex("Job", vec![]);
-        engine.submit_at(warm, snap0.epoch).unwrap();
+        engine
+            .submit(warm, SubmitOpts::based_on(snap0.epoch))
+            .unwrap();
         engine.flush();
         let report = engine.metrics();
         assert_eq!(report.compactions_run, 1, "{report:?}");
@@ -882,7 +917,9 @@ mod tests {
         let mut stale = GraphDelta::new();
         let f = stale.add_vertex("File", vec![]);
         stale.add_edge(VRef::Existing(j1), f, "WRITES_TO", vec![]);
-        engine.submit_at(stale, snap0.epoch).unwrap();
+        engine
+            .submit(stale, SubmitOpts::based_on(snap0.epoch))
+            .unwrap();
         engine.flush();
         let snap = engine.snapshot();
         let g = snap.state.graph();
@@ -928,7 +965,7 @@ mod tests {
         for _ in 0..10 {
             let mut d = GraphDelta::new();
             d.add_vertex("File", vec![]);
-            engine.submit(d).unwrap();
+            engine.submit(d, SubmitOpts::default()).unwrap();
         }
         let cell = Arc::clone(&engine.shared.cell);
         drop(engine);

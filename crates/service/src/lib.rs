@@ -19,9 +19,11 @@
 //!   [`GraphDelta`]s carrying both inserts and identity-targeted
 //!   retractions. A single background worker merges them into batches
 //!   ([`GraphDelta::merge`], which cancels insert-then-delete pairs),
-//!   applies them with incremental, provenance-counted connector
-//!   maintenance (`kaskade-core::maintain`) and incremental statistics
-//!   updates, and atomically publishes the successor snapshot. Readers
+//!   applies them through `kaskade-core`'s refresh DAG — every
+//!   catalog view maintained incrementally by its `ViewMaintainer`,
+//!   level-parallel where views are independent — plus incremental
+//!   statistics updates, and atomically publishes the successor
+//!   snapshot. Readers
 //!   never block writers and vice versa. The queue is bounded: when the
 //!   worker falls behind, [`Engine::submit`] fails fast with a typed
 //!   `Backpressure` error instead of buffering without bound. The
@@ -49,7 +51,7 @@
 //! use kaskade_datasets::{generate_provenance, ProvenanceConfig};
 //! use kaskade_graph::Schema;
 //! use kaskade_query::{listings::LISTING_1, parse};
-//! use kaskade_service::Engine;
+//! use kaskade_service::{Engine, SubmitOpts};
 //!
 //! let g = generate_provenance(&ProvenanceConfig::tiny(7).core_only());
 //! let engine = Engine::from_kaskade(&Kaskade::new(g, Schema::provenance()));
@@ -61,7 +63,7 @@
 //! // writes land asynchronously; flush() waits for visibility
 //! let mut delta = GraphDelta::new();
 //! delta.add_vertex("Job", vec![]);
-//! engine.submit(delta).unwrap();
+//! engine.submit(delta, SubmitOpts::default()).unwrap();
 //! engine.flush();
 //! assert_eq!(engine.epoch(), 1);
 //! assert_eq!(engine.metrics().deltas_applied, 1);
@@ -86,7 +88,7 @@ pub mod snapshot;
 pub mod stream;
 
 pub use drive::{drive, snapshot_is_consistent, DriveConfig, DriveOutcome, ServingBackend};
-pub use engine::{Engine, EngineConfig, SubmitError};
+pub use engine::{Engine, EngineConfig, SubmitError, SubmitOpts};
 pub use metrics::{LatencyHistogram, Metrics, MetricsReport};
 pub use plan_cache::{plan_key, PlanCache};
 pub use shard::{

@@ -81,6 +81,8 @@ pub struct Metrics {
     deltas_rejected: AtomicU64,
     deltas_backpressured: AtomicU64,
     retractions_applied: AtomicU64,
+    views_refreshed: AtomicU64,
+    views_rematerialized: AtomicU64,
     compactions_run: AtomicU64,
     slots_reclaimed: AtomicU64,
     batches_published: AtomicU64,
@@ -127,6 +129,17 @@ impl Metrics {
             .fetch_add(retractions as u64, Ordering::Relaxed);
     }
 
+    /// Records one publish's view maintenance: how many views the
+    /// refresh DAG refreshed and how many of those fell back to a full
+    /// scratch re-materialization. On incremental-safe workloads (every
+    /// composed view's upstream cataloged) the second counter stays 0 —
+    /// the CI smoke gates on it.
+    pub fn record_view_refresh(&self, refreshed: u64, rematerialized: u64) {
+        self.views_refreshed.fetch_add(refreshed, Ordering::Relaxed);
+        self.views_rematerialized
+            .fetch_add(rematerialized, Ordering::Relaxed);
+    }
+
     /// Records one slot compaction and the id slots (vertex + edge,
     /// live + dead capacity before minus after) it reclaimed.
     pub fn record_compaction(&self, reclaimed: usize) {
@@ -164,6 +177,8 @@ impl Metrics {
             deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
             deltas_backpressured: self.deltas_backpressured.load(Ordering::Relaxed),
             retractions_applied: self.retractions_applied.load(Ordering::Relaxed),
+            views_refreshed: self.views_refreshed.load(Ordering::Relaxed),
+            views_rematerialized: self.views_rematerialized.load(Ordering::Relaxed),
             compactions_run: self.compactions_run.load(Ordering::Relaxed),
             slots_reclaimed: self.slots_reclaimed.load(Ordering::Relaxed),
             batches_published: self.batches_published.load(Ordering::Relaxed),
@@ -197,6 +212,13 @@ pub struct MetricsReport {
     pub deltas_backpressured: u64,
     /// Retraction operations (edge or vertex) in applied batches.
     pub retractions_applied: u64,
+    /// Views refreshed by the per-publish refresh DAG (delta-driven).
+    pub views_refreshed: u64,
+    /// Of the refreshed views, how many fell back to a full scratch
+    /// re-materialization (a composed view refreshed without its
+    /// upstream connector in the catalog). Stays 0 on incremental-safe
+    /// workloads — the `--expect-incremental` CI smoke gates on it.
+    pub views_rematerialized: u64,
     /// Slot compactions run (each publishes its own epoch).
     pub compactions_run: u64,
     /// Total id slots (vertex + edge capacity) reclaimed by
@@ -264,6 +286,11 @@ impl fmt::Display for MetricsReport {
             self.deltas_backpressured
         )?;
         writeln!(f, "retractions        {} applied", self.retractions_applied)?;
+        writeln!(
+            f,
+            "view refresh       {} refreshed, {} rematerialized",
+            self.views_refreshed, self.views_rematerialized
+        )?;
         writeln!(
             f,
             "compaction         {} runs, {} slots reclaimed",
@@ -338,8 +365,16 @@ mod tests {
     fn report_displays_every_section() {
         let m = Metrics::new();
         m.record_query(Duration::from_micros(50));
+        m.record_view_refresh(5, 1);
         let s = m.report().to_string();
-        for needle in ["queries served", "plan cache", "write path", "refresh"] {
+        assert!(s.contains("5 refreshed, 1 rematerialized"), "{s}");
+        for needle in [
+            "queries served",
+            "plan cache",
+            "write path",
+            "view refresh",
+            "refresh",
+        ] {
             assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
         }
     }

@@ -32,8 +32,9 @@
 //! owner, vertex retractions broadcast so each shard cascades its local
 //! incident edges. Shard engines apply their sub-deltas **in
 //! parallel** (with the coordinator's own global apply overlapping),
-//! connector views refresh with per-shard worker threads
-//! ([`maintain_connector_partitioned`]), and the **global epoch
+//! views refresh delta-incrementally through the
+//! [`RefreshDag`] (connector frontiers recompute on one worker thread
+//! per shard, level-parallel across views), and the **global epoch
 //! publishes only after every shard applied the batch** — a
 //! [`ShardedReader`] can never observe shard states from two different
 //! publishes.
@@ -60,15 +61,14 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use kaskade_core::{
-    apply_delta, maintain_connector_partitioned, materialize, Catalog, GraphDelta, Kaskade,
-    KaskadeError, MaterializedView, Snapshot, ViewDef,
+    apply_delta, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions, Snapshot,
 };
 use kaskade_graph::{GraphStats, VertexId};
 use kaskade_query::{PatternPlan, PatternRows, Query, Table};
 
 use crate::engine::{
     collect_batch, enqueue_delta, should_compact, slot_capacity, Engine, EngineConfig, Msg,
-    RemapHistory, SubmitError,
+    RemapHistory, SubmitError, SubmitOpts,
 };
 use crate::metrics::{Metrics, MetricsReport};
 use crate::plan_cache::{plan_key, PlanCache};
@@ -479,18 +479,12 @@ impl ShardedEngine {
     /// references to the base graph at apply time by the router, a
     /// full queue returns [`SubmitError::Backpressure`] with nothing
     /// enqueued, and existing-vertex ids are taken to be in the
-    /// currently published epoch's id space (use
-    /// [`ShardedEngine::submit_at`] for ids resolved from an earlier
-    /// snapshot).
-    pub fn submit(&self, delta: GraphDelta) -> Result<(), SubmitError> {
-        self.submit_at(delta, self.shared.cell.epoch())
-    }
-
-    /// [`ShardedEngine::submit`] for a delta whose existing-vertex ids
-    /// were resolved against the global snapshot published at
-    /// `based_on`; the router rebases it through any coordinated slot
-    /// compactions published since (see [`Engine::submit_at`]).
-    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+    /// currently published epoch's id space unless
+    /// [`SubmitOpts::based_on`] says otherwise — then the router
+    /// rebases the delta through any coordinated slot compactions
+    /// published since.
+    pub fn submit(&self, delta: GraphDelta, opts: SubmitOpts) -> Result<(), SubmitError> {
+        let based_on = opts.based_on.unwrap_or_else(|| self.shared.cell.epoch());
         enqueue_delta(
             &self.tx,
             &self.shared.queued,
@@ -498,6 +492,14 @@ impl ShardedEngine {
             delta,
             based_on,
         )
+    }
+
+    /// [`ShardedEngine::submit`] for a delta whose existing-vertex ids
+    /// were resolved against the global snapshot published at
+    /// `based_on`.
+    #[deprecated(note = "use `submit(delta, SubmitOpts::based_on(epoch))`")]
+    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
+        self.submit(delta, SubmitOpts::based_on(based_on))
     }
 
     /// Waits until every previously submitted delta is applied on
@@ -577,10 +579,10 @@ fn execute_at(
             plan
         }
     };
-    let target = match &planned.view_id {
-        Some(id) => match snap.state.catalog().get(id) {
+    let target = match planned.view_id {
+        Some(id) => match snap.state.catalog().get_by_id(id) {
             Some(view) => &view.graph,
-            None => return Err(KaskadeError::UnknownView(id.clone())),
+            None => return Err(KaskadeError::UnknownView(id)),
         },
         None => snap.state.graph(),
     };
@@ -818,7 +820,7 @@ fn advance(
             continue;
         }
         loop {
-            match shared.shards[s].submit(sub.clone()) {
+            match shared.shards[s].submit(sub.clone(), SubmitOpts::default()) {
                 Ok(()) => break,
                 // cannot happen in steady state (the router flushes
                 // every batch, so a shard queue holds at most one
@@ -847,22 +849,25 @@ fn advance(
         })
         .collect();
 
-    // 4. refresh views over the new global base — connector frontiers
-    //    recompute on one worker thread per shard
-    let mut catalog = Catalog::new();
-    for view in state.catalog().iter() {
-        let refreshed = match &view.def {
-            ViewDef::Connector(c) => maintain_connector_partitioned(
-                &view.graph,
-                &applied,
-                c,
-                &|v| partitioner.shard_of(v, applied.graph.vertex_type(v)),
-                n,
-            ),
-            other => materialize(&applied.graph, other),
-        };
-        catalog.add(MaterializedView::new(view.def.clone(), refreshed));
-    }
+    // 4. refresh views over the new global base through the refresh
+    //    DAG: delta-driven per view, level-parallel across views, and
+    //    connector frontiers recompute on one worker thread per shard
+    let part = |v: VertexId| partitioner.shard_of(v, applied.graph.vertex_type(v));
+    let dag = RefreshDag::build(state.catalog());
+    let (catalog, report) = dag.refresh(
+        state.catalog(),
+        &applied,
+        &RefreshOptions {
+            parallel: true,
+            partition: Some(Partition {
+                part_of: &part,
+                parts: n,
+            }),
+        },
+    );
+    shared
+        .metrics
+        .record_view_refresh(report.refreshed as u64, report.rematerialized as u64);
 
     // 5. global statistics are the merge of the per-shard statistics
     let stats = GraphStats::merge(shard_states.iter().map(|s| s.state.stats()))
@@ -875,7 +880,7 @@ fn advance(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kaskade_core::{ConnectorDef, Kaskade, VRef};
+    use kaskade_core::{ConnectorDef, Kaskade, VRef, ViewDef};
     use kaskade_datasets::{generate_provenance, ProvenanceConfig};
     use kaskade_graph::{Graph, GraphBuilder, Schema, Value};
     use kaskade_query::{listings::LISTING_1, parse};
@@ -946,8 +951,8 @@ mod tests {
             for step in 0..12u64 {
                 let state = single.snapshot();
                 let delta = crate::stream::churn_delta(&state.state, step).unwrap();
-                single.submit(delta.clone()).unwrap();
-                sharded.submit(delta).unwrap();
+                single.submit(delta.clone(), SubmitOpts::default()).unwrap();
+                sharded.submit(delta, SubmitOpts::default()).unwrap();
                 single.flush();
                 sharded.flush();
             }
@@ -973,7 +978,7 @@ mod tests {
         let j = d.add_vertex("Job", vec![("CPU".into(), Value::Int(1))]);
         let f = d.add_vertex("File", vec![]);
         d.add_edge(j, f, "WRITES_TO", vec![("ts".into(), Value::Int(1))]);
-        engine.submit(d).unwrap();
+        engine.submit(d, SubmitOpts::default()).unwrap();
         let epoch = engine.flush();
         assert!(epoch >= 1);
         let snap = reader.snapshot();
@@ -1013,7 +1018,7 @@ mod tests {
         );
         let mut d = GraphDelta::new();
         d.del_vertex(f0);
-        engine.submit(d).unwrap();
+        engine.submit(d, SubmitOpts::default()).unwrap();
         engine.flush();
         assert_eq!(
             engine.execute(&q).unwrap().scalar().unwrap().as_int(),
@@ -1039,7 +1044,7 @@ mod tests {
         let mut dangling = GraphDelta::new();
         let v = dangling.add_vertex("File", vec![]);
         dangling.add_edge(VRef::Existing(VertexId(99_999)), v, "WRITES_TO", vec![]);
-        engine.submit(dangling).unwrap();
+        engine.submit(dangling, SubmitOpts::default()).unwrap();
         engine.flush();
         let m = engine.metrics();
         assert_eq!(m.global.deltas_rejected, 1);
@@ -1066,7 +1071,7 @@ mod tests {
         let engine = ShardedEngine::from_kaskade(&instance(95), 2);
         let mut d = GraphDelta::new();
         d.add_vertex("Job", vec![]);
-        engine.submit(d).unwrap();
+        engine.submit(d, SubmitOpts::default()).unwrap();
         engine.flush();
         let text = engine.metrics().to_string();
         assert!(text.contains("shard 0"), "{text}");
@@ -1091,8 +1096,8 @@ mod tests {
         for step in 0..8u64 {
             let state = single.snapshot();
             let delta = crate::stream::scripted_delta(&state.state, step).unwrap();
-            single.submit(delta.clone()).unwrap();
-            sharded.submit(delta).unwrap();
+            single.submit(delta.clone(), SubmitOpts::default()).unwrap();
+            sharded.submit(delta, SubmitOpts::default()).unwrap();
             single.flush();
             sharded.flush();
         }
@@ -1140,7 +1145,9 @@ mod tests {
                 "SPAWNS",
                 vec![("ts".into(), Value::Int(round as i64))],
             );
-            engine.submit_at(delta, snap.epoch).unwrap();
+            engine
+                .submit(delta, SubmitOpts::based_on(snap.epoch))
+                .unwrap();
             engine.flush();
         }
         let report = engine.metrics();

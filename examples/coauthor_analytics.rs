@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use kaskade::algos::{community_sizes, k_hop_neighborhood, label_propagation, Direction};
-use kaskade::core::{materialize_connector, materialize_summarizer, ConnectorDef, SummarizerDef};
+use kaskade::core::{materialize, ConnectorDef, SummarizerDef, ViewDef};
 use kaskade::datasets::{generate_dblp, DblpConfig};
 
 fn main() {
@@ -23,13 +23,16 @@ fn main() {
 
     // Keep authors and publications (venues are irrelevant here), then
     // contract author→publication→author into CO_AUTHOR-style edges.
-    let filtered = materialize_summarizer(
+    let filtered = materialize(
         &raw,
-        &SummarizerDef::VertexInclusion {
+        &ViewDef::Summarizer(SummarizerDef::VertexInclusion {
             keep: vec!["Author".into(), "Publication".into()],
-        },
+        }),
     );
-    let connector = materialize_connector(&filtered, &ConnectorDef::k_hop("Author", "Author", 2));
+    let connector = materialize(
+        &filtered,
+        &ViewDef::Connector(ConnectorDef::k_hop("Author", "Author", 2)),
+    );
     println!(
         "co-author connector: {} vertices, {} edges (filter graph: {} edges)",
         connector.vertex_count(),

@@ -11,16 +11,16 @@
 use std::time::Instant;
 
 use kaskade::algos::{data_valuation, weakly_connected_components};
-use kaskade::core::{materialize_summarizer, SummarizerDef};
+use kaskade::core::{materialize, SummarizerDef, ViewDef};
 use kaskade::datasets::{generate_provenance, ProvenanceConfig};
 
 fn main() {
     let raw = generate_provenance(&ProvenanceConfig::default());
-    let core = materialize_summarizer(
+    let core = materialize(
         &raw,
-        &SummarizerDef::VertexInclusion {
+        &ViewDef::Summarizer(SummarizerDef::VertexInclusion {
             keep: vec!["Job".into(), "File".into()],
-        },
+        }),
     );
     println!(
         "lineage core: {} vertices, {} edges",

@@ -61,9 +61,13 @@ fn main() {
 
     // 4. The same query is now automatically rewritten onto the view.
     let plan = kaskade.plan(&query).expect("plans");
+    let routed = plan
+        .view_id
+        .and_then(|id| kaskade.catalog().get_by_id(id))
+        .map(|v| v.def.id());
     println!(
         "\nplanned target: {}",
-        plan.view_id.as_deref().unwrap_or("raw graph")
+        routed.as_deref().unwrap_or("raw graph")
     );
     let view_result = kaskade.execute(&query).expect("query runs on view");
     assert_eq!(raw_result.len(), view_result.len());

@@ -9,16 +9,15 @@
 
 use std::time::Instant;
 
-use kaskade::core::{
-    apply_delta, maintain_connector, materialize_connector, ConnectorDef, GraphDelta, VRef,
-};
+use kaskade::core::{apply_delta, ConnectorDef, GraphDelta, VRef, ViewDef};
 use kaskade::datasets::{generate_provenance, ProvenanceConfig};
 use kaskade::graph::Value;
 
 fn main() {
     let base = generate_provenance(&ProvenanceConfig::default().core_only());
-    let def = ConnectorDef::k_hop("Job", "Job", 2);
-    let mut view = materialize_connector(&base, &def);
+    let def = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2));
+    let maintainer = def.maintainer();
+    let mut view = maintainer.materialize(&base);
     let mut graph = base;
     println!(
         "initial: base {} edges, job-to-job connector {} edges",
@@ -52,11 +51,11 @@ fn main() {
         let applied = apply_delta(&graph, &delta);
 
         let start = Instant::now();
-        let incremental = maintain_connector(&view, &applied, &def);
+        let incremental = maintainer.refresh(&view, &applied).graph;
         let t_inc = start.elapsed().as_secs_f64();
 
         let start = Instant::now();
-        let full = materialize_connector(&applied.graph, &def);
+        let full = maintainer.materialize(&applied.graph);
         let t_full = start.elapsed().as_secs_f64();
 
         assert_eq!(incremental.edge_count(), full.edge_count());

@@ -34,11 +34,11 @@ fn main() {
     // Part 2: scoring + knapsack on the summarized prov graph.
     // ------------------------------------------------------------------
     let filtered = Dataset::Prov.generate(1, 42);
-    let core = kaskade::core::materialize_summarizer(
+    let core = kaskade::core::materialize(
         &filtered,
-        &kaskade::core::SummarizerDef::VertexInclusion {
+        &kaskade::core::ViewDef::Summarizer(kaskade::core::SummarizerDef::VertexInclusion {
             keep: vec!["Job".into(), "File".into()],
-        },
+        }),
     );
     let stats = GraphStats::compute(&core);
     let schema = kaskade::graph::Schema::provenance();

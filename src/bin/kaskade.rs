@@ -7,7 +7,11 @@
 //!   dataset:        prov | dblp | roadnet-usa | soc-livejournal
 //!
 //! shared options:
-//!   --views         run view selection for the workload before starting
+//!   --views [composed]  run view selection for the workload before
+//!                   starting; `--views composed` skips selection and
+//!                   materializes the fixed composed-DAG catalog
+//!                   (connector + aggregator + source-sink + a
+//!                   summarizer OVER the connector) instead
 //!   --scale N       dataset scale factor            (default 1)
 //!   --seed N        dataset generator seed          (default 0x5EED)
 //!   --threads N     reader threads                  (default 1 / 4)
@@ -21,6 +25,10 @@
 //!                       (default 0.5)
 //!   --expect-compaction fail unless the run compacted and ended with
 //!                       slot capacity bounded (the long-churn CI gate)
+//!   --expect-incremental fail unless every view refresh after startup
+//!                       was incremental: `views_rematerialized` must
+//!                       stay 0 while `views_refreshed` grows (the
+//!                       refresh-DAG CI gate)
 //!   --smoke         short self-checking run for CI (implies --views)
 //! ```
 //!
@@ -56,9 +64,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: kaskade query <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] \
          [--seed N] [--threads N] <query|@listing1|@listing4>\n       \
-         kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views] [--scale N] [--seed N] \
-         [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] [--shards N] \
-         [--compact-ratio F] [--expect-compaction] [--smoke] [query ...]"
+         kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views [composed]] [--scale N] \
+         [--seed N] [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] \
+         [--shards N] [--compact-ratio F] [--expect-compaction] [--expect-incremental] [--smoke] \
+         [query ...]"
     );
     ExitCode::from(2)
 }
@@ -66,6 +75,7 @@ fn usage() -> ExitCode {
 /// Options shared by both subcommands, parsed from the tail of argv.
 struct CommonArgs {
     with_views: bool,
+    composed_views: bool,
     scale: usize,
     seed: u64,
     threads: Option<usize>,
@@ -75,6 +85,7 @@ struct CommonArgs {
     shards: usize,
     compact_ratio: f64,
     expect_compaction: bool,
+    expect_incremental: bool,
     smoke: bool,
     queries: Vec<String>,
 }
@@ -82,6 +93,7 @@ struct CommonArgs {
 fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
     let mut c = CommonArgs {
         with_views: false,
+        composed_views: false,
         scale: 1,
         seed: 0x5EED,
         threads: None,
@@ -91,13 +103,20 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         shards: 1,
         compact_ratio: EngineConfig::default().compact_dead_ratio,
         expect_compaction: false,
+        expect_incremental: false,
         smoke: false,
         queries: Vec::new(),
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--views" => c.with_views = true,
+            "--views" => {
+                c.with_views = true;
+                if args.peek().map(String::as_str) == Some("composed") {
+                    args.next();
+                    c.composed_views = true;
+                }
+            }
             "--smoke" => c.smoke = true,
             "--scale" => c.scale = args.next()?.parse().ok()?,
             "--seed" => c.seed = args.next()?.parse().ok()?,
@@ -110,6 +129,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
                 c.compact_ratio = args.next()?.parse().ok().filter(|&r: &f64| r > 0.0)?
             }
             "--expect-compaction" => c.expect_compaction = true,
+            "--expect-incremental" => c.expect_incremental = true,
             "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
             "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
             other if other.starts_with("--") => return None,
@@ -148,6 +168,48 @@ fn parse_workload(sources: &[String]) -> Result<Vec<Query>, ExitCode> {
     Ok(queries)
 }
 
+/// The `--views composed` catalog: a fixed 4-view refresh DAG over the
+/// dataset's anchor type — a 2-hop connector, a summarizer composed
+/// *over* that connector (so the DAG has a second level), a
+/// source-to-sink contraction, and (on prov, whose jobs carry the
+/// props) a pipeline CPU aggregator.
+fn materialize_composed_preset(kaskade: &mut Kaskade, dataset: Dataset) {
+    use kaskade::core::{
+        ComposedDef, ConnectorDef, PropPredicate, SourceSinkDef, SummarizerDef, ViewDef,
+    };
+    let anchor = dataset.anchor_type();
+    let connector = ConnectorDef::k_hop(anchor, anchor, 2);
+    let mut defs = vec![
+        ViewDef::Connector(connector.clone()),
+        ViewDef::Composed(ComposedDef {
+            connector,
+            summarizer: SummarizerDef::EdgePredicate {
+                keep: PropPredicate::IntAtLeast("support".into(), 2),
+            },
+        }),
+        ViewDef::SourceSink(SourceSinkDef::default()),
+    ];
+    if dataset == Dataset::Prov {
+        defs.push(ViewDef::Summarizer(SummarizerDef::VertexAggregator {
+            vtype: "Job".into(),
+            group_prop: "pipelineName".into(),
+            agg_prop: "CPU".into(),
+            agg: kaskade::core::AggOp::Sum,
+        }));
+    }
+    let start = Instant::now();
+    let names: Vec<String> = defs
+        .into_iter()
+        .map(|d| kaskade.materialize_view(d))
+        .collect();
+    eprintln!(
+        "composed preset: materialized {} view(s) in {:.2?}: {}",
+        names.len(),
+        start.elapsed(),
+        names.join(", ")
+    );
+}
+
 fn select_views(kaskade: &mut Kaskade, workload: &[Query]) {
     let start = Instant::now();
     let report = kaskade.select_and_materialize(workload, &SelectionConfig::default());
@@ -181,7 +243,9 @@ fn cmd_query(dataset: Dataset, c: CommonArgs) -> ExitCode {
     };
     let query = &workload[0];
     let mut kaskade = load(dataset, &c);
-    if c.with_views {
+    if c.composed_views {
+        materialize_composed_preset(&mut kaskade, dataset);
+    } else if c.with_views {
         select_views(&mut kaskade, &workload);
     }
 
@@ -192,9 +256,13 @@ fn cmd_query(dataset: Dataset, c: CommonArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let routed = plan
+        .view_id
+        .and_then(|id| kaskade.catalog().get_by_id(id))
+        .map(|v| v.def.id());
     eprintln!(
         "plan: {} (estimated cost {:.0})",
-        plan.view_id.as_deref().unwrap_or("raw graph"),
+        routed.as_deref().unwrap_or("raw graph"),
         plan.estimated_cost
     );
 
@@ -277,7 +345,9 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         Err(code) => return code,
     };
     let mut kaskade = load(dataset, &c);
-    if c.with_views {
+    if c.composed_views {
+        materialize_composed_preset(&mut kaskade, dataset);
+    } else if c.with_views {
         select_views(&mut kaskade, &workload);
     }
 
@@ -376,6 +446,20 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         eprintln!(
             "compaction check passed ({} runs reclaimed {} slots; capacity {capacity} <= 2x live {live} + slack)",
             outcome.report.compactions_run, outcome.report.slots_reclaimed
+        );
+    }
+    if c.expect_incremental {
+        // the refresh-DAG CI gate: the writer must have refreshed views
+        // (so the DAG actually ran) and never once fallen back to a
+        // full re-materialization of a composed view
+        let refreshed = outcome.report.views_refreshed;
+        let remat = outcome.report.views_rematerialized;
+        if refreshed == 0 || remat != 0 {
+            eprintln!("incremental check FAILED: refreshed={refreshed} rematerialized={remat}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "incremental check passed ({refreshed} view refreshes, zero re-materializations)"
         );
     }
     if c.smoke {

@@ -38,7 +38,11 @@ fn full_pipeline_on_prov() {
 
     // the planner routes the query to the connector and results agree
     let plan = kaskade.plan(&query).unwrap();
-    assert_eq!(plan.view_id.as_deref(), Some("connector:JOB_TO_JOB_2_HOP"));
+    let routed = plan
+        .view_id
+        .and_then(|id| kaskade.catalog().get_by_id(id))
+        .map(|v| v.def.id());
+    assert_eq!(routed.as_deref(), Some("connector:JOB_TO_JOB_2_HOP"));
 }
 
 #[test]
@@ -64,9 +68,9 @@ fn listing_1_equals_listing_4_on_materialized_connector() {
     let g = Dataset::Prov.generate(1, 103);
     let q1 = parse(listings::LISTING_1).unwrap();
     let q4 = parse(listings::LISTING_4).unwrap();
-    let view = kaskade::core::materialize_connector(
+    let view = kaskade::core::materialize(
         &g,
-        &kaskade::core::ConnectorDef::k_hop("Job", "Job", 2),
+        &kaskade::core::ViewDef::Connector(kaskade::core::ConnectorDef::k_hop("Job", "Job", 2)),
     );
     let r1 = execute(&g, &q1).unwrap();
     let r4 = execute(&view, &q4).unwrap();
@@ -85,9 +89,11 @@ fn coauthor_equivalence_dblp() {
     )
     .unwrap();
     let raw = execute(&g, &raw_q).unwrap();
-    let view = kaskade::core::materialize_connector(
+    let view = kaskade::core::materialize(
         &g,
-        &kaskade::core::ConnectorDef::k_hop("Author", "Author", 2),
+        &kaskade::core::ViewDef::Connector(kaskade::core::ConnectorDef::k_hop(
+            "Author", "Author", 2,
+        )),
     );
     let view_q = parse(
         "SELECT COUNT(*) FROM (

@@ -8,7 +8,7 @@
 
 use kaskade::core::{
     assert_query_facts, assert_schema_facts, base_database, enumerate_views, find_chain,
-    materialize_connector, rewrite_over_connector, Candidate, ConnectorDef,
+    materialize, rewrite_over_connector, Candidate, ConnectorDef, ViewDef,
 };
 use kaskade::graph::{GraphBuilder, Schema};
 use kaskade::query::{execute, listings, parse, EdgePattern};
@@ -130,7 +130,10 @@ fn figure_3_connector_edges_are_exact() {
         out
     };
     // panel (c): job-to-job = {j1->j2, j1->j3}
-    let c_view = materialize_connector(&g, &ConnectorDef::k_hop("Job", "Job", 2));
+    let c_view = materialize(
+        &g,
+        &ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)),
+    );
     assert_eq!(
         edges_of(&c_view),
         vec![
@@ -139,7 +142,10 @@ fn figure_3_connector_edges_are_exact() {
         ]
     );
     // panel (d): file-to-file = {f1->f3, f2->f4}
-    let d_view = materialize_connector(&g, &ConnectorDef::k_hop("File", "File", 2));
+    let d_view = materialize(
+        &g,
+        &ViewDef::Connector(ConnectorDef::k_hop("File", "File", 2)),
+    );
     assert_eq!(
         edges_of(&d_view),
         vec![
@@ -173,7 +179,7 @@ fn listing_4_is_the_rewriting_of_listing_1() {
 
     // equivalent results on a generated lineage graph
     let g = kaskade::datasets::Dataset::Prov.generate(1, 777);
-    let view = materialize_connector(&g, &def);
+    let view = materialize(&g, &ViewDef::Connector(def.clone()));
     let r1 = execute(&g, &q1).unwrap();
     let r4 = execute(&view, &q4).unwrap();
     let norm = |t: &kaskade::query::Table| {

@@ -14,7 +14,7 @@ use kaskade::graph::Schema;
 use kaskade::query::{execute as execute_raw, listings::LISTING_1, parse, Table};
 use kaskade::service::{
     churn_delta, drive, plan_key, snapshot_is_consistent, DriveConfig, Engine, EngineConfig,
-    HashPartitioner, ShardedConfig, ShardedEngine, SubmitError, Workload,
+    HashPartitioner, ShardedConfig, ShardedEngine, SubmitError, SubmitOpts, Workload,
 };
 
 fn tiny_instance(seed: u64) -> Kaskade {
@@ -86,7 +86,7 @@ fn concurrent_readers_never_observe_torn_snapshots() {
                     "IS_READ_BY",
                     vec![("ts".into(), kaskade::graph::Value::Int(step as i64))],
                 );
-                engine.submit(d).unwrap();
+                engine.submit(d, SubmitOpts::default()).unwrap();
                 std::thread::sleep(Duration::from_millis(1));
             }
         });
@@ -173,7 +173,7 @@ fn churn_writer_keeps_views_and_stats_consistent() {
             for step in 0..80u64 {
                 let snap = engine.snapshot();
                 if let Some(delta) = churn_delta(&snap.state, step) {
-                    if engine.submit(delta).is_err() {
+                    if engine.submit(delta, SubmitOpts::default()).is_err() {
                         break;
                     }
                 }
@@ -275,7 +275,7 @@ fn sharded_readers_never_observe_torn_shard_epochs() {
             for step in 0..80u64 {
                 let snap = engine.snapshot();
                 if let Some(delta) = churn_delta(&snap.state, step) {
-                    if engine.submit(delta).is_err() {
+                    if engine.submit(delta, SubmitOpts::default()).is_err() {
                         break;
                     }
                 }
@@ -315,7 +315,7 @@ fn backpressure_surfaces_and_counter_matches() {
     for _ in 0..200_000 {
         let mut d = GraphDelta::new();
         d.add_vertex("File", vec![]);
-        match engine.submit(d) {
+        match engine.submit(d, SubmitOpts::default()) {
             Ok(()) => accepted += 1,
             Err(SubmitError::Backpressure) => {
                 refused += 1;
@@ -354,7 +354,7 @@ fn backpressure_surfaces_and_counter_matches() {
     for _ in 0..200_000 {
         let mut d = GraphDelta::new();
         d.add_vertex("File", vec![]);
-        match sharded.submit(d) {
+        match sharded.submit(d, SubmitOpts::default()) {
             Ok(()) => accepted += 1,
             Err(SubmitError::Backpressure) => {
                 refused += 1;
@@ -374,7 +374,7 @@ fn backpressure_surfaces_and_counter_matches() {
     // the engine keeps serving after shedding load
     let mut d = GraphDelta::new();
     d.add_vertex("Job", vec![]);
-    sharded.submit(d).unwrap();
+    sharded.submit(d, SubmitOpts::default()).unwrap();
     sharded.flush();
     assert!(sharded.snapshot().is_coherent());
 }
@@ -519,7 +519,7 @@ fn batched_ingestion_converges_to_sequential_state() {
         },
     );
     for d in &deltas {
-        engine.submit(d.clone()).unwrap();
+        engine.submit(d.clone(), SubmitOpts::default()).unwrap();
     }
     engine.flush();
     let snap = engine.snapshot();
