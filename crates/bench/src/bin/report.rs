@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use kaskade_bench::experiments::{
     enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_churn,
-    serve_compaction, serve_dag, serve_sharded, serve_throughput, table3,
+    serve_compaction, serve_dag, serve_sharded, serve_throughput, serve_trace, table3,
 };
 use kaskade_bench::setup::Env;
 use kaskade_bench::workload::QueryId;
@@ -455,6 +455,33 @@ fn print_serve(dataset: Option<Dataset>) {
     println!("   connector and the summarizer maintained OVER it sit on two DAG levels;");
     println!("   `dag-parallel` fans level-0 views out across workers, `rematerialized`");
     println!("   stays 0 because the composed view always refreshes from its upstream)");
+
+    println!("\n  tracing overhead: identical run with the span subsystem off / on / on+slowlog");
+    println!(
+        "    {:>10} {:>9} {:>10} {:>11} {:>7} {:>8} {:>6}",
+        "tracer", "reads", "reads/s", "p50", "events", "dropped", "slow"
+    );
+    for r in serve_trace(
+        d,
+        SCALE,
+        SEED,
+        4,
+        Duration::from_millis(400),
+        Duration::from_millis(2),
+    ) {
+        println!(
+            "    {:>10} {:>9} {:>10.0} {:>11} {:>7} {:>8} {:>6}",
+            r.variant,
+            r.reads,
+            r.reads_per_sec,
+            format!("{:.1?}", r.p50),
+            r.events,
+            r.dropped,
+            r.slow_queries,
+        );
+    }
+    println!("\n  (a disabled span site costs one relaxed atomic load; the CI overhead");
+    println!("   gate fails the build if `--trace on` throughput regresses >10%)");
 }
 
 fn print_enum() {

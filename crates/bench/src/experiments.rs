@@ -13,7 +13,7 @@ use kaskade_datasets::Dataset;
 use kaskade_graph::{degree_ccdf, power_law_exponent, GraphStats};
 use kaskade_query::parse;
 use kaskade_service::{
-    drive, DriveConfig, Engine, EngineConfig, ShardedEngine, SubmitOpts, Workload,
+    drive, DriveConfig, Engine, EngineConfig, ShardedEngine, SubmitOpts, Tracer, Workload,
 };
 
 use crate::setup::{k_hop_pair_count, Env};
@@ -275,6 +275,89 @@ pub fn serve_throughput(
             }
         })
         .collect()
+}
+
+/// One row of the tracing-overhead experiment: the same serving run
+/// with the span subsystem off, on, or on with a slow-query threshold.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// Tracer variant driven ("off", "on", "on+slowlog").
+    pub variant: &'static str,
+    /// Successful reads over the run.
+    pub reads: u64,
+    /// Successful reads per second of wall-clock time.
+    pub reads_per_sec: f64,
+    /// Median query latency.
+    pub p50: Duration,
+    /// Trace events captured in the flight recorder.
+    pub events: usize,
+    /// Events dropped on flight-recorder slot contention.
+    pub dropped: u64,
+    /// Queries that crossed the slow-query threshold.
+    pub slow_queries: u64,
+}
+
+/// Tracing overhead: the identical serving run (same state, same
+/// workload, same writer cadence) under three tracer variants. The CI
+/// overhead gate asserts `--trace off` and `--trace on` throughput stay
+/// within noise of each other — a disabled span site must cost one
+/// relaxed atomic load, and an enabled one two timestamps plus a ring
+/// push.
+pub fn serve_trace(
+    dataset: Dataset,
+    scale: usize,
+    seed: u64,
+    readers: usize,
+    duration: Duration,
+    write_pause: Duration,
+) -> Vec<TraceRow> {
+    let graph = dataset.generate(scale, seed);
+    let mut kaskade = Kaskade::new(graph, dataset.schema());
+    let workload =
+        vec![parse(kaskade_query::listings::LISTING_1).expect("serving workload parses")];
+    kaskade.select_and_materialize(&workload, &SelectionConfig::default());
+    let base = kaskade.snapshot();
+
+    [
+        ("off", false, None),
+        ("on", true, None),
+        ("on+slowlog", true, Some(Duration::from_micros(1))),
+    ]
+    .into_iter()
+    .map(|(variant, enabled, slow)| {
+        let tracer = std::sync::Arc::new(Tracer::new(enabled));
+        tracer.set_slow_query_threshold(slow);
+        let engine = Engine::with_config(
+            base.clone(),
+            EngineConfig {
+                tracer: Some(std::sync::Arc::clone(&tracer)),
+                ..EngineConfig::default()
+            },
+        );
+        let outcome = drive(
+            &engine,
+            &workload,
+            &DriveConfig {
+                readers,
+                duration,
+                read_pause: Duration::ZERO,
+                write_pause,
+                max_writes: 0,
+                verify_consistency: false,
+                workload: Workload::Append,
+            },
+        );
+        TraceRow {
+            variant,
+            reads: outcome.reads,
+            reads_per_sec: outcome.reads_per_sec(),
+            p50: outcome.report.p50,
+            events: tracer.dump().len(),
+            dropped: tracer.dropped_events(),
+            slow_queries: tracer.slow_queries(),
+        }
+    })
+    .collect()
 }
 
 /// One row of the churn-serving experiment: a workload shape driven
@@ -858,6 +941,27 @@ mod tests {
         assert!(r.cache_hit_rate > 0.0, "plan cache warmed: {r:?}");
         assert!(r.reads_per_sec > 0.0);
         assert!(r.p99 >= r.p50);
+    }
+
+    #[test]
+    fn serve_trace_captures_spans_only_when_enabled() {
+        let rows = serve_trace(
+            Dataset::Prov,
+            1,
+            41,
+            2,
+            Duration::from_millis(300),
+            Duration::from_millis(2),
+        );
+        assert_eq!(rows.len(), 3);
+        let (off, on, slowlog) = (&rows[0], &rows[1], &rows[2]);
+        assert_eq!(off.variant, "off");
+        assert_eq!(off.events, 0, "disabled tracer recorded spans: {off:?}");
+        assert_eq!(on.variant, "on");
+        assert!(on.events > 0, "enabled tracer captured nothing: {on:?}");
+        assert!(on.reads > 0 && off.reads > 0);
+        // a 1µs threshold makes every served query a slow query
+        assert_eq!(slowlog.slow_queries, slowlog.reads, "{slowlog:?}");
     }
 
     #[test]

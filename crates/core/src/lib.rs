@@ -55,15 +55,11 @@ pub use maintain::{
     apply_delta, stat_changes, AppliedDelta, DelEdge, DeltaError, GraphDelta, NewEdge, NewVertex,
     VRef,
 };
-#[allow(deprecated)]
-pub use maintain::{maintain_connector, maintain_connector_partitioned};
 pub use materialize::materialize;
-#[allow(deprecated)]
-pub use materialize::{materialize_connector, materialize_source_sink, materialize_summarizer};
 pub use refresh::{
     ComposedMaintainer, ConnectorMaintainer, Partition, RefreshCtx, RefreshDag, RefreshOptions,
     RefreshReport, Refreshed, SourceSinkMaintainer, SummarizerMaintainer, Upstream, ViewDelta,
-    ViewMaintainer,
+    ViewMaintainer, ViewRefreshStat,
 };
 pub use rewrite::{connector_hop_window, find_chain, rewrite_over_connector, Chain};
 pub use rules::{

@@ -728,46 +728,23 @@ fn affected_sources(def: &ConnectorDef, applied: &AppliedDelta) -> HashSet<Verte
     affected
 }
 
-/// Incrementally refreshes a k-hop connector view after a delta.
-///
-/// `old_view` must be the result of
-/// [`crate::materialize_connector`]`(base_old, def)` and `applied` the
-/// result of applying the delta to `base_old`. Unaffected sources'
-/// connector edges — including their `ts` and provenance `support`
-/// properties — are copied from the old view; affected sources are
-/// recomputed against the new base, which re-derives each surviving
-/// edge's support and drops edges whose last witnessing walk died. The
-/// result is identical to re-materializing from scratch (asserted by
-/// tests), but touches only the neighborhood of the change.
-#[deprecated(note = "use `ViewDef::Connector(..).maintainer().refresh(..)`")]
-pub fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &ConnectorDef) -> Graph {
-    connector_refresh(old_view, applied, def, &|_| 0, 1).0
-}
-
-/// [`maintain_connector`] with the expensive half — re-deriving the
-/// exact-`k` frontier of every affected source — fanned out over
-/// `parts` worker threads, one per ownership partition of `part_of`
-/// (the sharded serving runtime passes its vertex partitioner, so each
-/// shard's worker recomputes exactly the view edges that shard owns).
-/// Assembly stays serial and emits sources in the same sorted order as
-/// the serial path, so the result is **identical** to
-/// [`maintain_connector`] for any partitioning (asserted by tests).
-#[deprecated(
-    note = "use `ViewDef::Connector(..).maintainer().refresh(..)` with a partition context"
-)]
-pub fn maintain_connector_partitioned(
-    old_view: &Graph,
-    applied: &AppliedDelta,
-    def: &ConnectorDef,
-    part_of: &(dyn Fn(VertexId) -> usize + Sync),
-    parts: usize,
-) -> Graph {
-    connector_refresh(old_view, applied, def, part_of, parts).0
-}
-
-/// The connector refresh engine behind [`maintain_connector`] and the
-/// [`crate::refresh::ViewMaintainer`] impl: returns the refreshed view
-/// graph plus the number of sources whose frontier was recomputed.
+/// The connector refresh engine behind the connector
+/// [`crate::refresh::ViewMaintainer`] impl. `old_view` must be the
+/// connector materialized over `base_old` and `applied` the result of
+/// applying the delta to `base_old`. Unaffected sources' connector
+/// edges — including their `ts` and provenance `support` properties —
+/// are copied from the old view; affected sources are recomputed
+/// against the new base, which re-derives each surviving edge's support
+/// and drops edges whose last witnessing walk died. The result is
+/// identical to re-materializing from scratch (asserted by tests), but
+/// touches only the neighborhood of the change. The expensive half —
+/// re-deriving the exact-`k` frontier of every affected source — fans
+/// out over `parts` worker threads, one per ownership partition of
+/// `part_of` (the sharded serving runtime passes its vertex
+/// partitioner); assembly stays serial and emits sources in sorted
+/// order, so the result is **identical** for any partitioning (asserted
+/// by tests). Returns the refreshed view graph plus the number of
+/// sources whose frontier was recomputed.
 pub(crate) fn connector_refresh(
     old_view: &Graph,
     applied: &AppliedDelta,

@@ -43,9 +43,9 @@ pub(crate) type ConnectorTarget = (VertexId, i64, i64);
 /// connector edge dies only when its last witnessing walk dies).
 /// Counts saturate at `i64::MAX`. Targets come back in id order.
 ///
-/// Shared by [`connector_view`] (full builds) and
-/// [`crate::maintain::maintain_connector`] (incremental refresh), so
-/// the two always agree edge-for-edge and property-for-property.
+/// Shared by [`connector_view`] (full builds) and the incremental
+/// connector refresh in `crate::maintain`, so the two always agree
+/// edge-for-edge and property-for-property.
 pub(crate) fn connector_targets(
     g: &Graph,
     def: &ConnectorDef,
@@ -102,9 +102,8 @@ pub(crate) fn emit_connector_edges(
 }
 
 /// Adds pre-computed connector targets of one source to a view under
-/// construction — the serial assembly half of
-/// [`crate::maintain::maintain_connector_partitioned`], whose target
-/// computation runs on worker threads.
+/// construction — the serial assembly half of the partitioned connector
+/// refresh, whose target computation runs on worker threads.
 pub(crate) fn emit_targets(
     b: &mut GraphBuilder,
     targets: &[ConnectorTarget],
@@ -137,11 +136,6 @@ pub(crate) fn emit_targets(
 /// contracted walks, the provenance count that lets incremental
 /// maintenance retract a view edge exactly when its last witnessing
 /// walk disappears (see `kaskade-core::maintain`).
-#[deprecated(note = "use `materialize` or `ViewDef::Connector(..).maintainer().materialize(..)`")]
-pub fn materialize_connector(g: &Graph, def: &ConnectorDef) -> Graph {
-    connector_view(g, def)
-}
-
 pub(crate) fn connector_view(g: &Graph, def: &ConnectorDef) -> Graph {
     let mut b = GraphBuilder::new();
     let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
@@ -173,11 +167,6 @@ pub(crate) fn connector_view(g: &Graph, def: &ConnectorDef) -> Graph {
 /// contains the graph's source vertices (in-degree 0) and sink vertices
 /// (out-degree 0), optionally type-filtered, with one `SOURCE_TO_SINK`
 /// edge per (source, sink) pair connected by any directed path.
-#[deprecated(note = "use `materialize` or `ViewDef::SourceSink(..).maintainer().materialize(..)`")]
-pub fn materialize_source_sink(g: &Graph, def: &SourceSinkDef) -> Graph {
-    source_sink_view(g, def)
-}
-
 pub(crate) fn source_sink_view(g: &Graph, def: &SourceSinkDef) -> Graph {
     use std::collections::VecDeque;
     let is_source = |v: VertexId| {
@@ -237,11 +226,6 @@ pub(crate) fn source_sink_view(g: &Graph, def: &SourceSinkDef) -> Graph {
 }
 
 /// Materializes a summarizer (§VI-B, Table II).
-#[deprecated(note = "use `materialize` or `ViewDef::Summarizer(..).maintainer().materialize(..)`")]
-pub fn materialize_summarizer(g: &Graph, def: &SummarizerDef) -> Graph {
-    summarizer_view(g, def)
-}
-
 pub(crate) fn summarizer_view(g: &Graph, def: &SummarizerDef) -> Graph {
     match def {
         SummarizerDef::VertexInclusion { keep } => filter_graph(

@@ -126,9 +126,9 @@ pub struct RefreshCtx<'a> {
 ///
 /// This replaces the old grab-bag of free functions
 /// (`materialize_connector`, `maintain_connector`,
-/// `maintain_connector_partitioned`, the per-type materializers), which
-/// remain as thin deprecated shims for one release. Obtain an
-/// implementation with [`ViewDef::maintainer`] (no context) or
+/// `maintain_connector_partitioned`, the per-type materializers), whose
+/// deprecated shims have since been removed. Obtain an implementation
+/// with [`ViewDef::maintainer`] (no context) or
 /// [`ViewDef::maintainer_in`] (partitioned / composed execution).
 pub trait ViewMaintainer {
     /// Builds the view from scratch over `base`.
@@ -695,8 +695,26 @@ impl Default for RefreshOptions<'_> {
     }
 }
 
+/// What one publish did to a single view, for the serving metrics and
+/// the flight recorder: which view, at which DAG level, how long its
+/// maintainer ran, and how much work it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewRefreshStat {
+    /// The refreshed view.
+    pub view: ViewId,
+    /// The execution-order level the view ran in.
+    pub level: usize,
+    /// Wall-clock time of this view's maintainer call.
+    pub duration: std::time::Duration,
+    /// Units of incremental work (delta size): sources / vertices the
+    /// maintainer recomputed.
+    pub recomputed: usize,
+    /// Whether the maintainer fell back to full re-materialization.
+    pub rematerialized: bool,
+}
+
 /// What one publish's view refresh did, for the serving metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RefreshReport {
     /// Views refreshed this publish (the whole catalog).
     pub refreshed: usize,
@@ -704,6 +722,9 @@ pub struct RefreshReport {
     pub rematerialized: usize,
     /// Depth of the execution order (1 without composed views).
     pub levels: usize,
+    /// Per-view breakdown (one entry per catalog view, in [`ViewId`]
+    /// order), the input signal for per-view telemetry.
+    pub per_view: Vec<ViewRefreshStat>,
 }
 
 /// The per-publish materialization DAG: catalog views topo-sorted by
@@ -781,8 +802,15 @@ impl RefreshDag {
     ) -> (Catalog, RefreshReport) {
         let views: Vec<&MaterializedView> = catalog.iter().collect();
         let mut results: Vec<Option<Refreshed>> = (0..views.len()).map(|_| None).collect();
+        let mut timings: Vec<std::time::Duration> = vec![std::time::Duration::ZERO; views.len()];
+        let mut level_of: Vec<usize> = vec![0; views.len()];
+        for (l, level) in self.levels.iter().enumerate() {
+            for &vid in level {
+                level_of[vid.index()] = l;
+            }
+        }
         for level in &self.levels {
-            let run = |i: usize, done: &[Option<Refreshed>]| -> Refreshed {
+            let run = |i: usize, done: &[Option<Refreshed>]| -> (Refreshed, std::time::Duration) {
                 let view = views[i];
                 let upstream = self.deps[i].map(|j| {
                     let up = done[j]
@@ -798,44 +826,60 @@ impl RefreshDag {
                     partition: opts.partition,
                     upstream,
                 };
-                view.def.maintainer_in(ctx).refresh(&view.graph, applied)
+                let t0 = std::time::Instant::now();
+                let refreshed = view.def.maintainer_in(ctx).refresh(&view.graph, applied);
+                (refreshed, t0.elapsed())
             };
-            let outs: Vec<(usize, Refreshed)> = if opts.parallel && level.len() > 1 {
-                std::thread::scope(|scope| {
-                    let run = &run;
-                    let done: &[Option<Refreshed>] = &results;
-                    let handles: Vec<_> = level
+            let outs: Vec<(usize, Refreshed, std::time::Duration)> =
+                if opts.parallel && level.len() > 1 {
+                    std::thread::scope(|scope| {
+                        let run = &run;
+                        let done: &[Option<Refreshed>] = &results;
+                        let handles: Vec<_> = level
+                            .iter()
+                            .map(|&vid| {
+                                let i = vid.index();
+                                scope.spawn(move || {
+                                    let (r, dt) = run(i, done);
+                                    (i, r, dt)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("view refresh worker panicked"))
+                            .collect()
+                    })
+                } else {
+                    level
                         .iter()
                         .map(|&vid| {
                             let i = vid.index();
-                            scope.spawn(move || (i, run(i, done)))
+                            let (r, dt) = run(i, &results);
+                            (i, r, dt)
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("view refresh worker panicked"))
                         .collect()
-                })
-            } else {
-                level
-                    .iter()
-                    .map(|&vid| {
-                        let i = vid.index();
-                        (i, run(i, &results))
-                    })
-                    .collect()
-            };
-            for (i, r) in outs {
+                };
+            for (i, r, dt) in outs {
                 results[i] = Some(r);
+                timings[i] = dt;
             }
         }
         let mut rematerialized = 0;
+        let mut per_view = Vec::with_capacity(views.len());
         let mut catalog_new = Catalog::new();
-        for (view, r) in views.iter().zip(results) {
+        for (i, (view, r)) in views.iter().zip(results).enumerate() {
             let r = r.expect("every view is in exactly one level");
             if r.rematerialized {
                 rematerialized += 1;
             }
+            per_view.push(ViewRefreshStat {
+                view: ViewId(i as u32),
+                level: level_of[i],
+                duration: timings[i],
+                recomputed: r.delta.recomputed,
+                rematerialized: r.rematerialized,
+            });
             catalog_new.add(MaterializedView::new(view.def.clone(), r.graph));
         }
         (
@@ -844,6 +888,7 @@ impl RefreshDag {
                 refreshed: views.len(),
                 rematerialized,
                 levels: self.levels.len(),
+                per_view,
             },
         )
     }

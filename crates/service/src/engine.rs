@@ -27,6 +27,7 @@ use kaskade_query::{Query, Table};
 use crate::metrics::{Metrics, MetricsReport};
 use crate::plan_cache::{plan_key, PlanCache};
 use crate::snapshot::{EpochSnapshot, Reader, SnapshotCell};
+use crate::trace::{Stage, Tracer};
 
 /// Tuning knobs of the [`Engine`].
 #[derive(Debug, Clone)]
@@ -52,6 +53,16 @@ pub struct EngineConfig {
     /// [`crate::ShardedEngine`] run disabled and compact only on their
     /// coordinator's command, so shard ids stay globally aligned).
     pub compact_dead_ratio: f64,
+    /// The tracing subsystem (spans + flight recorder + slow-query
+    /// log) this engine reports into. `None` creates a private disabled
+    /// tracer — instrumented sites then cost one relaxed atomic load.
+    /// A [`crate::ShardedEngine`] passes its coordinator tracer to
+    /// every shard so one flight recorder sees the whole pipeline.
+    pub tracer: Option<Arc<Tracer>>,
+    /// Label prefixed to this engine's span details (e.g. `shard3`),
+    /// so flight-recorder dumps attribute write-path spans to the
+    /// engine that emitted them. Empty for a standalone engine.
+    pub trace_label: String,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +71,8 @@ impl Default for EngineConfig {
             max_batch: 64,
             queue_capacity: 1024,
             compact_dead_ratio: 0.5,
+            tracer: None,
+            trace_label: String::new(),
         }
     }
 }
@@ -183,7 +196,7 @@ pub(crate) enum Msg {
 /// nothing enqueued on failure. `based_on` is the epoch of the
 /// snapshot the delta's existing-vertex ids were resolved against —
 /// the writer rebases the delta through any compactions published
-/// since. Shared by [`Engine::submit_at`] and the sharded engine's
+/// since. Shared by [`Engine::submit`] and the sharded engine's
 /// submit.
 pub(crate) fn enqueue_delta(
     tx: &mpsc::SyncSender<Msg>,
@@ -348,6 +361,8 @@ struct Shared {
     cache: PlanCache,
     metrics: Metrics,
     queued: AtomicU64,
+    tracer: Arc<Tracer>,
+    trace_label: String,
 }
 
 /// The concurrent serving runtime.
@@ -383,6 +398,8 @@ impl Engine {
             cache: PlanCache::new(),
             metrics: Metrics::new(),
             queued: AtomicU64::new(0),
+            tracer: config.tracer.unwrap_or_default(),
+            trace_label: config.trace_label,
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
@@ -446,13 +463,6 @@ impl Engine {
         )
     }
 
-    /// [`Engine::submit`] for a delta whose existing-vertex ids were
-    /// resolved against the snapshot published at `based_on`.
-    #[deprecated(note = "use `submit(delta, SubmitOpts::based_on(epoch))`")]
-    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
-        self.submit(delta, SubmitOpts::based_on(based_on))
-    }
-
     /// Orders the writer to apply an externally computed compaction
     /// remap (the sharded coordinator's path; see
     /// [`kaskade_core::Snapshot::compact_with`]). Returns `false` when
@@ -496,13 +506,27 @@ impl Engine {
     }
 
     /// A point-in-time metrics report (counters, latency quantiles,
-    /// refresh lag, plan-cache hit rate, current epoch).
+    /// refresh lag, plan-cache hit rate, current epoch) — built by the
+    /// one stitching constructor, [`Metrics::report_with`].
     pub fn metrics(&self) -> MetricsReport {
-        let mut r = self.shared.metrics.report();
-        r.epoch = self.shared.cell.epoch();
-        r.plan_cache_hits = self.shared.cache.hits();
-        r.plan_cache_misses = self.shared.cache.misses();
-        r
+        self.shared.metrics.report_with(
+            self.shared.cell.epoch(),
+            &self.shared.cache,
+            self.queue_depth() as usize,
+        )
+    }
+
+    /// The engine's tracing subsystem (flight recorder + slow-query
+    /// log). Always present; disabled unless a tracer was passed via
+    /// [`EngineConfig::tracer`] or enabled at runtime.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.shared.tracer
+    }
+
+    /// The live metrics block (for exposition endpoints that need raw
+    /// histograms, not just the derived report).
+    pub fn metrics_handle(&self) -> &Metrics {
+        &self.shared.metrics
     }
 }
 
@@ -520,26 +544,79 @@ impl Drop for Engine {
 
 /// Plans `query` via the shared per-epoch cache and executes it against
 /// `snap`. The whole call touches no lock except the cache probe.
+///
+/// Read-path instrumentation: a `query` root span with
+/// `plan_cache_lookup` / `plan` / `relational` children, and a
+/// slow-query log entry (normalized AST + stage timings) when the total
+/// crosses the tracer's threshold. With tracing off and no threshold
+/// set, the added cost is two relaxed atomic loads.
 fn execute_at(shared: &Shared, snap: &EpochSnapshot, query: &Query) -> Result<Table, KaskadeError> {
+    let tracer = &shared.tracer;
+    // stage timings are needed by spans AND by the slow-query log, which
+    // works with span tracing off
+    let timing = tracer.is_enabled() || tracer.slow_query_threshold().is_some();
     let start = Instant::now();
+    let mut root = tracer.span(Stage::Query);
+    root.set_epoch(snap.epoch);
     let key = plan_key(query);
-    let planned = match shared.cache.get(snap.epoch, &key) {
-        Some(plan) => plan,
-        None => {
-            let plan = Arc::new(snap.state.plan(query).map_err(KaskadeError::Inference)?);
-            shared.cache.insert(snap.epoch, key, Arc::clone(&plan));
-            plan
+    let mut plan_time = std::time::Duration::ZERO;
+    let planned = {
+        let mut lookup = root.child(Stage::PlanCacheLookup);
+        match shared.cache.get(snap.epoch, &key) {
+            Some(plan) => {
+                lookup.set_detail("hit");
+                plan
+            }
+            None => {
+                lookup.set_detail("miss");
+                drop(lookup);
+                let plan_span = root.child(Stage::Plan);
+                let t0 = timing.then(Instant::now);
+                let plan = Arc::new(snap.state.plan(query).map_err(KaskadeError::Inference)?);
+                if let Some(t0) = t0 {
+                    plan_time = t0.elapsed();
+                }
+                drop(plan_span);
+                shared
+                    .cache
+                    .insert(snap.epoch, key.clone(), Arc::clone(&plan));
+                plan
+            }
         }
     };
+    let rel = root.child(Stage::Relational);
+    let t1 = timing.then(Instant::now);
     match snap.state.execute_planned(&planned) {
         Ok(table) => {
-            shared.metrics.record_query(start.elapsed());
+            let exec_time = t1.map(|t| t.elapsed()).unwrap_or_default();
+            drop(rel);
+            let total = start.elapsed();
+            shared.metrics.record_query(total);
+            drop(root);
+            if timing {
+                tracer.observe_query(
+                    total,
+                    snap.epoch,
+                    &key,
+                    &format!("plan={plan_time:?} exec={exec_time:?}"),
+                );
+            }
             Ok(table)
         }
         Err(e) => {
             shared.metrics.record_query_error();
             Err(e)
         }
+    }
+}
+
+/// `"label detail"` (or just `"detail"` for an unlabeled engine) — the
+/// span-detail convention that attributes write-path spans to a shard.
+fn trace_detail(label: &str, detail: std::fmt::Arguments<'_>) -> String {
+    if label.is_empty() {
+        detail.to_string()
+    } else {
+        format!("{label} {detail}")
     }
 }
 
@@ -568,11 +645,39 @@ fn writer_loop(
             shared.metrics.record_rejected(batch.rejected);
         }
         if batch.batched > 0 {
+            let tracer = &shared.tracer;
             let retractions = batch.delta.del_edges.len() + batch.delta.del_vertices.len();
+            let mut batch_span = tracer.span(Stage::WriteBatch);
+            if tracer.is_enabled() {
+                batch_span.set_detail(trace_detail(
+                    &shared.trace_label,
+                    format_args!("batched={}", batch.batched),
+                ));
+                // how long the oldest delta sat queued before this
+                // batch started — recorded retroactively, since the
+                // enqueue side must stay span-free
+                if let Some(oldest) = batch.oldest {
+                    tracer.record(
+                        Stage::QueueWait,
+                        batch_span.id(),
+                        oldest,
+                        oldest.elapsed(),
+                        shared.cell.epoch(),
+                        shared.trace_label.clone(),
+                    );
+                }
+            }
             let apply_start = Instant::now();
+            let apply_span = batch_span.child(Stage::Apply);
+            let apply_id = apply_span.id();
             let (next, report) = state.with_delta_report(&batch.delta, &RefreshOptions::default());
+            drop(apply_span);
             state = next;
+            let mut publish_span = batch_span.child(Stage::Publish);
             let epoch = shared.cell.publish(state.clone());
+            publish_span.set_epoch(epoch);
+            drop(publish_span);
+            batch_span.set_epoch(epoch);
             shared.cache.promote(epoch);
             let lag = batch.oldest.map(|t| t.elapsed()).unwrap_or_default();
             shared
@@ -581,6 +686,29 @@ fn writer_loop(
             shared
                 .metrics
                 .record_view_refresh(report.refreshed as u64, report.rematerialized as u64);
+            // dimensional breakdown: one metrics row — and, when
+            // tracing, one refresh_view child span — per catalog view
+            let catalog = state.catalog();
+            for stat in &report.per_view {
+                let name = catalog
+                    .get_by_id(stat.view)
+                    .map(|v| v.def.id())
+                    .unwrap_or_else(|| format!("view{}", stat.view.index()));
+                shared.metrics.record_per_view(&name, stat);
+                if tracer.is_enabled() {
+                    tracer.record(
+                        Stage::RefreshView,
+                        apply_id,
+                        apply_start,
+                        stat.duration,
+                        epoch,
+                        trace_detail(
+                            &shared.trace_label,
+                            format_args!("{name} level={}", stat.level),
+                        ),
+                    );
+                }
+            }
             if retractions > 0 {
                 shared.metrics.record_retractions(retractions);
             }
@@ -598,13 +726,18 @@ fn writer_loop(
             None => None,
         };
         if let Some((next, remap)) = compaction {
+            let mut compact_span = shared.tracer.span(Stage::Compact);
             let before = slot_capacity(state.graph());
             state = next;
             let epoch = shared.cell.publish(state.clone());
             shared.cache.promote(epoch);
-            shared
-                .metrics
-                .record_compaction(before - slot_capacity(state.graph()));
+            let reclaimed = before - slot_capacity(state.graph());
+            shared.metrics.record_compaction(reclaimed);
+            compact_span.set_epoch(epoch);
+            compact_span.set_detail(trace_detail(
+                &shared.trace_label,
+                format_args!("reclaimed={reclaimed}"),
+            ));
             remaps.record(epoch, remap);
         }
         if batch.batched + batch.rejected > 0 {

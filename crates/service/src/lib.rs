@@ -81,15 +81,18 @@
 
 pub mod drive;
 pub mod engine;
+pub mod expose;
 pub mod metrics;
 pub mod plan_cache;
 pub mod shard;
 pub mod snapshot;
 pub mod stream;
+pub mod trace;
 
 pub use drive::{drive, snapshot_is_consistent, DriveConfig, DriveOutcome, ServingBackend};
 pub use engine::{Engine, EngineConfig, SubmitError, SubmitOpts};
-pub use metrics::{LatencyHistogram, Metrics, MetricsReport};
+pub use expose::{render_prometheus, MetricsServer, Observable};
+pub use metrics::{LatencyHistogram, Metrics, MetricsReport, ViewMetrics};
 pub use plan_cache::{plan_key, PlanCache};
 pub use shard::{
     HashPartitioner, Partitioner, ShardedConfig, ShardedEngine, ShardedMetricsReport,
@@ -97,3 +100,4 @@ pub use shard::{
 };
 pub use snapshot::{EpochSnapshot, Reader, SnapshotCell};
 pub use stream::{burst_delta, churn_delta, delta_for, hot_key_delta, scripted_delta, Workload};
+pub use trace::{Span, Stage, TraceEvent, Tracer};

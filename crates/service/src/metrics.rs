@@ -10,17 +10,21 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+use kaskade_core::ViewRefreshStat;
 
 /// Number of power-of-two latency buckets (bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` nanoseconds; 64 buckets cover any `u64` duration).
-const BUCKETS: usize = 64;
+pub const BUCKETS: usize = 64;
 
 /// A log-scale latency histogram with atomic buckets.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
+    sum_nanos: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -28,6 +32,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
             count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -38,12 +43,51 @@ impl LatencyHistogram {
         let nanos = (d.as_nanos() as u64).max(1);
         let idx = (63 - nanos.leading_zeros()) as usize;
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (saturating at `u64::MAX` ns).
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Adds every sample of `other` into `self`. This is how
+    /// `ShardedMetricsReport` gets **true merged quantiles**: merge the
+    /// per-shard histograms into a scratch histogram, then take
+    /// [`LatencyHistogram::quantile`] of the merge — rather than
+    /// averaging (meaningless for quantiles) or reporting only the
+    /// coordinator-side distribution.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        let mut merged = 0u64;
+        for (b, o) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = o.load(Ordering::Relaxed);
+            if n > 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+                merged += n;
+            }
+        }
+        self.sum_nanos
+            .fetch_add(other.sum_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        // count what we actually copied, so a concurrently-recording
+        // `other` cannot leave `self.count` ahead of its buckets
+        self.count.fetch_add(merged, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts; bucket `i` holds
+    /// samples in `[2^i, 2^(i+1))` nanoseconds. The exposition endpoint
+    /// turns these into cumulative Prometheus `le` buckets.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
@@ -71,12 +115,26 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-view counters accumulated across publishes (one slot per
+/// catalog view, keyed by display name).
+#[derive(Debug, Default)]
+struct PerViewSlot {
+    name: String,
+    level: usize,
+    refreshes: u64,
+    rematerialized: u64,
+    recomputed: u64,
+    last_nanos: u64,
+    hist: LatencyHistogram,
+}
+
 /// Live serving counters shared by all engine threads.
 #[derive(Debug, Default)]
 pub struct Metrics {
     queries: AtomicU64,
     query_errors: AtomicU64,
     latency: LatencyHistogram,
+    apply_latency: LatencyHistogram,
     deltas_applied: AtomicU64,
     deltas_rejected: AtomicU64,
     deltas_backpressured: AtomicU64,
@@ -90,6 +148,7 @@ pub struct Metrics {
     last_refresh_nanos: AtomicU64,
     max_lag_nanos: AtomicU64,
     last_lag_nanos: AtomicU64,
+    per_view: Mutex<Vec<PerViewSlot>>,
 }
 
 impl Metrics {
@@ -140,6 +199,32 @@ impl Metrics {
             .fetch_add(rematerialized, Ordering::Relaxed);
     }
 
+    /// Accumulates one view's per-publish refresh stat under its
+    /// display name: refresh-time histogram, delta size (recomputed
+    /// units), and rematerialization fallbacks — the dimensional
+    /// breakdown behind the global [`Metrics::record_view_refresh`]
+    /// counters. Called by the (single) writer worker per publish, so
+    /// the mutex is uncontended in steady state.
+    pub fn record_per_view(&self, name: &str, stat: &ViewRefreshStat) {
+        let mut views = self.per_view.lock().expect("per-view metrics poisoned");
+        let slot = match views.iter_mut().find(|s| s.name == name) {
+            Some(slot) => slot,
+            None => {
+                views.push(PerViewSlot {
+                    name: name.to_string(),
+                    ..PerViewSlot::default()
+                });
+                views.last_mut().expect("just pushed")
+            }
+        };
+        slot.level = stat.level;
+        slot.refreshes += 1;
+        slot.rematerialized += stat.rematerialized as u64;
+        slot.recomputed += stat.recomputed as u64;
+        slot.last_nanos = stat.duration.as_nanos().min(u64::MAX as u128) as u64;
+        slot.hist.record(stat.duration);
+    }
+
     /// Records one slot compaction and the id slots (vertex + edge,
     /// live + dead capacity before minus after) it reclaimed.
     pub fn record_compaction(&self, reclaimed: usize) {
@@ -155,6 +240,7 @@ impl Metrics {
         self.deltas_applied
             .fetch_add(deltas as u64, Ordering::Relaxed);
         self.batches_published.fetch_add(1, Ordering::Relaxed);
+        self.apply_latency.record(apply);
         self.apply_total_nanos
             .fetch_add(apply.as_nanos() as u64, Ordering::Relaxed);
         self.last_refresh_nanos
@@ -164,15 +250,68 @@ impl Metrics {
         self.max_lag_nanos.fetch_max(lag, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of every counter, with derived quantiles.
-    /// `plan_cache_*` and `epoch` are stitched in by the engine, which
-    /// owns those components.
-    pub(crate) fn report(&self) -> MetricsReport {
+    /// The query-latency histogram (for exposition and merging).
+    pub fn query_latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// The per-batch apply+publish latency histogram. The sharded
+    /// report merges each shard's apply histogram through
+    /// [`LatencyHistogram::merge`] for true cross-shard quantiles.
+    pub fn apply_latency(&self) -> &LatencyHistogram {
+        &self.apply_latency
+    }
+
+    /// A point-in-time per-view breakdown, in first-refresh order.
+    pub fn view_metrics(&self) -> Vec<ViewMetrics> {
+        let views = self.per_view.lock().expect("per-view metrics poisoned");
+        views
+            .iter()
+            .map(|s| ViewMetrics {
+                name: s.name.clone(),
+                level: s.level,
+                refreshes: s.refreshes,
+                rematerialized: s.rematerialized,
+                recomputed: s.recomputed,
+                refresh_p50: s.hist.quantile(0.50),
+                refresh_p99: s.hist.quantile(0.99),
+                refresh_total: s.hist.sum(),
+                last_refresh: Duration::from_nanos(s.last_nanos),
+            })
+            .collect()
+    }
+
+    /// **The** report constructor: a point-in-time copy of every
+    /// counter, with derived quantiles, plus the context only the
+    /// owning engine has — the published epoch, the plan cache, and the
+    /// current queue depth. Both `Engine` and `ShardedEngine` build
+    /// their reports through this one path, so the stitching of
+    /// `epoch`/`plan_cache_*` cannot drift between them (it used to be
+    /// duplicated fix-up code in each engine).
+    pub fn report_with(
+        &self,
+        epoch: u64,
+        cache: &crate::plan_cache::PlanCache,
+        queue_depth: usize,
+    ) -> MetricsReport {
+        let mut r = self.base_report();
+        r.epoch = epoch;
+        r.plan_cache_hits = cache.hits();
+        r.plan_cache_misses = cache.misses();
+        r.queue_depth = queue_depth as u64;
+        r
+    }
+
+    /// The unstitched counter copy behind [`Metrics::report_with`];
+    /// `epoch`, `plan_cache_*`, and `queue_depth` are zero here.
+    fn base_report(&self) -> MetricsReport {
         MetricsReport {
             queries: self.queries.load(Ordering::Relaxed),
             query_errors: self.query_errors.load(Ordering::Relaxed),
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
+            apply_p50: self.apply_latency.quantile(0.50),
+            apply_p99: self.apply_latency.quantile(0.99),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
             deltas_backpressured: self.deltas_backpressured.load(Ordering::Relaxed),
@@ -189,8 +328,36 @@ impl Metrics {
             epoch: 0,
             plan_cache_hits: 0,
             plan_cache_misses: 0,
+            queue_depth: 0,
+            per_view: self.view_metrics(),
         }
     }
+}
+
+/// Per-view dimensional metrics: one row per catalog view, accumulated
+/// across publishes — the input signal for workload-adaptive view
+/// selection (which views earn their keep) and refresh-cost analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewMetrics {
+    /// The view's display name (e.g. `connector:JOB_TO_JOB_2_HOP`).
+    pub name: String,
+    /// The refresh-DAG level the view last ran in.
+    pub level: usize,
+    /// Publishes that refreshed this view.
+    pub refreshes: u64,
+    /// Of those, full scratch re-materializations.
+    pub rematerialized: u64,
+    /// Total delta size: units of incremental work (sources / vertices
+    /// recomputed) across all refreshes.
+    pub recomputed: u64,
+    /// Median per-publish refresh time (log-bucket upper bound).
+    pub refresh_p50: Duration,
+    /// 99th-percentile per-publish refresh time.
+    pub refresh_p99: Duration,
+    /// Total wall-clock spent refreshing this view.
+    pub refresh_total: Duration,
+    /// Duration of the most recent refresh.
+    pub last_refresh: Duration,
 }
 
 /// A point-in-time snapshot of the engine's metrics.
@@ -204,6 +371,14 @@ pub struct MetricsReport {
     pub p50: Duration,
     /// 99th-percentile query latency (log-bucket upper bound).
     pub p99: Duration,
+    /// Median per-batch apply+publish latency. In a
+    /// `ShardedMetricsReport` this is the **merged** cross-shard
+    /// distribution (see [`LatencyHistogram::merge`]), not the
+    /// coordinator's own.
+    pub apply_p50: Duration,
+    /// 99th-percentile per-batch apply+publish latency (merged
+    /// cross-shard in a `ShardedMetricsReport`).
+    pub apply_p99: Duration,
     /// Individual deltas applied by the write path.
     pub deltas_applied: u64,
     /// Deltas dropped as invalid (dangling or tombstoned references).
@@ -243,6 +418,11 @@ pub struct MetricsReport {
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
     pub plan_cache_misses: u64,
+    /// Deltas waiting in the bounded queue at report time.
+    pub queue_depth: u64,
+    /// Per-view dimensional breakdown (empty until the first publish
+    /// refreshes a catalog view).
+    pub per_view: Vec<ViewMetrics>,
 }
 
 impl MetricsReport {
@@ -296,11 +476,30 @@ impl fmt::Display for MetricsReport {
             "compaction         {} runs, {} slots reclaimed",
             self.compactions_run, self.slots_reclaimed
         )?;
+        writeln!(
+            f,
+            "apply latency      p50 {:?}  p99 {:?} (queue depth {})",
+            self.apply_p50, self.apply_p99, self.queue_depth
+        )?;
         write!(
             f,
             "refresh            last {:?} (total {:?}, lag {:?}, max lag {:?})",
             self.last_refresh, self.apply_total, self.last_refresh_lag, self.max_refresh_lag
-        )
+        )?;
+        for v in &self.per_view {
+            write!(
+                f,
+                "\n  view {:<40} level {} refreshes {:<6} p50 {:?} p99 {:?} recomputed {} remat {}",
+                v.name,
+                v.level,
+                v.refreshes,
+                v.refresh_p50,
+                v.refresh_p99,
+                v.recomputed,
+                v.rematerialized
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -332,9 +531,87 @@ mod tests {
         for q in [0.0, 0.5, 0.99, 1.0] {
             assert_eq!(h.quantile(q), Duration::ZERO, "q={q}");
         }
-        let idle = Metrics::new().report();
+        let idle = Metrics::new().base_report();
         assert_eq!(idle.p50, Duration::ZERO);
         assert_eq!(idle.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_distributions_exactly() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        for micros in [1u64, 10, 100] {
+            a.record(Duration::from_micros(micros));
+        }
+        for micros in [1000u64, 1000, 10_000] {
+            b.record(Duration::from_micros(micros));
+        }
+        let merged = LatencyHistogram::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), 6);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        // bucket-for-bucket the merge is the sum of the inputs
+        let (ca, cb, cm) = (a.bucket_counts(), b.bucket_counts(), merged.bucket_counts());
+        for i in 0..BUCKETS {
+            assert_eq!(cm[i], ca[i] + cb[i], "bucket {i}");
+        }
+        // quantiles come from the combined distribution: the median of
+        // {1µs,10µs,100µs,1ms,1ms,10ms} sits in the 100µs bucket, above
+        // a's own median bucket
+        assert!(merged.quantile(0.5) >= Duration::from_micros(100));
+        assert!(merged.quantile(0.5) < Duration::from_millis(1));
+        assert!(merged.quantile(1.0) >= Duration::from_millis(10));
+        // merging an empty histogram is a no-op
+        merged.merge(&LatencyHistogram::default());
+        assert_eq!(merged.count(), 6);
+    }
+
+    #[test]
+    fn quantile_survives_count_ahead_of_buckets() {
+        // `record` bumps the bucket before the count, but a reader can
+        // still observe `count` ahead of the bucket stores (Relaxed
+        // atomics, no ordering between threads). Simulate the torn read
+        // directly: count says two samples, buckets hold one.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(10));
+        h.count.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(h.count(), 2);
+        // q low enough to land on the real sample still reports it...
+        assert!(h.quantile(0.25) >= Duration::from_micros(10));
+        // ...while the fallthrough (target beyond every stored bucket)
+        // reports zero instead of a u64::MAX-nanoseconds sentinel
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn per_view_metrics_accumulate_by_name() {
+        use kaskade_core::ViewId;
+        let m = Metrics::new();
+        let stat = |view: u32, level, nanos: u64, recomputed, remat| ViewRefreshStat {
+            view: ViewId(view),
+            level,
+            duration: Duration::from_nanos(nanos),
+            recomputed,
+            rematerialized: remat,
+        };
+        m.record_per_view("connector:A", &stat(0, 0, 1_000, 7, false));
+        m.record_per_view("connector:A", &stat(0, 0, 3_000, 5, true));
+        m.record_per_view("compose:B", &stat(1, 1, 500, 2, false));
+        let views = m.view_metrics();
+        assert_eq!(views.len(), 2);
+        let a = &views[0];
+        assert_eq!(a.name, "connector:A");
+        assert_eq!((a.refreshes, a.rematerialized, a.recomputed), (2, 1, 12));
+        assert_eq!(a.last_refresh, Duration::from_nanos(3_000));
+        assert_eq!(a.refresh_total, Duration::from_nanos(4_000));
+        assert!(a.refresh_p99 >= Duration::from_nanos(3_000));
+        let b = &views[1];
+        assert_eq!((b.name.as_str(), b.level, b.refreshes), ("compose:B", 1, 1));
+        // the per-view rows ride along in the full report and Display
+        let r = m.base_report();
+        assert_eq!(r.per_view, views);
+        assert!(r.to_string().contains("view connector:A"), "{r}");
     }
 
     #[test]
@@ -342,7 +619,7 @@ mod tests {
         let m = Metrics::new();
         m.record_compaction(120);
         m.record_compaction(40);
-        let r = m.report();
+        let r = m.base_report();
         assert_eq!(r.compactions_run, 2);
         assert_eq!(r.slots_reclaimed, 160);
         assert!(r.to_string().contains("compaction"));
@@ -353,7 +630,7 @@ mod tests {
         let m = Metrics::new();
         m.record_refresh(3, Duration::from_millis(2), Duration::from_millis(5));
         m.record_refresh(1, Duration::from_millis(1), Duration::from_millis(3));
-        let r = m.report();
+        let r = m.base_report();
         assert_eq!(r.deltas_applied, 4);
         assert_eq!(r.batches_published, 2);
         assert_eq!(r.apply_total, Duration::from_millis(3));
@@ -366,7 +643,7 @@ mod tests {
         let m = Metrics::new();
         m.record_query(Duration::from_micros(50));
         m.record_view_refresh(5, 1);
-        let s = m.report().to_string();
+        let s = m.base_report().to_string();
         assert!(s.contains("5 refreshed, 1 rematerialized"), "{s}");
         for needle in [
             "queries served",

@@ -61,7 +61,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use kaskade_core::{
-    apply_delta, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions, Snapshot,
+    apply_delta, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions,
+    RefreshReport, Snapshot,
 };
 use kaskade_graph::{GraphStats, VertexId};
 use kaskade_query::{PatternPlan, PatternRows, Query, Table};
@@ -70,9 +71,10 @@ use crate::engine::{
     collect_batch, enqueue_delta, should_compact, slot_capacity, Engine, EngineConfig, Msg,
     RemapHistory, SubmitError, SubmitOpts,
 };
-use crate::metrics::{Metrics, MetricsReport};
+use crate::metrics::{LatencyHistogram, Metrics, MetricsReport};
 use crate::plan_cache::{plan_key, PlanCache};
 use crate::snapshot::EpochSnapshot;
+use crate::trace::{Stage, Tracer};
 
 /// Assigns every vertex to exactly one shard. Ownership must be a pure
 /// function of the vertex's id and type (both immutable for the life of
@@ -179,6 +181,11 @@ pub struct ShardedConfig {
     /// epoch — shard-local ids stay equal to global ids throughout,
     /// and each shard also drops its ghost copies of the dead slots.
     pub compact_dead_ratio: f64,
+    /// The tracing subsystem shared by the router and every shard
+    /// engine (each shard labels its spans `shardN`), so one flight
+    /// recorder sees the whole scatter/fan-out pipeline. `None` creates
+    /// a private disabled tracer.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl ShardedConfig {
@@ -190,6 +197,7 @@ impl ShardedConfig {
             queue_capacity: 1024,
             scatter_min_vertices: 512,
             compact_dead_ratio: 0.5,
+            tracer: None,
         }
     }
 }
@@ -315,6 +323,7 @@ struct ShardedShared {
     partitioner: Arc<dyn Partitioner>,
     scatter_min_vertices: usize,
     shards: Vec<Engine>,
+    tracer: Arc<Tracer>,
 }
 
 /// A point-in-time metrics report of the sharded engine: the router's
@@ -388,6 +397,7 @@ impl ShardedEngine {
         let partitioner = Arc::clone(&config.partitioner);
         let n = partitioner.shard_count().max(1);
         let schema = state.schema().clone();
+        let tracer = config.tracer.unwrap_or_default();
         let shards: Vec<Engine> = (0..n)
             .map(|s| {
                 let p = &*partitioner;
@@ -404,6 +414,11 @@ impl ShardedEngine {
                         // router coordinates one global remap so
                         // shard-local ids stay equal to global ids
                         compact_dead_ratio: f64::INFINITY,
+                        // one shared flight recorder across the router
+                        // and every shard; the label attributes each
+                        // shard engine's spans
+                        tracer: Some(Arc::clone(&tracer)),
+                        trace_label: format!("shard{s}"),
                     },
                 )
             })
@@ -438,6 +453,7 @@ impl ShardedEngine {
             partitioner,
             scatter_min_vertices: config.scatter_min_vertices,
             shards,
+            tracer,
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let router_shared = Arc::clone(&shared);
@@ -494,14 +510,6 @@ impl ShardedEngine {
         )
     }
 
-    /// [`ShardedEngine::submit`] for a delta whose existing-vertex ids
-    /// were resolved against the global snapshot published at
-    /// `based_on`.
-    #[deprecated(note = "use `submit(delta, SubmitOpts::based_on(epoch))`")]
-    pub fn submit_at(&self, delta: GraphDelta, based_on: u64) -> Result<(), SubmitError> {
-        self.submit(delta, SubmitOpts::based_on(based_on))
-    }
-
     /// Waits until every previously submitted delta is applied on
     /// every shard and globally published; returns the publishing
     /// epoch.
@@ -536,16 +544,43 @@ impl ShardedEngine {
         execute_at(&self.shared, &snap, query)
     }
 
-    /// Aggregate plus per-shard metrics.
+    /// Aggregate plus per-shard metrics. The global report's apply
+    /// quantiles come from a true cross-shard histogram merge
+    /// ([`LatencyHistogram::merge`]) of the router's and every shard's
+    /// apply latencies — not from averaging per-shard quantiles.
     pub fn metrics(&self) -> ShardedMetricsReport {
-        let mut global = self.shared.metrics.report();
-        global.epoch = self.shared.cell.epoch();
-        global.plan_cache_hits = self.shared.cache.hits();
-        global.plan_cache_misses = self.shared.cache.misses();
+        let mut global = self.shared.metrics.report_with(
+            self.shared.cell.epoch(),
+            &self.shared.cache,
+            self.queue_depth() as usize,
+        );
+        let merged = LatencyHistogram::default();
+        merged.merge(self.shared.metrics.apply_latency());
+        for shard in &self.shared.shards {
+            merged.merge(shard.metrics_handle().apply_latency());
+        }
+        global.apply_p50 = merged.quantile(0.50);
+        global.apply_p99 = merged.quantile(0.99);
         ShardedMetricsReport {
             global,
             per_shard: self.shared.shards.iter().map(Engine::metrics).collect(),
         }
+    }
+
+    /// The tracing subsystem shared by the router and every shard.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.shared.tracer
+    }
+
+    /// The per-shard engines (for metrics exposition).
+    pub(crate) fn shard_engines(&self) -> &[Engine] {
+        &self.shared.shards
+    }
+
+    /// The router's live metrics block (for exposition endpoints that
+    /// need raw histograms rather than a report).
+    pub(crate) fn metrics_handle(&self) -> &Metrics {
+        &self.shared.metrics
     }
 }
 
@@ -569,14 +604,36 @@ fn execute_at(
     snap: &ShardedSnapshot,
     query: &Query,
 ) -> Result<Table, KaskadeError> {
+    let tracer = &shared.tracer;
+    let timing = tracer.is_enabled() || tracer.slow_query_threshold().is_some();
     let start = Instant::now();
+    let mut root = tracer.span(Stage::Query);
+    root.set_epoch(snap.epoch);
+    let root_id = root.id();
     let key = plan_key(query);
-    let planned = match shared.cache.get(snap.epoch, &key) {
-        Some(plan) => plan,
-        None => {
-            let plan = Arc::new(snap.state.plan(query).map_err(KaskadeError::Inference)?);
-            shared.cache.insert(snap.epoch, key, Arc::clone(&plan));
-            plan
+    let mut plan_time = std::time::Duration::ZERO;
+    let planned = {
+        let mut lookup = root.child(Stage::PlanCacheLookup);
+        match shared.cache.get(snap.epoch, &key) {
+            Some(plan) => {
+                lookup.set_detail("hit".to_string());
+                plan
+            }
+            None => {
+                lookup.set_detail("miss".to_string());
+                drop(lookup);
+                let plan_span = root.child(Stage::Plan);
+                let plan_start = timing.then(Instant::now);
+                let plan = Arc::new(snap.state.plan(query).map_err(KaskadeError::Inference)?);
+                if let Some(t) = plan_start {
+                    plan_time = t.elapsed();
+                }
+                drop(plan_span);
+                shared
+                    .cache
+                    .insert(snap.epoch, key.clone(), Arc::clone(&plan));
+                plan
+            }
         }
     };
     let target = match planned.view_id {
@@ -588,18 +645,25 @@ fn execute_at(
     };
     let n = shared.shards.len();
     let partitioner = &*shared.partitioner;
+    // set when the pattern stage hands back to the relational stage,
+    // so the Relational span can be synthesized around code that runs
+    // inside `execute_with_pattern`
+    let pattern_done: std::cell::Cell<Option<Instant>> = std::cell::Cell::new(None);
     let result = kaskade_query::execute_with_pattern(target, &planned.query, &|pattern| {
         let plan = PatternPlan::new(target, pattern)?;
         // below the scatter threshold, per-query thread spawn/join
         // would cost more than the matching itself: run the identical
         // unrestricted plan inline instead
         if n <= 1 || target.vertex_count() < shared.scatter_min_vertices {
-            return Ok(plan.execute(target));
+            let out = plan.execute(target);
+            pattern_done.set(Some(Instant::now()));
+            return Ok(out);
         }
         // scatter: one worker per shard, anchors restricted to the
         // shard's owned vertices (on a view graph the partitioner is
         // still a valid disjoint+exhaustive split of the anchor domain,
         // which is all correctness requires)
+        let traced = tracer.is_enabled();
         let mut columns = Vec::new();
         let mut merged: Vec<Vec<VertexId>> = Vec::new();
         let per_shard: Vec<PatternRows> = std::thread::scope(|scope| {
@@ -607,9 +671,21 @@ fn execute_at(
             let handles: Vec<_> = (0..n)
                 .map(|s| {
                     scope.spawn(move || {
+                        let scatter_start = Instant::now();
                         let anchor =
                             |v: VertexId| partitioner.shard_of(v, target.vertex_type(v)) == s;
-                        plan.execute_anchored(target, &anchor)
+                        let rows = plan.execute_anchored(target, &anchor);
+                        if traced {
+                            tracer.record(
+                                Stage::Scatter,
+                                root_id,
+                                scatter_start,
+                                scatter_start.elapsed(),
+                                snap.epoch,
+                                format!("shard{s} rows={}", rows.1.len()),
+                            );
+                        }
+                        rows
                     })
                 })
                 .collect();
@@ -618,6 +694,7 @@ fn execute_at(
                 .map(|h| h.join().expect("scatter worker panicked"))
                 .collect()
         });
+        let gather_start = Instant::now();
         for (cols, rows) in per_shard {
             columns = cols;
             merged.extend(rows);
@@ -626,11 +703,42 @@ fn execute_at(
         // anchored; one sort+dedup reproduces the unsharded row set
         merged.sort();
         merged.dedup();
+        if traced {
+            tracer.record(
+                Stage::Gather,
+                root_id,
+                gather_start,
+                gather_start.elapsed(),
+                snap.epoch,
+                format!("rows={}", merged.len()),
+            );
+        }
+        pattern_done.set(Some(Instant::now()));
         Ok((columns, merged))
     });
     match result {
         Ok(table) => {
-            shared.metrics.record_query(start.elapsed());
+            let total = start.elapsed();
+            if let (true, Some(t)) = (tracer.is_enabled(), pattern_done.get()) {
+                tracer.record(
+                    Stage::Relational,
+                    root_id,
+                    t,
+                    t.elapsed(),
+                    snap.epoch,
+                    String::new(),
+                );
+            }
+            shared.metrics.record_query(total);
+            drop(root);
+            if timing {
+                tracer.observe_query(
+                    total,
+                    snap.epoch,
+                    &key,
+                    &format!("plan={plan_time:?} total={total:?}"),
+                );
+            }
             Ok(table)
         }
         Err(e) => {
@@ -667,6 +775,23 @@ fn router_loop(
             shared.metrics.record_rejected(batch.rejected);
         }
         if batch.batched > 0 {
+            let tracer = &shared.tracer;
+            let mut batch_span = tracer.span(Stage::WriteBatch);
+            if tracer.is_enabled() {
+                batch_span.set_detail(format!("router batched={}", batch.batched));
+                if let Some(oldest) = batch.oldest {
+                    // the queue wait is over by the time the router
+                    // sees the batch; record it retroactively
+                    tracer.record(
+                        Stage::QueueWait,
+                        batch_span.id(),
+                        oldest,
+                        oldest.elapsed(),
+                        shared.cell.epoch(),
+                        "router".to_string(),
+                    );
+                }
+            }
             let retractions = batch.delta.del_edges.len() + batch.delta.del_vertices.len();
             let apply_start = Instant::now();
             // owners of the vertices this batch inserts, assigned by
@@ -687,18 +812,42 @@ fn router_loop(
                 .collect();
             // a failed fan-out (only possible mid-shutdown) must NOT
             // publish: a global epoch promises every shard applied it
-            if let Some((next, shard_states)) =
-                advance(&shared, &state, &batch.delta, &owners, &new_owners)
-            {
+            let apply_span = batch_span.child(Stage::Apply);
+            let apply_id = apply_span.id();
+            let advanced = advance(&shared, &state, &batch.delta, &owners, &new_owners);
+            drop(apply_span);
+            if let Some((next, shard_states, report)) = advanced {
                 state = next;
                 owners.extend(new_owners);
                 let epoch = shared.cell.epoch() + 1;
-                shared.cell.publish(ShardedSnapshot {
-                    epoch,
-                    state: state.clone(),
-                    shard_states,
-                });
+                {
+                    let mut publish_span = batch_span.child(Stage::Publish);
+                    publish_span.set_epoch(epoch);
+                    shared.cell.publish(ShardedSnapshot {
+                        epoch,
+                        state: state.clone(),
+                        shard_states,
+                    });
+                }
                 shared.cache.promote(epoch);
+                for stat in &report.per_view {
+                    let name = state
+                        .catalog()
+                        .get_by_id(stat.view)
+                        .map(|v| v.def.id())
+                        .unwrap_or_else(|| format!("view{}", stat.view.index()));
+                    shared.metrics.record_per_view(&name, stat);
+                    if tracer.is_enabled() {
+                        tracer.record(
+                            Stage::RefreshView,
+                            apply_id,
+                            apply_start,
+                            stat.duration,
+                            epoch,
+                            format!("{name} level={}", stat.level),
+                        );
+                    }
+                }
                 let lag = batch.oldest.map(|t| t.elapsed()).unwrap_or_default();
                 shared
                     .metrics
@@ -709,6 +858,7 @@ fn router_loop(
             }
         }
         if should_compact(state.graph(), compact_dead_ratio) {
+            let mut compact_span = shared.tracer.span(Stage::Compact);
             let before = slot_capacity(state.graph());
             let (next, remap) = state.compact();
             let remap = Arc::new(remap);
@@ -744,9 +894,10 @@ fn router_loop(
                     shard_states,
                 });
                 shared.cache.promote(epoch);
-                shared
-                    .metrics
-                    .record_compaction(before - slot_capacity(state.graph()));
+                let reclaimed = before - slot_capacity(state.graph());
+                shared.metrics.record_compaction(reclaimed);
+                compact_span.set_epoch(epoch);
+                compact_span.set_detail(format!("reclaimed={reclaimed}"));
                 remaps.record(epoch, remap);
             } else {
                 // a shard refused the remap (its writer is gone —
@@ -777,7 +928,9 @@ fn router_loop(
 /// own global apply), views refresh with per-shard worker threads,
 /// statistics come from the per-shard merge. Returns `None` — and the
 /// caller must not publish — if a shard refused its sub-delta (only
-/// possible mid-shutdown).
+/// possible mid-shutdown). The returned [`RefreshReport`] carries the
+/// per-view timings the router feeds into metrics and the flight
+/// recorder.
 #[allow(clippy::type_complexity)]
 fn advance(
     shared: &ShardedShared,
@@ -785,7 +938,7 @@ fn advance(
     batch: &GraphDelta,
     owners: &[u32],
     new_owners: &[u32],
-) -> Option<(Snapshot, Vec<Arc<EpochSnapshot>>)> {
+) -> Option<(Snapshot, Vec<Arc<EpochSnapshot>>, RefreshReport)> {
     let partitioner = &*shared.partitioner;
     let n = shared.shards.len();
     let g = state.graph();
@@ -874,7 +1027,7 @@ fn advance(
         .unwrap_or_else(|| GraphStats::compute(&applied.graph));
 
     let next = Snapshot::assemble(applied.graph, state.schema().clone(), stats, catalog);
-    Some((next, shard_states))
+    Some((next, shard_states, report))
 }
 
 #[cfg(test)]

@@ -30,6 +30,22 @@
 //!                       stay 0 while `views_refreshed` grows (the
 //!                       refresh-DAG CI gate)
 //!   --smoke         short self-checking run for CI (implies --views)
+//!
+//! serve observability options:
+//!   --trace on|off  structured span tracing into the in-process
+//!                   flight recorder (default off; off costs one
+//!                   relaxed atomic load per span site)
+//!   --trace-dump    print the flight-recorder contents on exit
+//!   --slow-query-ms F   log queries slower than F ms (fractional ok)
+//!                   into the flight recorder, tracing on or off
+//!   --metrics-addr A    serve Prometheus text at http://A/metrics
+//!                   (plus /healthz and /trace); port 0 picks a free
+//!                   port, printed on stderr
+//!   --stats-interval N  print the metrics report every N ms while
+//!                   serving (0 = off)
+//!   --stats-json    print the final outcome as one JSON line on
+//!                   stdout (machine-readable; CI's overhead gate
+//!                   consumes it)
 //! ```
 //!
 //! `query` plans and executes one query — with `--threads N > 1` it
@@ -51,13 +67,16 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kaskade::core::{Kaskade, SelectionConfig};
 use kaskade::datasets::Dataset;
 use kaskade::query::{listings, parse, Query, Table};
 use kaskade::service::{
-    drive, DriveConfig, DriveOutcome, Engine, EngineConfig, ShardedConfig, ShardedEngine, Workload,
+    drive, DriveConfig, DriveOutcome, Engine, EngineConfig, MetricsServer, Observable,
+    ShardedConfig, ShardedEngine, Tracer, Workload,
 };
 
 fn usage() -> ExitCode {
@@ -67,7 +86,8 @@ fn usage() -> ExitCode {
          kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views [composed]] [--scale N] \
          [--seed N] [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] \
          [--shards N] [--compact-ratio F] [--expect-compaction] [--expect-incremental] [--smoke] \
-         [query ...]"
+         [--trace on|off] [--trace-dump] [--slow-query-ms F] [--metrics-addr ADDR] \
+         [--stats-interval N] [--stats-json] [query ...]"
     );
     ExitCode::from(2)
 }
@@ -87,6 +107,12 @@ struct CommonArgs {
     expect_compaction: bool,
     expect_incremental: bool,
     smoke: bool,
+    trace: bool,
+    trace_dump: bool,
+    slow_query_ms: f64,
+    metrics_addr: Option<String>,
+    stats_interval_ms: u64,
+    stats_json: bool,
     queries: Vec<String>,
 }
 
@@ -105,6 +131,12 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         expect_compaction: false,
         expect_incremental: false,
         smoke: false,
+        trace: false,
+        trace_dump: false,
+        slow_query_ms: 0.0,
+        metrics_addr: None,
+        stats_interval_ms: 0,
+        stats_json: false,
         queries: Vec::new(),
     };
     let mut args = args.peekable();
@@ -130,6 +162,18 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             }
             "--expect-compaction" => c.expect_compaction = true,
             "--expect-incremental" => c.expect_incremental = true,
+            "--trace" => match args.next()?.as_str() {
+                "on" => c.trace = true,
+                "off" => c.trace = false,
+                _ => return None,
+            },
+            "--trace-dump" => c.trace_dump = true,
+            "--slow-query-ms" => {
+                c.slow_query_ms = args.next()?.parse().ok().filter(|v: &f64| *v >= 0.0)?
+            }
+            "--metrics-addr" => c.metrics_addr = Some(args.next()?),
+            "--stats-interval" => c.stats_interval_ms = args.next()?.parse().ok()?,
+            "--stats-json" => c.stats_json = true,
             "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
             "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
             other if other.starts_with("--") => return None,
@@ -330,6 +374,128 @@ fn cmd_query(dataset: Dataset, c: CommonArgs) -> ExitCode {
     }
 }
 
+/// Background observability attached to one serve run: the optional
+/// scrape endpoint thread and the optional periodic stats printer.
+struct ObservabilityRig {
+    server: Option<MetricsServer>,
+    stop: Arc<AtomicBool>,
+    printer: Option<std::thread::JoinHandle<()>>,
+}
+
+fn start_observability(
+    c: &CommonArgs,
+    backend: Arc<dyn Observable>,
+) -> Result<ObservabilityRig, ExitCode> {
+    let server = match &c.metrics_addr {
+        Some(addr) => match MetricsServer::bind(addr, Arc::clone(&backend)) {
+            Ok(server) => {
+                // tests bind port 0 and read the resolved port here
+                eprintln!("metrics endpoint on http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("--metrics-addr {addr}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        },
+        None => None,
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let printer = (c.stats_interval_ms > 0).then(|| {
+        let stop = Arc::clone(&stop);
+        let every = Duration::from_millis(c.stats_interval_ms);
+        std::thread::spawn(move || {
+            let mut next = Instant::now() + every;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10).min(every));
+                if Instant::now() >= next {
+                    eprintln!("--- stats ---\n{}", backend.scrape_report());
+                    next += every;
+                }
+            }
+        })
+    });
+    Ok(ObservabilityRig {
+        server,
+        stop,
+        printer,
+    })
+}
+
+impl ObservabilityRig {
+    /// Stops the printer and the endpoint (joining both threads).
+    fn finish(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(printer) = self.printer {
+            let _ = printer.join();
+        }
+        drop(self.server);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The `--stats-json` line: the final outcome and report as one JSON
+/// object (hand-rolled — the whole repo builds offline, so no serde).
+fn outcome_json(outcome: &DriveOutcome, tracer: &Tracer) -> String {
+    use std::fmt::Write as _;
+    let r = &outcome.report;
+    let mut s = String::with_capacity(1024);
+    let _ = write!(
+        s,
+        "{{\"reads\":{},\"read_errors\":{},\"reads_per_sec\":{:.1},\"writes\":{},\
+         \"writes_backpressured\":{},\"consistency_violations\":{},\"final_consistent\":{},\
+         \"epoch\":{},\"deltas_applied\":{},\"batches_published\":{},\"views_refreshed\":{},\
+         \"views_rematerialized\":{},\"compactions_run\":{},\"slots_reclaimed\":{},\
+         \"plan_cache_hit_rate\":{:.4},\"p50_ns\":{},\"p99_ns\":{},\"apply_p50_ns\":{},\
+         \"apply_p99_ns\":{},\"queue_depth\":{},\"slow_queries\":{},\"trace_dropped_events\":{},\
+         \"per_view\":[",
+        outcome.reads,
+        outcome.read_errors,
+        outcome.reads_per_sec(),
+        outcome.writes,
+        outcome.writes_backpressured,
+        outcome.consistency_violations,
+        outcome.final_consistent,
+        r.epoch,
+        r.deltas_applied,
+        r.batches_published,
+        r.views_refreshed,
+        r.views_rematerialized,
+        r.compactions_run,
+        r.slots_reclaimed,
+        r.plan_cache_hit_rate(),
+        r.p50.as_nanos(),
+        r.p99.as_nanos(),
+        r.apply_p50.as_nanos(),
+        r.apply_p99.as_nanos(),
+        r.queue_depth,
+        tracer.slow_queries(),
+        tracer.dropped_events(),
+    );
+    for (i, v) in r.per_view.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"name\":\"{}\",\"level\":{},\"refreshes\":{},\"rematerialized\":{},\
+             \"recomputed\":{},\"p50_ns\":{},\"p99_ns\":{},\"total_ns\":{},\"last_ns\":{}}}",
+            if i > 0 { "," } else { "" },
+            json_escape(&v.name),
+            v.level,
+            v.refreshes,
+            v.rematerialized,
+            v.recomputed,
+            v.refresh_p50.as_nanos(),
+            v.refresh_p99.as_nanos(),
+            v.refresh_total.as_nanos(),
+            v.last_refresh.as_nanos(),
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
 fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
     if c.smoke {
         // a short, self-checking preset for CI
@@ -372,18 +538,30 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         c.write_every_ms,
         c.duration_ms
     );
+    // the span/flight-recorder subsystem: shared by the engine (or the
+    // router plus every shard), the scrape endpoint, and the dumps
+    let tracer = Arc::new(Tracer::new(c.trace));
+    if c.slow_query_ms > 0.0 {
+        tracer.set_slow_query_threshold(Some(Duration::from_secs_f64(c.slow_query_ms / 1000.0)));
+    }
     // (capacity, live): final id-slot capacity vs live element count —
     // the numbers the compaction policy bounds
     let (outcome, shard_lines, slots): (DriveOutcome, Option<String>, (usize, usize)) =
         if shards > 1 {
-            let engine = ShardedEngine::with_config(
+            let engine = Arc::new(ShardedEngine::with_config(
                 kaskade.snapshot(),
                 ShardedConfig {
                     compact_dead_ratio: c.compact_ratio,
+                    tracer: Some(Arc::clone(&tracer)),
                     ..ShardedConfig::hash(shards)
                 },
-            );
-            let outcome = drive(&engine, &workload, &cfg);
+            ));
+            let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
+                Ok(rig) => rig,
+                Err(code) => return code,
+            };
+            let outcome = drive(&*engine, &workload, &cfg);
+            rig.finish();
             let lines = engine.metrics().per_shard_lines();
             let snap = engine.snapshot();
             let g = snap.state.graph();
@@ -393,14 +571,20 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
             );
             (outcome, Some(lines), slots)
         } else {
-            let engine = Engine::with_config(
+            let engine = Arc::new(Engine::with_config(
                 kaskade.snapshot(),
                 EngineConfig {
                     compact_dead_ratio: c.compact_ratio,
+                    tracer: Some(Arc::clone(&tracer)),
                     ..EngineConfig::default()
                 },
-            );
-            let outcome = drive(&engine, &workload, &cfg);
+            ));
+            let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
+                Ok(rig) => rig,
+                Err(code) => return code,
+            };
+            let outcome = drive(&*engine, &workload, &cfg);
+            rig.finish();
             let snap = engine.snapshot();
             let g = snap.state.graph();
             let slots = (
@@ -425,9 +609,20 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
     if let Some(lines) = shard_lines {
         print!("{lines}");
     }
+    if c.stats_json {
+        println!("{}", outcome_json(&outcome, &tracer));
+    }
+    if c.trace_dump {
+        eprint!("{}", tracer.render_dump());
+    }
 
     if !outcome.final_consistent {
         eprintln!("CONSISTENCY FAILED: final snapshot diverges from a from-scratch rebuild");
+        if !c.trace_dump && !tracer.dump().is_empty() {
+            // dump on anomaly: whatever the flight recorder holds is
+            // the best post-mortem available
+            eprint!("{}", tracer.render_dump());
+        }
         return ExitCode::FAILURE;
     }
     if c.expect_compaction {

@@ -542,6 +542,187 @@ fn batched_ingestion_converges_to_sequential_state() {
     );
 }
 
+/// The tracing acceptance property at the library level: a sharded
+/// engine with one shared tracer records the whole pipeline — router
+/// write batches with retroactive queue waits, per-view refresh spans
+/// annotated with DAG level, shard-labeled spans from the per-shard
+/// engines, and the scatter/gather read path under the query root.
+#[test]
+fn sharded_tracer_records_the_whole_pipeline() {
+    use kaskade::service::{Stage, Tracer};
+    use std::sync::Arc;
+
+    let k = tiny_instance(61);
+    let tracer = Arc::new(Tracer::new(true));
+    let engine = ShardedEngine::with_config(
+        k.snapshot(),
+        ShardedConfig {
+            scatter_min_vertices: 0, // always exercise scatter/gather
+            tracer: Some(Arc::clone(&tracer)),
+            ..ShardedConfig::hash(2)
+        },
+    );
+    for i in 0..4u64 {
+        let snap = engine.snapshot();
+        let d = churn_delta(&snap.state, i).expect("churn delta");
+        engine.submit(d, SubmitOpts::default()).unwrap();
+        engine.flush();
+    }
+    let query = parse(LISTING_1).unwrap();
+    engine.execute(&query).unwrap();
+
+    let events = tracer.dump();
+    let has = |stage: Stage| events.iter().any(|e| e.stage == stage);
+    for stage in [
+        Stage::WriteBatch,
+        Stage::QueueWait,
+        Stage::Apply,
+        Stage::RefreshView,
+        Stage::Publish,
+        Stage::Query,
+        Stage::PlanCacheLookup,
+        Stage::Plan,
+        Stage::Scatter,
+        Stage::Gather,
+        Stage::Relational,
+    ] {
+        assert!(has(stage), "no {stage} event in:\n{}", tracer.render_dump());
+    }
+    // per-view spans carry the view name and DAG level, parented under
+    // an apply span of the same batch
+    let refresh = events
+        .iter()
+        .find(|e| e.stage == Stage::RefreshView)
+        .unwrap();
+    assert!(refresh.detail.contains("level="), "{refresh:?}");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.id == refresh.parent && e.stage == Stage::Apply),
+        "refresh_view not parented to an apply span"
+    );
+    // shard engines label their spans shardN through the shared tracer
+    assert!(
+        events.iter().any(|e| e.detail.starts_with("shard")),
+        "no shard-labeled event in:\n{}",
+        tracer.render_dump()
+    );
+    // the sharded report merges per-shard apply histograms: quantiles
+    // reflect recorded applies even though they happened on the shards
+    let report = engine.metrics();
+    assert!(report.global.apply_p99 > Duration::ZERO);
+    assert!(!report.global.per_view.is_empty(), "per-view metrics empty");
+}
+
+/// `kaskade serve --metrics-addr 127.0.0.1:0` end to end: the CLI
+/// prints the resolved endpoint on stderr; scraping it mid-run yields
+/// Prometheus text with the key series and a live `/healthz`.
+#[test]
+fn cli_serves_scrapeable_metrics_endpoint() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+
+    let bin = env!("CARGO_BIN_EXE_kaskade");
+    let mut child = std::process::Command::new(bin)
+        .args([
+            "serve",
+            "prov",
+            "--duration-ms",
+            "4000",
+            "--shards",
+            "2",
+            "--trace",
+            "on",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--write-every-ms",
+            "5",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn kaskade serve");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing the endpoint")
+            .expect("read stderr");
+        if let Some(rest) = line.strip_prefix("metrics endpoint on http://") {
+            break rest.trim_end_matches("/metrics").to_string();
+        }
+    };
+    // drain stderr in the background so the child never blocks on a
+    // full pipe
+    let drain = std::thread::spawn(move || for _ in lines.by_ref() {});
+
+    let get = |path: &str| {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect to endpoint");
+        s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    assert!(get("/healthz").contains("ok"));
+    let metrics = get("/metrics");
+    for needle in [
+        "HTTP/1.0 200 OK",
+        "# TYPE kaskade_queries_total counter",
+        "kaskade_shard_owned_slots{shard=\"0\"}",
+        "kaskade_shard_owned_slots{shard=\"1\"}",
+        "# TYPE kaskade_apply_latency_seconds histogram",
+        "kaskade_trace_enabled 1",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing `{needle}` in:\n{metrics}"
+        );
+    }
+    assert!(get("/trace").contains("flight recorder"));
+
+    let status = child.wait().expect("wait for serve");
+    drain.join().unwrap();
+    assert!(status.success(), "serve run failed: {status:?}");
+}
+
+/// `--stats-json` emits one machine-readable line on stdout — the
+/// contract the CI overhead gate consumes.
+#[test]
+fn cli_stats_json_reports_the_final_outcome() {
+    let bin = env!("CARGO_BIN_EXE_kaskade");
+    let out = std::process::Command::new(bin)
+        .args([
+            "serve",
+            "prov",
+            "--duration-ms",
+            "400",
+            "--write-every-ms",
+            "5",
+            "--stats-json",
+        ])
+        .output()
+        .expect("spawn kaskade serve");
+    assert!(out.status.success(), "{:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout
+        .lines()
+        .find(|l| l.starts_with("{\"reads\":"))
+        .unwrap_or_else(|| panic!("no JSON line in:\n{stdout}"));
+    for key in [
+        "\"reads_per_sec\":",
+        "\"epoch\":",
+        "\"deltas_applied\":",
+        "\"p99_ns\":",
+        "\"apply_p99_ns\":",
+        "\"slow_queries\":",
+        "\"per_view\":[",
+    ] {
+        assert!(json.contains(key), "missing `{key}` in:\n{json}");
+    }
+    assert!(json.ends_with("]}"), "not a closed JSON object:\n{json}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
