@@ -5,16 +5,20 @@
 //! report [experiment] [dataset]
 //!
 //! experiments: table1 table2 table3 table4 fig3 fig5 fig6 fig7 fig8 enum
-//!              serve all
+//!              serve scale all
 //! datasets:    prov dblp roadnet-usa soc-livejournal (default: all applicable)
 //! ```
+//!
+//! `scale` additionally accepts `--json` to emit one JSON line per
+//! shard count (the format checked in as `BENCH_scale.json` and
+//! consumed by CI's publish-scaling gate).
 
 use std::env;
 use std::time::Duration;
 
 use kaskade_bench::experiments::{
     enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_churn,
-    serve_compaction, serve_dag, serve_sharded, serve_throughput, serve_trace, table3,
+    serve_compaction, serve_dag, serve_scale, serve_sharded, serve_throughput, serve_trace, table3,
 };
 use kaskade_bench::setup::Env;
 use kaskade_bench::workload::QueryId;
@@ -46,6 +50,7 @@ fn main() {
         "fig8" => print_fig8(dataset),
         "enum" => print_enum(),
         "serve" => print_serve(dataset),
+        "scale" => print_scale(dataset, args.iter().any(|a| a == "--json")),
         "all" => {
             table1();
             table2();
@@ -58,10 +63,11 @@ fn main() {
             print_fig8(None);
             print_enum();
             print_serve(None);
+            print_scale(None, false);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|serve|all] [dataset]");
+            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|serve|scale|all] [dataset] [--json]");
             std::process::exit(2);
         }
     }
@@ -482,6 +488,80 @@ fn print_serve(dataset: Option<Dataset>) {
     }
     println!("\n  (a disabled span site costs one relaxed atomic load; the CI overhead");
     println!("   gate fails the build if `--trace on` throughput regresses >10%)");
+}
+
+fn print_scale(dataset: Option<Dataset>, json: bool) {
+    let d = dataset.unwrap_or(Dataset::Prov);
+    let rows = serve_scale(
+        d,
+        SCALE,
+        SEED,
+        &[1, 2, 4, 8],
+        4,
+        Duration::from_millis(400),
+        Duration::from_millis(2),
+    );
+    if json {
+        for r in &rows {
+            println!(
+                "{{\"shards\":{},\"reads\":{},\"reads_per_sec\":{:.0},\"read_p50_ns\":{},\
+                 \"read_p99_ns\":{},\"apply_p50_ns\":{},\"apply_p99_ns\":{},\"writes\":{},\
+                 \"pool_dispatches\":{},\"spawns_during_serve\":{},\"final_consistent\":{}}}",
+                r.shards,
+                r.reads,
+                r.reads_per_sec,
+                r.read_p50.as_nanos(),
+                r.read_p99.as_nanos(),
+                r.apply_p50.as_nanos(),
+                r.apply_p99.as_nanos(),
+                r.writes,
+                r.pool_dispatches,
+                r.spawns_during_serve,
+                r.final_consistent,
+            );
+        }
+        return;
+    }
+    header("SCALE: publish latency vs shard count (merged publish, persistent pool)");
+    println!(
+        "  {} — hotkey workload, 4 readers, writer every 2ms, per shard count",
+        d.short_name()
+    );
+    println!(
+        "    {:>7} {:>9} {:>10} {:>11} {:>11} {:>11} {:>11} {:>7} {:>10} {:>7} {:>6}",
+        "shards",
+        "reads",
+        "reads/s",
+        "read p50",
+        "read p99",
+        "apply p50",
+        "apply p99",
+        "writes",
+        "dispatches",
+        "spawns",
+        "ok"
+    );
+    for r in &rows {
+        println!(
+            "    {:>7} {:>9} {:>10.0} {:>11} {:>11} {:>11} {:>11} {:>7} {:>10} {:>7} {:>6}",
+            r.shards,
+            r.reads,
+            r.reads_per_sec,
+            format!("{:.1?}", r.read_p50),
+            format!("{:.1?}", r.read_p99),
+            format!("{:.1?}", r.apply_p50),
+            format!("{:.1?}", r.apply_p99),
+            r.writes,
+            r.pool_dispatches,
+            r.spawns_during_serve,
+            if r.final_consistent { "yes" } else { "NO" },
+        );
+    }
+    println!("\n  (the publish path assembles the global CSR from the shard CSRs on the");
+    println!("   persistent pool instead of re-running the whole apply serially; `spawns`");
+    println!("   counts ad-hoc scoped threads during serving and must stay 0. CI's");
+    println!("   publish-scaling gate bounds the 8-shard mean publish latency at 1.3x");
+    println!("   the 1-shard run on >=8-core runners)");
 }
 
 fn print_enum() {

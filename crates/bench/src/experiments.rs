@@ -605,6 +605,110 @@ pub fn serve_sharded(
         .collect()
 }
 
+/// One row of the serve-scale experiment: the hotkey workload served
+/// live (concurrent readers + writer) at one shard count, through the
+/// merged publish path and the persistent worker pool.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Shard count (1 = the unsharded [`Engine`]).
+    pub shards: usize,
+    /// Successful reads over the run.
+    pub reads: u64,
+    /// Successful reads per second of wall-clock time.
+    pub reads_per_sec: f64,
+    /// Median query latency.
+    pub read_p50: Duration,
+    /// 99th-percentile query latency.
+    pub read_p99: Duration,
+    /// Median apply+publish latency (the publish path this experiment
+    /// scales).
+    pub apply_p50: Duration,
+    /// 99th-percentile apply+publish latency.
+    pub apply_p99: Duration,
+    /// Deltas the writer submitted.
+    pub writes: u64,
+    /// Multi-task dispatches the persistent worker pool served
+    /// (scatter, merged publish, pool-backed refresh).
+    pub pool_dispatches: u64,
+    /// Ad-hoc `thread::scope` spawns observed during the run — the
+    /// steady-state serving paths must keep this at zero now that the
+    /// persistent pool exists.
+    pub spawns_during_serve: u64,
+    /// Whether the final snapshot passed the full consistency oracle.
+    pub final_consistent: bool,
+}
+
+/// Publish-path scaling: the identical hotkey serving run (concurrent
+/// readers, writer on a fixed cadence) swept over shard counts. With
+/// the serial coordinator apply this degraded super-linearly in the
+/// shard count (the coordinator redid the whole global apply while
+/// shards idled at the barrier); with the merged publish the apply
+/// quantiles should stay within a small constant of the 1-shard run —
+/// the property CI's `serve_scale` gate pins down.
+pub fn serve_scale(
+    dataset: Dataset,
+    scale: usize,
+    seed: u64,
+    shard_counts: &[usize],
+    readers: usize,
+    duration: Duration,
+    write_pause: Duration,
+) -> Vec<ScaleRow> {
+    let graph = dataset.generate(scale, seed);
+    let mut kaskade = Kaskade::new(graph, dataset.schema());
+    // same view load as `serve_sharded`: the connector dominates the
+    // refresh half of the publish path
+    if dataset.is_heterogeneous() {
+        kaskade.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+    }
+    let base = kaskade.snapshot();
+    let workload =
+        vec![parse(kaskade_query::listings::LISTING_1).expect("serving workload parses")];
+    let cfg = DriveConfig {
+        readers,
+        duration,
+        read_pause: Duration::ZERO,
+        write_pause,
+        max_writes: 0,
+        verify_consistency: false,
+        workload: Workload::HotKey,
+    };
+
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let spawns_before = kaskade_graph::thread_spawns();
+            let (outcome, dispatches) = if shards <= 1 {
+                let engine = Engine::new(base.clone());
+                let outcome = drive(&engine, &workload, &cfg);
+                let dispatches = engine.pool().dispatches();
+                (outcome, dispatches)
+            } else {
+                let engine = ShardedEngine::with_config(
+                    base.clone(),
+                    kaskade_service::ShardedConfig::hash(shards),
+                );
+                let outcome = drive(&engine, &workload, &cfg);
+                let dispatches = engine.pool().dispatches();
+                (outcome, dispatches)
+            };
+            ScaleRow {
+                shards,
+                reads: outcome.reads,
+                reads_per_sec: outcome.reads_per_sec(),
+                read_p50: outcome.report.p50,
+                read_p99: outcome.report.p99,
+                apply_p50: outcome.report.apply_p50,
+                apply_p99: outcome.report.apply_p99,
+                writes: outcome.writes,
+                pool_dispatches: dispatches,
+                spawns_during_serve: kaskade_graph::thread_spawns() - spawns_before,
+                final_consistent: outcome.final_consistent,
+            }
+        })
+        .collect()
+}
+
 /// One row of the slot-compaction experiment: the same constant-live
 /// churn sequence served with compaction disabled vs enabled.
 #[derive(Debug, Clone)]
@@ -1004,6 +1108,35 @@ mod tests {
             assert!(r.single_apply > Duration::ZERO);
             assert!(r.max_shard_apply() <= r.sum_shard_apply());
         }
+    }
+
+    #[test]
+    fn serve_scale_exercises_pool_without_spawns() {
+        let rows = serve_scale(
+            Dataset::Prov,
+            1,
+            43,
+            &[1, 2],
+            2,
+            Duration::from_millis(300),
+            Duration::from_millis(2),
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.final_consistent, "{}-shard: {r:?}", r.shards);
+            assert!(r.writes > 0 && r.reads > 0, "{r:?}");
+            assert_eq!(
+                r.spawns_during_serve, 0,
+                "{}-shard serving spawned ad-hoc threads: {r:?}",
+                r.shards
+            );
+        }
+        // the sharded run scatters, merges, and refreshes on the pool
+        assert!(
+            rows[1].pool_dispatches > 0,
+            "sharded serving never dispatched to the pool: {:?}",
+            rows[1]
+        );
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub use facts::{
     assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,
 };
 pub use maintain::{
-    apply_delta, stat_changes, AppliedDelta, DelEdge, DeltaError, GraphDelta, NewEdge, NewVertex,
-    VRef,
+    apply_delta, stage_delta, stat_changes, AppliedDelta, DelEdge, DeltaError, GraphDelta, NewEdge,
+    NewVertex, StagedDelta, VRef,
 };
 pub use materialize::materialize;
 pub use refresh::{

@@ -29,7 +29,10 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
-use kaskade_graph::{DegreeChange, Graph, GraphBuilder, IdRemap, Value, VertexId};
+use kaskade_graph::{
+    DegreeChange, Graph, GraphBuilder, GraphEditor, IdRemap, ParallelExec, ScopedExec, Value,
+    VertexId,
+};
 
 use crate::views::ConnectorDef;
 
@@ -583,6 +586,53 @@ pub struct AppliedDelta {
 /// [`GraphDelta::validate_against`] first.
 pub fn apply_delta(g: &Graph, delta: &GraphDelta) -> AppliedDelta {
     let mut ed = g.edit();
+    let staged = stage_delta(g, delta, &mut ed);
+    staged.into_applied(ed.finish(), g.clone())
+}
+
+/// The resolved ids of everything a staged delta touched — the first
+/// half of [`apply_delta`], before the editor freezes. Callers that
+/// freeze through a different path (the sharded coordinator assembles
+/// its global CSR from the shard CSRs instead of
+/// [`kaskade_graph::GraphEditor::finish`]) combine this with their own
+/// graph via [`StagedDelta::into_applied`].
+#[derive(Debug, Clone)]
+pub struct StagedDelta {
+    /// Ids of the newly inserted vertices, in delta order.
+    pub new_vertices: Vec<VertexId>,
+    /// Resolved `(src, dst)` endpoints of the newly inserted edges.
+    pub new_edges: Vec<(VertexId, VertexId)>,
+    /// Resolved `(src, dst)` endpoints of every retracted edge,
+    /// including edges cascaded from vertex retractions.
+    pub deleted_edges: Vec<(VertexId, VertexId)>,
+    /// Ids of the retracted vertices (those that were actually live).
+    pub deleted_vertices: Vec<VertexId>,
+}
+
+impl StagedDelta {
+    /// Pairs this staging record with the frozen `graph` it produced
+    /// (and the base it was staged over) into an [`AppliedDelta`].
+    pub fn into_applied(self, graph: Graph, base_old: Graph) -> AppliedDelta {
+        AppliedDelta {
+            graph,
+            base_old,
+            new_vertices: self.new_vertices,
+            new_edges: self.new_edges,
+            deleted_edges: self.deleted_edges,
+            deleted_vertices: self.deleted_vertices,
+        }
+    }
+}
+
+/// Stages `delta` onto an open editor over `g`: appends the new
+/// vertices and edges, tombstones retractions (LIFO edge matching,
+/// vertex cascades) — exactly the mutation half of [`apply_delta`],
+/// shared between it and the sharded merge publish. `ed` must be a
+/// fresh editor over `g`.
+///
+/// # Panics
+/// Same contract as [`apply_delta`].
+pub fn stage_delta(g: &Graph, delta: &GraphDelta, ed: &mut GraphEditor) -> StagedDelta {
     let mut new_vertices = Vec::with_capacity(delta.vertices.len());
     for nv in &delta.vertices {
         let id = if nv.ghost {
@@ -638,9 +688,7 @@ pub fn apply_delta(g: &Graph, delta: &GraphDelta) -> AppliedDelta {
         deleted_edges.extend(removed.iter().map(|&(_, s, d)| (s, d)));
         deleted_vertices.push(v);
     }
-    AppliedDelta {
-        graph: ed.finish(),
-        base_old: g.clone(),
+    StagedDelta {
         new_vertices,
         new_edges,
         deleted_edges,
@@ -751,6 +799,7 @@ pub(crate) fn connector_refresh(
     def: &ConnectorDef,
     part_of: &(dyn Fn(VertexId) -> usize + Sync),
     parts: usize,
+    exec: Option<&dyn ParallelExec>,
 ) -> (Graph, usize) {
     let base_new = &applied.graph;
     let base_old = &applied.base_old;
@@ -771,24 +820,26 @@ pub(crate) fn connector_refresh(
         for &u in &affected_sorted {
             buckets[part_of(u).min(parts - 1)].push(u);
         }
-        Some(std::thread::scope(|scope| {
-            let handles: Vec<_> = buckets
+        buckets.retain(|bucket| !bucket.is_empty());
+        let exec = exec.unwrap_or(&ScopedExec);
+        type Derived = Vec<(VertexId, Vec<crate::materialize::ConnectorTarget>)>;
+        let slots: Vec<std::sync::Mutex<Derived>> = buckets
+            .iter()
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        exec.run(buckets.len(), &|b| {
+            let derived: Derived = buckets[b]
                 .iter()
-                .filter(|bucket| !bucket.is_empty())
-                .map(|bucket| {
-                    scope.spawn(move || {
-                        bucket
-                            .iter()
-                            .map(|&u| (u, crate::materialize::connector_targets(base_new, def, u)))
-                            .collect::<Vec<_>>()
-                    })
-                })
+                .map(|&u| (u, crate::materialize::connector_targets(base_new, def, u)))
                 .collect();
-            handles
+            *slots[b].lock().unwrap_or_else(|e| e.into_inner()) = derived;
+        });
+        Some(
+            slots
                 .into_iter()
-                .flat_map(|h| h.join().expect("connector maintenance worker panicked"))
-                .collect()
-        }))
+                .flat_map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner()))
+                .collect(),
+        )
     };
 
     // Connector views list base vertices of the target types in base-id
@@ -872,7 +923,7 @@ mod tests {
     // The tests exercise the refresh engine through thin local wrappers
     // (the deprecated public shims would trip `-D warnings`).
     fn maintain_connector(old_view: &Graph, applied: &AppliedDelta, def: &ConnectorDef) -> Graph {
-        connector_refresh(old_view, applied, def, &|_| 0, 1).0
+        connector_refresh(old_view, applied, def, &|_| 0, 1, None).0
     }
 
     fn maintain_connector_partitioned(
@@ -882,7 +933,7 @@ mod tests {
         part_of: &(dyn Fn(VertexId) -> usize + Sync),
         parts: usize,
     ) -> Graph {
-        connector_refresh(old_view, applied, def, part_of, parts).0
+        connector_refresh(old_view, applied, def, part_of, parts, None).0
     }
 
     /// One canonical edge: endpoints, type, `ts`, provenance `support`.

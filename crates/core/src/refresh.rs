@@ -37,7 +37,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use kaskade_graph::{Graph, GraphBuilder, Value, VertexId};
+use kaskade_graph::{Graph, GraphBuilder, ParallelExec, ScopedExec, Value, VertexId};
 
 use crate::catalog::{Catalog, MaterializedView, ViewId};
 use crate::maintain::{connector_refresh, AppliedDelta};
@@ -113,12 +113,26 @@ pub struct Upstream<'a> {
 
 /// Execution context handed to [`ViewDef::maintainer_in`] by the
 /// [`RefreshDag`] executor.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone, Copy, Default)]
 pub struct RefreshCtx<'a> {
     /// Worker partitioning for connector frontier recomputation.
     pub partition: Option<Partition<'a>>,
     /// The refreshed upstream view, for composed views.
     pub upstream: Option<Upstream<'a>>,
+    /// Where partitioned frontier recomputation runs. `None` falls back
+    /// to spawn-per-call [`ScopedExec`]; the serving runtime passes its
+    /// persistent worker pool.
+    pub exec: Option<&'a dyn ParallelExec>,
+}
+
+impl std::fmt::Debug for RefreshCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RefreshCtx")
+            .field("partition", &self.partition)
+            .field("upstream", &self.upstream)
+            .field("exec", &self.exec.map(|_| "dyn ParallelExec"))
+            .finish()
+    }
 }
 
 /// Uniform maintenance interface over every view variant: a full build
@@ -153,6 +167,7 @@ fn structurally_empty(applied: &AppliedDelta) -> bool {
 pub struct ConnectorMaintainer<'a> {
     def: &'a ConnectorDef,
     partition: Option<Partition<'a>>,
+    exec: Option<&'a dyn ParallelExec>,
 }
 
 impl ViewMaintainer for ConnectorMaintainer<'_> {
@@ -165,7 +180,8 @@ impl ViewMaintainer for ConnectorMaintainer<'_> {
             Some(p) => (p.part_of, p.parts),
             None => (&|_| 0, 1),
         };
-        let (graph, recomputed) = connector_refresh(old_view, applied, self.def, part_of, parts);
+        let (graph, recomputed) =
+            connector_refresh(old_view, applied, self.def, part_of, parts, self.exec);
         // the vertex set changes whenever a target-type vertex is born
         // or dies, even with no affected source
         let touches_types = applied.new_vertices.iter().any(|&v| {
@@ -319,6 +335,7 @@ impl ViewDef {
             ViewDef::Connector(def) => Box::new(ConnectorMaintainer {
                 def,
                 partition: ctx.partition,
+                exec: ctx.exec,
             }),
             ViewDef::SourceSink(def) => Box::new(SourceSinkMaintainer { def }),
             ViewDef::Summarizer(def) => Box::new(SummarizerMaintainer { def }),
@@ -676,14 +693,29 @@ fn vertex_aggregator_refresh(
 
 /// How a [`RefreshDag`] executes: worker-pool parallelism and connector
 /// partitioning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct RefreshOptions<'a> {
-    /// Run each execution level's views on scoped worker threads
-    /// (levels with a single view always run inline).
+    /// Run each execution level's views on parallel workers (levels
+    /// with a single view always run inline).
     pub parallel: bool,
     /// Partitioned connector refresh (the sharded coordinator passes
     /// its vertex partitioner).
     pub partition: Option<Partition<'a>>,
+    /// Where level-parallel refresh and partitioned frontier work run.
+    /// `None` falls back to spawn-per-call [`ScopedExec`]; serving
+    /// runtimes pass their persistent worker pool so steady-state
+    /// publishes never spawn a thread.
+    pub exec: Option<&'a dyn ParallelExec>,
+}
+
+impl std::fmt::Debug for RefreshOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RefreshOptions")
+            .field("parallel", &self.parallel)
+            .field("partition", &self.partition)
+            .field("exec", &self.exec.map(|_| "dyn ParallelExec"))
+            .finish()
+    }
 }
 
 impl Default for RefreshOptions<'_> {
@@ -691,6 +723,7 @@ impl Default for RefreshOptions<'_> {
         RefreshOptions {
             parallel: true,
             partition: None,
+            exec: None,
         }
     }
 }
@@ -825,41 +858,43 @@ impl RefreshDag {
                 let ctx = RefreshCtx {
                     partition: opts.partition,
                     upstream,
+                    exec: opts.exec,
                 };
                 let t0 = std::time::Instant::now();
                 let refreshed = view.def.maintainer_in(ctx).refresh(&view.graph, applied);
                 (refreshed, t0.elapsed())
             };
-            let outs: Vec<(usize, Refreshed, std::time::Duration)> =
-                if opts.parallel && level.len() > 1 {
-                    std::thread::scope(|scope| {
-                        let run = &run;
-                        let done: &[Option<Refreshed>] = &results;
-                        let handles: Vec<_> = level
-                            .iter()
-                            .map(|&vid| {
-                                let i = vid.index();
-                                scope.spawn(move || {
-                                    let (r, dt) = run(i, done);
-                                    (i, r, dt)
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("view refresh worker panicked"))
-                            .collect()
+            let outs: Vec<(usize, Refreshed, std::time::Duration)> = if opts.parallel
+                && level.len() > 1
+            {
+                let exec = opts.exec.unwrap_or(&ScopedExec);
+                let run = &run;
+                let done: &[Option<Refreshed>] = &results;
+                let slots: Vec<std::sync::Mutex<Option<(usize, Refreshed, std::time::Duration)>>> =
+                    level.iter().map(|_| std::sync::Mutex::new(None)).collect();
+                exec.run(level.len(), &|k| {
+                    let i = level[k].index();
+                    let (r, dt) = run(i, done);
+                    *slots[k].lock().unwrap_or_else(|e| e.into_inner()) = Some((i, r, dt));
+                });
+                slots
+                    .into_iter()
+                    .map(|s| {
+                        s.into_inner()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .expect("every refresh task completed")
                     })
-                } else {
-                    level
-                        .iter()
-                        .map(|&vid| {
-                            let i = vid.index();
-                            let (r, dt) = run(i, &results);
-                            (i, r, dt)
-                        })
-                        .collect()
-                };
+                    .collect()
+            } else {
+                level
+                    .iter()
+                    .map(|&vid| {
+                        let i = vid.index();
+                        let (r, dt) = run(i, &results);
+                        (i, r, dt)
+                    })
+                    .collect()
+            };
             for (i, r, dt) in outs {
                 results[i] = Some(r);
                 timings[i] = dt;
@@ -1066,6 +1101,7 @@ mod tests {
             &RefreshOptions {
                 parallel: false,
                 partition: None,
+                exec: None,
             },
         );
         assert_eq!(report2.rematerialized, 0);

@@ -192,8 +192,12 @@ impl Graph {
         }
         let mut out_edges = vec![EdgeId(0); m];
         let mut in_edges = vec![EdgeId(0); m];
-        let mut out_cursor = out_offsets.clone();
-        let mut in_cursor = in_offsets.clone();
+        // recycled fill cursors (see `crate::scratch`): compaction runs
+        // repeatedly on churn workloads and these are pure scratch
+        let mut out_cursor = crate::scratch::take_u32(n + 1);
+        out_cursor.extend_from_slice(&out_offsets);
+        let mut in_cursor = crate::scratch::take_u32(n + 1);
+        in_cursor.extend_from_slice(&in_offsets);
         for i in 0..m {
             let s = srcs[i].index();
             let d = dsts[i].index();
@@ -202,6 +206,8 @@ impl Graph {
             in_edges[in_cursor[d] as usize] = EdgeId(i as u32);
             in_cursor[d] += 1;
         }
+        crate::scratch::give_u32(out_cursor);
+        crate::scratch::give_u32(in_cursor);
 
         let live_owned = vghost.iter().filter(|&&g| !g).count();
         Graph {

@@ -40,18 +40,22 @@ use crate::value::{PropMap, Value};
 /// ```
 #[derive(Debug)]
 pub struct GraphEditor {
-    base: Graph,
-    vtypes: Vec<crate::interner::Symbol>,
-    vprops: Vec<PropMap>,
-    srcs: Vec<VertexId>,
-    dsts: Vec<VertexId>,
-    etypes: Vec<crate::interner::Symbol>,
-    eprops: Vec<PropMap>,
-    vertex_dead: Vec<bool>,
-    vertex_ghost: Vec<bool>,
-    any_ghost: bool,
-    edge_dead: Vec<bool>,
-    interner: crate::interner::Interner,
+    // Fields are crate-visible so the merged-publish path
+    // (`crate::merge`) can stage edits through the same structure and
+    // freeze them with a *parallel* CSR assembly instead of
+    // [`GraphEditor::finish`]'s serial counting sort.
+    pub(crate) base: Graph,
+    pub(crate) vtypes: Vec<crate::interner::Symbol>,
+    pub(crate) vprops: Vec<PropMap>,
+    pub(crate) srcs: Vec<VertexId>,
+    pub(crate) dsts: Vec<VertexId>,
+    pub(crate) etypes: Vec<crate::interner::Symbol>,
+    pub(crate) eprops: Vec<PropMap>,
+    pub(crate) vertex_dead: Vec<bool>,
+    pub(crate) vertex_ghost: Vec<bool>,
+    pub(crate) any_ghost: bool,
+    pub(crate) edge_dead: Vec<bool>,
+    pub(crate) interner: crate::interner::Interner,
 }
 
 impl Graph {
@@ -259,8 +263,12 @@ impl GraphEditor {
         let live_edges = out_offsets[n] as usize;
         let mut out_edges = vec![EdgeId(0); live_edges];
         let mut in_edges = vec![EdgeId(0); live_edges];
-        let mut out_cursor = out_offsets.clone();
-        let mut in_cursor = in_offsets.clone();
+        // fill cursors are pure scratch: recycle them across rebuilds
+        // instead of reallocating two O(V) buffers per publish
+        let mut out_cursor = crate::scratch::take_u32(n + 1);
+        out_cursor.extend_from_slice(&out_offsets);
+        let mut in_cursor = crate::scratch::take_u32(n + 1);
+        in_cursor.extend_from_slice(&in_offsets);
         for i in 0..m {
             if self.edge_dead[i] {
                 continue;
@@ -272,6 +280,8 @@ impl GraphEditor {
             in_edges[in_cursor[d] as usize] = EdgeId(i as u32);
             in_cursor[d] += 1;
         }
+        crate::scratch::give_u32(out_cursor);
+        crate::scratch::give_u32(in_cursor);
         let live_vertices = n - self.vertex_dead.iter().filter(|&&d| d).count();
         let live_owned = (0..n)
             .filter(|&i| !self.vertex_dead[i] && !self.vertex_ghost[i])

@@ -35,16 +35,21 @@
 
 mod compact;
 mod edit;
+mod exec;
 mod graph;
 mod interner;
+mod merge;
 mod schema;
+mod scratch;
 mod stats;
 mod value;
 
 pub use compact::IdRemap;
 pub use edit::GraphEditor;
+pub use exec::{chunk_ranges, thread_spawns, ParallelExec, ScopedExec, SerialExec};
 pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, Symbol};
+pub use merge::same_dense_graph;
 pub use schema::{EdgeRule, Schema, SchemaError};
 pub use stats::{
     degree_ccdf, power_law_exponent, CcdfPoint, DegreeChange, DegreeSummary, GraphStats,

@@ -26,6 +26,7 @@ use kaskade_query::{Query, Table};
 
 use crate::metrics::{Metrics, MetricsReport};
 use crate::plan_cache::{plan_key, PlanCache};
+use crate::pool::WorkerPool;
 use crate::snapshot::{EpochSnapshot, Reader, SnapshotCell};
 use crate::trace::{Stage, Tracer};
 
@@ -63,6 +64,16 @@ pub struct EngineConfig {
     /// so flight-recorder dumps attribute write-path spans to the
     /// engine that emitted them. Empty for a standalone engine.
     pub trace_label: String,
+    /// The persistent worker pool this engine's write path runs its
+    /// parallel view refresh on. `None` creates a private pool with
+    /// [`EngineConfig::pool_threads`] workers. A
+    /// [`crate::ShardedEngine`] passes one shared pool to every shard
+    /// so the whole runtime parks the same fixed thread set.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Worker-thread count for the private pool created when
+    /// [`EngineConfig::pool`] is `None`; `0` sizes it to the machine
+    /// (available parallelism minus the helping caller).
+    pub pool_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +84,8 @@ impl Default for EngineConfig {
             compact_dead_ratio: 0.5,
             tracer: None,
             trace_label: String::new(),
+            pool: None,
+            pool_threads: 0,
         }
     }
 }
@@ -363,6 +376,7 @@ struct Shared {
     queued: AtomicU64,
     tracer: Arc<Tracer>,
     trace_label: String,
+    pool: Arc<WorkerPool>,
 }
 
 /// The concurrent serving runtime.
@@ -393,6 +407,10 @@ impl Engine {
 
     /// Serves the given state (epoch 0) with explicit tuning.
     pub fn with_config(state: Snapshot, config: EngineConfig) -> Self {
+        let pool = config.pool.unwrap_or_else(|| match config.pool_threads {
+            0 => WorkerPool::with_default_threads(),
+            t => WorkerPool::new(t),
+        });
         let shared = Arc::new(Shared {
             cell: Arc::new(SnapshotCell::new(state)),
             cache: PlanCache::new(),
@@ -400,6 +418,7 @@ impl Engine {
             queued: AtomicU64::new(0),
             tracer: config.tracer.unwrap_or_default(),
             trace_label: config.trace_label,
+            pool,
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
@@ -521,6 +540,12 @@ impl Engine {
     /// [`EngineConfig::tracer`] or enabled at runtime.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.shared.tracer
+    }
+
+    /// The persistent worker pool this engine's write path runs on
+    /// (shared across all shards under a [`crate::ShardedEngine`]).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.shared.pool
     }
 
     /// The live metrics block (for exposition endpoints that need raw
@@ -670,7 +695,13 @@ fn writer_loop(
             let apply_start = Instant::now();
             let apply_span = batch_span.child(Stage::Apply);
             let apply_id = apply_span.id();
-            let (next, report) = state.with_delta_report(&batch.delta, &RefreshOptions::default());
+            let (next, report) = state.with_delta_report(
+                &batch.delta,
+                &RefreshOptions {
+                    exec: Some(&*shared.pool),
+                    ..RefreshOptions::default()
+                },
+            );
             drop(apply_span);
             state = next;
             let mut publish_span = batch_span.child(Stage::Publish);

@@ -84,6 +84,7 @@ pub mod engine;
 pub mod expose;
 pub mod metrics;
 pub mod plan_cache;
+pub mod pool;
 pub mod shard;
 pub mod snapshot;
 pub mod stream;
@@ -94,6 +95,7 @@ pub use engine::{Engine, EngineConfig, SubmitError, SubmitOpts};
 pub use expose::{render_prometheus, MetricsServer, Observable};
 pub use metrics::{LatencyHistogram, Metrics, MetricsReport, ViewMetrics};
 pub use plan_cache::{plan_key, PlanCache};
+pub use pool::WorkerPool;
 pub use shard::{
     HashPartitioner, Partitioner, ShardedConfig, ShardedEngine, ShardedMetricsReport,
     ShardedReader, ShardedSnapshot, TypePartitioner,

@@ -61,10 +61,10 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use kaskade_core::{
-    apply_delta, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions,
-    RefreshReport, Snapshot,
+    stage_delta, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions,
+    RefreshReport, Snapshot, VRef,
 };
-use kaskade_graph::{GraphStats, VertexId};
+use kaskade_graph::{EdgeId, Graph, GraphStats, ParallelExec, VertexId};
 use kaskade_query::{PatternPlan, PatternRows, Query, Table};
 
 use crate::engine::{
@@ -73,6 +73,7 @@ use crate::engine::{
 };
 use crate::metrics::{LatencyHistogram, Metrics, MetricsReport};
 use crate::plan_cache::{plan_key, PlanCache};
+use crate::pool::WorkerPool;
 use crate::snapshot::EpochSnapshot;
 use crate::trace::{Stage, Tracer};
 
@@ -186,6 +187,12 @@ pub struct ShardedConfig {
     /// recorder sees the whole scatter/fan-out pipeline. `None` creates
     /// a private disabled tracer.
     pub tracer: Option<Arc<Tracer>>,
+    /// Worker threads of the engine-wide persistent [`WorkerPool`]
+    /// (query scatter, merged publish, parallel view refresh all run on
+    /// it — steady-state serving never spawns a thread). `0` sizes the
+    /// pool to the machine: available parallelism minus the helping
+    /// caller.
+    pub pool_threads: usize,
 }
 
 impl ShardedConfig {
@@ -198,6 +205,7 @@ impl ShardedConfig {
             scatter_min_vertices: 512,
             compact_dead_ratio: 0.5,
             tracer: None,
+            pool_threads: 0,
         }
     }
 }
@@ -324,6 +332,7 @@ struct ShardedShared {
     scatter_min_vertices: usize,
     shards: Vec<Engine>,
     tracer: Arc<Tracer>,
+    pool: Arc<WorkerPool>,
 }
 
 /// A point-in-time metrics report of the sharded engine: the router's
@@ -398,6 +407,13 @@ impl ShardedEngine {
         let n = partitioner.shard_count().max(1);
         let schema = state.schema().clone();
         let tracer = config.tracer.unwrap_or_default();
+        // one persistent pool for the whole sharded runtime: the
+        // router's merged publish, every shard's view refresh, and the
+        // read path's query scatter all park the same fixed thread set
+        let pool = match config.pool_threads {
+            0 => WorkerPool::with_default_threads(),
+            t => WorkerPool::new(t),
+        };
         let shards: Vec<Engine> = (0..n)
             .map(|s| {
                 let p = &*partitioner;
@@ -419,6 +435,8 @@ impl ShardedEngine {
                         // shard engine's spans
                         tracer: Some(Arc::clone(&tracer)),
                         trace_label: format!("shard{s}"),
+                        pool: Some(Arc::clone(&pool)),
+                        pool_threads: 0,
                     },
                 )
             })
@@ -441,6 +459,22 @@ impl ShardedEngine {
                 })
                 .collect()
         };
+        // per-shard edge translation tables: `edge_global[s][j]` is the
+        // global edge id of shard `s`'s (dense) local edge slot `j`.
+        // `Graph::shard` keeps a shard's edges in preserved global
+        // order, so walking the global live edges in slot order and
+        // routing each to its source's owner reproduces every shard's
+        // local numbering exactly. The router appends per batch and
+        // rebuilds on compaction; the merged publish translates shard
+        // CSR rows through these tables.
+        let edge_global: Vec<Vec<EdgeId>> = {
+            let g = state.graph();
+            let mut tables = vec![Vec::new(); n];
+            for e in g.edges() {
+                tables[owners[g.edge_src(e).index()] as usize].push(e);
+            }
+            tables
+        };
         let shared = Arc::new(ShardedShared {
             cell: Arc::new(ShardedCell::new(ShardedSnapshot {
                 epoch: 0,
@@ -454,6 +488,7 @@ impl ShardedEngine {
             scatter_min_vertices: config.scatter_min_vertices,
             shards,
             tracer,
+            pool,
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let router_shared = Arc::clone(&shared);
@@ -461,7 +496,16 @@ impl ShardedEngine {
         let compact_dead_ratio = config.compact_dead_ratio;
         let router = std::thread::Builder::new()
             .name("kaskade-router".into())
-            .spawn(move || router_loop(router_shared, rx, max_batch, compact_dead_ratio, owners))
+            .spawn(move || {
+                router_loop(
+                    router_shared,
+                    rx,
+                    max_batch,
+                    compact_dead_ratio,
+                    owners,
+                    edge_global,
+                )
+            })
             .expect("spawn router worker");
         ShardedEngine {
             shared,
@@ -572,6 +616,15 @@ impl ShardedEngine {
         &self.shared.tracer
     }
 
+    /// The persistent worker pool shared by the router, every shard
+    /// engine, and the query scatter path. Its
+    /// [`WorkerPool::dispatches`] counter (together with
+    /// [`kaskade_graph::thread_spawns`]) is the "zero spawns in steady
+    /// state" observability hook.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.shared.pool
+    }
+
     /// The per-shard engines (for metrics exposition).
     pub(crate) fn shard_engines(&self) -> &[Engine] {
         &self.shared.shards
@@ -659,50 +712,85 @@ fn execute_at(
             pattern_done.set(Some(Instant::now()));
             return Ok(out);
         }
-        // scatter: one worker per shard, anchors restricted to the
+        // scatter: one pool task per shard, anchors restricted to the
         // shard's owned vertices (on a view graph the partitioner is
         // still a valid disjoint+exhaustive split of the anchor domain,
-        // which is all correctness requires)
+        // which is all correctness requires). The persistent pool
+        // replaces a per-query thread::scope: steady-state serving
+        // spawns no threads.
         let traced = tracer.is_enabled();
-        let mut columns = Vec::new();
-        let mut merged: Vec<Vec<VertexId>> = Vec::new();
-        let per_shard: Vec<PatternRows> = std::thread::scope(|scope| {
+        let dispatch_start = Instant::now();
+        let slots: Vec<std::sync::Mutex<Option<PatternRows>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        {
             let plan = &plan;
-            let handles: Vec<_> = (0..n)
-                .map(|s| {
-                    scope.spawn(move || {
-                        let scatter_start = Instant::now();
-                        let anchor =
-                            |v: VertexId| partitioner.shard_of(v, target.vertex_type(v)) == s;
-                        let rows = plan.execute_anchored(target, &anchor);
-                        if traced {
-                            tracer.record(
-                                Stage::Scatter,
-                                root_id,
-                                scatter_start,
-                                scatter_start.elapsed(),
-                                snap.epoch,
-                                format!("shard{s} rows={}", rows.1.len()),
-                            );
-                        }
-                        rows
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scatter worker panicked"))
-                .collect()
-        });
+            let slots = &slots;
+            shared.pool.run(n, &move |s| {
+                let scatter_start = Instant::now();
+                let anchor = |v: VertexId| partitioner.shard_of(v, target.vertex_type(v)) == s;
+                let rows = plan.execute_anchored(target, &anchor);
+                if traced {
+                    tracer.record(
+                        Stage::Scatter,
+                        root_id,
+                        scatter_start,
+                        scatter_start.elapsed(),
+                        snap.epoch,
+                        format!("shard{s} rows={}", rows.1.len()),
+                    );
+                }
+                *slots[s].lock().expect("scatter slot poisoned") = Some(rows);
+            });
+        }
+        if traced {
+            tracer.record(
+                Stage::PoolDispatch,
+                root_id,
+                dispatch_start,
+                dispatch_start.elapsed(),
+                snap.epoch,
+                format!("tasks={n}"),
+            );
+        }
+        let per_shard: Vec<PatternRows> = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("scatter slot poisoned")
+                    .expect("scatter task completed")
+            })
+            .collect();
         let gather_start = Instant::now();
+        // gather: per-shard row sets are sorted and disjointly
+        // anchored; a streaming k-way merge with on-the-fly dedup
+        // reproduces the unsharded DISTINCT row set without
+        // re-sorting the concatenation
+        let mut columns = Vec::new();
+        let mut iters: Vec<std::vec::IntoIter<Vec<VertexId>>> = Vec::with_capacity(n);
+        let mut total = 0usize;
         for (cols, rows) in per_shard {
             columns = cols;
-            merged.extend(rows);
+            total += rows.len();
+            iters.push(rows.into_iter());
         }
-        // gather: per-shard row sets are sorted and disjointly
-        // anchored; one sort+dedup reproduces the unsharded row set
-        merged.sort();
-        merged.dedup();
+        let mut heads: Vec<Option<Vec<VertexId>>> = iters.iter_mut().map(Iterator::next).collect();
+        let mut merged: Vec<Vec<VertexId>> = Vec::with_capacity(total);
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(row) = head {
+                    if best.is_none_or(|b| row < heads[b].as_ref().expect("best head present")) {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            let row =
+                std::mem::replace(&mut heads[i], iters[i].next()).expect("best head was non-empty");
+            if merged.last() != Some(&row) {
+                merged.push(row);
+            }
+        }
         if traced {
             tracer.record(
                 Stage::Gather,
@@ -764,6 +852,7 @@ fn router_loop(
     max_batch: usize,
     mut compact_dead_ratio: f64,
     mut owners: Vec<u32>,
+    mut edge_global: Vec<Vec<EdgeId>>,
 ) {
     let mut state = shared.cell.load().state.clone();
     let mut remaps = RemapHistory::new();
@@ -814,7 +903,15 @@ fn router_loop(
             // publish: a global epoch promises every shard applied it
             let apply_span = batch_span.child(Stage::Apply);
             let apply_id = apply_span.id();
-            let advanced = advance(&shared, &state, &batch.delta, &owners, &new_owners);
+            let advanced = advance(
+                &shared,
+                &state,
+                &batch.delta,
+                &owners,
+                &new_owners,
+                &mut edge_global,
+                apply_id,
+            );
             drop(apply_span);
             if let Some((next, shard_states, report)) = advanced {
                 state = next;
@@ -887,6 +984,18 @@ fn router_loop(
                     .filter(|&(i, _)| remap.vertex(VertexId(i as u32)).is_some())
                     .map(|(_, &o)| o)
                     .collect();
+                // edge ids renumbered too: rebuild the shard-local →
+                // global edge translation tables from the compacted
+                // graph (every surviving edge is live, and each shard
+                // compacted through the identical remap, so slot order
+                // is preserved on both sides)
+                for table in edge_global.iter_mut() {
+                    table.clear();
+                }
+                let g = state.graph();
+                for e in g.edges() {
+                    edge_global[owners[g.edge_src(e).index()] as usize].push(e);
+                }
                 let epoch = shared.cell.epoch() + 1;
                 shared.cell.publish(ShardedSnapshot {
                     epoch,
@@ -924,20 +1033,27 @@ fn router_loop(
 
 /// Applies one validated batch across the shards and derives the next
 /// global state plus the per-shard snapshots it was built from:
-/// sub-deltas fan out first (shard applies overlap the coordinator's
-/// own global apply), views refresh with per-shard worker threads,
-/// statistics come from the per-shard merge. Returns `None` — and the
-/// caller must not publish — if a shard refused its sub-delta (only
-/// possible mid-shutdown). The returned [`RefreshReport`] carries the
-/// per-view timings the router feeds into metrics and the flight
-/// recorder.
-#[allow(clippy::type_complexity)]
+/// sub-deltas fan out first, the coordinator stages the batch's
+/// mutations (deaths, ghosts, new columns) into an editor while the
+/// shard applies run, and the merged global CSR is then assembled
+/// **from the shard CSRs** by parallel copy on the worker pool — the
+/// coordinator never re-runs the full `apply_delta` adjacency build.
+/// Views refresh with pool workers, statistics come from the per-shard
+/// merge. Returns `None` — and the caller must not publish — if a
+/// shard refused or missed its sub-delta (only possible mid-shutdown);
+/// `edge_global` is only extended once every shard has confirmed, so a
+/// bailed batch never pollutes the translation tables. The returned
+/// [`RefreshReport`] carries the per-view timings the router feeds
+/// into metrics and the flight recorder.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn advance(
     shared: &ShardedShared,
     state: &Snapshot,
     batch: &GraphDelta,
     owners: &[u32],
     new_owners: &[u32],
+    edge_global: &mut [Vec<EdgeId>],
+    apply_id: u64,
 ) -> Option<(Snapshot, Vec<Arc<EpochSnapshot>>, RefreshReport)> {
     let partitioner = &*shared.partitioner;
     let n = shared.shards.len();
@@ -986,8 +1102,14 @@ fn advance(
         }
     }
 
-    // 2. the coordinator's own apply overlaps the shard applies
-    let applied = apply_delta(g, batch);
+    // 2. stage the batch's mutations while the shard applies run: the
+    //    editor clones the global columns (property columns chunked
+    //    across the pool) and `stage_delta` computes the exact deaths,
+    //    ghosts, and appended columns `apply_delta` would — everything
+    //    EXCEPT the adjacency build, which step 5 copies from the
+    //    shard CSRs instead of recomputing
+    let mut ed = g.edit_parallel(&*shared.pool);
+    let staged = stage_delta(g, batch, &mut ed);
 
     // 3. barrier: the global epoch must not publish before every shard
     //    has applied the batch; capture each shard's snapshot once —
@@ -1001,10 +1123,71 @@ fn advance(
             shard.snapshot()
         })
         .collect();
+    let shard_graphs: Vec<Graph> = shard_states
+        .iter()
+        .map(|s| s.state.graph().clone())
+        .collect();
 
-    // 4. refresh views over the new global base through the refresh
-    //    DAG: delta-driven per view, level-parallel across views, and
-    //    connector frontiers recompute on one worker thread per shard
+    // 4. coherence guard: a shard that shut down mid-flight may have
+    //    missed the batch, leaving its CSR one epoch behind. Merging
+    //    from a stale CSR would corrupt the global graph, so verify
+    //    every shard's slot counts line up with what this batch
+    //    implies BEFORE the translation tables are extended — a bailed
+    //    batch leaves `edge_global` untouched.
+    let mut routed_new = vec![0usize; n];
+    for e in &batch.edges {
+        let owner = match e.src {
+            VRef::Existing(v) => owner_existing(v),
+            VRef::New(i) => owner_new(i),
+        };
+        routed_new[owner] += 1;
+    }
+    for (s, sg) in shard_graphs.iter().enumerate() {
+        if sg.vertex_slots() != slots + batch.vertices.len()
+            || sg.edge_slots() != edge_global[s].len() + routed_new[s]
+        {
+            return None;
+        }
+    }
+    let edge_slots = g.edge_slots();
+    for (k, e) in batch.edges.iter().enumerate() {
+        let owner = match e.src {
+            VRef::Existing(v) => owner_existing(v),
+            VRef::New(i) => owner_new(i),
+        };
+        edge_global[owner].push(EdgeId((edge_slots + k) as u32));
+    }
+
+    // 5. merged publish: workers copy disjoint regions of the global
+    //    CSR straight out of the shard CSRs (out-rows translated
+    //    through `edge_global`, in-rows k-way merged back into global
+    //    edge order) — byte-identical to the serial `apply_delta`
+    //    result, at memcpy speed
+    let mut all_owners = Vec::with_capacity(owners.len() + new_owners.len());
+    all_owners.extend_from_slice(owners);
+    all_owners.extend_from_slice(new_owners);
+    let merge_start = Instant::now();
+    let graph = ed.finish_merged(&shard_graphs, &all_owners, edge_global, &*shared.pool);
+    if shared.tracer.is_enabled() {
+        shared.tracer.record(
+            Stage::MergePublish,
+            apply_id,
+            merge_start,
+            merge_start.elapsed(),
+            shared.cell.epoch(),
+            format!(
+                "shards={n} vertices={} edges={}",
+                graph.vertex_count(),
+                graph.edge_count()
+            ),
+        );
+    }
+    let applied = staged.into_applied(graph, g.clone());
+
+    // 6. refresh views over the new global base through the refresh
+    //    DAG: delta-driven per view, level-parallel across views on
+    //    the persistent pool, connector frontiers recomputed one pool
+    //    task per shard
     let part = |v: VertexId| partitioner.shard_of(v, applied.graph.vertex_type(v));
     let dag = RefreshDag::build(state.catalog());
     let (catalog, report) = dag.refresh(
@@ -1016,13 +1199,14 @@ fn advance(
                 part_of: &part,
                 parts: n,
             }),
+            exec: Some(&*shared.pool),
         },
     );
     shared
         .metrics
         .record_view_refresh(report.refreshed as u64, report.rematerialized as u64);
 
-    // 5. global statistics are the merge of the per-shard statistics
+    // 7. global statistics are the merge of the per-shard statistics
     let stats = GraphStats::merge(shard_states.iter().map(|s| s.state.stats()))
         .unwrap_or_else(|| GraphStats::compute(&applied.graph));
 

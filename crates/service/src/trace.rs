@@ -47,6 +47,13 @@ pub enum Stage {
     WriteBatch,
     /// Write path: applying the batched delta to the base graph.
     Apply,
+    /// Write path (sharded): assembling the merged global graph from
+    /// the shard CSRs on the worker pool (replaces the serial re-apply;
+    /// child of `WriteBatch`).
+    MergePublish,
+    /// A batch of tasks dispatched to the persistent worker pool
+    /// (detail = task count).
+    PoolDispatch,
     /// Write path: one view's maintainer call (child of `WriteBatch`,
     /// one per catalog view, detail = view name, annotated with the
     /// DAG level).
@@ -80,6 +87,8 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::WriteBatch => "write_batch",
             Stage::Apply => "apply",
+            Stage::MergePublish => "merge_publish",
+            Stage::PoolDispatch => "pool_dispatch",
             Stage::RefreshView => "refresh_view",
             Stage::Compact => "compact",
             Stage::Publish => "publish",

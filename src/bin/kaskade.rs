@@ -21,6 +21,8 @@
 //!   --write-every-ms N  delta cadence; 0 = no writer (default 2)
 //!   --workload W    append | churn | hotkey | burst (default append)
 //!   --shards N      partition the graph over N engines (default 1)
+//!   --pool-threads N    worker threads in the persistent scatter /
+//!                       merge / refresh pool (default 0 = cores - 1)
 //!   --compact-ratio F   dead-slot fraction triggering slot compaction
 //!                       (default 0.5)
 //!   --expect-compaction fail unless the run compacted and ended with
@@ -85,7 +87,8 @@ fn usage() -> ExitCode {
          [--seed N] [--threads N] <query|@listing1|@listing4>\n       \
          kaskade serve <prov|dblp|roadnet-usa|soc-livejournal> [--views [composed]] [--scale N] \
          [--seed N] [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] \
-         [--shards N] [--compact-ratio F] [--expect-compaction] [--expect-incremental] [--smoke] \
+         [--shards N] [--pool-threads N] [--compact-ratio F] [--expect-compaction] \
+         [--expect-incremental] [--smoke] \
          [--trace on|off] [--trace-dump] [--slow-query-ms F] [--metrics-addr ADDR] \
          [--stats-interval N] [--stats-json] [query ...]"
     );
@@ -103,6 +106,7 @@ struct CommonArgs {
     write_every_ms: u64,
     workload: Workload,
     shards: usize,
+    pool_threads: usize,
     compact_ratio: f64,
     expect_compaction: bool,
     expect_incremental: bool,
@@ -127,6 +131,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         write_every_ms: 2,
         workload: Workload::Append,
         shards: 1,
+        pool_threads: 0,
         compact_ratio: EngineConfig::default().compact_dead_ratio,
         expect_compaction: false,
         expect_incremental: false,
@@ -157,6 +162,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             "--write-every-ms" => c.write_every_ms = args.next()?.parse().ok()?,
             "--workload" => c.workload = Workload::parse(&args.next()?)?,
             "--shards" => c.shards = args.next()?.parse().ok()?,
+            "--pool-threads" => c.pool_threads = args.next()?.parse().ok()?,
             "--compact-ratio" => {
                 c.compact_ratio = args.next()?.parse().ok().filter(|&r: &f64| r > 0.0)?
             }
@@ -450,8 +456,8 @@ fn outcome_json(outcome: &DriveOutcome, tracer: &Tracer) -> String {
          \"epoch\":{},\"deltas_applied\":{},\"batches_published\":{},\"views_refreshed\":{},\
          \"views_rematerialized\":{},\"compactions_run\":{},\"slots_reclaimed\":{},\
          \"plan_cache_hit_rate\":{:.4},\"p50_ns\":{},\"p99_ns\":{},\"apply_p50_ns\":{},\
-         \"apply_p99_ns\":{},\"queue_depth\":{},\"slow_queries\":{},\"trace_dropped_events\":{},\
-         \"per_view\":[",
+         \"apply_p99_ns\":{},\"apply_total_ns\":{},\"queue_depth\":{},\"slow_queries\":{},\
+         \"trace_dropped_events\":{},\"per_view\":[",
         outcome.reads,
         outcome.read_errors,
         outcome.reads_per_sec(),
@@ -471,6 +477,7 @@ fn outcome_json(outcome: &DriveOutcome, tracer: &Tracer) -> String {
         r.p99.as_nanos(),
         r.apply_p50.as_nanos(),
         r.apply_p99.as_nanos(),
+        r.apply_total.as_nanos(),
         r.queue_depth,
         tracer.slow_queries(),
         tracer.dropped_events(),
@@ -552,6 +559,7 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
                 kaskade.snapshot(),
                 ShardedConfig {
                     compact_dead_ratio: c.compact_ratio,
+                    pool_threads: c.pool_threads,
                     tracer: Some(Arc::clone(&tracer)),
                     ..ShardedConfig::hash(shards)
                 },
@@ -575,6 +583,7 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
                 kaskade.snapshot(),
                 EngineConfig {
                     compact_dead_ratio: c.compact_ratio,
+                    pool_threads: c.pool_threads,
                     tracer: Some(Arc::clone(&tracer)),
                     ..EngineConfig::default()
                 },

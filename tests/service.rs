@@ -577,17 +577,30 @@ fn sharded_tracer_records_the_whole_pipeline() {
         Stage::WriteBatch,
         Stage::QueueWait,
         Stage::Apply,
+        Stage::MergePublish,
         Stage::RefreshView,
         Stage::Publish,
         Stage::Query,
         Stage::PlanCacheLookup,
         Stage::Plan,
+        Stage::PoolDispatch,
         Stage::Scatter,
         Stage::Gather,
         Stage::Relational,
     ] {
         assert!(has(stage), "no {stage} event in:\n{}", tracer.render_dump());
     }
+    // the merged publish is part of the apply, not a separate epoch
+    let merge = events
+        .iter()
+        .find(|e| e.stage == Stage::MergePublish)
+        .unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.id == merge.parent && e.stage == Stage::Apply),
+        "merge_publish not parented to an apply span"
+    );
     // per-view spans carry the view name and DAG level, parented under
     // an apply span of the same batch
     let refresh = events
@@ -612,6 +625,97 @@ fn sharded_tracer_records_the_whole_pipeline() {
     let report = engine.metrics();
     assert!(report.global.apply_p99 > Duration::ZERO);
     assert!(!report.global.per_view.is_empty(), "per-view metrics empty");
+}
+
+/// Zero thread spawns in steady-state serving: after the first
+/// publish and the first query warmed every path, further writes and
+/// scatter/gather queries run entirely on the persistent worker pool.
+/// The pool's dispatch counter must grow while the global ad-hoc
+/// scoped-spawn counter ([`kaskade::graph::thread_spawns`]) stays
+/// flat — the counter every pre-pool code path (per-query
+/// `thread::scope` scatter, per-publish refresh spawns) used to bump.
+#[test]
+fn steady_state_serving_spawns_no_threads() {
+    let k = tiny_instance(73);
+    let engine = ShardedEngine::with_config(
+        k.snapshot(),
+        ShardedConfig {
+            scatter_min_vertices: 0, // always exercise scatter/gather
+            ..ShardedConfig::hash(3)
+        },
+    );
+    let query = parse(LISTING_1).unwrap();
+    // warmup: first publish + first query
+    let snap = engine.snapshot();
+    let d = churn_delta(&snap.state, 0).expect("churn delta");
+    engine.submit(d, SubmitOpts::default()).unwrap();
+    engine.flush();
+    engine.execute(&query).unwrap();
+
+    let spawns_before = kaskade::graph::thread_spawns();
+    let dispatches_before = engine.pool().dispatches();
+    for i in 1..6u64 {
+        let snap = engine.snapshot();
+        let d = churn_delta(&snap.state, i).expect("churn delta");
+        engine.submit(d, SubmitOpts::default()).unwrap();
+        engine.flush();
+        engine.execute(&query).unwrap();
+    }
+    assert!(
+        engine.pool().dispatches() > dispatches_before,
+        "serving never dispatched to the persistent pool"
+    );
+    assert_eq!(
+        kaskade::graph::thread_spawns(),
+        spawns_before,
+        "steady-state serving spawned ad-hoc scoped threads"
+    );
+}
+
+/// The `scatter_min_vertices` threshold: below it the pattern stage
+/// runs inline on the caller thread (no pool dispatch, no scatter
+/// spans — per-query fan-out would cost more than the matching on a
+/// small graph), and the inline result is identical to the scattered
+/// one.
+#[test]
+fn scatter_threshold_inlines_small_graphs() {
+    use kaskade::service::{Stage, Tracer};
+    use std::sync::Arc;
+
+    let k = tiny_instance(77);
+    let query = parse(LISTING_1).unwrap();
+    let inline_tracer = Arc::new(Tracer::new(true));
+    let inline_engine = ShardedEngine::with_config(
+        k.snapshot(),
+        ShardedConfig {
+            scatter_min_vertices: usize::MAX,
+            tracer: Some(Arc::clone(&inline_tracer)),
+            ..ShardedConfig::hash(2)
+        },
+    );
+    let scatter_engine = ShardedEngine::with_config(
+        k.snapshot(),
+        ShardedConfig {
+            scatter_min_vertices: 0,
+            ..ShardedConfig::hash(2)
+        },
+    );
+    let a = inline_engine.execute(&query).unwrap();
+    let b = scatter_engine.execute(&query).unwrap();
+    assert_eq!(a, b, "inline and scattered execution diverged");
+    // no reads were scattered: the query never touched the pool and
+    // recorded no scatter or dispatch spans
+    assert_eq!(inline_engine.pool().dispatches(), 0);
+    let events = inline_tracer.dump();
+    assert!(events.iter().any(|e| e.stage == Stage::Query));
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.stage == Stage::Scatter || e.stage == Stage::PoolDispatch),
+        "inline path recorded scatter spans:\n{}",
+        inline_tracer.render_dump()
+    );
+    assert!(scatter_engine.pool().dispatches() > 0);
 }
 
 /// `kaskade serve --metrics-addr 127.0.0.1:0` end to end: the CLI
