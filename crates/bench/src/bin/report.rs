@@ -18,7 +18,8 @@ use std::time::Duration;
 
 use kaskade_bench::experiments::{
     enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_churn,
-    serve_compaction, serve_dag, serve_scale, serve_sharded, serve_throughput, serve_trace, table3,
+    serve_compaction, serve_dag, serve_recovery, serve_scale, serve_sharded, serve_throughput,
+    serve_trace, table3,
 };
 use kaskade_bench::setup::Env;
 use kaskade_bench::workload::QueryId;
@@ -51,6 +52,7 @@ fn main() {
         "enum" => print_enum(),
         "serve" => print_serve(dataset),
         "scale" => print_scale(dataset, args.iter().any(|a| a == "--json")),
+        "recovery" => print_recovery(args.iter().any(|a| a == "--json")),
         "all" => {
             table1();
             table2();
@@ -64,10 +66,11 @@ fn main() {
             print_enum();
             print_serve(None);
             print_scale(None, false);
+            print_recovery(false);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|serve|scale|all] [dataset] [--json]");
+            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|serve|scale|recovery|all] [dataset] [--json]");
             std::process::exit(2);
         }
     }
@@ -562,6 +565,67 @@ fn print_scale(dataset: Option<Dataset>, json: bool) {
     println!("   counts ad-hoc scoped threads during serving and must stay 0. CI's");
     println!("   publish-scaling gate bounds the 8-shard mean publish latency at 1.3x");
     println!("   the 1-shard run on >=8-core runners)");
+}
+
+fn print_recovery(json: bool) {
+    let rows = serve_recovery(SEED, 600, &[16, 64, 256]);
+    let mut ok = true;
+    if json {
+        for r in &rows {
+            println!(
+                "{{\"checkpoint_every\":{},\"writes\":{},\"records_replayed\":{},\
+                 \"checkpoint_bytes\":{},\"log_bytes\":{},\"replay_ns\":{},\"restart_ns\":{},\
+                 \"state_matches\":{},\"within_budget\":{}}}",
+                r.checkpoint_every,
+                r.writes,
+                r.records_replayed,
+                r.checkpoint_bytes,
+                r.log_bytes,
+                r.replay_time.as_nanos(),
+                r.restart_time.as_nanos(),
+                r.state_matches,
+                r.within_budget(),
+            );
+            ok &= r.state_matches && r.within_budget();
+        }
+    } else {
+        header("RECOVERY: checkpoint + WAL-replay restart vs checkpoint cadence");
+        println!("  tiny prov churn, 600 steps, WAL-backed engine per cadence");
+        println!(
+            "    {:>10} {:>7} {:>9} {:>10} {:>9} {:>11} {:>11} {:>8} {:>7}",
+            "ckpt every",
+            "writes",
+            "replayed",
+            "ckpt KiB",
+            "log KiB",
+            "replay",
+            "restart",
+            "matches",
+            "budget"
+        );
+        for r in &rows {
+            println!(
+                "    {:>10} {:>7} {:>9} {:>10.1} {:>9.1} {:>11} {:>11} {:>8} {:>7}",
+                r.checkpoint_every,
+                r.writes,
+                r.records_replayed,
+                r.checkpoint_bytes as f64 / 1024.0,
+                r.log_bytes as f64 / 1024.0,
+                format!("{:.1?}", r.replay_time),
+                format!("{:.1?}", r.restart_time),
+                if r.state_matches { "yes" } else { "NO" },
+                if r.within_budget() { "ok" } else { "OVER" },
+            );
+            ok &= r.state_matches && r.within_budget();
+        }
+        println!("\n  (recovery = newest checkpoint + log tail; the restart column adds the");
+        println!("   engine spin-up and the fresh safety checkpoint, and CI's recovery gate");
+        println!("   bounds it at 2x the raw checkpoint+replay budget)");
+    }
+    if !ok {
+        eprintln!("recovery gate FAILED: a row diverged or blew the 2x restart budget");
+        std::process::exit(1);
+    }
 }
 
 fn print_enum() {

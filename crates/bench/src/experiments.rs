@@ -812,6 +812,154 @@ pub fn serve_compaction(seed: u64, steps: u64) -> Vec<CompactionRow> {
         .collect()
 }
 
+/// One row of the recovery experiment: one churn run logged to a WAL
+/// at a given checkpoint cadence, then recovered from disk.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Checkpoint cadence (batches between checkpoints).
+    pub checkpoint_every: u64,
+    /// Churn deltas ingested before the engine was torn down.
+    pub writes: u64,
+    /// Log records replayed on top of the latest checkpoint.
+    pub records_replayed: usize,
+    /// Size of the latest checkpoint file on disk.
+    pub checkpoint_bytes: u64,
+    /// Size of the delta log on disk at teardown.
+    pub log_bytes: u64,
+    /// Wall time of the raw checkpoint-load + log-replay pass — the
+    /// irreducible budget any recovery pays.
+    pub replay_time: Duration,
+    /// Wall time of the full [`Engine::recover`] restart (includes a
+    /// second replay pass, the fresh safety checkpoint, and spinning
+    /// the writer up).
+    pub restart_time: Duration,
+    /// Whether the recovered state is byte-identical to the state the
+    /// live engine last published.
+    pub state_matches: bool,
+}
+
+impl RecoveryRow {
+    /// The CI gate: the full restart must cost at most 2× the raw
+    /// checkpoint+replay budget (engine spin-up must not dominate).
+    pub fn within_budget(&self) -> bool {
+        self.restart_time <= self.replay_time * 2 + Duration::from_millis(50)
+    }
+}
+
+/// Recovery cost vs checkpoint cadence: drives `steps` churn deltas
+/// through a WAL-backed engine per cadence in `cadences`, tears the
+/// engine down, and measures (a) the raw checkpoint-load + replay pass
+/// and (b) the full `Engine::recover` restart, verifying the recovered
+/// state byte-matches the last published snapshot. Frequent
+/// checkpoints shrink the replay tail at the price of more checkpoint
+/// writes during serving; the row pair quantifies that trade.
+pub fn serve_recovery(seed: u64, steps: u64, cadences: &[u64]) -> Vec<RecoveryRow> {
+    use kaskade_datasets::{generate_provenance, ProvenanceConfig};
+    use kaskade_service::{SubmitError, WalConfig};
+    let g = generate_provenance(&ProvenanceConfig::tiny(seed).core_only());
+    let mut kaskade = Kaskade::new(g, kaskade_graph::Schema::provenance());
+    kaskade.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+    let base = kaskade.snapshot();
+
+    let encoded = |s: &Snapshot| {
+        let mut enc = kaskade_graph::Enc::new();
+        s.encode(&mut enc);
+        enc.into_bytes()
+    };
+
+    cadences
+        .iter()
+        .map(|&cadence| {
+            let dir = std::env::temp_dir().join(format!(
+                "kaskade-bench-rec-{cadence}-{seed:x}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let wal = || WalConfig {
+                fsync: false,
+                checkpoint_every: cadence,
+                ..WalConfig::new(&dir)
+            };
+            let engine = Engine::with_config(
+                base.clone(),
+                EngineConfig {
+                    wal: Some(wal()),
+                    ..EngineConfig::default()
+                },
+            );
+            let mut writes = 0u64;
+            for step in 0..steps {
+                let snap = engine.snapshot();
+                let Some(delta) = kaskade_service::churn_delta(&snap.state, step) else {
+                    break;
+                };
+                loop {
+                    match engine.submit(delta.clone(), SubmitOpts::based_on(snap.epoch)) {
+                        Ok(()) => {
+                            writes += 1;
+                            break;
+                        }
+                        Err(SubmitError::Backpressure) => {
+                            engine.flush();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if step % 8 == 7 {
+                    engine.flush();
+                }
+            }
+            engine.flush();
+            let live = engine.snapshot().state.clone();
+            drop(engine); // tear down; only the WAL directory survives
+
+            let log_bytes = std::fs::metadata(dir.join("wal.log"))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            let checkpoint_bytes = std::fs::read_dir(&dir)
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok())
+                        .filter(|e| e.file_name().to_string_lossy().starts_with("checkpoint-"))
+                        .filter_map(|e| e.metadata().ok())
+                        .map(|m| m.len())
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+
+            let start = Instant::now();
+            let raw = kaskade_service::recover(&dir)
+                .expect("recovery io")
+                .expect("the run published batches");
+            let replay_time = start.elapsed();
+
+            let start = Instant::now();
+            let restarted = Engine::recover(EngineConfig {
+                wal: Some(wal()),
+                ..EngineConfig::default()
+            })
+            .expect("recovery io")
+            .expect("the run published batches");
+            let restart_time = start.elapsed();
+
+            let state_matches = encoded(&raw.state) == encoded(&live)
+                && encoded(&restarted.snapshot().state) == encoded(&live);
+            drop(restarted);
+            let _ = std::fs::remove_dir_all(&dir);
+            RecoveryRow {
+                checkpoint_every: cadence,
+                writes,
+                records_replayed: raw.records_replayed,
+                checkpoint_bytes,
+                log_bytes,
+                replay_time,
+                restart_time,
+                state_matches,
+            }
+        })
+        .collect()
+}
+
 /// One row of the refresh-DAG experiment: the same scripted churn
 /// sequence applied to a multi-view composed catalog with the DAG's
 /// level-parallel fan-out disabled vs enabled.

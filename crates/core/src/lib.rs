@@ -39,6 +39,7 @@ mod enumerate;
 mod facts;
 pub mod maintain;
 mod materialize;
+pub mod persist;
 mod refresh;
 mod rewrite;
 mod rules;

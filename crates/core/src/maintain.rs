@@ -30,8 +30,8 @@
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use kaskade_graph::{
-    DegreeChange, Graph, GraphBuilder, GraphEditor, IdRemap, ParallelExec, ScopedExec, Value,
-    VertexId,
+    DegreeChange, ExternalIdTable, Graph, GraphBuilder, GraphEditor, IdRemap, ParallelExec,
+    ScopedExec, Value, VertexId,
 };
 
 use crate::views::ConnectorDef;
@@ -46,6 +46,15 @@ pub enum VRef {
     Existing(VertexId),
     /// The i-th vertex of [`GraphDelta::vertices`].
     New(usize),
+    /// A vertex named by its permanent **external id** (see
+    /// [`kaskade_graph::ExternalIdTable`]). External references are
+    /// epoch-free: they survive any number of compactions, so a client
+    /// addressing vertices this way can never be staleness-rejected.
+    /// The serving writer resolves them to [`VRef::Existing`] /
+    /// [`VRef::New`] with [`GraphDelta::resolve_external`] before
+    /// validation and apply; [`apply_delta`] panics on an unresolved
+    /// external reference.
+    External(u64),
 }
 
 /// A vertex to insert.
@@ -62,6 +71,11 @@ pub struct NewVertex {
     /// on the owner. Always `false` for deltas built through
     /// [`GraphDelta::add_vertex`].
     pub ghost: bool,
+    /// Permanent external id to bind to the vertex at apply time, if
+    /// the client wants a compaction-stable name for it (see
+    /// [`GraphDelta::add_vertex_ext`]). Binding a key that is already
+    /// live rejects the delta with [`DeltaError::DuplicateExternal`].
+    pub ext: Option<u64>,
 }
 
 /// An edge to insert.
@@ -107,6 +121,12 @@ pub struct GraphDelta {
     /// Vertices to retract, with every incident edge (a no-op for
     /// vertices already dead).
     pub del_vertices: Vec<VertexId>,
+    /// Vertices to retract by **external id** (see
+    /// [`GraphDelta::del_vertex_ext`]). Resolution drains these into
+    /// [`GraphDelta::del_vertices`]; an id bound to nothing is a no-op,
+    /// matching how slot-addressed retractions tolerate concurrent
+    /// death.
+    pub del_vertices_ext: Vec<u64>,
 }
 
 impl GraphDelta {
@@ -121,8 +141,30 @@ impl GraphDelta {
             vtype: vtype.to_string(),
             props,
             ghost: false,
+            ext: None,
         });
         VRef::New(self.vertices.len() - 1)
+    }
+
+    /// Queues a vertex insertion bound to the permanent external id
+    /// `ext`, returning its [`VRef`]. Later deltas — arbitrarily far in
+    /// the future, across any number of compactions and restarts — can
+    /// address the vertex as [`VRef::External`]`(ext)`.
+    pub fn add_vertex_ext(&mut self, vtype: &str, ext: u64, props: Vec<(String, Value)>) -> VRef {
+        self.vertices.push(NewVertex {
+            vtype: vtype.to_string(),
+            props,
+            ghost: false,
+            ext: Some(ext),
+        });
+        VRef::New(self.vertices.len() - 1)
+    }
+
+    /// Queues a vertex retraction by external id (cascades like
+    /// [`GraphDelta::del_vertex`]; a no-op if the id is bound to
+    /// nothing by apply time).
+    pub fn del_vertex_ext(&mut self, ext: u64) {
+        self.del_vertices_ext.push(ext);
     }
 
     /// Queues an edge insertion.
@@ -176,6 +218,106 @@ impl GraphDelta {
             && self.edges.is_empty()
             && self.del_edges.is_empty()
             && self.del_vertices.is_empty()
+            && self.del_vertices_ext.is_empty()
+    }
+
+    /// Whether any reference in this delta names a base-graph **slot**
+    /// ([`VRef::Existing`] endpoints or [`GraphDelta::del_vertices`]
+    /// entries). Slot references are epoch-bound — they need rebasing
+    /// through compaction remaps — while [`VRef::New`] and
+    /// [`VRef::External`] references are not, so a delta without slot
+    /// references can never be staleness-rejected.
+    pub fn has_slot_refs(&self) -> bool {
+        let slot = |r: &VRef| matches!(r, VRef::Existing(_));
+        !self.del_vertices.is_empty()
+            || self.edges.iter().any(|e| slot(&e.src) || slot(&e.dst))
+            || self.del_edges.iter().any(|d| slot(&d.src) || slot(&d.dst))
+    }
+
+    /// Resolves every [`VRef::External`] reference (and drains
+    /// [`GraphDelta::del_vertices_ext`]) against the writer's
+    /// external-id `table`, the current base `graph`, and the
+    /// already-merged `batch` delta this delta is about to join:
+    ///
+    /// - An external id declared by **this delta's own**
+    ///   [`NewVertex::ext`] resolves to the matching [`VRef::New`].
+    /// - An id declared by a vertex **pending in `batch`** resolves to
+    ///   that vertex's predicted slot (`graph.vertex_slots()` + its
+    ///   batch index — exactly where apply will put it).
+    /// - An id **live in `table`** resolves to its current slot.
+    /// - Anything else: edge-insert endpoints reject the delta with
+    ///   [`DeltaError::UnknownExternal`]; retractions become no-ops
+    ///   (dropped), matching slot-addressed retraction semantics under
+    ///   concurrent death.
+    ///
+    /// Declaring an external id that is already live or already pending
+    /// rejects the delta with [`DeltaError::DuplicateExternal`] —
+    /// external ids are permanent names, not aliases. After a
+    /// successful resolution the delta contains no external references
+    /// and validates/applies exactly like a slot-addressed delta.
+    pub fn resolve_external(
+        &mut self,
+        table: &ExternalIdTable,
+        graph: &Graph,
+        batch: &GraphDelta,
+    ) -> Result<(), DeltaError> {
+        let slots = graph.vertex_slots();
+        let mut batch_pending: HashMap<u64, VertexId> = HashMap::new();
+        for (j, nv) in batch.vertices.iter().enumerate() {
+            if let Some(x) = nv.ext {
+                batch_pending.insert(x, VertexId((slots + j) as u32));
+            }
+        }
+        let mut local: HashMap<u64, usize> = HashMap::new();
+        for (i, nv) in self.vertices.iter().enumerate() {
+            if let Some(x) = nv.ext {
+                if table.get(x).is_some()
+                    || batch_pending.contains_key(&x)
+                    || local.insert(x, i).is_some()
+                {
+                    return Err(DeltaError::DuplicateExternal { ext: x });
+                }
+            }
+        }
+        let lookup = |x: u64| -> Option<VRef> {
+            if let Some(&i) = local.get(&x) {
+                Some(VRef::New(i))
+            } else if let Some(&v) = batch_pending.get(&x) {
+                Some(VRef::Existing(v))
+            } else {
+                table.get(x).map(VRef::Existing)
+            }
+        };
+        for (i, e) in self.edges.iter_mut().enumerate() {
+            for r in [&mut e.src, &mut e.dst] {
+                if let VRef::External(x) = *r {
+                    *r = lookup(x).ok_or(DeltaError::UnknownExternal { edge: i, ext: x })?;
+                }
+            }
+        }
+        self.del_edges.retain_mut(|d| {
+            for r in [&mut d.src, &mut d.dst] {
+                if let VRef::External(x) = *r {
+                    match lookup(x) {
+                        Some(resolved) => *r = resolved,
+                        None => return false, // nothing to retract: no-op
+                    }
+                }
+            }
+            true
+        });
+        for x in std::mem::take(&mut self.del_vertices_ext) {
+            // own-delta declarations are not consulted: creating and
+            // deleting the same external id within one delta is not
+            // supported (the retraction is a no-op, like retracting an
+            // id that never existed)
+            if let Some(&v) = batch_pending.get(&x) {
+                self.del_vertices.push(v);
+            } else if let Some(v) = table.get(x) {
+                self.del_vertices.push(v);
+            }
+        }
+        Ok(())
     }
 
     /// Checks that every reference resolves: [`VRef::New`] indices must
@@ -319,6 +461,8 @@ impl GraphDelta {
             }
         }
         self.del_vertices.extend(other.del_vertices.iter().copied());
+        self.del_vertices_ext
+            .extend(other.del_vertices_ext.iter().copied());
         Ok(())
     }
 
@@ -410,6 +554,10 @@ impl GraphDelta {
             clamp(match r {
                 VRef::Existing(v) => owner_existing(v),
                 VRef::New(i) => owner_new(i),
+                VRef::External(x) => panic!(
+                    "split requires a resolved delta, found external reference {x} \
+                     (call GraphDelta::resolve_external first)"
+                ),
             })
         };
         // replay edge operations in their original interleaved order so
@@ -436,6 +584,8 @@ impl GraphDelta {
         }
         for sub in &mut subs {
             sub.del_vertices.extend(self.del_vertices.iter().copied());
+            sub.del_vertices_ext
+                .extend(self.del_vertices_ext.iter().copied());
         }
         subs
     }
@@ -498,6 +648,22 @@ pub enum DeltaError {
         /// The vertex retracted earlier in the batch.
         vertex: VertexId,
     },
+    /// An edge referenced an external id that is bound to nothing —
+    /// neither a live vertex nor a vertex pending in the same batch.
+    UnknownExternal {
+        /// Index of the offending edge in [`GraphDelta::edges`].
+        edge: usize,
+        /// The unbound external id.
+        ext: u64,
+    },
+    /// The delta declares an external id that is already bound (to a
+    /// live vertex, a batch-pending vertex, or another vertex of the
+    /// same delta). External ids are permanent names — rebinding one is
+    /// always a client error.
+    DuplicateExternal {
+        /// The already-bound external id.
+        ext: u64,
+    },
 }
 
 impl std::fmt::Display for DeltaError {
@@ -538,6 +704,14 @@ impl std::fmt::Display for DeltaError {
             DeltaError::RetractedInBatch { edge, vertex } => write!(
                 f,
                 "delta edge {edge} references vertex {vertex}, retracted earlier in the same batch"
+            ),
+            DeltaError::UnknownExternal { edge, ext } => write!(
+                f,
+                "delta edge {edge} references external id {ext}, which is bound to nothing"
+            ),
+            DeltaError::DuplicateExternal { ext } => write!(
+                f,
+                "delta declares external id {ext}, which is already bound"
             ),
         }
     }
@@ -649,6 +823,10 @@ pub fn stage_delta(g: &Graph, delta: &GraphDelta, ed: &mut GraphEditor) -> Stage
         match r {
             VRef::Existing(v) => v,
             VRef::New(i) => new_vertices[i],
+            VRef::External(x) => panic!(
+                "apply requires a resolved delta, found external reference {x} \
+                 (call GraphDelta::resolve_external first)"
+            ),
         }
     };
     let mut new_edges = Vec::with_capacity(delta.edges.len());
@@ -1679,6 +1857,7 @@ mod tests {
             vtype: "File".into(),
             props: vec![],
             ghost: true,
+            ext: None,
         });
         let applied = apply_delta(&g, &d);
         let nv = applied.new_vertices[0];

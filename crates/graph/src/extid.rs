@@ -1,0 +1,223 @@
+//! Stable external vertex ids.
+//!
+//! Slot ids ([`VertexId`]) are the engine's internal currency: dense,
+//! cache-friendly — and *unstable*, because compaction renumbers them.
+//! The serving layer bounds how much renumbering history it retains
+//! (`MAX_REMAP_HISTORY`), so a client holding slot ids across too many
+//! compactions used to see its deltas hard-rejected. An
+//! [`ExternalIdTable`] removes that cliff: clients mint permanent
+//! `u64` keys for the vertices they care about, the table maps each
+//! key to the current slot, and compaction *remaps the table* (via the
+//! same [`IdRemap`] the graph uses) instead of invalidating the keys.
+//! The table is serialized into every checkpoint, so external ids
+//! survive restarts too.
+
+use std::collections::BTreeMap;
+
+use crate::codec::{CodecError, Dec, Enc};
+use crate::compact::IdRemap;
+use crate::graph::VertexId;
+
+/// A bidirectional `external key -> vertex slot` map, compaction-aware
+/// and checkpoint-persisted.
+///
+/// Both directions are kept: `forward` resolves client keys to slots,
+/// `reverse` lets vertex deletion retire the key of the deleted slot.
+/// `BTreeMap`s keep iteration (and therefore the encoded form)
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExternalIdTable {
+    forward: BTreeMap<u64, VertexId>,
+    reverse: BTreeMap<u32, u64>,
+}
+
+impl ExternalIdTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mapped external ids.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether no external ids are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The current slot of external id `ext`, if mapped.
+    pub fn get(&self, ext: u64) -> Option<VertexId> {
+        self.forward.get(&ext).copied()
+    }
+
+    /// The external id bound to slot `v`, if any.
+    pub fn ext_of(&self, v: VertexId) -> Option<u64> {
+        self.reverse.get(&v.0).copied()
+    }
+
+    /// Binds `ext` to `v`. Fails if either side is already bound —
+    /// external ids are permanent names, not aliases, so the mapping
+    /// must stay a bijection.
+    pub fn insert(&mut self, ext: u64, v: VertexId) -> Result<(), ExternalIdError> {
+        if self.forward.contains_key(&ext) {
+            return Err(ExternalIdError::DuplicateExternal(ext));
+        }
+        if self.reverse.contains_key(&v.0) {
+            return Err(ExternalIdError::SlotAlreadyNamed(v));
+        }
+        self.forward.insert(ext, v);
+        self.reverse.insert(v.0, ext);
+        Ok(())
+    }
+
+    /// Unbinds the external id attached to slot `v` (used when the
+    /// vertex is deleted). No-op if the slot had no external id.
+    pub fn remove_slot(&mut self, v: VertexId) {
+        if let Some(ext) = self.reverse.remove(&v.0) {
+            self.forward.remove(&ext);
+        }
+    }
+
+    /// Rewrites every slot through a compaction `remap`. Entries whose
+    /// slot was dropped (the vertex was dead at compaction time) are
+    /// retired; every live binding follows its vertex to the new slot.
+    pub fn remap(&mut self, remap: &IdRemap) {
+        let old = std::mem::take(&mut self.forward);
+        self.reverse.clear();
+        for (ext, v) in old {
+            if let Some(nv) = remap.vertex(v) {
+                self.forward.insert(ext, nv);
+                self.reverse.insert(nv.0, ext);
+            }
+        }
+    }
+
+    /// Iterates `(external id, slot)` pairs in external-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, VertexId)> + '_ {
+        self.forward.iter().map(|(&e, &v)| (e, v))
+    }
+
+    /// Appends the table to `out` (deterministic: external-id order).
+    pub fn encode(&self, out: &mut Enc) {
+        out.usize(self.forward.len());
+        for (&ext, &v) in &self.forward {
+            out.u64(ext);
+            out.u32(v.0);
+        }
+    }
+
+    /// Decodes a table previously written by [`ExternalIdTable::encode`].
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let n = d.count()?;
+        let mut t = ExternalIdTable::new();
+        for _ in 0..n {
+            let ext = d.u64()?;
+            let v = VertexId(d.u32()?);
+            t.insert(ext, v)
+                .map_err(|_| CodecError::Corrupt("external-id table is not a bijection"))?;
+        }
+        Ok(t)
+    }
+}
+
+/// Why an external-id binding was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExternalIdError {
+    /// The external id is already bound to a live vertex.
+    DuplicateExternal(u64),
+    /// The slot already carries a different external id.
+    SlotAlreadyNamed(VertexId),
+}
+
+impl std::fmt::Display for ExternalIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExternalIdError::DuplicateExternal(e) => {
+                write!(f, "external id {e} is already bound")
+            }
+            ExternalIdError::SlotAlreadyNamed(v) => {
+                write!(f, "vertex slot {} already has an external id", v.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExternalIdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = ExternalIdTable::new();
+        t.insert(100, VertexId(0)).unwrap();
+        t.insert(200, VertexId(3)).unwrap();
+        assert_eq!(t.get(100), Some(VertexId(0)));
+        assert_eq!(t.ext_of(VertexId(3)), Some(200));
+        assert_eq!(t.get(999), None);
+        assert_eq!(
+            t.insert(100, VertexId(7)),
+            Err(ExternalIdError::DuplicateExternal(100))
+        );
+        assert_eq!(
+            t.insert(300, VertexId(0)),
+            Err(ExternalIdError::SlotAlreadyNamed(VertexId(0)))
+        );
+        t.remove_slot(VertexId(0));
+        assert_eq!(t.get(100), None);
+        assert_eq!(t.len(), 1);
+        // removing an unnamed slot is a no-op
+        t.remove_slot(VertexId(9));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remap_follows_compaction() {
+        // graph: v0 v1 v2; kill v1 and compact → v2 becomes slot 1
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex("Job");
+        let v1 = b.add_vertex("Job");
+        let v2 = b.add_vertex("Job");
+        let g = b.finish().remove_vertices([v1]);
+        let (_, remap) = g.compact();
+
+        let mut t = ExternalIdTable::new();
+        t.insert(10, v0).unwrap();
+        t.insert(11, v1).unwrap(); // dead at compaction time
+        t.insert(12, v2).unwrap();
+        t.remap(&remap);
+        assert_eq!(t.get(10), Some(VertexId(0)));
+        assert_eq!(t.get(11), None); // retired with its vertex
+        assert_eq!(t.get(12), Some(VertexId(1)));
+        assert_eq!(t.ext_of(VertexId(1)), Some(12));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut t = ExternalIdTable::new();
+        t.insert(u64::MAX, VertexId(5)).unwrap();
+        t.insert(0, VertexId(2)).unwrap();
+        t.insert(42, VertexId(9)).unwrap();
+        let mut e = Enc::new();
+        t.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = ExternalIdTable::decode(&mut d).unwrap();
+        assert!(d.is_done());
+        assert_eq!(back, t);
+        // a non-bijective encoding is rejected
+        let mut e = Enc::new();
+        e.usize(2);
+        e.u64(1);
+        e.u32(4);
+        e.u64(2);
+        e.u32(4); // slot 4 named twice
+        let bytes = e.into_bytes();
+        assert!(ExternalIdTable::decode(&mut Dec::new(&bytes)).is_err());
+    }
+}

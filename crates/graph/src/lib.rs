@@ -33,23 +33,29 @@
 
 #![warn(missing_docs)]
 
+mod codec;
 mod compact;
 mod edit;
 mod exec;
+mod extid;
 mod graph;
 mod interner;
 mod merge;
+mod persist;
 mod schema;
 mod scratch;
 mod stats;
 mod value;
 
+pub use codec::{crc32, CodecError, Dec, Enc};
 pub use compact::IdRemap;
 pub use edit::GraphEditor;
 pub use exec::{chunk_ranges, thread_spawns, ParallelExec, ScopedExec, SerialExec};
+pub use extid::{ExternalIdError, ExternalIdTable};
 pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, Symbol};
 pub use merge::same_dense_graph;
+pub use persist::{decode_value, encode_value};
 pub use schema::{EdgeRule, Schema, SchemaError};
 pub use stats::{
     degree_ccdf, power_law_exponent, CcdfPoint, DegreeChange, DegreeSummary, GraphStats,

@@ -327,6 +327,110 @@ impl GraphStats {
     pub fn type_count(&self) -> usize {
         self.per_type.len()
     }
+
+    /// Appends these statistics to `out` with full fidelity — the
+    /// retained histograms included, so decoded stats support
+    /// [`GraphStats::with_changes`] exactly like the originals and a
+    /// recovered engine keeps maintaining stats incrementally.
+    pub fn encode(&self, out: &mut crate::codec::Enc) {
+        fn summary(s: &DegreeSummary, out: &mut crate::codec::Enc) {
+            out.usize(s.cardinality);
+            out.usize(s.p50);
+            out.usize(s.p90);
+            out.usize(s.p95);
+            out.usize(s.max);
+            out.f64(s.mean);
+        }
+        fn hist(h: &DegreeHist, out: &mut crate::codec::Enc) {
+            out.usize(h.counts.len());
+            for (&d, &c) in &h.counts {
+                out.usize(d);
+                out.usize(c);
+            }
+            out.usize(h.n);
+            out.usize(h.degree_sum);
+        }
+        out.usize(self.per_type.len());
+        for (t, s) in &self.per_type {
+            out.str(t);
+            summary(s, out);
+        }
+        out.usize(self.vertex_count);
+        out.usize(self.edge_count);
+        summary(&self.overall, out);
+        match &self.hist {
+            None => out.bool(false),
+            Some(sh) => {
+                out.bool(true);
+                out.usize(sh.per_type.len());
+                for (t, h) in &sh.per_type {
+                    out.str(t);
+                    hist(h, out);
+                }
+                hist(&sh.overall, out);
+            }
+        }
+    }
+
+    /// Decodes statistics written by [`GraphStats::encode`]. The result
+    /// is exactly equal (`==`) to the encoded value.
+    pub fn decode(d: &mut crate::codec::Dec<'_>) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{CodecError, Dec};
+        fn summary(d: &mut Dec<'_>) -> Result<DegreeSummary, CodecError> {
+            Ok(DegreeSummary {
+                cardinality: d.usize()?,
+                p50: d.usize()?,
+                p90: d.usize()?,
+                p95: d.usize()?,
+                max: d.usize()?,
+                mean: d.f64()?,
+            })
+        }
+        fn hist(d: &mut Dec<'_>) -> Result<DegreeHist, CodecError> {
+            let n = d.count()?;
+            let mut counts = BTreeMap::new();
+            for _ in 0..n {
+                let deg = d.usize()?;
+                let c = d.usize()?;
+                counts.insert(deg, c);
+            }
+            Ok(DegreeHist {
+                counts,
+                n: d.usize()?,
+                degree_sum: d.usize()?,
+            })
+        }
+        let nt = d.count()?;
+        let mut per_type = BTreeMap::new();
+        for _ in 0..nt {
+            let t = d.str()?;
+            per_type.insert(t, summary(d)?);
+        }
+        let vertex_count = d.usize()?;
+        let edge_count = d.usize()?;
+        let overall = summary(d)?;
+        let hists = if d.bool()? {
+            let nh = d.count()?;
+            let mut ht = BTreeMap::new();
+            for _ in 0..nh {
+                let t = d.str()?;
+                ht.insert(t, hist(d)?);
+            }
+            Some(StatsHist {
+                per_type: ht,
+                overall: hist(d)?,
+            })
+        } else {
+            None
+        };
+        Ok(GraphStats {
+            per_type,
+            vertex_count,
+            edge_count,
+            overall,
+            hist: hists,
+        })
+    }
 }
 
 /// One point of a complementary cumulative degree distribution:
@@ -571,6 +675,50 @@ mod tests {
         );
         assert!(GraphStats::merge([&real, &synthetic]).is_none());
         assert_eq!(GraphStats::merge([&real]).unwrap(), real);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let g = star(9);
+        let s = GraphStats::compute(&g);
+        let mut e = crate::codec::Enc::new();
+        s.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = crate::codec::Dec::new(&bytes);
+        let back = GraphStats::decode(&mut d).unwrap();
+        assert!(d.is_done());
+        assert_eq!(back, s);
+        assert!(back.supports_incremental());
+        // synthetic stats (no histograms) round-trip too
+        let synth = GraphStats::from_parts(
+            vec![(
+                "V".into(),
+                DegreeSummary {
+                    cardinality: 3,
+                    p50: 1,
+                    p90: 2,
+                    p95: 2,
+                    max: 4,
+                    mean: 1.25,
+                },
+            )],
+            3,
+            4,
+            DegreeSummary {
+                cardinality: 3,
+                p50: 1,
+                p90: 2,
+                p95: 2,
+                max: 4,
+                mean: 1.25,
+            },
+        );
+        let mut e = crate::codec::Enc::new();
+        synth.encode(&mut e);
+        let bytes = e.into_bytes();
+        let back = GraphStats::decode(&mut crate::codec::Dec::new(&bytes)).unwrap();
+        assert_eq!(back, synth);
+        assert!(!back.supports_incremental());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, RefreshOptions, Snapshot};
-use kaskade_graph::IdRemap;
+use kaskade_graph::{ExternalIdTable, IdRemap, VertexId};
 use kaskade_query::{Query, Table};
 
 use crate::metrics::{Metrics, MetricsReport};
@@ -29,6 +29,7 @@ use crate::plan_cache::{plan_key, PlanCache};
 use crate::pool::WorkerPool;
 use crate::snapshot::{EpochSnapshot, Reader, SnapshotCell};
 use crate::trace::{Stage, Tracer};
+use crate::wal::{Wal, WalConfig};
 
 /// Tuning knobs of the [`Engine`].
 #[derive(Debug, Clone)]
@@ -74,6 +75,13 @@ pub struct EngineConfig {
     /// [`EngineConfig::pool`] is `None`; `0` sizes it to the machine
     /// (available parallelism minus the helping caller).
     pub pool_threads: usize,
+    /// Durability: when set, the writer appends one epoch-tagged WAL
+    /// record per merged batch **before** publishing it and
+    /// checkpoints the full state every
+    /// [`WalConfig::checkpoint_every`] batches. [`Engine::recover`]
+    /// restores the latest checkpoint + log on restart. `None` (the
+    /// default) serves purely in memory.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +94,7 @@ impl Default for EngineConfig {
             trace_label: String::new(),
             pool: None,
             pool_threads: 0,
+            wal: None,
         }
     }
 }
@@ -174,10 +183,18 @@ impl RemapHistory {
     /// Rebases `delta` from the id space of the snapshot published at
     /// `based_on` into the current id space, applying every recorded
     /// compaction that happened after it, in order. `Err(())` means
-    /// the delta predates the retained history and must be rejected.
+    /// the delta predates the retained history and must be rejected —
+    /// but only deltas that actually address vertices by **slot id**
+    /// can go stale: a delta whose references are all external ids or
+    /// batch-local indices has nothing a renumbering could alias, so
+    /// it is accepted untouched whatever its `based_on`.
     pub(crate) fn rebase(&self, delta: &mut GraphDelta, based_on: u64) -> Result<(), ()> {
         if based_on < self.dropped {
-            return Err(());
+            return if delta.has_slot_refs() {
+                Err(())
+            } else {
+                Ok(())
+            };
         }
         for (epoch, remap) in &self.entries {
             if *epoch > based_on {
@@ -185,6 +202,12 @@ impl RemapHistory {
             }
         }
         Ok(())
+    }
+
+    /// The oldest `based_on` epoch slot-addressed deltas can still be
+    /// rebased from (the submit-side staleness watermark).
+    pub(crate) fn oldest_supported(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -245,6 +268,10 @@ pub(crate) struct Batch {
     pub batched: usize,
     /// Deltas dropped as invalid at apply time.
     pub rejected: usize,
+    /// Of the rejected, how many were dropped as **stale** — slot
+    /// references based on an epoch older than the retained remap
+    /// history (counted separately in `deltas_stale_rejected`).
+    pub stale: usize,
     /// Enqueue time of the oldest delta in the batch.
     pub oldest: Option<Instant>,
     /// Flush acknowledgements collected while assembling.
@@ -269,11 +296,13 @@ pub(crate) fn collect_batch(
     graph: &kaskade_graph::Graph,
     max_batch: usize,
     remaps: &RemapHistory,
+    extids: &ExternalIdTable,
 ) -> Batch {
     let mut batch = Batch {
         delta: GraphDelta::new(),
         batched: 0,
         rejected: 0,
+        stale: 0,
         oldest: None,
         acks: Vec::new(),
         compact: None,
@@ -289,26 +318,40 @@ pub(crate) fn collect_batch(
     loop {
         match pending.take() {
             Some(Msg::Delta(mut delta, enqueued, based_on)) => {
-                // three gates, in order, any failure dropping (and
+                // four gates, in order, any failure dropping (and
                 // counting) the delta — never killing the worker and
                 // with it the engine:
                 // 1. rebase through any compactions published since
-                //    the delta's ids were resolved; too-stale deltas
-                //    (older than the retained remap history) are
-                //    rejected rather than risking silent id aliasing;
-                // 2. exact validity at the only point where the
+                //    the delta's ids were resolved; too-stale
+                //    slot-addressed deltas (older than the retained
+                //    remap history) are rejected rather than risking
+                //    silent id aliasing — external-id-addressed
+                //    deltas are exempt;
+                // 2. resolve external-id references against the
+                //    writer's table plus the batch's own pending
+                //    insertions (after this the delta is purely
+                //    slot-addressed);
+                // 3. exact validity at the only point where the
                 //    apply-time graph state is known: base graph
                 //    (slots and liveness) plus the vertices earlier
                 //    deltas of this batch add (sequential-apply
                 //    equivalence of merge);
-                // 3. merge itself refuses an insert onto a vertex an
+                // 4. merge itself refuses an insert onto a vertex an
                 //    earlier delta of this batch retracts (applied one
                 //    at a time, that insert would see it already dead).
-                let accepted = remaps.rebase(&mut delta, based_on).is_ok()
-                    && delta
-                        .validate_against(graph, batch.delta.vertices.len())
-                        .is_ok()
-                    && batch.delta.merge(&delta).is_ok();
+                let accepted = match remaps.rebase(&mut delta, based_on) {
+                    Err(()) => {
+                        batch.stale += 1;
+                        false
+                    }
+                    Ok(()) => {
+                        delta.resolve_external(extids, graph, &batch.delta).is_ok()
+                            && delta
+                                .validate_against(graph, batch.delta.vertices.len())
+                                .is_ok()
+                            && batch.delta.merge(&delta).is_ok()
+                    }
+                };
                 if accepted {
                     batch.batched += 1;
                     batch.oldest.get_or_insert(enqueued);
@@ -350,6 +393,18 @@ pub enum SubmitError {
     /// The delta queue is full (the writer worker is behind). The
     /// client should retry later or shed load; nothing was enqueued.
     Backpressure,
+    /// The delta addresses vertices by **slot id** resolved against an
+    /// epoch older than the retained compaction-remap history — its
+    /// ids can no longer be rebased safely. Re-resolve against a
+    /// current snapshot and resubmit, or address vertices by stable
+    /// external id ([`GraphDelta::add_vertex_ext`] /
+    /// [`kaskade_core::VRef::External`]), which never goes stale.
+    /// Counted in [`MetricsReport::deltas_stale_rejected`].
+    StaleEpoch {
+        /// The oldest `based_on` epoch the engine can still rebase
+        /// slot-addressed deltas from.
+        oldest_supported: u64,
+    },
     /// The writer worker is gone (the engine is shutting down).
     Closed,
 }
@@ -359,6 +414,11 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Invalid(e) => write!(f, "invalid delta: {e}"),
             SubmitError::Backpressure => write!(f, "delta queue is full (backpressure)"),
+            SubmitError::StaleEpoch { oldest_supported } => write!(
+                f,
+                "delta's slot ids are stale (based on an epoch older than {oldest_supported}); \
+                 re-resolve against a current snapshot or use external ids"
+            ),
             SubmitError::Closed => write!(f, "engine is shut down"),
         }
     }
@@ -377,6 +437,12 @@ struct Shared {
     tracer: Arc<Tracer>,
     trace_label: String,
     pool: Arc<WorkerPool>,
+    /// The writer's staleness watermark (mirror of
+    /// [`RemapHistory::oldest_supported`]): slot-addressed submissions
+    /// based on anything older fail fast with
+    /// [`SubmitError::StaleEpoch`] instead of dying silently in the
+    /// queue.
+    oldest_supported: AtomicU64,
 }
 
 /// The concurrent serving runtime.
@@ -405,20 +471,66 @@ impl Engine {
         Self::new(kaskade.snapshot())
     }
 
-    /// Serves the given state (epoch 0) with explicit tuning.
+    /// Serves the given state (epoch 0) with explicit tuning. Panics
+    /// if [`EngineConfig::wal`] is set and the log cannot be opened —
+    /// use [`Engine::try_with_config`] to handle that.
     pub fn with_config(state: Snapshot, config: EngineConfig) -> Self {
+        Self::try_with_config(state, config).expect("open write-ahead log")
+    }
+
+    /// Serves the given state (epoch 0) with explicit tuning,
+    /// surfacing WAL-open failures instead of panicking.
+    pub fn try_with_config(state: Snapshot, config: EngineConfig) -> std::io::Result<Self> {
+        Self::start(state, 0, ExternalIdTable::new(), config)
+    }
+
+    /// Recovers the engine from the WAL directory in
+    /// [`EngineConfig::wal`] (required): loads the latest valid
+    /// checkpoint, replays every intact log record after it, and
+    /// resumes serving — and logging — at the recovered epoch.
+    /// `Ok(None)` means the directory holds nothing recoverable; the
+    /// caller starts fresh with [`Engine::try_with_config`].
+    pub fn recover(config: EngineConfig) -> std::io::Result<Option<Self>> {
+        let wal = config.wal.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Engine::recover requires EngineConfig.wal",
+            )
+        })?;
+        match crate::wal::recover(&wal.dir)? {
+            None => Ok(None),
+            Some(r) => Self::start(r.state, r.epoch, r.extids, config).map(Some),
+        }
+    }
+
+    /// The one constructor behind fresh starts and recovery: publishes
+    /// `state` at `epoch`, seats the external-id table in the writer,
+    /// and (when configured) opens the WAL with a fresh checkpoint of
+    /// exactly this state — so the on-disk frontier always equals the
+    /// first published snapshot.
+    fn start(
+        state: Snapshot,
+        epoch: u64,
+        extids: ExternalIdTable,
+        config: EngineConfig,
+    ) -> std::io::Result<Self> {
+        let wal = match &config.wal {
+            Some(cfg) => Some(Wal::open(cfg.clone(), &state, epoch, &extids)?),
+            None => None,
+        };
         let pool = config.pool.unwrap_or_else(|| match config.pool_threads {
             0 => WorkerPool::with_default_threads(),
             t => WorkerPool::new(t),
         });
         let shared = Arc::new(Shared {
-            cell: Arc::new(SnapshotCell::new(state)),
+            cell: Arc::new(SnapshotCell::with_epoch(state, epoch)),
             cache: PlanCache::new(),
             metrics: Metrics::new(),
             queued: AtomicU64::new(0),
             tracer: config.tracer.unwrap_or_default(),
             trace_label: config.trace_label,
             pool,
+            oldest_supported: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
@@ -426,13 +538,22 @@ impl Engine {
         let compact_dead_ratio = config.compact_dead_ratio;
         let worker = std::thread::Builder::new()
             .name("kaskade-writer".into())
-            .spawn(move || writer_loop(worker_shared, rx, max_batch, compact_dead_ratio))
+            .spawn(move || {
+                writer_loop(
+                    worker_shared,
+                    rx,
+                    max_batch,
+                    compact_dead_ratio,
+                    wal,
+                    extids,
+                )
+            })
             .expect("spawn writer worker");
-        Engine {
+        Ok(Engine {
             shared,
             tx,
             worker: Some(worker),
-        }
+        })
     }
 
     /// The currently published snapshot.
@@ -473,6 +594,13 @@ impl Engine {
     /// compaction publishing in between cannot misdirect the ids.
     pub fn submit(&self, delta: GraphDelta, opts: SubmitOpts) -> Result<(), SubmitError> {
         let based_on = opts.based_on.unwrap_or_else(|| self.shared.cell.epoch());
+        let oldest = self.shared.oldest_supported.load(Ordering::Relaxed);
+        if based_on < oldest && delta.has_slot_refs() {
+            self.shared.metrics.record_stale(1);
+            return Err(SubmitError::StaleEpoch {
+                oldest_supported: oldest,
+            });
+        }
         enqueue_delta(
             &self.tx,
             &self.shared.queued,
@@ -658,16 +786,21 @@ fn writer_loop(
     rx: mpsc::Receiver<Msg>,
     max_batch: usize,
     compact_dead_ratio: f64,
+    mut wal: Option<Wal>,
+    mut extids: ExternalIdTable,
 ) {
     // the worker's working state always equals the published snapshot
     let mut state = shared.cell.load().state.clone();
     let mut remaps = RemapHistory::new();
     let mut open = true;
     while open {
-        let batch = collect_batch(&rx, state.graph(), max_batch, &remaps);
+        let batch = collect_batch(&rx, state.graph(), max_batch, &remaps, &extids);
         open = batch.open;
         if batch.rejected > 0 {
             shared.metrics.record_rejected(batch.rejected);
+        }
+        if batch.stale > 0 {
+            shared.metrics.record_stale(batch.stale);
         }
         if batch.batched > 0 {
             let tracer = &shared.tracer;
@@ -695,6 +828,7 @@ fn writer_loop(
             let apply_start = Instant::now();
             let apply_span = batch_span.child(Stage::Apply);
             let apply_id = apply_span.id();
+            let base_slots = state.graph().vertex_slots();
             let (next, report) = state.with_delta_report(
                 &batch.delta,
                 &RefreshOptions {
@@ -704,6 +838,30 @@ fn writer_loop(
             );
             drop(apply_span);
             state = next;
+            // group commit: ONE durable record for the whole merged
+            // batch, written (and fsynced) strictly before the epoch
+            // it predicts becomes visible. An I/O failure here is
+            // fail-stop — the writer dies rather than acknowledging a
+            // batch that is not on disk, and submissions then return
+            // `Closed`.
+            if let Some(w) = wal.as_mut() {
+                w.append_batch(shared.cell.epoch() + 1, &batch.delta)
+                    .expect("WAL append failed; refusing to publish an unlogged batch");
+            }
+            // bind the batch's external ids to the slots the apply
+            // appended (resolution already rejected rebindings), and
+            // release the bindings of retracted slots — mirrored
+            // exactly by WAL replay
+            for (i, nv) in batch.delta.vertices.iter().enumerate() {
+                if let Some(ext) = nv.ext {
+                    extids
+                        .insert(ext, VertexId((base_slots + i) as u32))
+                        .expect("resolution admitted a duplicate external id");
+                }
+            }
+            for &v in &batch.delta.del_vertices {
+                extids.remove_slot(v);
+            }
             let mut publish_span = batch_span.child(Stage::Publish);
             let epoch = shared.cell.publish(state.clone());
             publish_span.set_epoch(epoch);
@@ -759,6 +917,12 @@ fn writer_loop(
         if let Some((next, remap)) = compaction {
             let mut compact_span = shared.tracer.span(Stage::Compact);
             let before = slot_capacity(state.graph());
+            // a bare epoch-tagged marker: replay re-runs the
+            // deterministic compaction instead of logging the remap
+            if let Some(w) = wal.as_mut() {
+                w.append_compact(shared.cell.epoch() + 1)
+                    .expect("WAL append failed; refusing to publish an unlogged compaction");
+            }
             state = next;
             let epoch = shared.cell.publish(state.clone());
             shared.cache.promote(epoch);
@@ -769,7 +933,19 @@ fn writer_loop(
                 &shared.trace_label,
                 format_args!("reclaimed={reclaimed}"),
             ));
+            // external ids survive the renumbering: the table follows
+            // the same remap the delta rebase path uses
+            extids.remap(&remap);
             remaps.record(epoch, remap);
+            shared
+                .oldest_supported
+                .store(remaps.oldest_supported(), Ordering::Relaxed);
+        }
+        if let Some(w) = wal.as_mut() {
+            if w.should_checkpoint() {
+                w.checkpoint(&state, shared.cell.epoch(), &extids)
+                    .expect("WAL checkpoint failed");
+            }
         }
         if batch.batched + batch.rejected > 0 {
             shared

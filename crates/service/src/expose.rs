@@ -215,6 +215,12 @@ pub fn render_prometheus(backend: &dyn Observable) -> String {
     );
     push_counter(
         &mut out,
+        "kaskade_deltas_stale_rejected_total",
+        "Slot-addressed deltas refused because their epoch predates the remap history.",
+        r.deltas_stale_rejected,
+    );
+    push_counter(
+        &mut out,
         "kaskade_retractions_applied_total",
         "Retraction operations in applied batches.",
         r.retractions_applied,
@@ -540,15 +546,32 @@ fn accept_loop(listener: TcpListener, backend: Arc<dyn Observable>, stop: Arc<At
     }
 }
 
-/// Answers one request: reads the request line, routes on the path,
-/// writes a Connection: close response. Deliberately tolerant — a
-/// scraper only needs the verb-less essentials.
+/// Answers one request: reads until the header terminator, routes on
+/// the path, writes a Connection: close response. Deliberately
+/// tolerant — a scraper only needs the verb-less essentials.
 fn handle_connection(mut stream: TcpStream, backend: &dyn Observable) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
+    // a single read() may return an arbitrary prefix of the request
+    // (TCP has no message boundaries), so accumulate until the blank
+    // line that ends the headers — or EOF, the read deadline, or a
+    // bounded maximum for clients that never send one
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
     let path = request
         .lines()
         .next()
@@ -659,5 +682,31 @@ mod tests {
         assert!(get("/trace").contains("flight recorder"));
         assert!(get("/nope").starts_with("HTTP/1.0 404"));
         drop(server); // joins the accept thread
+    }
+
+    /// Regression: the server used to parse whatever a single
+    /// `read()` returned. A client that trickles the request in
+    /// byte-sized writes would race that read, and a short first read
+    /// (e.g. just `"G"`) misrouted every request to 404. The server
+    /// must accumulate until the `\r\n\r\n` header terminator.
+    #[test]
+    fn server_survives_byte_by_byte_client() {
+        let e = Arc::new(engine());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&e) as Arc<dyn Observable>)
+            .expect("bind");
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.set_nodelay(true).unwrap();
+        for b in b"GET /healthz HTTP/1.0\r\n\r\n" {
+            s.write_all(std::slice::from_ref(b)).unwrap();
+            s.flush().unwrap();
+            // give the server's read() a chance to observe a partial
+            // request between bytes
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 200 OK"), "{out}");
+        assert!(out.contains("ok"), "{out}");
+        drop(server);
     }
 }

@@ -89,6 +89,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod stream;
 pub mod trace;
+pub mod wal;
 
 pub use drive::{drive, snapshot_is_consistent, DriveConfig, DriveOutcome, ServingBackend};
 pub use engine::{Engine, EngineConfig, SubmitError, SubmitOpts};
@@ -103,3 +104,4 @@ pub use shard::{
 pub use snapshot::{EpochSnapshot, Reader, SnapshotCell};
 pub use stream::{burst_delta, churn_delta, delta_for, hot_key_delta, scripted_delta, Workload};
 pub use trace::{Span, Stage, TraceEvent, Tracer};
+pub use wal::{recover, Recovered, Wal, WalConfig};

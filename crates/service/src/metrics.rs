@@ -138,6 +138,7 @@ pub struct Metrics {
     deltas_applied: AtomicU64,
     deltas_rejected: AtomicU64,
     deltas_backpressured: AtomicU64,
+    deltas_stale_rejected: AtomicU64,
     retractions_applied: AtomicU64,
     views_refreshed: AtomicU64,
     views_rematerialized: AtomicU64,
@@ -179,6 +180,16 @@ impl Metrics {
     /// was full (the `Backpressure` error path).
     pub fn record_backpressure(&self) {
         self.deltas_backpressured.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records slot-addressed deltas refused as **stale**: their
+    /// `based_on` epoch predates the retained compaction-remap
+    /// history, so their ids can no longer be rebased safely (the
+    /// typed `StaleEpoch` error path; external-id-addressed deltas
+    /// never hit this).
+    pub fn record_stale(&self, deltas: usize) {
+        self.deltas_stale_rejected
+            .fetch_add(deltas as u64, Ordering::Relaxed);
     }
 
     /// Records retraction operations (edge or vertex) that reached an
@@ -315,6 +326,7 @@ impl Metrics {
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
             deltas_backpressured: self.deltas_backpressured.load(Ordering::Relaxed),
+            deltas_stale_rejected: self.deltas_stale_rejected.load(Ordering::Relaxed),
             retractions_applied: self.retractions_applied.load(Ordering::Relaxed),
             views_refreshed: self.views_refreshed.load(Ordering::Relaxed),
             views_rematerialized: self.views_rematerialized.load(Ordering::Relaxed),
@@ -385,6 +397,9 @@ pub struct MetricsReport {
     pub deltas_rejected: u64,
     /// Submissions refused because the bounded delta queue was full.
     pub deltas_backpressured: u64,
+    /// Slot-addressed deltas refused as stale — `based_on` older than
+    /// the retained compaction-remap history (`StaleEpoch`).
+    pub deltas_stale_rejected: u64,
     /// Retraction operations (edge or vertex) in applied batches.
     pub retractions_applied: u64,
     /// Views refreshed by the per-publish refresh DAG (delta-driven).
@@ -458,12 +473,13 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "write path         {} deltas in {} batches (epoch {}, {} rejected, {} backpressured)",
+            "write path         {} deltas in {} batches (epoch {}, {} rejected, {} backpressured, {} stale)",
             self.deltas_applied,
             self.batches_published,
             self.epoch,
             self.deltas_rejected,
-            self.deltas_backpressured
+            self.deltas_backpressured,
+            self.deltas_stale_rejected
         )?;
         writeln!(f, "retractions        {} applied", self.retractions_applied)?;
         writeln!(

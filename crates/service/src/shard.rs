@@ -64,7 +64,7 @@ use kaskade_core::{
     stage_delta, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions,
     RefreshReport, Snapshot, VRef,
 };
-use kaskade_graph::{EdgeId, Graph, GraphStats, ParallelExec, VertexId};
+use kaskade_graph::{EdgeId, ExternalIdTable, Graph, GraphStats, ParallelExec, VertexId};
 use kaskade_query::{PatternPlan, PatternRows, Query, Table};
 
 use crate::engine::{
@@ -76,6 +76,7 @@ use crate::plan_cache::{plan_key, PlanCache};
 use crate::pool::WorkerPool;
 use crate::snapshot::EpochSnapshot;
 use crate::trace::{Stage, Tracer};
+use crate::wal::{Wal, WalConfig};
 
 /// Assigns every vertex to exactly one shard. Ownership must be a pure
 /// function of the vertex's id and type (both immutable for the life of
@@ -193,6 +194,14 @@ pub struct ShardedConfig {
     /// pool to the machine: available parallelism minus the helping
     /// caller.
     pub pool_threads: usize,
+    /// Durability: when set, the **router** appends one epoch-tagged
+    /// WAL record per merged batch before the global publish (shard
+    /// engines never log — the merged pre-split delta is the durable
+    /// unit) and checkpoints the global state every
+    /// [`WalConfig::checkpoint_every`] batches.
+    /// [`ShardedEngine::recover`] restores and re-partitions on
+    /// restart. `None` (the default) serves purely in memory.
+    pub wal: Option<WalConfig>,
 }
 
 impl ShardedConfig {
@@ -206,6 +215,7 @@ impl ShardedConfig {
             compact_dead_ratio: 0.5,
             tracer: None,
             pool_threads: 0,
+            wal: None,
         }
     }
 }
@@ -333,6 +343,10 @@ struct ShardedShared {
     shards: Vec<Engine>,
     tracer: Arc<Tracer>,
     pool: Arc<WorkerPool>,
+    /// The router's staleness watermark (see the single engine's
+    /// `Shared::oldest_supported`): slot-addressed submissions based
+    /// on anything older fail fast with [`SubmitError::StaleEpoch`].
+    oldest_supported: AtomicU64,
 }
 
 /// A point-in-time metrics report of the sharded engine: the router's
@@ -401,8 +415,56 @@ impl ShardedEngine {
 
     /// Serves `state` with explicit partitioning and tuning: partitions
     /// the base graph into per-shard engines (epoch 0 everywhere) and
-    /// spawns the router worker.
+    /// spawns the router worker. Panics if [`ShardedConfig::wal`] is
+    /// set and the log cannot be opened — use
+    /// [`ShardedEngine::try_with_config`] to handle that.
     pub fn with_config(state: Snapshot, config: ShardedConfig) -> Self {
+        Self::try_with_config(state, config).expect("open write-ahead log")
+    }
+
+    /// Serves `state` with explicit partitioning and tuning, surfacing
+    /// WAL-open failures instead of panicking.
+    pub fn try_with_config(state: Snapshot, config: ShardedConfig) -> std::io::Result<Self> {
+        Self::start(state, 0, ExternalIdTable::new(), config)
+    }
+
+    /// Recovers from the WAL directory in [`ShardedConfig::wal`]
+    /// (required): loads the latest valid checkpoint, replays the log,
+    /// **re-partitions the recovered global state fresh** across the
+    /// configured shards, and resumes serving — and logging — at the
+    /// recovered epoch. The recovered global state is
+    /// partition-independent (the differential proptests hold sharded
+    /// and unsharded engines byte-identical), so a fresh ownership
+    /// assignment is always internally consistent. `Ok(None)` means
+    /// nothing recoverable; start fresh with
+    /// [`ShardedEngine::try_with_config`].
+    pub fn recover(config: ShardedConfig) -> std::io::Result<Option<Self>> {
+        let wal = config.wal.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "ShardedEngine::recover requires ShardedConfig.wal",
+            )
+        })?;
+        match crate::wal::recover(&wal.dir)? {
+            None => Ok(None),
+            Some(r) => Self::start(r.state, r.epoch, r.extids, config).map(Some),
+        }
+    }
+
+    /// The one constructor behind fresh starts and recovery: partitions
+    /// `state` into per-shard engines, publishes it globally at
+    /// `epoch`, seats the external-id table in the router, and (when
+    /// configured) opens the WAL with a fresh checkpoint.
+    fn start(
+        state: Snapshot,
+        epoch: u64,
+        extids: ExternalIdTable,
+        config: ShardedConfig,
+    ) -> std::io::Result<Self> {
+        let wal = match &config.wal {
+            Some(cfg) => Some(Wal::open(cfg.clone(), &state, epoch, &extids)?),
+            None => None,
+        };
         let partitioner = Arc::clone(&config.partitioner);
         let n = partitioner.shard_count().max(1);
         let schema = state.schema().clone();
@@ -437,6 +499,9 @@ impl ShardedEngine {
                         trace_label: format!("shard{s}"),
                         pool: Some(Arc::clone(&pool)),
                         pool_threads: 0,
+                        // shards never log: the router's merged
+                        // pre-split delta is the durable unit
+                        wal: None,
                     },
                 )
             })
@@ -477,7 +542,7 @@ impl ShardedEngine {
         };
         let shared = Arc::new(ShardedShared {
             cell: Arc::new(ShardedCell::new(ShardedSnapshot {
-                epoch: 0,
+                epoch,
                 state,
                 shard_states,
             })),
@@ -489,6 +554,7 @@ impl ShardedEngine {
             shards,
             tracer,
             pool,
+            oldest_supported: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let router_shared = Arc::clone(&shared);
@@ -504,14 +570,16 @@ impl ShardedEngine {
                     compact_dead_ratio,
                     owners,
                     edge_global,
+                    wal,
+                    extids,
                 )
             })
             .expect("spawn router worker");
-        ShardedEngine {
+        Ok(ShardedEngine {
             shared,
             tx,
             router: Some(router),
-        }
+        })
     }
 
     /// Number of shards.
@@ -545,6 +613,13 @@ impl ShardedEngine {
     /// published since.
     pub fn submit(&self, delta: GraphDelta, opts: SubmitOpts) -> Result<(), SubmitError> {
         let based_on = opts.based_on.unwrap_or_else(|| self.shared.cell.epoch());
+        let oldest = self.shared.oldest_supported.load(Ordering::Relaxed);
+        if based_on < oldest && delta.has_slot_refs() {
+            self.shared.metrics.record_stale(1);
+            return Err(SubmitError::StaleEpoch {
+                oldest_supported: oldest,
+            });
+        }
         enqueue_delta(
             &self.tx,
             &self.shared.queued,
@@ -846,6 +921,7 @@ fn execute_at(
 /// shard (keeping shard-local ids equal to global ids) before the
 /// compacted global epoch publishes — the same epoch fence as the
 /// single engine, coordinated.
+#[allow(clippy::too_many_arguments)]
 fn router_loop(
     shared: Arc<ShardedShared>,
     rx: mpsc::Receiver<Msg>,
@@ -853,15 +929,20 @@ fn router_loop(
     mut compact_dead_ratio: f64,
     mut owners: Vec<u32>,
     mut edge_global: Vec<Vec<EdgeId>>,
+    mut wal: Option<Wal>,
+    mut extids: ExternalIdTable,
 ) {
     let mut state = shared.cell.load().state.clone();
     let mut remaps = RemapHistory::new();
     let mut open = true;
     while open {
-        let batch = collect_batch(&rx, state.graph(), max_batch, &remaps);
+        let batch = collect_batch(&rx, state.graph(), max_batch, &remaps, &extids);
         open = batch.open;
         if batch.rejected > 0 {
             shared.metrics.record_rejected(batch.rejected);
+        }
+        if batch.stale > 0 {
+            shared.metrics.record_stale(batch.stale);
         }
         if batch.batched > 0 {
             let tracer = &shared.tracer;
@@ -914,6 +995,24 @@ fn router_loop(
             );
             drop(apply_span);
             if let Some((next, shard_states, report)) = advanced {
+                // group commit: one durable record for the merged
+                // pre-split batch (shards never log), written strictly
+                // before the global publish — same fail-stop contract
+                // as the single engine's writer
+                if let Some(w) = wal.as_mut() {
+                    w.append_batch(shared.cell.epoch() + 1, &batch.delta)
+                        .expect("WAL append failed; refusing to publish an unlogged batch");
+                }
+                for (i, nv) in batch.delta.vertices.iter().enumerate() {
+                    if let Some(ext) = nv.ext {
+                        extids
+                            .insert(ext, VertexId((slots + i) as u32))
+                            .expect("resolution admitted a duplicate external id");
+                    }
+                }
+                for &v in &batch.delta.del_vertices {
+                    extids.remove_slot(v);
+                }
                 state = next;
                 owners.extend(new_owners);
                 let epoch = shared.cell.epoch() + 1;
@@ -997,6 +1096,13 @@ fn router_loop(
                     edge_global[owners[g.edge_src(e).index()] as usize].push(e);
                 }
                 let epoch = shared.cell.epoch() + 1;
+                // compaction is deterministic, so the log records only
+                // a marker; replay re-runs `compact()` on the recovered
+                // state and lands on the identical renumbering
+                if let Some(w) = wal.as_mut() {
+                    w.append_compact(epoch)
+                        .expect("WAL append failed; refusing to publish an unlogged compaction");
+                }
                 shared.cell.publish(ShardedSnapshot {
                     epoch,
                     state: state.clone(),
@@ -1007,7 +1113,11 @@ fn router_loop(
                 shared.metrics.record_compaction(reclaimed);
                 compact_span.set_epoch(epoch);
                 compact_span.set_detail(format!("reclaimed={reclaimed}"));
+                extids.remap(&remap);
                 remaps.record(epoch, remap);
+                shared
+                    .oldest_supported
+                    .store(remaps.oldest_supported(), Ordering::Relaxed);
             } else {
                 // a shard refused the remap (its writer is gone —
                 // shutdown or a dead worker). Some shards may already
@@ -1018,6 +1128,12 @@ fn router_loop(
                 // publishes already stop on their own (`advance`
                 // returns `None` once any shard is unreachable).
                 compact_dead_ratio = f64::INFINITY;
+            }
+        }
+        if let Some(w) = wal.as_mut() {
+            if w.should_checkpoint() {
+                w.checkpoint(&state, shared.cell.epoch(), &extids)
+                    .expect("WAL checkpoint failed");
             }
         }
         if batch.batched + batch.rejected > 0 {
@@ -1139,6 +1255,7 @@ fn advance(
         let owner = match e.src {
             VRef::Existing(v) => owner_existing(v),
             VRef::New(i) => owner_new(i),
+            VRef::External(_) => unreachable!("external refs are resolved before split"),
         };
         routed_new[owner] += 1;
     }
@@ -1154,6 +1271,7 @@ fn advance(
         let owner = match e.src {
             VRef::Existing(v) => owner_existing(v),
             VRef::New(i) => owner_new(i),
+            VRef::External(_) => unreachable!("external refs are resolved before split"),
         };
         edge_global[owner].push(EdgeId((edge_slots + k) as u32));
     }

@@ -42,9 +42,15 @@ pub struct SnapshotCell {
 impl SnapshotCell {
     /// Publishes `state` as epoch 0.
     pub fn new(state: Snapshot) -> Self {
+        Self::with_epoch(state, 0)
+    }
+
+    /// Publishes `state` at an explicit starting epoch — how recovery
+    /// resumes the epoch counter from where the durable log left off.
+    pub fn with_epoch(state: Snapshot, epoch: u64) -> Self {
         SnapshotCell {
-            epoch: AtomicU64::new(0),
-            slot: RwLock::new(Arc::new(EpochSnapshot { epoch: 0, state })),
+            epoch: AtomicU64::new(epoch),
+            slot: RwLock::new(Arc::new(EpochSnapshot { epoch, state })),
         }
     }
 

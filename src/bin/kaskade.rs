@@ -48,6 +48,19 @@
 //!   --stats-json    print the final outcome as one JSON line on
 //!                   stdout (machine-readable; CI's overhead gate
 //!                   consumes it)
+//!
+//! serve durability options:
+//!   --wal-dir PATH  append every published batch to an epoch-tagged
+//!                   write-ahead log in PATH and checkpoint the dense
+//!                   state there (created if missing)
+//!   --checkpoint-every N  checkpoint after N logged batches
+//!                   (default 64; bounds log growth and replay time)
+//!   --no-fsync      skip the per-record fsync (group commit still
+//!                   batches; a power loss may drop the last records)
+//!   --recover       resume from --wal-dir: latest checkpoint + replay
+//!                   of the log tail, instead of the generated dataset
+//!                   (warns and starts fresh if the directory is empty;
+//!                   implies the end-of-run consistency verification)
 //! ```
 //!
 //! `query` plans and executes one query — with `--threads N > 1` it
@@ -78,7 +91,7 @@ use kaskade::datasets::Dataset;
 use kaskade::query::{listings, parse, Query, Table};
 use kaskade::service::{
     drive, DriveConfig, DriveOutcome, Engine, EngineConfig, MetricsServer, Observable,
-    ShardedConfig, ShardedEngine, Tracer, Workload,
+    ShardedConfig, ShardedEngine, Tracer, WalConfig, Workload,
 };
 
 fn usage() -> ExitCode {
@@ -90,7 +103,8 @@ fn usage() -> ExitCode {
          [--shards N] [--pool-threads N] [--compact-ratio F] [--expect-compaction] \
          [--expect-incremental] [--smoke] \
          [--trace on|off] [--trace-dump] [--slow-query-ms F] [--metrics-addr ADDR] \
-         [--stats-interval N] [--stats-json] [query ...]"
+         [--stats-interval N] [--stats-json] \
+         [--wal-dir PATH] [--checkpoint-every N] [--no-fsync] [--recover] [query ...]"
     );
     ExitCode::from(2)
 }
@@ -117,6 +131,10 @@ struct CommonArgs {
     metrics_addr: Option<String>,
     stats_interval_ms: u64,
     stats_json: bool,
+    wal_dir: Option<String>,
+    checkpoint_every: u64,
+    no_fsync: bool,
+    recover: bool,
     queries: Vec<String>,
 }
 
@@ -142,6 +160,10 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         metrics_addr: None,
         stats_interval_ms: 0,
         stats_json: false,
+        wal_dir: None,
+        checkpoint_every: WalConfig::new(".").checkpoint_every,
+        no_fsync: false,
+        recover: false,
         queries: Vec::new(),
     };
     let mut args = args.peekable();
@@ -180,6 +202,12 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             "--metrics-addr" => c.metrics_addr = Some(args.next()?),
             "--stats-interval" => c.stats_interval_ms = args.next()?.parse().ok()?,
             "--stats-json" => c.stats_json = true,
+            "--wal-dir" => c.wal_dir = Some(args.next()?),
+            "--checkpoint-every" => {
+                c.checkpoint_every = args.next()?.parse().ok().filter(|&n: &u64| n > 0)?
+            }
+            "--no-fsync" => c.no_fsync = true,
+            "--recover" => c.recover = true,
             "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
             "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
             other if other.starts_with("--") => return None,
@@ -445,19 +473,22 @@ fn json_escape(s: &str) -> String {
 
 /// The `--stats-json` line: the final outcome and report as one JSON
 /// object (hand-rolled — the whole repo builds offline, so no serde).
-fn outcome_json(outcome: &DriveOutcome, tracer: &Tracer) -> String {
+fn outcome_json(outcome: &DriveOutcome, tracer: &Tracer, counts: (usize, usize)) -> String {
     use std::fmt::Write as _;
     let r = &outcome.report;
     let mut s = String::with_capacity(1024);
     let _ = write!(
         s,
-        "{{\"reads\":{},\"read_errors\":{},\"reads_per_sec\":{:.1},\"writes\":{},\
+        "{{\"vertices\":{},\"edges\":{},\
+         \"reads\":{},\"read_errors\":{},\"reads_per_sec\":{:.1},\"writes\":{},\
          \"writes_backpressured\":{},\"consistency_violations\":{},\"final_consistent\":{},\
          \"epoch\":{},\"deltas_applied\":{},\"batches_published\":{},\"views_refreshed\":{},\
          \"views_rematerialized\":{},\"compactions_run\":{},\"slots_reclaimed\":{},\
          \"plan_cache_hit_rate\":{:.4},\"p50_ns\":{},\"p99_ns\":{},\"apply_p50_ns\":{},\
          \"apply_p99_ns\":{},\"apply_total_ns\":{},\"queue_depth\":{},\"slow_queries\":{},\
          \"trace_dropped_events\":{},\"per_view\":[",
+        counts.0,
+        counts.1,
         outcome.reads,
         outcome.read_errors,
         outcome.reads_per_sec(),
@@ -532,7 +563,9 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         read_pause: Duration::ZERO,
         write_pause: Duration::from_millis(c.write_every_ms),
         max_writes: 0,
-        verify_consistency: c.smoke,
+        // a recovered state must also survive the scratch-rebuild
+        // comparison — recovery correctness is exactly what is at stake
+        verify_consistency: c.smoke || c.recover,
         workload: c.workload,
     };
     eprintln!(
@@ -551,57 +584,111 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
     if c.slow_query_ms > 0.0 {
         tracer.set_slow_query_threshold(Some(Duration::from_secs_f64(c.slow_query_ms / 1000.0)));
     }
+    // durability: every published batch appends to the WAL before it
+    // becomes visible, and the dense state checkpoints periodically
+    let wal = |c: &CommonArgs| {
+        c.wal_dir.as_ref().map(|dir| WalConfig {
+            fsync: !c.no_fsync,
+            checkpoint_every: c.checkpoint_every,
+            ..WalConfig::new(dir)
+        })
+    };
     // (capacity, live): final id-slot capacity vs live element count —
     // the numbers the compaction policy bounds
-    let (outcome, shard_lines, slots): (DriveOutcome, Option<String>, (usize, usize)) =
-        if shards > 1 {
-            let engine = Arc::new(ShardedEngine::with_config(
-                kaskade.snapshot(),
-                ShardedConfig {
-                    compact_dead_ratio: c.compact_ratio,
-                    pool_threads: c.pool_threads,
-                    tracer: Some(Arc::clone(&tracer)),
-                    ..ShardedConfig::hash(shards)
-                },
-            ));
-            let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
-                Ok(rig) => rig,
-                Err(code) => return code,
-            };
-            let outcome = drive(&*engine, &workload, &cfg);
-            rig.finish();
-            let lines = engine.metrics().per_shard_lines();
-            let snap = engine.snapshot();
-            let g = snap.state.graph();
-            let slots = (
-                g.vertex_slots() + g.edge_slots(),
-                g.vertex_count() + g.edge_count(),
-            );
-            (outcome, Some(lines), slots)
-        } else {
-            let engine = Arc::new(Engine::with_config(
-                kaskade.snapshot(),
-                EngineConfig {
-                    compact_dead_ratio: c.compact_ratio,
-                    pool_threads: c.pool_threads,
-                    tracer: Some(Arc::clone(&tracer)),
-                    ..EngineConfig::default()
-                },
-            ));
-            let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
-                Ok(rig) => rig,
-                Err(code) => return code,
-            };
-            let outcome = drive(&*engine, &workload, &cfg);
-            rig.finish();
-            let snap = engine.snapshot();
-            let g = snap.state.graph();
-            let slots = (
-                g.vertex_slots() + g.edge_slots(),
-                g.vertex_count() + g.edge_count(),
-            );
-            (outcome, None, slots)
+    type ServeStats = ((usize, usize), (usize, usize));
+    let (outcome, shard_lines, stats): (DriveOutcome, Option<String>, ServeStats) = if shards > 1 {
+        let config = |c: &CommonArgs| ShardedConfig {
+            compact_dead_ratio: c.compact_ratio,
+            pool_threads: c.pool_threads,
+            tracer: Some(Arc::clone(&tracer)),
+            wal: wal(c),
+            ..ShardedConfig::hash(shards)
         };
+        let engine = if c.recover {
+            match ShardedEngine::recover(config(&c)) {
+                Ok(Some(e)) => {
+                    eprintln!("recovered epoch {} from the write-ahead log", e.epoch());
+                    Arc::new(e)
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "warning: nothing to recover in {}; starting fresh",
+                        c.wal_dir.as_deref().unwrap_or("?")
+                    );
+                    Arc::new(ShardedEngine::with_config(kaskade.snapshot(), config(&c)))
+                }
+                Err(e) => {
+                    eprintln!("recovery failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            Arc::new(ShardedEngine::with_config(kaskade.snapshot(), config(&c)))
+        };
+        let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
+            Ok(rig) => rig,
+            Err(code) => return code,
+        };
+        let outcome = drive(&*engine, &workload, &cfg);
+        rig.finish();
+        let lines = engine.metrics().per_shard_lines();
+        let snap = engine.snapshot();
+        let g = snap.state.graph();
+        let stats = (
+            (
+                g.vertex_slots() + g.edge_slots(),
+                g.vertex_count() + g.edge_count(),
+            ),
+            (g.vertex_count(), g.edge_count()),
+        );
+        (outcome, Some(lines), stats)
+    } else {
+        let config = |c: &CommonArgs| EngineConfig {
+            compact_dead_ratio: c.compact_ratio,
+            pool_threads: c.pool_threads,
+            tracer: Some(Arc::clone(&tracer)),
+            wal: wal(c),
+            ..EngineConfig::default()
+        };
+        let engine = if c.recover {
+            match Engine::recover(config(&c)) {
+                Ok(Some(e)) => {
+                    eprintln!("recovered epoch {} from the write-ahead log", e.epoch());
+                    Arc::new(e)
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "warning: nothing to recover in {}; starting fresh",
+                        c.wal_dir.as_deref().unwrap_or("?")
+                    );
+                    Arc::new(Engine::with_config(kaskade.snapshot(), config(&c)))
+                }
+                Err(e) => {
+                    eprintln!("recovery failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            Arc::new(Engine::with_config(kaskade.snapshot(), config(&c)))
+        };
+        let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
+            Ok(rig) => rig,
+            Err(code) => return code,
+        };
+        let outcome = drive(&*engine, &workload, &cfg);
+        rig.finish();
+        let snap = engine.snapshot();
+        let g = snap.state.graph();
+        let stats = (
+            (
+                g.vertex_slots() + g.edge_slots(),
+                g.vertex_count() + g.edge_count(),
+            ),
+            (g.vertex_count(), g.edge_count()),
+        );
+        (outcome, None, stats)
+    };
+    let (slots, counts) = stats;
     println!(
         "reads              {} ok / {} errors ({:.0} reads/s)",
         outcome.reads,
@@ -619,7 +706,7 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         print!("{lines}");
     }
     if c.stats_json {
-        println!("{}", outcome_json(&outcome, &tracer));
+        println!("{}", outcome_json(&outcome, &tracer, counts));
     }
     if c.trace_dump {
         eprint!("{}", tracer.render_dump());
@@ -712,6 +799,10 @@ fn main() -> ExitCode {
     }
     if common.shards == 0 {
         eprintln!("--shards must be at least 1");
+        return ExitCode::from(2);
+    }
+    if common.recover && common.wal_dir.is_none() {
+        eprintln!("--recover requires --wal-dir (there is no log to recover from)");
         return ExitCode::from(2);
     }
     match command.as_str() {

@@ -811,9 +811,11 @@ fn cli_stats_json_reports_the_final_outcome() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     let json = stdout
         .lines()
-        .find(|l| l.starts_with("{\"reads\":"))
+        .find(|l| l.starts_with("{\"vertices\":"))
         .unwrap_or_else(|| panic!("no JSON line in:\n{stdout}"));
     for key in [
+        "\"edges\":",
+        "\"reads\":",
         "\"reads_per_sec\":",
         "\"epoch\":",
         "\"deltas_applied\":",
