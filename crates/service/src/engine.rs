@@ -157,17 +157,24 @@ pub(crate) struct RemapHistory {
     /// `(publish epoch of the compacted snapshot, remap)`, oldest first.
     entries: Vec<(u64, Arc<IdRemap>)>,
     /// Epoch of the newest discarded entry; deltas based on anything
-    /// older can no longer be rebased.
+    /// older can no longer be rebased. Seeded with the engine's start
+    /// epoch: after recovery, compactions that published before the
+    /// restart are folded into the checkpoint (or replayed) with their
+    /// remaps gone, so a slot-addressed delta based on any pre-restart
+    /// epoch must be rejected, never rebased through zero remaps.
     dropped: u64,
 }
 
 pub(crate) const MAX_REMAP_HISTORY: usize = 8;
 
 impl RemapHistory {
-    pub(crate) fn new() -> Self {
+    /// An empty history for an engine whose first published epoch is
+    /// `start_epoch`; slot-addressed deltas based on anything older
+    /// are unrebasable and rejected.
+    pub(crate) fn starting_at(start_epoch: u64) -> Self {
         RemapHistory {
             entries: Vec::new(),
-            dropped: 0,
+            dropped: start_epoch,
         }
     }
 
@@ -479,9 +486,14 @@ impl Engine {
     }
 
     /// Serves the given state (epoch 0) with explicit tuning,
-    /// surfacing WAL-open failures instead of panicking.
+    /// surfacing WAL-open failures instead of panicking. With
+    /// [`EngineConfig::wal`] set, fails (`AlreadyExists`) if the WAL
+    /// directory already holds durable state and
+    /// [`WalConfig::overwrite`] is off — a fresh start must not
+    /// silently wipe a previous run's log; recover it or point at an
+    /// empty directory.
     pub fn try_with_config(state: Snapshot, config: EngineConfig) -> std::io::Result<Self> {
-        Self::start(state, 0, ExternalIdTable::new(), config)
+        Self::start(state, 0, ExternalIdTable::new(), config, false)
     }
 
     /// Recovers the engine from the WAL directory in
@@ -490,6 +502,12 @@ impl Engine {
     /// resumes serving — and logging — at the recovered epoch.
     /// `Ok(None)` means the directory holds nothing recoverable; the
     /// caller starts fresh with [`Engine::try_with_config`].
+    ///
+    /// Pre-restart compactions are folded into the recovered state and
+    /// their remaps are gone, so after recovery a **slot-addressed**
+    /// delta based on any epoch before the recovered one fails with
+    /// [`SubmitError::StaleEpoch`]; external-id-addressed deltas are
+    /// epoch-free and survive restarts unconditionally.
     pub fn recover(config: EngineConfig) -> std::io::Result<Option<Self>> {
         let wal = config.wal.as_ref().ok_or_else(|| {
             std::io::Error::new(
@@ -499,7 +517,7 @@ impl Engine {
         })?;
         match crate::wal::recover(&wal.dir)? {
             None => Ok(None),
-            Some(r) => Self::start(r.state, r.epoch, r.extids, config).map(Some),
+            Some(r) => Self::start(r.state, r.epoch, r.extids, config, true).map(Some),
         }
     }
 
@@ -507,14 +525,24 @@ impl Engine {
     /// `state` at `epoch`, seats the external-id table in the writer,
     /// and (when configured) opens the WAL with a fresh checkpoint of
     /// exactly this state — so the on-disk frontier always equals the
-    /// first published snapshot.
+    /// first published snapshot. `recovered` marks the post-recovery
+    /// reopen, which may legitimately collapse the WAL directory's
+    /// existing state into the new checkpoint; a fresh start refuses
+    /// that (see [`Engine::try_with_config`]).
     fn start(
         state: Snapshot,
         epoch: u64,
         extids: ExternalIdTable,
         config: EngineConfig,
+        recovered: bool,
     ) -> std::io::Result<Self> {
         let wal = match &config.wal {
+            Some(cfg) if recovered => Some(Wal::open_after_recovery(
+                cfg.clone(),
+                &state,
+                epoch,
+                &extids,
+            )?),
             Some(cfg) => Some(Wal::open(cfg.clone(), &state, epoch, &extids)?),
             None => None,
         };
@@ -530,7 +558,11 @@ impl Engine {
             tracer: config.tracer.unwrap_or_default(),
             trace_label: config.trace_label,
             pool,
-            oldest_supported: AtomicU64::new(0),
+            // the watermark starts at the first published epoch: after
+            // recovery, pre-restart compactions are already folded in
+            // and their remaps are gone, so slot-addressed submissions
+            // based on pre-restart epochs must fail fast as stale
+            oldest_supported: AtomicU64::new(epoch),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
@@ -791,7 +823,10 @@ fn writer_loop(
 ) {
     // the worker's working state always equals the published snapshot
     let mut state = shared.cell.load().state.clone();
-    let mut remaps = RemapHistory::new();
+    // nothing has published yet, so the cell still holds the start
+    // epoch — the same staleness floor `Shared::oldest_supported` was
+    // seeded with
+    let mut remaps = RemapHistory::starting_at(shared.cell.epoch());
     let mut open = true;
     while open {
         let batch = collect_batch(&rx, state.graph(), max_batch, &remaps, &extids);
@@ -1283,7 +1318,7 @@ mod tests {
         let v = b.add_vertex("Job");
         b.add_vertex("Job");
         let g = b.finish().remove_vertices([v]);
-        let mut history = RemapHistory::new();
+        let mut history = RemapHistory::starting_at(0);
         for epoch in 1..=(MAX_REMAP_HISTORY as u64) {
             history.record(epoch, remap_of(&g));
         }
@@ -1296,6 +1331,22 @@ mod tests {
         history.record(MAX_REMAP_HISTORY as u64 + 1, remap_of(&g));
         assert!(history.rebase(&mut d.clone(), 0).is_err());
         assert!(history.rebase(&mut d, 1).is_ok());
+    }
+
+    #[test]
+    fn remap_history_seeded_with_start_epoch_rejects_prior_slots() {
+        // the post-recovery shape: no retained remaps, but everything
+        // before the start epoch is unrebasable for slot-addressed
+        // deltas — external-id deltas stay epoch-free
+        let history = RemapHistory::starting_at(5);
+        let mut slot = GraphDelta::new();
+        slot.del_vertex(kaskade_graph::VertexId(0));
+        assert!(history.rebase(&mut slot.clone(), 4).is_err());
+        assert!(history.rebase(&mut slot, 5).is_ok());
+        let mut ext = GraphDelta::new();
+        ext.del_vertex_ext(9);
+        assert!(history.rebase(&mut ext, 0).is_ok());
+        assert_eq!(history.oldest_supported(), 5);
     }
 
     #[test]

@@ -423,9 +423,13 @@ impl ShardedEngine {
     }
 
     /// Serves `state` with explicit partitioning and tuning, surfacing
-    /// WAL-open failures instead of panicking.
+    /// WAL-open failures instead of panicking. With
+    /// [`ShardedConfig::wal`] set, fails (`AlreadyExists`) if the WAL
+    /// directory already holds durable state and
+    /// [`crate::WalConfig::overwrite`] is off — a fresh start must not
+    /// silently wipe a previous run's log.
     pub fn try_with_config(state: Snapshot, config: ShardedConfig) -> std::io::Result<Self> {
-        Self::start(state, 0, ExternalIdTable::new(), config)
+        Self::start(state, 0, ExternalIdTable::new(), config, false)
     }
 
     /// Recovers from the WAL directory in [`ShardedConfig::wal`]
@@ -438,6 +442,11 @@ impl ShardedEngine {
     /// assignment is always internally consistent. `Ok(None)` means
     /// nothing recoverable; start fresh with
     /// [`ShardedEngine::try_with_config`].
+    ///
+    /// As with [`Engine::recover`]: pre-restart compaction remaps are
+    /// gone, so slot-addressed deltas based on pre-restart epochs fail
+    /// with [`SubmitError::StaleEpoch`] after recovery;
+    /// external-id-addressed deltas are epoch-free.
     pub fn recover(config: ShardedConfig) -> std::io::Result<Option<Self>> {
         let wal = config.wal.as_ref().ok_or_else(|| {
             std::io::Error::new(
@@ -447,21 +456,31 @@ impl ShardedEngine {
         })?;
         match crate::wal::recover(&wal.dir)? {
             None => Ok(None),
-            Some(r) => Self::start(r.state, r.epoch, r.extids, config).map(Some),
+            Some(r) => Self::start(r.state, r.epoch, r.extids, config, true).map(Some),
         }
     }
 
     /// The one constructor behind fresh starts and recovery: partitions
     /// `state` into per-shard engines, publishes it globally at
     /// `epoch`, seats the external-id table in the router, and (when
-    /// configured) opens the WAL with a fresh checkpoint.
+    /// configured) opens the WAL with a fresh checkpoint. `recovered`
+    /// marks the post-recovery reopen, which may collapse the WAL
+    /// directory's existing state into the new checkpoint; a fresh
+    /// start refuses that (see [`Engine::try_with_config`]).
     fn start(
         state: Snapshot,
         epoch: u64,
         extids: ExternalIdTable,
         config: ShardedConfig,
+        recovered: bool,
     ) -> std::io::Result<Self> {
         let wal = match &config.wal {
+            Some(cfg) if recovered => Some(Wal::open_after_recovery(
+                cfg.clone(),
+                &state,
+                epoch,
+                &extids,
+            )?),
             Some(cfg) => Some(Wal::open(cfg.clone(), &state, epoch, &extids)?),
             None => None,
         };
@@ -554,7 +573,10 @@ impl ShardedEngine {
             shards,
             tracer,
             pool,
-            oldest_supported: AtomicU64::new(0),
+            // seeded with the start epoch: after recovery, pre-restart
+            // compaction remaps are gone, so slot-addressed
+            // submissions based on pre-restart epochs must fail fast
+            oldest_supported: AtomicU64::new(epoch),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let router_shared = Arc::clone(&shared);
@@ -933,7 +955,10 @@ fn router_loop(
     mut extids: ExternalIdTable,
 ) {
     let mut state = shared.cell.load().state.clone();
-    let mut remaps = RemapHistory::new();
+    // nothing has published yet, so the cell still holds the start
+    // epoch — the same staleness floor `oldest_supported` was seeded
+    // with
+    let mut remaps = RemapHistory::starting_at(shared.cell.epoch());
     let mut open = true;
     while open {
         let batch = collect_batch(&rx, state.graph(), max_batch, &remaps, &extids);

@@ -20,10 +20,16 @@
 //!   [`WalConfig::checkpoint_every`] batches the writer serializes the
 //!   full compacted state (dense graph, schema, stats, view catalog,
 //!   external-id table) to `checkpoint-<epoch>.ckpt` via temp-file +
-//!   rename, then truncates the log and removes older checkpoints.
-//!   Recovery is *latest valid checkpoint + replay of newer records*;
-//!   records at or below the checkpoint epoch are skipped, so a crash
-//!   between the rename and the truncation is harmless.
+//!   rename — with the WAL **directory** fsynced after the rename, so
+//!   the new checkpoint's dirent is on disk — and only then truncates
+//!   the log and removes older checkpoints. Recovery is *latest valid
+//!   checkpoint + replay of newer records*; records at or below the
+//!   checkpoint epoch are skipped, so a crash between the rename and
+//!   the truncation is harmless. Publish epochs are consecutive, and
+//!   replay enforces it: a record whose epoch does not directly follow
+//!   the previous durable epoch means the directory lost a checkpoint
+//!   or log segment, and recovery fails loudly instead of serving a
+//!   state with silent holes.
 //!
 //! Replay is deterministic because the logged delta is the
 //! post-resolution merged batch: external-id references are already
@@ -65,15 +71,26 @@ pub struct WalConfig {
     /// Write a checkpoint after this many logged batches, bounding
     /// both log growth and recovery replay time.
     pub checkpoint_every: u64,
+    /// Allow a **fresh** (non-recovery) start to discard durable state
+    /// already present in [`WalConfig::dir`]. Off by default: opening
+    /// the WAL fresh writes a new checkpoint and truncates the log, so
+    /// pointing a fresh engine at a directory holding a previous run's
+    /// state would silently destroy it — without this flag such an
+    /// open fails with `AlreadyExists` instead, and the caller either
+    /// recovers ([`crate::Engine::recover`]) or picks a clean
+    /// directory. Recovery itself never needs the flag.
+    pub overwrite: bool,
 }
 
 impl WalConfig {
-    /// Durable defaults: fsync on, checkpoint every 64 batches.
+    /// Durable defaults: fsync on, checkpoint every 64 batches, refuse
+    /// to overwrite existing durable state.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         WalConfig {
             dir: dir.into(),
             fsync: true,
             checkpoint_every: 64,
+            overwrite: false,
         }
     }
 }
@@ -103,6 +120,30 @@ pub struct Recovered {
     pub extids: ExternalIdTable,
     /// How many log records were replayed on top of the checkpoint.
     pub records_replayed: usize,
+}
+
+/// Makes directory-entry changes (a rename or file creation in `dir`)
+/// durable: `fsync` on the directory itself. A rename is only
+/// crash-durable once its containing directory has been synced.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Whether `dir` already holds durable WAL state a fresh open would
+/// destroy: any checkpoint file, or a log with records past the magic
+/// header. A missing directory (or a bare/empty log) is clean.
+fn dir_has_durable_state(dir: &Path) -> io::Result<bool> {
+    match list_checkpoints(dir) {
+        Ok(ckpts) if !ckpts.is_empty() => return Ok(true),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    }
+    match fs::metadata(dir.join("wal.log")) {
+        Ok(m) => Ok(m.len() > WAL_MAGIC.len() as u64),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
 }
 
 fn frame(payload: &[u8]) -> Vec<u8> {
@@ -135,18 +176,60 @@ fn read_frame(buf: &[u8]) -> Option<(&[u8], usize)> {
 }
 
 impl Wal {
-    /// Opens the log at `config.dir`, seeding it with a fresh
-    /// checkpoint of `state` at `epoch` and an empty log. Called once
-    /// by the engine constructor (fresh start *or* post-recovery —
-    /// either way the on-disk state collapses to "checkpoint now,
-    /// nothing to replay").
+    /// Opens the log at `config.dir` for a **fresh** start, seeding it
+    /// with a checkpoint of `state` at `epoch` and an empty log.
+    /// Because that seeding discards whatever the directory held, this
+    /// refuses (`AlreadyExists`) a directory that already contains
+    /// durable state — a checkpoint or logged records — unless
+    /// [`WalConfig::overwrite`] is set: a forgotten recovery flag must
+    /// not wipe a previous run's data. Post-recovery reopens go
+    /// through `Wal::open_after_recovery`, which skips the guard
+    /// (the recovered state *is* the directory's state).
     pub fn open(
         config: WalConfig,
         state: &Snapshot,
         epoch: u64,
         extids: &ExternalIdTable,
     ) -> io::Result<Wal> {
+        if !config.overwrite && dir_has_durable_state(&config.dir)? {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "WAL directory {} already holds durable state (a checkpoint or logged \
+                     records); recover from it instead of starting fresh, set \
+                     WalConfig.overwrite to discard it, or use an empty directory",
+                    config.dir.display()
+                ),
+            ));
+        }
+        Self::open_unchecked(config, state, epoch, extids)
+    }
+
+    /// [`Wal::open`] for the reopen immediately after a successful
+    /// [`recover`]: the checkpoint written here *is* the recovered
+    /// durable frontier, so collapsing the directory to "checkpoint
+    /// now, nothing to replay" loses nothing.
+    pub(crate) fn open_after_recovery(
+        config: WalConfig,
+        state: &Snapshot,
+        epoch: u64,
+        extids: &ExternalIdTable,
+    ) -> io::Result<Wal> {
+        Self::open_unchecked(config, state, epoch, extids)
+    }
+
+    fn open_unchecked(
+        config: WalConfig,
+        state: &Snapshot,
+        epoch: u64,
+        extids: &ExternalIdTable,
+    ) -> io::Result<Wal> {
         fs::create_dir_all(&config.dir)?;
+        // make the directory itself durable: if its dirent is lost on
+        // power failure, every fsynced record inside it is unreachable
+        if let Some(parent) = config.dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
         let log = OpenOptions::new()
             .read(true)
             .write(true)
@@ -198,11 +281,15 @@ impl Wal {
     }
 
     /// Serializes the full state to `checkpoint-<epoch>.ckpt`
-    /// (temp-file + rename, fsynced), truncates the log, and removes
-    /// older checkpoints. Crash-ordering: the rename makes the new
-    /// checkpoint durable *before* the log truncates, and replay skips
-    /// records at or below the checkpoint epoch, so no interleaving of
-    /// crash points loses or double-applies a batch.
+    /// (temp-file + rename, file **and directory** fsynced), truncates
+    /// the log, and removes older checkpoints. Crash-ordering: the
+    /// rename plus directory sync makes the new checkpoint durable
+    /// *before* the log truncates — without the directory sync a power
+    /// loss could keep the truncation but drop the rename, leaving an
+    /// older checkpoint next to a log missing the epochs in between —
+    /// and replay skips records at or below the checkpoint epoch, so
+    /// no interleaving of crash points loses or double-applies a
+    /// batch.
     pub fn checkpoint(
         &mut self,
         state: &Snapshot,
@@ -222,6 +309,10 @@ impl Wal {
         }
         let final_path = self.config.dir.join(format!("checkpoint-{epoch}.ckpt"));
         fs::rename(&tmp, &final_path)?;
+        // the rename is only durable once the directory is synced; the
+        // log must not truncate before that point (checkpoints always
+        // sync, whatever `config.fsync` says — same as the file above)
+        fsync_dir(&self.config.dir)?;
         // reset the log to just its magic header
         self.log.set_len(0)?;
         self.log.seek(SeekFrom::Start(0))?;
@@ -302,7 +393,12 @@ fn replay_batch(
 /// holds no usable checkpoint (nothing was ever logged, or everything
 /// is corrupt — the caller starts fresh). A torn or corrupt record
 /// ends replay at the last intact prefix; that is the crash-consistent
-/// durable frontier, not an error.
+/// durable frontier, not an error. A record whose epoch does **not**
+/// directly follow the previous durable epoch is different: publishes
+/// are consecutive, so a gap means acknowledged epochs are missing
+/// (a lost checkpoint rename next to a persisted log truncation, a
+/// deleted file) and recovery fails with `InvalidData` rather than
+/// silently serving a state with holes.
 pub fn recover(dir: &Path) -> io::Result<Option<Recovered>> {
     let checkpoints = match list_checkpoints(dir) {
         Ok(c) => c,
@@ -344,6 +440,20 @@ pub fn recover(dir: &Path) -> io::Result<Option<Recovered>> {
                 // logged before the checkpoint truncation landed —
                 // already folded into the checkpoint state
                 continue;
+            }
+            if rec_epoch != epoch + 1 {
+                // publishes are consecutive: a gap means durable
+                // epochs vanished between the checkpoint and this
+                // record — refuse to recover a state with holes
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL record epoch {rec_epoch} does not follow durable epoch {epoch} \
+                         in {}: intermediate epochs are missing (lost checkpoint or log \
+                         segment); refusing to recover an inconsistent state",
+                        dir.display()
+                    ),
+                ));
             }
             match kind {
                 KIND_BATCH => {
@@ -545,6 +655,44 @@ mod tests {
         same_dense_graph(r.state.graph(), live.graph()).unwrap();
         assert_eq!(r.extids.get(8), extids.get(8));
         assert_eq!(r.extids.get(7), None);
+    }
+
+    #[test]
+    fn fresh_open_refuses_existing_durable_state() {
+        let dir = tmpdir("guard");
+        let state = empty_state();
+        let extids = ExternalIdTable::new();
+        let mut wal = Wal::open(WalConfig::new(&dir), &state, 0, &extids).unwrap();
+        wal.append_batch(1, &job_delta(None)).unwrap();
+        drop(wal);
+        // a fresh open would checkpoint-and-truncate over epoch 1:
+        // refused without the explicit overwrite flag
+        let err = Wal::open(WalConfig::new(&dir), &state, 0, &extids).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        // recovery still sees everything the guard protected
+        assert_eq!(recover_or_fail(&dir).unwrap().epoch, 1);
+        // the post-recovery reopen path and the explicit flag both pass
+        Wal::open_after_recovery(WalConfig::new(&dir), &state, 1, &extids).unwrap();
+        let overwrite = WalConfig {
+            overwrite: true,
+            ..WalConfig::new(&dir)
+        };
+        Wal::open(overwrite, &state, 0, &extids).unwrap();
+    }
+
+    #[test]
+    fn epoch_gap_in_log_fails_recovery() {
+        let dir = tmpdir("gap");
+        let state = empty_state();
+        let extids = ExternalIdTable::new();
+        let mut wal = Wal::open(WalConfig::new(&dir), &state, 0, &extids).unwrap();
+        wal.append_batch(1, &job_delta(None)).unwrap();
+        // epoch 2 never made it to disk: the replayed sequence has a
+        // hole, which must fail recovery, not silently skip ahead
+        wal.append_batch(3, &job_delta(None)).unwrap();
+        drop(wal);
+        let err = recover(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

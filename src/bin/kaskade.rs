@@ -61,6 +61,10 @@
 //!                   of the log tail, instead of the generated dataset
 //!                   (warns and starts fresh if the directory is empty;
 //!                   implies the end-of-run consistency verification)
+//!   --wal-overwrite discard durable state already in --wal-dir and
+//!                   start fresh; without it (or --recover) a fresh
+//!                   start refuses a non-empty WAL directory rather
+//!                   than silently wiping a previous run's data
 //! ```
 //!
 //! `query` plans and executes one query — with `--threads N > 1` it
@@ -104,7 +108,8 @@ fn usage() -> ExitCode {
          [--expect-incremental] [--smoke] \
          [--trace on|off] [--trace-dump] [--slow-query-ms F] [--metrics-addr ADDR] \
          [--stats-interval N] [--stats-json] \
-         [--wal-dir PATH] [--checkpoint-every N] [--no-fsync] [--recover] [query ...]"
+         [--wal-dir PATH] [--checkpoint-every N] [--no-fsync] [--recover] [--wal-overwrite] \
+         [query ...]"
     );
     ExitCode::from(2)
 }
@@ -135,6 +140,7 @@ struct CommonArgs {
     checkpoint_every: u64,
     no_fsync: bool,
     recover: bool,
+    wal_overwrite: bool,
     queries: Vec<String>,
 }
 
@@ -164,6 +170,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         checkpoint_every: WalConfig::new(".").checkpoint_every,
         no_fsync: false,
         recover: false,
+        wal_overwrite: false,
         queries: Vec::new(),
     };
     let mut args = args.peekable();
@@ -208,6 +215,7 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             }
             "--no-fsync" => c.no_fsync = true,
             "--recover" => c.recover = true,
+            "--wal-overwrite" => c.wal_overwrite = true,
             "@listing1" => c.queries.push(listings::LISTING_1.to_string()),
             "@listing4" => c.queries.push(listings::LISTING_4.to_string()),
             other if other.starts_with("--") => return None,
@@ -590,6 +598,10 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         c.wal_dir.as_ref().map(|dir| WalConfig {
             fsync: !c.no_fsync,
             checkpoint_every: c.checkpoint_every,
+            // --recover counts as overwrite consent for the fresh-start
+            // fallback: recovery was attempted, so whatever is left in
+            // the directory is unrecoverable anyway
+            overwrite: c.wal_overwrite || c.recover,
             ..WalConfig::new(dir)
         })
     };
@@ -615,7 +627,13 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
                         "warning: nothing to recover in {}; starting fresh",
                         c.wal_dir.as_deref().unwrap_or("?")
                     );
-                    Arc::new(ShardedEngine::with_config(kaskade.snapshot(), config(&c)))
+                    match ShardedEngine::try_with_config(kaskade.snapshot(), config(&c)) {
+                        Ok(e) => Arc::new(e),
+                        Err(e) => {
+                            eprintln!("failed to open the write-ahead log: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!("recovery failed: {e}");
@@ -623,7 +641,13 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
                 }
             }
         } else {
-            Arc::new(ShardedEngine::with_config(kaskade.snapshot(), config(&c)))
+            match ShardedEngine::try_with_config(kaskade.snapshot(), config(&c)) {
+                Ok(e) => Arc::new(e),
+                Err(e) => {
+                    eprintln!("failed to open the write-ahead log: {e} (pass --recover to resume it, or --wal-overwrite to discard it)");
+                    return ExitCode::FAILURE;
+                }
+            }
         };
         let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
             Ok(rig) => rig,
@@ -661,7 +685,13 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
                         "warning: nothing to recover in {}; starting fresh",
                         c.wal_dir.as_deref().unwrap_or("?")
                     );
-                    Arc::new(Engine::with_config(kaskade.snapshot(), config(&c)))
+                    match Engine::try_with_config(kaskade.snapshot(), config(&c)) {
+                        Ok(e) => Arc::new(e),
+                        Err(e) => {
+                            eprintln!("failed to open the write-ahead log: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!("recovery failed: {e}");
@@ -669,7 +699,13 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
                 }
             }
         } else {
-            Arc::new(Engine::with_config(kaskade.snapshot(), config(&c)))
+            match Engine::try_with_config(kaskade.snapshot(), config(&c)) {
+                Ok(e) => Arc::new(e),
+                Err(e) => {
+                    eprintln!("failed to open the write-ahead log: {e} (pass --recover to resume it, or --wal-overwrite to discard it)");
+                    return ExitCode::FAILURE;
+                }
+            }
         };
         let rig = match start_observability(&c, Arc::clone(&engine) as Arc<dyn Observable>) {
             Ok(rig) => rig,

@@ -185,6 +185,13 @@ impl Durable {
         }
     }
 
+    fn stale_rejected(&self) -> u64 {
+        match self {
+            Durable::Single(e) => e.as_ref().unwrap().metrics().deltas_stale_rejected,
+            Durable::Sharded(e) => e.as_ref().unwrap().metrics().global.deltas_stale_rejected,
+        }
+    }
+
     /// Kills the running engine (drop joins its writer) and brings a
     /// new one up from nothing but the WAL directory.
     fn restart(&mut self, shards: usize, wal: WalConfig) {
@@ -290,6 +297,153 @@ proptest! {
         run_differential(seed, 40, &restarts, 1);
         run_differential(seed, 40, &restarts, 4);
     }
+}
+
+/// Recovery seeds the staleness watermark: compactions that published
+/// before a crash are folded into the checkpoint (or replayed) and
+/// their remaps die with the old process, so a slot-addressed delta
+/// based on **any** pre-restart epoch must fail fast with
+/// `StaleEpoch` — rebasing it through the recovered writer's empty
+/// remap history would silently alias renumbered ids. Deltas based on
+/// the recovered epoch, and external-id deltas from any epoch, still
+/// apply.
+#[test]
+fn recovery_rejects_slot_deltas_from_before_the_restart() {
+    for shards in [1usize, 4] {
+        let k = tiny_instance(23);
+        let dir = tmpdir(&format!("stale{shards}"));
+        let wal = || WalConfig {
+            fsync: false,
+            checkpoint_every: 2,
+            ..WalConfig::new(&dir)
+        };
+        let mut durable = Durable::fresh(k.snapshot(), shards, wal());
+        let mut script = ExtChurn::new(23);
+        for step in 0..6 {
+            durable
+                .submit(script.delta(step), SubmitOpts::based_on(0))
+                .expect("churn submit");
+            durable.flush();
+        }
+        let pre = durable.epoch();
+        assert!(pre >= 2, "the churn must publish a few epochs");
+        durable.restart(shards, wal());
+        assert_eq!(durable.epoch(), pre);
+
+        // slot ids resolved against a pre-restart snapshot: typed
+        // rejection, counted in the staleness metric
+        let victim = durable
+            .state()
+            .graph()
+            .vertices_of_type("Job")
+            .next()
+            .unwrap();
+        let mut stale = GraphDelta::new();
+        stale.del_vertex(victim);
+        match durable.submit(stale, SubmitOpts::based_on(pre - 1)) {
+            Err(SubmitError::StaleEpoch { oldest_supported }) => {
+                assert_eq!(
+                    oldest_supported, pre,
+                    "the watermark is the recovered epoch"
+                );
+            }
+            other => panic!("expected StaleEpoch after recovery (shards={shards}), got {other:?}"),
+        }
+        assert_eq!(durable.stale_rejected(), 1);
+
+        // the same retraction resolved against the recovered snapshot
+        // applies — recovery must not over-reject current slot ids
+        let before = durable.state().graph().vertex_count();
+        let mut current = GraphDelta::new();
+        current.del_vertex(victim);
+        durable
+            .submit(current, SubmitOpts::based_on(pre))
+            .expect("current-epoch slot ids are not stale");
+        durable.flush();
+        assert_eq!(durable.state().graph().vertex_count(), before - 1);
+
+        // and external-id deltas stay epoch-free across the restart
+        let mut ext = GraphDelta::new();
+        ext.add_vertex_ext("Job", 999_999, vec![]);
+        durable
+            .submit(ext, SubmitOpts::based_on(0))
+            .expect("external-id deltas never go stale");
+        durable.flush();
+        assert!(snapshot_is_consistent(&durable.state()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A fresh (non-recovery) start refuses a WAL directory that already
+/// holds durable state: opening fresh would checkpoint-and-truncate
+/// right over it, so a forgotten `--recover` must fail loudly, not
+/// silently destroy the previous run's data. Recovery and the
+/// explicit `overwrite` flag are the two sanctioned ways in.
+#[test]
+fn fresh_start_refuses_a_wal_dir_with_durable_state() {
+    let k = tiny_instance(7);
+    let dir = tmpdir("noclobber");
+    let wal = || WalConfig {
+        fsync: false,
+        ..WalConfig::new(&dir)
+    };
+    let engine = Engine::with_config(
+        k.snapshot(),
+        EngineConfig {
+            wal: Some(wal()),
+            ..EngineConfig::default()
+        },
+    );
+    let mut d = GraphDelta::new();
+    d.add_vertex_ext("Job", 1, vec![]);
+    engine.submit(d, SubmitOpts::based_on(0)).unwrap();
+    engine.flush();
+    drop(engine);
+
+    let err = Engine::try_with_config(
+        k.snapshot(),
+        EngineConfig {
+            wal: Some(wal()),
+            ..EngineConfig::default()
+        },
+    )
+    .expect_err("a fresh start over durable state must refuse");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    let err = ShardedEngine::try_with_config(
+        k.snapshot(),
+        ShardedConfig {
+            wal: Some(wal()),
+            ..ShardedConfig::hash(4)
+        },
+    )
+    .expect_err("the sharded fresh start must refuse too");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+
+    // the refusal lost nothing: recovery still finds the logged epoch
+    let recovered = Engine::recover(EngineConfig {
+        wal: Some(wal()),
+        ..EngineConfig::default()
+    })
+    .expect("recovery io")
+    .expect("durable state is present");
+    assert!(recovered.epoch() >= 1);
+    drop(recovered);
+
+    // explicit overwrite is informed consent to discard it
+    let fresh = Engine::try_with_config(
+        k.snapshot(),
+        EngineConfig {
+            wal: Some(WalConfig {
+                overwrite: true,
+                ..wal()
+            }),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("overwrite opens fresh");
+    assert_eq!(fresh.epoch(), 0);
+    drop(fresh);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The staleness fix, end to end: external-id deltas keep applying
