@@ -5,21 +5,23 @@
 //! report [experiment] [dataset]
 //!
 //! experiments: table1 table2 table3 table4 fig3 fig5 fig6 fig7 fig8 enum
-//!              serve scale all
+//!              serve scale recovery adaptive all
 //! datasets:    prov dblp roadnet-usa soc-livejournal (default: all applicable)
 //! ```
 //!
-//! `scale` additionally accepts `--json` to emit one JSON line per
-//! shard count (the format checked in as `BENCH_scale.json` and
-//! consumed by CI's publish-scaling gate).
+//! `scale`, `recovery`, and `adaptive` additionally accept `--json` to
+//! emit one JSON line per row (the formats checked in as
+//! `BENCH_scale.json`, `BENCH_recovery.json`, and `BENCH_adaptive.json`
+//! and consumed by CI's gates). `recovery` and `adaptive` exit nonzero
+//! when their acceptance gate fails.
 
 use std::env;
 use std::time::Duration;
 
 use kaskade_bench::experiments::{
-    enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_churn,
-    serve_compaction, serve_dag, serve_recovery, serve_scale, serve_sharded, serve_throughput,
-    serve_trace, table3,
+    enumeration_ablation, fig5, fig5_upper_bound_hit_rate, fig6, fig7, fig8, serve_adaptive,
+    serve_churn, serve_compaction, serve_dag, serve_recovery, serve_scale, serve_sharded,
+    serve_throughput, serve_trace, table3,
 };
 use kaskade_bench::setup::Env;
 use kaskade_bench::workload::QueryId;
@@ -53,6 +55,7 @@ fn main() {
         "serve" => print_serve(dataset),
         "scale" => print_scale(dataset, args.iter().any(|a| a == "--json")),
         "recovery" => print_recovery(args.iter().any(|a| a == "--json")),
+        "adaptive" => print_adaptive(args.iter().any(|a| a == "--json")),
         "all" => {
             table1();
             table2();
@@ -67,10 +70,11 @@ fn main() {
             print_serve(None);
             print_scale(None, false);
             print_recovery(false);
+            print_adaptive(false);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|serve|scale|recovery|all] [dataset] [--json]");
+            eprintln!("usage: report [table1|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|enum|serve|scale|recovery|adaptive|all] [dataset] [--json]");
             std::process::exit(2);
         }
     }
@@ -624,6 +628,99 @@ fn print_recovery(json: bool) {
     }
     if !ok {
         eprintln!("recovery gate FAILED: a row diverged or blew the 2x restart budget");
+        std::process::exit(1);
+    }
+}
+
+fn print_adaptive(json: bool) {
+    let rows = serve_adaptive(
+        Dataset::Prov,
+        SCALE,
+        SEED,
+        &[1, 4],
+        4,
+        Duration::from_millis(1_500),
+        Duration::from_millis(40),
+    );
+    let mut ok = true;
+    let gate = |r: &kaskade_bench::experiments::AdaptiveRow| {
+        let base = r.consistency_violations == 0 && r.rematerialized == 0 && r.final_consistent;
+        if r.policy == "adaptive" {
+            base && r.migrations >= 1 && r.views_created >= 1
+        } else {
+            base && r.migrations == 0
+        }
+    };
+    if json {
+        for r in &rows {
+            println!(
+                "{{\"policy\":\"{}\",\"shards\":{},\"reads\":{},\"reads_per_sec\":{:.0},\
+                 \"read_p50_ns\":{},\"ticks\":{},\"migrations\":{},\"views_created\":{},\
+                 \"views_dropped\":{},\"cache_hit_rate\":{:.3},\"rematerialized\":{},\
+                 \"consistency_violations\":{},\"final_consistent\":{}}}",
+                r.policy,
+                r.shards,
+                r.reads,
+                r.reads_per_sec,
+                r.p50.as_nanos(),
+                r.ticks,
+                r.migrations,
+                r.views_created,
+                r.views_dropped,
+                r.cache_hit_rate,
+                r.rematerialized,
+                r.consistency_violations,
+                r.final_consistent,
+            );
+            ok &= gate(r);
+        }
+    } else {
+        header("ADAPTIVE: self-driving view admission from an empty catalog (advisor off/on)");
+        println!("  prov — hotkey workload, 4 readers, writer every 2ms, advisor every 40ms");
+        println!(
+            "    {:>9} {:>7} {:>9} {:>10} {:>11} {:>6} {:>11} {:>8} {:>8} {:>9} {:>6} {:>6}",
+            "policy",
+            "shards",
+            "reads",
+            "reads/s",
+            "p50",
+            "ticks",
+            "migrations",
+            "created",
+            "dropped",
+            "hit rate",
+            "remat",
+            "ok"
+        );
+        for r in &rows {
+            println!(
+                "    {:>9} {:>7} {:>9} {:>10.0} {:>11} {:>6} {:>11} {:>8} {:>8} {:>8.0}% {:>6} {:>6}",
+                r.policy,
+                r.shards,
+                r.reads,
+                r.reads_per_sec,
+                format!("{:.1?}", r.p50),
+                r.ticks,
+                r.migrations,
+                r.views_created,
+                r.views_dropped,
+                100.0 * r.cache_hit_rate,
+                r.rematerialized,
+                if r.consistency_violations == 0 && r.final_consistent {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            );
+            ok &= gate(r);
+        }
+        println!("\n  (both runs start with an EMPTY catalog; every view the adaptive rows");
+        println!("   end with arrived through advisor-issued live DDL mid-serve. The gate:");
+        println!("   adaptive rows must migrate online with zero consistency violations");
+        println!("   and zero re-materializations; static rows must never migrate)");
+    }
+    if !ok {
+        eprintln!("adaptive gate FAILED: a run missed a migration, tore a read, or rebuilt");
         std::process::exit(1);
     }
 }

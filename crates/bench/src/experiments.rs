@@ -960,6 +960,142 @@ pub fn serve_recovery(seed: u64, steps: u64, cadences: &[u64]) -> Vec<RecoveryRo
         .collect()
 }
 
+/// One row of the adaptive-serving experiment: the same hotkey serving
+/// run, starting from an **empty** catalog, with the background view
+/// advisor off ("static") vs on ("adaptive").
+#[derive(Debug, Clone)]
+pub struct AdaptiveRow {
+    /// Admission policy driven ("static" or "adaptive").
+    pub policy: &'static str,
+    /// Shard count (1 = the unsharded [`Engine`]).
+    pub shards: usize,
+    /// Successful reads over the run.
+    pub reads: u64,
+    /// Successful reads per second of wall-clock time.
+    pub reads_per_sec: f64,
+    /// Median query latency.
+    pub p50: Duration,
+    /// Advisor ticks that ran during the serve window.
+    pub ticks: u64,
+    /// Live DDL migrations (creates + drops) the advisor issued.
+    pub migrations: u64,
+    /// Views created through live DDL over the run.
+    pub views_created: u64,
+    /// Views dropped through live DDL over the run.
+    pub views_dropped: u64,
+    /// Plan-cache hit rate over the run (DDL prunes the cache, so the
+    /// adaptive run pays a re-plan per migration).
+    pub cache_hit_rate: f64,
+    /// Full re-materialization fallbacks of surviving views (must be
+    /// 0: DDL never forces unrelated views to rebuild).
+    pub rematerialized: u64,
+    /// Per-read snapshot-consistency violations (must be 0: DDL epochs
+    /// publish as atomically as batch epochs).
+    pub consistency_violations: u64,
+    /// Whether the final snapshot passed the full consistency oracle.
+    pub final_consistent: bool,
+}
+
+/// Adaptive serving: the hotkey workload served from an **empty**
+/// catalog, once statically (the catalog never changes, every query
+/// pays the base-graph path forever) and once with the background
+/// advisor re-running enumerate+select over live workload stats and
+/// migrating the catalog through live DDL mid-serve. The adaptive run
+/// must migrate online — create at least one view the workload earns —
+/// with zero consistency violations and zero re-materializations of
+/// surviving views; the static run must not migrate at all. Those are
+/// the properties CI's `report adaptive` gate and the checked-in
+/// `BENCH_adaptive.json` pin down.
+pub fn serve_adaptive(
+    dataset: Dataset,
+    scale: usize,
+    seed: u64,
+    shard_counts: &[usize],
+    readers: usize,
+    duration: Duration,
+    advise_every: Duration,
+) -> Vec<AdaptiveRow> {
+    use kaskade_service::{Advisor, AdvisorConfig};
+    use std::sync::Arc;
+    let graph = dataset.generate(scale, seed);
+    // EMPTY catalog: every view in the adaptive run's final catalog got
+    // there through advisor-issued live DDL
+    let kaskade = Kaskade::new(graph, dataset.schema());
+    let base = kaskade.snapshot();
+    let workload =
+        vec![parse(kaskade_query::listings::LISTING_1).expect("serving workload parses")];
+    let cfg = DriveConfig {
+        readers,
+        duration,
+        read_pause: Duration::ZERO,
+        write_pause: Duration::from_millis(2),
+        max_writes: 0,
+        verify_consistency: true,
+        workload: Workload::HotKey,
+    };
+    let advisor_cfg = AdvisorConfig {
+        every: advise_every,
+        ..AdvisorConfig::default()
+    };
+    let finish = |advisor: Option<Advisor>| {
+        advisor.map_or((0, 0), |mut advisor| {
+            advisor.stop();
+            (advisor.ticks(), advisor.migrations())
+        })
+    };
+
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        for (policy, adaptive) in [("static", false), ("adaptive", true)] {
+            let tracer = Arc::new(Tracer::new(false));
+            let (outcome, ticks, migrations) = if shards <= 1 {
+                let engine = Arc::new(Engine::new(base.clone()));
+                let advisor = adaptive.then(|| {
+                    Advisor::start(
+                        Arc::clone(&engine),
+                        Arc::clone(&tracer),
+                        advisor_cfg.clone(),
+                    )
+                });
+                let outcome = drive(&*engine, &workload, &cfg);
+                let (ticks, migrations) = finish(advisor);
+                (outcome, ticks, migrations)
+            } else {
+                let engine = Arc::new(ShardedEngine::with_config(
+                    base.clone(),
+                    kaskade_service::ShardedConfig::hash(shards),
+                ));
+                let advisor = adaptive.then(|| {
+                    Advisor::start(
+                        Arc::clone(&engine),
+                        Arc::clone(&tracer),
+                        advisor_cfg.clone(),
+                    )
+                });
+                let outcome = drive(&*engine, &workload, &cfg);
+                let (ticks, migrations) = finish(advisor);
+                (outcome, ticks, migrations)
+            };
+            rows.push(AdaptiveRow {
+                policy,
+                shards,
+                reads: outcome.reads,
+                reads_per_sec: outcome.reads_per_sec(),
+                p50: outcome.report.p50,
+                ticks,
+                migrations,
+                views_created: outcome.report.views_created,
+                views_dropped: outcome.report.views_dropped,
+                cache_hit_rate: outcome.report.plan_cache_hit_rate(),
+                rematerialized: outcome.report.views_rematerialized,
+                consistency_violations: outcome.consistency_violations,
+                final_consistent: outcome.final_consistent,
+            });
+        }
+    }
+    rows
+}
+
 /// One row of the refresh-DAG experiment: the same scripted churn
 /// sequence applied to a multi-view composed catalog with the DAG's
 /// level-parallel fan-out disabled vs enabled.
@@ -1313,6 +1449,36 @@ mod tests {
             disabled.slot_capacity > enabled.slot_capacity,
             "without compaction the same churn must hold more slots: {rows:?}"
         );
+    }
+
+    #[test]
+    fn serve_adaptive_migrates_online() {
+        let rows = serve_adaptive(
+            Dataset::Prov,
+            1,
+            42,
+            &[1],
+            2,
+            Duration::from_millis(1_500),
+            Duration::from_millis(40),
+        );
+        assert_eq!(rows.len(), 2);
+        let (fixed, adaptive) = (&rows[0], &rows[1]);
+        assert_eq!(fixed.policy, "static");
+        assert_eq!(fixed.migrations, 0, "no advisor, no DDL: {fixed:?}");
+        assert_eq!(fixed.views_created, 0, "{fixed:?}");
+        assert_eq!(adaptive.policy, "adaptive");
+        assert!(adaptive.ticks >= 1, "advisor never ticked: {adaptive:?}");
+        assert!(
+            adaptive.migrations >= 1 && adaptive.views_created >= 1,
+            "advisor never migrated the catalog online: {adaptive:?}"
+        );
+        for r in &rows {
+            assert_eq!(r.consistency_violations, 0, "torn read under DDL: {r:?}");
+            assert_eq!(r.rematerialized, 0, "DDL forced a rebuild: {r:?}");
+            assert!(r.final_consistent, "{r:?}");
+            assert!(r.reads > 0 && r.reads_per_sec > 0.0, "{r:?}");
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod selection;
 mod snapshot;
 mod views;
 
-pub use catalog::{Catalog, MaterializedView, ViewId};
+pub use catalog::{Catalog, DdlOp, MaterializedView, ViewId};
 pub use enumerate::{enumerate_views, procedural, Candidate, Enumeration};
 pub use facts::{
     assert_pattern_facts, assert_query_facts, assert_schema_facts, base_database, database_for,

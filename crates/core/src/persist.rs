@@ -408,12 +408,22 @@ pub fn decode_view_def(d: &mut Dec<'_>) -> Result<ViewDef, CodecError> {
     })
 }
 
+/// Slot-aware: every catalog slot is written in order with a presence
+/// flag, tombstones included, so [`crate::ViewId`]s survive a
+/// checkpoint/restore round trip and a recovered WAL `DropView` replay
+/// still hits the slot it named.
 fn encode_catalog(c: &Catalog, out: &mut Enc) {
-    out.usize(c.len());
-    for view in c.iter() {
-        encode_view_def(&view.def, out);
-        view.graph.encode(out);
-        view.stats.encode(out);
+    out.usize(c.slot_count());
+    for slot in c.slots() {
+        match slot {
+            Some(view) => {
+                out.u8(1);
+                encode_view_def(&view.def, out);
+                view.graph.encode(out);
+                view.stats.encode(out);
+            }
+            None => out.u8(0),
+        }
     }
 }
 
@@ -421,10 +431,16 @@ fn decode_catalog(d: &mut Dec<'_>) -> Result<Catalog, CodecError> {
     let n = d.count()?;
     let mut c = Catalog::new();
     for _ in 0..n {
-        let def = decode_view_def(d)?;
-        let graph = Graph::decode(d)?;
-        let stats = GraphStats::decode(d)?;
-        c.add(MaterializedView { def, graph, stats });
+        match d.u8()? {
+            0 => c.push_slot(None),
+            1 => {
+                let def = decode_view_def(d)?;
+                let graph = Graph::decode(d)?;
+                let stats = GraphStats::decode(d)?;
+                c.push_slot(Some(MaterializedView { def, graph, stats }));
+            }
+            _ => return Err(CodecError::Corrupt("catalog slot flag out of range")),
+        }
     }
     Ok(c)
 }
@@ -587,6 +603,30 @@ mod tests {
             same_dense_graph(&orig.graph, &rest.graph).unwrap();
             assert_eq!(orig.stats, rest.stats);
         }
+    }
+
+    #[test]
+    fn catalog_tombstones_round_trip() {
+        let g = generate_provenance(&ProvenanceConfig::tiny(11).core_only());
+        let mut k = crate::Kaskade::new(g, Schema::provenance());
+        k.materialize_view(ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2)));
+        k.materialize_view(ViewDef::Summarizer(SummarizerDef::VertexInclusion {
+            keep: vec!["Job".into(), "File".into()],
+        }));
+        let snap = k
+            .snapshot()
+            .apply_ddl(&crate::DdlOp::DropView(crate::ViewId(0)));
+        assert_eq!(snap.catalog().slot_count(), 2);
+
+        let mut e = Enc::new();
+        snap.encode(&mut e);
+        let bytes = e.into_bytes();
+        let back = Snapshot::decode(&mut Dec::new(&bytes)).unwrap();
+        // the tombstoned slot survives, so ViewIds keep their meaning
+        assert_eq!(back.catalog().slot_count(), 2);
+        assert_eq!(back.catalog().len(), 1);
+        assert!(back.catalog().get_by_id(crate::ViewId(0)).is_none());
+        assert!(back.catalog().get_by_id(crate::ViewId(1)).is_some());
     }
 
     #[test]

@@ -778,7 +778,13 @@ pub struct RefreshReport {
 /// [`ViewDelta`]s) to the next level.
 #[derive(Debug, Clone)]
 pub struct RefreshDag {
+    /// True catalog slot ids, grouped into run-order levels. With
+    /// tombstoned slots present these are not contiguous.
     levels: Vec<Vec<ViewId>>,
+    /// Live slot ids in catalog order: the dense-index → slot-id map
+    /// the refresh loop works through.
+    ids: Vec<ViewId>,
+    /// Upstream edge per live view, as a dense index into `ids`.
     deps: Vec<Option<usize>>,
 }
 
@@ -787,14 +793,18 @@ impl RefreshDag {
     /// composed view depends on the catalog entry materializing its
     /// upstream connector, when present; every other view (and a
     /// composed view whose upstream is not cataloged) reads the base
-    /// graph and lands in level 0.
+    /// graph and lands in level 0. Levels carry true catalog slot ids,
+    /// so the DAG stays correct over a catalog with tombstoned slots.
     pub fn build(catalog: &Catalog) -> Self {
-        let defs: Vec<&ViewDef> = catalog.iter().map(|v| &v.def).collect();
-        let n = defs.len();
+        let entries: Vec<(ViewId, &ViewDef)> = catalog
+            .iter_with_ids()
+            .map(|(id, v)| (id, &v.def))
+            .collect();
+        let n = entries.len();
         let mut deps: Vec<Option<usize>> = vec![None; n];
-        for (i, def) in defs.iter().enumerate() {
+        for (i, (_, def)) in entries.iter().enumerate() {
             if let Some(up) = def.upstream_id() {
-                deps[i] = defs.iter().position(|d| d.id() == up);
+                deps[i] = entries.iter().position(|(_, d)| d.id() == up);
             }
         }
         // dependency chains are acyclic (a composed view's upstream is
@@ -812,9 +822,10 @@ impl RefreshDag {
         let max_level = level_of.iter().copied().max().unwrap_or(0);
         let mut levels: Vec<Vec<ViewId>> = vec![Vec::new(); if n == 0 { 0 } else { max_level + 1 }];
         for (i, &l) in level_of.iter().enumerate() {
-            levels[l].push(ViewId(i as u32));
+            levels[l].push(entries[i].0);
         }
-        RefreshDag { levels, deps }
+        let ids = entries.iter().map(|&(id, _)| id).collect();
+        RefreshDag { levels, ids, deps }
     }
 
     /// The parallelizable execution levels, in run order. Views within
@@ -825,21 +836,40 @@ impl RefreshDag {
 
     /// Refreshes every catalog view after `applied`, level by level —
     /// views within a level run concurrently when `opts.parallel` —
-    /// and returns the refreshed catalog (same view order, so
-    /// [`ViewId`]s stay stable) plus a [`RefreshReport`].
+    /// and returns the refreshed catalog (each view replaced in its
+    /// own slot, so [`ViewId`]s and tombstones stay stable) plus a
+    /// [`RefreshReport`].
+    ///
+    /// Must be called with the same catalog (same live slots) the DAG
+    /// was built from.
     pub fn refresh(
         &self,
         catalog: &Catalog,
         applied: &AppliedDelta,
         opts: &RefreshOptions<'_>,
     ) -> (Catalog, RefreshReport) {
-        let views: Vec<&MaterializedView> = catalog.iter().collect();
+        let views: Vec<&MaterializedView> = self
+            .ids
+            .iter()
+            .map(|&vid| {
+                catalog
+                    .get_by_id(vid)
+                    .expect("refresh over the catalog this DAG was built from")
+            })
+            .collect();
+        // dense position of each slot id, for level → results indexing
+        let dense_of = |vid: ViewId| -> usize {
+            self.ids
+                .iter()
+                .position(|&x| x == vid)
+                .expect("level ids come from this DAG")
+        };
         let mut results: Vec<Option<Refreshed>> = (0..views.len()).map(|_| None).collect();
         let mut timings: Vec<std::time::Duration> = vec![std::time::Duration::ZERO; views.len()];
         let mut level_of: Vec<usize> = vec![0; views.len()];
         for (l, level) in self.levels.iter().enumerate() {
             for &vid in level {
-                level_of[vid.index()] = l;
+                level_of[dense_of(vid)] = l;
             }
         }
         for level in &self.levels {
@@ -872,8 +902,9 @@ impl RefreshDag {
                 let done: &[Option<Refreshed>] = &results;
                 let slots: Vec<std::sync::Mutex<Option<(usize, Refreshed, std::time::Duration)>>> =
                     level.iter().map(|_| std::sync::Mutex::new(None)).collect();
+                let dense: Vec<usize> = level.iter().map(|&vid| dense_of(vid)).collect();
                 exec.run(level.len(), &|k| {
-                    let i = level[k].index();
+                    let i = dense[k];
                     let (r, dt) = run(i, done);
                     *slots[k].lock().unwrap_or_else(|e| e.into_inner()) = Some((i, r, dt));
                 });
@@ -889,7 +920,7 @@ impl RefreshDag {
                 level
                     .iter()
                     .map(|&vid| {
-                        let i = vid.index();
+                        let i = dense_of(vid);
                         let (r, dt) = run(i, &results);
                         (i, r, dt)
                     })
@@ -902,20 +933,25 @@ impl RefreshDag {
         }
         let mut rematerialized = 0;
         let mut per_view = Vec::with_capacity(views.len());
-        let mut catalog_new = Catalog::new();
+        // replace each view in its own slot so the refreshed catalog
+        // keeps the exact slot layout (ids and tombstones) of the input
+        let mut catalog_new = catalog.clone();
         for (i, (view, r)) in views.iter().zip(results).enumerate() {
             let r = r.expect("every view is in exactly one level");
             if r.rematerialized {
                 rematerialized += 1;
             }
             per_view.push(ViewRefreshStat {
-                view: ViewId(i as u32),
+                view: self.ids[i],
                 level: level_of[i],
                 duration: timings[i],
                 recomputed: r.delta.recomputed,
                 rematerialized: r.rematerialized,
             });
-            catalog_new.add(MaterializedView::new(view.def.clone(), r.graph));
+            catalog_new.replace(
+                self.ids[i],
+                MaterializedView::new(view.def.clone(), r.graph),
+            );
         }
         (
             catalog_new,

@@ -17,7 +17,7 @@
 use kaskade_graph::{Graph, GraphStats, IdRemap, Schema};
 use kaskade_query::{execute as execute_query, Query, Table};
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, DdlOp, MaterializedView};
 use crate::maintain::{self, GraphDelta};
 use crate::refresh::{RefreshDag, RefreshOptions, RefreshReport};
 use crate::rewrite::rewrite_over_connector;
@@ -214,6 +214,32 @@ impl Snapshot {
         )
     }
 
+    /// Applies a catalog-mutation operation (live DDL) and returns the
+    /// successor snapshot, leaving `self` untouched. `CreateView`
+    /// materializes the definition over this snapshot's base graph and
+    /// registers it (replacing in place if the same definition id is
+    /// already live); `DropView` tombstones the named slot — a no-op
+    /// when the slot is already dead, so replaying DDL is idempotent.
+    /// Base graph, schema, and statistics carry over verbatim.
+    pub fn apply_ddl(&self, op: &DdlOp) -> Snapshot {
+        let mut catalog = self.catalog.clone();
+        match op {
+            DdlOp::CreateView(def) => {
+                let graph = crate::materialize::materialize(&self.graph, def);
+                catalog.add(MaterializedView::new(def.clone(), graph));
+            }
+            DdlOp::DropView(id) => {
+                catalog.drop_view(*id);
+            }
+        }
+        Snapshot {
+            graph: self.graph.clone(),
+            schema: self.schema.clone(),
+            stats: self.stats.clone(),
+            catalog,
+        }
+    }
+
     /// Compacts the base graph — dead vertex/edge slots dropped, live
     /// ids renumbered densely — returning the successor snapshot and
     /// the old→new [`IdRemap`]; `self` is untouched.
@@ -388,6 +414,59 @@ mod tests {
             r
         };
         assert_eq!(rows(&s.execute(&q).unwrap()), rows(&c.execute(&q).unwrap()));
+    }
+
+    #[test]
+    fn apply_ddl_creates_drops_and_keeps_slots() {
+        let s = snapshot(16);
+        let def2 = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2));
+        let def4 = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 4));
+        let s = s
+            .apply_ddl(&crate::DdlOp::CreateView(def2.clone()))
+            .apply_ddl(&crate::DdlOp::CreateView(def4.clone()));
+        assert_eq!(s.catalog.len(), 2);
+        // the created view equals an offline materialization
+        let fresh = crate::materialize(&s.graph, &def2);
+        assert_eq!(
+            s.catalog.get(&def2.id()).unwrap().graph.edge_count(),
+            fresh.edge_count()
+        );
+        // drop is functional (original untouched) and tombstones the slot
+        let dropped = s.apply_ddl(&crate::DdlOp::DropView(crate::ViewId(0)));
+        assert_eq!(s.catalog.len(), 2);
+        assert_eq!(dropped.catalog.len(), 1);
+        assert!(dropped.catalog.get_by_id(crate::ViewId(0)).is_none());
+        assert_eq!(
+            dropped.catalog.lookup(&def4.id()).unwrap().0,
+            crate::ViewId(1)
+        );
+        // dropping a dead slot is an idempotent no-op (WAL replay safety)
+        let again = dropped.apply_ddl(&crate::DdlOp::DropView(crate::ViewId(0)));
+        assert_eq!(again.catalog.len(), 1);
+    }
+
+    #[test]
+    fn with_delta_refreshes_over_tombstoned_catalog() {
+        let s = snapshot(17)
+            .apply_ddl(&crate::DdlOp::CreateView(ViewDef::Connector(
+                ConnectorDef::k_hop("Job", "Job", 2),
+            )))
+            .apply_ddl(&crate::DdlOp::CreateView(ViewDef::Connector(
+                ConnectorDef::k_hop("Job", "Job", 4),
+            )))
+            .apply_ddl(&crate::DdlOp::DropView(crate::ViewId(0)));
+        let mut d = GraphDelta::new();
+        let j = d.add_vertex("Job", vec![]);
+        let f = s.graph.vertices_of_type("File").next().unwrap();
+        d.add_edge(crate::VRef::Existing(f), j, "IS_READ_BY", vec![]);
+        let next = s.with_delta(&d);
+        // the tombstone survives refresh and the survivor keeps its slot
+        assert_eq!(next.catalog.slot_count(), 2);
+        assert!(next.catalog.get_by_id(crate::ViewId(0)).is_none());
+        let view = next.catalog.get_by_id(crate::ViewId(1)).unwrap();
+        // refreshed view equals a scratch materialization
+        let fresh = crate::materialize(&next.graph, &view.def);
+        assert_eq!(view.graph.edge_count(), fresh.edge_count());
     }
 
     #[test]

@@ -132,6 +132,14 @@ pub enum Expr {
     Literal(Value),
     /// An aggregate over an expression; `None` is `COUNT(*)`.
     Agg(AggFunc, Option<Box<Expr>>),
+    /// `id(var)` — the **stable external id** of the vertex bound to a
+    /// pattern variable (or inner-query alias). External ids are minted
+    /// by clients and survive slot compaction, so `id(v) = <ext>` names
+    /// one vertex forever. The expression is not evaluable by the plain
+    /// executor: the serving layer resolves it through its external-id
+    /// table and turns the equality into a pinned single-slot anchor
+    /// scan (see [`Query::split_extid_anchors`]).
+    VertexIdOf(String),
 }
 
 impl Expr {
@@ -218,6 +226,78 @@ impl Query {
         }
     }
 
+    /// Splits `id(v) = <ext>` equality conjuncts out of the query.
+    ///
+    /// Scans the `WHERE` clause of the `SELECT` that sits **directly on
+    /// the `MATCH` source** (the only level whose columns are pattern
+    /// bindings) for conjuncts of the form `id(name) = <int literal>`
+    /// (either operand order), where `name` is a `RETURN` alias or a
+    /// pattern variable. Each such conjunct names exactly one vertex by
+    /// its stable external id, so an engine with an external-id table
+    /// can replace the post-hoc filter with a pinned single-slot anchor
+    /// scan ([`crate::PatternPlan::new_pinned`]).
+    ///
+    /// Returns `None` when the query has no such conjunct; otherwise
+    /// returns the query with those conjuncts removed plus the
+    /// `(pattern variable, external id)` pairs. Conjuncts using `id()`
+    /// with any other shape (non-equality, unknown variable, non-integer
+    /// operand) are left in place and will fail at evaluation time.
+    pub fn split_extid_anchors(&self) -> Option<(Query, Vec<(String, u64)>)> {
+        let Query::Select(_) = self else { return None };
+        let mut out = self.clone();
+        // walk to the select directly over the MATCH source
+        let Query::Select(s) = &mut out else {
+            unreachable!()
+        };
+        let mut sel: &mut SelectStmt = s;
+        let pattern = loop {
+            match &mut sel.from {
+                Source::Match(p) => break p.clone(),
+                Source::Subquery(inner) => sel = inner,
+            }
+        };
+        let var_of = |name: &str| -> Option<String> {
+            pattern
+                .returns
+                .iter()
+                .find(|(_, alias)| alias == name)
+                .map(|(var, _)| var.clone())
+                .or_else(|| pattern.node(name).map(|n| n.var.clone()))
+        };
+        let mut anchors = Vec::new();
+        if let Some(pred) = &mut sel.where_clause {
+            pred.conjuncts.retain(|(l, op, r)| {
+                if *op != CmpOp::Eq {
+                    return true;
+                }
+                let (name, ext) = match (l, r) {
+                    (Expr::VertexIdOf(v), Expr::Literal(Value::Int(e)))
+                    | (Expr::Literal(Value::Int(e)), Expr::VertexIdOf(v))
+                        if *e >= 0 =>
+                    {
+                        (v, *e as u64)
+                    }
+                    _ => return true,
+                };
+                match var_of(name) {
+                    Some(var) => {
+                        anchors.push((var, ext));
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if pred.conjuncts.is_empty() {
+                sel.where_clause = None;
+            }
+        }
+        if anchors.is_empty() {
+            None
+        } else {
+            Some((out, anchors))
+        }
+    }
+
     /// Mutable access to the innermost graph pattern.
     pub fn pattern_mut(&mut self) -> Option<&mut GraphPattern> {
         match self {
@@ -291,6 +371,55 @@ mod tests {
             limit: None,
         });
         assert_eq!(outer.pattern(), Some(&p));
+    }
+
+    #[test]
+    fn split_extid_anchors_strips_resolvable_conjuncts() {
+        let q = crate::parse(
+            "SELECT A FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a AS A, f AS F) \
+             WHERE id(A) = 42 AND 7 = id(f) AND A.CPU > 3",
+        )
+        .unwrap();
+        let (stripped, anchors) = q.split_extid_anchors().unwrap();
+        // alias `A` maps to pattern var `a`; `f` is a direct var name
+        assert_eq!(
+            anchors,
+            vec![("a".to_string(), 42u64), ("f".to_string(), 7u64)]
+        );
+        let Query::Select(s) = &stripped else {
+            panic!()
+        };
+        let pred = s.where_clause.as_ref().unwrap();
+        assert_eq!(pred.conjuncts.len(), 1, "only the CPU filter remains");
+        // stripping the only conjunct clears the WHERE clause entirely
+        let q =
+            crate::parse("SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE id(A) = 1").unwrap();
+        let (stripped, _) = q.split_extid_anchors().unwrap();
+        let Query::Select(s) = &stripped else {
+            panic!()
+        };
+        assert!(s.where_clause.is_none());
+        // non-equality, unknown names, and anchor-free queries pass through
+        assert!(
+            crate::parse("SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE id(A) > 1")
+                .unwrap()
+                .split_extid_anchors()
+                .is_none()
+        );
+        assert!(
+            crate::parse("SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE id(zz) = 1")
+                .unwrap()
+                .split_extid_anchors()
+                .is_none()
+        );
+        assert!(crate::parse("SELECT A FROM (MATCH (a:Job) RETURN a AS A)")
+            .unwrap()
+            .split_extid_anchors()
+            .is_none());
+        assert!(crate::parse("MATCH (a:Job) RETURN a")
+            .unwrap()
+            .split_extid_anchors()
+            .is_none());
     }
 
     #[test]

@@ -331,6 +331,12 @@ fn eval_scalar(g: &Graph, columns: &[String], row: &[Datum], e: &Expr) -> Result
             }
         }
         Expr::Agg(_, _) => Err(ExecError::MisplacedAggregate),
+        // graphs store slot ids, not external ids; an `id()` that was
+        // not resolved into a pinned anchor by the serving layer (see
+        // `Query::split_extid_anchors`) cannot be answered here
+        Expr::VertexIdOf(_) => Err(ExecError::Unsupported(
+            "id() requires external-id resolution by the serving engine".into(),
+        )),
     }
 }
 

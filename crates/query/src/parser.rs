@@ -430,6 +430,14 @@ impl P {
                     self.expect(Tok::RParen, "`)` closing aggregate")?;
                     return Ok(Expr::Agg(agg, inner));
                 }
+                // `id(var)`: the stable external id of a bound vertex
+                if name.eq_ignore_ascii_case("ID") && self.peek2() == Some(&Tok::LParen) {
+                    self.bump(); // id
+                    self.bump(); // (
+                    let var = self.ident()?;
+                    self.expect(Tok::RParen, "`)` closing id()")?;
+                    return Ok(Expr::VertexIdOf(var));
+                }
                 let name = self.ident()?;
                 if self.peek() == Some(&Tok::Dot) {
                     self.bump();
@@ -562,6 +570,7 @@ fn default_alias(e: &Expr) -> String {
         Expr::Literal(v) => v.to_string(),
         Expr::Agg(f, Some(inner)) => format!("{}({})", f.name(), default_alias(inner)),
         Expr::Agg(f, None) => format!("{}(*)", f.name()),
+        Expr::VertexIdOf(v) => format!("id({v})"),
     }
 }
 
@@ -729,6 +738,25 @@ mod tests {
         assert!(!s.order_by[1].1, "second key defaults to ASC");
         assert_eq!(s.limit, Some(3));
         assert!(parse("SELECT A FROM (MATCH (a) RETURN a AS A) LIMIT x").is_err());
+    }
+
+    #[test]
+    fn id_of_vertex_expression() {
+        let q = parse("SELECT A FROM (MATCH (a:Job) RETURN a AS A) WHERE id(A) = 42").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        let (l, op, r) = &s.where_clause.unwrap().conjuncts[0];
+        assert_eq!(*l, Expr::VertexIdOf("A".into()));
+        assert_eq!(*op, CmpOp::Eq);
+        assert_eq!(*r, Expr::Literal(Value::Int(42)));
+        // `id` without a call stays an ordinary column reference
+        let q = parse("SELECT id FROM (MATCH (a:Job) RETURN a AS id)").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.items[0].0, Expr::Column("id".into()));
+        // default alias
+        let q = parse("SELECT id(A) FROM (MATCH (a:Job) RETURN a AS A)").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.items[0].1, "id(A)");
+        assert!(parse("SELECT A FROM (MATCH (a) RETURN a AS A) WHERE id() = 1").is_err());
     }
 
     #[test]

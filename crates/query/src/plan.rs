@@ -76,12 +76,29 @@ pub struct PatternPlan<'p> {
     /// Variable name per slot.
     vars: Vec<String>,
     steps: Vec<Step>,
+    /// Per-slot pinned vertex (external-id anchors): a pinned slot may
+    /// bind only that exact vertex, and its scan visits one slot.
+    pins: Vec<Option<VertexId>>,
 }
 
 impl<'p> PatternPlan<'p> {
     /// Greedily plans `pattern` against `g`'s statistics (label
     /// cardinalities).
     pub fn new(g: &Graph, pattern: &'p GraphPattern) -> Result<Self, ExecError> {
+        Self::new_pinned(g, pattern, &[])
+    }
+
+    /// Like [`PatternPlan::new`], but with some pattern variables
+    /// **pinned** to concrete vertices (resolved `id(v) = <ext>`
+    /// anchors). A pinned variable has cardinality 1, so the planner
+    /// anchors the match on it: the plan's first step degenerates from
+    /// a label scan into a single-slot probe, and every other binding
+    /// of that variable (via expansion) must agree with the pin.
+    pub fn new_pinned(
+        g: &Graph,
+        pattern: &'p GraphPattern,
+        pinned: &[(String, VertexId)],
+    ) -> Result<Self, ExecError> {
         let vars: Vec<String> = pattern.nodes.iter().map(|n| n.var.clone()).collect();
         let slot_of = |v: &str| -> Result<usize, ExecError> {
             vars.iter()
@@ -96,12 +113,22 @@ impl<'p> PatternPlan<'p> {
             slot_of(&e.dst)?;
         }
 
-        // label cardinalities for anchor choice
+        let mut pins: Vec<Option<VertexId>> = vec![None; pattern.nodes.len()];
+        for (var, v) in pinned {
+            pins[slot_of(var)?] = Some(*v);
+        }
+
+        // label cardinalities for anchor choice; a pinned slot is the
+        // most selective start possible (exactly one candidate)
         let mut label_count = vec![usize::MAX; pattern.nodes.len()];
         for (i, n) in pattern.nodes.iter().enumerate() {
-            label_count[i] = match &n.label {
-                Some(l) => g.vertices_of_type(l).count(),
-                None => g.vertex_count(),
+            label_count[i] = if pins[i].is_some() {
+                0
+            } else {
+                match &n.label {
+                    Some(l) => g.vertices_of_type(l).count(),
+                    None => g.vertex_count(),
+                }
             };
         }
 
@@ -169,6 +196,7 @@ impl<'p> PatternPlan<'p> {
             pattern,
             vars,
             steps,
+            pins,
         })
     }
 
@@ -274,6 +302,11 @@ impl MatchCtx<'_, '_> {
         }
     }
 
+    /// A pinned slot may only bind its pinned vertex.
+    fn pin_ok(&self, slot: usize, v: VertexId) -> bool {
+        self.plan.pins[slot].is_none_or(|p| p == v)
+    }
+
     fn etype_ok(&self, ei: usize, e: kaskade_graph::EdgeId) -> bool {
         match &self.etype_syms[ei] {
             None => true,
@@ -300,7 +333,13 @@ impl MatchCtx<'_, '_> {
                 // disconnected components run unrestricted on every
                 // shard and DISTINCT projection absorbs the overlap
                 let anchored = step_idx == 0;
-                for v in self.g.vertices() {
+                // a pinned slot probes exactly one vertex slot instead
+                // of scanning (the external-id anchored fast path)
+                let candidates: Box<dyn Iterator<Item = VertexId>> = match self.plan.pins[slot] {
+                    Some(v) => Box::new(std::iter::once(v).filter(|&v| self.g.is_vertex_live(v))),
+                    None => Box::new(self.g.vertices()),
+                };
+                for v in candidates {
                     if anchored && !(self.anchor)(v) {
                         continue;
                     }
@@ -324,7 +363,10 @@ impl MatchCtx<'_, '_> {
                         // single hop: enumerate matching edges
                         if *forward {
                             for (eid, w) in self.g.out_edges(from) {
-                                if self.etype_ok(*edge, eid) && self.label_ok(to_slot, w) {
+                                if self.etype_ok(*edge, eid)
+                                    && self.label_ok(to_slot, w)
+                                    && self.pin_ok(to_slot, w)
+                                {
                                     binding[to_slot] = Some(w);
                                     self.run(step_idx + 1, binding, emit);
                                     binding[to_slot] = None;
@@ -332,7 +374,10 @@ impl MatchCtx<'_, '_> {
                             }
                         } else {
                             for (eid, w) in self.g.in_edges(from) {
-                                if self.etype_ok(*edge, eid) && self.label_ok(to_slot, w) {
+                                if self.etype_ok(*edge, eid)
+                                    && self.label_ok(to_slot, w)
+                                    && self.pin_ok(to_slot, w)
+                                {
                                     binding[to_slot] = Some(w);
                                     self.run(step_idx + 1, binding, emit);
                                     binding[to_slot] = None;
@@ -344,7 +389,7 @@ impl MatchCtx<'_, '_> {
                         let reach =
                             var_reach(self.g, from, lo, hi, self.etype_syms[*edge], *forward);
                         for w in reach {
-                            if self.label_ok(to_slot, w) {
+                            if self.label_ok(to_slot, w) && self.pin_ok(to_slot, w) {
                                 binding[to_slot] = Some(w);
                                 self.run(step_idx + 1, binding, emit);
                                 binding[to_slot] = None;
@@ -589,6 +634,34 @@ mod tests {
                 assert_eq!(merged, full, "{src} over {shards} shards");
             }
         }
+    }
+
+    #[test]
+    fn pinned_variable_becomes_a_single_slot_anchor_probe() {
+        let g = lineage();
+        let q = parse("MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a, f").unwrap();
+        let p = q.pattern().unwrap().clone();
+        // pin the job: the plan anchors on it (single-slot scan first)
+        let plan = PatternPlan::new_pinned(&g, &p, &[("a".into(), VertexId(2))]).unwrap();
+        assert_eq!(plan.steps[0], Step::Scan(0));
+        let (_, rows) = plan.execute(&g);
+        assert_eq!(rows, vec![vec![VertexId(2), VertexId(3)]]);
+        // pinning the non-anchor side works through expansion too
+        let plan = PatternPlan::new_pinned(&g, &p, &[("f".into(), VertexId(5))]).unwrap();
+        let (_, rows) = plan.execute(&g);
+        assert_eq!(rows, vec![vec![VertexId(0), VertexId(5)]]);
+        // a pin that contradicts the slot's label matches nothing
+        let plan = PatternPlan::new_pinned(&g, &p, &[("a".into(), VertexId(1))]).unwrap();
+        assert!(plan.execute(&g).1.is_empty());
+        // a pin on a tombstoned vertex matches nothing
+        let dead = lineage().remove_vertices([VertexId(2)]);
+        let plan = PatternPlan::new_pinned(&dead, &p, &[("a".into(), VertexId(2))]).unwrap();
+        assert!(plan.execute(&dead).1.is_empty());
+        // pinning an unknown variable is a planning error
+        assert!(matches!(
+            PatternPlan::new_pinned(&g, &p, &[("zz".into(), VertexId(0))]),
+            Err(ExecError::UnknownVariable(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! External-id anchored point queries.
+//!
+//! A query whose `WHERE` clause pins a pattern variable with
+//! `id(v) = <ext>` names **one vertex forever**: external ids are
+//! client-minted `u64` keys that survive slot compaction (the
+//! [`ExternalIdTable`] follows every remap) and restarts (the table is
+//! checkpointed). The serving layer exploits that here: instead of
+//! scanning a label's whole vertex population and filtering after the
+//! fact, it resolves the external id against the **same epoch
+//! snapshot** the query runs on and compiles the pattern with the
+//! variable pinned to the resolved slot
+//! ([`PatternPlan::new_pinned`]) — the anchor scan degenerates to a
+//! single-slot probe.
+//!
+//! Resolution is snapshot-consistent by construction: the engine
+//! publishes the external-id table alongside each epoch's state (see
+//! [`crate::EpochSnapshot::extids`]), so a query never resolves an id
+//! against a newer table than the graph it executes on — across
+//! compactions, the pinned slot is always the right one for *this*
+//! epoch.
+
+use kaskade_core::KaskadeError;
+use kaskade_graph::{ExternalIdTable, Graph, VertexId};
+use kaskade_query::{execute_with_pattern, PatternPlan, Query, Table};
+
+/// Executes a query whose `id(v) = <ext>` conjuncts were already split
+/// off by [`Query::split_extid_anchors`]: `stripped` is the query with
+/// those conjuncts removed, `anchors` the `(pattern variable, external
+/// id)` pairs. Each anchor resolves through `extids` into a pinned
+/// single-slot scan; an external id that is unmapped (never minted, or
+/// retired with its vertex), a pin on a dead slot, or two anchors that
+/// pin the same variable to different vertices make the predicate
+/// unsatisfiable — the result is an empty table with the query's
+/// columns, not an error.
+pub fn execute_anchored(
+    graph: &Graph,
+    extids: &ExternalIdTable,
+    stripped: &Query,
+    anchors: &[(String, u64)],
+) -> Result<Table, KaskadeError> {
+    let mut pins: Vec<(String, VertexId)> = Vec::with_capacity(anchors.len());
+    let mut unsatisfiable = false;
+    for (var, ext) in anchors {
+        match extids.get(*ext) {
+            Some(v) if graph.is_vertex_live(v) => {
+                match pins.iter().find(|(pv, _)| pv == var) {
+                    // two anchors on one variable must agree
+                    Some((_, prev)) if *prev != v => unsatisfiable = true,
+                    Some(_) => {}
+                    None => pins.push((var.clone(), v)),
+                }
+            }
+            _ => unsatisfiable = true,
+        }
+    }
+    execute_with_pattern(graph, stripped, &|p| {
+        if unsatisfiable {
+            let aliases = p.returns.iter().map(|(_, a)| a.clone()).collect();
+            return Ok((aliases, Vec::new()));
+        }
+        let plan = PatternPlan::new_pinned(graph, p, &pins)?;
+        Ok(plan.execute(graph))
+    })
+    .map_err(KaskadeError::Execution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaskade_graph::{GraphBuilder, Value};
+    use kaskade_query::parse;
+
+    /// j0 -> f0 -> j1, j0 -> f1 -> j2; jobs carry CPU props.
+    fn lineage() -> Graph {
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        let f1 = b.add_vertex("File");
+        let j2 = b.add_vertex("Job");
+        b.set_vertex_prop(j0, "CPU", Value::Int(10));
+        b.set_vertex_prop(j1, "CPU", Value::Int(20));
+        b.set_vertex_prop(j2, "CPU", Value::Int(30));
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        b.add_edge(j0, f1, "WRITES_TO");
+        b.add_edge(f1, j2, "IS_READ_BY");
+        b.finish()
+    }
+
+    fn extids() -> ExternalIdTable {
+        let mut t = ExternalIdTable::new();
+        t.insert(100, VertexId(0)).unwrap();
+        t.insert(102, VertexId(2)).unwrap();
+        t.insert(104, VertexId(4)).unwrap();
+        t
+    }
+
+    const POINT: &str = "SELECT B.CPU FROM (
+        MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job)
+        RETURN a AS A, b AS B) WHERE id(A) = 100";
+
+    #[test]
+    fn anchored_query_answers_from_a_single_slot() {
+        let g = lineage();
+        let t = extids();
+        let q = parse(POINT).unwrap();
+        let (stripped, anchors) = q.split_extid_anchors().unwrap();
+        let table = execute_anchored(&g, &t, &stripped, &anchors).unwrap();
+        let mut cpus: Vec<i64> = table
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                kaskade_query::Datum::Val(Value::Int(v)) => *v,
+                other => panic!("expected int, got {other:?}"),
+            })
+            .collect();
+        cpus.sort();
+        assert_eq!(cpus, vec![20, 30], "both downstream jobs of j0");
+    }
+
+    #[test]
+    fn unmapped_or_dead_external_ids_yield_empty_not_error() {
+        let g = lineage();
+        let t = extids();
+        let q = parse(&POINT.replace("= 100", "= 999")).unwrap();
+        let (stripped, anchors) = q.split_extid_anchors().unwrap();
+        let table = execute_anchored(&g, &t, &stripped, &anchors).unwrap();
+        assert_eq!(table.columns, vec!["B.CPU".to_string()]);
+        assert!(table.rows.is_empty());
+        // mapped id, but the vertex was retracted meanwhile
+        let dead = g.remove_vertices([VertexId(0)]);
+        let q = parse(POINT).unwrap();
+        let (stripped, anchors) = q.split_extid_anchors().unwrap();
+        let table = execute_anchored(&dead, &t, &stripped, &anchors).unwrap();
+        assert!(table.rows.is_empty());
+    }
+
+    #[test]
+    fn conflicting_anchors_on_one_variable_are_unsatisfiable() {
+        let g = lineage();
+        let t = extids();
+        let q = parse(&POINT.replace("id(A) = 100", "id(A) = 100 AND id(A) = 102")).unwrap();
+        let (stripped, anchors) = q.split_extid_anchors().unwrap();
+        assert_eq!(anchors.len(), 2);
+        let table = execute_anchored(&g, &t, &stripped, &anchors).unwrap();
+        assert!(table.rows.is_empty());
+        // ... while two agreeing anchors are just one pin
+        let q = parse(&POINT.replace("id(A) = 100", "id(A) = 100 AND id(A) = 100")).unwrap();
+        let (stripped, anchors) = q.split_extid_anchors().unwrap();
+        let table = execute_anchored(&g, &t, &stripped, &anchors).unwrap();
+        assert_eq!(table.rows.len(), 2);
+    }
+
+    #[test]
+    fn remaining_predicates_still_filter_after_anchoring() {
+        let g = lineage();
+        let t = extids();
+        let q = parse(&POINT.replace("id(A) = 100", "id(A) = 100 AND B.CPU > 25")).unwrap();
+        let (stripped, anchors) = q.split_extid_anchors().unwrap();
+        let table = execute_anchored(&g, &t, &stripped, &anchors).unwrap();
+        assert_eq!(table.rows.len(), 1, "only j2 (CPU 30) passes the filter");
+    }
+}

@@ -16,11 +16,11 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use kaskade_core::{materialize, GraphDelta, KaskadeError, Snapshot};
+use kaskade_core::{materialize, DdlOp, GraphDelta, KaskadeError, Snapshot};
 use kaskade_query::{Query, Table};
 
 use crate::engine::{Engine, SubmitError, SubmitOpts};
-use crate::metrics::MetricsReport;
+use crate::metrics::{Metrics, MetricsReport};
 use crate::shard::ShardedEngine;
 use crate::stream::{delta_for, Workload};
 
@@ -60,6 +60,18 @@ pub trait ServingBackend: Sync {
     /// Waits until every submitted delta is visible to readers.
     fn flush_writes(&self) -> u64;
 
+    /// Queues a catalog [`DdlOp`] (create/drop view) to publish as its
+    /// own epoch — WAL-logged, plan cache invalidated (see
+    /// [`Engine::submit_ddl`]). Returns `false` if the backend is
+    /// shutting down.
+    fn submit_ddl(&self, op: DdlOp) -> bool;
+
+    /// The backend's live metrics block. The
+    /// [`Advisor`](crate::advisor::Advisor) reads its workload sensors
+    /// (per-view benefit counters, the miss log) here and records its
+    /// migrations through it.
+    fn sensor_metrics(&self) -> &Metrics;
+
     /// The backend's aggregate metrics.
     fn metrics_report(&self) -> MetricsReport;
 }
@@ -90,6 +102,14 @@ impl ServingBackend for Engine {
 
     fn flush_writes(&self) -> u64 {
         self.flush()
+    }
+
+    fn submit_ddl(&self, op: DdlOp) -> bool {
+        self.submit_ddl(op)
+    }
+
+    fn sensor_metrics(&self) -> &Metrics {
+        self.metrics_handle()
     }
 
     fn metrics_report(&self) -> MetricsReport {
@@ -123,6 +143,14 @@ impl ServingBackend for ShardedEngine {
 
     fn flush_writes(&self) -> u64 {
         self.flush()
+    }
+
+    fn submit_ddl(&self, op: DdlOp) -> bool {
+        self.submit_ddl(op)
+    }
+
+    fn sensor_metrics(&self) -> &Metrics {
+        self.metrics_handle()
     }
 
     fn metrics_report(&self) -> MetricsReport {

@@ -20,7 +20,9 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use kaskade_core::{DeltaError, GraphDelta, Kaskade, KaskadeError, RefreshOptions, Snapshot};
+use kaskade_core::{
+    DdlOp, DeltaError, GraphDelta, Kaskade, KaskadeError, RefreshOptions, Snapshot,
+};
 use kaskade_graph::{ExternalIdTable, IdRemap, VertexId};
 use kaskade_query::{Query, Table};
 
@@ -230,6 +232,11 @@ pub(crate) enum Msg {
     /// batch boundary: deltas queued before it are in the old id
     /// space and apply first.
     Compact(Arc<IdRemap>),
+    /// Apply a catalog mutation (create/drop a materialized view) and
+    /// publish it as its own epoch. A batch boundary like `Compact`:
+    /// deltas queued before it refresh against the old catalog first,
+    /// so "submit delta, then DDL" observes sequential semantics.
+    Ddl(DdlOp),
     Flush(mpsc::Sender<u64>),
 }
 
@@ -288,6 +295,11 @@ pub(crate) struct Batch {
     /// in the pre-compaction id space and must apply first; the
     /// caller applies the remap after publishing the batch.
     pub compact: Option<Arc<IdRemap>>,
+    /// A catalog mutation encountered while draining. Also a batch
+    /// boundary: deltas queued before it (this batch) refresh against
+    /// the pre-DDL catalog, then the caller applies the DDL and
+    /// publishes it as its own epoch.
+    pub ddl: Option<DdlOp>,
     /// Whether the queue is still open (false = shutdown signalled).
     pub open: bool,
 }
@@ -313,6 +325,7 @@ pub(crate) fn collect_batch(
         oldest: None,
         acks: Vec::new(),
         compact: None,
+        ddl: None,
         open: true,
     };
     let mut pending = match rx.recv() {
@@ -373,6 +386,12 @@ pub(crate) fn collect_batch(
                 // batch boundary: everything drained so far predates
                 // the compaction; later messages wait for next loop
                 batch.compact = Some(remap);
+                break;
+            }
+            Some(Msg::Ddl(op)) => {
+                // batch boundary, same as Compact: deltas drained so
+                // far refresh against the pre-DDL catalog first
+                batch.ddl = Some(op);
                 break;
             }
             Some(Msg::Flush(ack)) => batch.acks.push(ack),
@@ -550,8 +569,9 @@ impl Engine {
             0 => WorkerPool::with_default_threads(),
             t => WorkerPool::new(t),
         });
+        let extids = Arc::new(extids);
         let shared = Arc::new(Shared {
-            cell: Arc::new(SnapshotCell::with_epoch(state, epoch)),
+            cell: Arc::new(SnapshotCell::with_epoch(state, epoch, Arc::clone(&extids))),
             cache: PlanCache::new(),
             metrics: Metrics::new(),
             queued: AtomicU64::new(0),
@@ -652,6 +672,19 @@ impl Engine {
         self.tx.send(Msg::Compact(remap)).is_ok()
     }
 
+    /// Queues a live catalog mutation — create or drop a materialized
+    /// view — on the write path. The DDL is ordered with respect to
+    /// deltas (everything submitted before it applies first), publishes
+    /// as its own epoch with the refresh DAG rebuilt, logs a `KIND_DDL`
+    /// WAL record when durability is on, and invalidates the plan
+    /// cache: no plan carries forward across a catalog change. Returns
+    /// `false` when the engine is shutting down. Blocks while the queue
+    /// is full rather than failing — DDL is rare and must not be shed
+    /// under write load.
+    pub fn submit_ddl(&self, op: DdlOp) -> bool {
+        self.tx.send(Msg::Ddl(op)).is_ok()
+    }
+
     /// Waits until every previously submitted delta is applied and
     /// published; returns the epoch that made them visible. Unlike
     /// [`Engine::submit`], a full queue makes `flush` *wait* for room
@@ -737,6 +770,33 @@ impl Drop for Engine {
 /// set, the added cost is two relaxed atomic loads.
 fn execute_at(shared: &Shared, snap: &EpochSnapshot, query: &Query) -> Result<Table, KaskadeError> {
     let tracer = &shared.tracer;
+    // `id(v) = <ext>` point lookups: resolve through the snapshot's
+    // external-id table into a pinned single-slot anchor scan. The pin
+    // is already the cheapest plan, so this path skips the view
+    // rewriter and the plan cache (per-ext entries would only pollute
+    // the per-epoch memo) — and it never feeds the advisor's miss log,
+    // which would otherwise chase shapes no view can improve.
+    if let Some((stripped, anchors)) = query.split_extid_anchors() {
+        let start = Instant::now();
+        let mut root = tracer.span(Stage::Query);
+        root.set_epoch(snap.epoch);
+        root.set_detail("anchored");
+        return match crate::anchor::execute_anchored(
+            snap.state.graph(),
+            &snap.extids,
+            &stripped,
+            &anchors,
+        ) {
+            Ok(table) => {
+                shared.metrics.record_query(start.elapsed());
+                Ok(table)
+            }
+            Err(e) => {
+                shared.metrics.record_query_error();
+                Err(e)
+            }
+        };
+    }
     // stage timings are needed by spans AND by the slow-query log, which
     // works with span tracing off
     let timing = tracer.is_enabled() || tracer.slow_query_threshold().is_some();
@@ -777,6 +837,22 @@ fn execute_at(shared: &Shared, snap: &EpochSnapshot, query: &Query) -> Result<Ta
             drop(rel);
             let total = start.elapsed();
             shared.metrics.record_query(total);
+            // workload sensing for the advisor: attribute the query's
+            // latency to the view that answered it, or log the
+            // normalized shape of a query the planner could only send
+            // to the base graph (a candidate view may be missing)
+            match planned.view_id {
+                Some(vid) => {
+                    let name = snap
+                        .state
+                        .catalog()
+                        .get_by_id(vid)
+                        .map(|v| v.def.id())
+                        .unwrap_or_else(|| vid.to_string());
+                    shared.metrics.record_view_benefit(vid, &name, total);
+                }
+                None => shared.metrics.record_miss_shape(&key, query, total),
+            }
             drop(root);
             if timing {
                 tracer.observe_query(
@@ -819,7 +895,7 @@ fn writer_loop(
     max_batch: usize,
     compact_dead_ratio: f64,
     mut wal: Option<Wal>,
-    mut extids: ExternalIdTable,
+    mut extids: Arc<ExternalIdTable>,
 ) {
     // the worker's working state always equals the published snapshot
     let mut state = shared.cell.load().state.clone();
@@ -889,16 +965,18 @@ fn writer_loop(
             // exactly by WAL replay
             for (i, nv) in batch.delta.vertices.iter().enumerate() {
                 if let Some(ext) = nv.ext {
-                    extids
+                    Arc::make_mut(&mut extids)
                         .insert(ext, VertexId((base_slots + i) as u32))
                         .expect("resolution admitted a duplicate external id");
                 }
             }
             for &v in &batch.delta.del_vertices {
-                extids.remove_slot(v);
+                if extids.ext_of(v).is_some() {
+                    Arc::make_mut(&mut extids).remove_slot(v);
+                }
             }
             let mut publish_span = batch_span.child(Stage::Publish);
-            let epoch = shared.cell.publish(state.clone());
+            let epoch = shared.cell.publish(state.clone(), Arc::clone(&extids));
             publish_span.set_epoch(epoch);
             drop(publish_span);
             batch_span.set_epoch(epoch);
@@ -937,6 +1015,37 @@ fn writer_loop(
                 shared.metrics.record_retractions(retractions);
             }
         }
+        // a catalog mutation publishes as its own epoch, after the
+        // deltas batched ahead of it and before anything queued behind
+        if let Some(op) = &batch.ddl {
+            let mut ddl_span = shared.tracer.span(Stage::Ddl);
+            // durable strictly before visible, like batches: replay
+            // re-runs apply_ddl at the same epoch position
+            if let Some(w) = wal.as_mut() {
+                w.append_ddl(shared.cell.epoch() + 1, op)
+                    .expect("WAL append failed; refusing to publish an unlogged DDL");
+            }
+            state = state.apply_ddl(op);
+            let epoch = shared.cell.publish(state.clone(), Arc::clone(&extids));
+            // catalog changed: NO plan carry-forward across this epoch
+            // (prune instead of promote). The new epoch starts empty so
+            // every query replans against the new catalog; the previous
+            // epoch's entries stay one epoch as grace for readers still
+            // draining on the pre-DDL snapshot.
+            shared.cache.prune_below(epoch);
+            let detail = match op {
+                DdlOp::CreateView(def) => {
+                    shared.metrics.record_view_created();
+                    format_args!("create {}", def.id()).to_string()
+                }
+                DdlOp::DropView(id) => {
+                    shared.metrics.record_view_dropped();
+                    format!("drop {id}")
+                }
+            };
+            ddl_span.set_epoch(epoch);
+            ddl_span.set_detail(trace_detail(&shared.trace_label, format_args!("{detail}")));
+        }
         // one compaction per loop at most: a coordinator-ordered remap
         // (this engine is a shard of a ShardedEngine — the shared remap
         // keeps shard-local ids equal to global ids) takes precedence
@@ -959,7 +1068,8 @@ fn writer_loop(
                     .expect("WAL append failed; refusing to publish an unlogged compaction");
             }
             state = next;
-            let epoch = shared.cell.publish(state.clone());
+            Arc::make_mut(&mut extids).remap(&remap);
+            let epoch = shared.cell.publish(state.clone(), Arc::clone(&extids));
             shared.cache.promote(epoch);
             let reclaimed = before - slot_capacity(state.graph());
             shared.metrics.record_compaction(reclaimed);
@@ -968,9 +1078,9 @@ fn writer_loop(
                 &shared.trace_label,
                 format_args!("reclaimed={reclaimed}"),
             ));
-            // external ids survive the renumbering: the table follows
-            // the same remap the delta rebase path uses
-            extids.remap(&remap);
+            // external ids survived the renumbering above: the table
+            // followed the same remap the delta rebase path uses,
+            // inside the same epoch publish
             remaps.record(epoch, remap);
             shared
                 .oldest_supported

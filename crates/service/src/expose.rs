@@ -239,6 +239,24 @@ pub fn render_prometheus(backend: &dyn Observable) -> String {
     );
     push_counter(
         &mut out,
+        "kaskade_views_created_total",
+        "Views created by live DDL (manual or advisor).",
+        r.views_created,
+    );
+    push_counter(
+        &mut out,
+        "kaskade_views_dropped_total",
+        "Views dropped by live DDL (manual or advisor).",
+        r.views_dropped,
+    );
+    push_counter(
+        &mut out,
+        "kaskade_advisor_migrations_total",
+        "Catalog migrations issued by the view-admission advisor.",
+        r.advisor_migrations,
+    );
+    push_counter(
+        &mut out,
         "kaskade_compactions_total",
         "Slot compactions run.",
         r.compactions_run,
@@ -404,6 +422,30 @@ pub fn render_prometheus(backend: &dyn Observable) -> String {
             "Per-view refresh-time quantiles (log-bucket upper bounds).",
             "gauge",
             &q_rows,
+        );
+    }
+
+    // per-view benefit sensors (the advisor's keep-alive evidence)
+    if !r.view_benefits.is_empty() {
+        let rows: Vec<(String, f64)> = r
+            .view_benefits
+            .iter()
+            .map(|b| {
+                (
+                    format!(
+                        "kaskade_view_queries_answered_total{{view=\"{}\"}}",
+                        escape_label(&b.name)
+                    ),
+                    b.answered as f64,
+                )
+            })
+            .collect();
+        push_series(
+            &mut out,
+            "kaskade_view_queries_answered_total",
+            "Queries answered by this materialized view.",
+            "counter",
+            &rows,
         );
     }
 

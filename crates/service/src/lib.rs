@@ -79,6 +79,8 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
+pub mod anchor;
 pub mod drive;
 pub mod engine;
 pub mod expose;
@@ -91,6 +93,8 @@ pub mod stream;
 pub mod trace;
 pub mod wal;
 
+pub use advisor::{advise_once, Advisor, AdvisorConfig, AdvisorState, AdvisorTick};
+pub use anchor::execute_anchored;
 pub use drive::{drive, snapshot_is_consistent, DriveConfig, DriveOutcome, ServingBackend};
 pub use engine::{Engine, EngineConfig, SubmitError, SubmitOpts};
 pub use expose::{render_prometheus, MetricsServer, Observable};

@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use kaskade_core::ViewRefreshStat;
+use kaskade_core::{ViewId, ViewRefreshStat};
+use kaskade_query::Query;
 
 /// Number of power-of-two latency buckets (bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` nanoseconds; 64 buckets cover any `u64` duration).
@@ -128,6 +129,33 @@ struct PerViewSlot {
     hist: LatencyHistogram,
 }
 
+/// Per-view **benefit** attribution: queries this view answered and
+/// the latency they cost, keyed by the view's stable [`ViewId`]. These
+/// are the positive sensor inputs of the adaptive advisor (the miss
+/// log is the negative side).
+#[derive(Debug)]
+struct BenefitSlot {
+    id: ViewId,
+    name: String,
+    answered: u64,
+    total_nanos: u64,
+}
+
+/// One normalized query shape the planner could only answer from the
+/// base graph — a view that *would have* matched it may be missing.
+#[derive(Debug)]
+struct MissSlot {
+    key: String,
+    query: Query,
+    count: u64,
+    total_nanos: u64,
+}
+
+/// Distinct normalized shapes the miss log retains; further new shapes
+/// are dropped (the hot shapes an advisor cares about recur and are
+/// captured long before the cap).
+const MISS_LOG_CAP: usize = 128;
+
 /// Live serving counters shared by all engine threads.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -142,6 +170,9 @@ pub struct Metrics {
     retractions_applied: AtomicU64,
     views_refreshed: AtomicU64,
     views_rematerialized: AtomicU64,
+    views_created: AtomicU64,
+    views_dropped: AtomicU64,
+    advisor_migrations: AtomicU64,
     compactions_run: AtomicU64,
     slots_reclaimed: AtomicU64,
     batches_published: AtomicU64,
@@ -150,6 +181,8 @@ pub struct Metrics {
     max_lag_nanos: AtomicU64,
     last_lag_nanos: AtomicU64,
     per_view: Mutex<Vec<PerViewSlot>>,
+    benefits: Mutex<Vec<BenefitSlot>>,
+    misses: Mutex<Vec<MissSlot>>,
 }
 
 impl Metrics {
@@ -234,6 +267,96 @@ impl Metrics {
         slot.recomputed += stat.recomputed as u64;
         slot.last_nanos = stat.duration.as_nanos().min(u64::MAX as u128) as u64;
         slot.hist.record(stat.duration);
+    }
+
+    /// Records one live `CreateView` DDL publish.
+    pub fn record_view_created(&self) {
+        self.views_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one live `DropView` DDL publish.
+    pub fn record_view_dropped(&self) {
+        self.views_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records catalog migrations (creates + drops) initiated by the
+    /// background advisor, as opposed to client-issued DDL — the
+    /// `--expect-adaptation` CI gate asserts this is non-zero.
+    pub fn record_advisor_migrations(&self, migrations: usize) {
+        self.advisor_migrations
+            .fetch_add(migrations as u64, Ordering::Relaxed);
+    }
+
+    /// Attributes one served query to the materialized view that
+    /// answered it: the per-[`ViewId`] benefit counter the advisor
+    /// weighs against refresh cost when deciding which views earn
+    /// their keep.
+    pub fn record_view_benefit(&self, id: ViewId, name: &str, latency: Duration) {
+        let mut benefits = self.benefits.lock().expect("benefit metrics poisoned");
+        let slot = match benefits.iter_mut().find(|s| s.id == id) {
+            Some(slot) => slot,
+            None => {
+                benefits.push(BenefitSlot {
+                    id,
+                    name: name.to_string(),
+                    answered: 0,
+                    total_nanos: 0,
+                });
+                benefits.last_mut().expect("just pushed")
+            }
+        };
+        slot.answered += 1;
+        slot.total_nanos += latency.as_nanos().min(u64::MAX as u128) as u64;
+    }
+
+    /// Logs the normalized shape of a query the planner sent to the
+    /// base graph — no materialized view could answer it. Shapes
+    /// accumulate hit counts under their normalized plan key (capped
+    /// at 128 distinct shapes); the advisor drains them as
+    /// the workload evidence for *creating* views.
+    pub fn record_miss_shape(&self, key: &str, query: &Query, latency: Duration) {
+        let mut misses = self.misses.lock().expect("miss log poisoned");
+        if let Some(slot) = misses.iter_mut().find(|s| s.key == key) {
+            slot.count += 1;
+            slot.total_nanos += latency.as_nanos().min(u64::MAX as u128) as u64;
+        } else if misses.len() < MISS_LOG_CAP {
+            misses.push(MissSlot {
+                key: key.to_string(),
+                query: query.clone(),
+                count: 1,
+                total_nanos: latency.as_nanos().min(u64::MAX as u128) as u64,
+            });
+        }
+    }
+
+    /// Takes the accumulated miss log, leaving it empty — each advisor
+    /// tick consumes one window of misses, so stale shapes from a
+    /// drifted-away workload phase do not haunt later decisions.
+    pub fn drain_misses(&self) -> Vec<MissedQuery> {
+        let mut misses = self.misses.lock().expect("miss log poisoned");
+        misses
+            .drain(..)
+            .map(|s| MissedQuery {
+                query: s.query,
+                count: s.count,
+                total: Duration::from_nanos(s.total_nanos),
+            })
+            .collect()
+    }
+
+    /// A point-in-time copy of the per-view benefit counters, in
+    /// first-answer order.
+    pub fn view_benefits(&self) -> Vec<ViewBenefit> {
+        let benefits = self.benefits.lock().expect("benefit metrics poisoned");
+        benefits
+            .iter()
+            .map(|s| ViewBenefit {
+                id: s.id,
+                name: s.name.clone(),
+                answered: s.answered,
+                serve_total: Duration::from_nanos(s.total_nanos),
+            })
+            .collect()
     }
 
     /// Records one slot compaction and the id slots (vertex + edge,
@@ -330,6 +453,9 @@ impl Metrics {
             retractions_applied: self.retractions_applied.load(Ordering::Relaxed),
             views_refreshed: self.views_refreshed.load(Ordering::Relaxed),
             views_rematerialized: self.views_rematerialized.load(Ordering::Relaxed),
+            views_created: self.views_created.load(Ordering::Relaxed),
+            views_dropped: self.views_dropped.load(Ordering::Relaxed),
+            advisor_migrations: self.advisor_migrations.load(Ordering::Relaxed),
             compactions_run: self.compactions_run.load(Ordering::Relaxed),
             slots_reclaimed: self.slots_reclaimed.load(Ordering::Relaxed),
             batches_published: self.batches_published.load(Ordering::Relaxed),
@@ -342,8 +468,38 @@ impl Metrics {
             plan_cache_misses: 0,
             queue_depth: 0,
             per_view: self.view_metrics(),
+            view_benefits: self.view_benefits(),
         }
     }
+}
+
+/// Per-view query-side benefit: how many queries a materialized view
+/// answered and the latency they cost — the advisor's evidence that a
+/// view earns its refresh bill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewBenefit {
+    /// The view's stable catalog handle.
+    pub id: ViewId,
+    /// The view's display name at the time it first answered.
+    pub name: String,
+    /// Queries this view's rewritten plan answered.
+    pub answered: u64,
+    /// Total latency of those queries.
+    pub serve_total: Duration,
+}
+
+/// One drained miss-log entry: a normalized query shape the planner
+/// could only answer from the base graph, with how often (and how
+/// expensively) it recurred in the window.
+#[derive(Debug, Clone)]
+pub struct MissedQuery {
+    /// The (normalized-equivalent) query, replayable through
+    /// enumeration and selection.
+    pub query: Query,
+    /// Times this shape was served from the base graph in the window.
+    pub count: u64,
+    /// Total base-graph latency those servings cost.
+    pub total: Duration,
 }
 
 /// Per-view dimensional metrics: one row per catalog view, accumulated
@@ -409,6 +565,13 @@ pub struct MetricsReport {
     /// upstream connector in the catalog). Stays 0 on incremental-safe
     /// workloads — the `--expect-incremental` CI smoke gates on it.
     pub views_rematerialized: u64,
+    /// Views created by live DDL (`CreateView` publishes).
+    pub views_created: u64,
+    /// Views dropped by live DDL (`DropView` publishes).
+    pub views_dropped: u64,
+    /// Catalog migrations (creates + drops) issued by the background
+    /// advisor, as opposed to client DDL.
+    pub advisor_migrations: u64,
     /// Slot compactions run (each publishes its own epoch).
     pub compactions_run: u64,
     /// Total id slots (vertex + edge capacity) reclaimed by
@@ -438,6 +601,9 @@ pub struct MetricsReport {
     /// Per-view dimensional breakdown (empty until the first publish
     /// refreshes a catalog view).
     pub per_view: Vec<ViewMetrics>,
+    /// Per-view query-side benefit counters (empty until a view
+    /// answers its first query).
+    pub view_benefits: Vec<ViewBenefit>,
 }
 
 impl MetricsReport {
@@ -489,6 +655,11 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "catalog ddl        {} created, {} dropped ({} advisor migrations)",
+            self.views_created, self.views_dropped, self.advisor_migrations
+        )?;
+        writeln!(
+            f,
             "compaction         {} runs, {} slots reclaimed",
             self.compactions_run, self.slots_reclaimed
         )?;
@@ -513,6 +684,13 @@ impl fmt::Display for MetricsReport {
                 v.refresh_p99,
                 v.recomputed,
                 v.rematerialized
+            )?;
+        }
+        for b in &self.view_benefits {
+            write!(
+                f,
+                "\n  benefit {:<37} {} answered {} (total {:?})",
+                b.name, b.id, b.answered, b.serve_total
             )?;
         }
         Ok(())
@@ -628,6 +806,64 @@ mod tests {
         let r = m.base_report();
         assert_eq!(r.per_view, views);
         assert!(r.to_string().contains("view connector:A"), "{r}");
+    }
+
+    #[test]
+    fn benefit_counters_and_miss_log_feed_the_advisor() {
+        use kaskade_core::ViewId;
+        let m = Metrics::new();
+        m.record_view_benefit(ViewId(0), "connector:A", Duration::from_micros(10));
+        m.record_view_benefit(ViewId(0), "connector:A", Duration::from_micros(30));
+        m.record_view_benefit(ViewId(2), "connector:B", Duration::from_micros(5));
+        let benefits = m.view_benefits();
+        assert_eq!(benefits.len(), 2);
+        assert_eq!(benefits[0].id, ViewId(0));
+        assert_eq!(benefits[0].answered, 2);
+        assert_eq!(benefits[0].serve_total, Duration::from_micros(40));
+
+        let q = kaskade_query::parse(
+            "SELECT COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a AS A)",
+        )
+        .unwrap();
+        m.record_miss_shape("k1", &q, Duration::from_micros(100));
+        m.record_miss_shape("k1", &q, Duration::from_micros(100));
+        m.record_miss_shape("k2", &q, Duration::from_micros(7));
+        let drained = m.drain_misses();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].count, 2);
+        assert_eq!(drained[0].total, Duration::from_micros(200));
+        // draining empties the window
+        assert!(m.drain_misses().is_empty());
+
+        m.record_view_created();
+        m.record_view_created();
+        m.record_view_dropped();
+        m.record_advisor_migrations(3);
+        let r = m.base_report();
+        assert_eq!(r.views_created, 2);
+        assert_eq!(r.views_dropped, 1);
+        assert_eq!(r.advisor_migrations, 3);
+        assert_eq!(r.view_benefits, benefits);
+        let s = r.to_string();
+        assert!(s.contains("catalog ddl"), "{s}");
+        assert!(s.contains("benefit connector:A"), "{s}");
+    }
+
+    #[test]
+    fn miss_log_caps_distinct_shapes() {
+        let m = Metrics::new();
+        let q = kaskade_query::parse(
+            "SELECT COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a AS A)",
+        )
+        .unwrap();
+        for i in 0..(MISS_LOG_CAP + 10) {
+            m.record_miss_shape(&format!("k{i}"), &q, Duration::from_micros(1));
+        }
+        // known shapes still count past the cap
+        m.record_miss_shape("k0", &q, Duration::from_micros(1));
+        let drained = m.drain_misses();
+        assert_eq!(drained.len(), MISS_LOG_CAP);
+        assert_eq!(drained[0].count, 2);
     }
 
     #[test]

@@ -61,7 +61,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use kaskade_core::{
-    stage_delta, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions,
+    stage_delta, DdlOp, GraphDelta, Kaskade, KaskadeError, Partition, RefreshDag, RefreshOptions,
     RefreshReport, Snapshot, VRef,
 };
 use kaskade_graph::{EdgeId, ExternalIdTable, Graph, GraphStats, ParallelExec, VertexId};
@@ -236,6 +236,12 @@ pub struct ShardedSnapshot {
     /// global state, so a reader can never mix shard states from two
     /// different global publishes.
     pub shard_states: Vec<Arc<EpochSnapshot>>,
+    /// The external-id bindings as of this global publish, in the
+    /// **global** id space — `id(v) = <ext>` anchors resolve through
+    /// this table and run inline on the global state (a single-slot
+    /// probe has nothing to gain from a scatter). Shared, not copied:
+    /// the router clones the table only on epochs that changed it.
+    pub extids: Arc<ExternalIdTable>,
 }
 
 impl ShardedSnapshot {
@@ -559,11 +565,13 @@ impl ShardedEngine {
             }
             tables
         };
+        let extids = Arc::new(extids);
         let shared = Arc::new(ShardedShared {
             cell: Arc::new(ShardedCell::new(ShardedSnapshot {
                 epoch,
                 state,
                 shard_states,
+                extids: Arc::clone(&extids),
             })),
             cache: PlanCache::new(),
             metrics: Metrics::new(),
@@ -649,6 +657,19 @@ impl ShardedEngine {
             delta,
             based_on,
         )
+    }
+
+    /// Queues a catalog [`DdlOp`] for the router. Same semantics as
+    /// [`Engine::submit_ddl`]: the op is a batch boundary — deltas
+    /// queued before it publish first, then the DDL publishes as its
+    /// own epoch (WAL-logged before publish, plan cache invalidated
+    /// with no carry-forward). Views are materialized over the
+    /// **global** graph at the coordinator — shard engines never hold
+    /// catalog state — so a DDL epoch republishes the current shard
+    /// states unchanged and stays coherent. Returns `false` if the
+    /// engine is shutting down.
+    pub fn submit_ddl(&self, op: DdlOp) -> bool {
+        self.tx.send(Msg::Ddl(op)).is_ok()
     }
 
     /// Waits until every previously submitted delta is applied on
@@ -754,6 +775,32 @@ fn execute_at(
     snap: &ShardedSnapshot,
     query: &Query,
 ) -> Result<Table, KaskadeError> {
+    // `id(v) = <ext>` point lookups: resolve through the snapshot's
+    // external-id table into a pinned single-slot anchor scan and run
+    // inline on the global state — a one-slot probe gains nothing from
+    // scatter. Skips the view rewriter and the plan cache, and never
+    // feeds the advisor's miss log.
+    if let Some((stripped, anchors)) = query.split_extid_anchors() {
+        let start = Instant::now();
+        let mut root = shared.tracer.span(Stage::Query);
+        root.set_epoch(snap.epoch);
+        root.set_detail("anchored");
+        return match crate::anchor::execute_anchored(
+            snap.state.graph(),
+            &snap.extids,
+            &stripped,
+            &anchors,
+        ) {
+            Ok(table) => {
+                shared.metrics.record_query(start.elapsed());
+                Ok(table)
+            }
+            Err(e) => {
+                shared.metrics.record_query_error();
+                Err(e)
+            }
+        };
+    }
     let tracer = &shared.tracer;
     let timing = tracer.is_enabled() || tracer.slow_query_threshold().is_some();
     let start = Instant::now();
@@ -915,6 +962,20 @@ fn execute_at(
                 );
             }
             shared.metrics.record_query(total);
+            // workload sensing for the advisor: credit the serving
+            // view, or log the normalized shape of a base-graph miss
+            match planned.view_id {
+                Some(vid) => {
+                    let name = snap
+                        .state
+                        .catalog()
+                        .get_by_id(vid)
+                        .map(|v| v.def.id())
+                        .unwrap_or_else(|| vid.to_string());
+                    shared.metrics.record_view_benefit(vid, &name, total);
+                }
+                None => shared.metrics.record_miss_shape(&key, query, total),
+            }
             drop(root);
             if timing {
                 tracer.observe_query(
@@ -952,7 +1013,7 @@ fn router_loop(
     mut owners: Vec<u32>,
     mut edge_global: Vec<Vec<EdgeId>>,
     mut wal: Option<Wal>,
-    mut extids: ExternalIdTable,
+    mut extids: Arc<ExternalIdTable>,
 ) {
     let mut state = shared.cell.load().state.clone();
     // nothing has published yet, so the cell still holds the start
@@ -1030,13 +1091,15 @@ fn router_loop(
                 }
                 for (i, nv) in batch.delta.vertices.iter().enumerate() {
                     if let Some(ext) = nv.ext {
-                        extids
+                        Arc::make_mut(&mut extids)
                             .insert(ext, VertexId((slots + i) as u32))
                             .expect("resolution admitted a duplicate external id");
                     }
                 }
                 for &v in &batch.delta.del_vertices {
-                    extids.remove_slot(v);
+                    if extids.ext_of(v).is_some() {
+                        Arc::make_mut(&mut extids).remove_slot(v);
+                    }
                 }
                 state = next;
                 owners.extend(new_owners);
@@ -1048,6 +1111,7 @@ fn router_loop(
                         epoch,
                         state: state.clone(),
                         shard_states,
+                        extids: Arc::clone(&extids),
                     });
                 }
                 shared.cache.promote(epoch);
@@ -1077,6 +1141,44 @@ fn router_loop(
                     shared.metrics.record_retractions(retractions);
                 }
             }
+        }
+        if let Some(op) = &batch.ddl {
+            let mut ddl_span = shared.tracer.span(Stage::Ddl);
+            if let Some(w) = wal.as_mut() {
+                w.append_ddl(shared.cell.epoch() + 1, op)
+                    .expect("WAL append failed; refusing to publish an unlogged DDL");
+            }
+            // views are materialized over the GLOBAL graph at the
+            // coordinator; shard engines hold empty catalogs, so there
+            // is nothing to fan out — the DDL epoch republishes the
+            // current shard states unchanged, and the coherence sums
+            // (edges, owned vertices, statistics) are untouched
+            state = state.apply_ddl(op);
+            let epoch = shared.cell.epoch() + 1;
+            let shard_states = shared.cell.load().shard_states.clone();
+            shared.cell.publish(ShardedSnapshot {
+                epoch,
+                state: state.clone(),
+                shard_states,
+                extids: Arc::clone(&extids),
+            });
+            // the catalog changed: no cached plan may survive into the
+            // new epoch (a plan naming a dropped ViewId, or planned
+            // blind to a just-created view, would be wrong) — prune
+            // without promoting, so the DDL epoch replans from scratch
+            shared.cache.prune_below(epoch);
+            let detail = match op {
+                DdlOp::CreateView(def) => {
+                    shared.metrics.record_view_created();
+                    format!("create {}", def.id())
+                }
+                DdlOp::DropView(id) => {
+                    shared.metrics.record_view_dropped();
+                    format!("drop {id}")
+                }
+            };
+            ddl_span.set_epoch(epoch);
+            ddl_span.set_detail(detail);
         }
         if should_compact(state.graph(), compact_dead_ratio) {
             let mut compact_span = shared.tracer.span(Stage::Compact);
@@ -1128,17 +1230,18 @@ fn router_loop(
                     w.append_compact(epoch)
                         .expect("WAL append failed; refusing to publish an unlogged compaction");
                 }
+                Arc::make_mut(&mut extids).remap(&remap);
                 shared.cell.publish(ShardedSnapshot {
                     epoch,
                     state: state.clone(),
                     shard_states,
+                    extids: Arc::clone(&extids),
                 });
                 shared.cache.promote(epoch);
                 let reclaimed = before - slot_capacity(state.graph());
                 shared.metrics.record_compaction(reclaimed);
                 compact_span.set_epoch(epoch);
                 compact_span.set_detail(format!("reclaimed={reclaimed}"));
-                extids.remap(&remap);
                 remaps.record(epoch, remap);
                 shared
                     .oldest_supported
@@ -1653,6 +1756,52 @@ mod tests {
         }
         // scatter/gather answers are unchanged by the renumbering
         assert_eq!(engine.execute(&q).unwrap(), expected);
+        assert!(crate::drive::snapshot_is_consistent(&snap.state));
+    }
+
+    #[test]
+    fn ddl_publishes_coherent_epochs_through_the_router() {
+        use kaskade_core::ViewId;
+        let k = instance(98); // one 2-hop Job→Job view at slot 0
+        let engine = scatter_engine(&k, 3);
+        let epoch0 = engine.epoch();
+        let def = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 4));
+        assert!(engine.submit_ddl(DdlOp::CreateView(def.clone())));
+        engine.flush();
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch, epoch0 + 1, "a DDL publishes its own epoch");
+        assert!(snap.is_coherent(), "DDL reuses the current shard states");
+        let created = snap.state.catalog().get(&def.id()).expect("view created");
+        // materialized over the GLOBAL graph, not a shard fragment
+        let mut scratch = Kaskade::new(snap.state.graph().clone(), Schema::provenance());
+        scratch.materialize_view(def.clone());
+        let scratch_view = scratch.snapshot().catalog().get(&def.id()).unwrap().clone();
+        assert_eq!(created.graph.edge_count(), scratch_view.graph.edge_count());
+
+        assert!(engine.submit_ddl(DdlOp::DropView(ViewId(0))));
+        engine.flush();
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch, epoch0 + 2);
+        assert!(snap.is_coherent());
+        assert_eq!(
+            snap.state.catalog().slot_count(),
+            2,
+            "slot stays tombstoned"
+        );
+        assert!(snap.state.catalog().get_by_id(ViewId(0)).is_none());
+        let m = engine.metrics();
+        assert_eq!(m.global.views_created, 1);
+        assert_eq!(m.global.views_dropped, 1);
+
+        // writes keep flowing and refresh the post-DDL catalog
+        let mut d = GraphDelta::new();
+        let j = d.add_vertex("Job", vec![]);
+        let f = d.add_vertex("File", vec![]);
+        d.add_edge(j, f, "WRITES_TO", vec![]);
+        engine.submit(d, SubmitOpts::default()).unwrap();
+        engine.flush();
+        let snap = engine.snapshot();
+        assert!(snap.is_coherent());
         assert!(crate::drive::snapshot_is_consistent(&snap.state));
     }
 

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use kaskade_core::Snapshot;
+use kaskade_graph::ExternalIdTable;
 
 /// An immutable published state: the core read state (base graph, view
 /// catalog, statistics) tagged with the epoch that produced it. Epoch 0
@@ -25,6 +26,10 @@ pub struct EpochSnapshot {
     pub epoch: u64,
     /// The read state of this epoch.
     pub state: Snapshot,
+    /// The external-id bindings as of this epoch — the table `id(v) =
+    /// <ext>` anchors resolve through. Shared, not copied: the writer
+    /// clones the table only on epochs that changed it.
+    pub extids: Arc<ExternalIdTable>,
 }
 
 /// The single-writer, many-reader publication point.
@@ -40,17 +45,22 @@ pub struct SnapshotCell {
 }
 
 impl SnapshotCell {
-    /// Publishes `state` as epoch 0.
+    /// Publishes `state` as epoch 0 with no external-id bindings.
     pub fn new(state: Snapshot) -> Self {
-        Self::with_epoch(state, 0)
+        Self::with_epoch(state, 0, Arc::new(ExternalIdTable::new()))
     }
 
     /// Publishes `state` at an explicit starting epoch — how recovery
-    /// resumes the epoch counter from where the durable log left off.
-    pub fn with_epoch(state: Snapshot, epoch: u64) -> Self {
+    /// resumes the epoch counter (and external-id table) from where the
+    /// durable log left off.
+    pub fn with_epoch(state: Snapshot, epoch: u64, extids: Arc<ExternalIdTable>) -> Self {
         SnapshotCell {
             epoch: AtomicU64::new(epoch),
-            slot: RwLock::new(Arc::new(EpochSnapshot { epoch, state })),
+            slot: RwLock::new(Arc::new(EpochSnapshot {
+                epoch,
+                state,
+                extids,
+            })),
         }
     }
 
@@ -68,10 +78,14 @@ impl SnapshotCell {
     /// Atomically publishes `state` as the next epoch and returns it.
     /// The slot is swapped before the epoch counter is bumped, so a
     /// reader that observes the new epoch always loads the new slot.
-    pub(crate) fn publish(&self, state: Snapshot) -> u64 {
+    pub(crate) fn publish(&self, state: Snapshot, extids: Arc<ExternalIdTable>) -> u64 {
         let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
         let epoch = slot.epoch + 1;
-        *slot = Arc::new(EpochSnapshot { epoch, state });
+        *slot = Arc::new(EpochSnapshot {
+            epoch,
+            state,
+            extids,
+        });
         self.epoch.store(epoch, Ordering::Release);
         epoch
     }
@@ -118,7 +132,7 @@ mod tests {
         let cell = SnapshotCell::new(empty_state());
         assert_eq!(cell.epoch(), 0);
         assert_eq!(cell.load().epoch, 0);
-        let e = cell.publish(empty_state());
+        let e = cell.publish(empty_state(), Arc::new(ExternalIdTable::new()));
         assert_eq!(e, 1);
         assert_eq!(cell.epoch(), 1);
         assert_eq!(cell.load().epoch, 1);
@@ -138,7 +152,10 @@ mod tests {
         });
         assert!(poisoner.is_err(), "the poisoning thread panicked");
         assert_eq!(cell.load().epoch, 0);
-        assert_eq!(cell.publish(empty_state()), 1);
+        assert_eq!(
+            cell.publish(empty_state(), Arc::new(ExternalIdTable::new())),
+            1
+        );
         assert_eq!(cell.load().epoch, 1);
     }
 
@@ -149,7 +166,7 @@ mod tests {
         let first = Arc::clone(r.snapshot());
         // unchanged epoch: the very same Arc is reused
         assert!(Arc::ptr_eq(&first, r.snapshot()));
-        cell.publish(empty_state());
+        cell.publish(empty_state(), Arc::new(ExternalIdTable::new()));
         let second = Arc::clone(r.snapshot());
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(second.epoch, 1);

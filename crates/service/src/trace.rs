@@ -60,6 +60,14 @@ pub enum Stage {
     RefreshView,
     /// Write path: epoch-fenced slot compaction.
     Compact,
+    /// Write path: one catalog mutation — create or drop of a
+    /// materialized view — applied and published as its own epoch
+    /// (detail = `create <view>` / `drop view#N`).
+    Ddl,
+    /// Control loop: one advisor tick — enumerate + select over live
+    /// sensor data, diff against the catalog, issue DDL (detail =
+    /// migrations issued).
+    Advise,
     /// Write path: snapshot publish (the epoch bump).
     Publish,
     /// Read path: plan-cache probe (detail = hit/miss).
@@ -91,6 +99,8 @@ impl Stage {
             Stage::PoolDispatch => "pool_dispatch",
             Stage::RefreshView => "refresh_view",
             Stage::Compact => "compact",
+            Stage::Ddl => "ddl",
+            Stage::Advise => "advise",
             Stage::Publish => "publish",
             Stage::PlanCacheLookup => "plan_cache_lookup",
             Stage::Plan => "plan",

@@ -43,7 +43,8 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use kaskade_core::{GraphDelta, Snapshot};
+use kaskade_core::persist::{decode_view_def, encode_view_def};
+use kaskade_core::{DdlOp, GraphDelta, Snapshot, ViewId};
 use kaskade_graph::{crc32, Dec, Enc, ExternalIdTable, VertexId};
 
 /// Magic header of the delta log file (`wal.log`).
@@ -55,6 +56,12 @@ const KIND_BATCH: u8 = 1;
 /// Record kind: an epoch-fenced slot compaction (no body — replay
 /// re-runs the deterministic compaction).
 const KIND_COMPACT: u8 = 2;
+/// Record kind: one catalog-mutation (DDL) publish. Body = `tag u8`
+/// (0 = create, followed by the encoded [`kaskade_core::ViewDef`];
+/// 1 = drop, followed by the `u32` [`kaskade_core::ViewId`]). Replay
+/// re-runs [`Snapshot::apply_ddl`], so recovered catalogs keep the
+/// exact slot layout (ids and tombstones) of the live engine.
+const KIND_DDL: u8 = 3;
 
 /// Where and how durably to log. Attach to an
 /// [`EngineConfig`](crate::EngineConfig) or
@@ -266,6 +273,29 @@ impl Wal {
         self.append(&payload.into_bytes())
     }
 
+    /// Appends one catalog-mutation record for the DDL about to publish
+    /// as `epoch`. Counted toward the checkpoint cadence like a batch:
+    /// replaying a `CreateView` re-materializes the view, so DDL-heavy
+    /// logs should checkpoint just as eagerly.
+    pub fn append_ddl(&mut self, epoch: u64, op: &DdlOp) -> io::Result<()> {
+        let mut payload = Enc::new();
+        payload.u8(KIND_DDL);
+        payload.u64(epoch);
+        match op {
+            DdlOp::CreateView(def) => {
+                payload.u8(0);
+                encode_view_def(def, &mut payload);
+            }
+            DdlOp::DropView(id) => {
+                payload.u8(1);
+                payload.u32(id.0);
+            }
+        }
+        self.append(&payload.into_bytes())?;
+        self.since_checkpoint += 1;
+        Ok(())
+    }
+
     fn append(&mut self, payload: &[u8]) -> io::Result<()> {
         self.log.write_all(&frame(payload))?;
         if self.config.fsync {
@@ -468,6 +498,20 @@ pub fn recover(dir: &Path) -> io::Result<Option<Recovered>> {
                     extids.remap(&remap);
                     state = next;
                 }
+                KIND_DDL => {
+                    let op = match d.u8() {
+                        Ok(0) => match decode_view_def(&mut d) {
+                            Ok(def) => DdlOp::CreateView(def),
+                            Err(_) => break,
+                        },
+                        Ok(1) => match d.u32() {
+                            Ok(id) => DdlOp::DropView(ViewId(id)),
+                            Err(_) => break,
+                        },
+                        _ => break,
+                    };
+                    state = state.apply_ddl(&op);
+                }
                 _ => break,
             }
             epoch = rec_epoch;
@@ -655,6 +699,55 @@ mod tests {
         same_dense_graph(r.state.graph(), live.graph()).unwrap();
         assert_eq!(r.extids.get(8), extids.get(8));
         assert_eq!(r.extids.get(7), None);
+    }
+
+    #[test]
+    fn ddl_records_replay_in_epoch_order_with_slots_intact() {
+        use kaskade_core::{ConnectorDef, ViewDef};
+        let dir = tmpdir("ddl");
+        // a base graph the created view can materialize over
+        let mut b = GraphBuilder::new();
+        let j0 = b.add_vertex("Job");
+        let f0 = b.add_vertex("File");
+        let j1 = b.add_vertex("Job");
+        b.add_edge(j0, f0, "WRITES_TO");
+        b.add_edge(f0, j1, "IS_READ_BY");
+        let state = Snapshot::new(b.finish(), Schema::provenance());
+        let extids = ExternalIdTable::new();
+        let mut wal = Wal::open(WalConfig::new(&dir), &state, 0, &extids).unwrap();
+
+        let def2 = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2));
+        let def4 = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 4));
+        // interleave: create, delta batch, create, drop view#0
+        let mut live = state;
+        wal.append_ddl(1, &DdlOp::CreateView(def2.clone())).unwrap();
+        live = live.apply_ddl(&DdlOp::CreateView(def2));
+        let delta = job_delta(None);
+        wal.append_batch(2, &delta).unwrap();
+        live = live.with_delta(&delta);
+        wal.append_ddl(3, &DdlOp::CreateView(def4.clone())).unwrap();
+        live = live.apply_ddl(&DdlOp::CreateView(def4.clone()));
+        wal.append_ddl(4, &DdlOp::DropView(ViewId(0))).unwrap();
+        live = live.apply_ddl(&DdlOp::DropView(ViewId(0)));
+
+        let r = recover_or_fail(&dir).unwrap();
+        assert_eq!(r.epoch, 4);
+        assert_eq!(r.records_replayed, 4);
+        same_dense_graph(r.state.graph(), live.graph()).unwrap();
+        // the recovered catalog has the exact slot layout: tombstone at
+        // slot 0, the 4-hop view still at slot 1
+        assert_eq!(r.state.catalog().slot_count(), 2);
+        assert!(r.state.catalog().get_by_id(ViewId(0)).is_none());
+        let survivor = r.state.catalog().get_by_id(ViewId(1)).unwrap();
+        assert_eq!(survivor.def, def4);
+        assert_eq!(
+            survivor.graph.edge_count(),
+            live.catalog()
+                .get_by_id(ViewId(1))
+                .unwrap()
+                .graph
+                .edge_count()
+        );
     }
 
     #[test]

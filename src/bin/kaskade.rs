@@ -33,6 +33,21 @@
 //!                       refresh-DAG CI gate)
 //!   --smoke         short self-checking run for CI (implies --views)
 //!
+//! serve adaptive options:
+//!   --adaptive      run the background view-admission advisor: drain
+//!                   the workload sensors (miss log + per-view benefit
+//!                   counters) on a cadence, re-run §V selection
+//!                   against the live statistics, and migrate the
+//!                   catalog through live DDL under hysteresis
+//!   --advise-every N    advisor tick cadence in ms   (default 250)
+//!   --view-budget N     knapsack space budget in edges handed to the
+//!                       advisor's selection (default: selection's)
+//!   --expect-adaptation fail unless the advisor migrated the catalog
+//!                   at least once with zero consistency violations
+//!                   and zero view re-materializations (the
+//!                   self-driving CI gate; implies --adaptive and the
+//!                   per-read consistency verification)
+//!
 //! serve observability options:
 //!   --trace on|off  structured span tracing into the in-process
 //!                   flight recorder (default off; off costs one
@@ -94,8 +109,8 @@ use kaskade::core::{Kaskade, SelectionConfig};
 use kaskade::datasets::Dataset;
 use kaskade::query::{listings, parse, Query, Table};
 use kaskade::service::{
-    drive, DriveConfig, DriveOutcome, Engine, EngineConfig, MetricsServer, Observable,
-    ShardedConfig, ShardedEngine, Tracer, WalConfig, Workload,
+    drive, Advisor, AdvisorConfig, DriveConfig, DriveOutcome, Engine, EngineConfig, MetricsServer,
+    Observable, ShardedConfig, ShardedEngine, Tracer, WalConfig, Workload,
 };
 
 fn usage() -> ExitCode {
@@ -106,6 +121,7 @@ fn usage() -> ExitCode {
          [--seed N] [--threads N] [--duration-ms N] [--write-every-ms N] [--workload W] \
          [--shards N] [--pool-threads N] [--compact-ratio F] [--expect-compaction] \
          [--expect-incremental] [--smoke] \
+         [--adaptive] [--advise-every N] [--view-budget N] [--expect-adaptation] \
          [--trace on|off] [--trace-dump] [--slow-query-ms F] [--metrics-addr ADDR] \
          [--stats-interval N] [--stats-json] \
          [--wal-dir PATH] [--checkpoint-every N] [--no-fsync] [--recover] [--wal-overwrite] \
@@ -129,6 +145,10 @@ struct CommonArgs {
     compact_ratio: f64,
     expect_compaction: bool,
     expect_incremental: bool,
+    adaptive: bool,
+    advise_every_ms: u64,
+    view_budget: u64,
+    expect_adaptation: bool,
     smoke: bool,
     trace: bool,
     trace_dump: bool,
@@ -159,6 +179,10 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
         compact_ratio: EngineConfig::default().compact_dead_ratio,
         expect_compaction: false,
         expect_incremental: false,
+        adaptive: false,
+        advise_every_ms: AdvisorConfig::default().every.as_millis() as u64,
+        view_budget: AdvisorConfig::default().budget_edges,
+        expect_adaptation: false,
         smoke: false,
         trace: false,
         trace_dump: false,
@@ -197,6 +221,12 @@ fn parse_common(args: impl Iterator<Item = String>) -> Option<CommonArgs> {
             }
             "--expect-compaction" => c.expect_compaction = true,
             "--expect-incremental" => c.expect_incremental = true,
+            "--adaptive" => c.adaptive = true,
+            "--advise-every" => {
+                c.advise_every_ms = args.next()?.parse().ok().filter(|&n: &u64| n > 0)?
+            }
+            "--view-budget" => c.view_budget = args.next()?.parse().ok()?,
+            "--expect-adaptation" => c.expect_adaptation = true,
             "--trace" => match args.next()?.as_str() {
                 "on" => c.trace = true,
                 "off" => c.trace = false,
@@ -491,7 +521,8 @@ fn outcome_json(outcome: &DriveOutcome, tracer: &Tracer, counts: (usize, usize))
          \"reads\":{},\"read_errors\":{},\"reads_per_sec\":{:.1},\"writes\":{},\
          \"writes_backpressured\":{},\"consistency_violations\":{},\"final_consistent\":{},\
          \"epoch\":{},\"deltas_applied\":{},\"batches_published\":{},\"views_refreshed\":{},\
-         \"views_rematerialized\":{},\"compactions_run\":{},\"slots_reclaimed\":{},\
+         \"views_rematerialized\":{},\"views_created\":{},\"views_dropped\":{},\
+         \"advisor_migrations\":{},\"compactions_run\":{},\"slots_reclaimed\":{},\
          \"plan_cache_hit_rate\":{:.4},\"p50_ns\":{},\"p99_ns\":{},\"apply_p50_ns\":{},\
          \"apply_p99_ns\":{},\"apply_total_ns\":{},\"queue_depth\":{},\"slow_queries\":{},\
          \"trace_dropped_events\":{},\"per_view\":[",
@@ -509,6 +540,9 @@ fn outcome_json(outcome: &DriveOutcome, tracer: &Tracer, counts: (usize, usize))
         r.batches_published,
         r.views_refreshed,
         r.views_rematerialized,
+        r.views_created,
+        r.views_dropped,
+        r.advisor_migrations,
         r.compactions_run,
         r.slots_reclaimed,
         r.plan_cache_hit_rate(),
@@ -549,6 +583,10 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         c.duration_ms = c.duration_ms.min(500);
         c.write_every_ms = c.write_every_ms.max(1);
     }
+    if c.expect_adaptation {
+        // the gate is meaningless without the advisor actually running
+        c.adaptive = true;
+    }
     if c.queries.is_empty() {
         c.queries.push(listings::LISTING_1.to_string());
     }
@@ -572,8 +610,10 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         write_pause: Duration::from_millis(c.write_every_ms),
         max_writes: 0,
         // a recovered state must also survive the scratch-rebuild
-        // comparison — recovery correctness is exactly what is at stake
-        verify_consistency: c.smoke || c.recover,
+        // comparison — recovery correctness is exactly what is at
+        // stake; --expect-adaptation gates on zero violations, so it
+        // must count them
+        verify_consistency: c.smoke || c.recover || c.expect_adaptation,
         workload: c.workload,
     };
     eprintln!(
@@ -604,6 +644,23 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
             overwrite: c.wal_overwrite || c.recover,
             ..WalConfig::new(dir)
         })
+    };
+    // the self-driving admission loop, shared by both engine shapes:
+    // started right before drive(), stopped (and reported) right after
+    let advisor_cfg = |c: &CommonArgs| AdvisorConfig {
+        every: Duration::from_millis(c.advise_every_ms),
+        budget_edges: c.view_budget,
+        ..AdvisorConfig::default()
+    };
+    let finish_advisor = |advisor: Option<Advisor>| {
+        if let Some(mut advisor) = advisor {
+            advisor.stop();
+            eprintln!(
+                "advisor: {} tick(s), {} migration(s)",
+                advisor.ticks(),
+                advisor.migrations()
+            );
+        }
     };
     // (capacity, live): final id-slot capacity vs live element count —
     // the numbers the compaction policy bounds
@@ -653,7 +710,11 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
             Ok(rig) => rig,
             Err(code) => return code,
         };
+        let advisor = c
+            .adaptive
+            .then(|| Advisor::start(Arc::clone(&engine), Arc::clone(&tracer), advisor_cfg(&c)));
         let outcome = drive(&*engine, &workload, &cfg);
+        finish_advisor(advisor);
         rig.finish();
         let lines = engine.metrics().per_shard_lines();
         let snap = engine.snapshot();
@@ -711,7 +772,11 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
             Ok(rig) => rig,
             Err(code) => return code,
         };
+        let advisor = c
+            .adaptive
+            .then(|| Advisor::start(Arc::clone(&engine), Arc::clone(&tracer), advisor_cfg(&c)));
         let outcome = drive(&*engine, &workload, &cfg);
+        finish_advisor(advisor);
         rig.finish();
         let snap = engine.snapshot();
         let g = snap.state.graph();
@@ -787,6 +852,28 @@ fn cmd_serve(dataset: Dataset, mut c: CommonArgs) -> ExitCode {
         }
         eprintln!(
             "incremental check passed ({refreshed} view refreshes, zero re-materializations)"
+        );
+    }
+    if c.expect_adaptation {
+        // the self-driving CI gate: the advisor must have migrated the
+        // catalog at least once (created or dropped a view online), no
+        // reader may have observed an inconsistent snapshot across
+        // those migrations, and surviving views must have been
+        // maintained incrementally — never recovered by a full
+        // re-materialization
+        let migrations = outcome.report.advisor_migrations;
+        let remat = outcome.report.views_rematerialized;
+        if migrations == 0 || outcome.consistency_violations != 0 || remat != 0 {
+            eprintln!(
+                "adaptation check FAILED: migrations={migrations} violations={} rematerialized={remat}",
+                outcome.consistency_violations
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "adaptation check passed ({migrations} advisor migration(s) [{} created / {} dropped], \
+             zero violations, zero re-materializations)",
+            outcome.report.views_created, outcome.report.views_dropped
         );
     }
     if c.smoke {

@@ -829,6 +829,148 @@ fn cli_stats_json_reports_the_final_outcome() {
     assert!(json.ends_with("]}"), "not a closed JSON object:\n{json}");
 }
 
+/// A DDL publish invalidates the plan cache with **no carry-forward**:
+/// a cached plan that names a dropped [`ViewId`] can never be served
+/// after the drop (the epoch-keyed cache starts empty, the replan
+/// routes to the base graph), and once an identical view is recreated
+/// the very same query plans against the **new** view under a fresh
+/// id — tombstoned slots are never reused.
+///
+/// [`ViewId`]: kaskade::core::ViewId
+#[test]
+fn plan_cache_never_serves_plans_across_ddl() {
+    use kaskade::core::DdlOp;
+
+    let engine = Engine::from_kaskade(&tiny_instance(62));
+    let q = parse(LISTING_1).unwrap();
+    let before = engine.execute(&q).unwrap();
+    let snap = engine.snapshot();
+    let planned = snap.state.plan(&q).unwrap();
+    let dropped = planned.view_id.expect("LISTING_1 routes through the view");
+
+    assert!(engine.submit_ddl(DdlOp::DropView(dropped)));
+    engine.flush();
+    // identical query: the pre-DDL cache entry names a tombstoned
+    // slot; serving it would be an UnknownView error. The post-DDL
+    // epoch must miss, replan, and answer from the base graph.
+    let misses_before = engine.metrics().plan_cache_misses;
+    let after = engine.execute(&q).unwrap();
+    assert_eq!(
+        norm(&before),
+        norm(&after),
+        "drop changes routing, not results"
+    );
+    assert_eq!(
+        engine.metrics().plan_cache_misses,
+        misses_before + 1,
+        "no plan carry-forward across a DDL epoch"
+    );
+    let snap = engine.snapshot();
+    assert!(snap.state.plan(&q).unwrap().view_id.is_none());
+
+    // recreate an identical view: same query now routes through it,
+    // under a fresh id (the dropped slot stays tombstoned forever)
+    let def = ViewDef::Connector(ConnectorDef::k_hop("Job", "Job", 2));
+    assert!(engine.submit_ddl(DdlOp::CreateView(def)));
+    engine.flush();
+    let recreated = engine.execute(&q).unwrap();
+    assert_eq!(norm(&before), norm(&recreated));
+    let snap = engine.snapshot();
+    let replanned = snap.state.plan(&q).unwrap();
+    assert!(
+        replanned.view_id.is_some(),
+        "routes through the recreated view"
+    );
+    assert_ne!(replanned.view_id, Some(dropped), "ViewIds are never reused");
+}
+
+/// `id(v) = <ext>` point queries resolve through the epoch-published
+/// external-id table into a pinned single-slot scan: they answer
+/// correctly right after ingestion, keep answering after slot
+/// compaction renumbers the underlying vertices, degrade to an empty
+/// table (never an error) for unmapped ids, and the sharded
+/// coordinator answers byte-identically to the single engine.
+#[test]
+fn anchored_point_queries_survive_compaction_and_match_sharded() {
+    use kaskade::graph::Value;
+
+    let point = |ext: u64| {
+        parse(&format!(
+            "SELECT B.CPU FROM (
+                MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job)
+                RETURN a AS A, b AS B) WHERE id(A) = {ext}"
+        ))
+        .unwrap()
+    };
+    // one delta wires ext-addressed jobs around a fresh file:
+    // j(7001) -> f -> j(7002)
+    let mut seed = GraphDelta::new();
+    let a = seed.add_vertex_ext("Job", 7001, vec![("CPU".into(), Value::Int(77))]);
+    let f = seed.add_vertex("File", vec![]);
+    let b = seed.add_vertex_ext("Job", 7002, vec![("CPU".into(), Value::Int(88))]);
+    seed.add_edge(a, f, "WRITES_TO", vec![]);
+    seed.add_edge(f, b, "IS_READ_BY", vec![]);
+    // churn fodder: short-lived ext vertices whose retraction leaves
+    // enough dead slots to cross the aggressive compaction threshold
+    let mut fodder = GraphDelta::new();
+    for ext in 8000..8080u64 {
+        fodder.add_vertex_ext("Job", ext, vec![]);
+    }
+    let mut retract = GraphDelta::new();
+    for ext in 8000..8080u64 {
+        retract.del_vertex_ext(ext);
+    }
+
+    let engine = Engine::with_config(
+        tiny_instance(61).snapshot(),
+        EngineConfig {
+            compact_dead_ratio: 0.05,
+            ..EngineConfig::default()
+        },
+    );
+    engine.submit(seed.clone(), SubmitOpts::default()).unwrap();
+    engine.flush();
+    let hit = engine.execute(&point(7001)).unwrap();
+    assert_eq!(norm(&hit), vec!["[Val(Int(88))]".to_string()]);
+    // unmapped id: empty with the query's columns, not an error
+    let miss = engine.execute(&point(9999)).unwrap();
+    assert_eq!(miss.columns, vec!["B.CPU".to_string()]);
+    assert!(miss.rows.is_empty());
+
+    engine
+        .submit(fodder.clone(), SubmitOpts::default())
+        .unwrap();
+    engine.flush();
+    engine
+        .submit(retract.clone(), SubmitOpts::default())
+        .unwrap();
+    engine.flush();
+    assert!(
+        engine.metrics().compactions_run >= 1,
+        "churn must compact: {:?}",
+        engine.metrics()
+    );
+    // the table followed the remap: same external id, same answer
+    let after = engine.execute(&point(7001)).unwrap();
+    assert_eq!(norm(&after), vec!["[Val(Int(88))]".to_string()]);
+    let retired = engine.execute(&point(8003)).unwrap();
+    assert!(retired.rows.is_empty(), "retired ids resolve to nothing");
+
+    // sharded parity: the same ingest through a 4-shard coordinator
+    // answers every anchored query identically
+    let sharded = ShardedEngine::from_kaskade(&tiny_instance(61), 4);
+    for d in [seed, fodder, retract] {
+        sharded.submit(d, SubmitOpts::default()).unwrap();
+        sharded.flush();
+    }
+    for ext in [7001, 7002, 8003, 9999] {
+        let s = sharded.execute(&point(ext)).unwrap();
+        let e = engine.execute(&point(ext)).unwrap();
+        assert_eq!(s.columns, e.columns, "ext {ext}");
+        assert_eq!(norm(&s), norm(&e), "ext {ext}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
